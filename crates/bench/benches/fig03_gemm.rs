@@ -1,0 +1,15 @@
+//! Criterion bench regenerating Figure 3 (GEMM: CUDA cores vs TCUs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_bench::fig3_gemm;
+use tcudb_device::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::rtx_3090();
+    c.bench_function("fig03_gemm_sweep", |b| {
+        b.iter(|| fig3_gemm(std::hint::black_box(&[1024, 2048, 4096, 8192, 16384]), &device))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

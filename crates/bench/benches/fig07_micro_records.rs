@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 7 (Q1/Q3/Q4 vs record count).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_bench::fig7_micro_records;
+use tcudb_device::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::rtx_3090();
+    let mut group = c.benchmark_group("fig07_micro_records");
+    group.sample_size(10);
+    group.bench_function("q1_q3_q4_4096x32", |b| {
+        b.iter(|| fig7_micro_records(std::hint::black_box(&[4096]), 32, &device).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

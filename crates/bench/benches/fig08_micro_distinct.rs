@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 8 (Q1/Q3/Q4 vs distinct values).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_bench::fig8_micro_distinct;
+use tcudb_device::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::rtx_3090();
+    let mut group = c.benchmark_group("fig08_micro_distinct");
+    group.sample_size(10);
+    group.bench_function("q1_q3_q4_4096_distinct_sweep", |b| {
+        b.iter(|| fig8_micro_distinct(4096, std::hint::black_box(&[32, 512]), &device).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

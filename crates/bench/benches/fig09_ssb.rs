@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 9 (Star Schema Benchmark).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_bench::fig9_ssb;
+use tcudb_device::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::rtx_3090();
+    let mut group = c.benchmark_group("fig09_ssb");
+    group.sample_size(10);
+    group.bench_function("ssb_sf1_flight_representatives", |b| {
+        b.iter(|| fig9_ssb(std::hint::black_box(&[1]), false, &device).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

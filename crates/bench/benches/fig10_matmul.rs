@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 10 (matrix-multiplication query).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_bench::{fig10_matmul, fig10_projection};
+use tcudb_device::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::rtx_3090();
+    let mut group = c.benchmark_group("fig10_matmul");
+    group.sample_size(10);
+    group.bench_function("matmul_query_dim64_128", |b| {
+        b.iter(|| fig10_matmul(std::hint::black_box(&[64, 128]), &device).unwrap())
+    });
+    group.bench_function("matmul_projection_paper_scale", |b| {
+        b.iter(|| fig10_projection(std::hint::black_box(&[4096, 16384, 32768, 65536]), &device))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

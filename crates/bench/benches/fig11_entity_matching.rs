@@ -1,0 +1,19 @@
+//! Criterion bench regenerating Figure 11 (entity-matching blocking).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_bench::fig11_entity_matching;
+use tcudb_datagen::em;
+use tcudb_device::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::rtx_3090();
+    let mut group = c.benchmark_group("fig11_entity_matching");
+    group.sample_size(10);
+    group.bench_function("beer_advo_ratebeer_blocking", |b| {
+        b.iter(|| fig11_entity_matching(std::hint::black_box(&em::beer_advo_ratebeer()), &device).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 12 (PageRank queries).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_bench::fig12_pagerank;
+use tcudb_device::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::rtx_3090();
+    let mut group = c.benchmark_group("fig12_pagerank");
+    group.sample_size(10);
+    group.bench_function("pagerank_queries_1k_2k", |b| {
+        b.iter(|| fig12_pagerank(std::hint::black_box(&[0, 1]), &device).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

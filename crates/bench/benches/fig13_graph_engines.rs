@@ -1,0 +1,18 @@
+//! Criterion bench regenerating Figure 13 (graph-engine comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_bench::fig13_graph_engines;
+use tcudb_device::DeviceProfile;
+
+fn bench(c: &mut Criterion) {
+    let device = DeviceProfile::rtx_3090();
+    let mut group = c.benchmark_group("fig13_graph_engines");
+    group.sample_size(10);
+    group.bench_function("pr_q3_core_1k_4k", |b| {
+        b.iter(|| fig13_graph_engines(std::hint::black_box(&[0, 3]), &device).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

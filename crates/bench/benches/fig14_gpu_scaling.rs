@@ -1,0 +1,16 @@
+//! Criterion bench regenerating Figure 14 (RTX 3090 vs RTX 2080 scaling).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_bench::fig14_gpu_scaling;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig14_gpu_scaling");
+    group.sample_size(10);
+    group.bench_function("micro_4096x32_two_devices", |b| {
+        b.iter(|| fig14_gpu_scaling(std::hint::black_box(&[4096]), 32).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

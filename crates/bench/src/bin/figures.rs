@@ -1,0 +1,284 @@
+//! `figures` — regenerate every table and figure of the paper as text.
+//!
+//! ```text
+//! cargo run --release -p tcudb-bench --bin figures -- --all
+//! cargo run --release -p tcudb-bench --bin figures -- --fig7 --fig9
+//! cargo run --release -p tcudb-bench --bin figures -- --all --full   # paper-scale sweeps
+//! ```
+
+use tcudb_bench as bench;
+use tcudb_datagen::em;
+use tcudb_device::DeviceProfile;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let has = |flag: &str| args.iter().any(|a| a == flag);
+    let all = has("--all") || args.is_empty();
+    let full = has("--full");
+    let device = DeviceProfile::rtx_3090();
+
+    println!("TCUDB-RS experiment harness (simulated device: {})", device.name);
+    println!("mode: {}", if full { "full (paper-scale)" } else { "mini (default)" });
+    println!();
+
+    if all || has("--fig3") {
+        fig3(&device, full);
+    }
+    if all || has("--fig7") {
+        fig7(&device, full);
+    }
+    if all || has("--fig8") {
+        fig8(&device, full);
+    }
+    if all || has("--fig9") {
+        fig9(&device, full);
+    }
+    if all || has("--fig10") {
+        fig10(&device, full);
+    }
+    if all || has("--table1") {
+        table1(full);
+    }
+    if all || has("--table23") {
+        table23();
+    }
+    if all || has("--fig11") {
+        fig11(&device, full);
+    }
+    if all || has("--table4") {
+        table4();
+    }
+    if all || has("--fig12") {
+        fig12(&device, full);
+    }
+    if all || has("--fig13") {
+        fig13(&device, full);
+    }
+    if all || has("--fig14") {
+        fig14(full);
+    }
+}
+
+fn header(title: &str) {
+    println!("==============================================================");
+    println!("{title}");
+    println!("==============================================================");
+}
+
+fn print_comparisons(rows: &[bench::Comparison]) {
+    println!(
+        "{:<16} {:>14} {:>14} {:>14} {:>10} {:>10}",
+        "config", "MonetDB (ms)", "YDB (ms)", "TCUDB (ms)", "vs YDB", "vs CPU"
+    );
+    for c in rows {
+        println!(
+            "{:<16} {:>14.3} {:>14.3} {:>14.3} {:>9.2}x {:>9.2}x",
+            c.label,
+            c.monet * 1e3,
+            c.ydb * 1e3,
+            c.tcudb * 1e3,
+            c.speedup_vs_ydb(),
+            c.speedup_vs_monet()
+        );
+    }
+    println!();
+}
+
+fn fig3(device: &DeviceProfile, full: bool) {
+    header("Figure 3: square GEMM latency, CUDA cores vs TCUs");
+    let dims: &[usize] = if full {
+        &[1024, 2048, 4096, 8192, 16384]
+    } else {
+        &[1024, 2048, 4096, 8192]
+    };
+    let rows = bench::fig3_gemm(dims, device);
+    let base = rows[0].cuda_seconds;
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "dims", "CUDA (ms)", "TCU (ms)", "CUDA (rel)", "TCU (rel)", "speedup"
+    );
+    for r in rows {
+        println!(
+            "{:<14} {:>12.3} {:>12.3} {:>12.2} {:>12.2} {:>7.2}x",
+            format!("{0}x{0}", r.dim),
+            r.cuda_seconds * 1e3,
+            r.tcu_seconds * 1e3,
+            r.cuda_seconds / base,
+            r.tcu_seconds / base,
+            r.cuda_seconds / r.tcu_seconds
+        );
+    }
+    println!();
+}
+
+fn fig7(device: &DeviceProfile, full: bool) {
+    header("Figure 7: Q1/Q3/Q4 vs number of records (32 distinct values)");
+    let records: &[usize] = if full {
+        &[4096, 8192, 16384, 32768]
+    } else {
+        &[4096, 8192, 16384]
+    };
+    let results = bench::fig7_micro_records(records, 32, device).expect("fig7 runs");
+    for (query, rows) in results {
+        println!("--- {query} ---");
+        print_comparisons(&rows);
+    }
+}
+
+fn fig8(device: &DeviceProfile, full: bool) {
+    header("Figure 8: Q1/Q3/Q4 vs number of distinct values (4096 records)");
+    let distinct: &[usize] = if full {
+        &[32, 64, 128, 256, 512, 1024, 2048, 4096]
+    } else {
+        &[32, 128, 512, 2048, 4096]
+    };
+    let results = bench::fig8_micro_distinct(4096, distinct, device).expect("fig8 runs");
+    for (query, rows) in results {
+        println!("--- {query} ---");
+        print_comparisons(&rows);
+    }
+}
+
+fn fig9(device: &DeviceProfile, full: bool) {
+    header("Figure 9: Star Schema Benchmark (mini scale, see EXPERIMENTS.md)");
+    let sfs: &[usize] = if full { &[1, 2, 4, 8] } else { &[1, 2] };
+    let results = bench::fig9_ssb(sfs, full, device).expect("fig9 runs");
+    for (sf, rows) in results {
+        println!("--- scale factor {sf} ---");
+        print_comparisons(&rows);
+    }
+}
+
+fn fig10(device: &DeviceProfile, full: bool) {
+    header("Figure 10: matrix-multiplication query (executed, mini dims)");
+    let dims: &[usize] = if full { &[64, 128, 256, 512] } else { &[64, 128, 256] };
+    let rows = bench::fig10_matmul(dims, device).expect("fig10 runs");
+    print_comparisons(&rows);
+
+    header("Figure 10 (projected at paper scale via the cost model)");
+    let proj = bench::fig10_projection(&[4096, 8192, 16384, 32768, 65536], device);
+    println!(
+        "{:<10} {:>28} {:>14} {:>14} {:>10}",
+        "dims", "TCU plan", "YDB (s)", "TCUDB (s)", "speedup"
+    );
+    for p in proj {
+        println!(
+            "{:<10} {:>28} {:>14.3} {:>14.3} {:>9.2}x",
+            p.dim,
+            p.plan,
+            p.ydb_seconds,
+            p.tcudb_seconds,
+            p.ydb_seconds / p.tcudb_seconds
+        );
+    }
+    println!();
+}
+
+fn table1(full: bool) {
+    header("Table 1: MAPE of matrix multiplication vs value range (fp16 inputs)");
+    let dims: &[usize] = if full { &[128, 256, 512, 1024] } else { &[64, 128, 256] };
+    let rows = bench::table1_mape(dims, 7);
+    print!("{:<22}", "value range");
+    for d in dims {
+        print!(" {:>12}", format!("{d}x{d}"));
+    }
+    println!();
+    for row in rows {
+        print!("{:<22}", row.range);
+        for (_, mape) in row.mape_by_dim {
+            print!(" {:>11.5}%", mape);
+        }
+        println!();
+    }
+    println!();
+}
+
+fn table23() {
+    header("Tables 2 & 3: distinct values per attribute of the EM datasets");
+    for (name, attrs) in bench::table23_em_stats() {
+        println!("--- {name} ---");
+        for (attr, distinct) in attrs {
+            println!("  {attr:<12} {distinct}");
+        }
+    }
+    println!();
+}
+
+fn fig11(device: &DeviceProfile, full: bool) {
+    header("Figure 11(a): EM blocking on BeerAdvo-RateBeer");
+    let rows = bench::fig11_entity_matching(&em::beer_advo_ratebeer(), device).expect("fig11a");
+    print_comparisons(&rows);
+    header("Figure 11(b): EM blocking on iTunes-Amazon");
+    let rows = bench::fig11_entity_matching(&em::itunes_amazon(), device).expect("fig11b");
+    print_comparisons(&rows);
+    if full {
+        header("Figure 11(c): EM blocking on scaled iTunes-Amazon");
+        let rows =
+            bench::fig11_entity_matching(&em::itunes_amazon_scaled(), device).expect("fig11c");
+        print_comparisons(&rows);
+    }
+}
+
+fn table4() {
+    header("Table 4: reduced road-network graphs");
+    println!("{:<10} {:>10}", "#nodes", "#edges");
+    for (n, e) in bench::table4_graphs() {
+        println!("{n:<10} {e:>10}");
+    }
+    println!();
+}
+
+fn fig12(device: &DeviceProfile, full: bool) {
+    header("Figure 12: PageRank queries PR Q1/Q2/Q3, TCUDB vs YDB vs CPU");
+    let sizes: &[usize] = if full { &[0, 1, 2, 3, 4] } else { &[0, 1, 3] };
+    let results = bench::fig12_pagerank(sizes, device).expect("fig12 runs");
+    for (query, rows) in results {
+        println!("--- {query} ---");
+        print_comparisons(&rows);
+    }
+}
+
+fn fig13(device: &DeviceProfile, full: bool) {
+    header("Figure 13: PR Q3 core join+aggregation across engines");
+    let sizes: &[usize] = if full { &[0, 1, 2, 3, 4, 5, 6] } else { &[0, 1, 3, 4] };
+    let rows = bench::fig13_graph_engines(sizes, device).expect("fig13 runs");
+    println!(
+        "{:<8} {:>14} {:>14} {:>14} {:>14}",
+        "graph", "MonetDB (ms)", "YDB (ms)", "MAGiQ (ms)", "TCUDB (ms)"
+    );
+    for r in rows {
+        println!(
+            "{:<8} {:>14.3} {:>14.3} {:>14.3} {:>14.3}",
+            r.label,
+            r.monet * 1e3,
+            r.ydb * 1e3,
+            r.magiq * 1e3,
+            r.tcudb * 1e3
+        );
+    }
+    println!();
+}
+
+fn fig14(full: bool) {
+    header("Figure 14: RTX 3090 over RTX 2080 speedup (microbenchmarks)");
+    let records: &[usize] = if full {
+        &[4096, 8192, 16384, 32768]
+    } else {
+        &[4096, 8192]
+    };
+    let rows = bench::fig14_gpu_scaling(records, 32).expect("fig14 runs");
+    println!(
+        "{:<12} {:<6} {:>14} {:>14}",
+        "config", "query", "YDB speedup", "TCUDB speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:<12} {:<6} {:>13.2}x {:>13.2}x",
+            r.label, r.query, r.ydb_speedup, r.tcudb_speedup
+        );
+    }
+    let avg_ydb: f64 = rows.iter().map(|r| r.ydb_speedup).sum::<f64>() / rows.len() as f64;
+    let avg_tcu: f64 = rows.iter().map(|r| r.tcudb_speedup).sum::<f64>() / rows.len() as f64;
+    println!("average: YDB {avg_ydb:.2}x, TCUDB {avg_tcu:.2}x");
+    println!();
+}

@@ -1,0 +1,42 @@
+//! # tcudb-core
+//!
+//! The TCUDB engine itself: the paper's primary contribution.
+//!
+//! The crate is organised exactly along the components of Figure 1:
+//!
+//! * [`analyzer`] — the **query analyzer**: binds a parsed SQL statement to
+//!   the catalog, separates join predicates from per-table filters and
+//!   recognises the TCU-accelerable query patterns of §3 (two-way joins,
+//!   multi-way joins, group-by aggregates over joins, non-equi joins and
+//!   the matrix-multiplication query of Figure 5).
+//! * [`optimizer`] — the **query optimizer** of Figure 6: the data-range
+//!   feasibility test with mixed-precision selection (§4.2.1), the
+//!   working-set test that triggers blocked execution (§4.2.3), the matrix
+//!   density test that triggers TCU-SpMM (§4.2.4), and the cost comparison
+//!   against the conventional GPU hash-join plan (§4.2.2).
+//! * [`translate`] — the **code generator**'s data-layout half: mapping
+//!   relational columns onto one-hot / valued / adjacency matrices over a
+//!   shared key domain (§3.1–3.3).
+//! * [`executor`] — the **program driver**: physical TCU operators
+//!   (`TcuJoin`, `TcuJoinAggregate`, `TcuSpmmJoin`, blocked variants) and
+//!   the fallback GPU operators, all reporting a per-phase
+//!   [`ExecutionTimeline`](tcudb_device::ExecutionTimeline).
+//! * [`engine`] — the public [`TcuDb`] facade: register tables, run SQL,
+//!   get back a result table, the chosen plan and the timing breakdown.
+//!
+//! Shared building blocks used by the baseline engines (`tcudb-ydb`,
+//! `tcudb-monet`) live in [`context`] (expression evaluation) and
+//! [`relops`] (reference hash join / aggregation).
+
+pub mod analyzer;
+pub mod context;
+pub mod engine;
+pub mod executor;
+pub mod optimizer;
+pub mod relops;
+pub mod translate;
+
+pub use analyzer::{AnalyzedQuery, JoinPredicate, QueryPattern};
+pub use engine::{EngineConfig, QueryOutput, TcuDb};
+pub use executor::PlanDescription;
+pub use optimizer::{Optimizer, PlanChoice, PlanKind};

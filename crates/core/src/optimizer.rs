@@ -1,0 +1,637 @@
+//! The TCUDB query optimizer (Figure 6 of the paper).
+//!
+//! For every join step of a query the optimizer runs, in order:
+//!
+//! 1. the **pattern check** (was this recognised as a TCU-accelerable
+//!    pattern at analysis time?),
+//! 2. the **data-range feasibility test** (§4.2.1): pick the most compact
+//!    TCU input precision (int4 → int8 → fp16) that represents the operand
+//!    values, and conservatively bound the result magnitude by
+//!    `m1 · m2 · n`,
+//! 3. the **working-set test** (§4.2.3): if the dense operand matrices do
+//!    not fit in device memory, switch to the blocked MSplitGEMM plan,
+//! 4. the **density test** (§4.2.4): if the operands are sparser than the
+//!    architecture-dependent threshold Θ, switch to the TCU-SpMM plan,
+//! 5. the **cost test** (§4.2.2): estimate `DT_op + DM_op + CT_op` of the
+//!    chosen TCU plan and compare it against the estimated cost of the
+//!    conventional GPU hash-join plan; execute whichever is cheaper.
+
+use tcudb_device::{CostModel, DeviceProfile};
+use tcudb_tensor::{GemmStats, SpmmStats, TILE_DIM};
+use tcudb_types::{Precision, F16};
+
+/// Which physical strategy a join step should use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanKind {
+    /// Dense GEMM on the tensor cores (TCUJoin).
+    TcuDense,
+    /// Tiled sparse GEMM on the tensor cores (TCU-SpMM).
+    TcuSparse,
+    /// Blocked / pipelined GEMM (MSplitGEMM) for working sets larger than
+    /// device memory.
+    TcuBlocked,
+    /// Conventional GPU hash-join + aggregation (the YDB operators).
+    GpuFallback,
+}
+
+impl PlanKind {
+    /// Does this plan run on the tensor cores?
+    pub fn is_tcu(&self) -> bool {
+        !matches!(self, PlanKind::GpuFallback)
+    }
+}
+
+impl std::fmt::Display for PlanKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            PlanKind::TcuDense => "TCU dense GEMM",
+            PlanKind::TcuSparse => "TCU-SpMM",
+            PlanKind::TcuBlocked => "TCU blocked GEMM (MSplitGEMM)",
+            PlanKind::GpuFallback => "GPU hash join",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Everything the optimizer needs to know about one join (or fused
+/// join+aggregate) step.
+///
+/// The matrix dimensions (`m`, `n`, `k`) describe the GEMM the TCU plan
+/// would run; the relational row counts describe the work the competing GPU
+/// hash-join plan would do.  For a plain two-way join `m` and `n` equal the
+/// two tables' (filtered) row counts and `k` is the join-key domain; for a
+/// fused group-by aggregate `n` is the group domain; for the Figure 5
+/// matrix-multiplication query `m`, `n`, `k` are the matrix dimensions
+/// while the tables hold `m·k` and `k·n` rows.
+#[derive(Debug, Clone)]
+pub struct JoinShape {
+    /// Rows of mat(A).
+    pub m: usize,
+    /// Rows of mat(B) (columns of the result).
+    pub n: usize,
+    /// Shared key-domain size (columns of both operand matrices).
+    pub k: usize,
+    /// Density of the operand matrices (≈ 1/k for one-hot join encodings,
+    /// up to 1.0 for the dense value matrices of matrix-multiplication
+    /// queries).
+    pub density: f64,
+    /// Largest |value| placed in mat(A) (1.0 for pure one-hot joins).
+    pub left_abs_max: f64,
+    /// Largest |value| placed in mat(B) (1.0 for pure one-hot joins).
+    pub right_abs_max: f64,
+    /// Rows of the left relation after filters (GPU hash-join build side).
+    pub left_table_rows: usize,
+    /// Rows of the right relation after filters (GPU hash-join probe side).
+    pub right_table_rows: usize,
+    /// Estimated number of join output tuples (what the GPU plan has to
+    /// materialise row by row).
+    pub estimated_output: usize,
+    /// Bytes of raw column data that must reach the device for the
+    /// GPU-assisted transform (Equation 2).
+    pub raw_bytes: usize,
+    /// True when the group-by/aggregation is fused into the GEMM (§3.3),
+    /// in which case the competing GPU plan must also pay for a separate
+    /// group-by/aggregation pass.
+    pub fused_aggregate: bool,
+    /// Number of output groups of the (fused) aggregation, if any.
+    pub groups: usize,
+}
+
+impl JoinShape {
+    /// A plain two-way equi-join shape with one-hot operand matrices.
+    pub fn equi_join(left_rows: usize, right_rows: usize, key_domain: usize) -> JoinShape {
+        let k = key_domain.max(1);
+        JoinShape {
+            m: left_rows,
+            n: right_rows,
+            k,
+            density: 1.0 / k as f64,
+            left_abs_max: 1.0,
+            right_abs_max: 1.0,
+            left_table_rows: left_rows,
+            right_table_rows: right_rows,
+            estimated_output: (left_rows as u128 * right_rows as u128 / k as u128)
+                .min(usize::MAX as u128) as usize,
+            raw_bytes: (left_rows + right_rows) * 8,
+            fused_aggregate: false,
+            groups: 0,
+        }
+    }
+
+    /// Bytes of the dense operand matrices plus the result at the given
+    /// precision — the working set the device must hold.
+    pub fn dense_working_set_bytes(&self, precision: Precision) -> f64 {
+        let elem = precision.size_bytes();
+        (self.m as f64 * self.k as f64 + self.n as f64 * self.k as f64) * elem
+            + self.m as f64 * self.n as f64 * 4.0
+    }
+
+    /// Synthesized GEMM statistics for the dense plan (used for cost
+    /// estimation before execution).
+    pub fn dense_gemm_stats(&self, precision: Precision) -> GemmStats {
+        let (m, n, k) = (self.m, self.n, self.k);
+        GemmStats {
+            m,
+            n,
+            k,
+            flops: 2.0 * m as f64 * n as f64 * k as f64,
+            bytes_touched: (m as f64 * k as f64 + n as f64 * k as f64) * precision.size_bytes()
+                + m as f64 * n as f64 * 4.0,
+            precision,
+        }
+    }
+
+    /// Device-memory working set of a given plan kind: the dense plan must
+    /// hold both dense operands plus the dense result, the sparse plan only
+    /// the CSR operands plus the (sparse) result, and the blocked plan only
+    /// its streaming buffers.
+    pub fn plan_working_set_bytes(&self, kind: PlanKind, precision: Precision) -> f64 {
+        match kind {
+            PlanKind::TcuDense => self.dense_working_set_bytes(precision),
+            PlanKind::TcuSparse => {
+                // ~12 bytes per CSR non-zero (value + column index + share
+                // of the row pointer), one non-zero per table row.
+                (self.left_table_rows + self.right_table_rows) as f64 * 12.0
+                    + self.estimated_output as f64 * 12.0
+            }
+            PlanKind::TcuBlocked => {
+                let block = tcudb_tensor::blocked::choose_block_size(usize::MAX / 4) as f64;
+                3.0 * block * block * 4.0
+            }
+            PlanKind::GpuFallback => (self.left_table_rows + self.right_table_rows) as f64 * 8.0,
+        }
+    }
+
+    /// Estimated TCU-SpMM statistics: the expected number of occupied tile
+    /// pairs given the operand densities.
+    pub fn estimated_spmm_stats(&self) -> SpmmStats {
+        let (m, n, k) = (self.m, self.n, self.k);
+        let tiles_m = m.div_ceil(TILE_DIM).max(1);
+        let tiles_n = n.div_ceil(TILE_DIM).max(1);
+        let tiles_k = k.div_ceil(TILE_DIM).max(1);
+        let total = tiles_m as f64 * tiles_n as f64 * tiles_k as f64;
+        // Probability that a 16×16 operand tile contains at least one
+        // non-zero, assuming uniformly scattered non-zeros.
+        let p_tile =
+            |density: f64| -> f64 { 1.0 - (1.0 - density).powi((TILE_DIM * TILE_DIM) as i32) };
+        let p = p_tile(self.density);
+        let expected = (total * p * p).round().clamp(0.0, total);
+        let processed = expected as usize;
+        SpmmStats {
+            m,
+            n,
+            k,
+            tiles_processed: processed,
+            tiles_skipped: (total as usize).saturating_sub(processed),
+            density_a: self.density,
+            density_b: self.density,
+            flops: processed as f64 * 2.0 * (TILE_DIM * TILE_DIM * TILE_DIM) as f64,
+            dense_equivalent_flops: 2.0 * m as f64 * n as f64 * k as f64,
+            bytes_touched: (self.left_table_rows + self.right_table_rows) as f64 * 12.0
+                + processed as f64 * (TILE_DIM * TILE_DIM) as f64 * 4.0,
+        }
+    }
+}
+
+/// The optimizer's decision for one join step.
+#[derive(Debug, Clone)]
+pub struct PlanChoice {
+    /// The chosen physical strategy.
+    pub kind: PlanKind,
+    /// The chosen TCU input precision (meaningless for the GPU fallback).
+    pub precision: Precision,
+    /// Whether the table→matrix transformation runs on the GPU (§4.2.2,
+    /// "GPU-assisted data transformation").
+    pub transform_on_gpu: bool,
+    /// Whether the result is guaranteed bit-exact (inputs and the
+    /// conservative result bound stay within the exactly-representable
+    /// integer range of the chosen precision).
+    pub exact_guaranteed: bool,
+    /// Estimated end-to-end cost of the chosen TCU plan in seconds.
+    pub estimated_tcu_seconds: f64,
+    /// Estimated cost of the competing GPU hash-join plan in seconds.
+    pub estimated_gpu_seconds: f64,
+    /// Human-readable explanation of the decision path through Figure 6.
+    pub reason: String,
+}
+
+/// Tunable optimizer parameters.
+#[derive(Debug, Clone)]
+pub struct OptimizerConfig {
+    /// Density threshold Θ below which the sparse TCU-SpMM plan is used
+    /// (the paper derives ≈0.04% = 4·10⁻⁴ on its testbed).
+    pub density_threshold: f64,
+    /// Force a specific plan kind (used by the ablation benchmarks).
+    pub force_plan: Option<PlanKind>,
+    /// Allow lossy fp16 representation of values that exceed the exact
+    /// integer range but still fit in binary16 (Table 1 explores the
+    /// resulting MAPE).
+    pub allow_lossy_half: bool,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            density_threshold: 4e-4,
+            force_plan: None,
+            allow_lossy_half: true,
+        }
+    }
+}
+
+/// The TCUDB query optimizer.
+#[derive(Debug, Clone, Default)]
+pub struct Optimizer {
+    cost: CostModel,
+    config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// Create an optimizer for a device with default configuration.
+    pub fn new(profile: DeviceProfile) -> Optimizer {
+        Optimizer {
+            cost: CostModel::new(profile),
+            config: OptimizerConfig::default(),
+        }
+    }
+
+    /// Create an optimizer with an explicit configuration.
+    pub fn with_config(profile: DeviceProfile, config: OptimizerConfig) -> Optimizer {
+        Optimizer {
+            cost: CostModel::new(profile),
+            config,
+        }
+    }
+
+    /// The cost model in use.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Decide how to execute one join step (the Figure 6 workflow).
+    pub fn choose_join_plan(&self, shape: &JoinShape) -> PlanChoice {
+        let mut reason = Vec::new();
+
+        // ---- Feasibility / precision selection (§4.2.1) ----
+        let m1 = shape.left_abs_max.max(1.0);
+        let m2 = shape.right_abs_max.max(1.0);
+        let input_mag = m1.max(m2);
+        let result_bound = m1 * m2 * shape.k.max(1) as f64;
+        // Most compact precision whose *exact* integer range covers both the
+        // inputs and the conservative result bound.
+        let exact_precision = Precision::tcu_candidates()
+            .into_iter()
+            .find(|p| input_mag <= p.exact_int_limit() && result_bound <= p.exact_int_limit());
+        let input_precision = Precision::most_compact_for_range(-input_mag, input_mag);
+        let precision = match (exact_precision, input_precision) {
+            (Some(p), _) => {
+                reason.push(format!(
+                    "feasibility: exact in {p} (result bound {result_bound:.0})"
+                ));
+                Some((p, true))
+            }
+            (None, Some(p)) => {
+                reason.push(format!(
+                    "feasibility: inputs fit {p}, result bound {result_bound:.0} may round"
+                ));
+                Some((Precision::Half.max(p), false))
+            }
+            (None, None)
+                if self.config.allow_lossy_half
+                    && F16::representable(m1)
+                    && F16::representable(m2) =>
+            {
+                reason.push(
+                    "feasibility: values exceed exact fp16 integers, accepting lossy half".into(),
+                );
+                Some((Precision::Half, false))
+            }
+            _ => None,
+        };
+
+        let (precision, exact) = match precision {
+            Some(pe) => pe,
+            None => {
+                let gpu = self.gpu_plan_seconds(shape);
+                return PlanChoice {
+                    kind: PlanKind::GpuFallback,
+                    precision: Precision::Fp32,
+                    transform_on_gpu: false,
+                    exact_guaranteed: true,
+                    estimated_tcu_seconds: f64::INFINITY,
+                    estimated_gpu_seconds: gpu,
+                    reason: "feasibility test failed: values exceed every TCU-compatible range"
+                        .to_string(),
+                };
+            }
+        };
+
+        // ---- Density test (§4.2.4) then working-set test (§4.2.3) ----
+        let working_set = shape.dense_working_set_bytes(precision);
+        let device = self.cost.profile();
+        let fits = device.fits_in_device(working_set as usize);
+        let sparse = shape.density < self.config.density_threshold;
+
+        let mut kind = if sparse {
+            reason.push(format!(
+                "density {:.6} < Θ={} → TCU-SpMM",
+                shape.density, self.config.density_threshold
+            ));
+            PlanKind::TcuSparse
+        } else if !fits {
+            reason.push(format!(
+                "working set {:.1} MiB exceeds device memory → blocked GEMM",
+                working_set / (1024.0 * 1024.0)
+            ));
+            PlanKind::TcuBlocked
+        } else {
+            reason.push(format!(
+                "dense plan fits in device memory ({:.1} MiB)",
+                working_set / (1024.0 * 1024.0)
+            ));
+            PlanKind::TcuDense
+        };
+
+        // ---- Transform placement ----
+        // GPU-assisted transformation requires the raw columns plus the
+        // chosen plan's working set to fit on the device (§4.2.2).
+        let plan_ws = shape.plan_working_set_bytes(kind, precision);
+        let transform_on_gpu = device.fits_in_device(plan_ws as usize + shape.raw_bytes)
+            && kind != PlanKind::TcuBlocked;
+
+        // ---- Cost estimation and comparison (§4.2.2) ----
+        let tcu_seconds = self.tcu_plan_seconds(shape, kind, precision, transform_on_gpu);
+        let gpu_seconds = self.gpu_plan_seconds(shape);
+
+        if let Some(forced) = self.config.force_plan {
+            reason.push(format!("plan forced to {forced}"));
+            kind = forced;
+        } else if gpu_seconds < tcu_seconds {
+            reason.push(format!(
+                "cost test: GPU plan {:.3} ms < TCU plan {:.3} ms → fallback",
+                gpu_seconds * 1e3,
+                tcu_seconds * 1e3
+            ));
+            kind = PlanKind::GpuFallback;
+        } else {
+            reason.push(format!(
+                "cost test: TCU plan {:.3} ms ≤ GPU plan {:.3} ms",
+                tcu_seconds * 1e3,
+                gpu_seconds * 1e3
+            ));
+        }
+
+        PlanChoice {
+            kind,
+            precision,
+            transform_on_gpu,
+            exact_guaranteed: exact,
+            estimated_tcu_seconds: tcu_seconds,
+            estimated_gpu_seconds: gpu_seconds,
+            reason: reason.join("; "),
+        }
+    }
+
+    /// Estimated end-to-end cost of a TCU plan for this shape.
+    pub fn tcu_plan_seconds(
+        &self,
+        shape: &JoinShape,
+        kind: PlanKind,
+        precision: Precision,
+        transform_on_gpu: bool,
+    ) -> f64 {
+        let rows = shape.left_table_rows + shape.right_table_rows;
+        // DT_op + DM_op
+        let (dt, dm_in) = if transform_on_gpu {
+            (
+                self.cost.transform_gpu_seconds(rows)
+                    + self
+                        .cost
+                        .device_mem_seconds(shape.plan_working_set_bytes(kind, precision)),
+                self.cost.h2d_seconds(shape.raw_bytes as f64),
+            )
+        } else {
+            (
+                self.cost.transform_cpu_seconds(rows),
+                self.cost
+                    .h2d_seconds(shape.plan_working_set_bytes(kind, precision)),
+            )
+        };
+        // CT_op
+        let ct = match kind {
+            PlanKind::TcuDense => self
+                .cost
+                .tcu_gemm_seconds(&shape.dense_gemm_stats(precision)),
+            PlanKind::TcuSparse => self
+                .cost
+                .tcu_spmm_seconds(&shape.estimated_spmm_stats(), precision),
+            PlanKind::TcuBlocked => {
+                let stats = shape.dense_gemm_stats(precision);
+                let block =
+                    tcudb_tensor::blocked::choose_block_size(self.cost.profile().device_mem_bytes);
+                let bm = stats.m.div_ceil(block).max(1);
+                let bn = stats.n.div_ceil(block).max(1);
+                let bk = stats.k.div_ceil(block).max(1);
+                let blocked = tcudb_tensor::BlockedGemmStats {
+                    m: stats.m,
+                    n: stats.n,
+                    k: stats.k,
+                    block_size: block,
+                    block_multiplications: bm * bn * bk,
+                    flops: stats.flops,
+                    bytes_streamed_in: (bm * bn * bk) as f64 * 2.0 * (block * block) as f64 * 4.0,
+                    bytes_streamed_out: stats.m as f64 * stats.n as f64 * 4.0,
+                    pipeline_stages: bm * bn,
+                };
+                self.cost.blocked_gemm_seconds(&blocked, precision)
+            }
+            PlanKind::GpuFallback => return self.gpu_plan_seconds(shape),
+        };
+        // Result extraction + copy back.
+        let extract = if shape.fused_aggregate {
+            // Fused aggregate results are one row per group.
+            self.cost.d2h_seconds(shape.groups.max(1) as f64 * 8.0)
+        } else {
+            let scan = match kind {
+                PlanKind::TcuSparse => self.cost.nonzero_sparse_seconds(
+                    shape.estimated_spmm_stats().tiles_processed,
+                    shape.estimated_output,
+                ),
+                _ => self
+                    .cost
+                    .nonzero_seconds(shape.m, shape.n, shape.estimated_output),
+            };
+            // Results stay in device memory; only a result handle returns.
+            scan + self.cost.d2h_seconds(4096.0)
+        };
+        dt + dm_in + ct + extract
+    }
+
+    /// Estimated cost of the conventional GPU hash-join plan for this
+    /// shape (the YDB cost model the paper compares against).
+    pub fn gpu_plan_seconds(&self, shape: &JoinShape) -> f64 {
+        let dm = self.cost.h2d_seconds(shape.raw_bytes as f64);
+        let join = self.cost.gpu_hash_join_seconds(
+            shape.left_table_rows,
+            shape.right_table_rows,
+            shape.estimated_output,
+        );
+        let agg = if shape.fused_aggregate {
+            self.cost
+                .gpu_groupby_agg_seconds(shape.estimated_output, shape.groups.max(1))
+        } else {
+            0.0
+        };
+        let out = self.cost.d2h_seconds(if shape.fused_aggregate {
+            shape.groups.max(1) as f64 * 8.0
+        } else {
+            // Results stay in device memory; only a result handle returns.
+            4096.0
+        });
+        dm + join + agg + out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opt() -> Optimizer {
+        Optimizer::new(DeviceProfile::rtx_3090())
+    }
+
+    #[test]
+    fn small_distinct_count_picks_dense_tcu() {
+        // The Figure 7 regime: many records, few distinct values.
+        let choice = opt().choose_join_plan(&JoinShape::equi_join(32768, 32768, 32));
+        assert_eq!(choice.kind, PlanKind::TcuDense);
+        assert!(choice.exact_guaranteed);
+        assert!(choice.estimated_tcu_seconds < choice.estimated_gpu_seconds);
+    }
+
+    #[test]
+    fn very_sparse_matrices_pick_spmm() {
+        // Density 1/k far below Θ = 4e-4 → TCU-SpMM.
+        let choice = opt().choose_join_plan(&JoinShape::equi_join(100_000, 100_000, 50_000));
+        assert_eq!(choice.kind, PlanKind::TcuSparse);
+    }
+
+    #[test]
+    fn huge_dense_working_set_picks_blocked() {
+        // A Figure-10-style matrix multiplication query: dense 65536²
+        // operand matrices exceed 24 GB of device memory, and the GPU
+        // hash-join alternative would materialise m·n·k pairs.
+        let dim = 65_536usize;
+        let shape = JoinShape {
+            m: dim,
+            n: dim,
+            k: dim,
+            density: 1.0,
+            left_abs_max: 1.0,
+            right_abs_max: 1.0,
+            left_table_rows: dim * 64, // dim² rows is unrepresentable here; any large count works
+            right_table_rows: dim * 64,
+            estimated_output: usize::MAX / 2,
+            raw_bytes: dim * 64 * 24,
+            fused_aggregate: true,
+            groups: dim * 64,
+        };
+        let choice = opt().choose_join_plan(&shape);
+        assert_eq!(choice.kind, PlanKind::TcuBlocked);
+        assert!(!choice.transform_on_gpu);
+    }
+
+    #[test]
+    fn out_of_range_values_fall_back_to_gpu() {
+        let mut s = JoinShape::equi_join(4096, 4096, 32);
+        s.left_abs_max = 1e9; // not representable in fp16
+        let choice = opt().choose_join_plan(&s);
+        assert_eq!(choice.kind, PlanKind::GpuFallback);
+        assert!(choice.reason.contains("feasibility"));
+    }
+
+    #[test]
+    fn lossy_half_accepted_for_large_but_representable_values() {
+        let mut s = JoinShape::equi_join(4096, 4096, 32);
+        s.left_abs_max = 30000.0;
+        s.right_abs_max = 30000.0;
+        let choice = opt().choose_join_plan(&s);
+        assert!(choice.kind.is_tcu());
+        assert_eq!(choice.precision, Precision::Half);
+        assert!(!choice.exact_guaranteed);
+    }
+
+    #[test]
+    fn force_plan_overrides_choice() {
+        let config = OptimizerConfig {
+            force_plan: Some(PlanKind::GpuFallback),
+            ..OptimizerConfig::default()
+        };
+        let o = Optimizer::with_config(DeviceProfile::rtx_3090(), config);
+        let choice = o.choose_join_plan(&JoinShape::equi_join(4096, 4096, 32));
+        assert_eq!(choice.kind, PlanKind::GpuFallback);
+        assert!(choice.reason.contains("forced"));
+    }
+
+    #[test]
+    fn crossover_with_many_distinct_values() {
+        // Figure 8: at 4096 records the TCU advantage shrinks as the
+        // distinct count grows.
+        let o = opt();
+        let few = o.choose_join_plan(&JoinShape::equi_join(4096, 4096, 32));
+        let many = o.choose_join_plan(&JoinShape::equi_join(4096, 4096, 4096));
+        let few_ratio = few.estimated_gpu_seconds / few.estimated_tcu_seconds;
+        let many_ratio = many.estimated_gpu_seconds / many.estimated_tcu_seconds;
+        assert!(few_ratio > many_ratio, "{few_ratio} vs {many_ratio}");
+        assert!(few_ratio > 2.0);
+    }
+
+    #[test]
+    fn fused_aggregate_makes_gpu_plan_more_expensive() {
+        let mut s = JoinShape::equi_join(8192, 8192, 32);
+        s.fused_aggregate = true;
+        s.groups = 32;
+        s.n = 32;
+        let with_agg = opt().gpu_plan_seconds(&s);
+        let mut s2 = s.clone();
+        s2.fused_aggregate = false;
+        let without = opt().gpu_plan_seconds(&s2);
+        assert!(with_agg > without);
+    }
+
+    #[test]
+    fn q3_fused_plan_is_cheaper_than_q1_plan() {
+        // The paper's Q3 runs in about the same time as Q1 on TCUDB because
+        // the group-by collapses the n dimension of the GEMM.
+        let o = opt();
+        let q1 = JoinShape::equi_join(32768, 32768, 32);
+        let mut q3 = JoinShape::equi_join(32768, 32768, 32);
+        q3.n = 32; // group domain
+        q3.fused_aggregate = true;
+        q3.groups = 32;
+        let t1 = o.tcu_plan_seconds(&q1, PlanKind::TcuDense, Precision::Half, true);
+        let t3 = o.tcu_plan_seconds(&q3, PlanKind::TcuDense, Precision::Half, true);
+        assert!(t3 <= t1);
+    }
+
+    #[test]
+    fn shape_helpers() {
+        let s = JoinShape::equi_join(100, 200, 50);
+        assert!((s.density - 0.02).abs() < 1e-12);
+        assert_eq!(s.estimated_output, 400);
+        let ws = s.dense_working_set_bytes(Precision::Half);
+        assert!(ws > 0.0);
+        let spmm = s.estimated_spmm_stats();
+        assert!(spmm.tiles_processed + spmm.tiles_skipped > 0);
+        let gemm = s.dense_gemm_stats(Precision::Half);
+        assert_eq!(gemm.flops, 2.0 * 100.0 * 200.0 * 50.0);
+        assert!(PlanKind::TcuDense.is_tcu());
+        assert!(!PlanKind::GpuFallback.is_tcu());
+        assert_eq!(PlanKind::TcuSparse.to_string(), "TCU-SpMM");
+    }
+}

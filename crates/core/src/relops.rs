@@ -1,0 +1,546 @@
+//! Reference relational operators shared by every engine.
+//!
+//! These operators compute *what* a query returns; each engine charges its
+//! own simulated cost for *how* it would have computed it (TCU GEMM,
+//! GPU hash join, CPU hash join).  Keeping a single result path guarantees
+//! that TCUDB, the YDB baseline and the CPU baseline always agree on
+//! answers, which the integration tests assert.
+
+use crate::analyzer::AnalyzedQuery;
+use crate::context::{eval, eval_predicate, RowContext};
+use std::collections::HashMap;
+use tcudb_sql::{AggFunc, BinOp, Expr};
+use tcudb_storage::{Column, ColumnDef, Schema, Table};
+use tcudb_types::value::ValueKey;
+use tcudb_types::{DataType, TcuError, TcuResult, Value};
+
+/// Equality hash join over two key columns restricted to row subsets.
+/// Returns pairs of *original* row indices `(left_row, right_row)`.
+pub fn hash_join_pairs(
+    left: &Column,
+    left_rows: &[usize],
+    right: &Column,
+    right_rows: &[usize],
+) -> Vec<(usize, usize)> {
+    // Build on the smaller side.
+    if right_rows.len() < left_rows.len() {
+        return hash_join_pairs(right, right_rows, left, left_rows)
+            .into_iter()
+            .map(|(r, l)| (l, r))
+            .collect();
+    }
+    let mut table: HashMap<ValueKey, Vec<usize>> = HashMap::with_capacity(left_rows.len());
+    for &r in left_rows {
+        table.entry(left.value(r).group_key()).or_default().push(r);
+    }
+    let mut out = Vec::new();
+    for &r in right_rows {
+        if let Some(matches) = table.get(&right.value(r).group_key()) {
+            for &l in matches {
+                out.push((l, r));
+            }
+        }
+    }
+    out
+}
+
+/// Non-equi join (nested loop) over two key columns restricted to row
+/// subsets, for the comparison operators of §3.4.
+pub fn nonequi_join_pairs(
+    left: &Column,
+    left_rows: &[usize],
+    right: &Column,
+    right_rows: &[usize],
+    op: BinOp,
+) -> TcuResult<Vec<(usize, usize)>> {
+    if !op.is_comparison() {
+        return Err(TcuError::Plan(format!("{op} is not a join comparison")));
+    }
+    let mut out = Vec::new();
+    for &l in left_rows {
+        let lv = left.value(l);
+        for &r in right_rows {
+            let rv = right.value(r);
+            let ord = lv.sql_cmp(&rv);
+            let hit = match op {
+                BinOp::Eq => lv.sql_eq(&rv),
+                BinOp::NotEq => !lv.is_null() && !rv.is_null() && !lv.sql_eq(&rv),
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            if hit {
+                out.push((l, r));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Evaluate the single-table filters of an analyzed query, returning the
+/// surviving row indices per table.
+pub fn apply_filters(analyzed: &AnalyzedQuery) -> TcuResult<Vec<Vec<usize>>> {
+    let mut ctx = analyzed.row_context();
+    let mut surviving = Vec::with_capacity(analyzed.tables.len());
+    for (ti, bound) in analyzed.tables.iter().enumerate() {
+        let filters = analyzed.filters_for_table(ti);
+        let nrows = bound.table.num_rows();
+        if filters.is_empty() {
+            surviving.push((0..nrows).collect());
+            continue;
+        }
+        let mut keep = Vec::new();
+        'rows: for r in 0..nrows {
+            ctx.set_row(ti, r);
+            for f in &filters {
+                if !eval_predicate(f, &ctx)? {
+                    continue 'rows;
+                }
+            }
+            keep.push(r);
+        }
+        surviving.push(keep);
+    }
+    Ok(surviving)
+}
+
+/// One accumulating aggregate state.
+#[derive(Debug, Clone)]
+struct AggState {
+    func: AggFunc,
+    sum: f64,
+    count: u64,
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        AggState {
+            func,
+            sum: 0.0,
+            count: 0,
+            min: None,
+            max: None,
+        }
+    }
+
+    fn update(&mut self, v: f64) {
+        self.sum += v;
+        self.count += 1;
+        self.min = Some(self.min.map_or(v, |m| m.min(v)));
+        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+    }
+
+    fn finish(&self) -> Value {
+        match self.func {
+            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Count => Value::Int(self.count as i64),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum / self.count as f64)
+                }
+            }
+            AggFunc::Min => self.min.map(Value::Float).unwrap_or(Value::Null),
+            AggFunc::Max => self.max.map(Value::Float).unwrap_or(Value::Null),
+        }
+    }
+}
+
+/// Materialise the final output table of a query from the joined row
+/// tuples (one row index per bound table, in table order).
+///
+/// Handles residual predicates, projection, grouped and ungrouped
+/// aggregation, ORDER BY and LIMIT.
+pub fn finalize_output(analyzed: &AnalyzedQuery, tuples: &[Vec<usize>]) -> TcuResult<Table> {
+    let mut ctx = analyzed.row_context();
+    let stmt = &analyzed.stmt;
+    let col_names: Vec<String> = stmt.items.iter().map(|i| i.output_name()).collect();
+
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+
+    if stmt.has_aggregates() || !stmt.group_by.is_empty() {
+        // Grouped (or global) aggregation.
+        #[allow(clippy::type_complexity)]
+        let mut groups: HashMap<Vec<ValueKey>, (Vec<Value>, Vec<AggState>)> = HashMap::new();
+        let mut group_order: Vec<Vec<ValueKey>> = Vec::new();
+
+        for tuple in tuples {
+            ctx.set_rows(tuple);
+            if !residuals_pass(analyzed, &ctx)? {
+                continue;
+            }
+            let mut key_vals = Vec::with_capacity(stmt.group_by.len());
+            let mut key = Vec::with_capacity(stmt.group_by.len());
+            for g in &stmt.group_by {
+                let v = eval(g, &ctx)?;
+                key.push(v.group_key());
+                key_vals.push(v);
+            }
+            let entry = groups.entry(key.clone()).or_insert_with(|| {
+                group_order.push(key.clone());
+                let states = stmt
+                    .items
+                    .iter()
+                    .map(|item| {
+                        item.expr
+                            .first_aggregate()
+                            .map(|(f, _)| AggState::new(*f))
+                            .unwrap_or_else(|| AggState::new(AggFunc::Count))
+                    })
+                    .collect();
+                (key_vals.clone(), states)
+            });
+            for (item, state) in stmt.items.iter().zip(entry.1.iter_mut()) {
+                if let Some((func, arg)) = item.expr.first_aggregate() {
+                    let v = match (func, arg) {
+                        // COUNT(*) counts rows regardless of the argument.
+                        (AggFunc::Count, Expr::Literal(_)) => 1.0,
+                        _ => eval(arg, &ctx)?.as_f64().unwrap_or(0.0),
+                    };
+                    state.update(v);
+                }
+            }
+        }
+
+        // Global aggregation over zero groups still yields one row.
+        if stmt.group_by.is_empty() && groups.is_empty() {
+            let states: Vec<AggState> = stmt
+                .items
+                .iter()
+                .map(|item| {
+                    item.expr
+                        .first_aggregate()
+                        .map(|(f, _)| AggState::new(*f))
+                        .unwrap_or_else(|| AggState::new(AggFunc::Count))
+                })
+                .collect();
+            groups.insert(Vec::new(), (Vec::new(), states));
+            group_order.push(Vec::new());
+        }
+
+        for key in &group_order {
+            let (key_vals, states) = &groups[key];
+            let mut row = Vec::with_capacity(stmt.items.len());
+            for (idx, item) in stmt.items.iter().enumerate() {
+                if item.expr.contains_aggregate() {
+                    row.push(finish_aggregate_item(&item.expr, &states[idx])?);
+                } else {
+                    // Non-aggregate item must be a group key: find it.
+                    let pos = stmt
+                        .group_by
+                        .iter()
+                        .position(|g| g == &item.expr)
+                        .ok_or_else(|| {
+                            TcuError::Analysis(format!(
+                                "non-aggregate SELECT item '{}' is not in GROUP BY",
+                                item.expr
+                            ))
+                        })?;
+                    row.push(key_vals[pos].clone());
+                }
+            }
+            rows.push(row);
+        }
+    } else {
+        // Plain projection.
+        for tuple in tuples {
+            ctx.set_rows(tuple);
+            if !residuals_pass(analyzed, &ctx)? {
+                continue;
+            }
+            let mut row = Vec::with_capacity(stmt.items.len());
+            for item in &stmt.items {
+                row.push(eval(&item.expr, &ctx)?);
+            }
+            rows.push(row);
+        }
+    }
+
+    // ORDER BY against output columns.
+    if !stmt.order_by.is_empty() {
+        let mut keys: Vec<(usize, bool)> = Vec::new();
+        for ob in &stmt.order_by {
+            let name = match &ob.expr {
+                Expr::Column(c) => c.column.clone(),
+                other => other.to_string(),
+            };
+            let idx = col_names
+                .iter()
+                .position(|n| n.eq_ignore_ascii_case(&name))
+                .or_else(|| {
+                    // Fall back to matching the rendered expression of each
+                    // SELECT item (e.g. ORDER BY d_year when the item has no
+                    // alias).
+                    stmt.items
+                        .iter()
+                        .position(|i| i.expr == ob.expr)
+                })
+                .ok_or_else(|| {
+                    TcuError::Analysis(format!("ORDER BY key '{}' is not in the SELECT list", name))
+                })?;
+            keys.push((idx, ob.ascending));
+        }
+        rows.sort_by(|a, b| {
+            for (idx, asc) in &keys {
+                let ord = a[*idx].sql_cmp(&b[*idx]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != std::cmp::Ordering::Equal {
+                    return ord;
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+    }
+
+    if let Some(limit) = stmt.limit {
+        rows.truncate(limit);
+    }
+
+    table_from_rows("result", &col_names, rows)
+}
+
+/// Apply the residual (multi-table, non-join) predicates to the current row.
+fn residuals_pass(analyzed: &AnalyzedQuery, ctx: &RowContext) -> TcuResult<bool> {
+    for pred in &analyzed.residual {
+        if !eval_predicate(pred, ctx)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// When the SELECT item is an expression *around* an aggregate
+/// (e.g. `SUM(x) / 100`), evaluate the surrounding arithmetic with the
+/// aggregate replaced by its final value.
+fn finish_aggregate_item(expr: &Expr, state: &AggState) -> TcuResult<Value> {
+    fn substitute(expr: &Expr, agg_value: &Value) -> TcuResult<Value> {
+        match expr {
+            Expr::Aggregate { .. } => Ok(agg_value.clone()),
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column(c) => Err(TcuError::Analysis(format!(
+                "column '{c}' mixed with aggregates must appear in GROUP BY"
+            ))),
+            Expr::Binary { left, op, right } => {
+                let l = substitute(left, agg_value)?;
+                let r = substitute(right, agg_value)?;
+                crate::context::eval_binary(&l, *op, &r)
+            }
+            Expr::Between { .. } => Err(TcuError::Analysis(
+                "BETWEEN is not valid in an aggregate SELECT item".into(),
+            )),
+        }
+    }
+    substitute(expr, &state.finish())
+}
+
+/// Build a table from value rows, inferring each column's type.
+pub fn table_from_rows(
+    name: &str,
+    col_names: &[String],
+    rows: Vec<Vec<Value>>,
+) -> TcuResult<Table> {
+    let ncols = col_names.len();
+    let mut types = vec![DataType::Int64; ncols];
+    for row in &rows {
+        for (c, v) in row.iter().enumerate() {
+            match v {
+                Value::Text(_) => types[c] = DataType::Text,
+                Value::Float(_) if types[c] == DataType::Int64 => types[c] = DataType::Float64,
+                _ => {}
+            }
+        }
+    }
+    let schema = Schema::new(
+        col_names
+            .iter()
+            .zip(&types)
+            .map(|(n, t)| ColumnDef::new(n.clone(), *t))
+            .collect(),
+    );
+    let mut table = Table::new(name, schema);
+    for row in rows {
+        let coerced: Vec<Value> = row
+            .into_iter()
+            .zip(&types)
+            .map(|(v, t)| match (v, t) {
+                (Value::Int(x), DataType::Float64) => Value::Float(x as f64),
+                (Value::Null, DataType::Float64) => Value::Float(f64::NAN),
+                (Value::Null, DataType::Int64) => Value::Int(0),
+                (Value::Null, DataType::Text) => Value::Text(String::new()),
+                (v, _) => v,
+            })
+            .collect();
+        table.push_row(coerced)?;
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyzer::analyze;
+    use tcudb_sql::parse;
+    use tcudb_storage::Catalog;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::from_int_columns(
+                "A",
+                &[("id", vec![1, 1, 2, 3]), ("val", vec![10, 11, 20, 30])],
+            )
+            .unwrap(),
+        );
+        cat.register(
+            Table::from_int_columns("B", &[("id", vec![1, 2, 2]), ("val", vec![5, 6, 7])])
+                .unwrap(),
+        );
+        cat
+    }
+
+    #[test]
+    fn hash_join_produces_all_pairs() {
+        let left = Column::Int64(vec![1, 1, 2, 3]);
+        let right = Column::Int64(vec![1, 2, 2]);
+        let all_left: Vec<usize> = (0..4).collect();
+        let all_right: Vec<usize> = (0..3).collect();
+        let mut pairs = hash_join_pairs(&left, &all_left, &right, &all_right);
+        pairs.sort();
+        assert_eq!(pairs, vec![(0, 0), (1, 0), (2, 1), (2, 2)]);
+        // Restricting rows restricts matches.
+        let restricted = hash_join_pairs(&left, &[0], &right, &all_right);
+        assert_eq!(restricted, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn nonequi_join_lt() {
+        let left = Column::Int64(vec![1, 2]);
+        let right = Column::Int64(vec![1, 2, 3]);
+        let pairs = nonequi_join_pairs(&left, &[0, 1], &right, &[0, 1, 2], BinOp::Lt).unwrap();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        assert!(nonequi_join_pairs(&left, &[0], &right, &[0], BinOp::Add).is_err());
+    }
+
+    #[test]
+    fn filters_reduce_row_sets() {
+        let cat = catalog();
+        let q = analyze(
+            &parse("SELECT A.val FROM A, B WHERE A.id = B.id AND A.val >= 20 AND B.val = 6")
+                .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let surviving = apply_filters(&q).unwrap();
+        assert_eq!(surviving[0], vec![2, 3]);
+        assert_eq!(surviving[1], vec![1]);
+    }
+
+    #[test]
+    fn finalize_projection_and_order() {
+        let cat = catalog();
+        let q = analyze(
+            &parse("SELECT A.val, B.val FROM A, B WHERE A.id = B.id ORDER BY A.val DESC").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        // Matching tuples computed by hand: A rows {0,1} join B row 0; A row 2 joins B rows 1,2.
+        let tuples = vec![vec![0, 0], vec![1, 0], vec![2, 1], vec![2, 2]];
+        let out = finalize_output(&q, &tuples).unwrap();
+        assert_eq!(out.num_rows(), 4);
+        assert_eq!(out.row(0)[0], Value::Int(20));
+        assert_eq!(out.schema().names(), vec!["val", "val"]);
+    }
+
+    #[test]
+    fn finalize_group_by_aggregate() {
+        let cat = catalog();
+        let q = analyze(
+            &parse("SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let tuples = vec![vec![0, 0], vec![1, 0], vec![2, 1], vec![2, 2]];
+        let out = finalize_output(&q, &tuples).unwrap();
+        assert_eq!(out.num_rows(), 3);
+        // Group B.val=5 sums A.val 10+11=21.
+        let sums = out.column_by_name("SUM(A.val)");
+        assert!(sums.is_ok() || out.num_columns() == 2);
+        assert_eq!(out.row(0)[0].as_f64().unwrap(), 21.0);
+        assert_eq!(out.row(0)[1], Value::Int(5));
+    }
+
+    #[test]
+    fn finalize_global_aggregate_and_count() {
+        let cat = catalog();
+        let q = analyze(
+            &parse("SELECT SUM(A.val * B.val), COUNT(*) FROM A, B WHERE A.id = B.id").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let tuples = vec![vec![0, 0], vec![1, 0], vec![2, 1], vec![2, 2]];
+        let out = finalize_output(&q, &tuples).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        // 10*5 + 11*5 + 20*6 + 20*7 = 50+55+120+140 = 365
+        assert_eq!(out.row(0)[0].as_f64().unwrap(), 365.0);
+        assert_eq!(out.row(0)[1], Value::Int(4));
+        // Zero tuples still produce one aggregate row.
+        let empty = finalize_output(&q, &[]).unwrap();
+        assert_eq!(empty.num_rows(), 1);
+        assert_eq!(empty.row(0)[1], Value::Int(0));
+    }
+
+    #[test]
+    fn finalize_avg_min_max() {
+        let cat = catalog();
+        let q = analyze(
+            &parse("SELECT AVG(A.val), MIN(A.val), MAX(A.val) FROM A, B WHERE A.id = B.id")
+                .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let tuples = vec![vec![0, 0], vec![2, 1]];
+        let out = finalize_output(&q, &tuples).unwrap();
+        assert_eq!(out.row(0)[0].as_f64().unwrap(), 15.0);
+        assert_eq!(out.row(0)[1].as_f64().unwrap(), 10.0);
+        assert_eq!(out.row(0)[2].as_f64().unwrap(), 20.0);
+    }
+
+    #[test]
+    fn limit_and_residuals() {
+        let cat = catalog();
+        let q = analyze(
+            &parse(
+                "SELECT A.val, B.val FROM A, B WHERE A.id = B.id AND A.val + B.val > 20 LIMIT 1",
+            )
+            .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let tuples = vec![vec![0, 0], vec![1, 0], vec![2, 1], vec![2, 2]];
+        let out = finalize_output(&q, &tuples).unwrap();
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn table_from_rows_infers_types() {
+        let rows = vec![
+            vec![Value::Int(1), Value::Float(1.5), Value::from("a")],
+            vec![Value::Int(2), Value::Int(3), Value::from("b")],
+        ];
+        let t = table_from_rows(
+            "t",
+            &["i".to_string(), "f".to_string(), "s".to_string()],
+            rows,
+        )
+        .unwrap();
+        assert_eq!(t.schema().column(0).data_type, DataType::Int64);
+        assert_eq!(t.schema().column(1).data_type, DataType::Float64);
+        assert_eq!(t.schema().column(2).data_type, DataType::Text);
+        assert_eq!(t.row(1)[1], Value::Float(3.0));
+    }
+}

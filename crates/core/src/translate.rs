@@ -1,0 +1,340 @@
+//! Table → matrix translation (§3.1–§3.4).
+//!
+//! The paper's code generator maps relational columns onto matrices over a
+//! shared key domain:
+//!
+//! * a **one-hot matrix** `mat(A)` with `mat(A)[i][j] = 1` iff row `i`'s
+//!   join key equals the `j`-th domain value (the natural-join encoding of
+//!   §3.1),
+//! * a **valued matrix** that stores the aggregated payload instead of a 1
+//!   (the SUM/COUNT encodings of §3.3),
+//! * an **adjacency matrix** over `(attribute domain × key domain)` (the
+//!   alternative encoding of §3.1 and the group-by side `mat(B)` of §3.3),
+//! * a **comparison matrix** with `mat(A)[i][j] = 1` iff
+//!   `key_i <op> domain_j` (the non-equi joins of §3.4).
+
+use std::collections::HashMap;
+use tcudb_sql::BinOp;
+use tcudb_storage::Column;
+use tcudb_tensor::{CsrMatrix, DenseMatrix};
+use tcudb_types::value::ValueKey;
+use tcudb_types::{TcuResult, Value};
+
+/// A dictionary over the distinct values of one or more join-key columns:
+/// `dom(A.ID) ∪ dom(B.ID)` in the paper's notation.
+#[derive(Debug, Clone, Default)]
+pub struct Domain {
+    index: HashMap<ValueKey, usize>,
+    values: Vec<Value>,
+}
+
+impl Domain {
+    /// Build the union domain over the given `(column, row subset)` pairs.
+    /// Passing `None` as the row subset uses every row.  Values are indexed
+    /// in first-seen order, which also preserves any pre-sorted input order
+    /// (the ORDER BY trick of §3.4).
+    pub fn build(sources: &[(&Column, Option<&[usize]>)]) -> Domain {
+        let mut dom = Domain::default();
+        for (col, rows) in sources {
+            match rows {
+                Some(rows) => {
+                    for &r in rows.iter() {
+                        dom.insert(col.value(r));
+                    }
+                }
+                None => {
+                    for r in 0..col.len() {
+                        dom.insert(col.value(r));
+                    }
+                }
+            }
+        }
+        dom
+    }
+
+    /// Insert a value, returning its index.
+    pub fn insert(&mut self, value: Value) -> usize {
+        let key = value.group_key();
+        if let Some(&idx) = self.index.get(&key) {
+            return idx;
+        }
+        let idx = self.values.len();
+        self.index.insert(key, idx);
+        self.values.push(value);
+        idx
+    }
+
+    /// Number of distinct values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if the domain is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Index of a value, if present.
+    pub fn index_of(&self, value: &Value) -> Option<usize> {
+        self.index.get(&value.group_key()).copied()
+    }
+
+    /// The value at a given index.
+    pub fn value_at(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// All values in index order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+}
+
+/// Row selection helper: `rows` as a vector of indices (identity when
+/// `None`).
+fn selected_rows(col: &Column, rows: Option<&[usize]>) -> Vec<usize> {
+    match rows {
+        Some(r) => r.to_vec(),
+        None => (0..col.len()).collect(),
+    }
+}
+
+/// Build the one-hot join matrix of §3.1: one row per (selected) table row,
+/// one column per domain value, 1 where the key matches.
+pub fn one_hot_matrix(
+    key_col: &Column,
+    rows: Option<&[usize]>,
+    domain: &Domain,
+) -> DenseMatrix {
+    let rows = selected_rows(key_col, rows);
+    let mut m = DenseMatrix::zeros(rows.len(), domain.len());
+    for (i, &r) in rows.iter().enumerate() {
+        if let Some(j) = domain.index_of(&key_col.value(r)) {
+            m.set(i, j, 1.0);
+        }
+    }
+    m
+}
+
+/// Build the valued matrix of §3.3: like [`one_hot_matrix`] but the
+/// non-zero entry carries the row's payload value (`a_i.Val` for SUM, 1 for
+/// COUNT).
+pub fn valued_matrix(
+    key_col: &Column,
+    payload: &[f64],
+    rows: Option<&[usize]>,
+    domain: &Domain,
+) -> DenseMatrix {
+    let rows = selected_rows(key_col, rows);
+    let mut m = DenseMatrix::zeros(rows.len(), domain.len());
+    for (i, &r) in rows.iter().enumerate() {
+        if let Some(j) = domain.index_of(&key_col.value(r)) {
+            m.set(i, j, payload[i] as f32);
+        }
+    }
+    m
+}
+
+/// Build the adjacency matrix of §3.1/§3.3: one row per distinct value of
+/// `row_col` (its domain is given by `row_domain`), one column per key
+/// domain value; entry `(i, j)` is the payload (or 1) when some selected
+/// table row has `row_col = row_domain[i]` and `key_col = domain[j]`.
+/// Multiple matching rows accumulate, which is exactly the behaviour needed
+/// for aggregates.
+pub fn adjacency_matrix(
+    row_col: &Column,
+    key_col: &Column,
+    payload: Option<&[f64]>,
+    rows: Option<&[usize]>,
+    row_domain: &Domain,
+    key_domain: &Domain,
+) -> DenseMatrix {
+    let rows = selected_rows(key_col, rows);
+    let mut m = DenseMatrix::zeros(row_domain.len(), key_domain.len());
+    for (pos, &r) in rows.iter().enumerate() {
+        let ri = row_domain.index_of(&row_col.value(r));
+        let kj = key_domain.index_of(&key_col.value(r));
+        if let (Some(i), Some(j)) = (ri, kj) {
+            let v = payload.map(|p| p[pos]).unwrap_or(1.0);
+            m.add_to(i, j, v as f32);
+        }
+    }
+    m
+}
+
+/// Build the comparison matrix of §3.4 for non-equi joins: entry `(i, j)`
+/// is 1 when `key_i <op> domain_j` holds.
+pub fn comparison_matrix(
+    key_col: &Column,
+    rows: Option<&[usize]>,
+    domain: &Domain,
+    op: BinOp,
+) -> TcuResult<DenseMatrix> {
+    let rows = selected_rows(key_col, rows);
+    let mut m = DenseMatrix::zeros(rows.len(), domain.len());
+    for (i, &r) in rows.iter().enumerate() {
+        let key = key_col.value(r);
+        for j in 0..domain.len() {
+            let dv = domain.value_at(j);
+            let ord = key.sql_cmp(dv);
+            let hit = match op {
+                BinOp::Lt => ord == std::cmp::Ordering::Less,
+                BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                BinOp::NotEq => ord != std::cmp::Ordering::Equal,
+                BinOp::Eq => ord == std::cmp::Ordering::Equal,
+                other => {
+                    return Err(tcudb_types::TcuError::Plan(format!(
+                        "operator {other} is not a comparison"
+                    )))
+                }
+            };
+            if hit {
+                m.set(i, j, 1.0);
+            }
+        }
+    }
+    Ok(m)
+}
+
+/// Sparse (CSR) version of the one-hot join matrix, used by the TCU-SpMM
+/// plan so the dense matrix never has to be materialised.
+pub fn one_hot_csr(
+    key_col: &Column,
+    rows: Option<&[usize]>,
+    domain: &Domain,
+) -> TcuResult<CsrMatrix> {
+    let rows = selected_rows(key_col, rows);
+    let mut triplets = Vec::with_capacity(rows.len());
+    for (i, &r) in rows.iter().enumerate() {
+        if let Some(j) = domain.index_of(&key_col.value(r)) {
+            triplets.push((i, j, 1.0f32));
+        }
+    }
+    CsrMatrix::from_triplets(rows.len(), domain.len(), &triplets)
+}
+
+/// Sparse (CSR) version of [`valued_matrix`].
+pub fn valued_csr(
+    key_col: &Column,
+    payload: &[f64],
+    rows: Option<&[usize]>,
+    domain: &Domain,
+) -> TcuResult<CsrMatrix> {
+    let rows = selected_rows(key_col, rows);
+    let mut triplets = Vec::with_capacity(rows.len());
+    for (i, &r) in rows.iter().enumerate() {
+        if let Some(j) = domain.index_of(&key_col.value(r)) {
+            triplets.push((i, j, payload[i] as f32));
+        }
+    }
+    CsrMatrix::from_triplets(rows.len(), domain.len(), &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key_col() -> Column {
+        Column::Int64(vec![10, 20, 10, 30])
+    }
+
+    #[test]
+    fn domain_union_and_lookup() {
+        let a = Column::Int64(vec![1, 2, 2]);
+        let b = Column::Int64(vec![2, 3]);
+        let dom = Domain::build(&[(&a, None), (&b, None)]);
+        assert_eq!(dom.len(), 3);
+        assert_eq!(dom.index_of(&Value::Int(3)), Some(2));
+        assert_eq!(dom.index_of(&Value::Int(9)), None);
+        assert_eq!(dom.value_at(0), &Value::Int(1));
+        assert!(!dom.is_empty());
+        assert_eq!(dom.values().len(), 3);
+    }
+
+    #[test]
+    fn domain_respects_row_subsets() {
+        let a = Column::Int64(vec![1, 2, 3, 4]);
+        let dom = Domain::build(&[(&a, Some(&[0, 2]))]);
+        assert_eq!(dom.len(), 2);
+        assert!(dom.index_of(&Value::Int(2)).is_none());
+    }
+
+    #[test]
+    fn one_hot_has_single_one_per_row() {
+        let col = key_col();
+        let dom = Domain::build(&[(&col, None)]);
+        let m = one_hot_matrix(&col, None, &dom);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 3);
+        for i in 0..4 {
+            let ones: f32 = m.row(i).iter().sum();
+            assert_eq!(ones, 1.0);
+        }
+        // Row 0 and row 2 share key 10 → same column set.
+        assert_eq!(m.row(0), m.row(2));
+    }
+
+    #[test]
+    fn valued_matrix_carries_payload() {
+        let col = key_col();
+        let dom = Domain::build(&[(&col, None)]);
+        let m = valued_matrix(&col, &[1.5, 2.5, 3.5, 4.5], None, &dom);
+        assert_eq!(m.row(0).iter().sum::<f32>(), 1.5);
+        assert_eq!(m.row(3).iter().sum::<f32>(), 4.5);
+    }
+
+    #[test]
+    fn adjacency_accumulates_duplicates() {
+        // B(Val, ID): Val is the group attribute, ID the join key.
+        let group = Column::Int64(vec![7, 7, 8]);
+        let key = Column::Int64(vec![1, 1, 2]);
+        let gdom = Domain::build(&[(&group, None)]);
+        let kdom = Domain::build(&[(&key, None)]);
+        let m = adjacency_matrix(&group, &key, None, None, &gdom, &kdom);
+        // group 7 / key 1 appears twice.
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(1, 1), 1.0);
+        let valued = adjacency_matrix(&group, &key, Some(&[5.0, 6.0, 7.0]), None, &gdom, &kdom);
+        assert_eq!(valued.get(0, 0), 11.0);
+    }
+
+    #[test]
+    fn comparison_matrix_lt() {
+        let col = Column::Int64(vec![1, 2]);
+        let dom = Domain::build(&[(&Column::Int64(vec![1, 2, 3]), None)]);
+        let m = comparison_matrix(&col, None, &dom, BinOp::Lt).unwrap();
+        // key 1 < {2,3}; key 2 < {3}.
+        assert_eq!(m.row(0), &[0.0, 1.0, 1.0]);
+        assert_eq!(m.row(1), &[0.0, 0.0, 1.0]);
+        let ne = comparison_matrix(&col, None, &dom, BinOp::NotEq).unwrap();
+        assert_eq!(ne.row(0), &[0.0, 1.0, 1.0]);
+        assert!(comparison_matrix(&col, None, &dom, BinOp::Add).is_err());
+    }
+
+    #[test]
+    fn csr_builders_match_dense() {
+        let col = key_col();
+        let dom = Domain::build(&[(&col, None)]);
+        let dense = one_hot_matrix(&col, None, &dom);
+        let sparse = one_hot_csr(&col, None, &dom).unwrap();
+        assert_eq!(sparse.to_dense(), dense);
+
+        let payload = [1.0, 2.0, 3.0, 4.0];
+        let vd = valued_matrix(&col, &payload, None, &dom);
+        let vs = valued_csr(&col, &payload, None, &dom).unwrap();
+        assert_eq!(vs.to_dense(), vd);
+    }
+
+    #[test]
+    fn text_keys_work() {
+        let col = Column::Text(vec!["x".into(), "y".into(), "x".into()]);
+        let dom = Domain::build(&[(&col, None)]);
+        assert_eq!(dom.len(), 2);
+        let m = one_hot_matrix(&col, None, &dom);
+        assert_eq!(m.get(0, 0), 1.0);
+        assert_eq!(m.get(2, 0), 1.0);
+        assert_eq!(m.get(1, 1), 1.0);
+    }
+}

@@ -1,0 +1,157 @@
+//! Entity-matching blocking workloads (§5.4.2, Figure 11, Tables 2–3).
+//!
+//! The paper evaluates blocking queries on two Deepmatcher datasets.  We do
+//! not redistribute those datasets; instead the generators below produce
+//! synthetic tables with the **published row counts and per-attribute
+//! distinct-value counts** (Tables 2 and 3), which are the only properties
+//! the blocking join's cost depends on.
+
+use crate::Xorshift;
+use tcudb_storage::{Catalog, Column, ColumnDef, Schema, Table};
+use tcudb_types::DataType;
+
+/// Description of one EM dataset: two tables sharing a schema whose
+/// attributes have specified distinct-value counts.
+#[derive(Debug, Clone)]
+pub struct EmDataset {
+    /// Dataset name.
+    pub name: &'static str,
+    /// Rows of TABLE_A.
+    pub rows_a: usize,
+    /// Rows of TABLE_B.
+    pub rows_b: usize,
+    /// `(attribute name, number of distinct values)` pairs, matching the
+    /// paper's Tables 2 and 3.
+    pub attributes: Vec<(&'static str, usize)>,
+}
+
+/// The BeerAdvo-RateBeer dataset (Table 2): 3 777 + 2 671 rows.
+pub fn beer_advo_ratebeer() -> EmDataset {
+    EmDataset {
+        name: "BeerAdvo-RateBeer",
+        rows_a: 3_777,
+        rows_b: 2_671,
+        attributes: vec![
+            ("ABV", 20),
+            ("STYLE", 71),
+            ("FACTORY", 3_678),
+            ("BEER_NAME", 6_228),
+        ],
+    }
+}
+
+/// The iTunes-Amazon dataset (Table 3): 6 907 + 55 923 rows.
+pub fn itunes_amazon() -> EmDataset {
+    EmDataset {
+        name: "iTunes-Amazon",
+        rows_a: 6_907,
+        rows_b: 55_923,
+        attributes: vec![
+            ("PRICE", 12),
+            ("GENRE", 813),
+            ("TIME", 908),
+            ("ARTIST", 2_418),
+            ("COPYRIGHT", 3_197),
+            ("ALBUM", 6_004),
+        ],
+    }
+}
+
+/// The synthetically scaled iTunes-Amazon dataset of §5.4.2 ("Scaling up"):
+/// 13 814 + 111 846 rows with the scaled distinct counts of Table 3.
+pub fn itunes_amazon_scaled() -> EmDataset {
+    EmDataset {
+        name: "iTunes-Amazon (scaled)",
+        rows_a: 13_814,
+        rows_b: 111_846,
+        attributes: vec![
+            ("PRICE", 25),
+            ("GENRE", 1_614),
+            ("TIME", 1_208),
+            ("ARTIST", 6_420),
+            ("COPYRIGHT", 8_199),
+            ("ALBUM", 11_005),
+        ],
+    }
+}
+
+/// Generate one table of an EM dataset.
+///
+/// Attribute values are integer codes drawn uniformly from the attribute's
+/// domain, which reproduces the distinct-value counts and (approximately
+/// uniform) match probabilities of the blocking join.
+pub fn gen_table(name: &str, rows: usize, dataset: &EmDataset, rng: &mut Xorshift) -> Table {
+    let mut defs = vec![ColumnDef::new("ID", DataType::Int64)];
+    let mut cols: Vec<Column> = vec![Column::Int64((1..=rows as i64).collect())];
+    for (attr, distinct) in &dataset.attributes {
+        defs.push(ColumnDef::new(*attr, DataType::Int64));
+        let mut vals = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            vals.push(rng.below((*distinct).max(1) as u64) as i64);
+        }
+        cols.push(Column::Int64(vals));
+    }
+    Table::from_columns(name, Schema::new(defs), cols).expect("EM columns are consistent")
+}
+
+/// Build a catalog with `TABLE_A` and `TABLE_B` for a dataset.
+pub fn gen_catalog(dataset: &EmDataset, seed: u64) -> Catalog {
+    let mut rng = Xorshift::new(seed);
+    let a = gen_table("TABLE_A", dataset.rows_a, dataset, &mut rng);
+    let b = gen_table("TABLE_B", dataset.rows_b, dataset, &mut rng);
+    let mut cat = Catalog::new();
+    cat.register(a);
+    cat.register(b);
+    cat
+}
+
+/// The blocking query over one attribute (the Figure 11 workload).
+pub fn blocking_query(attribute: &str) -> String {
+    format!(
+        "SELECT TABLE_A.ID, TABLE_B.ID FROM TABLE_A, TABLE_B \
+         WHERE TABLE_A.{attribute} = TABLE_B.{attribute}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_descriptions_match_paper_tables() {
+        let beer = beer_advo_ratebeer();
+        assert_eq!(beer.rows_a, 3_777);
+        assert_eq!(beer.rows_b, 2_671);
+        assert_eq!(beer.attributes.len(), 4);
+        assert_eq!(beer.attributes[0], ("ABV", 20));
+
+        let itunes = itunes_amazon();
+        assert_eq!(itunes.rows_b, 55_923);
+        assert_eq!(itunes.attributes[0], ("PRICE", 12));
+
+        let scaled = itunes_amazon_scaled();
+        assert_eq!(scaled.rows_a, 13_814);
+        assert_eq!(scaled.attributes.last().unwrap().1, 11_005);
+    }
+
+    #[test]
+    fn generated_tables_respect_distinct_counts() {
+        let beer = beer_advo_ratebeer();
+        let cat = gen_catalog(&beer, 11);
+        let a = cat.stats("TABLE_A").unwrap();
+        assert_eq!(a.row_count, 3_777);
+        let abv = a.column("ABV").unwrap();
+        assert!(abv.distinct_count <= 20);
+        assert!(abv.distinct_count >= 15);
+        // High-cardinality attributes cannot exceed their domain.
+        let name = a.column("BEER_NAME").unwrap();
+        assert!(name.distinct_count <= 6_228);
+    }
+
+    #[test]
+    fn blocking_queries_parse() {
+        for attr in ["ABV", "STYLE", "FACTORY", "BEER_NAME"] {
+            assert!(tcudb_sql::parse(&blocking_query(attr)).is_ok());
+        }
+    }
+}

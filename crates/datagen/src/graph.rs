@@ -1,0 +1,226 @@
+//! Road-network graphs and PageRank queries (§5.4.3, Figures 12/13,
+//! Table 4).
+//!
+//! The paper sub-samples the SNAP Pennsylvania road network (1.08 M nodes,
+//! 1.54 M edges) to graphs of 1 K – 32 K nodes with the edge counts listed
+//! in Table 4 (≈2 edges per node, preserving connectivity).  The generator
+//! below produces synthetic road-network-like graphs — a connected ring
+//! backbone plus short-range chords, giving the same node/edge counts and
+//! low, near-uniform degree distribution — and the relational NODE / EDGE /
+//! OUTDEGREE / PAGERANK tables the three PageRank queries run over.
+
+use crate::Xorshift;
+use tcudb_storage::{Catalog, Column, ColumnDef, Schema, Table};
+use tcudb_types::DataType;
+
+/// The graph sizes of Table 4: `(nodes, edges)`.
+pub const TABLE4_SIZES: [(usize, usize); 7] = [
+    (1_024, 2_058),
+    (2_048, 4_152),
+    (3_072, 6_280),
+    (4_096, 8_450),
+    (8_192, 17_444),
+    (16_384, 37_106),
+    (32_768, 82_070),
+];
+
+/// A generated graph: node count and directed edge list.
+#[derive(Debug, Clone)]
+pub struct RoadGraph {
+    /// Number of nodes (IDs are `0..nodes`).
+    pub nodes: usize,
+    /// Directed edges `(src, dst)`.
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl RoadGraph {
+    /// Out-degree of every node.
+    pub fn out_degrees(&self) -> Vec<usize> {
+        let mut d = vec![0usize; self.nodes];
+        for &(s, _) in &self.edges {
+            d[s] += 1;
+        }
+        d
+    }
+
+    /// Density of the adjacency matrix.
+    pub fn density(&self) -> f64 {
+        if self.nodes == 0 {
+            0.0
+        } else {
+            self.edges.len() as f64 / (self.nodes as f64 * self.nodes as f64)
+        }
+    }
+}
+
+/// Generate a road-network-like graph with the requested node and edge
+/// counts: a connected ring backbone plus uniformly random short-range
+/// chords (road networks have short edges and bounded degree).
+pub fn gen_road_graph(nodes: usize, edges: usize, seed: u64) -> RoadGraph {
+    let mut rng = Xorshift::new(seed);
+    let mut edge_set = std::collections::HashSet::new();
+    let mut list = Vec::with_capacity(edges);
+    // Ring backbone keeps the graph connected (as the paper's sub-sampling
+    // preserves connectivity).
+    for i in 0..nodes {
+        let e = (i, (i + 1) % nodes);
+        edge_set.insert(e);
+        list.push(e);
+    }
+    // Short-range chords until the edge budget is reached.
+    while list.len() < edges {
+        let src = rng.below(nodes as u64) as usize;
+        let span = 2 + rng.below(63) as usize; // neighbours within ~64 hops
+        let dst = (src + span) % nodes;
+        if src != dst && edge_set.insert((src, dst)) {
+            list.push((src, dst));
+        }
+    }
+    RoadGraph {
+        nodes,
+        edges: list,
+    }
+}
+
+/// Generate the graph whose size matches row `idx` of Table 4.
+pub fn gen_table4_graph(idx: usize, seed: u64) -> RoadGraph {
+    let (n, e) = TABLE4_SIZES[idx];
+    gen_road_graph(n, e, seed)
+}
+
+/// Build the relational NODE / EDGE tables for a graph.
+pub fn gen_catalog(graph: &RoadGraph) -> Catalog {
+    let node_schema = Schema::new(vec![ColumnDef::new("id", DataType::Int64)]);
+    let node = Table::from_columns(
+        "node",
+        node_schema,
+        vec![Column::Int64((0..graph.nodes as i64).collect())],
+    )
+    .expect("node column is consistent");
+
+    let edge_schema = Schema::new(vec![
+        ColumnDef::new("src", DataType::Int64),
+        ColumnDef::new("dst", DataType::Int64),
+    ]);
+    let edge = Table::from_columns(
+        "edge",
+        edge_schema,
+        vec![
+            Column::Int64(graph.edges.iter().map(|&(s, _)| s as i64).collect()),
+            Column::Int64(graph.edges.iter().map(|&(_, d)| d as i64).collect()),
+        ],
+    )
+    .expect("edge columns are consistent");
+
+    let mut cat = Catalog::new();
+    cat.register(node);
+    cat.register(edge);
+    cat
+}
+
+/// Register the OUTDEGREE and PAGERANK tables needed by PR Q2 / PR Q3,
+/// derived from the graph (the PageRank driver refreshes PAGERANK between
+/// iterations).
+pub fn register_pagerank_state(catalog: &mut Catalog, graph: &RoadGraph, ranks: &[f64]) {
+    let degrees = graph.out_degrees();
+    let out_schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("degree", DataType::Int64),
+    ]);
+    let outdegree = Table::from_columns(
+        "outdegree",
+        out_schema,
+        vec![
+            Column::Int64((0..graph.nodes as i64).collect()),
+            Column::Int64(degrees.iter().map(|&d| d as i64).collect()),
+        ],
+    )
+    .expect("outdegree columns are consistent");
+
+    let pr_schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("rank", DataType::Float64),
+    ]);
+    let pagerank = Table::from_columns(
+        "pagerank",
+        pr_schema,
+        vec![
+            Column::Int64((0..graph.nodes as i64).collect()),
+            Column::Float64(ranks.to_vec()),
+        ],
+    )
+    .expect("pagerank columns are consistent");
+
+    catalog.register(outdegree);
+    catalog.register(pagerank);
+}
+
+/// PR Q1: compute the out-degree of each node.
+pub const PR_Q1: &str = "SELECT NODE.ID, COUNT(EDGE.SRC) FROM NODE, EDGE \
+                         WHERE NODE.ID = EDGE.SRC GROUP BY NODE.ID";
+
+/// PR Q2: initialise each node's rank to `(1 − α)/N` (α = 0.85).
+pub fn pr_q2(num_nodes: usize) -> String {
+    format!(
+        "SELECT NODE.ID, (1 - 0.85) / {num_nodes} AS rank FROM NODE, OUTDEGREE \
+         WHERE NODE.ID = OUTDEGREE.ID"
+    )
+}
+
+/// PR Q3: one PageRank update step (α = 0.85).
+pub fn pr_q3(num_nodes: usize) -> String {
+    format!(
+        "SELECT SUM(0.85 * PAGERANK.RANK / OUTDEGREE.DEGREE) + (1 - 0.85) / {num_nodes} \
+         FROM PAGERANK, OUTDEGREE WHERE PAGERANK.ID = OUTDEGREE.ID"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn graph_matches_requested_sizes() {
+        for (idx, &(n, e)) in TABLE4_SIZES.iter().enumerate().take(4) {
+            let g = gen_table4_graph(idx, 5);
+            assert_eq!(g.nodes, n);
+            assert_eq!(g.edges.len(), e);
+            // Road networks are very sparse.
+            assert!(g.density() < 0.01);
+        }
+    }
+
+    #[test]
+    fn every_node_has_an_outgoing_edge() {
+        let g = gen_road_graph(512, 1_100, 3);
+        let degrees = g.out_degrees();
+        assert!(degrees.iter().all(|&d| d >= 1));
+        let avg: f64 = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+        assert!(avg > 1.5 && avg < 3.5, "avg degree {avg}");
+    }
+
+    #[test]
+    fn catalog_contains_node_edge_and_state_tables() {
+        let g = gen_road_graph(128, 260, 1);
+        let mut cat = gen_catalog(&g);
+        assert_eq!(cat.table("node").unwrap().num_rows(), 128);
+        assert_eq!(cat.table("edge").unwrap().num_rows(), 260);
+        register_pagerank_state(&mut cat, &g, &vec![1.0 / 128.0; 128]);
+        assert_eq!(cat.table("outdegree").unwrap().num_rows(), 128);
+        assert_eq!(cat.table("pagerank").unwrap().num_rows(), 128);
+    }
+
+    #[test]
+    fn pagerank_queries_parse() {
+        assert!(tcudb_sql::parse(PR_Q1).is_ok());
+        assert!(tcudb_sql::parse(&pr_q2(1024)).is_ok());
+        assert!(tcudb_sql::parse(&pr_q3(1024)).is_ok());
+    }
+
+    #[test]
+    fn edges_are_unique() {
+        let g = gen_road_graph(256, 520, 9);
+        let set: std::collections::HashSet<_> = g.edges.iter().collect();
+        assert_eq!(set.len(), g.edges.len());
+    }
+}

@@ -1,0 +1,90 @@
+//! # tcudb-datagen
+//!
+//! Workload generators for every experiment in the paper's evaluation
+//! (§5): the microbenchmark tables of Figures 7/8/14, the Star Schema
+//! Benchmark of Figure 9, the coordinate-form matrix tables of Figure 10 /
+//! Table 1, the entity-matching datasets of Figure 11 / Tables 2–3, and
+//! the road-network graphs of Figures 12/13 / Table 4.
+//!
+//! Real datasets the paper uses (Deepmatcher's BeerAdvo-RateBeer and
+//! iTunes-Amazon, the SNAP Pennsylvania road network) are replaced by
+//! synthetic generators that reproduce the published row counts and
+//! per-attribute distinct-value counts — the quantities that determine
+//! join/blocking cost (see DESIGN.md §2).
+
+pub mod em;
+pub mod graph;
+pub mod matmul;
+pub mod micro;
+pub mod ssb;
+
+/// A tiny deterministic PRNG (xorshift*) so generators are reproducible
+/// without threading `rand` generics through every signature.
+#[derive(Debug, Clone)]
+pub struct Xorshift {
+    state: u64,
+}
+
+impl Xorshift {
+    /// Create a generator from a seed (0 is remapped to a fixed constant).
+    pub fn new(seed: u64) -> Xorshift {
+        Xorshift {
+            state: if seed == 0 { 0x9E3779B97F4A7C15 } else { seed },
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545F4914F6CDD1D)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+
+    /// Uniform integer in `[lo, hi]`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        let span = (hi - lo + 1).max(1) as u64;
+        lo + self.below(span) as i64
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xorshift_is_deterministic_and_bounded() {
+        let mut a = Xorshift::new(7);
+        let mut b = Xorshift::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut r = Xorshift::new(3);
+        for _ in 0..1000 {
+            let v = r.below(17);
+            assert!(v < 17);
+            let x = r.range_i64(-5, 5);
+            assert!((-5..=5).contains(&x));
+            let f = r.unit_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(Xorshift::new(0).state, 0x9E3779B97F4A7C15);
+        assert_eq!(Xorshift::new(1).below(0), 0);
+    }
+}

@@ -1,0 +1,164 @@
+//! Coordinate-form matrix tables for the matrix-multiplication query
+//! (§5.4.1, Figure 10 and Table 1).
+//!
+//! The paper stores each matrix as a relational table with attributes
+//! `(row_num, col_num, val)` and multiplies two such tables with the
+//! Figure 5 query.  The generators below produce dense or sparse matrices
+//! of a given dimension with values drawn from a configurable range — the
+//! value ranges of Table 1 ({0, 1}, ±2⁷, ±2¹⁵, ±2³¹) are provided as
+//! presets for the accuracy experiment.
+
+use crate::Xorshift;
+use tcudb_storage::{Catalog, Column, ColumnDef, Schema, Table};
+use tcudb_types::DataType;
+
+/// Value-range presets of Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueRange {
+    /// Values in {0, 1} (the join encoding) — always exact on TCUs.
+    Binary,
+    /// Values in (−2⁷, 2⁷).
+    Int7,
+    /// Values in (−2¹⁵, 2¹⁵).
+    Int15,
+    /// Values in (−2³¹, 2³¹).
+    Int31,
+}
+
+impl ValueRange {
+    /// The inclusive magnitude bound of the range.
+    pub fn magnitude(self) -> i64 {
+        match self {
+            ValueRange::Binary => 1,
+            ValueRange::Int7 => (1 << 7) - 1,
+            ValueRange::Int15 => (1 << 15) - 1,
+            ValueRange::Int31 => (1 << 31) - 1,
+        }
+    }
+
+    /// Sample one value from the range.
+    pub fn sample(self, rng: &mut Xorshift) -> i64 {
+        match self {
+            ValueRange::Binary => rng.below(2) as i64,
+            other => {
+                let m = other.magnitude();
+                rng.range_i64(-m, m)
+            }
+        }
+    }
+
+    /// Label used when printing Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            ValueRange::Binary => "x = 0, 1",
+            ValueRange::Int7 => "-2^7 <= x < 2^7",
+            ValueRange::Int15 => "-2^15 <= x < 2^15",
+            ValueRange::Int31 => "-2^31 <= x < 2^31",
+        }
+    }
+
+    /// All presets in Table 1 order.
+    pub fn all() -> [ValueRange; 4] {
+        [
+            ValueRange::Binary,
+            ValueRange::Int7,
+            ValueRange::Int15,
+            ValueRange::Int31,
+        ]
+    }
+}
+
+/// Generate a `(row_num, col_num, val)` table holding a `dim × dim` matrix
+/// with the given fill `density` (1.0 = fully dense, as in Figure 10).
+pub fn gen_matrix_table(
+    name: &str,
+    dim: usize,
+    density: f64,
+    range: ValueRange,
+    seed: u64,
+) -> Table {
+    let mut rng = Xorshift::new(seed);
+    let mut rows = Vec::new();
+    let mut cols = Vec::new();
+    let mut vals = Vec::new();
+    for i in 0..dim {
+        for j in 0..dim {
+            if density >= 1.0 || rng.unit_f64() < density {
+                rows.push(i as i64);
+                cols.push(j as i64);
+                vals.push(range.sample(&mut rng));
+            }
+        }
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("row_num", DataType::Int64),
+        ColumnDef::new("col_num", DataType::Int64),
+        ColumnDef::new("val", DataType::Int64),
+    ]);
+    Table::from_columns(
+        name,
+        schema,
+        vec![Column::Int64(rows), Column::Int64(cols), Column::Int64(vals)],
+    )
+    .expect("matrix columns are consistent")
+}
+
+/// Build a catalog with matrices `A` and `B` of the given dimension.
+pub fn gen_catalog(dim: usize, density: f64, range: ValueRange, seed: u64) -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register(gen_matrix_table("A", dim, density, range, seed));
+    cat.register(gen_matrix_table("B", dim, density, range, seed.wrapping_add(1)));
+    cat
+}
+
+/// The Figure 5 matrix-multiplication query.
+pub const MATMUL_QUERY: &str = "SELECT A.col_num, B.row_num, SUM(A.val * B.val) AS res \
+                                FROM A, B WHERE A.row_num = B.col_num \
+                                GROUP BY A.col_num, B.row_num";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dense_matrix_table_has_dim_squared_rows() {
+        let t = gen_matrix_table("A", 16, 1.0, ValueRange::Int7, 3);
+        assert_eq!(t.num_rows(), 256);
+        let stats = t.compute_stats();
+        assert_eq!(stats.column("row_num").unwrap().distinct_count, 16);
+        assert!(stats.column("val").unwrap().abs_max() <= 127.0);
+    }
+
+    #[test]
+    fn sparse_matrix_respects_density() {
+        let t = gen_matrix_table("A", 64, 0.1, ValueRange::Binary, 5);
+        let expected = (64.0f64 * 64.0 * 0.1) as usize;
+        assert!(t.num_rows() > expected / 3);
+        assert!(t.num_rows() < expected * 3);
+    }
+
+    #[test]
+    fn value_ranges_match_table1() {
+        assert_eq!(ValueRange::Binary.magnitude(), 1);
+        assert_eq!(ValueRange::Int7.magnitude(), 127);
+        assert_eq!(ValueRange::Int15.magnitude(), 32767);
+        assert_eq!(ValueRange::Int31.magnitude(), i64::from(i32::MAX));
+        assert_eq!(ValueRange::all().len(), 4);
+        let mut rng = Xorshift::new(1);
+        for range in ValueRange::all() {
+            for _ in 0..100 {
+                let v = range.sample(&mut rng);
+                assert!(v.abs() <= range.magnitude());
+            }
+            assert!(!range.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn catalog_and_query() {
+        let cat = gen_catalog(8, 1.0, ValueRange::Binary, 9);
+        assert!(cat.contains("A"));
+        assert!(cat.contains("B"));
+        assert!(tcudb_sql::parse(MATMUL_QUERY).is_ok());
+    }
+}

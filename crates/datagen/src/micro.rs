@@ -1,0 +1,126 @@
+//! Microbenchmark tables and queries (§5.2, Figures 7, 8 and 14).
+//!
+//! Each experiment joins two tables `A(ID, Val)` and `B(ID, Val)` with a
+//! configurable number of records and a configurable number of distinct
+//! join-key values, running Q1 (join), Q3 (group-by aggregate over join)
+//! and Q4 (aggregate over join).
+
+use crate::Xorshift;
+use tcudb_storage::{Catalog, Column, ColumnDef, Schema, Table};
+use tcudb_types::DataType;
+
+/// Parameters of one microbenchmark configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroConfig {
+    /// Number of records in each of A and B (the paper's `M = N`).
+    pub records: usize,
+    /// Number of distinct join-key values (the paper's `K`).
+    pub distinct: usize,
+    /// Maximum absolute payload value stored in `Val`.
+    pub value_range: i64,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl MicroConfig {
+    /// The paper's default configuration shape: `records` rows, 32 distinct
+    /// values, payloads small enough to be exact in fp16.
+    pub fn new(records: usize, distinct: usize) -> MicroConfig {
+        MicroConfig {
+            records,
+            distinct,
+            value_range: 100,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate one `(ID, Val)` table.
+pub fn gen_table(name: &str, config: &MicroConfig) -> Table {
+    let mut rng = Xorshift::new(config.seed ^ name.len() as u64 ^ 0xABCD);
+    let mut ids = Vec::with_capacity(config.records);
+    let mut vals = Vec::with_capacity(config.records);
+    for _ in 0..config.records {
+        ids.push(rng.below(config.distinct.max(1) as u64) as i64);
+        vals.push(rng.range_i64(1, config.value_range.max(1)));
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("val", DataType::Int64),
+    ]);
+    Table::from_columns(name, schema, vec![Column::Int64(ids), Column::Int64(vals)])
+        .expect("generated columns are consistent")
+}
+
+/// Build a catalog containing tables `A` and `B` for a configuration.
+pub fn gen_catalog(config: &MicroConfig) -> Catalog {
+    let mut cat = Catalog::new();
+    let mut cfg_a = *config;
+    cfg_a.seed = config.seed.wrapping_mul(31).wrapping_add(1);
+    let mut cfg_b = *config;
+    cfg_b.seed = config.seed.wrapping_mul(37).wrapping_add(2);
+    cat.register(gen_table("A", &cfg_a));
+    cat.register(gen_table("B", &cfg_b));
+    cat
+}
+
+/// Q1: the two-way natural join of §3.1.
+pub const Q1: &str = "SELECT A.Val, B.Val FROM A, B WHERE A.ID = B.ID";
+
+/// Q3: group-by SUM aggregate over the join (§3.3).
+pub const Q3: &str = "SELECT SUM(A.Val), B.Val FROM A, B WHERE A.ID = B.ID GROUP BY B.Val";
+
+/// Q4: global SUM-of-products aggregate over the join (§3.3).
+pub const Q4: &str = "SELECT SUM(A.Val * B.Val) FROM A, B WHERE A.ID = B.ID";
+
+/// Q5: the non-equi join of §3.4.
+pub const Q5: &str = "SELECT A.Val, B.Val FROM A, B WHERE A.ID < B.ID";
+
+/// The `(name, SQL)` pairs of the microbenchmark query set.
+pub fn queries() -> Vec<(&'static str, &'static str)> {
+    vec![("Q1", Q1), ("Q3", Q3), ("Q4", Q4)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_tables_match_configuration() {
+        let cfg = MicroConfig::new(1000, 32);
+        let t = gen_table("A", &cfg);
+        assert_eq!(t.num_rows(), 1000);
+        let stats = t.compute_stats();
+        let id = stats.column("id").unwrap();
+        assert!(id.distinct_count <= 32);
+        assert!(id.distinct_count >= 28, "want ≈32, got {}", id.distinct_count);
+        let val = stats.column("val").unwrap();
+        assert!(val.max.unwrap() <= 100.0);
+        assert!(val.min.unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn catalog_has_distinct_a_and_b() {
+        let cat = gen_catalog(&MicroConfig::new(128, 8));
+        let a = cat.table("A").unwrap();
+        let b = cat.table("B").unwrap();
+        assert_eq!(a.num_rows(), 128);
+        assert_eq!(b.num_rows(), 128);
+        // Different seeds → different contents.
+        assert_ne!(a.row(0), b.row(0));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = MicroConfig::new(64, 4);
+        assert_eq!(gen_table("A", &cfg), gen_table("A", &cfg));
+    }
+
+    #[test]
+    fn queries_parse() {
+        for (_, sql) in queries() {
+            assert!(tcudb_sql::parse(sql).is_ok());
+        }
+        assert!(tcudb_sql::parse(Q5).is_ok());
+    }
+}

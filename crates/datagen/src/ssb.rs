@@ -1,0 +1,384 @@
+//! Star Schema Benchmark generator and queries (§5.3, Figure 9).
+//!
+//! The schema follows O'Neil et al.'s SSB: one fact table (`lineorder`)
+//! and four dimension tables (`date`, `customer`, `supplier`, `part`)
+//! joined by foreign keys, with the standard 13 queries in 4 flights.
+//!
+//! **Scale note.**  The paper runs SF 1–8 (0.7–5.6 GB).  This generator
+//! produces a proportionally shaped *mini* scale — `lineorder` has
+//! `60 000 × SF` rows instead of `6 000 000 × SF` — so the full 13-query ×
+//! 4-scale-factor × 3-engine sweep completes in seconds on a laptop while
+//! preserving the fact:dimension cardinality ratios that determine the
+//! relative engine behaviour.  Monetary values are also scaled into the
+//! fp16-representable range so TCU plans stay feasible (DESIGN.md §2).
+//! Two query texts replace `BETWEEN` over strings with explicit `>=`/`<=`
+//! comparisons, which our SQL dialect supports.
+
+use crate::Xorshift;
+use tcudb_storage::{Catalog, Column, ColumnDef, Schema, Table};
+use tcudb_types::DataType;
+
+/// The five SSB regions.
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+/// Month names used for `d_yearmonth`.
+const MONTHS: [&str; 12] = [
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun", "Jul", "Aug", "Sep", "Oct", "Nov", "Dec",
+];
+
+fn nation_name(region: usize, idx: usize) -> String {
+    format!("{}_NATION{}", REGIONS[region], idx)
+}
+
+fn city_name(nation: &str, idx: usize) -> String {
+    format!("{nation}_CITY{idx}")
+}
+
+/// Row counts of a mini-scale SSB instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsbScale {
+    /// Scale factor (the paper uses 1, 2, 4, 8).
+    pub sf: usize,
+    /// Rows of `lineorder`.
+    pub lineorder: usize,
+    /// Rows of `customer`.
+    pub customer: usize,
+    /// Rows of `supplier`.
+    pub supplier: usize,
+    /// Rows of `part`.
+    pub part: usize,
+    /// Rows of `date` (always 7 years of days).
+    pub date: usize,
+}
+
+impl SsbScale {
+    /// Mini-scale row counts for a scale factor.
+    pub fn mini(sf: usize) -> SsbScale {
+        let sf = sf.max(1);
+        SsbScale {
+            sf,
+            lineorder: 60_000 * sf,
+            customer: 300 * sf,
+            supplier: 20 * sf,
+            part: 1_000 + 200 * sf,
+            date: 2_556,
+        }
+    }
+}
+
+/// Generate the `date` dimension.
+pub fn gen_date() -> Table {
+    let mut datekey = Vec::new();
+    let mut year = Vec::new();
+    let mut yearmonthnum = Vec::new();
+    let mut yearmonth = Vec::new();
+    let mut weeknum = Vec::new();
+    let days_in_month = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    for y in 1992..=1998i64 {
+        let mut day_of_year = 0i64;
+        for (m, &dim) in days_in_month.iter().enumerate() {
+            for d in 1..=dim as i64 {
+                day_of_year += 1;
+                datekey.push(y * 10_000 + (m as i64 + 1) * 100 + d);
+                year.push(y);
+                yearmonthnum.push(y * 100 + m as i64 + 1);
+                yearmonth.push(format!("{}{}", MONTHS[m], y));
+                weeknum.push(day_of_year / 7 + 1);
+            }
+        }
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("d_datekey", DataType::Int64),
+        ColumnDef::new("d_year", DataType::Int64),
+        ColumnDef::new("d_yearmonthnum", DataType::Int64),
+        ColumnDef::new("d_yearmonth", DataType::Text),
+        ColumnDef::new("d_weeknuminyear", DataType::Int64),
+    ]);
+    Table::from_columns(
+        "date",
+        schema,
+        vec![
+            Column::Int64(datekey),
+            Column::Int64(year),
+            Column::Int64(yearmonthnum),
+            Column::Text(yearmonth),
+            Column::Int64(weeknum),
+        ],
+    )
+    .expect("date columns are consistent")
+}
+
+/// Generate the `customer` dimension.
+pub fn gen_customer(rows: usize, rng: &mut Xorshift) -> Table {
+    let mut key = Vec::with_capacity(rows);
+    let mut city = Vec::with_capacity(rows);
+    let mut nation = Vec::with_capacity(rows);
+    let mut region = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let r = rng.below(5) as usize;
+        let n = nation_name(r, rng.below(5) as usize);
+        key.push(i as i64 + 1);
+        city.push(city_name(&n, rng.below(10) as usize));
+        nation.push(n);
+        region.push(REGIONS[r].to_string());
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("c_custkey", DataType::Int64),
+        ColumnDef::new("c_city", DataType::Text),
+        ColumnDef::new("c_nation", DataType::Text),
+        ColumnDef::new("c_region", DataType::Text),
+    ]);
+    Table::from_columns(
+        "customer",
+        schema,
+        vec![
+            Column::Int64(key),
+            Column::Text(city),
+            Column::Text(nation),
+            Column::Text(region),
+        ],
+    )
+    .expect("customer columns are consistent")
+}
+
+/// Generate the `supplier` dimension.
+pub fn gen_supplier(rows: usize, rng: &mut Xorshift) -> Table {
+    let mut key = Vec::with_capacity(rows);
+    let mut city = Vec::with_capacity(rows);
+    let mut nation = Vec::with_capacity(rows);
+    let mut region = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let r = rng.below(5) as usize;
+        let n = nation_name(r, rng.below(5) as usize);
+        key.push(i as i64 + 1);
+        city.push(city_name(&n, rng.below(10) as usize));
+        nation.push(n);
+        region.push(REGIONS[r].to_string());
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("s_suppkey", DataType::Int64),
+        ColumnDef::new("s_city", DataType::Text),
+        ColumnDef::new("s_nation", DataType::Text),
+        ColumnDef::new("s_region", DataType::Text),
+    ]);
+    Table::from_columns(
+        "supplier",
+        schema,
+        vec![
+            Column::Int64(key),
+            Column::Text(city),
+            Column::Text(nation),
+            Column::Text(region),
+        ],
+    )
+    .expect("supplier columns are consistent")
+}
+
+/// Generate the `part` dimension.
+pub fn gen_part(rows: usize, rng: &mut Xorshift) -> Table {
+    let mut key = Vec::with_capacity(rows);
+    let mut mfgr = Vec::with_capacity(rows);
+    let mut category = Vec::with_capacity(rows);
+    let mut brand = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let m = rng.below(5) + 1;
+        let c = rng.below(5) + 1;
+        let b = rng.below(40) + 1;
+        key.push(i as i64 + 1);
+        mfgr.push(format!("MFGR#{m}"));
+        category.push(format!("MFGR#{m}{c}"));
+        brand.push(format!("MFGR#{m}{c}{b:02}"));
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("p_partkey", DataType::Int64),
+        ColumnDef::new("p_mfgr", DataType::Text),
+        ColumnDef::new("p_category", DataType::Text),
+        ColumnDef::new("p_brand1", DataType::Text),
+    ]);
+    Table::from_columns(
+        "part",
+        schema,
+        vec![
+            Column::Int64(key),
+            Column::Text(mfgr),
+            Column::Text(category),
+            Column::Text(brand),
+        ],
+    )
+    .expect("part columns are consistent")
+}
+
+/// Generate the `lineorder` fact table referencing the dimensions.
+pub fn gen_lineorder(scale: &SsbScale, date: &Table, rng: &mut Xorshift) -> Table {
+    let rows = scale.lineorder;
+    let datekeys = date
+        .column_by_name("d_datekey")
+        .expect("date table has datekey")
+        .as_i64()
+        .expect("datekey is int")
+        .to_vec();
+    let mut orderkey = Vec::with_capacity(rows);
+    let mut custkey = Vec::with_capacity(rows);
+    let mut partkey = Vec::with_capacity(rows);
+    let mut suppkey = Vec::with_capacity(rows);
+    let mut orderdate = Vec::with_capacity(rows);
+    let mut quantity = Vec::with_capacity(rows);
+    let mut extendedprice = Vec::with_capacity(rows);
+    let mut discount = Vec::with_capacity(rows);
+    let mut revenue = Vec::with_capacity(rows);
+    let mut supplycost = Vec::with_capacity(rows);
+    for i in 0..rows {
+        orderkey.push(i as i64 + 1);
+        custkey.push(rng.range_i64(1, scale.customer as i64));
+        partkey.push(rng.range_i64(1, scale.part as i64));
+        suppkey.push(rng.range_i64(1, scale.supplier as i64));
+        orderdate.push(datekeys[rng.below(datekeys.len() as u64) as usize]);
+        quantity.push(rng.range_i64(1, 50));
+        // Monetary values kept within the fp16-representable range.
+        let price = rng.range_i64(100, 10_000);
+        extendedprice.push(price);
+        let disc = rng.range_i64(0, 10);
+        discount.push(disc);
+        revenue.push((price * (100 - disc) / 100).max(1));
+        supplycost.push(rng.range_i64(50, 1_000));
+    }
+    let schema = Schema::new(vec![
+        ColumnDef::new("lo_orderkey", DataType::Int64),
+        ColumnDef::new("lo_custkey", DataType::Int64),
+        ColumnDef::new("lo_partkey", DataType::Int64),
+        ColumnDef::new("lo_suppkey", DataType::Int64),
+        ColumnDef::new("lo_orderdate", DataType::Int64),
+        ColumnDef::new("lo_quantity", DataType::Int64),
+        ColumnDef::new("lo_extendedprice", DataType::Int64),
+        ColumnDef::new("lo_discount", DataType::Int64),
+        ColumnDef::new("lo_revenue", DataType::Int64),
+        ColumnDef::new("lo_supplycost", DataType::Int64),
+    ]);
+    Table::from_columns(
+        "lineorder",
+        schema,
+        vec![
+            Column::Int64(orderkey),
+            Column::Int64(custkey),
+            Column::Int64(partkey),
+            Column::Int64(suppkey),
+            Column::Int64(orderdate),
+            Column::Int64(quantity),
+            Column::Int64(extendedprice),
+            Column::Int64(discount),
+            Column::Int64(revenue),
+            Column::Int64(supplycost),
+        ],
+    )
+    .expect("lineorder columns are consistent")
+}
+
+/// Generate a full mini-scale SSB catalog for a scale factor.
+pub fn gen_catalog(sf: usize, seed: u64) -> Catalog {
+    let scale = SsbScale::mini(sf);
+    let mut rng = Xorshift::new(seed);
+    let date = gen_date();
+    let customer = gen_customer(scale.customer, &mut rng);
+    let supplier = gen_supplier(scale.supplier, &mut rng);
+    let part = gen_part(scale.part, &mut rng);
+    let lineorder = gen_lineorder(&scale, &date, &mut rng);
+    let mut cat = Catalog::new();
+    cat.register(date);
+    cat.register(customer);
+    cat.register(supplier);
+    cat.register(part);
+    cat.register(lineorder);
+    cat
+}
+
+/// The 13 SSB queries as `(name, SQL)` pairs.
+pub fn queries() -> Vec<(&'static str, String)> {
+    vec![
+        ("Q1.1", "SELECT SUM(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_year = 1993 AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25".to_string()),
+        ("Q1.2", "SELECT SUM(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_yearmonthnum = 199401 AND lo_discount BETWEEN 4 AND 6 AND lo_quantity BETWEEN 26 AND 35".to_string()),
+        ("Q1.3", "SELECT SUM(lo_extendedprice * lo_discount) AS revenue FROM lineorder, date WHERE lo_orderdate = d_datekey AND d_weeknuminyear = 6 AND d_year = 1994 AND lo_discount BETWEEN 5 AND 7 AND lo_quantity BETWEEN 26 AND 35".to_string()),
+        ("Q2.1", "SELECT SUM(lo_revenue), d_year, p_brand1 FROM lineorder, date, part, supplier WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey AND lo_suppkey = s_suppkey AND p_category = 'MFGR#12' AND s_region = 'AMERICA' GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1".to_string()),
+        ("Q2.2", "SELECT SUM(lo_revenue), d_year, p_brand1 FROM lineorder, date, part, supplier WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey AND lo_suppkey = s_suppkey AND p_brand1 >= 'MFGR#2221' AND p_brand1 <= 'MFGR#2228' AND s_region = 'ASIA' GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1".to_string()),
+        ("Q2.3", "SELECT SUM(lo_revenue), d_year, p_brand1 FROM lineorder, date, part, supplier WHERE lo_orderdate = d_datekey AND lo_partkey = p_partkey AND lo_suppkey = s_suppkey AND p_brand1 = 'MFGR#2239' AND s_region = 'EUROPE' GROUP BY d_year, p_brand1 ORDER BY d_year, p_brand1".to_string()),
+        ("Q3.1", "SELECT c_nation, s_nation, d_year, SUM(lo_revenue) AS revenue FROM customer, lineorder, supplier, date WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey AND c_region = 'ASIA' AND s_region = 'ASIA' AND d_year >= 1992 AND d_year <= 1997 GROUP BY c_nation, s_nation, d_year ORDER BY d_year ASC, revenue DESC".to_string()),
+        ("Q3.2", "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue FROM customer, lineorder, supplier, date WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey AND c_nation = 'AMERICA_NATION1' AND s_nation = 'AMERICA_NATION1' AND d_year >= 1992 AND d_year <= 1997 GROUP BY c_city, s_city, d_year ORDER BY d_year ASC, revenue DESC".to_string()),
+        ("Q3.3", "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue FROM customer, lineorder, supplier, date WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey AND (c_city = 'ASIA_NATION1_CITY1' OR c_city = 'ASIA_NATION1_CITY2') AND (s_city = 'ASIA_NATION1_CITY1' OR s_city = 'ASIA_NATION1_CITY2') AND d_year >= 1992 AND d_year <= 1997 GROUP BY c_city, s_city, d_year ORDER BY d_year ASC, revenue DESC".to_string()),
+        ("Q3.4", "SELECT c_city, s_city, d_year, SUM(lo_revenue) AS revenue FROM customer, lineorder, supplier, date WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_orderdate = d_datekey AND (c_city = 'ASIA_NATION1_CITY1' OR c_city = 'ASIA_NATION1_CITY2') AND (s_city = 'ASIA_NATION1_CITY1' OR s_city = 'ASIA_NATION1_CITY2') AND d_yearmonth = 'Dec1997' GROUP BY c_city, s_city, d_year ORDER BY d_year ASC, revenue DESC".to_string()),
+        ("Q4.1", "SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit FROM date, customer, supplier, part, lineorder WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey AND lo_orderdate = d_datekey AND c_region = 'AMERICA' AND s_region = 'AMERICA' AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2') GROUP BY d_year, c_nation ORDER BY d_year, c_nation".to_string()),
+        ("Q4.2", "SELECT d_year, s_nation, p_category, SUM(lo_revenue - lo_supplycost) AS profit FROM date, customer, supplier, part, lineorder WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey AND lo_orderdate = d_datekey AND c_region = 'AMERICA' AND s_region = 'AMERICA' AND (d_year = 1997 OR d_year = 1998) AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2') GROUP BY d_year, s_nation, p_category ORDER BY d_year, s_nation, p_category".to_string()),
+        ("Q4.3", "SELECT d_year, s_city, p_brand1, SUM(lo_revenue - lo_supplycost) AS profit FROM date, customer, supplier, part, lineorder WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey AND lo_partkey = p_partkey AND lo_orderdate = d_datekey AND s_nation = 'AMERICA_NATION1' AND (d_year = 1997 OR d_year = 1998) GROUP BY d_year, s_city, p_brand1 ORDER BY d_year, s_city, p_brand1".to_string()),
+    ]
+}
+
+/// The representative queries plotted in Figure 9 (one per flight).
+pub fn figure9_queries() -> Vec<(&'static str, String)> {
+    queries()
+        .into_iter()
+        .filter(|(name, _)| matches!(*name, "Q1.1" | "Q2.1" | "Q3.1" | "Q4.1"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_ratios_are_preserved() {
+        let s1 = SsbScale::mini(1);
+        let s8 = SsbScale::mini(8);
+        assert_eq!(s1.lineorder, 60_000);
+        assert_eq!(s8.lineorder, 480_000);
+        assert_eq!(s8.customer, 8 * s1.customer);
+        assert_eq!(s1.date, 2_556);
+        assert_eq!(SsbScale::mini(0).sf, 1);
+    }
+
+    #[test]
+    fn date_dimension_has_seven_years() {
+        let d = gen_date();
+        assert_eq!(d.num_rows(), 7 * 365);
+        let stats = d.compute_stats();
+        assert_eq!(stats.column("d_year").unwrap().distinct_count, 7);
+        assert_eq!(stats.column("d_year").unwrap().min, Some(1992.0));
+        assert_eq!(stats.column("d_year").unwrap().max, Some(1998.0));
+    }
+
+    #[test]
+    fn catalog_contains_all_five_tables_with_valid_fks() {
+        let cat = gen_catalog(1, 7);
+        for t in ["lineorder", "date", "customer", "supplier", "part"] {
+            assert!(cat.contains(t), "missing {t}");
+        }
+        let lo = cat.table("lineorder").unwrap();
+        let cust_rows = cat.table("customer").unwrap().num_rows() as f64;
+        let ck = cat.stats("lineorder").unwrap();
+        assert!(ck.column("lo_custkey").unwrap().max.unwrap() <= cust_rows);
+        assert!(ck.column("lo_custkey").unwrap().min.unwrap() >= 1.0);
+        assert_eq!(lo.num_rows(), 60_000);
+        // Monetary values stay in the fp16-representable range.
+        assert!(ck.column("lo_extendedprice").unwrap().max.unwrap() <= 10_000.0);
+    }
+
+    #[test]
+    fn all_thirteen_queries_parse() {
+        assert_eq!(queries().len(), 13);
+        for (name, sql) in queries() {
+            assert!(tcudb_sql::parse(&sql).is_ok(), "query {name} failed to parse");
+        }
+        assert_eq!(figure9_queries().len(), 4);
+    }
+
+    #[test]
+    fn dimension_attribute_domains() {
+        let mut rng = Xorshift::new(3);
+        let part = gen_part(2000, &mut rng);
+        let stats = part.compute_stats();
+        assert!(stats.column("p_mfgr").unwrap().distinct_count <= 5);
+        assert!(stats.column("p_category").unwrap().distinct_count <= 25);
+        let supplier = gen_supplier(100, &mut rng);
+        let sstats = supplier.compute_stats();
+        assert!(sstats.column("s_region").unwrap().distinct_count <= 5);
+        let customer = gen_customer(100, &mut rng);
+        assert_eq!(customer.num_rows(), 100);
+    }
+}

@@ -1,0 +1,332 @@
+//! The analytic cost model (§4.2.2 of the paper).
+//!
+//! The same formulas serve two purposes, exactly as in the paper:
+//!
+//! 1. **Plan selection** — the query optimizer estimates
+//!    `DT_op + DM_op + CT_op` for each candidate TCU plan and compares it
+//!    against the estimated cost of the conventional GPU (hash-join) plan.
+//! 2. **Simulated measurement** — once a plan executes, the physical
+//!    operators feed their *actual* operation counts (from the tensor
+//!    kernels' statistics) back through the same model to produce the
+//!    simulated per-phase timings reported in the benchmark harness.
+
+use crate::profile::DeviceProfile;
+use tcudb_types::Precision;
+use tcudb_tensor::{BlockedGemmStats, GemmStats, SpmmStats};
+
+/// Cost model bound to a device profile.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CostModel {
+    profile: DeviceProfile,
+}
+
+impl CostModel {
+    /// Create a cost model for the given device.
+    pub fn new(profile: DeviceProfile) -> CostModel {
+        CostModel { profile }
+    }
+
+    /// The underlying device profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    // ------------------------------------------------------------------
+    // DT_op: data transformation
+    // ------------------------------------------------------------------
+
+    /// CPU-side data transformation: `DT_op ≈ α · rows` (§4.2.2,
+    /// "CPU-based data transformation").
+    pub fn transform_cpu_seconds(&self, rows: usize) -> f64 {
+        self.profile.host_seconds_per_row * rows as f64
+    }
+
+    /// GPU-assisted data transformation: `DT_op ≈ α · rows / p`.
+    pub fn transform_gpu_seconds(&self, rows: usize) -> f64 {
+        self.profile.host_seconds_per_row * rows as f64 / self.profile.transform_parallelism()
+            + self.profile.kernel_launch_seconds
+    }
+
+    // ------------------------------------------------------------------
+    // DM_op: data movement
+    // ------------------------------------------------------------------
+
+    /// Host→device transfer time for `bytes` over PCIe (Equation 1/2).
+    pub fn h2d_seconds(&self, bytes: f64) -> f64 {
+        bytes / (self.profile.pcie_bandwidth_gbps * 1e9)
+    }
+
+    /// Device→host transfer time for `bytes` over PCIe.
+    pub fn d2h_seconds(&self, bytes: f64) -> f64 {
+        bytes / (self.profile.pcie_bandwidth_gbps * 1e9)
+    }
+
+    /// Device-memory traffic time (reads/writes of `bytes` inside the GPU).
+    pub fn device_mem_seconds(&self, bytes: f64) -> f64 {
+        bytes / (self.profile.mem_bandwidth_gbps * 1e9)
+    }
+
+    // ------------------------------------------------------------------
+    // CT_op: compute
+    // ------------------------------------------------------------------
+
+    /// Dense TCU GEMM time: `M·N·K·2 / peak_TCU_FLOPS` (Equation 3), with
+    /// the peak adjusted for the input precision, plus one kernel launch.
+    pub fn tcu_gemm_seconds(&self, stats: &GemmStats) -> f64 {
+        let peak = self.profile.tcu_tflops_for(stats.precision) * 1e12;
+        // GEMMs on small matrices cannot saturate the tensor cores; model a
+        // memory-bandwidth floor from the bytes the kernel touches.
+        let compute = stats.flops / peak;
+        let bandwidth = self.device_mem_seconds(stats.bytes_touched);
+        compute.max(bandwidth) + self.profile.kernel_launch_seconds
+    }
+
+    /// Dense GEMM time on conventional CUDA cores (the Figure 3 baseline
+    /// and the arithmetic the YDB/MAGiQ baselines use).
+    pub fn cuda_gemm_seconds(&self, stats: &GemmStats) -> f64 {
+        let peak = self.profile.cuda_tflops * 1e12;
+        let compute = stats.flops / peak;
+        let bandwidth = self.device_mem_seconds(stats.bytes_touched);
+        compute.max(bandwidth) + self.profile.kernel_launch_seconds
+    }
+
+    /// Generic CUDA-core compute time for `flops` floating point operations.
+    pub fn cuda_flops_seconds(&self, flops: f64) -> f64 {
+        flops / (self.profile.cuda_tflops * 1e12) + self.profile.kernel_launch_seconds
+    }
+
+    /// TCU-SpMM time (§4.2.4): per-tile MMA work at a de-rated tensor-core
+    /// throughput, plus the linear CSR construction / tile-filtering scan
+    /// the paper charges "with a simple linear function of the input size".
+    pub fn tcu_spmm_seconds(&self, stats: &SpmmStats, precision: Precision) -> f64 {
+        let peak = self.profile.tcu_tflops_for(precision) * 1e12 * self.profile.spmm_efficiency;
+        let mma = stats.flops / peak;
+        let nnz_a = stats.density_a * stats.m as f64 * stats.k as f64;
+        let nnz_b = stats.density_b * stats.n as f64 * stats.k as f64;
+        let build = (nnz_a + nnz_b) * 0.5e-9; // GPU-parallel CSR build + tile filter scan
+        let bandwidth = self.device_mem_seconds(stats.bytes_touched);
+        mma.max(bandwidth) + build + self.profile.kernel_launch_seconds
+    }
+
+    /// Blocked/pipelined GEMM time (§4.2.3): compute at a de-rated peak
+    /// overlapped with the streaming of operand blocks over PCIe; the
+    /// pipeline hides the smaller of the two, so the stage time is the max
+    /// of transfer and compute plus a fill/drain term.
+    pub fn blocked_gemm_seconds(&self, stats: &BlockedGemmStats, precision: Precision) -> f64 {
+        let peak =
+            self.profile.tcu_tflops_for(precision) * 1e12 * self.profile.blocked_efficiency;
+        let compute = stats.flops / peak;
+        let stream_in = self.h2d_seconds(stats.bytes_streamed_in);
+        let stream_out = self.d2h_seconds(stats.bytes_streamed_out);
+        let steady_state = compute.max(stream_in + stream_out);
+        // Pipeline fill/drain: one block transfer + one block compute.
+        let stages = stats.pipeline_stages.max(1) as f64;
+        let fill_drain = (stream_in + compute) / stages;
+        steady_state + fill_drain + self.profile.kernel_launch_seconds
+    }
+
+    // ------------------------------------------------------------------
+    // Conventional GPU operators (the YDB cost model of [89])
+    // ------------------------------------------------------------------
+
+    /// GPU hash-join time: build + probe are row-by-row CUDA-core work,
+    /// result materialisation costs per output tuple.
+    pub fn gpu_hash_join_seconds(
+        &self,
+        build_rows: usize,
+        probe_rows: usize,
+        output_rows: usize,
+    ) -> f64 {
+        let rows = (build_rows + probe_rows) as f64;
+        rows * self.profile.gpu_hash_seconds_per_row
+            + output_rows as f64 * self.profile.gpu_join_materialize_seconds_per_tuple
+            + self.profile.kernel_launch_seconds * 2.0
+    }
+
+    /// GPU group-by + aggregation time over `input_rows` producing
+    /// `groups` groups.
+    pub fn gpu_groupby_agg_seconds(&self, input_rows: usize, groups: usize) -> f64 {
+        input_rows as f64 * self.profile.gpu_agg_seconds_per_row
+            + groups as f64 * self.profile.gpu_output_seconds_per_tuple
+            + self.profile.kernel_launch_seconds
+    }
+
+    /// GPU aggregation (no grouping) over `input_rows`.
+    pub fn gpu_aggregation_seconds(&self, input_rows: usize) -> f64 {
+        input_rows as f64 * self.profile.gpu_agg_seconds_per_row
+            + self.profile.kernel_launch_seconds
+    }
+
+    /// GPU scan + filter over `rows` (coalesced columnar scan, bandwidth
+    /// bound).
+    pub fn gpu_scan_seconds(&self, rows: usize, bytes_per_row: usize) -> f64 {
+        self.device_mem_seconds((rows * bytes_per_row) as f64)
+            + self.profile.kernel_launch_seconds
+    }
+
+    // ------------------------------------------------------------------
+    // Result materialisation
+    // ------------------------------------------------------------------
+
+    /// Cost of the `nonzero(·)` extraction over an `m×n` result matrix
+    /// producing `output_rows` coordinates: a bandwidth-bound scan of the
+    /// matrix plus a write per output.
+    pub fn nonzero_seconds(&self, m: usize, n: usize, output_rows: usize) -> f64 {
+        self.device_mem_seconds(m as f64 * n as f64 * 4.0)
+            + output_rows as f64 * self.profile.gpu_output_seconds_per_tuple
+            + self.profile.kernel_launch_seconds
+    }
+
+    /// Cost of extracting the non-zeros of a *sparse* result: only the
+    /// tiles the TCU-SpMM kernel actually produced have to be scanned.
+    pub fn nonzero_sparse_seconds(&self, tiles_produced: usize, output_rows: usize) -> f64 {
+        self.device_mem_seconds(tiles_produced as f64 * 16.0 * 16.0 * 4.0)
+            + output_rows as f64 * self.profile.gpu_output_seconds_per_tuple
+            + self.profile.kernel_launch_seconds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcudb_types::Precision;
+
+    fn model() -> CostModel {
+        CostModel::new(DeviceProfile::rtx_3090())
+    }
+
+    fn gemm_stats(m: usize, n: usize, k: usize, precision: Precision) -> GemmStats {
+        GemmStats {
+            m,
+            n,
+            k,
+            flops: 2.0 * (m * n * k) as f64,
+            bytes_touched: ((m * k + k * n) as f64) * precision.size_bytes()
+                + (m * n) as f64 * 4.0,
+            precision,
+        }
+    }
+
+    #[test]
+    fn tcu_beats_cuda_cores_on_large_gemm() {
+        // Figure 3: TCUs outperform CUDA cores by up to ~5× on big GEMMs.
+        let m = model();
+        let stats = gemm_stats(8192, 8192, 8192, Precision::Half);
+        let tcu = m.tcu_gemm_seconds(&stats);
+        let cuda = m.cuda_gemm_seconds(&stats);
+        assert!(cuda / tcu > 2.0, "cuda={cuda}, tcu={tcu}");
+        assert!(cuda / tcu < 6.0, "cuda={cuda}, tcu={tcu}");
+    }
+
+    #[test]
+    fn small_gemm_is_launch_or_bandwidth_bound() {
+        let m = model();
+        let stats = gemm_stats(64, 64, 64, Precision::Half);
+        let t = m.tcu_gemm_seconds(&stats);
+        assert!(t >= m.profile().kernel_launch_seconds);
+        assert!(t < 1e-3);
+    }
+
+    #[test]
+    fn transform_gpu_is_faster_than_cpu_for_large_inputs() {
+        let m = model();
+        let rows = 10_000_000;
+        assert!(m.transform_gpu_seconds(rows) < m.transform_cpu_seconds(rows));
+    }
+
+    #[test]
+    fn pcie_transfer_time_matches_bandwidth() {
+        let m = model();
+        // 12 GB at 12 GB/s ≈ 1 s.
+        let t = m.h2d_seconds(12e9);
+        assert!((t - 1.0).abs() < 1e-9);
+        assert_eq!(m.h2d_seconds(0.0), 0.0);
+        assert!(m.d2h_seconds(1e9) > 0.0);
+    }
+
+    #[test]
+    fn precision_speeds_up_tcu_gemm() {
+        let m = model();
+        let half = m.tcu_gemm_seconds(&gemm_stats(4096, 4096, 4096, Precision::Half));
+        let int8 = m.tcu_gemm_seconds(&gemm_stats(4096, 4096, 4096, Precision::Int8));
+        assert!(int8 < half);
+    }
+
+    #[test]
+    fn hash_join_cost_grows_with_output() {
+        let m = model();
+        let few = m.gpu_hash_join_seconds(4096, 4096, 4_096);
+        let many = m.gpu_hash_join_seconds(4096, 4096, 4_000_000);
+        assert!(many > few);
+        // Row-count term dominates when outputs are similar.
+        let more_rows = m.gpu_hash_join_seconds(40_960, 40_960, 4_096);
+        assert!(more_rows > few);
+    }
+
+    #[test]
+    fn spmm_cost_scales_with_processed_tiles() {
+        let m = model();
+        let sparse = SpmmStats {
+            m: 4096,
+            n: 4096,
+            k: 4096,
+            tiles_processed: 100,
+            tiles_skipped: 16_284,
+            density_a: 0.001,
+            density_b: 0.001,
+            flops: 100.0 * 2.0 * 4096.0,
+            dense_equivalent_flops: 2.0 * 4096.0f64.powi(3),
+            bytes_touched: 1e6,
+        };
+        let denser = SpmmStats {
+            tiles_processed: 10_000,
+            flops: 10_000.0 * 2.0 * 4096.0,
+            ..sparse
+        };
+        assert!(
+            m.tcu_spmm_seconds(&sparse, Precision::Half)
+                <= m.tcu_spmm_seconds(&denser, Precision::Half)
+        );
+    }
+
+    #[test]
+    fn blocked_gemm_slower_than_in_memory_gemm() {
+        let m = model();
+        let g = gemm_stats(16384, 16384, 16384, Precision::Half);
+        let blocked = BlockedGemmStats {
+            m: 16384,
+            n: 16384,
+            k: 16384,
+            block_size: 8192,
+            block_multiplications: 8,
+            flops: g.flops,
+            bytes_streamed_in: 8.0 * 2.0 * 8192.0 * 8192.0 * 4.0,
+            bytes_streamed_out: 16384.0 * 16384.0 * 4.0,
+            pipeline_stages: 4,
+        };
+        assert!(m.blocked_gemm_seconds(&blocked, Precision::Half) > m.tcu_gemm_seconds(&g));
+    }
+
+    #[test]
+    fn groupby_and_scan_costs_positive_and_monotonic() {
+        let m = model();
+        assert!(m.gpu_groupby_agg_seconds(1_000_000, 32) > m.gpu_groupby_agg_seconds(1_000, 32));
+        assert!(m.gpu_aggregation_seconds(1_000_000) > m.gpu_aggregation_seconds(1_000));
+        assert!(m.gpu_scan_seconds(1_000_000, 8) > m.gpu_scan_seconds(1_000, 8));
+        assert!(m.nonzero_seconds(4096, 4096, 100_000) > 0.0);
+    }
+
+    #[test]
+    fn rtx_2080_is_slower_for_tcu_work() {
+        let m3090 = CostModel::new(DeviceProfile::rtx_3090());
+        let m2080 = CostModel::new(DeviceProfile::rtx_2080());
+        let stats = gemm_stats(8192, 8192, 1024, Precision::Half);
+        assert!(m2080.tcu_gemm_seconds(&stats) > m3090.tcu_gemm_seconds(&stats));
+        // And the YDB-style operators are slower too, but by a smaller factor.
+        let j3090 = m3090.gpu_hash_join_seconds(32768, 32768, 33_000_000);
+        let j2080 = m2080.gpu_hash_join_seconds(32768, 32768, 33_000_000);
+        let tcu_ratio = m2080.tcu_gemm_seconds(&stats) / m3090.tcu_gemm_seconds(&stats);
+        let ydb_ratio = j2080 / j3090;
+        assert!(tcu_ratio > ydb_ratio, "tcu {tcu_ratio} vs ydb {ydb_ratio}");
+    }
+}

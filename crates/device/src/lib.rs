@@ -1,0 +1,29 @@
+//! # tcudb-device
+//!
+//! The simulated GPU device that stands in for the paper's NVIDIA RTX 3090
+//! / RTX 2080 test hardware (see DESIGN.md, "Hardware substitution").
+//!
+//! The real TCUDB measures wall-clock time of CUDA kernels; we cannot, so
+//! every physical operator in the engines reports *what it did* (FLOPs,
+//! bytes moved, rows scanned, tiles skipped, …) and this crate converts
+//! that work into **simulated device time** using the same analytic cost
+//! structure the paper's own optimizer uses (§4.2.2, Equations 1–3):
+//!
+//! * `DT_op` — data transformation: `α·(m+n)` on the CPU, `α·(m+n)/p` with
+//!   GPU assistance,
+//! * `DM_op` — data movement over PCIe: bytes / bandwidth,
+//! * `CT_op` — compute: `2·M·N·K / peak_FLOPS`, de-rated for blocked and
+//!   sparse execution.
+//!
+//! The module also provides an [`ExecutionTimeline`] that the engines use
+//! to record a per-phase breakdown — the same breakdown the paper plots in
+//! its stacked-bar figures (Fill Matrices, GPU Memory Copy, HashJoin,
+//! GroupBy/Aggregation, Join…).
+
+pub mod cost;
+pub mod profile;
+pub mod timeline;
+
+pub use cost::CostModel;
+pub use profile::DeviceProfile;
+pub use timeline::{ExecutionTimeline, Phase};

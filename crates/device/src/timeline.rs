@@ -1,0 +1,221 @@
+//! Per-phase execution timelines.
+//!
+//! Every engine records how much (simulated or measured) time each phase of
+//! a query consumed.  The phases mirror the stacked-bar breakdowns of the
+//! paper's figures: "Fill Matrices (TCUDB)", "GPU Memory Copy",
+//! "HashJoin (YDB)", "GroupBy+Aggregation (YDB)",
+//! "Join+GroupBy+Aggregation (TCUDB)", and so on.
+
+use std::fmt;
+
+/// A phase of query execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Phase {
+    /// Building the matrix operands from table data (DT_op).
+    FillMatrices,
+    /// Host→device copies (DM_op).
+    MemcpyHostToDevice,
+    /// Device→host copies of results.
+    MemcpyDeviceToHost,
+    /// A TCU kernel: dense join GEMM, join+aggregate GEMM, SpMM or blocked
+    /// GEMM (CT_op).
+    TcuKernel,
+    /// The GPU hash-join operator of the YDB baseline.
+    HashJoin,
+    /// The GPU group-by / aggregation operators of the YDB baseline.
+    GroupByAggregation,
+    /// A table scan / selection operator (either engine).
+    ScanFilter,
+    /// CPU-side execution (the MonetDB baseline and CPU fallbacks).
+    CpuCompute,
+    /// Result materialisation back into table form (nonzero + remap).
+    ResultMaterialize,
+    /// Anything else (kernel launches, plan bookkeeping).
+    Other,
+}
+
+impl Phase {
+    /// Label used when printing breakdowns.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::FillMatrices => "Fill Matrices",
+            Phase::MemcpyHostToDevice => "GPU Memory Copy (H2D)",
+            Phase::MemcpyDeviceToHost => "GPU Memory Copy (D2H)",
+            Phase::TcuKernel => "TCU Kernel",
+            Phase::HashJoin => "HashJoin",
+            Phase::GroupByAggregation => "GroupBy+Aggregation",
+            Phase::ScanFilter => "Scan/Filter",
+            Phase::CpuCompute => "CPU Compute",
+            Phase::ResultMaterialize => "Result Materialize",
+            Phase::Other => "Other",
+        }
+    }
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded timeline entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEntry {
+    /// Phase category.
+    pub phase: Phase,
+    /// Optional operator-specific detail (e.g. "TcuJoin 4096x4096x32").
+    pub detail: String,
+    /// Simulated (or measured) seconds spent.
+    pub seconds: f64,
+}
+
+/// An ordered record of execution phases and their durations.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ExecutionTimeline {
+    entries: Vec<TimelineEntry>,
+}
+
+impl ExecutionTimeline {
+    /// Create an empty timeline.
+    pub fn new() -> ExecutionTimeline {
+        ExecutionTimeline::default()
+    }
+
+    /// Record `seconds` spent in `phase`.
+    pub fn record(&mut self, phase: Phase, seconds: f64) {
+        self.record_detail(phase, "", seconds);
+    }
+
+    /// Record `seconds` spent in `phase` with a free-form detail string.
+    pub fn record_detail(&mut self, phase: Phase, detail: impl Into<String>, seconds: f64) {
+        self.entries.push(TimelineEntry {
+            phase,
+            detail: detail.into(),
+            seconds: seconds.max(0.0),
+        });
+    }
+
+    /// All recorded entries in order.
+    pub fn entries(&self) -> &[TimelineEntry] {
+        &self.entries
+    }
+
+    /// Total seconds across all phases.
+    pub fn total_seconds(&self) -> f64 {
+        self.entries.iter().map(|e| e.seconds).sum()
+    }
+
+    /// Total seconds spent in one phase category.
+    pub fn seconds_in(&self, phase: Phase) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.phase == phase)
+            .map(|e| e.seconds)
+            .sum()
+    }
+
+    /// Total data-movement seconds (host↔device copies).
+    pub fn memcpy_seconds(&self) -> f64 {
+        self.seconds_in(Phase::MemcpyHostToDevice) + self.seconds_in(Phase::MemcpyDeviceToHost)
+    }
+
+    /// Append every entry of `other` to this timeline.
+    pub fn merge(&mut self, other: &ExecutionTimeline) {
+        self.entries.extend(other.entries.iter().cloned());
+    }
+
+    /// A compact per-phase breakdown, aggregated by phase category and
+    /// sorted by phase order.
+    pub fn breakdown(&self) -> Vec<(Phase, f64)> {
+        let mut phases: Vec<Phase> = self.entries.iter().map(|e| e.phase).collect();
+        phases.sort();
+        phases.dedup();
+        phases
+            .into_iter()
+            .map(|p| (p, self.seconds_in(p)))
+            .collect()
+    }
+
+    /// Render the breakdown as text (used by examples and the figures
+    /// harness).
+    pub fn format_breakdown(&self) -> String {
+        let total = self.total_seconds();
+        let mut out = String::new();
+        for (phase, secs) in self.breakdown() {
+            let pct = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
+            out.push_str(&format!(
+                "  {:<24} {:>12.6} ms  ({:>5.1}%)\n",
+                phase.label(),
+                secs * 1e3,
+                pct
+            ));
+        }
+        out.push_str(&format!("  {:<24} {:>12.6} ms\n", "TOTAL", total * 1e3));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_totals() {
+        let mut t = ExecutionTimeline::new();
+        t.record(Phase::FillMatrices, 0.010);
+        t.record(Phase::MemcpyHostToDevice, 0.002);
+        t.record_detail(Phase::TcuKernel, "TcuJoin 4x4x4", 0.005);
+        t.record(Phase::MemcpyDeviceToHost, 0.001);
+        assert!((t.total_seconds() - 0.018).abs() < 1e-12);
+        assert!((t.seconds_in(Phase::TcuKernel) - 0.005).abs() < 1e-12);
+        assert!((t.memcpy_seconds() - 0.003).abs() < 1e-12);
+        assert_eq!(t.entries().len(), 4);
+    }
+
+    #[test]
+    fn negative_durations_are_clamped() {
+        let mut t = ExecutionTimeline::new();
+        t.record(Phase::Other, -1.0);
+        assert_eq!(t.total_seconds(), 0.0);
+    }
+
+    #[test]
+    fn merge_appends_entries() {
+        let mut a = ExecutionTimeline::new();
+        a.record(Phase::HashJoin, 1.0);
+        let mut b = ExecutionTimeline::new();
+        b.record(Phase::GroupByAggregation, 2.0);
+        a.merge(&b);
+        assert_eq!(a.entries().len(), 2);
+        assert!((a.total_seconds() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_aggregates_by_phase() {
+        let mut t = ExecutionTimeline::new();
+        t.record(Phase::TcuKernel, 1.0);
+        t.record(Phase::TcuKernel, 2.0);
+        t.record(Phase::FillMatrices, 0.5);
+        let b = t.breakdown();
+        assert_eq!(b.len(), 2);
+        let tcu = b.iter().find(|(p, _)| *p == Phase::TcuKernel).unwrap();
+        assert!((tcu.1 - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formatting_contains_labels_and_total() {
+        let mut t = ExecutionTimeline::new();
+        t.record(Phase::HashJoin, 0.001);
+        let s = t.format_breakdown();
+        assert!(s.contains("HashJoin"));
+        assert!(s.contains("TOTAL"));
+        let empty = ExecutionTimeline::new().format_breakdown();
+        assert!(empty.contains("TOTAL"));
+    }
+
+    #[test]
+    fn phase_labels_are_stable() {
+        assert_eq!(Phase::FillMatrices.label(), "Fill Matrices");
+        assert_eq!(Phase::HashJoin.to_string(), "HashJoin");
+    }
+}

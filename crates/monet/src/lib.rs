@@ -1,0 +1,337 @@
+//! # tcudb-monet
+//!
+//! The **CPU baseline** standing in for MonetDB in the paper's
+//! experiments (§5.1): a single-node columnar CPU execution engine running
+//! the same SQL dialect through hash joins and hash aggregation, with no
+//! GPU involved.
+//!
+//! As with the other engines, answers are computed by the shared reference
+//! operators of `tcudb-core`; the reported timings are produced by a CPU
+//! cost model whose per-row constants are calibrated so that the
+//! CPU : GPU-hash-join ratio lands in the range the paper reports for
+//! MonetDB vs. YDB (roughly 2–6× slower depending on the query).
+
+use tcudb_core::analyzer::{self, AnalyzedQuery};
+use tcudb_core::relops;
+use tcudb_device::{ExecutionTimeline, Phase};
+use tcudb_sql::{parse, BinOp};
+use tcudb_storage::{Catalog, Table};
+use tcudb_types::{DataType, TcuError, TcuResult, Value};
+
+/// CPU execution cost constants (single node, main-memory column store).
+#[derive(Debug, Clone)]
+pub struct CpuCostModel {
+    /// Seconds per row scanned / filtered.
+    pub seconds_per_scan_row: f64,
+    /// Seconds per row hashed (build or probe).
+    pub seconds_per_hash_row: f64,
+    /// Seconds per join output tuple materialised.
+    pub seconds_per_output_tuple: f64,
+    /// Seconds per row aggregated.
+    pub seconds_per_agg_row: f64,
+}
+
+impl Default for CpuCostModel {
+    fn default() -> Self {
+        // Calibrated against the paper's MonetDB-vs-YDB ratios: a modern
+        // CPU core hashes ~5–10 M rows/s through a full operator pipeline.
+        CpuCostModel {
+            seconds_per_scan_row: 4e-9,
+            seconds_per_hash_row: 180e-9,
+            seconds_per_output_tuple: 120e-9,
+            seconds_per_agg_row: 25e-9,
+        }
+    }
+}
+
+impl CpuCostModel {
+    /// Cost of a hash join.
+    pub fn hash_join_seconds(&self, build: usize, probe: usize, output: usize) -> f64 {
+        (build + probe) as f64 * self.seconds_per_hash_row
+            + output as f64 * self.seconds_per_output_tuple
+    }
+
+    /// Cost of aggregating `rows` input rows.
+    pub fn aggregation_seconds(&self, rows: usize) -> f64 {
+        rows as f64 * self.seconds_per_agg_row
+    }
+
+    /// Cost of scanning `rows` rows.
+    pub fn scan_seconds(&self, rows: usize) -> f64 {
+        rows as f64 * self.seconds_per_scan_row
+    }
+}
+
+/// Result of one CPU-engine query execution.
+#[derive(Debug, Clone)]
+pub struct MonetOutput {
+    /// The result rows.
+    pub table: Table,
+    /// Per-phase timing (all phases are `CpuCompute` flavoured).
+    pub timeline: ExecutionTimeline,
+}
+
+impl MonetOutput {
+    /// Total modelled execution time in seconds.
+    pub fn total_seconds(&self) -> f64 {
+        self.timeline.total_seconds()
+    }
+}
+
+/// The MonetDB-style CPU engine.
+#[derive(Debug, Default, Clone)]
+pub struct MonetEngine {
+    catalog: Catalog,
+    cost: CpuCostModel,
+    /// Return only matched-tuple counts (see the other engines).
+    pub count_only: bool,
+}
+
+impl MonetEngine {
+    /// Create an engine with default cost constants.
+    pub fn new() -> MonetEngine {
+        MonetEngine::default()
+    }
+
+    /// Register (or replace) a table.
+    pub fn register_table(&mut self, table: Table) {
+        self.catalog.register(table);
+    }
+
+    /// Share a catalog built elsewhere.
+    pub fn set_catalog(&mut self, catalog: Catalog) {
+        self.catalog = catalog;
+    }
+
+    /// Access the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The CPU cost model in use.
+    pub fn cost_model(&self) -> &CpuCostModel {
+        &self.cost
+    }
+
+    /// Execute a SQL query on the CPU pipeline.
+    pub fn execute(&self, sql: &str) -> TcuResult<MonetOutput> {
+        let stmt = parse(sql)?;
+        let analyzed = analyzer::analyze(&stmt, &self.catalog)?;
+        self.execute_analyzed(&analyzed)
+    }
+
+    /// Execute an already-analyzed query.
+    pub fn execute_analyzed(&self, analyzed: &AnalyzedQuery) -> TcuResult<MonetOutput> {
+        let mut timeline = ExecutionTimeline::new();
+
+        let surviving = relops::apply_filters(analyzed)?;
+        for (ti, bound) in analyzed.tables.iter().enumerate() {
+            if !analyzed.filters_for_table(ti).is_empty() {
+                timeline.record_detail(
+                    Phase::CpuCompute,
+                    format!("scan {}", bound.binding),
+                    self.cost.scan_seconds(bound.table.num_rows()),
+                );
+            }
+        }
+
+        let (tuples, joined) = if analyzed.tables.len() == 1 {
+            (
+                surviving[0].iter().map(|&r| vec![r]).collect::<Vec<_>>(),
+                vec![0usize],
+            )
+        } else {
+            self.run_joins(analyzed, &surviving, &mut timeline)?
+        };
+
+        if analyzed.stmt.has_aggregates() || !analyzed.stmt.group_by.is_empty() {
+            timeline.record_detail(
+                Phase::CpuCompute,
+                format!("aggregate {} tuples", tuples.len()),
+                self.cost.aggregation_seconds(tuples.len()),
+            );
+        }
+
+        let remapped: Vec<Vec<usize>> = tuples
+            .iter()
+            .map(|t| {
+                let mut row = vec![0usize; analyzed.tables.len()];
+                for (pos, &table_idx) in joined.iter().enumerate() {
+                    row[table_idx] = t[pos];
+                }
+                row
+            })
+            .collect();
+        let table = if self.count_only {
+            relops::table_from_rows(
+                "result_count",
+                &["matched_tuples".to_string()],
+                vec![vec![Value::Int(remapped.len() as i64)]],
+            )?
+        } else {
+            relops::finalize_output(analyzed, &remapped)?
+        };
+        Ok(MonetOutput { table, timeline })
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn run_joins(
+        &self,
+        analyzed: &AnalyzedQuery,
+        surviving: &[Vec<usize>],
+        timeline: &mut ExecutionTimeline,
+    ) -> TcuResult<(Vec<Vec<usize>>, Vec<usize>)> {
+        let n = analyzed.tables.len();
+        let degree = |i: usize| analyzed.joins_for_table(i).len();
+        let start = (0..n).max_by_key(|&i| degree(i)).unwrap_or(0);
+        let mut joined = vec![start];
+        let mut tuples: Vec<Vec<usize>> = surviving[start].iter().map(|&r| vec![r]).collect();
+
+        while joined.len() < n {
+            let (next, pred, joined_is_left) = (0..n)
+                .filter(|i| !joined.contains(i))
+                .find_map(|i| {
+                    analyzed.joins.iter().find_map(|j| {
+                        if j.left.0 == i && joined.contains(&j.right.0) {
+                            Some((i, j, false))
+                        } else if j.right.0 == i && joined.contains(&j.left.0) {
+                            Some((i, j, true))
+                        } else {
+                            None
+                        }
+                    })
+                })
+                .ok_or_else(|| TcuError::Plan("disconnected join graph".into()))?;
+
+            let (jt, jcol, ncol) = if joined_is_left {
+                (pred.left.0, pred.left.1.clone(), pred.right.1.clone())
+            } else {
+                (pred.right.0, pred.right.1.clone(), pred.left.1.clone())
+            };
+            let op = if joined_is_left { pred.op } else { pred.op.flip() };
+
+            let jpos = joined.iter().position(|&t| t == jt).unwrap();
+            let jtable = &analyzed.tables[jt].table;
+            let jci = jtable.schema().require(&jcol)?;
+            let left_keys: Vec<Value> = tuples
+                .iter()
+                .map(|t| jtable.column(jci).value(t[jpos]))
+                .collect();
+            let ntable = &analyzed.tables[next].table;
+            let nci = ntable.schema().require(&ncol)?;
+            let right_rows = &surviving[next];
+            let right_keys: Vec<Value> = right_rows
+                .iter()
+                .map(|&r| ntable.column(nci).value(r))
+                .collect();
+
+            let dt = left_keys
+                .iter()
+                .find_map(|v| v.data_type())
+                .unwrap_or(DataType::Int64);
+            let left_col = tcudb_storage::Column::from_values(dt, &left_keys)?;
+            let dt_r = right_keys
+                .iter()
+                .find_map(|v| v.data_type())
+                .unwrap_or(DataType::Int64);
+            let right_col = tcudb_storage::Column::from_values(dt_r, &right_keys)?;
+            let all_left: Vec<usize> = (0..left_keys.len()).collect();
+            let all_right: Vec<usize> = (0..right_keys.len()).collect();
+            let pairs = if op == BinOp::Eq {
+                relops::hash_join_pairs(&left_col, &all_left, &right_col, &all_right)
+            } else {
+                relops::nonequi_join_pairs(&left_col, &all_left, &right_col, &all_right, op)?
+            };
+            timeline.record_detail(
+                Phase::CpuCompute,
+                format!(
+                    "CPU hash join {} ⋈ {}",
+                    analyzed.tables[jt].binding, analyzed.tables[next].binding
+                ),
+                self.cost
+                    .hash_join_seconds(left_keys.len(), right_keys.len(), pairs.len()),
+            );
+
+            let mut new_tuples = Vec::with_capacity(pairs.len());
+            for (li, rj) in pairs {
+                let mut t = tuples[li].clone();
+                t.push(right_rows[rj]);
+                new_tuples.push(t);
+            }
+            joined.push(next);
+            tuples = new_tuples;
+        }
+        Ok((tuples, joined))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> MonetEngine {
+        let mut e = MonetEngine::new();
+        e.register_table(
+            Table::from_int_columns(
+                "A",
+                &[("id", vec![1, 1, 2, 3]), ("val", vec![10, 11, 20, 30])],
+            )
+            .unwrap(),
+        );
+        e.register_table(
+            Table::from_int_columns("B", &[("id", vec![1, 2, 2]), ("val", vec![5, 6, 7])])
+                .unwrap(),
+        );
+        e
+    }
+
+    #[test]
+    fn results_match_reference() {
+        let out = engine()
+            .execute("SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val")
+            .unwrap();
+        assert_eq!(out.table.num_rows(), 3);
+        assert_eq!(out.table.row(0)[0].as_f64().unwrap(), 21.0);
+        assert!(out.total_seconds() > 0.0);
+        assert!(out.timeline.seconds_in(Phase::CpuCompute) > 0.0);
+    }
+
+    #[test]
+    fn cpu_join_is_slower_than_gpu_join_model() {
+        // The whole point of the baseline: CPU per-row constants exceed the
+        // GPU hash-join constants.
+        let cpu = CpuCostModel::default();
+        let gpu = tcudb_device::CostModel::new(tcudb_device::DeviceProfile::rtx_3090());
+        let cpu_t = cpu.hash_join_seconds(100_000, 100_000, 1_000_000);
+        let gpu_t = gpu.gpu_hash_join_seconds(100_000, 100_000, 1_000_000);
+        assert!(cpu_t > gpu_t);
+        assert!(cpu_t / gpu_t > 2.0);
+        assert!(cpu_t / gpu_t < 20.0);
+    }
+
+    #[test]
+    fn single_table_and_filters() {
+        let out = engine()
+            .execute("SELECT A.val FROM A WHERE A.val BETWEEN 11 AND 25 ORDER BY A.val")
+            .unwrap();
+        assert_eq!(out.table.num_rows(), 2);
+        assert_eq!(out.table.row(0)[0], Value::Int(11));
+    }
+
+    #[test]
+    fn count_only_mode() {
+        let mut e = engine();
+        e.count_only = true;
+        let out = e
+            .execute("SELECT A.val, B.val FROM A, B WHERE A.id = B.id")
+            .unwrap();
+        assert_eq!(out.table.row(0)[0], Value::Int(4));
+    }
+
+    #[test]
+    fn scan_cost_scales_with_rows() {
+        let c = CpuCostModel::default();
+        assert!(c.scan_seconds(1_000_000) > c.scan_seconds(1_000));
+        assert!(c.aggregation_seconds(100) > 0.0);
+    }
+}

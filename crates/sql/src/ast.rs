@@ -1,0 +1,505 @@
+//! Abstract syntax tree for the supported SQL dialect.
+
+use std::fmt;
+use tcudb_types::Value;
+
+/// Aggregate functions supported by the engine.
+///
+/// The paper's TCU rewrite covers SUM / COUNT / AVG (§3.3); MIN / MAX are
+/// listed as beyond the current TCU programming interface and always fall
+/// back to CPU/GPU execution — we still parse and execute them on the
+/// baseline paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// SUM(expr)
+    Sum,
+    /// COUNT(expr) / COUNT(*)
+    Count,
+    /// AVG(expr)
+    Avg,
+    /// MIN(expr) — not TCU-expressible.
+    Min,
+    /// MAX(expr) — not TCU-expressible.
+    Max,
+}
+
+impl AggFunc {
+    /// Parse an aggregate name.
+    pub fn from_name(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "SUM" => Some(AggFunc::Sum),
+            "COUNT" => Some(AggFunc::Count),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    /// Can the tensor-core rewrite of §3.3 express this aggregate?
+    pub fn tcu_expressible(self) -> bool {
+        matches!(self, AggFunc::Sum | AggFunc::Count | AggFunc::Avg)
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "SUM",
+            AggFunc::Count => "COUNT",
+            AggFunc::Avg => "AVG",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Binary operators (arithmetic, comparison and boolean connectives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `AND`
+    And,
+    /// `OR`
+    Or,
+}
+
+impl BinOp {
+    /// Is this a comparison operator (usable as a join condition)?
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::NotEq | BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq
+        )
+    }
+
+    /// Is this an arithmetic operator?
+    pub fn is_arithmetic(self) -> bool {
+        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div)
+    }
+
+    /// The comparison with its operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flip(self) -> BinOp {
+        match self {
+            BinOp::Lt => BinOp::Gt,
+            BinOp::LtEq => BinOp::GtEq,
+            BinOp::Gt => BinOp::Lt,
+            BinOp::GtEq => BinOp::LtEq,
+            other => other,
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "=",
+            BinOp::NotEq => "<>",
+            BinOp::Lt => "<",
+            BinOp::LtEq => "<=",
+            BinOp::Gt => ">",
+            BinOp::GtEq => ">=",
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A (possibly qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table name or alias, when qualified (`A.Val`).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// Unqualified column reference.
+    pub fn new(column: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// Qualified column reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> ColumnRef {
+        ColumnRef {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Value),
+    /// Binary operation.
+    Binary {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// Aggregate function call.
+    Aggregate {
+        /// Which aggregate.
+        func: AggFunc,
+        /// Argument (COUNT(*) uses `Literal(Int(1))`).
+        arg: Box<Expr>,
+    },
+    /// `expr BETWEEN low AND high` (inclusive).
+    Between {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// Lower bound.
+        low: Box<Expr>,
+        /// Upper bound.
+        high: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a binary expression.
+    pub fn binary(left: Expr, op: BinOp, right: Expr) -> Expr {
+        Expr::Binary {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+        }
+    }
+
+    /// Convenience constructor for a column reference.
+    pub fn col(table: &str, column: &str) -> Expr {
+        Expr::Column(ColumnRef::qualified(table, column))
+    }
+
+    /// Split a conjunctive predicate tree into its AND-ed conjuncts.
+    pub fn conjuncts(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Binary {
+                left,
+                op: BinOp::And,
+                right,
+            } => {
+                let mut out = left.conjuncts();
+                out.extend(right.conjuncts());
+                out
+            }
+            other => vec![other],
+        }
+    }
+
+    /// All column references appearing in this expression.
+    pub fn column_refs(&self) -> Vec<&ColumnRef> {
+        let mut out = Vec::new();
+        self.collect_columns(&mut out);
+        out
+    }
+
+    fn collect_columns<'a>(&'a self, out: &mut Vec<&'a ColumnRef>) {
+        match self {
+            Expr::Column(c) => out.push(c),
+            Expr::Literal(_) => {}
+            Expr::Binary { left, right, .. } => {
+                left.collect_columns(out);
+                right.collect_columns(out);
+            }
+            Expr::Aggregate { arg, .. } => arg.collect_columns(out),
+            Expr::Between { expr, low, high } => {
+                expr.collect_columns(out);
+                low.collect_columns(out);
+                high.collect_columns(out);
+            }
+        }
+    }
+
+    /// Does this expression contain an aggregate call?
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Column(_) | Expr::Literal(_) => false,
+            Expr::Binary { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::Between { expr, low, high } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+        }
+    }
+
+    /// The first aggregate call found in this expression (depth-first).
+    pub fn first_aggregate(&self) -> Option<(&AggFunc, &Expr)> {
+        match self {
+            Expr::Aggregate { func, arg } => Some((func, arg)),
+            Expr::Binary { left, right, .. } => {
+                left.first_aggregate().or_else(|| right.first_aggregate())
+            }
+            Expr::Between { expr, low, high } => expr
+                .first_aggregate()
+                .or_else(|| low.first_aggregate())
+                .or_else(|| high.first_aggregate()),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(v) => match v {
+                Value::Text(s) => write!(f, "'{s}'"),
+                other => write!(f, "{other}"),
+            },
+            Expr::Binary { left, op, right } => write!(f, "({left} {op} {right})"),
+            Expr::Aggregate { func, arg } => write!(f, "{func}({arg})"),
+            Expr::Between { expr, low, high } => {
+                write!(f, "({expr} BETWEEN {low} AND {high})")
+            }
+        }
+    }
+}
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: Expr,
+    /// Optional `AS alias`.
+    pub alias: Option<String>,
+}
+
+impl SelectItem {
+    /// The output column name: the alias when present, otherwise a
+    /// rendering of the expression.
+    pub fn output_name(&self) -> String {
+        match &self.alias {
+            Some(a) => a.clone(),
+            None => match &self.expr {
+                Expr::Column(c) => c.column.clone(),
+                other => other.to_string(),
+            },
+        }
+    }
+}
+
+/// A table in the FROM clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TableRef {
+    /// Table name as registered in the catalog.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+}
+
+impl TableRef {
+    /// The name that qualifies columns of this table (alias if present).
+    pub fn binding(&self) -> &str {
+        self.alias.as_deref().unwrap_or(&self.name)
+    }
+}
+
+/// One ORDER BY key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderByItem {
+    /// Sort expression (a column reference or output alias).
+    pub expr: Expr,
+    /// Ascending (default) vs descending.
+    pub ascending: bool,
+}
+
+/// A parsed single-block SELECT statement.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SelectStatement {
+    /// SELECT list.
+    pub items: Vec<SelectItem>,
+    /// FROM tables.
+    pub from: Vec<TableRef>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY keys.
+    pub group_by: Vec<Expr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderByItem>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+impl SelectStatement {
+    /// The AND-ed conjuncts of the WHERE clause (empty when absent).
+    pub fn where_conjuncts(&self) -> Vec<&Expr> {
+        self.where_clause
+            .as_ref()
+            .map(|w| w.conjuncts())
+            .unwrap_or_default()
+    }
+
+    /// Does any SELECT item contain an aggregate?
+    pub fn has_aggregates(&self) -> bool {
+        self.items.iter().any(|i| i.expr.contains_aggregate())
+    }
+
+    /// Find the table binding (alias or name) that a column reference
+    /// belongs to, when it is qualified.
+    pub fn resolve_table<'a>(&'a self, col: &ColumnRef) -> Option<&'a TableRef> {
+        let t = col.table.as_deref()?;
+        self.from
+            .iter()
+            .find(|tr| tr.binding().eq_ignore_ascii_case(t) || tr.name.eq_ignore_ascii_case(t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_func_parsing_and_expressibility() {
+        assert_eq!(AggFunc::from_name("sum"), Some(AggFunc::Sum));
+        assert_eq!(AggFunc::from_name("COUNT"), Some(AggFunc::Count));
+        assert_eq!(AggFunc::from_name("median"), None);
+        assert!(AggFunc::Sum.tcu_expressible());
+        assert!(AggFunc::Avg.tcu_expressible());
+        assert!(!AggFunc::Min.tcu_expressible());
+        assert_eq!(AggFunc::Max.to_string(), "MAX");
+    }
+
+    #[test]
+    fn binop_classification_and_flip() {
+        assert!(BinOp::Eq.is_comparison());
+        assert!(!BinOp::Add.is_comparison());
+        assert!(BinOp::Mul.is_arithmetic());
+        assert_eq!(BinOp::Lt.flip(), BinOp::Gt);
+        assert_eq!(BinOp::GtEq.flip(), BinOp::LtEq);
+        assert_eq!(BinOp::Eq.flip(), BinOp::Eq);
+        assert_eq!(BinOp::And.to_string(), "AND");
+    }
+
+    #[test]
+    fn conjunct_splitting() {
+        let e = Expr::binary(
+            Expr::binary(Expr::col("a", "x"), BinOp::Eq, Expr::col("b", "x")),
+            BinOp::And,
+            Expr::binary(
+                Expr::col("a", "y"),
+                BinOp::Lt,
+                Expr::Literal(Value::Int(5)),
+            ),
+        );
+        assert_eq!(e.conjuncts().len(), 2);
+        // OR does not split.
+        let o = Expr::binary(
+            Expr::col("a", "x"),
+            BinOp::Or,
+            Expr::col("b", "x"),
+        );
+        assert_eq!(o.conjuncts().len(), 1);
+    }
+
+    #[test]
+    fn column_collection_and_aggregate_detection() {
+        let e = Expr::Aggregate {
+            func: AggFunc::Sum,
+            arg: Box::new(Expr::binary(
+                Expr::col("a", "val"),
+                BinOp::Mul,
+                Expr::col("b", "val"),
+            )),
+        };
+        assert_eq!(e.column_refs().len(), 2);
+        assert!(e.contains_aggregate());
+        let (f, _) = e.first_aggregate().unwrap();
+        assert_eq!(*f, AggFunc::Sum);
+        assert!(!Expr::Literal(Value::Int(1)).contains_aggregate());
+    }
+
+    #[test]
+    fn select_item_output_names() {
+        let with_alias = SelectItem {
+            expr: Expr::col("a", "val"),
+            alias: Some("res".into()),
+        };
+        assert_eq!(with_alias.output_name(), "res");
+        let bare = SelectItem {
+            expr: Expr::col("a", "val"),
+            alias: None,
+        };
+        assert_eq!(bare.output_name(), "val");
+    }
+
+    #[test]
+    fn table_binding_and_resolution() {
+        let stmt = SelectStatement {
+            from: vec![
+                TableRef {
+                    name: "lineorder".into(),
+                    alias: Some("lo".into()),
+                },
+                TableRef {
+                    name: "part".into(),
+                    alias: None,
+                },
+            ],
+            ..Default::default()
+        };
+        let c = ColumnRef::qualified("lo", "quantity");
+        assert_eq!(stmt.resolve_table(&c).unwrap().name, "lineorder");
+        let c2 = ColumnRef::qualified("PART", "p_brand");
+        assert_eq!(stmt.resolve_table(&c2).unwrap().name, "part");
+        assert!(stmt.resolve_table(&ColumnRef::new("x")).is_none());
+    }
+
+    #[test]
+    fn display_renders_readably() {
+        let e = Expr::Between {
+            expr: Box::new(Expr::col("lo", "discount")),
+            low: Box::new(Expr::Literal(Value::Int(1))),
+            high: Box::new(Expr::Literal(Value::Int(3))),
+        };
+        assert_eq!(e.to_string(), "(lo.discount BETWEEN 1 AND 3)");
+        let lit = Expr::Literal(Value::Text("ASIA".into()));
+        assert_eq!(lit.to_string(), "'ASIA'");
+    }
+}

@@ -1,0 +1,29 @@
+//! # tcudb-sql
+//!
+//! A small SQL front-end covering the query dialect used throughout the
+//! paper: single-block `SELECT` statements over one or more tables with
+//! conjunctive/disjunctive predicates, equi- and non-equi join conditions,
+//! `SUM`/`COUNT`/`AVG`/`MIN`/`MAX` aggregates (optionally over arithmetic
+//! expressions), `GROUP BY`, `ORDER BY` and `LIMIT`.
+//!
+//! This is intentionally *not* a full SQL implementation — it parses the
+//! microbenchmark queries Q1–Q5, the Figure 5 matrix-multiplication query,
+//! all 13 Star Schema Benchmark queries, the entity-matching blocking
+//! queries and the three PageRank queries, which is the complete query
+//! surface of the paper's evaluation.
+//!
+//! ```
+//! use tcudb_sql::parse;
+//! let stmt = parse("SELECT A.Val, B.Val FROM A, B WHERE A.ID = B.ID").unwrap();
+//! assert_eq!(stmt.from.len(), 2);
+//! ```
+
+pub mod ast;
+pub mod parser;
+pub mod token;
+
+pub use ast::{
+    AggFunc, BinOp, ColumnRef, Expr, OrderByItem, SelectItem, SelectStatement, TableRef,
+};
+pub use parser::parse;
+pub use token::{tokenize, Token};

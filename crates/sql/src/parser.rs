@@ -1,0 +1,523 @@
+//! Recursive-descent parser for the supported SQL dialect.
+
+use crate::ast::{
+    AggFunc, BinOp, ColumnRef, Expr, OrderByItem, SelectItem, SelectStatement, TableRef,
+};
+use crate::token::{tokenize, Token};
+use tcudb_types::{TcuError, TcuResult, Value};
+
+/// Parse a single SELECT statement.
+pub fn parse(sql: &str) -> TcuResult<SelectStatement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.parse_select()?;
+    p.accept(&Token::Semicolon);
+    if !p.at_end() {
+        return Err(TcuError::Parse(format!(
+            "unexpected trailing tokens starting at {:?}",
+            p.peek()
+        )));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn accept(&mut self, token: &Token) -> bool {
+        if self.peek() == Some(token) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if self.peek_keyword(kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(t) if t.keyword().as_deref() == Some(kw))
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> TcuResult<()> {
+        if self.accept_keyword(kw) {
+            Ok(())
+        } else {
+            Err(TcuError::Parse(format!(
+                "expected keyword {kw}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect(&mut self, token: &Token) -> TcuResult<()> {
+        if self.accept(token) {
+            Ok(())
+        } else {
+            Err(TcuError::Parse(format!(
+                "expected {token:?}, found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> TcuResult<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(TcuError::Parse(format!(
+                "expected identifier, found {other:?}"
+            ))),
+        }
+    }
+
+    fn parse_select(&mut self) -> TcuResult<SelectStatement> {
+        self.expect_keyword("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            items.push(self.parse_select_item()?);
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+
+        self.expect_keyword("FROM")?;
+        let mut from = Vec::new();
+        loop {
+            from.push(self.parse_table_ref()?);
+            if !self.accept(&Token::Comma) {
+                break;
+            }
+        }
+
+        let where_clause = if self.accept_keyword("WHERE") {
+            Some(self.parse_expr()?)
+        } else {
+            None
+        };
+
+        let mut group_by = Vec::new();
+        if self.accept_keyword("GROUP") {
+            self.expect_keyword("BY")?;
+            loop {
+                group_by.push(self.parse_expr()?);
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let mut order_by = Vec::new();
+        if self.accept_keyword("ORDER") {
+            self.expect_keyword("BY")?;
+            loop {
+                let expr = self.parse_expr()?;
+                let ascending = if self.accept_keyword("DESC") {
+                    false
+                } else {
+                    self.accept_keyword("ASC");
+                    true
+                };
+                order_by.push(OrderByItem { expr, ascending });
+                if !self.accept(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+
+        let limit = if self.accept_keyword("LIMIT") {
+            match self.next() {
+                Some(Token::Int(n)) if n >= 0 => Some(n as usize),
+                other => {
+                    return Err(TcuError::Parse(format!(
+                        "expected integer after LIMIT, found {other:?}"
+                    )))
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(SelectStatement {
+            items,
+            from,
+            where_clause,
+            group_by,
+            order_by,
+            limit,
+        })
+    }
+
+    fn parse_select_item(&mut self) -> TcuResult<SelectItem> {
+        let expr = self.parse_expr()?;
+        let alias = if self.accept_keyword("AS") {
+            Some(self.expect_ident()?)
+        } else {
+            None
+        };
+        Ok(SelectItem { expr, alias })
+    }
+
+    fn parse_table_ref(&mut self) -> TcuResult<TableRef> {
+        let name = self.expect_ident()?;
+        // An identifier immediately following (that is not a clause
+        // keyword) is an alias: `FROM lineorder lo`.
+        let alias = match self.peek() {
+            Some(Token::Ident(s)) => {
+                let upper = s.to_ascii_uppercase();
+                if [
+                    "WHERE", "GROUP", "ORDER", "LIMIT", "AS", "ON", "JOIN", "INNER",
+                ]
+                .contains(&upper.as_str())
+                {
+                    if upper == "AS" {
+                        self.pos += 1;
+                        Some(self.expect_ident()?)
+                    } else {
+                        None
+                    }
+                } else {
+                    Some(self.expect_ident()?)
+                }
+            }
+            _ => None,
+        };
+        Ok(TableRef { name, alias })
+    }
+
+    // Expression grammar (lowest to highest precedence):
+    //   expr        := or_expr
+    //   or_expr     := and_expr (OR and_expr)*
+    //   and_expr    := not_expr (AND not_expr)*
+    //   not_expr    := comparison
+    //   comparison  := additive ((=|<>|<|<=|>|>=) additive | BETWEEN additive AND additive)?
+    //   additive    := multiplicative ((+|-) multiplicative)*
+    //   multiplicative := unary ((*|/) unary)*
+    //   unary       := (-)? primary
+    //   primary     := literal | aggregate | column | '(' expr ')'
+    fn parse_expr(&mut self) -> TcuResult<Expr> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> TcuResult<Expr> {
+        let mut left = self.parse_and()?;
+        while self.accept_keyword("OR") {
+            let right = self.parse_and()?;
+            left = Expr::binary(left, BinOp::Or, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> TcuResult<Expr> {
+        let mut left = self.parse_comparison()?;
+        while self.accept_keyword("AND") {
+            let right = self.parse_comparison()?;
+            left = Expr::binary(left, BinOp::And, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_comparison(&mut self) -> TcuResult<Expr> {
+        let left = self.parse_additive()?;
+        if self.accept_keyword("BETWEEN") {
+            let low = self.parse_additive()?;
+            self.expect_keyword("AND")?;
+            let high = self.parse_additive()?;
+            return Ok(Expr::Between {
+                expr: Box::new(left),
+                low: Box::new(low),
+                high: Box::new(high),
+            });
+        }
+        let op = match self.peek() {
+            Some(Token::Eq) => Some(BinOp::Eq),
+            Some(Token::NotEq) => Some(BinOp::NotEq),
+            Some(Token::Lt) => Some(BinOp::Lt),
+            Some(Token::LtEq) => Some(BinOp::LtEq),
+            Some(Token::Gt) => Some(BinOp::Gt),
+            Some(Token::GtEq) => Some(BinOp::GtEq),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let right = self.parse_additive()?;
+            return Ok(Expr::binary(left, op, right));
+        }
+        Ok(left)
+    }
+
+    fn parse_additive(&mut self) -> TcuResult<Expr> {
+        let mut left = self.parse_multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_multiplicative()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_multiplicative(&mut self) -> TcuResult<Expr> {
+        let mut left = self.parse_unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let right = self.parse_unary()?;
+            left = Expr::binary(left, op, right);
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> TcuResult<Expr> {
+        if self.accept(&Token::Minus) {
+            let inner = self.parse_unary()?;
+            return Ok(Expr::binary(
+                Expr::Literal(Value::Int(0)),
+                BinOp::Sub,
+                inner,
+            ));
+        }
+        self.parse_primary()
+    }
+
+    fn parse_primary(&mut self) -> TcuResult<Expr> {
+        match self.next() {
+            Some(Token::Int(v)) => Ok(Expr::Literal(Value::Int(v))),
+            Some(Token::Float(v)) => Ok(Expr::Literal(Value::Float(v))),
+            Some(Token::String(s)) => Ok(Expr::Literal(Value::Text(s))),
+            Some(Token::LParen) => {
+                let inner = self.parse_expr()?;
+                self.expect(&Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                // Aggregate call?
+                if let Some(func) = AggFunc::from_name(&name) {
+                    if self.accept(&Token::LParen) {
+                        // COUNT(*) has a star argument.
+                        let arg = if self.accept(&Token::Star) {
+                            Expr::Literal(Value::Int(1))
+                        } else {
+                            self.parse_expr()?
+                        };
+                        self.expect(&Token::RParen)?;
+                        return Ok(Expr::Aggregate {
+                            func,
+                            arg: Box::new(arg),
+                        });
+                    }
+                }
+                // Qualified column?
+                if self.accept(&Token::Dot) {
+                    let column = self.expect_ident()?;
+                    return Ok(Expr::Column(ColumnRef::qualified(name, column)));
+                }
+                Ok(Expr::Column(ColumnRef::new(name)))
+            }
+            other => Err(TcuError::Parse(format!(
+                "unexpected token in expression: {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_q1_two_way_join() {
+        let stmt = parse("SELECT A.Val, B.Val FROM A, B WHERE A.ID = B.ID;").unwrap();
+        assert_eq!(stmt.items.len(), 2);
+        assert_eq!(stmt.from.len(), 2);
+        assert_eq!(stmt.where_conjuncts().len(), 1);
+        assert!(!stmt.has_aggregates());
+        assert!(stmt.group_by.is_empty());
+    }
+
+    #[test]
+    fn parses_q3_groupby_aggregate() {
+        let stmt = parse(
+            "SELECT SUM(A.Val), B.Val FROM A, B WHERE A.ID = B.ID GROUP BY B.Val;",
+        )
+        .unwrap();
+        assert!(stmt.has_aggregates());
+        assert_eq!(stmt.group_by.len(), 1);
+        let (func, _) = stmt.items[0].expr.first_aggregate().unwrap();
+        assert_eq!(*func, AggFunc::Sum);
+    }
+
+    #[test]
+    fn parses_q4_aggregate_expression() {
+        let stmt =
+            parse("SELECT SUM(A.Val * B.Val) FROM A, B WHERE A.ID = B.ID;").unwrap();
+        assert!(stmt.has_aggregates());
+        assert!(stmt.group_by.is_empty());
+        let (_, arg) = stmt.items[0].expr.first_aggregate().unwrap();
+        assert_eq!(arg.column_refs().len(), 2);
+    }
+
+    #[test]
+    fn parses_figure5_matmul_query() {
+        let stmt = parse(
+            "SELECT A.col_num, B.row_num, SUM(A.val * B.val) as res \
+             FROM A, B WHERE A.row_num = B.col_num GROUP BY A.col_num, B.row_num;",
+        )
+        .unwrap();
+        assert_eq!(stmt.items.len(), 3);
+        assert_eq!(stmt.items[2].output_name(), "res");
+        assert_eq!(stmt.group_by.len(), 2);
+    }
+
+    #[test]
+    fn parses_non_equi_join() {
+        let stmt = parse("SELECT A.Val, B.Val FROM A, B WHERE A.ID < B.ID").unwrap();
+        match stmt.where_clause.as_ref().unwrap() {
+            Expr::Binary { op, .. } => assert_eq!(*op, BinOp::Lt),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_three_way_join() {
+        let stmt = parse(
+            "SELECT A.Val, B.Val, C.Val FROM A, B, C \
+             WHERE A.ID_1 = B.ID_1 AND B.ID_2 = C.ID_2;",
+        )
+        .unwrap();
+        assert_eq!(stmt.from.len(), 3);
+        assert_eq!(stmt.where_conjuncts().len(), 2);
+    }
+
+    #[test]
+    fn parses_ssb_q1_1_style_query() {
+        let stmt = parse(
+            "SELECT SUM(lo_extendedprice * lo_discount) AS revenue \
+             FROM lineorder, date \
+             WHERE lo_orderdate = d_datekey AND d_year = 1993 \
+               AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25;",
+        )
+        .unwrap();
+        assert_eq!(stmt.from.len(), 2);
+        assert_eq!(stmt.where_conjuncts().len(), 4);
+        assert_eq!(stmt.items[0].output_name(), "revenue");
+    }
+
+    #[test]
+    fn parses_ssb_q4_1_style_query_with_or() {
+        let stmt = parse(
+            "SELECT d_year, c_nation, SUM(lo_revenue - lo_supplycost) AS profit \
+             FROM date, customer, supplier, part, lineorder \
+             WHERE lo_custkey = c_custkey AND lo_suppkey = s_suppkey \
+               AND lo_partkey = p_partkey AND lo_orderdate = d_datekey \
+               AND c_region = 'AMERICA' AND s_region = 'AMERICA' \
+               AND (p_mfgr = 'MFGR#1' OR p_mfgr = 'MFGR#2') \
+             GROUP BY d_year, c_nation ORDER BY d_year, c_nation;",
+        )
+        .unwrap();
+        assert_eq!(stmt.from.len(), 5);
+        // The OR conjunct stays as a single conjunct.
+        assert_eq!(stmt.where_conjuncts().len(), 7);
+        assert_eq!(stmt.order_by.len(), 2);
+        assert!(stmt.order_by[0].ascending);
+    }
+
+    #[test]
+    fn parses_table_aliases() {
+        let stmt = parse(
+            "SELECT lo.quantity FROM lineorder lo, part AS p WHERE lo.partkey = p.partkey",
+        )
+        .unwrap();
+        assert_eq!(stmt.from[0].binding(), "lo");
+        assert_eq!(stmt.from[1].binding(), "p");
+        assert_eq!(stmt.from[1].name, "part");
+    }
+
+    #[test]
+    fn parses_order_by_desc_and_limit() {
+        let stmt = parse(
+            "SELECT A.Val FROM A WHERE A.ID > 3 ORDER BY A.Val DESC LIMIT 10",
+        )
+        .unwrap();
+        assert!(!stmt.order_by[0].ascending);
+        assert_eq!(stmt.limit, Some(10));
+    }
+
+    #[test]
+    fn parses_count_star_and_avg() {
+        let stmt = parse(
+            "SELECT NODE.ID, COUNT(EDGE.SRC) FROM NODE, EDGE \
+             WHERE NODE.ID = EDGE.SRC GROUP BY NODE.ID;",
+        )
+        .unwrap();
+        let (f, _) = stmt.items[1].expr.first_aggregate().unwrap();
+        assert_eq!(*f, AggFunc::Count);
+        let stmt2 = parse("SELECT COUNT(*), AVG(A.v) FROM A").unwrap();
+        assert!(stmt2.has_aggregates());
+    }
+
+    #[test]
+    fn parses_pagerank_arithmetic() {
+        let stmt = parse(
+            "SELECT NODE.ID, (1 - 0.85) / 1024 as rank \
+             FROM NODE, OUTDEGREE WHERE NODE.ID = OUTDEGREE.ID;",
+        )
+        .unwrap();
+        assert_eq!(stmt.items[1].output_name(), "rank");
+        assert!(matches!(stmt.items[1].expr, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn parses_unary_minus() {
+        let stmt = parse("SELECT -A.v FROM A WHERE A.v < -5").unwrap();
+        assert_eq!(stmt.items.len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_queries() {
+        assert!(parse("SELECT FROM A").is_err());
+        assert!(parse("SELECT x").is_err());
+        assert!(parse("SELECT x FROM A WHERE").is_err());
+        assert!(parse("SELECT x FROM A LIMIT abc").is_err());
+        assert!(parse("SELECT (x FROM A").is_err());
+        assert!(parse("SELECT x FROM A extra junk everywhere (").is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse("SELECT x FROM A; SELECT y FROM B").is_err());
+    }
+}

@@ -1,0 +1,286 @@
+//! SQL tokenizer.
+
+use tcudb_types::{TcuError, TcuResult};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword (upper-cased) or identifier (original case preserved in
+    /// `Ident`); keywords are recognised during parsing by comparing the
+    /// upper-cased identifier text.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Single-quoted string literal.
+    String(String),
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `;`
+    Semicolon,
+}
+
+impl Token {
+    /// If this token is an identifier, its upper-cased text (used for
+    /// keyword matching).
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Token::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+}
+
+/// Tokenize a SQL string.
+///
+/// Comments of the form `-- …` run to the end of the line and are skipped.
+/// `@identifiers` (the PageRank parameter syntax in the paper's listings)
+/// are lexed as ordinary identifiers including the `@`.
+pub fn tokenize(sql: &str) -> TcuResult<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < chars.len() && chars[i + 1] == '-' => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ',' => {
+                tokens.push(Token::Comma);
+                i += 1;
+            }
+            '.' => {
+                tokens.push(Token::Dot);
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token::Slash);
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                tokens.push(Token::Minus);
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Token::Eq);
+                i += 1;
+            }
+            '!' if i + 1 < chars.len() && chars[i + 1] == '=' => {
+                tokens.push(Token::NotEq);
+                i += 2;
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::LtEq);
+                    i += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    tokens.push(Token::NotEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    tokens.push(Token::GtEq);
+                    i += 2;
+                } else {
+                    tokens.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                while i < chars.len() && chars[i] != '\'' {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                if i >= chars.len() {
+                    return Err(TcuError::Parse("unterminated string literal".into()));
+                }
+                i += 1; // closing quote
+                tokens.push(Token::String(s));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                let mut is_float = false;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '.') {
+                    // A '.' followed by a non-digit is a qualified-name dot,
+                    // not part of a number (e.g. `Q1.1` never appears in
+                    // expressions; `1.5` does).
+                    if chars[i] == '.' {
+                        if i + 1 < chars.len() && chars[i + 1].is_ascii_digit() {
+                            is_float = true;
+                        } else {
+                            break;
+                        }
+                    }
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|e| TcuError::Parse(format!("bad float '{text}': {e}")))?;
+                    tokens.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|e| TcuError::Parse(format!("bad integer '{text}': {e}")))?;
+                    tokens.push(Token::Int(v));
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '@' => {
+                let start = i;
+                i += 1;
+                while i < chars.len()
+                    && (chars[i].is_ascii_alphanumeric() || chars[i] == '_' || chars[i] == '#')
+                {
+                    i += 1;
+                }
+                tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => {
+                return Err(TcuError::Parse(format!(
+                    "unexpected character '{other}' at offset {i}"
+                )))
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = tokenize("SELECT A.Val FROM A WHERE A.ID = 3;").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert!(toks.contains(&Token::Dot));
+        assert!(toks.contains(&Token::Eq));
+        assert!(toks.contains(&Token::Int(3)));
+        assert_eq!(*toks.last().unwrap(), Token::Semicolon);
+    }
+
+    #[test]
+    fn numbers_and_floats() {
+        let toks = tokenize("1 2.5 0.85").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Int(1), Token::Float(2.5), Token::Float(0.85)]
+        );
+    }
+
+    #[test]
+    fn operators_all_forms() {
+        let toks = tokenize("= != <> < <= > >= + - * /").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Eq,
+                Token::NotEq,
+                Token::NotEq,
+                Token::Lt,
+                Token::LtEq,
+                Token::Gt,
+                Token::GtEq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_unterminated() {
+        let toks = tokenize("'MFGR#12' 'ASIA'").unwrap();
+        assert_eq!(toks[0], Token::String("MFGR#12".into()));
+        assert_eq!(toks[1], Token::String("ASIA".into()));
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = tokenize("-- Q1:\nSELECT x -- trailing\nFROM t").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks.len(), 4);
+    }
+
+    #[test]
+    fn at_parameters_and_hash_idents() {
+        let toks = tokenize("@alpha p_category = 'MFGR#12'").unwrap();
+        assert_eq!(toks[0], Token::Ident("@alpha".into()));
+        assert_eq!(toks[1], Token::Ident("p_category".into()));
+    }
+
+    #[test]
+    fn rejects_unknown_characters() {
+        assert!(tokenize("SELECT ?").is_err());
+    }
+
+    #[test]
+    fn keyword_helper_uppercases() {
+        assert_eq!(
+            Token::Ident("select".into()).keyword(),
+            Some("SELECT".to_string())
+        );
+        assert_eq!(Token::Comma.keyword(), None);
+    }
+}

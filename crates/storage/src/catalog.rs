@@ -1,0 +1,160 @@
+//! Named-table registry shared by the query engines.
+
+use crate::stats::TableStats;
+use crate::table::Table;
+use std::collections::HashMap;
+use std::sync::Arc;
+use tcudb_types::{TcuError, TcuResult};
+
+/// A catalog of registered tables plus their (lazily computed) statistics.
+///
+/// Every engine in the workspace (TCUDB, the YDB baseline, the CPU
+/// baseline) executes queries against a `Catalog`, so the same data is
+/// guaranteed to be visible to every engine in a comparison experiment.
+#[derive(Debug, Default, Clone)]
+pub struct Catalog {
+    tables: HashMap<String, Arc<Table>>,
+    stats: HashMap<String, Arc<TableStats>>,
+}
+
+impl Catalog {
+    /// Create an empty catalog.
+    pub fn new() -> Catalog {
+        Catalog::default()
+    }
+
+    /// Register a table under its own name, computing its statistics.
+    /// Re-registering a name replaces the previous table.
+    pub fn register(&mut self, table: Table) {
+        let key = table.name().to_ascii_lowercase();
+        let stats = Arc::new(table.compute_stats());
+        self.tables.insert(key.clone(), Arc::new(table));
+        self.stats.insert(key, stats);
+    }
+
+    /// Register a table under an explicit name.
+    pub fn register_as(&mut self, name: &str, mut table: Table) {
+        table.set_name(name);
+        self.register(table);
+    }
+
+    /// Look up a table by name (case-insensitive).
+    pub fn table(&self, name: &str) -> TcuResult<Arc<Table>> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| {
+                TcuError::Analysis(format!(
+                    "table '{name}' not found (registered: {})",
+                    self.table_names().join(", ")
+                ))
+            })
+    }
+
+    /// Look up the statistics of a table by name.
+    pub fn stats(&self, name: &str) -> TcuResult<Arc<TableStats>> {
+        self.stats
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| TcuError::Analysis(format!("statistics for '{name}' not found")))
+    }
+
+    /// True if a table with this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Remove a table, returning whether it existed.
+    pub fn drop_table(&mut self, name: &str) -> bool {
+        let key = name.to_ascii_lowercase();
+        self.stats.remove(&key);
+        self.tables.remove(&key).is_some()
+    }
+
+    /// Names of all registered tables (sorted for deterministic output).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True if no tables are registered.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total host-memory footprint of all registered tables.
+    pub fn total_bytes(&self) -> usize {
+        self.tables.values().map(|t| t.byte_size()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(name: &str) -> Table {
+        Table::from_int_columns(name, &[("id", vec![1, 2, 3]), ("v", vec![7, 8, 9])]).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut cat = Catalog::new();
+        cat.register(small("A"));
+        assert!(cat.contains("a"));
+        assert!(cat.contains("A"));
+        let t = cat.table("a").unwrap();
+        assert_eq!(t.num_rows(), 3);
+        assert!(cat.table("missing").is_err());
+        assert_eq!(cat.len(), 1);
+        assert!(!cat.is_empty());
+    }
+
+    #[test]
+    fn stats_are_computed_on_registration() {
+        let mut cat = Catalog::new();
+        cat.register(small("A"));
+        let s = cat.stats("a").unwrap();
+        assert_eq!(s.row_count, 3);
+        assert_eq!(s.column("id").unwrap().distinct_count, 3);
+        assert!(cat.stats("missing").is_err());
+    }
+
+    #[test]
+    fn register_as_renames() {
+        let mut cat = Catalog::new();
+        cat.register_as("renamed", small("orig"));
+        assert!(cat.contains("renamed"));
+        assert!(!cat.contains("orig"));
+        assert_eq!(cat.table("renamed").unwrap().name(), "renamed");
+    }
+
+    #[test]
+    fn drop_and_names() {
+        let mut cat = Catalog::new();
+        cat.register(small("b"));
+        cat.register(small("a"));
+        assert_eq!(cat.table_names(), vec!["a".to_string(), "b".to_string()]);
+        assert!(cat.total_bytes() > 0);
+        assert!(cat.drop_table("A"));
+        assert!(!cat.drop_table("A"));
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut cat = Catalog::new();
+        cat.register(small("t"));
+        let bigger =
+            Table::from_int_columns("t", &[("id", vec![1, 2, 3, 4]), ("v", vec![1, 2, 3, 4])])
+                .unwrap();
+        cat.register(bigger);
+        assert_eq!(cat.table("t").unwrap().num_rows(), 4);
+        assert_eq!(cat.len(), 1);
+    }
+}

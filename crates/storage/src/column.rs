@@ -1,0 +1,240 @@
+//! Typed columnar storage.
+
+use tcudb_types::{DataType, TcuError, TcuResult, Value};
+
+/// A single column of values, stored contiguously by type.
+///
+/// Text columns keep owned `String`s; the engines dictionary-encode join
+/// keys on the fly when they build matrices, which mirrors how the paper's
+/// code generator maps string domains onto matrix dimensions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64(Vec<i64>),
+    /// 64-bit floats.
+    Float64(Vec<f64>),
+    /// UTF-8 strings.
+    Text(Vec<String>),
+}
+
+impl Column {
+    /// Create an empty column of the given type.
+    pub fn empty(data_type: DataType) -> Column {
+        match data_type {
+            DataType::Int64 => Column::Int64(Vec::new()),
+            DataType::Float64 => Column::Float64(Vec::new()),
+            DataType::Text => Column::Text(Vec::new()),
+        }
+    }
+
+    /// Create an empty column with reserved capacity.
+    pub fn with_capacity(data_type: DataType, capacity: usize) -> Column {
+        match data_type {
+            DataType::Int64 => Column::Int64(Vec::with_capacity(capacity)),
+            DataType::Float64 => Column::Float64(Vec::with_capacity(capacity)),
+            DataType::Text => Column::Text(Vec::with_capacity(capacity)),
+        }
+    }
+
+    /// The logical data type of this column.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64(_) => DataType::Int64,
+            Column::Float64(_) => DataType::Float64,
+            Column::Text(_) => DataType::Text,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len(),
+            Column::Float64(v) => v.len(),
+            Column::Text(v) => v.len(),
+        }
+    }
+
+    /// True if the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Read one value.
+    pub fn value(&self, row: usize) -> Value {
+        match self {
+            Column::Int64(v) => Value::Int(v[row]),
+            Column::Float64(v) => Value::Float(v[row]),
+            Column::Text(v) => Value::Text(v[row].clone()),
+        }
+    }
+
+    /// Append one value, coercing numerics where lossless.
+    pub fn push(&mut self, value: Value) -> TcuResult<()> {
+        match (self, value) {
+            (Column::Int64(v), Value::Int(x)) => v.push(x),
+            (Column::Int64(v), Value::Float(x)) if x.fract() == 0.0 => v.push(x as i64),
+            (Column::Float64(v), Value::Float(x)) => v.push(x),
+            (Column::Float64(v), Value::Int(x)) => v.push(x as f64),
+            (Column::Text(v), Value::Text(x)) => v.push(x),
+            (col, val) => {
+                return Err(TcuError::InvalidArgument(format!(
+                    "cannot push {val:?} into {:?} column",
+                    col.data_type()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// View as an `i64` slice (errors for non-integer columns).
+    pub fn as_i64(&self) -> TcuResult<&[i64]> {
+        match self {
+            Column::Int64(v) => Ok(v),
+            other => Err(TcuError::InvalidArgument(format!(
+                "expected INT column, found {:?}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// View as an `f64` slice (errors for non-float columns).
+    pub fn as_f64(&self) -> TcuResult<&[f64]> {
+        match self {
+            Column::Float64(v) => Ok(v),
+            other => Err(TcuError::InvalidArgument(format!(
+                "expected FLOAT column, found {:?}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// View as a `String` slice (errors for non-text columns).
+    pub fn as_text(&self) -> TcuResult<&[String]> {
+        match self {
+            Column::Text(v) => Ok(v),
+            other => Err(TcuError::InvalidArgument(format!(
+                "expected TEXT column, found {:?}",
+                other.data_type()
+            ))),
+        }
+    }
+
+    /// The row's value as `f64` regardless of numeric storage type.
+    /// Text rows return an error.
+    pub fn numeric(&self, row: usize) -> TcuResult<f64> {
+        match self {
+            Column::Int64(v) => Ok(v[row] as f64),
+            Column::Float64(v) => Ok(v[row]),
+            Column::Text(_) => Err(TcuError::InvalidArgument(
+                "text column has no numeric value".into(),
+            )),
+        }
+    }
+
+    /// Collect all values as `f64` (numeric columns only).
+    pub fn to_f64_vec(&self) -> TcuResult<Vec<f64>> {
+        match self {
+            Column::Int64(v) => Ok(v.iter().map(|&x| x as f64).collect()),
+            Column::Float64(v) => Ok(v.clone()),
+            Column::Text(_) => Err(TcuError::InvalidArgument(
+                "text column cannot be converted to f64".into(),
+            )),
+        }
+    }
+
+    /// Build a new column keeping only the rows whose indices are in
+    /// `rows`, in that order (gather).
+    pub fn gather(&self, rows: &[usize]) -> Column {
+        match self {
+            Column::Int64(v) => Column::Int64(rows.iter().map(|&i| v[i]).collect()),
+            Column::Float64(v) => Column::Float64(rows.iter().map(|&i| v[i]).collect()),
+            Column::Text(v) => Column::Text(rows.iter().map(|&i| v[i].clone()).collect()),
+        }
+    }
+
+    /// Approximate host-memory footprint in bytes (used by the
+    /// data-movement cost model).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            Column::Int64(v) => v.len() * 8,
+            Column::Float64(v) => v.len() * 8,
+            Column::Text(v) => v.iter().map(|s| s.len() + 24).sum(),
+        }
+    }
+
+    /// Construct from a vector of [`Value`]s, inferring the type from the
+    /// first non-null value (NULLs are not stored; callers in this codebase
+    /// never produce them for base tables).
+    pub fn from_values(data_type: DataType, values: &[Value]) -> TcuResult<Column> {
+        let mut col = Column::with_capacity(data_type, values.len());
+        for v in values {
+            col.push(v.clone())?;
+        }
+        Ok(col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_round_trip() {
+        let mut c = Column::empty(DataType::Int64);
+        c.push(Value::Int(1)).unwrap();
+        c.push(Value::Float(2.0)).unwrap();
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.value(1), Value::Int(2));
+        assert!(c.push(Value::Float(2.5)).is_err());
+        assert!(c.push(Value::Text("x".into())).is_err());
+    }
+
+    #[test]
+    fn float_column_accepts_ints() {
+        let mut c = Column::empty(DataType::Float64);
+        c.push(Value::Int(3)).unwrap();
+        c.push(Value::Float(4.5)).unwrap();
+        assert_eq!(c.as_f64().unwrap(), &[3.0, 4.5]);
+    }
+
+    #[test]
+    fn text_column() {
+        let mut c = Column::with_capacity(DataType::Text, 2);
+        c.push(Value::from("a")).unwrap();
+        c.push(Value::from("b")).unwrap();
+        assert_eq!(c.as_text().unwrap(), &["a".to_string(), "b".to_string()]);
+        assert!(c.as_i64().is_err());
+        assert!(c.numeric(0).is_err());
+    }
+
+    #[test]
+    fn gather_reorders_and_duplicates() {
+        let c = Column::Int64(vec![10, 20, 30]);
+        let g = c.gather(&[2, 0, 0]);
+        assert_eq!(g, Column::Int64(vec![30, 10, 10]));
+    }
+
+    #[test]
+    fn numeric_and_to_f64() {
+        let c = Column::Int64(vec![1, 2, 3]);
+        assert_eq!(c.numeric(2).unwrap(), 3.0);
+        assert_eq!(c.to_f64_vec().unwrap(), vec![1.0, 2.0, 3.0]);
+        let t = Column::Text(vec!["x".into()]);
+        assert!(t.to_f64_vec().is_err());
+    }
+
+    #[test]
+    fn byte_size_estimates() {
+        assert_eq!(Column::Int64(vec![0; 10]).byte_size(), 80);
+        assert!(Column::Text(vec!["hello".into()]).byte_size() >= 5);
+    }
+
+    #[test]
+    fn from_values_checks_types() {
+        let vals = vec![Value::Int(1), Value::Int(2)];
+        let col = Column::from_values(DataType::Int64, &vals).unwrap();
+        assert_eq!(col.len(), 2);
+        let bad = Column::from_values(DataType::Int64, &[Value::Text("x".into())]);
+        assert!(bad.is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Minimal CSV import / export.
+//!
+//! Only what the examples and data generators need: comma-separated,
+//! optional header row, no quoting of embedded commas (the synthetic
+//! datasets never produce them).
+
+use crate::column::Column;
+use crate::schema::Schema;
+use crate::table::Table;
+use std::fs;
+use std::path::Path;
+use tcudb_types::{DataType, TcuError, TcuResult, Value};
+
+/// Parse a CSV string into a table using the provided schema.
+///
+/// `has_header` skips the first line.  Numeric fields are parsed according
+/// to the schema; parse failures are reported with the offending line
+/// number.
+pub fn parse_csv(name: &str, schema: &Schema, text: &str, has_header: bool) -> TcuResult<Table> {
+    let mut table = Table::new(name, schema.clone());
+    for (lineno, line) in text.lines().enumerate() {
+        if has_header && lineno == 0 {
+            continue;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != schema.len() {
+            return Err(TcuError::Io(format!(
+                "line {}: expected {} fields, found {}",
+                lineno + 1,
+                schema.len(),
+                fields.len()
+            )));
+        }
+        let mut row = Vec::with_capacity(fields.len());
+        for (def, field) in schema.columns().iter().zip(fields) {
+            let field = field.trim();
+            let value = match def.data_type {
+                DataType::Int64 => Value::Int(field.parse::<i64>().map_err(|e| {
+                    TcuError::Io(format!("line {}: bad int '{field}': {e}", lineno + 1))
+                })?),
+                DataType::Float64 => Value::Float(field.parse::<f64>().map_err(|e| {
+                    TcuError::Io(format!("line {}: bad float '{field}': {e}", lineno + 1))
+                })?),
+                DataType::Text => Value::Text(field.to_string()),
+            };
+            row.push(value);
+        }
+        table.push_row(row)?;
+    }
+    Ok(table)
+}
+
+/// Read a CSV file from disk.
+pub fn read_csv(
+    path: impl AsRef<Path>,
+    name: &str,
+    schema: &Schema,
+    has_header: bool,
+) -> TcuResult<Table> {
+    let text = fs::read_to_string(path)?;
+    parse_csv(name, schema, &text, has_header)
+}
+
+/// Serialise a table to CSV text (with a header row).
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    out.push_str(&table.schema().names().join(","));
+    out.push('\n');
+    for i in 0..table.num_rows() {
+        let row: Vec<String> = table.row(i).iter().map(|v| v.to_string()).collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Write a table to a CSV file.
+pub fn write_csv(table: &Table, path: impl AsRef<Path>) -> TcuResult<()> {
+    fs::write(path, to_csv(table))?;
+    Ok(())
+}
+
+/// Infer a schema from a CSV header + first data line: integer-looking
+/// fields become INT, float-looking fields FLOAT, everything else TEXT.
+pub fn infer_schema(text: &str) -> TcuResult<Schema> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| TcuError::Io("empty CSV".into()))?;
+    let first = lines
+        .next()
+        .ok_or_else(|| TcuError::Io("CSV has no data rows".into()))?;
+    let names: Vec<&str> = header.split(',').map(|s| s.trim()).collect();
+    let samples: Vec<&str> = first.split(',').map(|s| s.trim()).collect();
+    if names.len() != samples.len() {
+        return Err(TcuError::Io("header/data field count mismatch".into()));
+    }
+    let mut schema = Schema::default();
+    for (name, sample) in names.iter().zip(samples) {
+        let dt = if sample.parse::<i64>().is_ok() {
+            DataType::Int64
+        } else if sample.parse::<f64>().is_ok() {
+            DataType::Float64
+        } else {
+            DataType::Text
+        };
+        schema.push(crate::schema::ColumnDef::new(*name, dt));
+    }
+    Ok(schema)
+}
+
+/// Re-export internal column type for doctests convenience.
+pub use crate::column::Column as CsvColumn;
+
+#[allow(unused_imports)]
+use Column as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_serialise_round_trip() {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("score", DataType::Float64),
+            ("name", DataType::Text),
+        ]);
+        let text = "id,score,name\n1,0.5,alice\n2,1.5,bob\n";
+        let t = parse_csv("people", &schema, text, true).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.row(1)[2], Value::from("bob"));
+        let back = to_csv(&t);
+        let t2 = parse_csv("people2", &schema, &back, true).unwrap();
+        assert_eq!(t2.num_rows(), 2);
+        assert_eq!(t2.row(0), t.row(0));
+    }
+
+    #[test]
+    fn parse_reports_bad_fields() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int64)]);
+        let err = parse_csv("t", &schema, "abc\n", false).unwrap_err();
+        assert!(err.to_string().contains("bad int"));
+        let err2 = parse_csv("t", &schema, "1,2\n", false).unwrap_err();
+        assert!(err2.to_string().contains("expected 1 fields"));
+    }
+
+    #[test]
+    fn blank_lines_are_skipped() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int64)]);
+        let t = parse_csv("t", &schema, "1\n\n2\n\n", false).unwrap();
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn schema_inference() {
+        let text = "a,b,c\n1,2.5,hello\n";
+        let s = infer_schema(text).unwrap();
+        assert_eq!(s.column(0).data_type, DataType::Int64);
+        assert_eq!(s.column(1).data_type, DataType::Float64);
+        assert_eq!(s.column(2).data_type, DataType::Text);
+        assert!(infer_schema("").is_err());
+        assert!(infer_schema("a,b\n").is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int64), ("v", DataType::Float64)]);
+        let mut t = Table::new("disk", schema.clone());
+        t.push_row(vec![Value::Int(1), Value::Float(2.0)]).unwrap();
+        let dir = std::env::temp_dir().join("tcudb_csv_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.csv");
+        write_csv(&t, &path).unwrap();
+        let back = read_csv(&path, "disk", &schema, true).unwrap();
+        assert_eq!(back.num_rows(), 1);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,31 @@
+//! # tcudb-storage
+//!
+//! In-memory columnar table storage for TCUDB-RS.
+//!
+//! The paper's engine (like YDB, which it extends) is a column store kept
+//! resident in host memory; tables are shipped column-by-column to the GPU
+//! so only the columns a query touches cross the PCIe bus (§2.2).  This
+//! crate provides:
+//!
+//! * [`Schema`] / [`ColumnDef`] — table schemas,
+//! * [`Column`] — typed columnar storage (Int64 / Float64 / Text),
+//! * [`Table`] — a schema plus equal-length columns, with projection,
+//!   filtering and row access helpers,
+//! * [`ColumnStats`] / [`TableStats`] — the per-column metadata TCUDB's
+//!   feasibility test relies on: minimum value, maximum value and the
+//!   number of distinct values (§4.2.1),
+//! * [`Catalog`] — the named-table registry shared by the engines,
+//! * [`csv`] — plain-text import/export used by the examples.
+
+pub mod catalog;
+pub mod column;
+pub mod csv;
+pub mod schema;
+pub mod stats;
+pub mod table;
+
+pub use catalog::Catalog;
+pub use column::Column;
+pub use schema::{ColumnDef, Schema};
+pub use stats::{ColumnStats, TableStats};
+pub use table::Table;

@@ -1,0 +1,156 @@
+//! Table schemas.
+
+use tcudb_types::{DataType, TcuError, TcuResult};
+
+/// Definition of one column: a name and a logical data type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ColumnDef {
+    /// Column name (case-insensitive lookups, stored as given).
+    pub name: String,
+    /// Logical data type.
+    pub data_type: DataType,
+}
+
+impl ColumnDef {
+    /// Create a new column definition.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered collection of column definitions.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Build a schema from `(name, type)` pairs.
+    pub fn new(columns: Vec<ColumnDef>) -> Self {
+        Schema { columns }
+    }
+
+    /// Convenience constructor from name/type tuples.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
+        Schema {
+            columns: pairs
+                .iter()
+                .map(|(n, t)| ColumnDef::new(*n, *t))
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// All column definitions in order.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// The definition at `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnDef {
+        &self.columns[idx]
+    }
+
+    /// Case-insensitive lookup of a column index by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Like [`Schema::index_of`] but returns an error mentioning the name.
+    pub fn require(&self, name: &str) -> TcuResult<usize> {
+        self.index_of(name).ok_or_else(|| {
+            TcuError::Analysis(format!(
+                "column '{name}' not found (available: {})",
+                self.columns
+                    .iter()
+                    .map(|c| c.name.as_str())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ))
+        })
+    }
+
+    /// Append a column definition, returning the new index.
+    pub fn push(&mut self, def: ColumnDef) -> usize {
+        self.columns.push(def);
+        self.columns.len() - 1
+    }
+
+    /// Projected schema containing only the named columns, in the given
+    /// order.
+    pub fn project(&self, names: &[&str]) -> TcuResult<Schema> {
+        let mut cols = Vec::with_capacity(names.len());
+        for n in names {
+            let idx = self.require(n)?;
+            cols.push(self.columns[idx].clone());
+        }
+        Ok(Schema::new(cols))
+    }
+
+    /// Column names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("val", DataType::Float64),
+            ("name", DataType::Text),
+        ])
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        let s = sample();
+        assert_eq!(s.index_of("ID"), Some(0));
+        assert_eq!(s.index_of("Val"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+    }
+
+    #[test]
+    fn require_reports_available_columns() {
+        let s = sample();
+        let err = s.require("nope").unwrap_err();
+        assert!(err.to_string().contains("id"));
+    }
+
+    #[test]
+    fn project_reorders_columns() {
+        let s = sample();
+        let p = s.project(&["name", "id"]).unwrap();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.column(0).name, "name");
+        assert_eq!(p.column(1).data_type, DataType::Int64);
+        assert!(s.project(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn push_appends() {
+        let mut s = sample();
+        let idx = s.push(ColumnDef::new("extra", DataType::Int64));
+        assert_eq!(idx, 3);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.names(), vec!["id", "val", "name", "extra"]);
+    }
+}

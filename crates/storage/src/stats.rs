@@ -1,0 +1,203 @@
+//! Column statistics: the metadata TCUDB's feasibility test and cost
+//! estimator consult.
+//!
+//! §4.2.1 of the paper: *"TCUDB adds metadata to each database table to
+//! contain three values for each column, including (1) the minimum value,
+//! (2) the maximum value, and (3) the number of distinct values."*
+
+use crate::column::Column;
+use crate::table::Table;
+use std::collections::HashMap;
+use std::collections::HashSet;
+use tcudb_types::value::ValueKey;
+
+/// Statistics for a single column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnStats {
+    /// Column name.
+    pub name: String,
+    /// Minimum numeric value (`None` for text columns or empty tables).
+    pub min: Option<f64>,
+    /// Maximum numeric value (`None` for text columns or empty tables).
+    pub max: Option<f64>,
+    /// Number of distinct values.
+    pub distinct_count: usize,
+    /// Number of rows.
+    pub row_count: usize,
+}
+
+impl ColumnStats {
+    /// Compute statistics for a column.
+    pub fn compute(name: &str, column: &Column) -> ColumnStats {
+        let row_count = column.len();
+        let (min, max) = match column {
+            Column::Int64(v) => (
+                v.iter().min().map(|&m| m as f64),
+                v.iter().max().map(|&m| m as f64),
+            ),
+            Column::Float64(v) => (
+                v.iter().cloned().fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.min(x)))
+                }),
+                v.iter().cloned().fold(None, |acc: Option<f64>, x| {
+                    Some(acc.map_or(x, |a| a.max(x)))
+                }),
+            ),
+            Column::Text(_) => (None, None),
+        };
+        let mut distinct: HashSet<ValueKey> = HashSet::with_capacity(row_count.min(1 << 16));
+        for i in 0..row_count {
+            distinct.insert(column.value(i).group_key());
+        }
+        ColumnStats {
+            name: name.to_string(),
+            min,
+            max,
+            distinct_count: distinct.len(),
+            row_count,
+        }
+    }
+
+    /// Largest absolute value in the column (0 for text / empty columns).
+    /// This is the `m` term of the feasibility test's conservative
+    /// overflow estimate `m1 * m2 * n`.
+    pub fn abs_max(&self) -> f64 {
+        match (self.min, self.max) {
+            (Some(lo), Some(hi)) => lo.abs().max(hi.abs()),
+            _ => 0.0,
+        }
+    }
+
+    /// Selectivity of an equality predicate against this column assuming a
+    /// uniform distribution (classic System-R estimate 1/NDV).
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.distinct_count == 0 {
+            1.0
+        } else {
+            1.0 / self.distinct_count as f64
+        }
+    }
+
+    /// Density of the one-hot matrix this column produces when used as a
+    /// join key: each row contributes exactly one non-zero among
+    /// `distinct_count` slots.
+    pub fn one_hot_density(&self) -> f64 {
+        if self.distinct_count == 0 {
+            0.0
+        } else {
+            1.0 / self.distinct_count as f64
+        }
+    }
+}
+
+/// Statistics for all columns of a table.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TableStats {
+    /// Per-column statistics, keyed by lower-cased column name.
+    pub columns: HashMap<String, ColumnStats>,
+    /// Number of rows in the table.
+    pub row_count: usize,
+}
+
+impl TableStats {
+    /// Compute statistics for every column of `table`.
+    pub fn compute(table: &Table) -> TableStats {
+        let mut columns = HashMap::new();
+        for (i, def) in table.schema().columns().iter().enumerate() {
+            let stats = ColumnStats::compute(&def.name, table.column(i));
+            columns.insert(def.name.to_ascii_lowercase(), stats);
+        }
+        TableStats {
+            columns,
+            row_count: table.num_rows(),
+        }
+    }
+
+    /// Look up statistics for a column (case-insensitive).
+    pub fn column(&self, name: &str) -> Option<&ColumnStats> {
+        self.columns.get(&name.to_ascii_lowercase())
+    }
+
+    /// Number of distinct values of a column, falling back to the row
+    /// count when the column is unknown.
+    pub fn distinct_or_rows(&self, name: &str) -> usize {
+        self.column(name)
+            .map(|c| c.distinct_count)
+            .unwrap_or(self.row_count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use tcudb_types::{DataType, Value};
+
+    fn table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("val", DataType::Float64),
+            ("tag", DataType::Text),
+        ]);
+        let mut t = Table::new("t", schema);
+        for (id, val, tag) in [
+            (1, -2.5, "x"),
+            (2, 7.25, "y"),
+            (2, 7.25, "y"),
+            (3, 0.0, "x"),
+        ] {
+            t.push_row(vec![Value::Int(id), Value::Float(val), Value::from(tag)])
+                .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn column_stats_min_max_distinct() {
+        let t = table();
+        let stats = t.compute_stats();
+        let id = stats.column("ID").unwrap();
+        assert_eq!(id.min, Some(1.0));
+        assert_eq!(id.max, Some(3.0));
+        assert_eq!(id.distinct_count, 3);
+        assert_eq!(id.row_count, 4);
+
+        let val = stats.column("val").unwrap();
+        assert_eq!(val.min, Some(-2.5));
+        assert_eq!(val.max, Some(7.25));
+        assert_eq!(val.distinct_count, 3);
+        assert_eq!(val.abs_max(), 7.25);
+
+        let tag = stats.column("tag").unwrap();
+        assert_eq!(tag.min, None);
+        assert_eq!(tag.distinct_count, 2);
+        assert_eq!(tag.abs_max(), 0.0);
+    }
+
+    #[test]
+    fn selectivity_and_density() {
+        let t = table();
+        let stats = t.compute_stats();
+        let id = stats.column("id").unwrap();
+        assert!((id.eq_selectivity() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((id.one_hot_density() - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_column_stats() {
+        let empty = Column::Int64(vec![]);
+        let s = ColumnStats::compute("e", &empty);
+        assert_eq!(s.min, None);
+        assert_eq!(s.distinct_count, 0);
+        assert_eq!(s.eq_selectivity(), 1.0);
+        assert_eq!(s.one_hot_density(), 0.0);
+    }
+
+    #[test]
+    fn distinct_or_rows_fallback() {
+        let t = table();
+        let stats = t.compute_stats();
+        assert_eq!(stats.distinct_or_rows("id"), 3);
+        assert_eq!(stats.distinct_or_rows("nonexistent"), 4);
+    }
+}

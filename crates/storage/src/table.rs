@@ -1,0 +1,362 @@
+//! Tables: a schema plus equal-length columns.
+
+use crate::column::Column;
+use crate::schema::{ColumnDef, Schema};
+use crate::stats::TableStats;
+use tcudb_types::{DataType, TcuError, TcuResult, Value};
+
+/// An in-memory columnar table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    name: String,
+    schema: Schema,
+    columns: Vec<Column>,
+    rows: usize,
+}
+
+impl Table {
+    /// Create an empty table with the given schema.
+    pub fn new(name: impl Into<String>, schema: Schema) -> Table {
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| Column::empty(c.data_type))
+            .collect();
+        Table {
+            name: name.into(),
+            schema,
+            columns,
+            rows: 0,
+        }
+    }
+
+    /// Create a table directly from columns (all must have equal length).
+    pub fn from_columns(
+        name: impl Into<String>,
+        schema: Schema,
+        columns: Vec<Column>,
+    ) -> TcuResult<Table> {
+        if schema.len() != columns.len() {
+            return Err(TcuError::InvalidArgument(format!(
+                "schema has {} columns but {} columns were provided",
+                schema.len(),
+                columns.len()
+            )));
+        }
+        let rows = columns.first().map(|c| c.len()).unwrap_or(0);
+        for (i, c) in columns.iter().enumerate() {
+            if c.len() != rows {
+                return Err(TcuError::InvalidArgument(format!(
+                    "column {} has {} rows, expected {}",
+                    schema.column(i).name,
+                    c.len(),
+                    rows
+                )));
+            }
+            if c.data_type() != schema.column(i).data_type {
+                return Err(TcuError::InvalidArgument(format!(
+                    "column {} type mismatch",
+                    schema.column(i).name
+                )));
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            schema,
+            columns,
+            rows,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the table (used when registering intermediate results).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Column by index.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Column by name (case-insensitive).
+    pub fn column_by_name(&self, name: &str) -> TcuResult<&Column> {
+        let idx = self.schema.require(name)?;
+        Ok(&self.columns[idx])
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Append a row of values (one per column, in schema order).
+    pub fn push_row(&mut self, row: Vec<Value>) -> TcuResult<()> {
+        if row.len() != self.columns.len() {
+            return Err(TcuError::InvalidArgument(format!(
+                "row has {} values, table {} has {} columns",
+                row.len(),
+                self.name,
+                self.columns.len()
+            )));
+        }
+        for (col, val) in self.columns.iter_mut().zip(row) {
+            col.push(val)?;
+        }
+        self.rows += 1;
+        Ok(())
+    }
+
+    /// Read one full row.
+    pub fn row(&self, idx: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value(idx)).collect()
+    }
+
+    /// Iterate over all rows (materialising each as a `Vec<Value>`).
+    pub fn rows_iter(&self) -> impl Iterator<Item = Vec<Value>> + '_ {
+        (0..self.rows).map(move |i| self.row(i))
+    }
+
+    /// Project to the named columns (in the given order).
+    pub fn project(&self, names: &[&str]) -> TcuResult<Table> {
+        let schema = self.schema.project(names)?;
+        let mut cols = Vec::with_capacity(names.len());
+        for n in names {
+            let idx = self.schema.require(n)?;
+            cols.push(self.columns[idx].clone());
+        }
+        Table::from_columns(format!("{}_proj", self.name), schema, cols)
+    }
+
+    /// Keep only the rows at the given indices (gather), preserving order.
+    pub fn gather(&self, rows: &[usize]) -> Table {
+        let cols = self.columns.iter().map(|c| c.gather(rows)).collect();
+        Table {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            columns: cols,
+            rows: rows.len(),
+        }
+    }
+
+    /// Filter rows with a predicate over the full row.
+    pub fn filter<F: FnMut(&[Value]) -> bool>(&self, mut pred: F) -> Table {
+        let mut keep = Vec::new();
+        for i in 0..self.rows {
+            let row = self.row(i);
+            if pred(&row) {
+                keep.push(i);
+            }
+        }
+        self.gather(&keep)
+    }
+
+    /// Total host-memory footprint in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_size()).sum()
+    }
+
+    /// Bytes occupied by just the named columns — what a column store
+    /// actually moves over PCIe for a query touching those columns.
+    pub fn columns_byte_size(&self, names: &[&str]) -> TcuResult<usize> {
+        let mut total = 0;
+        for n in names {
+            total += self.column_by_name(n)?.byte_size();
+        }
+        Ok(total)
+    }
+
+    /// Compute per-column statistics (min / max / distinct count), the
+    /// metadata the TCUDB optimizer consults (§4.2.1).
+    pub fn compute_stats(&self) -> TableStats {
+        TableStats::compute(self)
+    }
+
+    /// Sort the table by a column (ascending or descending), returning a
+    /// new table.  Used by ORDER BY and by the order-preserving matrix
+    /// layout described in §3.4.
+    pub fn sort_by_column(&self, column: &str, ascending: bool) -> TcuResult<Table> {
+        let col = self.column_by_name(column)?;
+        let mut idx: Vec<usize> = (0..self.rows).collect();
+        idx.sort_by(|&a, &b| {
+            let ord = col.value(a).sql_cmp(&col.value(b));
+            if ascending {
+                ord
+            } else {
+                ord.reverse()
+            }
+        });
+        Ok(self.gather(&idx))
+    }
+
+    /// Pretty-print the first `limit` rows as an ASCII table (for examples
+    /// and the benchmark harness).
+    pub fn format_preview(&self, limit: usize) -> String {
+        let mut out = String::new();
+        let names: Vec<&str> = self.schema.names();
+        out.push_str(&names.join(" | "));
+        out.push('\n');
+        out.push_str(&"-".repeat(names.join(" | ").len().max(8)));
+        out.push('\n');
+        for i in 0..self.rows.min(limit) {
+            let row: Vec<String> = self.row(i).iter().map(|v| v.to_string()).collect();
+            out.push_str(&row.join(" | "));
+            out.push('\n');
+        }
+        if self.rows > limit {
+            out.push_str(&format!("... ({} rows total)\n", self.rows));
+        }
+        out
+    }
+
+    /// Helper used by tests and generators: build a table from integer
+    /// columns only.
+    pub fn from_int_columns(
+        name: &str,
+        cols: &[(&str, Vec<i64>)],
+    ) -> TcuResult<Table> {
+        let schema = Schema::new(
+            cols.iter()
+                .map(|(n, _)| ColumnDef::new(*n, DataType::Int64))
+                .collect(),
+        );
+        let columns = cols.iter().map(|(_, v)| Column::Int64(v.clone())).collect();
+        Table::from_columns(name, schema, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("val", DataType::Float64),
+            ("tag", DataType::Text),
+        ]);
+        let mut t = Table::new("sample", schema);
+        t.push_row(vec![Value::Int(1), Value::Float(1.5), Value::from("a")])
+            .unwrap();
+        t.push_row(vec![Value::Int(2), Value::Float(2.5), Value::from("b")])
+            .unwrap();
+        t.push_row(vec![Value::Int(3), Value::Float(3.5), Value::from("c")])
+            .unwrap();
+        t
+    }
+
+    #[test]
+    fn push_and_row_round_trip() {
+        let t = sample();
+        assert_eq!(t.num_rows(), 3);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(
+            t.row(1),
+            vec![Value::Int(2), Value::Float(2.5), Value::from("b")]
+        );
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn push_row_validates_arity() {
+        let mut t = sample();
+        assert!(t.push_row(vec![Value::Int(4)]).is_err());
+        assert_eq!(t.num_rows(), 3);
+    }
+
+    #[test]
+    fn from_columns_validates_lengths_and_types() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int64), ("b", DataType::Int64)]);
+        let bad = Table::from_columns(
+            "t",
+            schema.clone(),
+            vec![Column::Int64(vec![1]), Column::Int64(vec![1, 2])],
+        );
+        assert!(bad.is_err());
+        let bad_type = Table::from_columns(
+            "t",
+            schema.clone(),
+            vec![Column::Int64(vec![1]), Column::Float64(vec![1.0])],
+        );
+        assert!(bad_type.is_err());
+        let bad_arity = Table::from_columns("t", schema, vec![Column::Int64(vec![1])]);
+        assert!(bad_arity.is_err());
+    }
+
+    #[test]
+    fn projection_and_gather() {
+        let t = sample();
+        let p = t.project(&["tag", "id"]).unwrap();
+        assert_eq!(p.schema().names(), vec!["tag", "id"]);
+        assert_eq!(p.row(0), vec![Value::from("a"), Value::Int(1)]);
+
+        let g = t.gather(&[2, 0]);
+        assert_eq!(g.num_rows(), 2);
+        assert_eq!(g.row(0)[0], Value::Int(3));
+    }
+
+    #[test]
+    fn filter_keeps_matching_rows() {
+        let t = sample();
+        let f = t.filter(|row| row[0].as_i64().unwrap() >= 2);
+        assert_eq!(f.num_rows(), 2);
+        assert_eq!(f.row(0)[0], Value::Int(2));
+    }
+
+    #[test]
+    fn sort_by_column_desc() {
+        let t = sample();
+        let s = t.sort_by_column("val", false).unwrap();
+        assert_eq!(s.row(0)[0], Value::Int(3));
+        let s2 = t.sort_by_column("tag", true).unwrap();
+        assert_eq!(s2.row(0)[2], Value::from("a"));
+    }
+
+    #[test]
+    fn byte_size_and_column_subset() {
+        let t = sample();
+        assert!(t.byte_size() > 0);
+        let sub = t.columns_byte_size(&["id"]).unwrap();
+        assert_eq!(sub, 3 * 8);
+        assert!(t.columns_byte_size(&["ghost"]).is_err());
+    }
+
+    #[test]
+    fn preview_formatting() {
+        let t = sample();
+        let p = t.format_preview(2);
+        assert!(p.contains("id | val | tag"));
+        assert!(p.contains("3 rows total"));
+    }
+
+    #[test]
+    fn from_int_columns_helper() {
+        let t = Table::from_int_columns("t", &[("x", vec![1, 2]), ("y", vec![3, 4])]).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column_by_name("y").unwrap().as_i64().unwrap(), &[3, 4]);
+    }
+}

@@ -1,0 +1,312 @@
+//! Row-major dense `f32` matrices.
+
+use tcudb_types::{TcuError, TcuResult};
+
+/// A dense matrix of `f32` values stored row-major.
+///
+/// `f32` is the host-side staging type: the GEMM kernels round operands to
+/// the target tensor-core precision (fp16/int8/int4) on the fly, exactly as
+/// the paper's code generator casts columns when it fills WMMA fragments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// Create a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create a matrix from a row-major buffer.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> TcuResult<DenseMatrix> {
+        if data.len() != rows * cols {
+            return Err(TcuError::ShapeMismatch {
+                expected: format!("{rows}x{cols} = {} elements", rows * cols),
+                got: format!("{} elements", data.len()),
+            });
+        }
+        Ok(DenseMatrix { rows, cols, data })
+    }
+
+    /// Create a matrix from nested rows (for tests and small examples).
+    pub fn from_rows(rows: &[Vec<f32>]) -> TcuResult<DenseMatrix> {
+        let r = rows.len();
+        let c = rows.first().map(|x| x.len()).unwrap_or(0);
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            if row.len() != c {
+                return Err(TcuError::ShapeMismatch {
+                    expected: format!("row of length {c}"),
+                    got: format!("row of length {}", row.len()),
+                });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(DenseMatrix { rows: r, cols: c, data })
+    }
+
+    /// An identity matrix of size `n`.
+    pub fn identity(n: usize) -> DenseMatrix {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// A `rows x cols` matrix filled with ones — the reduction operand
+    /// `1_{1×n}` used by the group-by aggregation rewrite (§3.3).
+    pub fn ones(rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the matrix has zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Read one element.
+    #[inline]
+    pub fn get(&self, row: usize, col: usize) -> f32 {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col]
+    }
+
+    /// Write one element.
+    #[inline]
+    pub fn set(&mut self, row: usize, col: usize, value: f32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// Add to one element.
+    #[inline]
+    pub fn add_to(&mut self, row: usize, col: usize, value: f32) {
+        debug_assert!(row < self.rows && col < self.cols);
+        self.data[row * self.cols + col] += value;
+    }
+
+    /// Borrow one row as a slice.
+    #[inline]
+    pub fn row(&self, row: usize) -> &[f32] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.set(j, i, self.get(i, j));
+            }
+        }
+        out
+    }
+
+    /// Number of non-zero elements.
+    pub fn count_nonzero(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Fraction of non-zero elements (0.0 for an empty matrix).
+    pub fn density(&self) -> f64 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.count_nonzero() as f64 / self.data.len() as f64
+        }
+    }
+
+    /// Host-memory footprint in bytes (f32 staging representation).
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// Extract the sub-matrix `[row0, row0+nrows) x [col0, col0+ncols)`,
+    /// zero-padding reads past the edge (tiles at the border of a matrix
+    /// whose dimensions are not multiples of the tile size).
+    pub fn sub_matrix(&self, row0: usize, col0: usize, nrows: usize, ncols: usize) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(nrows, ncols);
+        for i in 0..nrows {
+            let r = row0 + i;
+            if r >= self.rows {
+                break;
+            }
+            for j in 0..ncols {
+                let c = col0 + j;
+                if c >= self.cols {
+                    break;
+                }
+                out.set(i, j, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Add `other` into `self` element-wise (shapes must match).
+    pub fn add_assign(&mut self, other: &DenseMatrix) -> TcuResult<()> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(TcuError::ShapeMismatch {
+                expected: format!("{}x{}", self.rows, self.cols),
+                got: format!("{}x{}", other.rows, other.cols),
+            });
+        }
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Write `block` into `self` starting at `(row0, col0)`, accumulating
+    /// (used by blocked GEMM when assembling the result).
+    pub fn accumulate_block(&mut self, row0: usize, col0: usize, block: &DenseMatrix) {
+        for i in 0..block.rows {
+            let r = row0 + i;
+            if r >= self.rows {
+                break;
+            }
+            for j in 0..block.cols {
+                let c = col0 + j;
+                if c >= self.cols {
+                    break;
+                }
+                self.add_to(r, c, block.get(i, j));
+            }
+        }
+    }
+
+    /// Maximum absolute element value.
+    pub fn abs_max(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |acc, &v| acc.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = DenseMatrix::zeros(2, 3);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert_eq!(m.len(), 6);
+        assert!(!m.is_empty());
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        m.add_to(1, 2, 1.0);
+        assert_eq!(m.get(1, 2), 6.0);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_shape() {
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 4]).is_ok());
+        assert!(DenseMatrix::from_vec(2, 2, vec![1.0; 3]).is_err());
+    }
+
+    #[test]
+    fn from_rows_validates_ragged() {
+        assert!(DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).is_ok());
+        assert!(DenseMatrix::from_rows(&[vec![1.0], vec![3.0, 4.0]]).is_err());
+    }
+
+    #[test]
+    fn identity_and_ones() {
+        let i = DenseMatrix::identity(3);
+        assert_eq!(i.get(0, 0), 1.0);
+        assert_eq!(i.get(0, 1), 0.0);
+        assert_eq!(i.count_nonzero(), 3);
+        let ones = DenseMatrix::ones(1, 4);
+        assert_eq!(ones.data(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]).unwrap();
+        let t = m.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn density_and_abs_max() {
+        let m = DenseMatrix::from_rows(&[vec![0.0, -7.0], vec![3.0, 0.0]]).unwrap();
+        assert_eq!(m.count_nonzero(), 2);
+        assert!((m.density() - 0.5).abs() < 1e-12);
+        assert_eq!(m.abs_max(), 7.0);
+        assert_eq!(DenseMatrix::zeros(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn sub_matrix_pads_with_zeros() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let s = m.sub_matrix(1, 1, 2, 2);
+        assert_eq!(s.get(0, 0), 4.0);
+        assert_eq!(s.get(1, 1), 0.0);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn accumulate_block_adds_in_place() {
+        let mut m = DenseMatrix::zeros(3, 3);
+        let b = DenseMatrix::ones(2, 2);
+        m.accumulate_block(1, 1, &b);
+        m.accumulate_block(1, 1, &b);
+        assert_eq!(m.get(1, 1), 2.0);
+        assert_eq!(m.get(2, 2), 2.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn add_assign_checks_shapes() {
+        let mut a = DenseMatrix::ones(2, 2);
+        let b = DenseMatrix::ones(2, 2);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.get(0, 0), 2.0);
+        let c = DenseMatrix::ones(3, 2);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn byte_size() {
+        assert_eq!(DenseMatrix::zeros(4, 4).byte_size(), 64);
+    }
+}

@@ -1,0 +1,40 @@
+//! # tcudb-tensor
+//!
+//! The tensor/matrix substrate of TCUDB-RS.  On the paper's hardware this
+//! role is played by NVIDIA's WMMA / cuBLAS kernels running on Tensor Core
+//! Units; here the same algorithms are implemented as portable Rust
+//! kernels so the engine above can execute them anywhere while the
+//! simulated device (crate `tcudb-device`) charges them tensor-core cost.
+//!
+//! Components:
+//!
+//! * [`DenseMatrix`] — row-major `f32` matrices with the shape/layout
+//!   helpers the query translator needs,
+//! * [`gemm`] — dense matrix multiplication in emulated precisions
+//!   (fp16-input / fp32-accumulate, int8 / int4-input / int32-accumulate,
+//!   and exact f64 reference),
+//! * [`sparse`] — CSR matrices and conversions,
+//! * [`spmm`] — the TCU-SpMM operator of §4.2.4: tile the operands into
+//!   16×16 blocks, skip all-zero tiles, multiply the surviving pairs,
+//! * [`blocked`] — the MSplitGEMM-style blocked/pipelined GEMM of §4.2.3
+//!   for operands that do not fit in device memory,
+//! * [`nonzero`] — the `nonzero(·)` matrix→pairs conversion used between
+//!   the stages of a multi-way join (§3.2).
+//!
+//! Every kernel returns a small "kernel statistics" struct (FLOPs, bytes
+//! touched, tiles processed/skipped, blocks streamed) that the cost model
+//! converts into simulated device time.
+
+pub mod blocked;
+pub mod dense;
+pub mod gemm;
+pub mod nonzero;
+pub mod sparse;
+pub mod spmm;
+
+pub use blocked::{blocked_gemm, BlockedGemmStats};
+pub use dense::DenseMatrix;
+pub use gemm::{gemm, GemmPrecision, GemmStats};
+pub use nonzero::{nonzero, nonzero_with_values};
+pub use sparse::CsrMatrix;
+pub use spmm::{tcu_spmm, SpmmStats, TILE_DIM};

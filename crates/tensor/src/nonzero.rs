@@ -1,0 +1,84 @@
+//! The `nonzero(·)` operator used between multi-way join stages (§3.2).
+//!
+//! Given the result matrix of a join GEMM, `nonzero(M) = {(i, j) | M_ij > 0}`
+//! recovers the matching row-pairs without copying the matrix back to the
+//! host.  The multi-way join operator feeds these pairs straight into the
+//! construction of the next stage's input matrix.
+
+use crate::dense::DenseMatrix;
+
+/// Return the coordinates of all strictly-positive entries, in row-major
+/// order — the CUDA `nonzero` kernel the paper borrows from PyTorch.
+pub fn nonzero(matrix: &DenseMatrix) -> Vec<(usize, usize)> {
+    let mut out = Vec::new();
+    for i in 0..matrix.rows() {
+        let row = matrix.row(i);
+        for (j, &v) in row.iter().enumerate() {
+            if v > 0.0 {
+                out.push((i, j));
+            }
+        }
+    }
+    out
+}
+
+/// Like [`nonzero`] but also returns the entry value (used when the join
+/// result carries aggregate payloads, e.g. the matrix-multiplication query
+/// of Figure 5 where `C_ij` is the SUM aggregate itself).
+pub fn nonzero_with_values(matrix: &DenseMatrix) -> Vec<(usize, usize, f32)> {
+    let mut out = Vec::new();
+    for i in 0..matrix.rows() {
+        let row = matrix.row(i);
+        for (j, &v) in row.iter().enumerate() {
+            if v != 0.0 {
+                out.push((i, j, v));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nonzero_returns_positive_coordinates_in_order() {
+        let m = DenseMatrix::from_rows(&[
+            vec![0.0, 2.0, 0.0],
+            vec![1.0, 0.0, 3.0],
+        ])
+        .unwrap();
+        assert_eq!(nonzero(&m), vec![(0, 1), (1, 0), (1, 2)]);
+    }
+
+    #[test]
+    fn nonzero_ignores_negative_entries() {
+        // The join encoding can only produce non-negative counts, but the
+        // operator contract is "strictly positive".
+        let m = DenseMatrix::from_rows(&[vec![-1.0, 0.0, 5.0]]).unwrap();
+        assert_eq!(nonzero(&m), vec![(0, 2)]);
+    }
+
+    #[test]
+    fn nonzero_with_values_keeps_payload_and_sign() {
+        let m = DenseMatrix::from_rows(&[vec![-1.5, 0.0], vec![0.0, 2.5]]).unwrap();
+        assert_eq!(
+            nonzero_with_values(&m),
+            vec![(0, 0, -1.5), (1, 1, 2.5)]
+        );
+    }
+
+    #[test]
+    fn empty_and_all_zero_matrices() {
+        assert!(nonzero(&DenseMatrix::zeros(3, 3)).is_empty());
+        assert!(nonzero(&DenseMatrix::zeros(0, 0)).is_empty());
+        assert!(nonzero_with_values(&DenseMatrix::zeros(2, 2)).is_empty());
+    }
+
+    #[test]
+    fn count_matches_count_nonzero_for_positive_matrices() {
+        let m = DenseMatrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 4.0, 0.0]]).unwrap();
+        assert_eq!(nonzero(&m).len(), m.count_nonzero());
+    }
+}

@@ -1,0 +1,350 @@
+//! Compressed Sparse Row matrices.
+//!
+//! The TCU-SpMM operator of §4.2.4 first converts its operands to CSR
+//! before tiling them; the MAGiQ baseline stores its graphs directly in
+//! CSR.  This module provides the CSR type plus conversions and the basic
+//! SpMV / SpMM reference kernels.
+
+use crate::dense::DenseMatrix;
+use tcudb_types::{TcuError, TcuResult};
+
+/// A sparse matrix in Compressed Sparse Row format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    /// `row_ptr[i]..row_ptr[i+1]` indexes the entries of row `i`.
+    row_ptr: Vec<usize>,
+    /// Column index of each stored entry.
+    col_idx: Vec<usize>,
+    /// Value of each stored entry.
+    values: Vec<f32>,
+}
+
+impl CsrMatrix {
+    /// Build a CSR matrix from (row, col, value) triplets.  Duplicate
+    /// coordinates are summed (the behaviour of cuSPARSE's COO→CSR path).
+    pub fn from_triplets(
+        rows: usize,
+        cols: usize,
+        triplets: &[(usize, usize, f32)],
+    ) -> TcuResult<CsrMatrix> {
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(TcuError::InvalidArgument(format!(
+                    "triplet ({r},{c}) outside {rows}x{cols} matrix"
+                )));
+            }
+        }
+        let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
+        sorted.sort_by_key(|&(r, c, _)| (r, c));
+
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut col_idx = Vec::with_capacity(sorted.len());
+        let mut values: Vec<f32> = Vec::with_capacity(sorted.len());
+        let mut current_row = 0usize;
+        let mut last_coord: Option<(usize, usize)> = None;
+        for (r, c, v) in sorted {
+            if last_coord == Some((r, c)) {
+                // Duplicate coordinate → accumulate into the last entry.
+                *values.last_mut().expect("duplicate implies an entry exists") += v;
+                continue;
+            }
+            while current_row < r {
+                current_row += 1;
+                row_ptr[current_row] = col_idx.len();
+            }
+            col_idx.push(c);
+            values.push(v);
+            last_coord = Some((r, c));
+        }
+        while current_row < rows {
+            current_row += 1;
+            row_ptr[current_row] = col_idx.len();
+        }
+        Ok(CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
+    }
+
+    /// Convert a dense matrix to CSR, keeping only non-zero entries.
+    pub fn from_dense(dense: &DenseMatrix) -> CsrMatrix {
+        let rows = dense.rows();
+        let cols = dense.cols();
+        let mut row_ptr = Vec::with_capacity(rows + 1);
+        let mut col_idx = Vec::new();
+        let mut values = Vec::new();
+        row_ptr.push(0);
+        for i in 0..rows {
+            let r = dense.row(i);
+            for (j, &v) in r.iter().enumerate() {
+                if v != 0.0 {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr.push(col_idx.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        }
+    }
+
+    /// Convert back to a dense matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for e in self.row_ptr[i]..self.row_ptr[i + 1] {
+                out.set(i, self.col_idx[e], self.values[e]);
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored (non-zero) entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Density: nnz / (rows × cols).
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            0.0
+        } else {
+            self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+        }
+    }
+
+    /// The row pointer array.
+    pub fn row_ptr(&self) -> &[usize] {
+        &self.row_ptr
+    }
+
+    /// The column index array.
+    pub fn col_indices(&self) -> &[usize] {
+        &self.col_idx
+    }
+
+    /// The value array.
+    pub fn values(&self) -> &[f32] {
+        &self.values
+    }
+
+    /// Iterate over the entries of one row as `(col, value)` pairs.
+    pub fn row_entries(&self, row: usize) -> impl Iterator<Item = (usize, f32)> + '_ {
+        let start = self.row_ptr[row];
+        let end = self.row_ptr[row + 1];
+        (start..end).map(move |e| (self.col_idx[e], self.values[e]))
+    }
+
+    /// Approximate memory footprint in bytes (CSR arrays, 4-byte values and
+    /// indices, matching the device representation used for cost).
+    pub fn byte_size(&self) -> usize {
+        self.row_ptr.len() * 4 + self.col_idx.len() * 4 + self.values.len() * 4
+    }
+
+    /// Sparse matrix × dense vector.
+    pub fn spmv(&self, x: &[f32]) -> TcuResult<Vec<f32>> {
+        if x.len() != self.cols {
+            return Err(TcuError::ShapeMismatch {
+                expected: format!("vector of length {}", self.cols),
+                got: format!("length {}", x.len()),
+            });
+        }
+        let mut y = vec![0.0f32; self.rows];
+        for i in 0..self.rows {
+            let mut acc = 0.0f32;
+            for e in self.row_ptr[i]..self.row_ptr[i + 1] {
+                acc += self.values[e] * x[self.col_idx[e]];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+
+    /// Sparse × sparse matrix multiplication (row-by-row Gustavson),
+    /// returning a CSR result.  This is the CUDA-core sparse reference the
+    /// paper's YDB / MAGiQ baselines effectively execute.
+    pub fn spgemm(&self, other: &CsrMatrix) -> TcuResult<CsrMatrix> {
+        if self.cols != other.rows {
+            return Err(TcuError::ShapeMismatch {
+                expected: format!("A.cols == B.rows (A is {}x{})", self.rows, self.cols),
+                got: format!("B is {}x{}", other.rows, other.cols),
+            });
+        }
+        let mut triplets = Vec::new();
+        let mut acc: Vec<f32> = vec![0.0; other.cols];
+        let mut touched: Vec<usize> = Vec::new();
+        for i in 0..self.rows {
+            for (ka, va) in self.row_entries(i) {
+                for (j, vb) in other.row_entries(ka) {
+                    if acc[j] == 0.0 {
+                        touched.push(j);
+                    }
+                    acc[j] += va * vb;
+                }
+            }
+            for &j in &touched {
+                if acc[j] != 0.0 {
+                    triplets.push((i, j, acc[j]));
+                }
+                acc[j] = 0.0;
+            }
+            touched.clear();
+        }
+        CsrMatrix::from_triplets(self.rows, other.cols, &triplets)
+    }
+
+    /// Transposed copy (CSR of the transpose).
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            for (j, v) in self.row_entries(i) {
+                triplets.push((j, i, v));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+            .expect("transpose coordinates are always in range")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_dense() -> DenseMatrix {
+        DenseMatrix::from_rows(&[
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![0.0, 3.0, 0.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let d = sample_dense();
+        let csr = CsrMatrix::from_dense(&d);
+        assert_eq!(csr.nnz(), 3);
+        assert_eq!(csr.to_dense(), d);
+        assert!((csr.density() - 3.0 / 9.0).abs() < 1e-12);
+        assert!(csr.byte_size() > 0);
+    }
+
+    #[test]
+    fn triplets_constructor_and_bounds() {
+        let csr = CsrMatrix::from_triplets(2, 2, &[(0, 1, 5.0), (1, 0, 2.0)]).unwrap();
+        assert_eq!(csr.to_dense().get(0, 1), 5.0);
+        assert!(CsrMatrix::from_triplets(2, 2, &[(2, 0, 1.0)]).is_err());
+    }
+
+    #[test]
+    fn duplicate_triplets_accumulate() {
+        let csr = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)]).unwrap();
+        assert_eq!(csr.to_dense().get(0, 0), 3.0);
+        assert_eq!(csr.nnz(), 1);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let d = sample_dense();
+        let csr = CsrMatrix::from_dense(&d);
+        let y = csr.spmv(&[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(y, vec![7.0, 0.0, 6.0]);
+        assert!(csr.spmv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn spgemm_matches_dense_gemm() {
+        let a = sample_dense();
+        let b = DenseMatrix::from_rows(&[
+            vec![1.0, 1.0],
+            vec![0.0, 2.0],
+            vec![3.0, 0.0],
+        ])
+        .unwrap();
+        let csr_a = CsrMatrix::from_dense(&a);
+        let csr_b = CsrMatrix::from_dense(&b);
+        let c = csr_a.spgemm(&csr_b).unwrap();
+        let (dense_c, _) = crate::gemm::gemm(&a, &b, crate::gemm::GemmPrecision::Fp32).unwrap();
+        assert_eq!(c.to_dense(), dense_c);
+        // b is 3x2, so B×B has incompatible shapes.
+        assert!(csr_b.spgemm(&csr_b).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        let t = csr.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.to_dense().get(2, 0), 2.0);
+        assert_eq!(t.transpose().to_dense(), sample_dense());
+    }
+
+    #[test]
+    fn row_entries_iteration() {
+        let csr = CsrMatrix::from_dense(&sample_dense());
+        let row0: Vec<(usize, f32)> = csr.row_entries(0).collect();
+        assert_eq!(row0, vec![(0, 1.0), (2, 2.0)]);
+        let row1: Vec<(usize, f32)> = csr.row_entries(1).collect();
+        assert!(row1.is_empty());
+    }
+
+    #[test]
+    fn empty_matrix_density() {
+        let csr = CsrMatrix::from_triplets(0, 0, &[]).unwrap();
+        assert_eq!(csr.density(), 0.0);
+        assert_eq!(csr.nnz(), 0);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// CSR round-trips arbitrary sparse dense matrices.
+        #[test]
+        fn prop_dense_csr_round_trip(rows in 1usize..10, cols in 1usize..10, seed in 0u64..500) {
+            let mut state = seed.wrapping_add(99);
+            let mut next = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                if (state >> 50) % 4 == 0 { ((state >> 33) % 9) as f32 - 4.0 } else { 0.0 }
+            };
+            let d = DenseMatrix::from_vec(rows, cols, (0..rows*cols).map(|_| next()).collect()).unwrap();
+            let csr = CsrMatrix::from_dense(&d);
+            prop_assert_eq!(csr.to_dense(), d);
+        }
+
+        /// SpGEMM agrees with dense GEMM on random sparse inputs.
+        #[test]
+        fn prop_spgemm_matches_dense(m in 1usize..7, k in 1usize..7, n in 1usize..7, seed in 0u64..300) {
+            let mut state = seed.wrapping_add(5);
+            let mut next = || {
+                state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                if (state >> 50) % 3 == 0 { ((state >> 33) % 5) as f32 } else { 0.0 }
+            };
+            let a = DenseMatrix::from_vec(m, k, (0..m*k).map(|_| next()).collect()).unwrap();
+            let b = DenseMatrix::from_vec(k, n, (0..k*n).map(|_| next()).collect()).unwrap();
+            let sp = CsrMatrix::from_dense(&a).spgemm(&CsrMatrix::from_dense(&b)).unwrap();
+            let (dense, _) = crate::gemm::gemm(&a, &b, crate::gemm::GemmPrecision::Fp32).unwrap();
+            prop_assert_eq!(sp.to_dense(), dense);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Common error type used across the TCUDB workspace.
+
+use std::fmt;
+
+/// Convenience alias for `Result<T, TcuError>`.
+pub type TcuResult<T> = Result<T, TcuError>;
+
+/// Errors that can be produced by any layer of the TCUDB stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TcuError {
+    /// A SQL string could not be tokenized or parsed.
+    Parse(String),
+    /// A query referenced a table or column that does not exist, or used
+    /// types in an unsupported way.
+    Analysis(String),
+    /// The query planner / optimizer could not produce a plan.
+    Plan(String),
+    /// A runtime failure while executing a physical plan.
+    Execution(String),
+    /// The requested precision cannot represent the input data without
+    /// overflow (feasibility test failure, §4.2.1 of the paper).
+    PrecisionOverflow(String),
+    /// A matrix / tensor operation was invoked with incompatible shapes.
+    ShapeMismatch { expected: String, got: String },
+    /// The simulated device ran out of device memory and no blocked plan
+    /// was available.
+    DeviceMemoryExceeded { required: usize, available: usize },
+    /// Error touching the filesystem (CSV import/export).
+    Io(String),
+    /// Catch-all for invalid arguments to public APIs.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TcuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcuError::Parse(msg) => write!(f, "parse error: {msg}"),
+            TcuError::Analysis(msg) => write!(f, "analysis error: {msg}"),
+            TcuError::Plan(msg) => write!(f, "planning error: {msg}"),
+            TcuError::Execution(msg) => write!(f, "execution error: {msg}"),
+            TcuError::PrecisionOverflow(msg) => write!(f, "precision overflow: {msg}"),
+            TcuError::ShapeMismatch { expected, got } => {
+                write!(f, "shape mismatch: expected {expected}, got {got}")
+            }
+            TcuError::DeviceMemoryExceeded {
+                required,
+                available,
+            } => write!(
+                f,
+                "device memory exceeded: required {required} bytes, available {available} bytes"
+            ),
+            TcuError::Io(msg) => write!(f, "io error: {msg}"),
+            TcuError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TcuError {}
+
+impl From<std::io::Error> for TcuError {
+    fn from(e: std::io::Error) -> Self {
+        TcuError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_each_variant() {
+        let cases: Vec<(TcuError, &str)> = vec![
+            (TcuError::Parse("bad token".into()), "parse error"),
+            (TcuError::Analysis("no table".into()), "analysis error"),
+            (TcuError::Plan("no plan".into()), "planning error"),
+            (TcuError::Execution("boom".into()), "execution error"),
+            (
+                TcuError::PrecisionOverflow("too big".into()),
+                "precision overflow",
+            ),
+            (
+                TcuError::ShapeMismatch {
+                    expected: "2x2".into(),
+                    got: "3x3".into(),
+                },
+                "shape mismatch",
+            ),
+            (
+                TcuError::DeviceMemoryExceeded {
+                    required: 10,
+                    available: 5,
+                },
+                "device memory exceeded",
+            ),
+            (TcuError::Io("disk".into()), "io error"),
+            (TcuError::InvalidArgument("nope".into()), "invalid argument"),
+        ];
+        for (err, prefix) in cases {
+            assert!(
+                err.to_string().starts_with(prefix),
+                "{err} should start with {prefix}"
+            );
+        }
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let err: TcuError = io.into();
+        assert!(matches!(err, TcuError::Io(_)));
+    }
+}

@@ -1,0 +1,340 @@
+//! Software emulation of IEEE-754 binary16 ("half precision").
+//!
+//! NVIDIA Tensor Core Units accept at most 16-bit floating-point inputs
+//! (§2.1 of the paper).  TCUDB therefore has to reason about — and we have
+//! to reproduce — the rounding error introduced when 32/64-bit column
+//! values are cast down to half precision before a WMMA/cuBLAS call.
+//!
+//! This module implements the conversion in plain Rust (no `half` crate
+//! dependency) using round-to-nearest-even, the same rounding mode used by
+//! the hardware `cvt.rn.f16.f32` instruction.  The emulated GEMM kernels in
+//! `tcudb-tensor` round both operands through [`F16`] and accumulate in
+//! f32, which mirrors the numeric behaviour of `mma.sync` with f32
+//! accumulators and lets us regenerate Table 1 (MAPE of matrix
+//! multiplication queries) of the paper.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 16-bit IEEE-754 binary16 value stored as its raw bit pattern.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct F16(pub u16);
+
+/// Largest finite value representable in binary16 (65504).
+pub const F16_MAX: f32 = 65504.0;
+/// Smallest positive normal binary16 value (2^-14).
+pub const F16_MIN_POSITIVE: f32 = 6.103_515_625e-5;
+/// Machine epsilon of binary16 (2^-10).
+pub const F16_EPSILON: f32 = 9.765_625e-4;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0x0000);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+
+    /// Convert an `f32` to binary16 with round-to-nearest-even, the rounding
+    /// used by the hardware conversion instructions.
+    pub fn from_f32(value: f32) -> F16 {
+        F16(f32_to_f16_bits(value))
+    }
+
+    /// Convert an `f64` to binary16 (via f32, which is exact for the
+    /// binary16 range of interest and matches what a GPU driver would do).
+    pub fn from_f64(value: f64) -> F16 {
+        F16::from_f32(value as f32)
+    }
+
+    /// Widen back to `f32`.  This conversion is exact.
+    pub fn to_f32(self) -> f32 {
+        f16_bits_to_f32(self.0)
+    }
+
+    /// Widen back to `f64`.  This conversion is exact.
+    pub fn to_f64(self) -> f64 {
+        self.to_f32() as f64
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// True if the value is +/- infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// True if the value is finite (neither NaN nor infinite).
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+
+    /// Round an `f32` through binary16 and back: the value a TCU would
+    /// actually see for this operand.
+    pub fn round_trip(value: f32) -> f32 {
+        F16::from_f32(value).to_f32()
+    }
+
+    /// Round an `f64` through binary16 and back.
+    pub fn round_trip_f64(value: f64) -> f64 {
+        F16::from_f64(value).to_f64()
+    }
+
+    /// Can `value` be represented in binary16 without overflowing to
+    /// infinity?  Used by the feasibility test (§4.2.1).
+    pub fn representable(value: f64) -> bool {
+        value.abs() <= F16_MAX as f64
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+/// Convert f32 bits to binary16 bits with round-to-nearest-even.
+fn f32_to_f16_bits(value: f32) -> u16 {
+    let bits = value.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mantissa = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // NaN or infinity.
+        return if mantissa != 0 {
+            sign | 0x7C00 | 0x0200 // quiet NaN
+        } else {
+            sign | 0x7C00
+        };
+    }
+
+    // Re-bias the exponent from f32 (127) to f16 (15).
+    let unbiased = exp - 127;
+    let f16_exp = unbiased + 15;
+
+    if f16_exp >= 0x1F {
+        // Overflow → infinity.
+        return sign | 0x7C00;
+    }
+
+    if f16_exp <= 0 {
+        // Subnormal or underflow to zero.
+        if f16_exp < -10 {
+            return sign; // too small: rounds to signed zero
+        }
+        // Add the implicit leading one and shift into subnormal position.
+        let mant = mantissa | 0x0080_0000;
+        let shift = 14 - f16_exp; // between 14 and 24
+        let half_way = 1u32 << (shift - 1);
+        let rounded = mant >> shift;
+        let remainder = mant & ((1u32 << shift) - 1);
+        let mut out = rounded as u16;
+        if remainder > half_way || (remainder == half_way && (out & 1) == 1) {
+            out += 1;
+        }
+        return sign | out;
+    }
+
+    // Normal case: keep the top 10 mantissa bits, round-to-nearest-even on
+    // the remaining 13 bits.
+    let mut out = ((f16_exp as u16) << 10) | ((mantissa >> 13) as u16);
+    let round_bits = mantissa & 0x1FFF;
+    if round_bits > 0x1000 || (round_bits == 0x1000 && (out & 1) == 1) {
+        // This addition may carry into the exponent, which correctly
+        // handles values that round up to the next power of two (or to
+        // infinity).
+        out += 1;
+    }
+    sign | out
+}
+
+/// Convert binary16 bits to an f32 (exact).
+fn f16_bits_to_f32(bits: u16) -> f32 {
+    let sign = ((bits & 0x8000) as u32) << 16;
+    let exp = ((bits >> 10) & 0x1F) as u32;
+    let mantissa = (bits & 0x03FF) as u32;
+
+    let out = if exp == 0 {
+        if mantissa == 0 {
+            sign // signed zero
+        } else {
+            // Subnormal: normalise it into an f32 normal number.
+            let mut exp32 = 127 - 15 + 1;
+            let mut m = mantissa;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                exp32 -= 1;
+            }
+            m &= 0x03FF;
+            sign | ((exp32 as u32) << 23) | (m << 13)
+        }
+    } else if exp == 0x1F {
+        if mantissa == 0 {
+            sign | 0x7F80_0000 // infinity
+        } else {
+            sign | 0x7FC0_0000 // NaN
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mantissa << 13)
+    };
+    f32::from_bits(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        // All integers up to 2048 are exactly representable in binary16.
+        for i in -2048..=2048i32 {
+            let v = i as f32;
+            assert_eq!(F16::round_trip(v), v, "integer {i} should be exact");
+        }
+    }
+
+    #[test]
+    fn zero_and_one_constants() {
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::from_f32(1.0), F16::ONE);
+        assert_eq!(F16::from_f32(0.0), F16::ZERO);
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        assert!(F16::from_f32(70000.0).is_infinite());
+        assert!(F16::from_f32(-70000.0).is_infinite());
+        assert_eq!(F16::from_f32(70000.0), F16::INFINITY);
+        assert_eq!(F16::from_f32(-70000.0), F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn max_value_is_finite() {
+        let max = F16::from_f32(F16_MAX);
+        assert!(max.is_finite());
+        assert_eq!(max.to_f32(), F16_MAX);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // 2^-24 is the smallest positive subnormal binary16 value.
+        let tiny = 5.960_464_5e-8_f32;
+        let rt = F16::round_trip(tiny);
+        assert!(rt > 0.0);
+        assert!((rt - tiny).abs() < tiny);
+        // Values below half of the smallest subnormal flush to zero.
+        assert_eq!(F16::round_trip(1e-9), 0.0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 2049 is exactly halfway between representable 2048 and 2050 and
+        // must round to the even neighbour (2048).
+        assert_eq!(F16::round_trip(2049.0), 2048.0);
+        // 2051 is halfway between 2050 and 2052 → rounds to 2052 (even).
+        assert_eq!(F16::round_trip(2051.0), 2052.0);
+    }
+
+    #[test]
+    fn representable_bound() {
+        assert!(F16::representable(65504.0));
+        assert!(!F16::representable(65505.0));
+        assert!(F16::representable(-65504.0));
+        assert!(!F16::representable(1e10));
+    }
+
+    #[test]
+    fn relative_error_bounded_by_epsilon() {
+        // For normal values, round-trip relative error must be below the
+        // binary16 machine epsilon.
+        let values = [0.1f32, 3.14159, 123.456, 9999.5, 0.001, 42.42];
+        for &v in &values {
+            let rt = F16::round_trip(v);
+            let rel = ((rt - v) / v).abs();
+            assert!(rel <= F16_EPSILON, "value {v}: rel error {rel}");
+        }
+    }
+
+    #[test]
+    fn ordering_matches_f32() {
+        assert!(F16::from_f32(1.0) < F16::from_f32(2.0));
+        assert!(F16::from_f32(-3.0) < F16::from_f32(0.5));
+    }
+
+    proptest! {
+        /// Round-tripping any finite value within the binary16 range keeps
+        /// the relative error below 2^-11 (half an ulp of the 10-bit
+        /// mantissa), or the absolute error below the smallest subnormal.
+        #[test]
+        fn prop_round_trip_error_bound(v in -60000.0f32..60000.0f32) {
+            let rt = F16::round_trip(v);
+            prop_assert!(rt.is_finite());
+            let abs_err = (rt - v).abs();
+            let rel_ok = v != 0.0 && abs_err / v.abs() <= 4.9e-4; // 2^-11
+            let abs_ok = abs_err <= 6.1e-5; // subnormal granularity
+            prop_assert!(rel_ok || abs_ok, "v={v}, rt={rt}, err={abs_err}");
+        }
+
+        /// Converting to f16 and back is idempotent: a second round trip
+        /// never changes the value again.
+        #[test]
+        fn prop_round_trip_idempotent(v in -1.0e8f32..1.0e8f32) {
+            let once = F16::round_trip(v);
+            let twice = F16::round_trip(once);
+            prop_assert!(once == twice || (once.is_nan() && twice.is_nan()));
+        }
+
+        /// Sign is always preserved.
+        #[test]
+        fn prop_sign_preserved(v in -60000.0f32..60000.0f32) {
+            let rt = F16::round_trip(v);
+            if v > 0.0 { prop_assert!(rt >= 0.0); }
+            if v < 0.0 { prop_assert!(rt <= 0.0); }
+        }
+
+        /// Monotonicity: rounding preserves (non-strict) ordering.
+        #[test]
+        fn prop_monotonic(a in -60000.0f32..60000.0f32, b in -60000.0f32..60000.0f32) {
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(F16::round_trip(lo) <= F16::round_trip(hi));
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! # tcudb-types
+//!
+//! Foundational scalar types shared by every TCUDB crate:
+//!
+//! * [`DataType`] / [`Value`] — the dynamic value model used by the storage
+//!   layer, the SQL layer and the execution engines.
+//! * [`F16`] — a software emulation of IEEE-754 binary16, the input
+//!   precision of NVIDIA Tensor Core Units.  TCUDB's feasibility test and
+//!   the MAPE experiment (Table 1 of the paper) depend on faithful
+//!   half-precision rounding behaviour.
+//! * [`Precision`] — the candidate tensor-core input precisions
+//!   (fp16 / int8 / int4 / fp32 fallback) considered by the mixed-precision
+//!   query optimizer.
+//! * [`quant`] — int8 / int4 quantisation helpers used by the low-precision
+//!   execution paths.
+//! * [`TcuError`] — the common error type.
+
+pub mod error;
+pub mod f16;
+pub mod precision;
+pub mod quant;
+pub mod value;
+
+pub use error::{TcuError, TcuResult};
+pub use f16::F16;
+pub use precision::Precision;
+pub use value::{DataType, Value};

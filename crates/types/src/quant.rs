@@ -1,0 +1,159 @@
+//! Int8 / Int4 quantisation helpers.
+//!
+//! When the feasibility test determines that a column's values fit the
+//! int8 or int4 range, TCUDB's code generator emits integer GEMM kernels
+//! (the `s8`/`s4` WMMA fragments on real hardware).  These helpers perform
+//! the corresponding clamping casts and provide symmetric scale-based
+//! quantisation for value columns that do not naturally fit the integer
+//! range but where the optimizer accepts a lossy low-precision plan.
+
+/// Clamp-cast an `f64` to the int8 range.
+pub fn to_i8_saturating(v: f64) -> i8 {
+    if v.is_nan() {
+        return 0;
+    }
+    v.round().clamp(i8::MIN as f64, i8::MAX as f64) as i8
+}
+
+/// Clamp-cast an `f64` to the int4 range (−8 ..= 7), returned in an `i8`.
+pub fn to_i4_saturating(v: f64) -> i8 {
+    if v.is_nan() {
+        return 0;
+    }
+    v.round().clamp(-8.0, 7.0) as i8
+}
+
+/// Is `v` exactly representable as int8 (integral and in range)?
+pub fn fits_i8_exact(v: f64) -> bool {
+    v.fract() == 0.0 && (-128.0..=127.0).contains(&v)
+}
+
+/// Is `v` exactly representable as int4 (integral and in −8 ..= 7)?
+pub fn fits_i4_exact(v: f64) -> bool {
+    v.fract() == 0.0 && (-8.0..=7.0).contains(&v)
+}
+
+/// Parameters of a symmetric linear quantisation `q = round(v / scale)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Scale factor so that `q * scale ≈ v`.
+    pub scale: f64,
+    /// Number of integer levels on each side of zero (127 for int8, 7 for
+    /// int4).
+    pub levels: i32,
+}
+
+impl QuantParams {
+    /// Compute symmetric quantisation parameters for data whose maximum
+    /// absolute value is `abs_max`, targeting `levels` quantisation levels.
+    pub fn symmetric(abs_max: f64, levels: i32) -> QuantParams {
+        let abs_max = if abs_max <= 0.0 { 1.0 } else { abs_max };
+        QuantParams {
+            scale: abs_max / levels as f64,
+            levels,
+        }
+    }
+
+    /// Int8 parameters for the given dynamic range.
+    pub fn int8(abs_max: f64) -> QuantParams {
+        QuantParams::symmetric(abs_max, 127)
+    }
+
+    /// Int4 parameters for the given dynamic range.
+    pub fn int4(abs_max: f64) -> QuantParams {
+        QuantParams::symmetric(abs_max, 7)
+    }
+
+    /// Quantise a value.
+    pub fn quantize(&self, v: f64) -> i32 {
+        let q = (v / self.scale).round();
+        q.clamp(-(self.levels as f64), self.levels as f64) as i32
+    }
+
+    /// De-quantise a value.
+    pub fn dequantize(&self, q: i32) -> f64 {
+        q as f64 * self.scale
+    }
+
+    /// De-quantise the result of a dot product of length `_k` between two
+    /// operands quantised with `self` and `other`.
+    pub fn dequantize_product(&self, other: &QuantParams, acc: i64) -> f64 {
+        acc as f64 * self.scale * other.scale
+    }
+}
+
+/// Quantise a slice of values with the given parameters.
+pub fn quantize_slice(values: &[f64], params: &QuantParams) -> Vec<i32> {
+    values.iter().map(|&v| params.quantize(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn saturating_casts_clamp() {
+        assert_eq!(to_i8_saturating(1000.0), 127);
+        assert_eq!(to_i8_saturating(-1000.0), -128);
+        assert_eq!(to_i8_saturating(42.4), 42);
+        assert_eq!(to_i4_saturating(100.0), 7);
+        assert_eq!(to_i4_saturating(-100.0), -8);
+        assert_eq!(to_i4_saturating(3.0), 3);
+        assert_eq!(to_i8_saturating(f64::NAN), 0);
+        assert_eq!(to_i4_saturating(f64::NAN), 0);
+    }
+
+    #[test]
+    fn exact_fit_predicates() {
+        assert!(fits_i8_exact(127.0));
+        assert!(!fits_i8_exact(128.0));
+        assert!(!fits_i8_exact(1.5));
+        assert!(fits_i4_exact(-8.0));
+        assert!(!fits_i4_exact(8.0));
+    }
+
+    #[test]
+    fn symmetric_quantisation_round_trip_error() {
+        let params = QuantParams::int8(100.0);
+        for v in [-100.0, -50.0, 0.0, 13.7, 99.9] {
+            let q = params.quantize(v);
+            let back = params.dequantize(q);
+            assert!((back - v).abs() <= params.scale / 2.0 + 1e-9, "v={v}");
+        }
+    }
+
+    #[test]
+    fn zero_range_does_not_divide_by_zero() {
+        let params = QuantParams::int8(0.0);
+        assert_eq!(params.quantize(0.0), 0);
+        assert_eq!(params.dequantize(0), 0.0);
+    }
+
+    #[test]
+    fn product_dequantisation() {
+        let a = QuantParams::int8(10.0);
+        let b = QuantParams::int8(20.0);
+        // 5.0 * 10.0 = 50.0
+        let qa = a.quantize(5.0) as i64;
+        let qb = b.quantize(10.0) as i64;
+        let approx = a.dequantize_product(&b, qa * qb);
+        assert!((approx - 50.0).abs() < 1.0, "approx={approx}");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_int8_quant_error_bounded(v in -1000.0f64..1000.0) {
+            let params = QuantParams::int8(1000.0);
+            let back = params.dequantize(params.quantize(v));
+            prop_assert!((back - v).abs() <= params.scale / 2.0 + 1e-9);
+        }
+
+        #[test]
+        fn prop_quantize_is_monotonic(a in -500.0f64..500.0, b in -500.0f64..500.0) {
+            let params = QuantParams::int8(500.0);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(params.quantize(lo) <= params.quantize(hi));
+        }
+    }
+}

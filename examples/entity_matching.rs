@@ -1,0 +1,43 @@
+//! Entity-matching blocking (§5.4.2): run the Figure 11 blocking queries on
+//! the synthetic BeerAdvo-RateBeer dataset with TCUDB and the YDB baseline
+//! and print the speedups per blocking attribute.
+//!
+//! ```text
+//! cargo run --release --example entity_matching
+//! ```
+
+use tcudb::datagen::em;
+use tcudb::prelude::*;
+
+fn main() -> TcuResult<()> {
+    let dataset = em::beer_advo_ratebeer();
+    println!(
+        "dataset {}: {} + {} rows",
+        dataset.name, dataset.rows_a, dataset.rows_b
+    );
+    let catalog = em::gen_catalog(&dataset, 23);
+
+    let mut tcudb = TcuDb::default();
+    tcudb.set_catalog(catalog.clone());
+    let mut ydb = YdbEngine::default();
+    ydb.set_catalog(catalog);
+
+    println!(
+        "{:<12} {:>10} {:>14} {:>14} {:>10}",
+        "attribute", "#distinct", "YDB (ms)", "TCUDB (ms)", "speedup"
+    );
+    for (attr, distinct) in &dataset.attributes {
+        let sql = em::blocking_query(attr);
+        let t = tcudb.execute(&sql)?;
+        let y = ydb.execute(&sql)?;
+        println!(
+            "{:<12} {:>10} {:>14.3} {:>14.3} {:>9.2}x",
+            attr,
+            distinct,
+            y.timeline.total_seconds() * 1e3,
+            t.timeline.total_seconds() * 1e3,
+            y.timeline.total_seconds() / t.timeline.total_seconds()
+        );
+    }
+    Ok(())
+}

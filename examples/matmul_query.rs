@@ -1,0 +1,49 @@
+//! Matrix multiplication as SQL (§5.4.1, Figure 5/10 and Table 1): run the
+//! matrix-multiplication query on coordinate-form tables, compare TCUDB and
+//! YDB, and report the fp16 accuracy (MAPE) per value range.
+//!
+//! ```text
+//! cargo run --release --example matmul_query
+//! ```
+
+use tcudb::datagen::matmul;
+use tcudb::prelude::*;
+use tcudb::tensor::{gemm, DenseMatrix, GemmPrecision};
+
+fn main() -> TcuResult<()> {
+    // Figure 10 (mini dims): run the query end to end on both engines.
+    let dim = 64;
+    let catalog = matmul::gen_catalog(dim, 1.0, matmul::ValueRange::Int7, 17);
+    let mut tcudb = TcuDb::default();
+    tcudb.set_catalog(catalog.clone());
+    let mut ydb = YdbEngine::default();
+    ydb.set_catalog(catalog);
+
+    let t = tcudb.execute(matmul::MATMUL_QUERY)?;
+    let y = ydb.execute(matmul::MATMUL_QUERY)?;
+    println!(
+        "matrix multiplication query on {dim}x{dim} matrices: TCUDB {:.3} ms, YDB {:.3} ms ({:.2}x)",
+        t.timeline.total_seconds() * 1e3,
+        y.timeline.total_seconds() * 1e3,
+        y.timeline.total_seconds() / t.timeline.total_seconds()
+    );
+    println!("{}", t.plan.format());
+
+    // Table 1: MAPE of fp16-input GEMM per value range.
+    println!("Table 1 (MAPE of fp16 matrix multiplication, {dim}x{dim}):");
+    let mut rng = tcudb::datagen::Xorshift::new(7);
+    for range in matmul::ValueRange::all() {
+        let mut a = DenseMatrix::zeros(dim, dim);
+        let mut b = DenseMatrix::zeros(dim, dim);
+        for i in 0..dim {
+            for j in 0..dim {
+                a.set(i, j, range.sample(&mut rng) as f32);
+                b.set(i, j, range.sample(&mut rng) as f32);
+            }
+        }
+        let exact = gemm::gemm_exact_f64(&a, &b)?;
+        let (approx, _) = gemm::gemm(&a, &b, GemmPrecision::Half)?;
+        println!("  {:<22} MAPE = {:.5}%", range.label(), gemm::mape(&approx, &exact));
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: register two tables, run the paper's Q1/Q3/Q4 patterns and
+//! print the result tables, the chosen plans and the simulated timing
+//! breakdowns.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use tcudb::prelude::*;
+
+fn main() -> TcuResult<()> {
+    // Build a tiny catalog: A(id, val) and B(id, val).
+    let mut db = TcuDb::default();
+    db.register_table(Table::from_int_columns(
+        "A",
+        &[("id", vec![1, 1, 2, 3, 3]), ("val", vec![10, 11, 20, 30, 31])],
+    )?);
+    db.register_table(Table::from_int_columns(
+        "B",
+        &[("id", vec![1, 2, 2, 4]), ("val", vec![5, 6, 7, 8])],
+    )?);
+
+    for (name, sql) in [
+        ("Q1: two-way natural join", "SELECT A.val, B.val FROM A, B WHERE A.id = B.id"),
+        (
+            "Q3: group-by aggregate over join",
+            "SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val",
+        ),
+        (
+            "Q4: aggregate over join",
+            "SELECT SUM(A.val * B.val) FROM A, B WHERE A.id = B.id",
+        ),
+        (
+            "Q5: non-equi join",
+            "SELECT A.val, B.val FROM A, B WHERE A.id < B.id",
+        ),
+    ] {
+        println!("=== {name} ===");
+        println!("{sql}");
+        let out = db.execute(sql)?;
+        println!("-- plan --\n{}", out.plan.format());
+        println!("-- result ({} rows) --", out.table.num_rows());
+        println!("{}", out.table.format_preview(10));
+        println!("-- simulated timing --\n{}", out.timeline.format_breakdown());
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Star Schema Benchmark (§5.3): generate a mini-scale SSB instance, run
+//! the four flight-representative queries on TCUDB, YDB and the CPU engine
+//! and print the relative runtimes (the Figure 9 experiment).
+//!
+//! ```text
+//! cargo run --release --example ssb
+//! ```
+
+use tcudb::datagen::ssb;
+use tcudb::prelude::*;
+
+fn main() -> TcuResult<()> {
+    let sf = 1;
+    let catalog = ssb::gen_catalog(sf, 0x55B);
+    println!(
+        "SSB mini scale factor {sf}: lineorder has {} rows",
+        catalog.table("lineorder")?.num_rows()
+    );
+
+    let mut tcudb = TcuDb::default();
+    tcudb.config_mut().count_only = false;
+    tcudb.set_catalog(catalog.clone());
+    let mut ydb = YdbEngine::default();
+    ydb.set_catalog(catalog.clone());
+    let mut monet = MonetEngine::default();
+    monet.set_catalog(catalog);
+
+    println!(
+        "{:<6} {:>8} {:>14} {:>14} {:>14} {:>10}",
+        "query", "rows", "MonetDB (ms)", "YDB (ms)", "TCUDB (ms)", "vs YDB"
+    );
+    for (name, sql) in ssb::figure9_queries() {
+        let t = tcudb.execute(&sql)?;
+        let y = ydb.execute(&sql)?;
+        let m = monet.execute(&sql)?;
+        println!(
+            "{:<6} {:>8} {:>14.3} {:>14.3} {:>14.3} {:>9.2}x",
+            name,
+            t.table.num_rows(),
+            m.timeline.total_seconds() * 1e3,
+            y.timeline.total_seconds() * 1e3,
+            t.timeline.total_seconds() * 1e3,
+            y.timeline.total_seconds() / t.timeline.total_seconds()
+        );
+    }
+    Ok(())
+}

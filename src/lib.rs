@@ -1,0 +1,72 @@
+//! # tcudb
+//!
+//! Umbrella crate for **TCUDB-RS**, a pure-Rust reproduction of
+//! *"TCUDB: Accelerating Database with Tensor Processors"* (SIGMOD 2022).
+//!
+//! This crate re-exports the public API of every workspace member so that
+//! examples, integration tests and downstream users can depend on a single
+//! crate:
+//!
+//! * [`core`](tcudb_core) — the TCUDB engine (analyzer, optimizer, TCU
+//!   operators, executor),
+//! * [`tensor`](tcudb_tensor) — dense/sparse/blocked tensor kernels with
+//!   emulated tensor-core precisions,
+//! * [`device`](tcudb_device) — the simulated GPU device and cost model,
+//! * [`storage`](tcudb_storage) — columnar tables, statistics, catalog,
+//! * [`sql`](tcudb_sql) — the SQL front-end,
+//! * [`ydb`](tcudb_ydb), [`monet`](tcudb_monet), [`magiq`](tcudb_magiq) —
+//!   the baseline engines of the paper's evaluation,
+//! * [`datagen`](tcudb_datagen) — workload generators for every experiment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tcudb::prelude::*;
+//!
+//! let mut db = TcuDb::default();
+//! db.register_table(
+//!     Table::from_int_columns("A", &[("id", vec![1, 2, 3]), ("val", vec![10, 20, 30])]).unwrap(),
+//! );
+//! db.register_table(
+//!     Table::from_int_columns("B", &[("id", vec![2, 3]), ("val", vec![5, 6])]).unwrap(),
+//! );
+//! let out = db
+//!     .execute("SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val")
+//!     .unwrap();
+//! assert_eq!(out.table.num_rows(), 2);
+//! println!("{}", out.timeline.format_breakdown());
+//! ```
+
+pub use tcudb_core as core;
+pub use tcudb_datagen as datagen;
+pub use tcudb_device as device;
+pub use tcudb_magiq as magiq;
+pub use tcudb_monet as monet;
+pub use tcudb_sql as sql;
+pub use tcudb_storage as storage;
+pub use tcudb_tensor as tensor;
+pub use tcudb_types as types;
+pub use tcudb_ydb as ydb;
+
+/// Commonly used types, importable with `use tcudb::prelude::*`.
+pub mod prelude {
+    pub use tcudb_core::{EngineConfig, PlanKind, QueryOutput, TcuDb};
+    pub use tcudb_device::{DeviceProfile, ExecutionTimeline, Phase};
+    pub use tcudb_monet::MonetEngine;
+    pub use tcudb_sql::parse;
+    pub use tcudb_storage::{Catalog, Column, ColumnDef, Schema, Table};
+    pub use tcudb_types::{DataType, Precision, TcuError, TcuResult, Value};
+    pub use tcudb_ydb::YdbEngine;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_exposes_the_engine() {
+        let db = TcuDb::default();
+        assert!(db.catalog().is_empty());
+        assert_eq!(DeviceProfile::default().name, "RTX 3090");
+    }
+}

@@ -1,0 +1,158 @@
+//! Cross-engine integration tests: TCUDB, the YDB baseline and the CPU
+//! baseline must return identical answers for every workload family of the
+//! paper's evaluation.  (Timings differ — that is the point of the paper —
+//! but answers never do.)
+
+use tcudb::datagen::{em, graph, matmul, micro, ssb, Xorshift};
+use tcudb::prelude::*;
+
+/// Run one query on all three engines and assert the result tables match
+/// row for row (after sorting rows textually, since row order is only
+/// defined when the query has an ORDER BY).
+fn assert_engines_agree(catalog: &Catalog, sql: &str) {
+    let mut tcudb = TcuDb::default();
+    tcudb.set_catalog(catalog.clone());
+    let mut ydb = YdbEngine::default();
+    ydb.set_catalog(catalog.clone());
+    let mut monet = MonetEngine::default();
+    monet.set_catalog(catalog.clone());
+
+    let t = tcudb.execute(sql).expect("tcudb executes");
+    let y = ydb.execute(sql).expect("ydb executes");
+    let m = monet.execute(sql).expect("monet executes");
+
+    let normalize = |table: &Table| -> Vec<String> {
+        let mut rows: Vec<String> = (0..table.num_rows())
+            .map(|i| {
+                table
+                    .row(i)
+                    .iter()
+                    .map(|v| match v {
+                        Value::Float(f) => format!("{:.6}", f),
+                        other => other.to_string(),
+                    })
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+
+    assert_eq!(normalize(&t.table), normalize(&y.table), "TCUDB vs YDB on {sql}");
+    assert_eq!(normalize(&t.table), normalize(&m.table), "TCUDB vs CPU on {sql}");
+}
+
+#[test]
+fn microbenchmark_queries_agree_across_engines() {
+    let catalog = micro::gen_catalog(&micro::MicroConfig::new(512, 16));
+    for (_, sql) in micro::queries() {
+        assert_engines_agree(&catalog, sql);
+    }
+    assert_engines_agree(&catalog, micro::Q5);
+}
+
+#[test]
+fn microbenchmark_agreement_across_distinct_counts() {
+    for distinct in [4, 64, 256] {
+        let catalog = micro::gen_catalog(&micro::MicroConfig::new(256, distinct));
+        assert_engines_agree(&catalog, micro::Q1);
+        assert_engines_agree(&catalog, micro::Q3);
+    }
+}
+
+#[test]
+fn matrix_multiplication_query_agrees_across_engines() {
+    let catalog = matmul::gen_catalog(24, 1.0, matmul::ValueRange::Int7, 3);
+    assert_engines_agree(&catalog, matmul::MATMUL_QUERY);
+    // Sparse matrices exercise the TCU-SpMM path.
+    let sparse = matmul::gen_catalog(48, 0.05, matmul::ValueRange::Binary, 5);
+    assert_engines_agree(&sparse, matmul::MATMUL_QUERY);
+}
+
+#[test]
+fn entity_matching_blocking_agrees_across_engines() {
+    // A shrunken BeerAdvo-style dataset keeps the debug-mode runtime low
+    // while exercising every blocking attribute.
+    let dataset = em::EmDataset {
+        name: "mini-beer",
+        rows_a: 400,
+        rows_b: 300,
+        attributes: vec![("ABV", 20), ("STYLE", 71), ("FACTORY", 368), ("BEER_NAME", 623)],
+    };
+    let catalog = em::gen_catalog(&dataset, 23);
+    for (attr, _) in &dataset.attributes {
+        assert_engines_agree(&catalog, &em::blocking_query(attr));
+    }
+}
+
+#[test]
+fn ssb_flight_representatives_agree_across_engines() {
+    // A hand-shrunk SSB instance (the mini generator's smallest scale is
+    // still 60 000 fact rows, too slow for a debug-mode test).
+    let mut rng = Xorshift::new(9);
+    let date = ssb::gen_date();
+    let customer = ssb::gen_customer(60, &mut rng);
+    let supplier = ssb::gen_supplier(10, &mut rng);
+    let part = ssb::gen_part(80, &mut rng);
+    let scale = ssb::SsbScale {
+        sf: 1,
+        lineorder: 2_000,
+        customer: 60,
+        supplier: 10,
+        part: 80,
+        date: 2_556,
+    };
+    let lineorder = ssb::gen_lineorder(&scale, &date, &mut rng);
+    let mut catalog = Catalog::new();
+    catalog.register(date);
+    catalog.register(customer);
+    catalog.register(supplier);
+    catalog.register(part);
+    catalog.register(lineorder);
+
+    for (_, sql) in ssb::figure9_queries() {
+        assert_engines_agree(&catalog, &sql);
+    }
+}
+
+#[test]
+fn pagerank_queries_agree_across_engines() {
+    let g = graph::gen_road_graph(256, 520, 7);
+    let mut catalog = graph::gen_catalog(&g);
+    graph::register_pagerank_state(&mut catalog, &g, &vec![1.0 / 256.0; 256]);
+    assert_engines_agree(&catalog, graph::PR_Q1);
+    assert_engines_agree(&catalog, &graph::pr_q2(g.nodes));
+    assert_engines_agree(&catalog, &graph::pr_q3(g.nodes));
+}
+
+#[test]
+fn forced_plans_do_not_change_answers() {
+    let catalog = micro::gen_catalog(&micro::MicroConfig::new(300, 8));
+    let sql = micro::Q3;
+    let normalize = |table: &Table| -> Vec<String> {
+        let mut rows: Vec<String> = (0..table.num_rows())
+            .map(|i| {
+                table
+                    .row(i)
+                    .iter()
+                    .map(|v| v.to_string())
+                    .collect::<Vec<_>>()
+                    .join("|")
+            })
+            .collect();
+        rows.sort();
+        rows
+    };
+    let reference = {
+        let mut db = TcuDb::default();
+        db.set_catalog(catalog.clone());
+        normalize(&db.execute(sql).unwrap().table)
+    };
+    for plan in [PlanKind::TcuDense, PlanKind::TcuSparse, PlanKind::GpuFallback] {
+        let mut db = TcuDb::new(EngineConfig::default().with_forced_plan(plan));
+        db.set_catalog(catalog.clone());
+        let out = db.execute(sql).unwrap();
+        assert_eq!(normalize(&out.table), reference, "plan {plan:?}");
+    }
+}

@@ -1,0 +1,147 @@
+//! Shape-level checks of the paper's headline claims, evaluated on the
+//! simulated device: who wins, where the advantage grows/shrinks, and where
+//! plans switch.  Absolute numbers are not asserted (our substrate is a
+//! simulator, not the authors' testbed).
+
+use tcudb::datagen::{em, micro};
+use tcudb::prelude::*;
+use tcudb_bench as bench;
+
+fn device() -> DeviceProfile {
+    DeviceProfile::rtx_3090()
+}
+
+#[test]
+fn tcus_beat_cuda_cores_on_gemm_by_a_factor_of_a_few() {
+    // Figure 3: up to ~5x in the paper.
+    let rows = bench::fig3_gemm(&[4096, 8192, 16384], &device());
+    for r in rows {
+        let speedup = r.cuda_seconds / r.tcu_seconds;
+        assert!(speedup > 1.5, "dim {}: speedup {speedup}", r.dim);
+        assert!(speedup < 8.0, "dim {}: speedup {speedup}", r.dim);
+    }
+}
+
+#[test]
+fn tcudb_advantage_grows_with_record_count() {
+    // Figure 7 shape: the Q1 speedup at 32 distinct values grows as the
+    // number of records grows.
+    let results = bench::fig7_micro_records(&[1024, 4096], 32, &device()).unwrap();
+    let (_, q1) = &results[0];
+    assert!(q1[1].speedup_vs_ydb() >= q1[0].speedup_vs_ydb() * 0.8);
+    assert!(q1[1].speedup_vs_ydb() > 1.0);
+}
+
+#[test]
+fn tcudb_advantage_shrinks_with_distinct_values() {
+    // Figure 8 shape: larger key domains erode the dense-GEMM advantage.
+    let results = bench::fig8_micro_distinct(1024, &[16, 512], &device()).unwrap();
+    for (query, rows) in &results {
+        assert!(
+            rows[0].speedup_vs_ydb() > rows[1].speedup_vs_ydb() * 0.9,
+            "{query}: {} vs {}",
+            rows[0].speedup_vs_ydb(),
+            rows[1].speedup_vs_ydb()
+        );
+    }
+}
+
+#[test]
+fn q3_gains_more_than_q1_because_aggregation_is_fused() {
+    // Figure 7(b) vs 7(a): YDB pays an extra group-by kernel that TCUDB
+    // fuses into the GEMM, so Q3's speedup exceeds Q1's.
+    let results = bench::fig7_micro_records(&[2048], 32, &device()).unwrap();
+    let q1 = &results[0].1[0];
+    let q3 = &results[1].1[0];
+    assert!(q3.speedup_vs_ydb() >= q1.speedup_vs_ydb() * 0.9);
+}
+
+#[test]
+fn entity_matching_speedup_is_largest_for_low_cardinality_attributes() {
+    // Figure 11 shape: ABV (20 distinct) gains more than BEER_NAME (6228).
+    let dataset = em::EmDataset {
+        name: "mini-beer",
+        rows_a: 800,
+        rows_b: 600,
+        attributes: vec![("ABV", 20), ("BEER_NAME", 1200)],
+    };
+    let rows = bench::fig11_entity_matching(&dataset, &device()).unwrap();
+    assert!(rows[0].speedup_vs_ydb() > rows[1].speedup_vs_ydb());
+    assert!(rows[0].speedup_vs_ydb() > 1.0);
+}
+
+#[test]
+fn blocked_plan_takes_over_beyond_device_memory() {
+    // Figure 10 / §4.2.3: at 32768² and beyond, the dense working set
+    // exceeds 24 GB and the optimizer switches to MSplitGEMM-style blocked
+    // execution while still beating the GPU hash-join plan.
+    let proj = bench::fig10_projection(&[8192, 65536], &device());
+    assert!(!proj[0].plan.contains("blocked"));
+    assert!(proj[1].plan.contains("blocked"));
+    assert!(proj[1].tcudb_seconds < proj[1].ydb_seconds);
+}
+
+#[test]
+fn fp16_error_never_affects_join_only_queries() {
+    // Table 1, first row: 0/1 matrices multiply exactly.
+    let rows = bench::table1_mape(&[64], 11);
+    assert_eq!(rows[0].mape_by_dim[0].1, 0.0);
+    // Wider ranges have small but non-zero error, well under 1%.
+    for row in &rows[1..] {
+        for (_, mape) in &row.mape_by_dim {
+            assert!(*mape < 1.0, "{}: {mape}", row.range);
+        }
+    }
+}
+
+#[test]
+fn newer_gpu_generation_helps_tcudb_more_than_ydb() {
+    // Figure 14: TCUDB scales better from RTX 2080 to RTX 3090 than YDB.
+    let rows = bench::fig14_gpu_scaling(&[4096], 32).unwrap();
+    let avg_tcu: f64 = rows.iter().map(|r| r.tcudb_speedup).sum::<f64>() / rows.len() as f64;
+    let avg_ydb: f64 = rows.iter().map(|r| r.ydb_speedup).sum::<f64>() / rows.len() as f64;
+    assert!(avg_tcu > avg_ydb, "tcu {avg_tcu} vs ydb {avg_ydb}");
+    assert!(avg_tcu > 1.0);
+    assert!(avg_ydb >= 1.0);
+}
+
+#[test]
+fn graph_engine_ranking_matches_figure_13() {
+    // Figure 13: MonetDB slowest, then YDB, MAGiQ beats YDB, TCUDB fastest.
+    let rows = bench::fig13_graph_engines(&[1], &device()).unwrap();
+    let r = &rows[0];
+    assert!(r.monet > r.ydb, "CPU should be slowest");
+    assert!(r.magiq < r.ydb, "MAGiQ should beat the relational GPU engine");
+    assert!(r.tcudb < r.magiq * 1.5, "TCUDB should be competitive with MAGiQ");
+}
+
+#[test]
+fn optimizer_falls_back_when_values_exceed_tcu_range() {
+    // §4.2.1: values beyond the fp16 range make the feasibility test fail.
+    let mut db = TcuDb::default();
+    db.register_table(
+        Table::from_int_columns(
+            "A",
+            &[("id", vec![1, 2, 3]), ("val", vec![1_000_000_000, 2, 3])],
+        )
+        .unwrap(),
+    );
+    db.register_table(
+        Table::from_int_columns("B", &[("id", vec![1, 2]), ("val", vec![1, 2])]).unwrap(),
+    );
+    // The join key domain is fine but the SUM payload overflows fp16: the
+    // answer must still be exact because the engine falls back.
+    let out = db
+        .execute("SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val")
+        .unwrap();
+    assert_eq!(out.table.row(0)[0].as_f64().unwrap(), 1_000_000_000.0);
+}
+
+#[test]
+fn micro_queries_run_on_both_device_profiles() {
+    let catalog = micro::gen_catalog(&micro::MicroConfig::new(512, 16));
+    for device in [DeviceProfile::rtx_3090(), DeviceProfile::rtx_2080()] {
+        let cmp = bench::compare_engines(&catalog, "x", micro::Q1, &device, true).unwrap();
+        assert!(cmp.tcudb > 0.0 && cmp.ydb > 0.0 && cmp.monet > 0.0);
+    }
+}
