@@ -7,7 +7,12 @@ use tcudb_device::DeviceProfile;
 fn bench(c: &mut Criterion) {
     let device = DeviceProfile::rtx_3090();
     c.bench_function("fig03_gemm_sweep", |b| {
-        b.iter(|| fig3_gemm(std::hint::black_box(&[1024, 2048, 4096, 8192, 16384]), &device))
+        b.iter(|| {
+            fig3_gemm(
+                std::hint::black_box(&[1024, 2048, 4096, 8192, 16384]),
+                &device,
+            )
+        })
     });
 }
 

@@ -10,7 +10,9 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_entity_matching");
     group.sample_size(10);
     group.bench_function("beer_advo_ratebeer_blocking", |b| {
-        b.iter(|| fig11_entity_matching(std::hint::black_box(&em::beer_advo_ratebeer()), &device).unwrap())
+        b.iter(|| {
+            fig11_entity_matching(std::hint::black_box(&em::beer_advo_ratebeer()), &device).unwrap()
+        })
     });
     group.finish();
 }

@@ -17,8 +17,18 @@ fn main() {
     let full = has("--full");
     let device = DeviceProfile::rtx_3090();
 
-    println!("TCUDB-RS experiment harness (simulated device: {})", device.name);
-    println!("mode: {}", if full { "full (paper-scale)" } else { "mini (default)" });
+    println!(
+        "TCUDB-RS experiment harness (simulated device: {})",
+        device.name
+    );
+    println!(
+        "mode: {}",
+        if full {
+            "full (paper-scale)"
+        } else {
+            "mini (default)"
+        }
+    );
     println!();
 
     if all || has("--fig3") {
@@ -151,7 +161,11 @@ fn fig9(device: &DeviceProfile, full: bool) {
 
 fn fig10(device: &DeviceProfile, full: bool) {
     header("Figure 10: matrix-multiplication query (executed, mini dims)");
-    let dims: &[usize] = if full { &[64, 128, 256, 512] } else { &[64, 128, 256] };
+    let dims: &[usize] = if full {
+        &[64, 128, 256, 512]
+    } else {
+        &[64, 128, 256]
+    };
     let rows = bench::fig10_matmul(dims, device).expect("fig10 runs");
     print_comparisons(&rows);
 
@@ -176,7 +190,11 @@ fn fig10(device: &DeviceProfile, full: bool) {
 
 fn table1(full: bool) {
     header("Table 1: MAPE of matrix multiplication vs value range (fp16 inputs)");
-    let dims: &[usize] = if full { &[128, 256, 512, 1024] } else { &[64, 128, 256] };
+    let dims: &[usize] = if full {
+        &[128, 256, 512, 1024]
+    } else {
+        &[64, 128, 256]
+    };
     let rows = bench::table1_mape(dims, 7);
     print!("{:<22}", "value range");
     for d in dims {
@@ -240,7 +258,11 @@ fn fig12(device: &DeviceProfile, full: bool) {
 
 fn fig13(device: &DeviceProfile, full: bool) {
     header("Figure 13: PR Q3 core join+aggregation across engines");
-    let sizes: &[usize] = if full { &[0, 1, 2, 3, 4, 5, 6] } else { &[0, 1, 3, 4] };
+    let sizes: &[usize] = if full {
+        &[0, 1, 2, 3, 4, 5, 6]
+    } else {
+        &[0, 1, 3, 4]
+    };
     let rows = bench::fig13_graph_engines(sizes, device).expect("fig13 runs");
     println!(
         "{:<8} {:>14} {:>14} {:>14} {:>14}",

@@ -439,7 +439,12 @@ pub fn fig13_graph_engines(
         };
         let tcudb_core = core_of(
             &cmp.tcudb_breakdown,
-            &[Phase::TcuKernel, Phase::HashJoin, Phase::GroupByAggregation, Phase::ResultMaterialize],
+            &[
+                Phase::TcuKernel,
+                Phase::HashJoin,
+                Phase::GroupByAggregation,
+                Phase::ResultMaterialize,
+            ],
         );
         let ydb_core = core_of(
             &cmp.ydb_breakdown,
@@ -481,10 +486,7 @@ pub struct Fig14Row {
 
 /// Figure 14: speedup of moving from an RTX 2080 to an RTX 3090 for YDB
 /// and TCUDB on the microbenchmark queries.
-pub fn fig14_gpu_scaling(
-    record_counts: &[usize],
-    distinct: usize,
-) -> TcuResult<Vec<Fig14Row>> {
+pub fn fig14_gpu_scaling(record_counts: &[usize], distinct: usize) -> TcuResult<Vec<Fig14Row>> {
     let d3090 = DeviceProfile::rtx_3090();
     let d2080 = DeviceProfile::rtx_2080();
     let mut out = Vec::new();
@@ -565,7 +567,11 @@ mod tests {
                     cmp.tcudb,
                     cmp.ydb
                 );
-                assert!(cmp.monet > cmp.ydb, "{query} {}: CPU should be slowest", cmp.label);
+                assert!(
+                    cmp.monet > cmp.ydb,
+                    "{query} {}: CPU should be slowest",
+                    cmp.label
+                );
             }
         }
     }

@@ -250,9 +250,7 @@ fn recognise_pattern(
         return QueryPattern::SingleTable;
     }
     if joins.is_empty() {
-        return QueryPattern::NotTcuExpressible(
-            "cross join without a join predicate".to_string(),
-        );
+        return QueryPattern::NotTcuExpressible("cross join without a join predicate".to_string());
     }
     if tables.len() > 2 {
         return QueryPattern::MultiWayJoin;
@@ -318,10 +316,7 @@ fn is_matmul_pattern(stmt: &SelectStatement, tables: &[BoundTable]) -> bool {
 
 /// Convenience: resolve a column reference inside an analyzed query without
 /// building a context (used by translators).
-pub fn resolve_column(
-    analyzed: &AnalyzedQuery,
-    col: &ColumnRef,
-) -> TcuResult<(usize, usize)> {
+pub fn resolve_column(analyzed: &AnalyzedQuery, col: &ColumnRef) -> TcuResult<(usize, usize)> {
     analyzed.row_context().resolve(col)
 }
 
@@ -334,18 +329,13 @@ mod tests {
     fn catalog() -> Catalog {
         let mut cat = Catalog::new();
         cat.register(
-            Table::from_int_columns("A", &[("id", vec![1, 2, 3]), ("val", vec![1, 2, 3])])
-                .unwrap(),
+            Table::from_int_columns("A", &[("id", vec![1, 2, 3]), ("val", vec![1, 2, 3])]).unwrap(),
         );
         cat.register(
             Table::from_int_columns("B", &[("id", vec![2, 3]), ("val", vec![5, 6])]).unwrap(),
         );
         cat.register(
-            Table::from_int_columns(
-                "C",
-                &[("id_2", vec![1, 2]), ("val", vec![7, 8])],
-            )
-            .unwrap(),
+            Table::from_int_columns("C", &[("id_2", vec![1, 2]), ("val", vec![7, 8])]).unwrap(),
         );
         cat
     }
@@ -392,9 +382,7 @@ mod tests {
 
     #[test]
     fn three_tables_is_multiway() {
-        let a = analyze_sql(
-            "SELECT A.val, C.val FROM A, B, C WHERE A.id = B.id AND B.id = C.id_2",
-        );
+        let a = analyze_sql("SELECT A.val, C.val FROM A, B, C WHERE A.id = B.id AND B.id = C.id_2");
         assert_eq!(a.pattern, QueryPattern::MultiWayJoin);
         assert_eq!(a.joins.len(), 2);
     }
@@ -429,9 +417,8 @@ mod tests {
 
     #[test]
     fn residual_predicates_detected() {
-        let a = analyze_sql(
-            "SELECT A.val, B.val FROM A, B WHERE A.id = B.id AND A.val + B.val > 4",
-        );
+        let a =
+            analyze_sql("SELECT A.val, B.val FROM A, B WHERE A.id = B.id AND A.val + B.val > 4");
         assert_eq!(a.residual.len(), 1);
     }
 
@@ -440,8 +427,6 @@ mod tests {
         let cat = catalog();
         assert!(analyze(&parse("SELECT X.v FROM X").unwrap(), &cat).is_err());
         assert!(analyze(&parse("SELECT A.nope FROM A").unwrap(), &cat).is_err());
-        assert!(
-            analyze(&parse("SELECT A.val FROM A GROUP BY A.nope").unwrap(), &cat).is_err()
-        );
+        assert!(analyze(&parse("SELECT A.val FROM A GROUP BY A.nope").unwrap(), &cat).is_err());
     }
 }

@@ -150,7 +150,9 @@ pub fn eval_binary(l: &Value, op: BinOp, r: &Value) -> TcuResult<Value> {
             Ok(Value::Float(out))
         }
         Eq => Ok(Value::Int(l.sql_eq(r) as i64)),
-        NotEq => Ok(Value::Int((!l.is_null() && !r.is_null() && !l.sql_eq(r)) as i64)),
+        NotEq => Ok(Value::Int(
+            (!l.is_null() && !r.is_null() && !l.sql_eq(r)) as i64,
+        )),
         Lt | LtEq | Gt | GtEq => {
             if l.is_null() || r.is_null() {
                 return Ok(Value::Int(0));
@@ -194,8 +196,8 @@ mod tests {
     fn ctx() -> RowContext {
         let a = Table::from_int_columns("A", &[("id", vec![1, 2, 3]), ("val", vec![10, 20, 30])])
             .unwrap();
-        let b = Table::from_int_columns("B", &[("id", vec![2, 3]), ("val", vec![200, 300])])
-            .unwrap();
+        let b =
+            Table::from_int_columns("B", &[("id", vec![2, 3]), ("val", vec![200, 300])]).unwrap();
         RowContext::new(vec![
             ("a".to_string(), Arc::new(a)),
             ("b".to_string(), Arc::new(b)),
@@ -210,9 +212,7 @@ mod tests {
         // Unqualified "val" is ambiguous (both tables have it).
         assert!(c.resolve(&ColumnRef::new("val")).is_err());
         assert!(c.resolve(&ColumnRef::qualified("zzz", "val")).is_err());
-        assert!(c
-            .resolve(&ColumnRef::qualified("a", "missing"))
-            .is_err());
+        assert!(c.resolve(&ColumnRef::qualified("a", "missing")).is_err());
     }
 
     #[test]

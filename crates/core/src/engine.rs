@@ -182,8 +182,7 @@ mod tests {
             .unwrap(),
         );
         db.register_table(
-            Table::from_int_columns("B", &[("id", vec![1, 2, 2]), ("val", vec![5, 6, 7])])
-                .unwrap(),
+            Table::from_int_columns("B", &[("id", vec![1, 2, 2]), ("val", vec![5, 6, 7])]).unwrap(),
         );
         db
     }
@@ -278,9 +277,7 @@ mod tests {
             Table::from_int_columns("C", &[("id", vec![2, 3]), ("w", vec![100, 200])]).unwrap(),
         );
         let out = engine
-            .execute(
-                "SELECT A.val, B.val, C.w FROM A, B, C WHERE A.id = B.id AND B.id = C.id",
-            )
+            .execute("SELECT A.val, B.val, C.w FROM A, B, C WHERE A.id = B.id AND B.id = C.id")
             .unwrap();
         // A⋈B on id: (1,1),(1,1),(2,2),(2,2) → ids 1,1,2,2; C has ids 2,3 → only id=2 rows survive.
         assert_eq!(out.table.num_rows(), 2);
@@ -290,9 +287,7 @@ mod tests {
     #[test]
     fn order_preserved_results_match_reference_engine_semantics() {
         let out = db()
-            .execute(
-                "SELECT A.val, B.val FROM A, B WHERE A.id = B.id ORDER BY A.val ASC LIMIT 2",
-            )
+            .execute("SELECT A.val, B.val FROM A, B WHERE A.id = B.id ORDER BY A.val ASC LIMIT 2")
             .unwrap();
         assert_eq!(out.table.num_rows(), 2);
         assert_eq!(out.table.row(0)[0], Value::Int(10));

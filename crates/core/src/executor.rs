@@ -109,7 +109,11 @@ pub fn execute(
     if analyzed.tables.len() == 1 {
         let tuples: Vec<Vec<usize>> = surviving[0].iter().map(|&r| vec![r]).collect();
         let agg_secs = cost.gpu_aggregation_seconds(tuples.len());
-        timeline.record_detail(Phase::GroupByAggregation, "single-table aggregate", agg_secs);
+        timeline.record_detail(
+            Phase::GroupByAggregation,
+            "single-table aggregate",
+            agg_secs,
+        );
         let table = relops::finalize_output(analyzed, &tuples)?;
         plan.steps
             .push(format!("single-table pipeline over {} rows", tuples.len()));
@@ -255,7 +259,8 @@ pub fn execute(
 
     // ---- Final aggregation / projection ----
     if analyzed.stmt.has_aggregates() && !fuse_last {
-        let secs = cost.gpu_groupby_agg_seconds(tuples.len(), estimate_groups(analyzed, &tuples.len()));
+        let secs =
+            cost.gpu_groupby_agg_seconds(tuples.len(), estimate_groups(analyzed, &tuples.len()));
         timeline.record_detail(Phase::GroupByAggregation, "post-join aggregation", secs);
     }
 
@@ -299,13 +304,10 @@ fn join_order(analyzed: &AnalyzedQuery) -> TcuResult<Vec<usize>> {
     while order.len() < n {
         let next = (0..n).find(|i| {
             !in_order.contains(i)
-                && analyzed
-                    .joins
-                    .iter()
-                    .any(|j| {
-                        (j.left.0 == *i && in_order.contains(&j.right.0))
-                            || (j.right.0 == *i && in_order.contains(&j.left.0))
-                    })
+                && analyzed.joins.iter().any(|j| {
+                    (j.left.0 == *i && in_order.contains(&j.right.0))
+                        || (j.right.0 == *i && in_order.contains(&j.left.0))
+                })
         });
         match next {
             Some(t) => {
@@ -605,7 +607,7 @@ fn filter_by_extra_joins(
         .iter()
         .filter(|j| joined_set.contains(&j.left.0) && joined_set.contains(&j.right.0))
         .collect();
-    if preds.len() <= joined.len() - 1 {
+    if preds.len() < joined.len() {
         // Only the spanning-tree predicates exist; nothing extra to check.
         return Ok(tuples);
     }
@@ -731,7 +733,11 @@ pub fn tcu_matmul_query(
     let (c, _) = gemm::gemm_bt(&a, &b, precision)?;
     let mut out = Vec::new();
     for (i, j, v) in nonzero::nonzero_with_values(&c) {
-        out.push((out_rows.value_at(i).clone(), out_cols.value_at(j).clone(), v as f64));
+        out.push((
+            out_rows.value_at(i).clone(),
+            out_cols.value_at(j).clone(),
+            v as f64,
+        ));
     }
     Ok(out)
 }
@@ -740,8 +746,7 @@ pub fn tcu_matmul_query(
 /// PageRank / graph workloads feed to TCU-SpMM.  Exposed for the graph
 /// examples and the MAGiQ comparison.
 pub fn edges_to_csr(num_nodes: usize, edges: &[(usize, usize)]) -> TcuResult<CsrMatrix> {
-    let triplets: Vec<(usize, usize, f32)> =
-        edges.iter().map(|&(s, d)| (s, d, 1.0f32)).collect();
+    let triplets: Vec<(usize, usize, f32)> = edges.iter().map(|&(s, d)| (s, d, 1.0f32)).collect();
     CsrMatrix::from_triplets(num_nodes, num_nodes, &triplets)
 }
 
@@ -755,11 +760,13 @@ mod tests {
         let a_keys: Vec<Value> = [1, 2, 2, 3, 3, 3].iter().map(|&x| Value::Int(x)).collect();
         let a_vals = [10.0, 20.0, 21.0, 30.0, 31.0, 32.0];
         let b_keys: Vec<Value> = [1, 2, 3, 3].iter().map(|&x| Value::Int(x)).collect();
-        let b_groups: Vec<Value> = [100, 100, 200, 300].iter().map(|&x| Value::Int(x)).collect();
+        let b_groups: Vec<Value> = [100, 100, 200, 300]
+            .iter()
+            .map(|&x| Value::Int(x))
+            .collect();
 
         let result =
-            tcu_group_aggregate(&a_keys, &a_vals, &b_keys, &b_groups, GemmPrecision::Fp32)
-                .unwrap();
+            tcu_group_aggregate(&a_keys, &a_vals, &b_keys, &b_groups, GemmPrecision::Fp32).unwrap();
 
         // Scalar reference: join on key, group by group value, sum A.val.
         let mut expected: std::collections::HashMap<i64, f64> = std::collections::HashMap::new();
@@ -790,6 +797,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // 2x2 index loops mirror the math
     fn matmul_query_matches_direct_product() {
         // A = [[1,2],[3,4]], B = [[5,6],[7,8]] in coordinate form.
         let mut a_rows = Vec::new();
@@ -811,7 +819,13 @@ mod tests {
             }
         }
         let result = tcu_matmul_query(
-            &a_rows, &a_cols, &a_vals, &b_rows, &b_cols, &b_vals, GemmPrecision::Fp32,
+            &a_rows,
+            &a_cols,
+            &a_vals,
+            &b_rows,
+            &b_cols,
+            &b_vals,
+            GemmPrecision::Fp32,
         )
         .unwrap();
         // The query computes (AᵀBᵀ)ᵀ-style coordinates: result[(A.col, B.row)]

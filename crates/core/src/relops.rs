@@ -276,9 +276,7 @@ pub fn finalize_output(analyzed: &AnalyzedQuery, tuples: &[Vec<usize>]) -> TcuRe
                     // Fall back to matching the rendered expression of each
                     // SELECT item (e.g. ORDER BY d_year when the item has no
                     // alias).
-                    stmt.items
-                        .iter()
-                        .position(|i| i.expr == ob.expr)
+                    stmt.items.iter().position(|i| i.expr == ob.expr)
                 })
                 .ok_or_else(|| {
                     TcuError::Analysis(format!("ORDER BY key '{}' is not in the SELECT list", name))
@@ -397,8 +395,7 @@ mod tests {
             .unwrap(),
         );
         cat.register(
-            Table::from_int_columns("B", &[("id", vec![1, 2, 2]), ("val", vec![5, 6, 7])])
-                .unwrap(),
+            Table::from_int_columns("B", &[("id", vec![1, 2, 2]), ("val", vec![5, 6, 7])]).unwrap(),
         );
         cat
     }

@@ -101,11 +101,7 @@ fn selected_rows(col: &Column, rows: Option<&[usize]>) -> Vec<usize> {
 
 /// Build the one-hot join matrix of §3.1: one row per (selected) table row,
 /// one column per domain value, 1 where the key matches.
-pub fn one_hot_matrix(
-    key_col: &Column,
-    rows: Option<&[usize]>,
-    domain: &Domain,
-) -> DenseMatrix {
+pub fn one_hot_matrix(key_col: &Column, rows: Option<&[usize]>, domain: &Domain) -> DenseMatrix {
     let rows = selected_rows(key_col, rows);
     let mut m = DenseMatrix::zeros(rows.len(), domain.len());
     for (i, &r) in rows.iter().enumerate() {

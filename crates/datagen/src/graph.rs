@@ -76,10 +76,7 @@ pub fn gen_road_graph(nodes: usize, edges: usize, seed: u64) -> RoadGraph {
             list.push((src, dst));
         }
     }
-    RoadGraph {
-        nodes,
-        edges: list,
-    }
+    RoadGraph { nodes, edges: list }
 }
 
 /// Generate the graph whose size matches row `idx` of Table 4.

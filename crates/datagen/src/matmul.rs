@@ -98,7 +98,11 @@ pub fn gen_matrix_table(
     Table::from_columns(
         name,
         schema,
-        vec![Column::Int64(rows), Column::Int64(cols), Column::Int64(vals)],
+        vec![
+            Column::Int64(rows),
+            Column::Int64(cols),
+            Column::Int64(vals),
+        ],
     )
     .expect("matrix columns are consistent")
 }
@@ -107,7 +111,13 @@ pub fn gen_matrix_table(
 pub fn gen_catalog(dim: usize, density: f64, range: ValueRange, seed: u64) -> Catalog {
     let mut cat = Catalog::new();
     cat.register(gen_matrix_table("A", dim, density, range, seed));
-    cat.register(gen_matrix_table("B", dim, density, range, seed.wrapping_add(1)));
+    cat.register(gen_matrix_table(
+        "B",
+        dim,
+        density,
+        range,
+        seed.wrapping_add(1),
+    ));
     cat
 }
 

@@ -93,7 +93,11 @@ mod tests {
         let stats = t.compute_stats();
         let id = stats.column("id").unwrap();
         assert!(id.distinct_count <= 32);
-        assert!(id.distinct_count >= 28, "want ≈32, got {}", id.distinct_count);
+        assert!(
+            id.distinct_count >= 28,
+            "want ≈32, got {}",
+            id.distinct_count
+        );
         let val = stats.column("val").unwrap();
         assert!(val.max.unwrap() <= 100.0);
         assert!(val.min.unwrap() >= 1.0);

@@ -363,7 +363,10 @@ mod tests {
     fn all_thirteen_queries_parse() {
         assert_eq!(queries().len(), 13);
         for (name, sql) in queries() {
-            assert!(tcudb_sql::parse(&sql).is_ok(), "query {name} failed to parse");
+            assert!(
+                tcudb_sql::parse(&sql).is_ok(),
+                "query {name} failed to parse"
+            );
         }
         assert_eq!(figure9_queries().len(), 4);
     }

@@ -11,8 +11,8 @@
 //!    simulated per-phase timings reported in the benchmark harness.
 
 use crate::profile::DeviceProfile;
-use tcudb_types::Precision;
 use tcudb_tensor::{BlockedGemmStats, GemmStats, SpmmStats};
+use tcudb_types::Precision;
 
 /// Cost model bound to a device profile.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -113,8 +113,7 @@ impl CostModel {
     /// pipeline hides the smaller of the two, so the stage time is the max
     /// of transfer and compute plus a fill/drain term.
     pub fn blocked_gemm_seconds(&self, stats: &BlockedGemmStats, precision: Precision) -> f64 {
-        let peak =
-            self.profile.tcu_tflops_for(precision) * 1e12 * self.profile.blocked_efficiency;
+        let peak = self.profile.tcu_tflops_for(precision) * 1e12 * self.profile.blocked_efficiency;
         let compute = stats.flops / peak;
         let stream_in = self.h2d_seconds(stats.bytes_streamed_in);
         let stream_out = self.d2h_seconds(stats.bytes_streamed_out);
@@ -160,8 +159,7 @@ impl CostModel {
     /// GPU scan + filter over `rows` (coalesced columnar scan, bandwidth
     /// bound).
     pub fn gpu_scan_seconds(&self, rows: usize, bytes_per_row: usize) -> f64 {
-        self.device_mem_seconds((rows * bytes_per_row) as f64)
-            + self.profile.kernel_launch_seconds
+        self.device_mem_seconds((rows * bytes_per_row) as f64) + self.profile.kernel_launch_seconds
     }
 
     // ------------------------------------------------------------------
@@ -201,8 +199,7 @@ mod tests {
             n,
             k,
             flops: 2.0 * (m * n * k) as f64,
-            bytes_touched: ((m * k + k * n) as f64) * precision.size_bytes()
-                + (m * n) as f64 * 4.0,
+            bytes_touched: ((m * k + k * n) as f64) * precision.size_bytes() + (m * n) as f64 * 4.0,
             precision,
         }
     }

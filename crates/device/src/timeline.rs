@@ -142,7 +142,11 @@ impl ExecutionTimeline {
         let total = self.total_seconds();
         let mut out = String::new();
         for (phase, secs) in self.breakdown() {
-            let pct = if total > 0.0 { 100.0 * secs / total } else { 0.0 };
+            let pct = if total > 0.0 {
+                100.0 * secs / total
+            } else {
+                0.0
+            };
             out.push_str(&format!(
                 "  {:<24} {:>12.6} ms  ({:>5.1}%)\n",
                 phase.label(),

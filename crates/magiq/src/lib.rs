@@ -31,8 +31,7 @@ impl Graph {
                 )));
             }
         }
-        let triplets: Vec<(usize, usize, f32)> =
-            edges.iter().map(|&(s, d)| (s, d, 1.0)).collect();
+        let triplets: Vec<(usize, usize, f32)> = edges.iter().map(|&(s, d)| (s, d, 1.0)).collect();
         let adjacency = CsrMatrix::from_triplets(num_nodes, num_nodes, &triplets)?;
         let mut out_degree = vec![0usize; num_nodes];
         for &(s, _) in edges {
@@ -135,7 +134,10 @@ impl MagiqEngine {
         let mut timeline = ExecutionTimeline::new();
         timeline.record_detail(
             Phase::TcuKernel,
-            format!("GraphBLAS SpMV over {} edges (CUDA cores)", graph.num_edges()),
+            format!(
+                "GraphBLAS SpMV over {} edges (CUDA cores)",
+                graph.num_edges()
+            ),
             compute.max(bandwidth),
         );
         timeline.record_detail(

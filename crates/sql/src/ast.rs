@@ -422,19 +422,11 @@ mod tests {
         let e = Expr::binary(
             Expr::binary(Expr::col("a", "x"), BinOp::Eq, Expr::col("b", "x")),
             BinOp::And,
-            Expr::binary(
-                Expr::col("a", "y"),
-                BinOp::Lt,
-                Expr::Literal(Value::Int(5)),
-            ),
+            Expr::binary(Expr::col("a", "y"), BinOp::Lt, Expr::Literal(Value::Int(5))),
         );
         assert_eq!(e.conjuncts().len(), 2);
         // OR does not split.
-        let o = Expr::binary(
-            Expr::col("a", "x"),
-            BinOp::Or,
-            Expr::col("b", "x"),
-        );
+        let o = Expr::binary(Expr::col("a", "x"), BinOp::Or, Expr::col("b", "x"));
         assert_eq!(o.conjuncts().len(), 1);
     }
 

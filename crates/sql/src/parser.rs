@@ -370,10 +370,8 @@ mod tests {
 
     #[test]
     fn parses_q3_groupby_aggregate() {
-        let stmt = parse(
-            "SELECT SUM(A.Val), B.Val FROM A, B WHERE A.ID = B.ID GROUP BY B.Val;",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT SUM(A.Val), B.Val FROM A, B WHERE A.ID = B.ID GROUP BY B.Val;").unwrap();
         assert!(stmt.has_aggregates());
         assert_eq!(stmt.group_by.len(), 1);
         let (func, _) = stmt.items[0].expr.first_aggregate().unwrap();
@@ -382,8 +380,7 @@ mod tests {
 
     #[test]
     fn parses_q4_aggregate_expression() {
-        let stmt =
-            parse("SELECT SUM(A.Val * B.Val) FROM A, B WHERE A.ID = B.ID;").unwrap();
+        let stmt = parse("SELECT SUM(A.Val * B.Val) FROM A, B WHERE A.ID = B.ID;").unwrap();
         assert!(stmt.has_aggregates());
         assert!(stmt.group_by.is_empty());
         let (_, arg) = stmt.items[0].expr.first_aggregate().unwrap();
@@ -457,10 +454,9 @@ mod tests {
 
     #[test]
     fn parses_table_aliases() {
-        let stmt = parse(
-            "SELECT lo.quantity FROM lineorder lo, part AS p WHERE lo.partkey = p.partkey",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT lo.quantity FROM lineorder lo, part AS p WHERE lo.partkey = p.partkey")
+                .unwrap();
         assert_eq!(stmt.from[0].binding(), "lo");
         assert_eq!(stmt.from[1].binding(), "p");
         assert_eq!(stmt.from[1].name, "part");
@@ -468,10 +464,8 @@ mod tests {
 
     #[test]
     fn parses_order_by_desc_and_limit() {
-        let stmt = parse(
-            "SELECT A.Val FROM A WHERE A.ID > 3 ORDER BY A.Val DESC LIMIT 10",
-        )
-        .unwrap();
+        let stmt =
+            parse("SELECT A.Val FROM A WHERE A.ID > 3 ORDER BY A.Val DESC LIMIT 10").unwrap();
         assert!(!stmt.order_by[0].ascending);
         assert_eq!(stmt.limit, Some(10));
     }

@@ -36,10 +36,7 @@ impl Schema {
     /// Convenience constructor from name/type tuples.
     pub fn from_pairs(pairs: &[(&str, DataType)]) -> Self {
         Schema {
-            columns: pairs
-                .iter()
-                .map(|(n, t)| ColumnDef::new(*n, *t))
-                .collect(),
+            columns: pairs.iter().map(|(n, t)| ColumnDef::new(*n, *t)).collect(),
         }
     }
 

@@ -235,10 +235,7 @@ impl Table {
 
     /// Helper used by tests and generators: build a table from integer
     /// columns only.
-    pub fn from_int_columns(
-        name: &str,
-        cols: &[(&str, Vec<i64>)],
-    ) -> TcuResult<Table> {
+    pub fn from_int_columns(name: &str, cols: &[(&str, Vec<i64>)]) -> TcuResult<Table> {
         let schema = Schema::new(
             cols.iter()
                 .map(|(n, _)| ColumnDef::new(*n, DataType::Int64))

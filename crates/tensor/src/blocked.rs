@@ -203,7 +203,7 @@ mod tests {
         assert_eq!(small, 256);
         // Mid-size: 3 blocks of 2048² f32 ≈ 50 MB.
         let mid = choose_block_size(64 * 1024 * 1024);
-        assert!(mid >= 1024 && mid <= 4096, "mid={mid}");
+        assert!((1024..=4096).contains(&mid), "mid={mid}");
     }
 
     #[test]

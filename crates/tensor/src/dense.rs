@@ -49,7 +49,11 @@ impl DenseMatrix {
             }
             data.extend_from_slice(row);
         }
-        Ok(DenseMatrix { rows: r, cols: c, data })
+        Ok(DenseMatrix {
+            rows: r,
+            cols: c,
+            data,
+        })
     }
 
     /// An identity matrix of size `n`.

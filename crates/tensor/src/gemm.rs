@@ -19,7 +19,7 @@
 
 use crate::dense::DenseMatrix;
 use tcudb_types::quant::{to_i4_saturating, to_i8_saturating};
-use tcudb_types::{F16, Precision, TcuError, TcuResult};
+use tcudb_types::{Precision, TcuError, TcuResult, F16};
 
 /// The arithmetic mode of a GEMM kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -145,14 +145,13 @@ fn gemm_f32(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
     let mut c = DenseMatrix::zeros(m, n);
     for i in 0..m {
         let arow = a.row(i);
-        for p in 0..k {
-            let av = arow[p];
+        for (p, &av) in arow.iter().enumerate().take(k) {
             if av == 0.0 {
                 continue;
             }
             let brow = b.row(p);
-            for j in 0..n {
-                c.add_to(i, j, av * brow[j]);
+            for (j, &bv) in brow.iter().enumerate().take(n) {
+                c.add_to(i, j, av * bv);
             }
         }
     }
@@ -261,14 +260,14 @@ pub fn gemm_exact_f64(a: &DenseMatrix, b: &DenseMatrix) -> TcuResult<Vec<Vec<f64
     }
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut c = vec![vec![0.0f64; n]; m];
-    for i in 0..m {
+    for (i, crow) in c.iter_mut().enumerate() {
         for p in 0..k {
             let av = a.get(i, p) as f64;
             if av == 0.0 {
                 continue;
             }
-            for j in 0..n {
-                c[i][j] += av * b.get(p, j) as f64;
+            for (j, cv) in crow.iter_mut().enumerate() {
+                *cv += av * b.get(p, j) as f64;
             }
         }
     }
@@ -279,11 +278,12 @@ pub fn gemm_exact_f64(a: &DenseMatrix, b: &DenseMatrix) -> TcuResult<Vec<Vec<f64
 /// an exact reference (entries where the reference is zero are skipped,
 /// matching how the paper reports MAPE for matrix-multiplication queries).
 pub fn mape(approx: &DenseMatrix, exact: &[Vec<f64>]) -> f64 {
+    assert_eq!(exact.len(), approx.rows(), "MAPE row-count mismatch");
     let mut total = 0.0f64;
     let mut count = 0usize;
-    for i in 0..approx.rows() {
-        for j in 0..approx.cols() {
-            let e = exact[i][j];
+    for (i, erow) in exact.iter().enumerate() {
+        assert_eq!(erow.len(), approx.cols(), "MAPE col-count mismatch");
+        for (j, &e) in erow.iter().enumerate() {
             if e == 0.0 {
                 continue;
             }

@@ -44,11 +44,7 @@ mod tests {
 
     #[test]
     fn nonzero_returns_positive_coordinates_in_order() {
-        let m = DenseMatrix::from_rows(&[
-            vec![0.0, 2.0, 0.0],
-            vec![1.0, 0.0, 3.0],
-        ])
-        .unwrap();
+        let m = DenseMatrix::from_rows(&[vec![0.0, 2.0, 0.0], vec![1.0, 0.0, 3.0]]).unwrap();
         assert_eq!(nonzero(&m), vec![(0, 1), (1, 0), (1, 2)]);
     }
 
@@ -63,10 +59,7 @@ mod tests {
     #[test]
     fn nonzero_with_values_keeps_payload_and_sign() {
         let m = DenseMatrix::from_rows(&[vec![-1.5, 0.0], vec![0.0, 2.5]]).unwrap();
-        assert_eq!(
-            nonzero_with_values(&m),
-            vec![(0, 0, -1.5), (1, 1, 2.5)]
-        );
+        assert_eq!(nonzero_with_values(&m), vec![(0, 0, -1.5), (1, 1, 2.5)]);
     }
 
     #[test]

@@ -47,7 +47,9 @@ impl CsrMatrix {
         for (r, c, v) in sorted {
             if last_coord == Some((r, c)) {
                 // Duplicate coordinate → accumulate into the last entry.
-                *values.last_mut().expect("duplicate implies an entry exists") += v;
+                *values
+                    .last_mut()
+                    .expect("duplicate implies an entry exists") += v;
                 continue;
             }
             while current_row < r {
@@ -170,12 +172,12 @@ impl CsrMatrix {
             });
         }
         let mut y = vec![0.0f32; self.rows];
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for e in self.row_ptr[i]..self.row_ptr[i + 1] {
                 acc += self.values[e] * x[self.col_idx[e]];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         Ok(y)
     }
@@ -276,12 +278,7 @@ mod tests {
     #[test]
     fn spgemm_matches_dense_gemm() {
         let a = sample_dense();
-        let b = DenseMatrix::from_rows(&[
-            vec![1.0, 1.0],
-            vec![0.0, 2.0],
-            vec![3.0, 0.0],
-        ])
-        .unwrap();
+        let b = DenseMatrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 2.0], vec![3.0, 0.0]]).unwrap();
         let csr_a = CsrMatrix::from_dense(&a);
         let csr_b = CsrMatrix::from_dense(&b);
         let c = csr_a.spgemm(&csr_b).unwrap();

@@ -16,7 +16,7 @@
 use crate::dense::DenseMatrix;
 use crate::gemm::GemmPrecision;
 use crate::sparse::CsrMatrix;
-use tcudb_types::{F16, TcuError, TcuResult};
+use tcudb_types::{TcuError, TcuResult, F16};
 
 /// Side length of a TCU tile (the m16n16k16 WMMA fragment).
 pub const TILE_DIM: usize = 16;

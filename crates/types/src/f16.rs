@@ -23,7 +23,7 @@ pub struct F16(pub u16);
 /// Largest finite value representable in binary16 (65504).
 pub const F16_MAX: f32 = 65504.0;
 /// Smallest positive normal binary16 value (2^-14).
-pub const F16_MIN_POSITIVE: f32 = 6.103_515_625e-5;
+pub const F16_MIN_POSITIVE: f32 = 6.103_515_6e-5;
 /// Machine epsilon of binary16 (2^-10).
 pub const F16_EPSILON: f32 = 9.765_625e-4;
 
@@ -285,7 +285,7 @@ mod tests {
     fn relative_error_bounded_by_epsilon() {
         // For normal values, round-trip relative error must be below the
         // binary16 machine epsilon.
-        let values = [0.1f32, 3.14159, 123.456, 9999.5, 0.001, 42.42];
+        let values = [0.1f32, std::f32::consts::PI, 123.456, 9999.5, 0.001, 42.42];
         for &v in &values {
             let rt = F16::round_trip(v);
             let rel = ((rt - v) / v).abs();

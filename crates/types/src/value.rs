@@ -259,10 +259,7 @@ mod tests {
     fn ordering_behaviour() {
         assert_eq!(Value::Null.sql_cmp(&Value::Int(0)), Ordering::Less);
         assert_eq!(Value::Int(2).sql_cmp(&Value::Float(1.5)), Ordering::Greater);
-        assert_eq!(
-            Value::from("a").sql_cmp(&Value::from("b")),
-            Ordering::Less
-        );
+        assert_eq!(Value::from("a").sql_cmp(&Value::from("b")), Ordering::Less);
         assert_eq!(Value::Null.sql_cmp(&Value::Null), Ordering::Equal);
     }
 

@@ -167,7 +167,11 @@ impl YdbEngine {
                 } else {
                     (pred.right.0, pred.right.1.clone(), pred.left.1.clone())
                 };
-                let op = if joined_is_left { pred.op } else { pred.op.flip() };
+                let op = if joined_is_left {
+                    pred.op
+                } else {
+                    pred.op.flip()
+                };
 
                 let jpos = joined.iter().position(|&t| t == jt).unwrap();
                 let jtable = &analyzed.tables[jt].table;
@@ -308,8 +312,7 @@ mod tests {
             .unwrap(),
         );
         e.register_table(
-            Table::from_int_columns("B", &[("id", vec![1, 2, 2]), ("val", vec![5, 6, 7])])
-                .unwrap(),
+            Table::from_int_columns("B", &[("id", vec![1, 2, 2]), ("val", vec![5, 6, 7])]).unwrap(),
         );
         e
     }

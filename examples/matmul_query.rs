@@ -43,7 +43,11 @@ fn main() -> TcuResult<()> {
         }
         let exact = gemm::gemm_exact_f64(&a, &b)?;
         let (approx, _) = gemm::gemm(&a, &b, GemmPrecision::Half)?;
-        println!("  {:<22} MAPE = {:.5}%", range.label(), gemm::mape(&approx, &exact));
+        println!(
+            "  {:<22} MAPE = {:.5}%",
+            range.label(),
+            gemm::mape(&approx, &exact)
+        );
     }
     Ok(())
 }

@@ -13,7 +13,10 @@ fn main() -> TcuResult<()> {
     let mut db = TcuDb::default();
     db.register_table(Table::from_int_columns(
         "A",
-        &[("id", vec![1, 1, 2, 3, 3]), ("val", vec![10, 11, 20, 30, 31])],
+        &[
+            ("id", vec![1, 1, 2, 3, 3]),
+            ("val", vec![10, 11, 20, 30, 31]),
+        ],
     )?);
     db.register_table(Table::from_int_columns(
         "B",
@@ -21,7 +24,10 @@ fn main() -> TcuResult<()> {
     )?);
 
     for (name, sql) in [
-        ("Q1: two-way natural join", "SELECT A.val, B.val FROM A, B WHERE A.id = B.id"),
+        (
+            "Q1: two-way natural join",
+            "SELECT A.val, B.val FROM A, B WHERE A.id = B.id",
+        ),
         (
             "Q3: group-by aggregate over join",
             "SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val",
@@ -41,7 +47,10 @@ fn main() -> TcuResult<()> {
         println!("-- plan --\n{}", out.plan.format());
         println!("-- result ({} rows) --", out.table.num_rows());
         println!("{}", out.table.format_preview(10));
-        println!("-- simulated timing --\n{}", out.timeline.format_breakdown());
+        println!(
+            "-- simulated timing --\n{}",
+            out.timeline.format_breakdown()
+        );
     }
     Ok(())
 }

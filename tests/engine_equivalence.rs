@@ -39,8 +39,16 @@ fn assert_engines_agree(catalog: &Catalog, sql: &str) {
         rows
     };
 
-    assert_eq!(normalize(&t.table), normalize(&y.table), "TCUDB vs YDB on {sql}");
-    assert_eq!(normalize(&t.table), normalize(&m.table), "TCUDB vs CPU on {sql}");
+    assert_eq!(
+        normalize(&t.table),
+        normalize(&y.table),
+        "TCUDB vs YDB on {sql}"
+    );
+    assert_eq!(
+        normalize(&t.table),
+        normalize(&m.table),
+        "TCUDB vs CPU on {sql}"
+    );
 }
 
 #[test]
@@ -78,7 +86,12 @@ fn entity_matching_blocking_agrees_across_engines() {
         name: "mini-beer",
         rows_a: 400,
         rows_b: 300,
-        attributes: vec![("ABV", 20), ("STYLE", 71), ("FACTORY", 368), ("BEER_NAME", 623)],
+        attributes: vec![
+            ("ABV", 20),
+            ("STYLE", 71),
+            ("FACTORY", 368),
+            ("BEER_NAME", 623),
+        ],
     };
     let catalog = em::gen_catalog(&dataset, 23);
     for (attr, _) in &dataset.attributes {
@@ -149,7 +162,11 @@ fn forced_plans_do_not_change_answers() {
         db.set_catalog(catalog.clone());
         normalize(&db.execute(sql).unwrap().table)
     };
-    for plan in [PlanKind::TcuDense, PlanKind::TcuSparse, PlanKind::GpuFallback] {
+    for plan in [
+        PlanKind::TcuDense,
+        PlanKind::TcuSparse,
+        PlanKind::GpuFallback,
+    ] {
         let mut db = TcuDb::new(EngineConfig::default().with_forced_plan(plan));
         db.set_catalog(catalog.clone());
         let out = db.execute(sql).unwrap();

@@ -111,8 +111,14 @@ fn graph_engine_ranking_matches_figure_13() {
     let rows = bench::fig13_graph_engines(&[1], &device()).unwrap();
     let r = &rows[0];
     assert!(r.monet > r.ydb, "CPU should be slowest");
-    assert!(r.magiq < r.ydb, "MAGiQ should beat the relational GPU engine");
-    assert!(r.tcudb < r.magiq * 1.5, "TCUDB should be competitive with MAGiQ");
+    assert!(
+        r.magiq < r.ydb,
+        "MAGiQ should beat the relational GPU engine"
+    );
+    assert!(
+        r.tcudb < r.magiq * 1.5,
+        "TCUDB should be competitive with MAGiQ"
+    );
 }
 
 #[test]

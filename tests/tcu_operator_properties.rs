@@ -2,10 +2,10 @@
 //! matrix operators must agree with scalar SQL semantics on arbitrary data.
 
 use proptest::prelude::*;
+use std::collections::HashMap;
 use tcudb::core::executor::{tcu_group_aggregate, tcu_matmul_query};
 use tcudb::prelude::*;
 use tcudb::tensor::GemmPrecision;
-use std::collections::HashMap;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]

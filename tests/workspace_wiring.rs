@@ -1,0 +1,69 @@
+//! Smoke tests for the workspace wiring itself: every crate the umbrella
+//! re-exports is reachable, and the `prelude` exposes a working type from
+//! each layer.  (The companion check that every `examples/*.rs` target
+//! still builds runs as `cargo build --examples` in CI.)
+
+use tcudb::prelude::*;
+
+/// One type or function from each of the ten re-exported member crates,
+/// addressed through the umbrella module paths.
+#[test]
+fn every_reexported_crate_is_reachable() {
+    // types
+    let v: tcudb::types::Value = Value::Int(7);
+    assert_eq!(v.as_i64().unwrap(), 7);
+
+    // tensor
+    let m = tcudb::tensor::DenseMatrix::zeros(2, 2);
+    assert_eq!((m.rows(), m.cols()), (2, 2));
+
+    // storage
+    let t = Table::from_int_columns("T", &[("id", vec![1, 2, 3])]).unwrap();
+    assert_eq!(t.num_rows(), 3);
+
+    // device
+    let profile = tcudb::device::DeviceProfile::rtx_3090();
+    assert_eq!(profile.name, "RTX 3090");
+
+    // sql
+    let stmt = parse("SELECT COUNT(*) FROM T").unwrap();
+    assert!(!format!("{stmt:?}").is_empty());
+
+    // core
+    let db = TcuDb::default();
+    assert!(db.catalog().is_empty());
+
+    // datagen
+    let cfg = tcudb::datagen::micro::MicroConfig::new(64, 8);
+    let table = tcudb::datagen::micro::gen_table("M", &cfg);
+    assert_eq!(table.num_rows(), 64);
+
+    // ydb
+    let ydb = YdbEngine::default();
+    assert!(format!("{ydb:?}").contains("Ydb"));
+
+    // monet
+    let monet = MonetEngine::default();
+    assert!(format!("{monet:?}").contains("Monet"));
+
+    // magiq
+    let g = tcudb::magiq::Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+    assert_eq!(g.num_edges(), 2);
+}
+
+/// The prelude alone is enough to run a query end-to-end through every
+/// layer (sql -> core -> storage -> tensor -> device).
+#[test]
+fn prelude_supports_end_to_end_query() {
+    let mut db = TcuDb::default();
+    db.register_table(
+        Table::from_int_columns("A", &[("id", vec![1, 2, 3]), ("val", vec![10, 20, 30])]).unwrap(),
+    );
+    db.register_table(Table::from_int_columns("B", &[("id", vec![2, 3])]).unwrap());
+    let out = db
+        .execute("SELECT SUM(A.val), COUNT(*) FROM A, B WHERE A.id = B.id")
+        .unwrap();
+    assert_eq!(out.table.row(0)[0].as_f64().unwrap(), 50.0);
+    assert_eq!(out.table.row(0)[1].as_i64().unwrap(), 2);
+    assert!(out.timeline.total_seconds() > 0.0);
+}

@@ -1,0 +1,163 @@
+//! Offline stub of `criterion`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal criterion API that the nine `fig*` benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`], [`black_box`] and the `criterion_group!` /
+//! `criterion_main!` macros.  It is a real (if simple) harness: each
+//! benchmark runs a warm-up pass plus `sample_size` timed samples and
+//! prints the mean, min and max wall-clock time per iteration.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Timing loop handed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Time `routine` once per sample after one warm-up call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(id: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{id:<48} no samples recorded");
+        return;
+    }
+    let total: Duration = samples.iter().sum();
+    let mean = total / samples.len() as u32;
+    let min = samples.iter().min().unwrap();
+    let max = samples.iter().max().unwrap();
+    println!(
+        "{id:<48} time: [{min:>12?} {mean:>12?} {max:>12?}]  ({} samples)",
+        samples.len()
+    );
+}
+
+/// Stub of `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: Option<usize>,
+}
+
+impl Criterion {
+    /// Override the default number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size.unwrap_or(DEFAULT_SAMPLE_SIZE),
+        };
+        f(&mut b);
+        report(id, &b.samples);
+        self
+    }
+
+    /// Open a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size.unwrap_or(DEFAULT_SAMPLE_SIZE),
+            _parent: self,
+        }
+    }
+}
+
+/// Stub of `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b.samples);
+        self
+    }
+
+    /// Close the group (reporting happens eagerly in this stub).
+    pub fn finish(self) {}
+}
+
+/// Stub of `criterion_group!`: defines a function running each benchmark.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Stub of `criterion_main!`: defines `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.sample_size(3).bench_function("stub_smoke", |b| {
+            b.iter(|| runs += 1);
+        });
+        // one warm-up + three timed samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn group_sample_size_is_respected() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function("inner", |b| b.iter(|| runs += 1));
+            g.finish();
+        }
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,277 @@
+//! Offline stub of `proptest`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, deterministic re-implementation of the proptest API
+//! surface that TCUDB-RS uses: the [`proptest!`] macro, `prop_assert!` /
+//! `prop_assert_eq!`, [`test_runner::Config`] (`ProptestConfig`), numeric
+//! range strategies, tuple strategies and `prop::collection::vec`.
+//!
+//! Unlike the real crate there is no shrinking and no failure persistence:
+//! each `#[test]` simply runs `cases` deterministic random samples (seeded
+//! from the test body's location so different tests see different data) and
+//! panics on the first violated assertion, printing the generated inputs.
+
+pub mod test_runner {
+    /// Deterministic splitmix64 generator: good-enough statistical quality
+    /// for test-case generation and fully reproducible across runs.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn from_seed(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9e37_79b9_7f4a_7c15,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw from `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    /// Stand-in for `proptest::test_runner::Config` (aka `ProptestConfig`).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property test runs.
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A source of random values of one type; the stub analogue of
+    /// `proptest::strategy::Strategy` (sampling only — no value trees, no
+    /// shrinking).
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let v = self.start + (self.end - self.start) * rng.unit_f64() as $t;
+                    // Casting/rounding can land exactly on the exclusive
+                    // upper bound; keep the half-open contract.
+                    if v >= self.end {
+                        self.start
+                    } else {
+                        v
+                    }
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                #[allow(non_snake_case)]
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Strategy yielding `Vec`s with lengths drawn from a size range; built
+    /// by [`crate::collection::vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        pub(crate) element: S,
+        pub(crate) size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.clone().sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{Strategy, VecStrategy};
+    use std::ops::Range;
+
+    /// `prop::collection::vec(element, size_range)`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    /// Mirror of the `prop` path exposed by the real prelude
+    /// (`prop::collection::vec`, …).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declare deterministic property tests; stub of `proptest::proptest!`.
+///
+/// Supports the subset of the real grammar used in this workspace: an
+/// optional leading `#![proptest_config(..)]`, then `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (@impl ($cfg:expr) ) => {};
+    (@impl ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            // Seed from the test's source location so each test draws a
+            // distinct — but run-to-run stable — sample stream.
+            let seed = {
+                let loc = concat!(module_path!(), "::", stringify!($name));
+                loc.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+                })
+            };
+            let mut rng = $crate::test_runner::TestRng::from_seed(seed);
+            for case in 0..config.cases {
+                let inputs = (
+                    $($crate::strategy::Strategy::sample(&($strat), &mut rng),)+
+                );
+                let inputs_desc = format!("{:?}", inputs);
+                let result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| {
+                        let ($($arg,)+) = inputs;
+                        $body
+                    }),
+                );
+                if let Err(payload) = result {
+                    eprintln!(
+                        "proptest case {}/{} failed for inputs {}",
+                        case + 1,
+                        config.cases,
+                        inputs_desc,
+                    );
+                    ::std::panic::resume_unwind(payload);
+                }
+            }
+        }
+        $crate::proptest! { @impl ($cfg) $($rest)* }
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { @impl ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! { @impl ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+/// Stub of `prop_assert!`: panics (no shrinking) on violation.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Stub of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Stub of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod self_tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in -5i64..7, y in 0.0f64..1.0, n in 1usize..4) {
+            prop_assert!((-5..7).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_strategy_respects_size(v in prop::collection::vec((0i64..3, 1i64..9), 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for (a, b) in v {
+                prop_assert!((0..3).contains(&a));
+                prop_assert!((1..9).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::test_runner::TestRng::from_seed(42);
+        let mut b = crate::test_runner::TestRng::from_seed(42);
+        for _ in 0..16 {
+            prop_assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+}

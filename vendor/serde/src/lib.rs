@@ -1,0 +1,16 @@
+//! Offline stub of `serde`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal surface of serde that TCUDB-RS actually uses:
+//! the `Serialize` / `Deserialize` marker traits and their derive macros.
+//! Nothing is actually serialized anywhere in the seed; the derives exist
+//! so downstream tooling can later swap in the real serde without touching
+//! the annotated types.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

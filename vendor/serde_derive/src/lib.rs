@@ -1,0 +1,117 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors the minimal surface of serde that TCUDB-RS actually uses:
+//! `#[derive(Serialize, Deserialize)]` as marker-trait impls.  No code is
+//! generated beyond the impls, and no `#[serde(...)]` attributes are
+//! interpreted (the seed sources use none).
+
+use proc_macro::{Delimiter, Ident, Span, TokenStream, TokenTree};
+
+/// Extract the type name and a verbatim copy of its generics from the
+/// tokens of a struct/enum definition.
+fn parse_item(input: TokenStream) -> (Ident, TokenStream) {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes, doc comments and visibility until `struct`/`enum`.
+    for tt in iter.by_ref() {
+        if let TokenTree::Ident(id) = &tt {
+            let s = id.to_string();
+            if s == "struct" || s == "enum" || s == "union" {
+                break;
+            }
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id,
+        _ => Ident::new("UnknownType", Span::call_site()),
+    };
+    // Capture `<...>` generics immediately following the name, if any.
+    let mut generics = TokenStream::new();
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            for tt in iter {
+                let done = match &tt {
+                    TokenTree::Punct(p) if p.as_char() == '<' => {
+                        depth += 1;
+                        false
+                    }
+                    TokenTree::Punct(p) if p.as_char() == '>' => {
+                        depth -= 1;
+                        depth == 0
+                    }
+                    _ => false,
+                };
+                generics.extend(std::iter::once(tt));
+                if done {
+                    break;
+                }
+            }
+        }
+    }
+    (name, generics)
+}
+
+fn strip_bounds(generics: &TokenStream) -> TokenStream {
+    // Turn `<T: Bound, 'a>` into `<T, 'a>` for the type position.
+    let mut out = TokenStream::new();
+    let mut skipping = false;
+    let mut depth = 0i32;
+    for tt in generics.clone() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == ':' && depth == 1 => {
+                skipping = true;
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => skipping = false,
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    skipping = false;
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::None => {}
+            _ => {}
+        }
+        if !skipping {
+            out.extend(std::iter::once(tt));
+        }
+    }
+    out
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let ty_generics = strip_bounds(&generics);
+    format!(
+        "impl {g} serde::Serialize for {name} {t} {{}}",
+        g = generics,
+        name = name,
+        t = ty_generics,
+    )
+    .parse()
+    .unwrap()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, generics) = parse_item(input);
+    let ty_generics = strip_bounds(&generics);
+    // Merge the deserializer lifetime with the type's own generic
+    // parameters (`<T>` becomes `<'de_stub, T>`).
+    let g = generics.to_string();
+    let impl_generics = match g.find('<') {
+        Some(open) => format!("<'de_stub, {}", &g[open + 1..]),
+        None => "<'de_stub>".to_string(),
+    };
+    format!(
+        "impl {g} serde::Deserialize<'de_stub> for {name} {t} {{}}",
+        g = impl_generics,
+        name = name,
+        t = ty_generics,
+    )
+    .parse()
+    .unwrap()
+}
