@@ -1,0 +1,45 @@
+//! Criterion wrapper over the kernel-engine perf baseline: tiled engine
+//! vs. naive reference oracle on a small GEMM shape (the full sweep with
+//! JSON output lives in the `perfbaseline` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_tensor::gemm::{gemm_with_threads, GemmPrecision};
+use tcudb_tensor::{reference, DenseMatrix};
+
+fn matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed.wrapping_add(77);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) % 15) as f32 - 7.0
+    };
+    DenseMatrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let a = matrix(256, 256, 1);
+    let b = matrix(256, 256, 2);
+    c.bench_function("kernels/reference_gemm_fp32_256", |bch| {
+        bch.iter(|| reference::gemm(&a, &b, GemmPrecision::Fp32).unwrap().0)
+    });
+    c.bench_function("kernels/tiled_gemm_fp32_256_1t", |bch| {
+        bch.iter(|| gemm_with_threads(&a, &b, GemmPrecision::Fp32, 1).unwrap().0)
+    });
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    c.bench_function("kernels/tiled_gemm_fp32_256_mt", |bch| {
+        bch.iter(|| {
+            gemm_with_threads(&a, &b, GemmPrecision::Fp32, threads)
+                .unwrap()
+                .0
+        })
+    });
+    c.bench_function("kernels/tiled_gemm_half_256_1t", |bch| {
+        bch.iter(|| gemm_with_threads(&a, &b, GemmPrecision::Half, 1).unwrap().0)
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

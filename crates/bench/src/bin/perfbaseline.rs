@@ -1,0 +1,432 @@
+//! `perfbaseline` — reproducible host-kernel performance harness.
+//!
+//! Times the tiled kernel engine against the naive reference oracle on a
+//! fixed set of GEMM / SpMM / SSB-join shapes, verifies the results are
+//! bit-identical while doing so, and emits `BENCH_kernels.json` so every
+//! future PR has a trajectory to beat.
+//!
+//! ```text
+//! cargo run --release -p tcudb-bench --bin perfbaseline            # full sweep
+//! cargo run --release -p tcudb-bench --bin perfbaseline -- --quick # CI smoke set
+//! cargo run --release -p tcudb-bench --bin perfbaseline -- --out p.json
+//! ```
+//!
+//! Exit codes: `0` success, `2` the tiled engine was slower than the
+//! reference oracle on a smoke shape (the CI bench-smoke gate), `3` a
+//! kernel result diverged from the oracle.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use tcudb_tensor::gemm::{gemm_bt_with_threads, gemm_with_threads, GemmPrecision};
+use tcudb_tensor::{engine, reference, spmm, CsrMatrix, DenseMatrix};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Kind {
+    /// `C = A × B` with dense operands.
+    Gemm,
+    /// `C = A × Bᵀ` — the join orientation.
+    GemmBt,
+    /// TCU-SpMM on sparse operands vs. the dense reference on the same data.
+    Spmm,
+}
+
+struct Shape {
+    name: &'static str,
+    kind: Kind,
+    precision: GemmPrecision,
+    m: usize,
+    n: usize,
+    k: usize,
+    /// 0 → dense small integers, 1 → 0/1 one-hot rows, d>1 → ~1/d density.
+    fill: u64,
+    /// Included in `--quick` (CI smoke) mode.
+    quick: bool,
+}
+
+const SHAPES: &[Shape] = &[
+    Shape {
+        // The Figure 3 shape the acceptance gate measures.
+        name: "fig03_gemm_fp32_1024",
+        kind: Kind::Gemm,
+        precision: GemmPrecision::Fp32,
+        m: 1024,
+        n: 1024,
+        k: 1024,
+        fill: 0,
+        quick: true,
+    },
+    Shape {
+        name: "gemm_fp32_odd_517x233x129",
+        kind: Kind::Gemm,
+        precision: GemmPrecision::Fp32,
+        m: 517,
+        n: 233,
+        k: 129,
+        fill: 0,
+        quick: true,
+    },
+    Shape {
+        name: "gemm_half_1024",
+        kind: Kind::Gemm,
+        precision: GemmPrecision::Half,
+        m: 1024,
+        n: 1024,
+        k: 1024,
+        fill: 0,
+        quick: false,
+    },
+    Shape {
+        name: "gemm_int8_512",
+        kind: Kind::Gemm,
+        precision: GemmPrecision::Int8,
+        m: 512,
+        n: 512,
+        k: 512,
+        fill: 0,
+        quick: false,
+    },
+    Shape {
+        // One-hot fact × dimension join matrices, fp16 — the SSB §3 shape.
+        name: "ssb_join_bt_half_8192x512x128",
+        kind: Kind::GemmBt,
+        precision: GemmPrecision::Half,
+        m: 8192,
+        n: 512,
+        k: 128,
+        fill: 1,
+        quick: false,
+    },
+    Shape {
+        name: "spmm_fp32_512_d6pct",
+        kind: Kind::Spmm,
+        precision: GemmPrecision::Fp32,
+        m: 512,
+        n: 512,
+        k: 512,
+        fill: 16,
+        quick: true,
+    },
+    Shape {
+        name: "spmm_fp32_1024_d3pct",
+        kind: Kind::Spmm,
+        precision: GemmPrecision::Fp32,
+        m: 1024,
+        n: 1024,
+        k: 1024,
+        fill: 32,
+        quick: false,
+    },
+    Shape {
+        // One-hot join operands: the sparse regime where zero-tile
+        // skipping pays off (most 16×16 tile pairs never touch the TCU).
+        name: "spmm_join_half_2048x2048x512",
+        kind: Kind::Spmm,
+        precision: GemmPrecision::Half,
+        m: 2048,
+        n: 2048,
+        k: 512,
+        fill: 1,
+        quick: true,
+    },
+];
+
+struct Entry {
+    name: &'static str,
+    kind: &'static str,
+    precision: &'static str,
+    m: usize,
+    n: usize,
+    k: usize,
+    reference_secs: f64,
+    tiled_1t_secs: f64,
+    /// None for kernels with no threaded path (TCU-SpMM runs
+    /// single-threaded); the JSON omits the mt fields rather than
+    /// duplicating the 1t measurement.
+    tiled_mt_secs: Option<f64>,
+    threads: usize,
+    extra: Option<(&'static str, f64)>,
+    /// Part of the CI smoke gate (mirrors `Shape::quick`).
+    gated: bool,
+}
+
+impl Entry {
+    fn speedup_1t(&self) -> f64 {
+        self.reference_secs / self.tiled_1t_secs
+    }
+    fn speedup_mt(&self) -> Option<f64> {
+        self.tiled_mt_secs.map(|mt| self.reference_secs / mt)
+    }
+}
+
+fn fill_matrix(rows: usize, cols: usize, seed: u64, fill: u64) -> DenseMatrix {
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(12345);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut m = DenseMatrix::zeros(rows, cols);
+    match fill {
+        // Dense small signed integers (exact in every precision).
+        0 => {
+            for v in m.data_mut().iter_mut() {
+                *v = ((next() % 15) as f32) - 7.0;
+            }
+        }
+        // One-hot rows: the 0/1 join encoding.
+        1 => {
+            for i in 0..rows {
+                let j = (next() as usize) % cols.max(1);
+                m.row_mut(i)[j] = 1.0;
+            }
+        }
+        // Sparse, ~1/fill density.
+        d => {
+            for v in m.data_mut().iter_mut() {
+                if next() % d == 0 {
+                    *v = ((next() % 5) as f32) + 1.0;
+                }
+            }
+        }
+    }
+    m
+}
+
+/// Best-of-`reps` wall-clock seconds of `f`, returning the last result.
+fn best_secs<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        let r = black_box(f());
+        best = best.min(t.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+fn run_shape(shape: &Shape, reps: usize, threads: usize) -> Result<Entry, String> {
+    let (m, n, k) = (shape.m, shape.n, shape.k);
+    let precision = shape.precision;
+    let a = fill_matrix(m, k, 0xA + m as u64, shape.fill);
+    match shape.kind {
+        Kind::Gemm => {
+            let b = fill_matrix(k, n, 0xB + n as u64, shape.fill);
+            let (ref_secs, expected) =
+                best_secs(reps, || reference::gemm(&a, &b, precision).unwrap().0);
+            let (t1, got1) = best_secs(reps, || gemm_with_threads(&a, &b, precision, 1).unwrap().0);
+            // A separate mt measurement only exists when there is real
+            // parallelism; on a 1-thread host it would just be a noisy
+            // rerun of the 1t run.
+            let mt = (threads > 1).then(|| {
+                best_secs(reps, || {
+                    gemm_with_threads(&a, &b, precision, threads).unwrap().0
+                })
+            });
+            if got1 != expected || mt.as_ref().is_some_and(|(_, g)| *g != expected) {
+                return Err(format!("{}: tiled result diverged from oracle", shape.name));
+            }
+            Ok(Entry {
+                name: shape.name,
+                kind: "gemm",
+                precision: precision_label(precision),
+                m,
+                n,
+                k,
+                reference_secs: ref_secs,
+                tiled_1t_secs: t1,
+                tiled_mt_secs: mt.map(|(secs, _)| secs),
+                threads,
+                extra: None,
+                gated: shape.quick,
+            })
+        }
+        Kind::GemmBt => {
+            let b = fill_matrix(n, k, 0xB + n as u64, shape.fill);
+            let (ref_secs, expected) =
+                best_secs(reps, || reference::gemm_bt(&a, &b, precision).unwrap().0);
+            let (t1, got1) = best_secs(reps, || {
+                gemm_bt_with_threads(&a, &b, precision, 1).unwrap().0
+            });
+            let mt = (threads > 1).then(|| {
+                best_secs(reps, || {
+                    gemm_bt_with_threads(&a, &b, precision, threads).unwrap().0
+                })
+            });
+            if got1 != expected || mt.as_ref().is_some_and(|(_, g)| *g != expected) {
+                return Err(format!("{}: tiled result diverged from oracle", shape.name));
+            }
+            Ok(Entry {
+                name: shape.name,
+                kind: "gemm_bt",
+                precision: precision_label(precision),
+                m,
+                n,
+                k,
+                reference_secs: ref_secs,
+                tiled_1t_secs: t1,
+                tiled_mt_secs: mt.map(|(secs, _)| secs),
+                threads,
+                extra: None,
+                gated: shape.quick,
+            })
+        }
+        Kind::Spmm => {
+            let b = fill_matrix(n, k, 0xB + n as u64, shape.fill);
+            let a_csr = CsrMatrix::from_dense(&a);
+            let b_csr = CsrMatrix::from_dense(&b);
+            let (ref_secs, expected) =
+                best_secs(reps, || reference::gemm_bt(&a, &b, precision).unwrap().0);
+            let (t1, (got, stats)) =
+                best_secs(reps, || spmm::tcu_spmm(&a_csr, &b_csr, precision).unwrap());
+            if got != expected {
+                return Err(format!("{}: SpMM result diverged from oracle", shape.name));
+            }
+            Ok(Entry {
+                name: shape.name,
+                kind: "spmm",
+                precision: precision_label(precision),
+                m,
+                n,
+                k,
+                reference_secs: ref_secs,
+                tiled_1t_secs: t1,
+                tiled_mt_secs: None,
+                threads: 1,
+                extra: Some(("tile_skip_ratio", stats.skip_ratio())),
+                gated: shape.quick,
+            })
+        }
+    }
+}
+
+fn precision_label(p: GemmPrecision) -> &'static str {
+    match p {
+        GemmPrecision::Fp32 => "Fp32",
+        GemmPrecision::Half => "Half",
+        GemmPrecision::Int8 => "Int8",
+        GemmPrecision::Int4 => "Int4",
+    }
+}
+
+fn json(entries: &[Entry], mode: &str, threads: usize) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"perfbaseline\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    let level = engine::simd_level();
+    let (mr, nr) = level.lanes();
+    out.push_str(&format!(
+        "  \"engine\": {{\"simd_level\": \"{level:?}\", \"mr\": {mr}, \"nr\": {nr}, \"kc\": {}}},\n",
+        engine::KC
+    ));
+    out.push_str(&format!("  \"threads_available\": {threads},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        // mt fields are omitted (not duplicated from 1t) for kernels with
+        // no threaded path, e.g. TCU-SpMM.
+        let mt = match (e.tiled_mt_secs, e.speedup_mt()) {
+            (Some(secs), Some(speedup)) => {
+                format!("\"tiled_mt_secs\": {secs:.6}, \"speedup_mt\": {speedup:.2}, ")
+            }
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"precision\": \"{}\", \
+             \"m\": {}, \"n\": {}, \"k\": {}, \
+             \"reference_secs\": {:.6}, \"tiled_1t_secs\": {:.6}, \
+             {}\"threads\": {}, \"speedup_1t\": {:.2}{}}}{}\n",
+            e.name,
+            e.kind,
+            e.precision,
+            e.m,
+            e.n,
+            e.k,
+            e.reference_secs,
+            e.tiled_1t_secs,
+            mt,
+            e.threads,
+            e.speedup_1t(),
+            e.extra
+                .map(|(k, v)| format!(", \"{k}\": {v:.4}"))
+                .unwrap_or_default(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_kernels.json");
+    // Best-of-3 even in quick mode: the CI gate compares single timings,
+    // and one noisy rep on a shared runner must not fail the job.
+    let reps = 3;
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let mode = if quick { "quick" } else { "full" };
+    println!("perfbaseline: mode={mode} reps={reps} threads={threads}");
+    println!(
+        "{:<34} {:>12} {:>12} {:>12} {:>9} {:>9}",
+        "shape", "reference", "tiled 1t", "tiled mt", "x1t", "xmt"
+    );
+
+    let mut entries = Vec::new();
+    for shape in SHAPES.iter().filter(|s| !quick || s.quick) {
+        match run_shape(shape, reps, threads) {
+            Ok(e) => {
+                let (mt_secs, mt_speedup) = match (e.tiled_mt_secs, e.speedup_mt()) {
+                    (Some(secs), Some(sp)) => (format!("{secs:>10.4}s"), format!("{sp:>8.2}x")),
+                    _ => (format!("{:>11}", "-"), format!("{:>9}", "-")),
+                };
+                println!(
+                    "{:<34} {:>10.4}s {:>10.4}s {} {:>8.2}x {}",
+                    e.name,
+                    e.reference_secs,
+                    e.tiled_1t_secs,
+                    mt_secs,
+                    e.speedup_1t(),
+                    mt_speedup
+                );
+                entries.push(e);
+            }
+            Err(msg) => {
+                eprintln!("FATAL: {msg}");
+                std::process::exit(3);
+            }
+        }
+    }
+
+    let payload = json(&entries, mode, threads);
+    if let Err(e) = std::fs::write(out_path, &payload) {
+        eprintln!("FATAL: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    // CI gate: on the smoke shapes the tiled engine must never lose to
+    // the reference oracle (full-only shapes are informational).
+    let mut failed = false;
+    for e in entries.iter().filter(|e| e.gated) {
+        if e.speedup_1t() < 1.0 {
+            eprintln!(
+                "GATE: {} tiled engine ({:.4}s) slower than reference oracle ({:.4}s)",
+                e.name, e.tiled_1t_secs, e.reference_secs
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

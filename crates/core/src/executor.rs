@@ -435,7 +435,9 @@ fn execute_join_step(
             let b = translate::one_hot_matrix(&right_col, None, domain);
             let (c, kernel_secs) = if choice.kind == PlanKind::TcuBlocked {
                 let block = blocked::choose_block_size(cost.profile().device_mem_bytes);
-                let (c, stats) = blocked::blocked_gemm(&a, &b.transpose(), precision, block)?;
+                // The bt-oriented blocked path packs the transpose inside the
+                // kernel engine instead of materialising a k×n copy here.
+                let (c, stats) = blocked::blocked_gemm_bt(&a, &b, precision, block)?;
                 (c, cost.blocked_gemm_seconds(&stats, choice.precision))
             } else {
                 let (c, stats) = gemm::gemm_bt(&a, &b, precision)?;

@@ -13,7 +13,7 @@
 //! and compute time per pipeline stage.
 
 use crate::dense::DenseMatrix;
-use crate::gemm::{gemm, GemmPrecision, GemmStats};
+use crate::gemm::{gemm, gemm_bt, GemmPrecision};
 use tcudb_types::{TcuError, TcuResult};
 
 /// Statistics reported by a blocked GEMM execution.
@@ -75,10 +75,44 @@ pub fn blocked_gemm(
             got: format!("B is {}x{}", b.rows(), b.cols()),
         });
     }
+    blocked_loop(a, b, precision, block_size, false)
+}
+
+/// Compute `C = A × Bᵀ` (`A`: m×k, `B`: n×k) by streaming
+/// `block_size`-edged sub-matrices — [`blocked_gemm`] in the join
+/// orientation, without ever materialising the k×n transpose of `B`: each
+/// block is cut from `B`'s rows and handed to the engine's `A × Bᵀ` path,
+/// which performs the transpose during operand packing.
+pub fn blocked_gemm_bt(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    block_size: usize,
+) -> TcuResult<(DenseMatrix, BlockedGemmStats)> {
+    if a.cols() != b.cols() {
+        return Err(TcuError::ShapeMismatch {
+            expected: format!("A.cols == B.cols (A is {}x{})", a.rows(), a.cols()),
+            got: format!("B is {}x{}", b.rows(), b.cols()),
+        });
+    }
+    blocked_loop(a, b, precision, block_size, true)
+}
+
+/// The shared block-streaming loop.  `bt` selects the operand orientation:
+/// false = `A × B` (B is k×n, blocks cut from B's rows along k), true =
+/// `A × Bᵀ` (B is n×k, blocks cut from B's rows along n).
+fn blocked_loop(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    block_size: usize,
+    bt: bool,
+) -> TcuResult<(DenseMatrix, BlockedGemmStats)> {
     if block_size == 0 {
         return Err(TcuError::InvalidArgument("block_size must be > 0".into()));
     }
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (m, k) = (a.rows(), a.cols());
+    let n = if bt { b.rows() } else { b.cols() };
     let mut c = DenseMatrix::zeros(m, n);
 
     let blocks_m = m.div_ceil(block_size).max(1);
@@ -87,7 +121,7 @@ pub fn blocked_gemm(
 
     let mut block_mults = 0usize;
     let mut bytes_in = 0.0f64;
-    let mut sub_stats_acc = GemmStats::default();
+    let mut flops = 0.0f64;
 
     for bi in 0..blocks_m {
         let row0 = bi * block_size;
@@ -108,11 +142,16 @@ pub fn blocked_gemm(
                     continue;
                 }
                 let a_block = a.sub_matrix(row0, k0, rows, ks);
-                let b_block = b.sub_matrix(k0, col0, ks, cols);
-                let (partial, stats) = gemm(&a_block, &b_block, precision)?;
+                let (partial, stats) = if bt {
+                    let b_block = b.sub_matrix(col0, k0, cols, ks);
+                    gemm_bt(&a_block, &b_block, precision)?
+                } else {
+                    let b_block = b.sub_matrix(k0, col0, ks, cols);
+                    gemm(&a_block, &b_block, precision)?
+                };
                 c.accumulate_block(row0, col0, &partial);
                 block_mults += 1;
-                sub_stats_acc.flops += stats.flops;
+                flops += stats.flops;
                 // Each block multiplication fetches one A block and one B
                 // block at the staging precision (4 bytes, matching the
                 // f32 staging buffers MSplitGEMM streams).
@@ -127,7 +166,7 @@ pub fn blocked_gemm(
         k,
         block_size,
         block_multiplications: block_mults,
-        flops: sub_stats_acc.flops,
+        flops,
         bytes_streamed_in: bytes_in,
         bytes_streamed_out: (m * n) as f64 * 4.0,
         pipeline_stages: blocks_m * blocks_n,
@@ -204,6 +243,26 @@ mod tests {
         // Mid-size: 3 blocks of 2048² f32 ≈ 50 MB.
         let mid = choose_block_size(64 * 1024 * 1024);
         assert!((1024..=4096).contains(&mid), "mid={mid}");
+    }
+
+    #[test]
+    fn blocked_bt_matches_blocked_with_transpose() {
+        let a = random_matrix(19, 13, 21);
+        let b = random_matrix(17, 13, 22); // n×k, the join orientation
+        for block in [4, 8, 64] {
+            let (via_bt, bt_stats) = blocked_gemm_bt(&a, &b, GemmPrecision::Fp32, block).unwrap();
+            let (via_t, t_stats) =
+                blocked_gemm(&a, &b.transpose(), GemmPrecision::Fp32, block).unwrap();
+            assert_eq!(via_bt, via_t, "block={block}");
+            assert_eq!(
+                bt_stats.block_multiplications,
+                t_stats.block_multiplications
+            );
+            assert_eq!(bt_stats.flops, t_stats.flops);
+            assert_eq!(bt_stats.bytes_streamed_in, t_stats.bytes_streamed_in);
+        }
+        assert!(blocked_gemm_bt(&a, &a.transpose(), GemmPrecision::Fp32, 4).is_err());
+        assert!(blocked_gemm_bt(&a, &b, GemmPrecision::Fp32, 0).is_err());
     }
 
     #[test]

@@ -132,6 +132,14 @@ impl DenseMatrix {
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
+    /// Borrow one row as a mutable slice — the unit-stride accessor the
+    /// kernel engine and TCU-SpMM scatter paths use instead of per-element
+    /// `set`/`add_to` calls.
+    #[inline]
+    pub fn row_mut(&mut self, row: usize) -> &mut [f32] {
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
     /// Transposed copy.
     pub fn transpose(&self) -> DenseMatrix {
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
@@ -237,6 +245,8 @@ mod tests {
         m.add_to(1, 2, 1.0);
         assert_eq!(m.get(1, 2), 6.0);
         assert_eq!(m.row(0), &[0.0, 0.0, 0.0]);
+        m.row_mut(0)[1] = 9.0;
+        assert_eq!(m.get(0, 1), 9.0);
     }
 
     #[test]

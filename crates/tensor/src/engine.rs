@@ -1,0 +1,791 @@
+//! The tiled, operand-packed, multi-threaded kernel engine.
+//!
+//! Every dense kernel entry point of this crate ([`crate::gemm::gemm`],
+//! [`crate::gemm::gemm_bt`], [`crate::blocked::blocked_gemm`] and the
+//! dense-tile path inside [`crate::spmm::tcu_spmm`]) routes through this
+//! module.  The naive scalar kernels live on in [`crate::reference`] as the
+//! correctness oracle; this engine produces the same results (see the
+//! numeric contract below) while running close to what the host hardware
+//! allows, mirroring the fragment-granular execution model of the paper's
+//! WMMA kernels.
+//!
+//! # Kernel engine architecture
+//!
+//! 1. **Packing.**  Both operands are packed exactly once per call into
+//!    contiguous, precision-cast panels (the paper's data-transformation
+//!    step, which casts whole fragments before the MMA):
+//!    * `Fp32` → `f32` panels as-is,
+//!    * `Half` → `f32` panels rounded through IEEE binary16
+//!      ([`F16::round_trip`]) up front,
+//!    * `Int8` / `Int4` → saturating-cast `i32` panels.
+//!
+//!    The A operand is packed into row tiles of MR rows, the B operand into
+//!    tiles of NR logical rows (rows of `Bᵀ` for the `A × B` orientation —
+//!    packing performs the transpose, so no materialised transpose copy is
+//!    ever needed).  Within a tile, the MR (resp. NR) values of each k-step
+//!    are interleaved contiguously, so the microkernel reads both panels
+//!    with unit stride and zero bounds checks.
+//!
+//! 2. **Microkernel.**  An MR×NR register-tiled kernel walks the shared k
+//!    dimension in cache-sized [`KC`] blocks.  Accumulators stay in
+//!    registers for a whole k-block and are spilled to the output buffer
+//!    between blocks; loads/stores of the native accumulator type are
+//!    exact, and every output element receives its products one at a time
+//!    in ascending k order — the accumulation order of the reference
+//!    kernels.  The f32 microkernel is selected at runtime from the host's
+//!    SIMD features (no build flags, no dependencies): an AVX-512 8×32
+//!    kernel, an AVX2+FMA 4×16 kernel, or the portable scalar 4×8 kernel.
+//!    Integer precisions accumulate in `i64` (standing in for the
+//!    hardware's never-overflowing i32 accumulators) and convert to `f32`
+//!    exactly once at store time.
+//!
+//! 3. **Threading.**  Result row panels are sharded across
+//!    `std::thread::scope` threads (no added dependencies).  Each output
+//!    element is computed by exactly one thread in the same order as the
+//!    single-threaded engine, so results are identical for every thread
+//!    count.  The thread count is capped by
+//!    `std::thread::available_parallelism` and multi-threading is bypassed
+//!    entirely below [`PARALLEL_MIN_WORK`] multiply-accumulates, keeping
+//!    small/test matrices single-threaded and cheap.
+//!
+//! # Numeric contract
+//!
+//! * `Half`, `Int8`, `Int4` — bit-identical to [`crate::reference`] for
+//!   **all** inputs.  fp16-rounded operands carry ≤ 11-bit significands, so
+//!   every pairwise product is exactly representable in f32 and fused
+//!   multiply-add equals separate multiply-then-add bit-for-bit; integer
+//!   accumulation is exact and order-independent.
+//! * `Fp32` — bit-identical to the reference whenever operand products are
+//!   exactly representable: 0/1 join encodings, comparison matrices,
+//!   integer-valued keys and aggregates up to 2²⁴ — every encoding the
+//!   query translator emits.  For general reals the SIMD paths keep the
+//!   full-precision product per MAC (fused multiply-add, the FFMA
+//!   arithmetic of real CUDA cores), which is at least as accurate as the
+//!   unfused reference; the portable scalar path accumulates unfused.
+
+use crate::dense::DenseMatrix;
+use crate::gemm::GemmPrecision;
+use tcudb_types::quant::{to_i4_saturating, to_i8_saturating};
+use tcudb_types::F16;
+
+/// Scalar-fallback microkernel register-tile rows.
+pub const MR: usize = 4;
+
+/// Scalar-fallback microkernel register-tile columns.
+pub const NR: usize = 8;
+
+/// k-dimension block size: one `NR × KC` B panel plus one `MR × KC` A panel
+/// stay resident in L1 while the accumulators live in registers.
+pub const KC: usize = 512;
+
+/// Minimum `m·n·k` multiply-accumulate count before the engine shards row
+/// panels across threads; below this, threading overhead dominates.
+pub const PARALLEL_MIN_WORK: u128 = 1 << 22;
+
+/// Scalar element type a microkernel instantiation operates on.
+///
+/// `Acc` is the accumulator type of the emulated MMA contract: `f32` for
+/// fp32/fp16 inputs, `i64` (wide integer) for int8/int4 inputs.
+pub trait MicroElem: Copy + Default + Send + Sync + 'static {
+    /// Accumulator type.
+    type Acc: Copy + Default + Send + Sync + 'static;
+    /// One multiply-accumulate step: `acc + a·b`, unfused.
+    fn mac(acc: Self::Acc, a: Self, b: Self) -> Self::Acc;
+}
+
+impl MicroElem for f32 {
+    type Acc = f32;
+    #[inline(always)]
+    fn mac(acc: f32, a: f32, b: f32) -> f32 {
+        acc + a * b
+    }
+}
+
+impl MicroElem for i32 {
+    type Acc = i64;
+    #[inline(always)]
+    fn mac(acc: i64, a: i32, b: i32) -> i64 {
+        acc + a as i64 * b as i64
+    }
+}
+
+/// The SIMD tier the f32 microkernel runs on, detected at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// AVX-512F + FMA: 8×32 register tile (16 zmm accumulators).
+    Avx512,
+    /// AVX2 + FMA: 4×16 register tile (8 ymm accumulators).
+    Avx2Fma,
+    /// Portable scalar 4×8 tile, unfused multiply-add.
+    Scalar,
+}
+
+impl SimdLevel {
+    /// The (MR, NR) register-tile shape of this tier.
+    pub fn lanes(self) -> (usize, usize) {
+        match self {
+            SimdLevel::Avx512 => (x86::AVX512_MR, x86::AVX512_NR),
+            SimdLevel::Avx2Fma => (x86::AVX2_MR, x86::AVX2_NR),
+            SimdLevel::Scalar => (MR, NR),
+        }
+    }
+}
+
+/// Detect the best available f32 microkernel tier on this host.
+pub fn simd_level() -> SimdLevel {
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx512f")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx512;
+        }
+        if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+        {
+            return SimdLevel::Avx2Fma;
+        }
+    }
+    SimdLevel::Scalar
+}
+
+/// The thread count the engine would pick on this host for an `m×n×k`
+/// multiplication: 1 below [`PARALLEL_MIN_WORK`], otherwise
+/// `available_parallelism` (never more than the number of row panels).
+pub fn auto_threads(m: usize, n: usize, k: usize) -> usize {
+    let work = m as u128 * n as u128 * k as u128;
+    if work < PARALLEL_MIN_WORK {
+        return 1;
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Compute `C = A × B` (`A`: m×k, `B`: k×n) on the tiled engine.
+///
+/// Shapes must already be validated (`a.cols() == b.rows()`); the public
+/// wrappers in [`crate::gemm`] do so and attach [`crate::gemm::GemmStats`].
+pub fn tiled_gemm(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    threads: usize,
+) -> DenseMatrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "tiled_gemm shape mismatch: A is {}x{}, B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    dispatch(a, b, true, b.cols(), precision, threads)
+}
+
+/// Compute `C = A × Bᵀ` (`A`: m×k, `B`: n×k) on the tiled engine — the
+/// orientation every join pattern of §3 uses.
+pub fn tiled_gemm_bt(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    threads: usize,
+) -> DenseMatrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "tiled_gemm_bt shape mismatch: A is {}x{}, B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    dispatch(a, b, false, b.rows(), precision, threads)
+}
+
+/// Single precision dispatch table for both operand orientations (the
+/// per-entry-point `match precision` blocks of the old kernels collapse to
+/// this one place).
+fn dispatch(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    b_from_columns: bool,
+    n: usize,
+    precision: GemmPrecision,
+    threads: usize,
+) -> DenseMatrix {
+    let m = a.rows();
+    let data: Vec<f32> = match precision {
+        GemmPrecision::Fp32 => run_f32(a, b, b_from_columns, n, threads, |v| v),
+        GemmPrecision::Half => run_f32(a, b, b_from_columns, n, threads, F16::round_trip),
+        GemmPrecision::Int8 => run_generic::<i32>(a, b, b_from_columns, n, threads, |v| {
+            to_i8_saturating(v as f64) as i32
+        })
+        .into_iter()
+        .map(|acc| acc as f32)
+        .collect(),
+        GemmPrecision::Int4 => run_generic::<i32>(a, b, b_from_columns, n, threads, |v| {
+            to_i4_saturating(v as f64) as i32
+        })
+        .into_iter()
+        .map(|acc| acc as f32)
+        .collect(),
+    };
+    DenseMatrix::from_vec(m, n, data).expect("engine output buffer matches m×n")
+}
+
+/// f32 panel multiply on the detected SIMD tier (Fp32 and Half paths).
+fn run_f32(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    b_from_columns: bool,
+    n: usize,
+    threads: usize,
+    cast: impl Fn(f32) -> f32 + Copy,
+) -> Vec<f32> {
+    let level = simd_level();
+    #[cfg(target_arch = "x86_64")]
+    if level != SimdLevel::Scalar {
+        return run_f32_simd(a, b, b_from_columns, n, threads, cast, level);
+    }
+    let _ = level;
+    run_generic::<f32>(a, b, b_from_columns, n, threads, cast)
+}
+
+/// f32 panel multiply on a detected x86 SIMD tier.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn run_f32_simd(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    b_from_columns: bool,
+    n: usize,
+    threads: usize,
+    cast: impl Fn(f32) -> f32 + Copy,
+    level: SimdLevel,
+) -> Vec<f32> {
+    let (mr, nr) = level.lanes();
+    let apack = pack_panels(a, false, mr, cast);
+    let bpack = pack_panels(b, b_from_columns, nr, cast);
+    let (m, k) = (a.rows(), a.cols());
+    let mut c = vec![0.0f32; m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    shard_rows(&mut c, m, n, mr, threads, |chunk, row_tile0, rows| {
+        F32Shard {
+            apack: &apack,
+            bpack: &bpack,
+            row_tile0,
+            rows,
+            n,
+            k,
+            level,
+        }
+        .run(chunk)
+    });
+    c
+}
+
+/// Pack both operands and run the portable generic panel multiplication
+/// (the int paths and the no-SIMD f32 fallback).
+fn run_generic<T: MicroElem>(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    b_from_columns: bool,
+    n: usize,
+    threads: usize,
+    cast: impl Fn(f32) -> T + Copy,
+) -> Vec<T::Acc> {
+    let apack = pack_panels(a, false, MR, cast);
+    let bpack = pack_panels(b, b_from_columns, NR, cast);
+    let (m, k) = (a.rows(), a.cols());
+    let mut c = vec![T::Acc::default(); m * n];
+    if m == 0 || n == 0 || k == 0 {
+        return c;
+    }
+    shard_rows(&mut c, m, n, MR, threads, |chunk, row_tile0, rows| {
+        GemmShard {
+            apack: &apack,
+            bpack: &bpack,
+            row_tile0,
+            rows,
+            n,
+            k,
+        }
+        .run(chunk)
+    });
+    c
+}
+
+/// Pack an operand into `tile`-row interleaved panels.
+///
+/// Logical row `r` of the panel is row `r` of `src` when `from_columns` is
+/// false, column `r` of `src` when true (this is how `A × B` reuses the
+/// `A × Bᵀ` microkernel without materialising a transpose).  Panel `t`
+/// holds logical rows `t·tile .. (t+1)·tile`; within a panel the `tile`
+/// values of each k step are adjacent, and rows past the edge are
+/// zero-padded (their lanes are computed and discarded, never stored).
+fn pack_panels<T: MicroElem>(
+    src: &DenseMatrix,
+    from_columns: bool,
+    tile: usize,
+    cast: impl Fn(f32) -> T,
+) -> Vec<T> {
+    let (rows, k) = if from_columns {
+        (src.cols(), src.rows())
+    } else {
+        (src.rows(), src.cols())
+    };
+    let tiles = rows.div_ceil(tile);
+    let mut out = vec![T::default(); tiles * tile * k];
+    if from_columns {
+        for kk in 0..k {
+            let srow = src.row(kk);
+            for (r, &v) in srow.iter().enumerate() {
+                out[(r / tile) * tile * k + kk * tile + r % tile] = cast(v);
+            }
+        }
+    } else {
+        for r in 0..rows {
+            let base = (r / tile) * tile * k + r % tile;
+            for (kk, &v) in src.row(r).iter().enumerate() {
+                out[base + kk * tile] = cast(v);
+            }
+        }
+    }
+    out
+}
+
+/// Split `c` (`m×n` row-major) into per-thread chunks of whole `mr`-row
+/// tiles and run `work(chunk, row_tile0, rows)` on each, on scoped threads
+/// when `threads > 1`.  Every output element is owned by exactly one
+/// chunk, so results are identical for every thread count.
+fn shard_rows<A: Send>(
+    c: &mut [A],
+    m: usize,
+    n: usize,
+    mr: usize,
+    threads: usize,
+    work: impl Fn(&mut [A], usize, usize) + Send + Sync,
+) {
+    let row_tiles = m.div_ceil(mr);
+    let threads = threads.clamp(1, row_tiles);
+    if threads == 1 {
+        work(c, 0, m);
+        return;
+    }
+    let rows_per = row_tiles.div_ceil(threads) * mr;
+    std::thread::scope(|scope| {
+        for (idx, chunk) in c.chunks_mut(rows_per * n).enumerate() {
+            let work = &work;
+            let rows = chunk.len() / n;
+            scope.spawn(move || work(chunk, idx * (rows_per / mr), rows));
+        }
+    });
+}
+
+/// One thread's slice of the portable generic computation: a contiguous
+/// range of A row tiles against the full packed B operand.
+struct GemmShard<'a, T: MicroElem> {
+    apack: &'a [T],
+    bpack: &'a [T],
+    /// Index of this shard's first A row tile.
+    row_tile0: usize,
+    /// Number of result rows owned by this shard.
+    rows: usize,
+    n: usize,
+    k: usize,
+}
+
+impl<T: MicroElem> GemmShard<'_, T> {
+    /// Run the shard over its output chunk (`rows × n`, row-major).
+    fn run(&self, c: &mut [T::Acc]) {
+        let mut kb = 0usize;
+        while kb < self.k {
+            let kend = (kb + KC).min(self.k);
+            for jt in 0..self.n.div_ceil(NR) {
+                for it in 0..self.rows.div_ceil(MR) {
+                    self.micro_tile(c, it, jt, kb, kend);
+                }
+            }
+            kb = kend;
+        }
+    }
+
+    /// The portable MR×NR register-tiled microkernel over one k block.
+    ///
+    /// Accumulators are loaded from `c` at block entry (exact, native
+    /// type), receive one product per k step in ascending k order, and are
+    /// stored back at block exit — the accumulation order of the reference
+    /// kernels, retained bit-for-bit.
+    #[inline]
+    fn micro_tile(&self, c: &mut [T::Acc], it: usize, jt: usize, kb: usize, kend: usize) {
+        let (n, k) = (self.n, self.k);
+        let i0 = it * MR;
+        let j0 = jt * NR;
+        let mr = MR.min(self.rows - i0);
+        let nr = NR.min(n - j0);
+        let abase = (self.row_tile0 + it) * MR * k;
+        let ablk = &self.apack[abase + kb * MR..abase + kend * MR];
+        let bbase = jt * NR * k;
+        let bblk = &self.bpack[bbase + kb * NR..bbase + kend * NR];
+
+        let mut acc = [[T::Acc::default(); NR]; MR];
+        if kb != 0 {
+            for (ir, accr) in acc.iter_mut().enumerate().take(mr) {
+                let crow = &c[(i0 + ir) * n + j0..(i0 + ir) * n + j0 + nr];
+                accr[..nr].copy_from_slice(crow);
+            }
+        }
+        for (af, bf) in ablk.chunks_exact(MR).zip(bblk.chunks_exact(NR)) {
+            let af: &[T; MR] = af.try_into().expect("A panel chunk is MR wide");
+            let bf: &[T; NR] = bf.try_into().expect("B panel chunk is NR wide");
+            for (accr, &av) in acc.iter_mut().zip(af.iter()) {
+                for (accv, &bv) in accr.iter_mut().zip(bf.iter()) {
+                    *accv = T::mac(*accv, av, bv);
+                }
+            }
+        }
+        for (ir, accr) in acc.iter().enumerate().take(mr) {
+            let crow = &mut c[(i0 + ir) * n + j0..(i0 + ir) * n + j0 + nr];
+            crow.copy_from_slice(&accr[..nr]);
+        }
+    }
+}
+
+/// One thread's slice of the SIMD f32 computation.
+#[cfg(target_arch = "x86_64")]
+struct F32Shard<'a> {
+    apack: &'a [f32],
+    bpack: &'a [f32],
+    row_tile0: usize,
+    rows: usize,
+    n: usize,
+    k: usize,
+    level: SimdLevel,
+}
+
+#[cfg(target_arch = "x86_64")]
+impl F32Shard<'_> {
+    fn run(&self, c: &mut [f32]) {
+        let (mr_l, nr_l) = self.level.lanes();
+        let (n, k) = (self.n, self.k);
+        let mut kb = 0usize;
+        while kb < k {
+            let kend = (kb + KC).min(k);
+            let first = kb == 0;
+            for jt in 0..n.div_ceil(nr_l) {
+                let j0 = jt * nr_l;
+                let nr = nr_l.min(n - j0);
+                let bbase = jt * nr_l * k;
+                let bblk = &self.bpack[bbase + kb * nr_l..bbase + kend * nr_l];
+                for it in 0..self.rows.div_ceil(mr_l) {
+                    let i0 = it * mr_l;
+                    let mr = mr_l.min(self.rows - i0);
+                    let abase = (self.row_tile0 + it) * mr_l * k;
+                    let ablk = &self.apack[abase + kb * mr_l..abase + kend * mr_l];
+                    // SAFETY (all three calls): `ablk`/`bblk` hold
+                    // `kend-kb` steps of `mr_l`/`nr_l` packed lanes; the
+                    // output tile rows `i0..i0+mr` and columns `j0..j0+nr`
+                    // lie inside the `rows × n` chunk `c`, so every
+                    // strided row pointer stays in bounds; the required
+                    // CPU features were verified by `simd_level()`.
+                    unsafe {
+                        let cptr = c.as_mut_ptr().add(i0 * n + j0);
+                        if mr == mr_l && nr == nr_l {
+                            match self.level {
+                                SimdLevel::Avx512 => {
+                                    x86::tile_f32_avx512(ablk, bblk, cptr, n, first)
+                                }
+                                SimdLevel::Avx2Fma => {
+                                    x86::tile_f32_avx2(ablk, bblk, cptr, n, first)
+                                }
+                                SimdLevel::Scalar => unreachable!("scalar uses GemmShard"),
+                            }
+                        } else {
+                            x86::tile_f32_edge_fused(
+                                ablk,
+                                bblk,
+                                cptr,
+                                n,
+                                x86::EdgeShape {
+                                    mr,
+                                    nr,
+                                    lane_mr: mr_l,
+                                    lane_nr: nr_l,
+                                },
+                                first,
+                            );
+                        }
+                    }
+                }
+            }
+            kb = kend;
+        }
+    }
+}
+
+/// Runtime-detected x86-64 microkernels.  All functions here require the
+/// CPU features named in their `target_feature` attributes, which
+/// [`simd_level`] verifies before any call site is reachable.
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use core::arch::x86_64::*;
+
+    pub const AVX512_MR: usize = 8;
+    pub const AVX512_NR: usize = 32;
+    pub const AVX2_MR: usize = 4;
+    pub const AVX2_NR: usize = 16;
+
+    /// Edge-tile geometry: `mr×nr` live lanes inside a
+    /// `lane_mr×lane_nr`-packed tile.
+    pub struct EdgeShape {
+        pub mr: usize,
+        pub nr: usize,
+        pub lane_mr: usize,
+        pub lane_nr: usize,
+    }
+
+    /// 8×32 f32 microkernel: 16 zmm accumulators, one fused
+    /// multiply-add per operand product.
+    ///
+    /// # Safety
+    /// Requires AVX-512F (+FMA semantics of `vfmadd`); `ablk.len()` must be
+    /// a multiple of 8 and `bblk.len()` the matching multiple of 32; `c`
+    /// must point at a tile whose 8 rows of 32 f32 at `stride` spacing are
+    /// writable.
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn tile_f32_avx512(
+        ablk: &[f32],
+        bblk: &[f32],
+        c: *mut f32,
+        stride: usize,
+        first: bool,
+    ) {
+        let mut acc = [[_mm512_setzero_ps(); 2]; 8];
+        if !first {
+            for (r, accr) in acc.iter_mut().enumerate() {
+                accr[0] = _mm512_loadu_ps(c.add(r * stride));
+                accr[1] = _mm512_loadu_ps(c.add(r * stride + 16));
+            }
+        }
+        let steps = ablk.len() / 8;
+        for kk in 0..steps {
+            let b0 = _mm512_loadu_ps(bblk.as_ptr().add(kk * 32));
+            let b1 = _mm512_loadu_ps(bblk.as_ptr().add(kk * 32 + 16));
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let a = _mm512_set1_ps(*ablk.get_unchecked(kk * 8 + r));
+                accr[0] = _mm512_fmadd_ps(a, b0, accr[0]);
+                accr[1] = _mm512_fmadd_ps(a, b1, accr[1]);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            _mm512_storeu_ps(c.add(r * stride), accr[0]);
+            _mm512_storeu_ps(c.add(r * stride + 16), accr[1]);
+        }
+    }
+
+    /// 4×16 f32 microkernel: 8 ymm accumulators, fused multiply-add.
+    ///
+    /// # Safety
+    /// Requires AVX2+FMA; `ablk.len()` must be a multiple of 4 and
+    /// `bblk.len()` the matching multiple of 16; `c` must point at a tile
+    /// whose 4 rows of 16 f32 at `stride` spacing are writable.
+    #[target_feature(enable = "avx2,fma")]
+    pub unsafe fn tile_f32_avx2(
+        ablk: &[f32],
+        bblk: &[f32],
+        c: *mut f32,
+        stride: usize,
+        first: bool,
+    ) {
+        let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+        if !first {
+            for (r, accr) in acc.iter_mut().enumerate() {
+                accr[0] = _mm256_loadu_ps(c.add(r * stride));
+                accr[1] = _mm256_loadu_ps(c.add(r * stride + 8));
+            }
+        }
+        let steps = ablk.len() / 4;
+        for kk in 0..steps {
+            let b0 = _mm256_loadu_ps(bblk.as_ptr().add(kk * 16));
+            let b1 = _mm256_loadu_ps(bblk.as_ptr().add(kk * 16 + 8));
+            for (r, accr) in acc.iter_mut().enumerate() {
+                let a = _mm256_set1_ps(*ablk.get_unchecked(kk * 4 + r));
+                accr[0] = _mm256_fmadd_ps(a, b0, accr[0]);
+                accr[1] = _mm256_fmadd_ps(a, b1, accr[1]);
+            }
+        }
+        for (r, accr) in acc.iter().enumerate() {
+            _mm256_storeu_ps(c.add(r * stride), accr[0]);
+            _mm256_storeu_ps(c.add(r * stride + 8), accr[1]);
+        }
+    }
+
+    /// Edge-tile cleanup with scalar fused multiply-adds — same fused
+    /// rounding as the vector kernels, so a matrix is accumulated with one
+    /// uniform arithmetic regardless of where its tiles fall.
+    ///
+    /// # Safety
+    /// Requires FMA; `ablk`/`bblk` are packed with `shape.lane_mr` /
+    /// `shape.lane_nr` lanes per k step; `c` must point at a tile whose
+    /// `shape.mr` rows of `shape.nr` f32 at `stride` spacing are writable.
+    #[target_feature(enable = "fma")]
+    pub unsafe fn tile_f32_edge_fused(
+        ablk: &[f32],
+        bblk: &[f32],
+        c: *mut f32,
+        stride: usize,
+        shape: EdgeShape,
+        first: bool,
+    ) {
+        const MAX_MR: usize = AVX512_MR;
+        const MAX_NR: usize = AVX512_NR;
+        debug_assert!(shape.mr <= MAX_MR && shape.nr <= MAX_NR);
+        let mut acc = [[0.0f32; MAX_NR]; MAX_MR];
+        if !first {
+            for (ir, accr) in acc.iter_mut().enumerate().take(shape.mr) {
+                for (jr, accv) in accr.iter_mut().enumerate().take(shape.nr) {
+                    *accv = *c.add(ir * stride + jr);
+                }
+            }
+        }
+        let steps = ablk.len() / shape.lane_mr;
+        for kk in 0..steps {
+            let af = &ablk[kk * shape.lane_mr..];
+            let bf = &bblk[kk * shape.lane_nr..];
+            for (ir, accr) in acc.iter_mut().enumerate().take(shape.mr) {
+                let av = *af.get_unchecked(ir);
+                for (jr, accv) in accr.iter_mut().enumerate().take(shape.nr) {
+                    *accv = av.mul_add(*bf.get_unchecked(jr), *accv);
+                }
+            }
+        }
+        for (ir, accr) in acc.iter().enumerate().take(shape.mr) {
+            for (jr, &accv) in accr.iter().enumerate().take(shape.nr) {
+                *c.add(ir * stride + jr) = accv;
+            }
+        }
+    }
+
+    /// Fused saxpy row update for the TCU-SpMM fragment kernel:
+    /// `crow[j] += av · brow[j]`.
+    ///
+    /// # Safety
+    /// Requires FMA (verified by `simd_level()` before dispatch).
+    #[target_feature(enable = "fma")]
+    pub unsafe fn saxpy_fused(av: f32, brow: &[f32], crow: &mut [f32]) {
+        for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+            *cv = av.mul_add(bv, *cv);
+        }
+    }
+}
+
+/// Stub so non-x86 builds fall back to the portable scalar engine.
+#[cfg(not(target_arch = "x86_64"))]
+mod x86 {
+    pub const AVX512_MR: usize = super::MR;
+    pub const AVX512_NR: usize = super::NR;
+    pub const AVX2_MR: usize = super::MR;
+    pub const AVX2_NR: usize = super::NR;
+}
+
+/// One row-step of a TCU-SpMM 16×16 fragment multiply:
+/// `crow[j] += av · brow[j]` for every j, using the same fused (SIMD
+/// tiers) or unfused (scalar tier) multiply-add as the dense engine, so
+/// `tcu_spmm` accumulates exactly like [`tiled_gemm_bt`] on dense data.
+#[inline]
+pub(crate) fn spmm_row_mac(level: SimdLevel, av: f32, brow: &[f32], crow: &mut [f32]) {
+    #[cfg(target_arch = "x86_64")]
+    if level != SimdLevel::Scalar {
+        // SAFETY: every non-Scalar level implies the FMA feature,
+        // verified at detection time.
+        unsafe { x86::saxpy_fused(av, brow, crow) };
+        return;
+    }
+    let _ = level;
+    for (cv, &bv) in crow.iter_mut().zip(brow.iter()) {
+        *cv += av * bv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_matrix(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+        let mut state = seed.wrapping_add(11);
+        let mut next = || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 33) % 17) as f32 - 8.0
+        };
+        DenseMatrix::from_vec(rows, cols, (0..rows * cols).map(|_| next()).collect()).unwrap()
+    }
+
+    #[test]
+    fn packing_transpose_equivalence() {
+        // Packing B's columns must equal packing Bᵀ's rows.
+        let b = lcg_matrix(9, 7, 3);
+        let bt = b.transpose();
+        let via_cols: Vec<f32> = pack_panels(&b, true, NR, |v| v);
+        let via_rows: Vec<f32> = pack_panels(&bt, false, NR, |v| v);
+        assert_eq!(via_cols, via_rows);
+    }
+
+    #[test]
+    fn engine_matches_reference_on_edge_tile_shapes() {
+        for &(m, k, n) in &[
+            (1, 1, 1),
+            (3, 5, 7),
+            (4, 8, 8),
+            (5, 9, 17),
+            (2, 1, 9),
+            (8, 600, 32),
+            (9, 1030, 33),
+            (40, 64, 100),
+        ] {
+            let a = lcg_matrix(m, k, m as u64);
+            let b = lcg_matrix(k, n, n as u64);
+            let c = tiled_gemm(&a, &b, GemmPrecision::Fp32, 1);
+            let (expected, _) = crate::reference::gemm(&a, &b, GemmPrecision::Fp32).unwrap();
+            assert_eq!(c, expected, "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn empty_dimensions_yield_zero_matrices() {
+        for &(m, k, n) in &[(0, 4, 3), (4, 0, 3), (4, 3, 0), (0, 0, 0)] {
+            let a = DenseMatrix::zeros(m, k);
+            let b = DenseMatrix::zeros(k, n);
+            let c = tiled_gemm(&a, &b, GemmPrecision::Fp32, 2);
+            assert_eq!(c, DenseMatrix::zeros(m, n), "{m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn auto_threads_bypasses_small_work() {
+        assert_eq!(auto_threads(8, 8, 8), 1);
+        assert!(auto_threads(1024, 1024, 1024) >= 1);
+    }
+
+    #[test]
+    fn simd_level_reports_consistent_lanes() {
+        let level = simd_level();
+        let (mr, nr) = level.lanes();
+        assert!(mr >= 1 && nr >= 1);
+    }
+
+    #[test]
+    fn thread_sharding_is_exact_for_every_count() {
+        let a = lcg_matrix(37, 19, 5);
+        let b = lcg_matrix(23, 19, 6);
+        let one = tiled_gemm_bt(&a, &b, GemmPrecision::Fp32, 1);
+        for threads in [2, 3, 4, 7, 64] {
+            let t = tiled_gemm_bt(&a, &b, GemmPrecision::Fp32, threads);
+            assert_eq!(one, t, "threads={threads}");
+        }
+    }
+}

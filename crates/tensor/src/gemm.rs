@@ -1,8 +1,9 @@
-//! Dense GEMM kernels in emulated tensor-core precisions.
+//! Dense GEMM entry points in emulated tensor-core precisions.
 //!
 //! The paper's TCU operators run `C = A × Bᵀ` (join patterns) or chains of
 //! GEMMs in fp16-input / fp32-accumulate or int8/int4-input / int32-
-//! accumulate modes.  These kernels reproduce that arithmetic faithfully:
+//! accumulate modes.  These entry points reproduce that arithmetic
+//! faithfully:
 //!
 //! * [`GemmPrecision::Half`]: both operands are rounded through IEEE
 //!   binary16 before each multiply, products and sums are accumulated in
@@ -11,15 +12,18 @@
 //!   saturating-cast to the integer range and accumulated in i64 (standing
 //!   in for the hardware's i32 accumulators, which never overflow for the
 //!   matrix sizes the feasibility test admits).
-//! * [`GemmPrecision::Fp32`]: plain f32 reference kernel — the "CUDA core"
+//! * [`GemmPrecision::Fp32`]: plain f32 arithmetic — the "CUDA core"
 //!   arithmetic used by the baselines.
 //!
-//! Each call returns [`GemmStats`] so the simulated device can charge the
+//! Execution happens on the tiled, operand-packed, multi-threaded engine
+//! of [`crate::engine`]; the original naive kernels live in
+//! [`crate::reference`] as the bit-exact correctness oracle.  Each call
+//! returns [`GemmStats`] so the simulated device can charge the
 //! corresponding tensor-core (or CUDA-core) time.
 
 use crate::dense::DenseMatrix;
-use tcudb_types::quant::{to_i4_saturating, to_i8_saturating};
-use tcudb_types::{Precision, TcuError, TcuResult, F16};
+use crate::engine;
+use tcudb_types::{Precision, TcuError, TcuResult};
 
 /// The arithmetic mode of a GEMM kernel.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -45,6 +49,17 @@ impl From<Precision> for GemmPrecision {
     }
 }
 
+impl From<GemmPrecision> for Precision {
+    fn from(p: GemmPrecision) -> Self {
+        match p {
+            GemmPrecision::Half => Precision::Half,
+            GemmPrecision::Int8 => Precision::Int8,
+            GemmPrecision::Int4 => Precision::Int4,
+            GemmPrecision::Fp32 => Precision::Fp32,
+        }
+    }
+}
+
 /// Operation statistics reported by a GEMM kernel, consumed by the cost
 /// model (CT_op of §4.2.2: `M·N·K·2 / peak_TFLOPS`).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -64,7 +79,7 @@ pub struct GemmStats {
 }
 
 impl GemmStats {
-    fn new(m: usize, n: usize, k: usize, precision: Precision) -> GemmStats {
+    pub(crate) fn new(m: usize, n: usize, k: usize, precision: Precision) -> GemmStats {
         let flops = 2.0 * m as f64 * n as f64 * k as f64;
         let elem = precision.size_bytes();
         // A: m×k, B: k×n at input precision; C: m×n at 4-byte accumulate.
@@ -80,34 +95,53 @@ impl GemmStats {
     }
 }
 
-/// Compute `C = A × B` in the requested precision.
-///
-/// Shapes: `A` is M×K, `B` is K×N, the result is M×N.
-pub fn gemm(
-    a: &DenseMatrix,
-    b: &DenseMatrix,
-    precision: GemmPrecision,
-) -> TcuResult<(DenseMatrix, GemmStats)> {
+/// Validate `A × B` operand shapes (`A.cols == B.rows`).
+pub(crate) fn check_gemm_shapes(a: &DenseMatrix, b: &DenseMatrix) -> TcuResult<()> {
     if a.cols() != b.rows() {
         return Err(TcuError::ShapeMismatch {
             expected: format!("A.cols == B.rows, A is {}x{}", a.rows(), a.cols()),
             got: format!("B is {}x{}", b.rows(), b.cols()),
         });
     }
+    Ok(())
+}
+
+/// Validate `A × Bᵀ` operand shapes (`A.cols == B.cols`).
+pub(crate) fn check_gemm_bt_shapes(a: &DenseMatrix, b: &DenseMatrix) -> TcuResult<()> {
+    if a.cols() != b.cols() {
+        return Err(TcuError::ShapeMismatch {
+            expected: format!("A.cols == B.cols, A is {}x{}", a.rows(), a.cols()),
+            got: format!("B is {}x{}", b.rows(), b.cols()),
+        });
+    }
+    Ok(())
+}
+
+/// Compute `C = A × B` in the requested precision.
+///
+/// Shapes: `A` is M×K, `B` is K×N, the result is M×N.  The thread count is
+/// chosen automatically ([`engine::auto_threads`]).
+pub fn gemm(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+) -> TcuResult<(DenseMatrix, GemmStats)> {
+    let threads = engine::auto_threads(a.rows(), b.cols(), a.cols());
+    gemm_with_threads(a, b, precision, threads)
+}
+
+/// [`gemm`] with an explicit thread count (used by the determinism tests
+/// and the `perfbaseline` harness; results are identical for every count).
+pub fn gemm_with_threads(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    threads: usize,
+) -> TcuResult<(DenseMatrix, GemmStats)> {
+    check_gemm_shapes(a, b)?;
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let out = match precision {
-        GemmPrecision::Fp32 => gemm_f32(a, b),
-        GemmPrecision::Half => gemm_half(a, b),
-        GemmPrecision::Int8 => gemm_int(a, b, |v| to_i8_saturating(v as f64) as i64),
-        GemmPrecision::Int4 => gemm_int(a, b, |v| to_i4_saturating(v as f64) as i64),
-    };
-    let prec = match precision {
-        GemmPrecision::Half => Precision::Half,
-        GemmPrecision::Int8 => Precision::Int8,
-        GemmPrecision::Int4 => Precision::Int4,
-        GemmPrecision::Fp32 => Precision::Fp32,
-    };
-    Ok((out, GemmStats::new(m, n, k, prec)))
+    let out = engine::tiled_gemm(a, b, precision, threads);
+    Ok((out, GemmStats::new(m, n, k, precision.into())))
 }
 
 /// Convenience wrapper: `C = A × Bᵀ`, the orientation every join pattern of
@@ -118,135 +152,21 @@ pub fn gemm_bt(
     b: &DenseMatrix,
     precision: GemmPrecision,
 ) -> TcuResult<(DenseMatrix, GemmStats)> {
-    if a.cols() != b.cols() {
-        return Err(TcuError::ShapeMismatch {
-            expected: format!("A.cols == B.cols, A is {}x{}", a.rows(), a.cols()),
-            got: format!("B is {}x{}", b.rows(), b.cols()),
-        });
-    }
+    let threads = engine::auto_threads(a.rows(), b.rows(), a.cols());
+    gemm_bt_with_threads(a, b, precision, threads)
+}
+
+/// [`gemm_bt`] with an explicit thread count.
+pub fn gemm_bt_with_threads(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    threads: usize,
+) -> TcuResult<(DenseMatrix, GemmStats)> {
+    check_gemm_bt_shapes(a, b)?;
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    let out = match precision {
-        GemmPrecision::Fp32 => gemm_bt_f32(a, b),
-        GemmPrecision::Half => gemm_bt_half(a, b),
-        GemmPrecision::Int8 => gemm_bt_int(a, b, |v| to_i8_saturating(v as f64) as i64),
-        GemmPrecision::Int4 => gemm_bt_int(a, b, |v| to_i4_saturating(v as f64) as i64),
-    };
-    let prec = match precision {
-        GemmPrecision::Half => Precision::Half,
-        GemmPrecision::Int8 => Precision::Int8,
-        GemmPrecision::Int4 => Precision::Int4,
-        GemmPrecision::Fp32 => Precision::Fp32,
-    };
-    Ok((out, GemmStats::new(m, n, k, prec)))
-}
-
-fn gemm_f32(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mut c = DenseMatrix::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        for (p, &av) in arow.iter().enumerate().take(k) {
-            if av == 0.0 {
-                continue;
-            }
-            let brow = b.row(p);
-            for (j, &bv) in brow.iter().enumerate().take(n) {
-                c.add_to(i, j, av * bv);
-            }
-        }
-    }
-    c
-}
-
-fn gemm_bt_f32(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
-    let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    let mut c = DenseMatrix::zeros(m, n);
-    for i in 0..m {
-        let arow = a.row(i);
-        for j in 0..n {
-            let brow = b.row(j);
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += arow[p] * brow[p];
-            }
-            c.set(i, j, acc);
-        }
-    }
-    c
-}
-
-fn gemm_half(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    // Round operands through binary16 once up front (the data-transformation
-    // step casts entire fragments, not individual scalars).
-    let ar: Vec<f32> = a.data().iter().map(|&v| F16::round_trip(v)).collect();
-    let br: Vec<f32> = b.data().iter().map(|&v| F16::round_trip(v)).collect();
-    let mut c = DenseMatrix::zeros(m, n);
-    for i in 0..m {
-        for p in 0..k {
-            let av = ar[i * k + p];
-            if av == 0.0 {
-                continue;
-            }
-            for j in 0..n {
-                c.add_to(i, j, av * br[p * n + j]);
-            }
-        }
-    }
-    c
-}
-
-fn gemm_bt_half(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
-    let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    let ar: Vec<f32> = a.data().iter().map(|&v| F16::round_trip(v)).collect();
-    let br: Vec<f32> = b.data().iter().map(|&v| F16::round_trip(v)).collect();
-    let mut c = DenseMatrix::zeros(m, n);
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += ar[i * k + p] * br[j * k + p];
-            }
-            c.set(i, j, acc);
-        }
-    }
-    c
-}
-
-fn gemm_int(a: &DenseMatrix, b: &DenseMatrix, cast: impl Fn(f32) -> i64) -> DenseMatrix {
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let ai: Vec<i64> = a.data().iter().map(|&v| cast(v)).collect();
-    let bi: Vec<i64> = b.data().iter().map(|&v| cast(v)).collect();
-    let mut c = DenseMatrix::zeros(m, n);
-    for i in 0..m {
-        for p in 0..k {
-            let av = ai[i * k + p];
-            if av == 0 {
-                continue;
-            }
-            for j in 0..n {
-                c.add_to(i, j, (av * bi[p * n + j]) as f32);
-            }
-        }
-    }
-    c
-}
-
-fn gemm_bt_int(a: &DenseMatrix, b: &DenseMatrix, cast: impl Fn(f32) -> i64) -> DenseMatrix {
-    let (m, k, n) = (a.rows(), a.cols(), b.rows());
-    let ai: Vec<i64> = a.data().iter().map(|&v| cast(v)).collect();
-    let bi: Vec<i64> = b.data().iter().map(|&v| cast(v)).collect();
-    let mut c = DenseMatrix::zeros(m, n);
-    for i in 0..m {
-        for j in 0..n {
-            let mut acc: i64 = 0;
-            for p in 0..k {
-                acc += ai[i * k + p] * bi[j * k + p];
-            }
-            c.set(i, j, acc as f32);
-        }
-    }
-    c
+    let out = engine::tiled_gemm_bt(a, b, precision, threads);
+    Ok((out, GemmStats::new(m, n, k, precision.into())))
 }
 
 /// Exact f64 reference multiplication used by accuracy experiments
@@ -379,6 +299,28 @@ mod tests {
     }
 
     #[test]
+    fn int8_wide_accumulation_survives_f32_mantissa_overflow() {
+        // 20 000 · 127² = 322 580 000 = 32 · 10 080 625: above the 2²⁴ f32
+        // integer range (so f32 accumulation drifts) yet exactly
+        // representable as an f32, so wide integer accumulation must return
+        // it exactly.  Regression test for the old non-transposed int
+        // kernel, which accumulated through f32 `add_to`.
+        let k = 20_000;
+        let exact = 20_000.0 * 127.0 * 127.0;
+        let a = DenseMatrix::from_vec(1, k, vec![127.0; k]).unwrap();
+        let b_col = DenseMatrix::from_vec(k, 1, vec![127.0; k]).unwrap();
+        let b_row = DenseMatrix::from_vec(1, k, vec![127.0; k]).unwrap();
+        let (c, _) = gemm(&a, &b_col, GemmPrecision::Int8).unwrap();
+        assert_eq!(c.get(0, 0), exact);
+        let (cbt, _) = gemm_bt(&a, &b_row, GemmPrecision::Int8).unwrap();
+        assert_eq!(cbt.get(0, 0), exact);
+        let (r, _) = crate::reference::gemm(&a, &b_col, GemmPrecision::Int8).unwrap();
+        assert_eq!(r.get(0, 0), exact);
+        let (rbt, _) = crate::reference::gemm_bt(&a, &b_row, GemmPrecision::Int8).unwrap();
+        assert_eq!(rbt.get(0, 0), exact);
+    }
+
+    #[test]
     fn stats_bytes_scale_with_precision() {
         let (_, half) = gemm(&a2x3(), &b3x2(), GemmPrecision::Half).unwrap();
         let (_, fp32) = gemm(&a2x3(), &b3x2(), GemmPrecision::Fp32).unwrap();
@@ -402,6 +344,10 @@ mod tests {
         assert_eq!(GemmPrecision::from(Precision::Int8), GemmPrecision::Int8);
         assert_eq!(GemmPrecision::from(Precision::Int4), GemmPrecision::Int4);
         assert_eq!(GemmPrecision::from(Precision::Fp32), GemmPrecision::Fp32);
+        assert_eq!(Precision::from(GemmPrecision::Half), Precision::Half);
+        assert_eq!(Precision::from(GemmPrecision::Int8), Precision::Int8);
+        assert_eq!(Precision::from(GemmPrecision::Int4), Precision::Int4);
+        assert_eq!(Precision::from(GemmPrecision::Fp32), Precision::Fp32);
     }
 
     proptest! {

@@ -10,12 +10,18 @@
 //!
 //! * [`DenseMatrix`] — row-major `f32` matrices with the shape/layout
 //!   helpers the query translator needs,
+//! * [`engine`] — the tiled, operand-packed, multi-threaded kernel engine
+//!   every dense entry point routes through (packing, MR×NR register-tiled
+//!   microkernel over cache-sized k-blocks, row-panel threading),
 //! * [`gemm`] — dense matrix multiplication in emulated precisions
-//!   (fp16-input / fp32-accumulate, int8 / int4-input / int32-accumulate,
-//!   and exact f64 reference),
+//!   (fp16-input / fp32-accumulate, int8 / int4-input / wide-integer-
+//!   accumulate, and exact f64 reference),
+//! * [`reference`] — the naive scalar kernels, kept as the bit-exact
+//!   correctness oracle and perf baseline,
 //! * [`sparse`] — CSR matrices and conversions,
 //! * [`spmm`] — the TCU-SpMM operator of §4.2.4: tile the operands into
-//!   16×16 blocks, skip all-zero tiles, multiply the surviving pairs,
+//!   16×16 blocks, skip all-zero tiles (flat bitset occupancy grid),
+//!   multiply the surviving pairs on the shared microkernel,
 //! * [`blocked`] — the MSplitGEMM-style blocked/pipelined GEMM of §4.2.3
 //!   for operands that do not fit in device memory,
 //! * [`nonzero`] — the `nonzero(·)` matrix→pairs conversion used between
@@ -27,14 +33,16 @@
 
 pub mod blocked;
 pub mod dense;
+pub mod engine;
 pub mod gemm;
 pub mod nonzero;
+pub mod reference;
 pub mod sparse;
 pub mod spmm;
 
-pub use blocked::{blocked_gemm, BlockedGemmStats};
+pub use blocked::{blocked_gemm, blocked_gemm_bt, BlockedGemmStats};
 pub use dense::DenseMatrix;
-pub use gemm::{gemm, GemmPrecision, GemmStats};
+pub use gemm::{gemm, gemm_bt, GemmPrecision, GemmStats};
 pub use nonzero::{nonzero, nonzero_with_values};
 pub use sparse::CsrMatrix;
 pub use spmm::{tcu_spmm, SpmmStats, TILE_DIM};
