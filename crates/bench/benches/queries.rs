@@ -1,0 +1,37 @@
+//! Criterion wrapper over the end-to-end query perf baseline: the encoded
+//! columnar data path vs. the `Value` interpreter on one SSB flight-1
+//! query and one microbenchmark aggregate (the full sweep with JSON output
+//! lives in the `perfqueries` binary).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use tcudb_core::{EngineConfig, TcuDb};
+use tcudb_datagen::{micro, ssb};
+
+fn bench_queries(c: &mut Criterion) {
+    let ssb_catalog = ssb::gen_catalog(1, 0x55B);
+    let q11 = &ssb::queries()[0].1;
+    let mut encoded = TcuDb::new(EngineConfig::default().with_encoded_path(true));
+    let mut interp = TcuDb::new(EngineConfig::default().with_encoded_path(false));
+    encoded.set_catalog(ssb_catalog.clone());
+    interp.set_catalog(ssb_catalog);
+    // Warm the dictionary cache so the timed runs measure the
+    // repeated-query regime.
+    encoded.execute(q11).unwrap();
+    c.bench_function("queries/ssb_q1_1_interpreter", |b| {
+        b.iter(|| interp.execute(q11).unwrap().table)
+    });
+    c.bench_function("queries/ssb_q1_1_encoded", |b| {
+        b.iter(|| encoded.execute(q11).unwrap().table)
+    });
+
+    let micro_catalog = micro::gen_catalog(&micro::MicroConfig::new(20_000, 4_096));
+    let mut encoded_micro = TcuDb::new(EngineConfig::default().with_encoded_path(true));
+    encoded_micro.set_catalog(micro_catalog);
+    encoded_micro.execute(micro::Q3).unwrap();
+    c.bench_function("queries/micro_q3_encoded", |b| {
+        b.iter(|| encoded_micro.execute(micro::Q3).unwrap().table)
+    });
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

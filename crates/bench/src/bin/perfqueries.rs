@@ -1,0 +1,220 @@
+//! `perfqueries` — end-to-end query performance harness.
+//!
+//! Times full `TcuDb::execute` (parse → analyze → filter → join → finalize)
+//! with the encoded columnar data path against the row-at-a-time `Value`
+//! interpreter baseline on repeated SSB-style, microbenchmark and matmul
+//! workloads, verifies the two paths return byte-identical result tables
+//! while doing so, and emits `BENCH_queries.json` so every future PR has a
+//! trajectory to beat.
+//!
+//! Both engines share one catalog (`Arc`-shared tables), so the encoded
+//! engine's dictionary cache is warmed by the verification pass — the timed
+//! repetitions measure exactly the repeated-query regime the cache exists
+//! for.
+//!
+//! ```text
+//! cargo run --release -p tcudb-bench --bin perfqueries            # full sweep
+//! cargo run --release -p tcudb-bench --bin perfqueries -- --quick # CI smoke set
+//! cargo run --release -p tcudb-bench --bin perfqueries -- --out q.json
+//! ```
+//!
+//! Exit codes: `0` success, `2` the encoded path was slower than the
+//! interpreter on a smoke query (the CI bench-smoke gate), `3` the two
+//! paths disagreed on a result table.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use tcudb_core::{EngineConfig, TcuDb};
+use tcudb_datagen::{matmul, micro, ssb};
+use tcudb_storage::{Catalog, Table};
+
+struct Entry {
+    workload: &'static str,
+    name: String,
+    rows_out: usize,
+    interp_secs: f64,
+    encoded_secs: f64,
+    /// Part of the CI smoke gate: the encoded path must not lose here.
+    gated: bool,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.interp_secs / self.encoded_secs
+    }
+}
+
+/// Best-of-`reps` wall-clock seconds of one full `execute` call.
+fn time_query(db: &TcuDb, sql: &str, reps: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t = Instant::now();
+        black_box(db.execute(sql).expect("query executes"));
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Build the two engines over one shared catalog.
+fn engines(catalog: &Catalog) -> (TcuDb, TcuDb) {
+    let mut encoded = TcuDb::new(EngineConfig::default().with_encoded_path(true));
+    let mut interp = TcuDb::new(EngineConfig::default().with_encoded_path(false));
+    encoded.set_catalog(catalog.clone());
+    interp.set_catalog(catalog.clone());
+    (encoded, interp)
+}
+
+/// Verify both paths agree (byte-identical tables and identical plans),
+/// returning the result table.  This pass also warms the encoded engine's
+/// dictionary caches.
+fn verify(encoded: &TcuDb, interp: &TcuDb, workload: &str, name: &str, sql: &str) -> Table {
+    let e = encoded.execute(sql).expect("encoded path executes");
+    let i = interp.execute(sql).expect("interpreter path executes");
+    if e.table != i.table || e.plan.steps != i.plan.steps {
+        eprintln!("FATAL: {workload}/{name}: encoded result diverged from interpreter");
+        eprintln!("-- encoded --\n{}", e.table.format_preview(10));
+        eprintln!("-- interpreter --\n{}", i.table.format_preview(10));
+        std::process::exit(3);
+    }
+    e.table
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_workload(
+    entries: &mut Vec<Entry>,
+    workload: &'static str,
+    catalog: &Catalog,
+    queries: &[(String, String, bool)],
+    reps: usize,
+) {
+    let (encoded, interp) = engines(catalog);
+    for (name, sql, gated) in queries {
+        let table = verify(&encoded, &interp, workload, name, sql);
+        let encoded_secs = time_query(&encoded, sql, reps);
+        let interp_secs = time_query(&interp, sql, reps);
+        let e = Entry {
+            workload,
+            name: name.clone(),
+            rows_out: table.num_rows(),
+            interp_secs,
+            encoded_secs,
+            gated: *gated,
+        };
+        println!(
+            "{:<10} {:<10} {:>10.4}s {:>10.4}s {:>8.2}x {:>8} rows",
+            e.workload,
+            e.name,
+            e.interp_secs,
+            e.encoded_secs,
+            e.speedup(),
+            e.rows_out,
+        );
+        entries.push(e);
+    }
+}
+
+fn json(entries: &[Entry], mode: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"perfqueries\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    let best = entries
+        .iter()
+        .filter(|e| e.workload == "ssb")
+        .map(|e| e.speedup())
+        .fold(0.0f64, f64::max);
+    out.push_str(&format!("  \"best_ssb_speedup\": {best:.2},\n"));
+    out.push_str("  \"entries\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"name\": \"{}\", \"rows_out\": {}, \
+             \"interpreter_secs\": {:.6}, \"encoded_secs\": {:.6}, \
+             \"speedup\": {:.2}, \"gated\": {}}}{}\n",
+            e.workload,
+            e.name,
+            e.rows_out,
+            e.interp_secs,
+            e.encoded_secs,
+            e.speedup(),
+            e.gated,
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_queries.json");
+    // Best-of-3 even in quick mode: the CI gate compares single timings,
+    // and one noisy rep on a shared runner must not fail the job.
+    let reps = 3;
+    let mode = if quick { "quick" } else { "full" };
+    println!("perfqueries: mode={mode} reps={reps}");
+    println!(
+        "{:<10} {:<10} {:>11} {:>11} {:>9} {:>13}",
+        "workload", "query", "interpreter", "encoded", "speedup", "result"
+    );
+
+    let mut entries = Vec::new();
+
+    // ---- SSB: the repeated-query star-schema workload the dictionary
+    // cache is built for (text filters, multiway joins, fused aggregates).
+    let ssb_catalog = ssb::gen_catalog(1, 0x55B);
+    let smoke = ["Q1.1", "Q2.1", "Q3.1", "Q4.1"];
+    let ssb_queries: Vec<(String, String, bool)> = ssb::queries()
+        .into_iter()
+        .filter(|(name, _)| !quick || smoke.contains(name))
+        .map(|(name, sql)| (name.to_string(), sql, smoke.contains(&name)))
+        .collect();
+    run_workload(&mut entries, "ssb", &ssb_catalog, &ssb_queries, reps);
+
+    // ---- Microbenchmark joins (§5.1 shapes): integer keys, grouped
+    // aggregates, plus the plain join in full mode.
+    let micro_catalog = micro::gen_catalog(&micro::MicroConfig::new(20_000, 4_096));
+    let micro_queries: Vec<(String, String, bool)> = micro::queries()
+        .into_iter()
+        .filter(|(name, _)| !quick || *name == "Q3")
+        .map(|(name, sql)| (name.to_string(), sql.to_string(), false))
+        .collect();
+    run_workload(&mut entries, "micro", &micro_catalog, &micro_queries, reps);
+
+    // ---- The Figure 5 matrix-multiplication query.
+    let mm_catalog = matmul::gen_catalog(96, 1.0, matmul::ValueRange::Int7, 7);
+    let mm_queries = vec![(
+        "matmul96".to_string(),
+        matmul::MATMUL_QUERY.to_string(),
+        false,
+    )];
+    run_workload(&mut entries, "matmul", &mm_catalog, &mm_queries, reps);
+
+    let payload = json(&entries, mode);
+    if let Err(e) = std::fs::write(out_path, &payload) {
+        eprintln!("FATAL: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    // CI gate: on the smoke queries the encoded path must never lose to
+    // the interpreter (other entries are informational).
+    let mut failed = false;
+    for e in entries.iter().filter(|e| e.gated) {
+        if e.speedup() < 1.0 {
+            eprintln!(
+                "GATE: {}/{} encoded path ({:.4}s) slower than interpreter ({:.4}s)",
+                e.workload, e.name, e.encoded_secs, e.interp_secs
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(2);
+    }
+}

@@ -320,6 +320,91 @@ pub fn resolve_column(analyzed: &AnalyzedQuery, col: &ColumnRef) -> TcuResult<(u
     analyzed.row_context().resolve(col)
 }
 
+/// A single-table predicate simple enough for the typed columnar filter
+/// kernels of `relops`: the column is always on the left (literal-first
+/// comparisons are normalised by flipping the operator).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FilterAtom {
+    /// `col <op> literal` where op is a comparison.
+    Cmp {
+        /// Column index within the filtered table.
+        col: usize,
+        /// Comparison operator (column on the left).
+        op: BinOp,
+        /// The literal operand.
+        lit: tcudb_types::Value,
+    },
+    /// `col BETWEEN low AND high` over numeric literals.
+    Between {
+        /// Column index within the filtered table.
+        col: usize,
+        /// Inclusive lower bound.
+        low: f64,
+        /// Inclusive upper bound.
+        high: f64,
+    },
+}
+
+/// Classify one single-table filter of `table` as a vectorizable atom.
+///
+/// Returns `None` for anything the typed kernels cannot reproduce
+/// bit-for-bit (arithmetic, OR, cross-type text/numeric comparisons,
+/// nested expressions …); those run through the row interpreter.
+pub fn vectorizable_atom(expr: &Expr, ctx: &RowContext, table: usize) -> Option<FilterAtom> {
+    use tcudb_sql::Expr::*;
+    use tcudb_types::{DataType, Value};
+
+    // The column's type and the literal's type must agree on which
+    // `sql_cmp` branch the interpreter would take.
+    let compatible = |col_ty: DataType, lit: &Value| match lit {
+        Value::Int(_) | Value::Float(_) => col_ty.is_numeric(),
+        Value::Text(_) => col_ty == DataType::Text,
+        Value::Null => false,
+    };
+    let resolve = |c: &ColumnRef| -> Option<(usize, DataType)> {
+        let (ti, ci) = ctx.resolve(c).ok()?;
+        (ti == table).then(|| (ci, ctx.table(ti).schema().column(ci).data_type))
+    };
+
+    match expr {
+        Binary { left, op, right } if op.is_comparison() => {
+            let (col_expr, lit_expr, op) = match (left.as_ref(), right.as_ref()) {
+                (Column(_), Literal(_)) => (left.as_ref(), right.as_ref(), *op),
+                (Literal(_), Column(_)) => (right.as_ref(), left.as_ref(), op.flip()),
+                _ => return None,
+            };
+            let (Column(c), Literal(lit)) = (col_expr, lit_expr) else {
+                return None;
+            };
+            let (ci, ty) = resolve(c)?;
+            compatible(ty, lit).then(|| FilterAtom::Cmp {
+                col: ci,
+                op,
+                lit: lit.clone(),
+            })
+        }
+        Between { expr, low, high } => {
+            let (Column(c), Literal(lo), Literal(hi)) =
+                (expr.as_ref(), low.as_ref(), high.as_ref())
+            else {
+                return None;
+            };
+            let (ci, ty) = resolve(c)?;
+            if !ty.is_numeric() {
+                return None;
+            }
+            // The interpreter evaluates BETWEEN entirely in f64.
+            let (lo, hi) = (lo.as_f64().ok()?, hi.as_f64().ok()?);
+            Some(FilterAtom::Between {
+                col: ci,
+                low: lo,
+                high: hi,
+            })
+        }
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -26,6 +26,18 @@ pub struct EngineConfig {
     /// rows on the host would dominate harness time without affecting the
     /// simulated device timings being measured.
     pub count_only: bool,
+    /// Route filters, domain builds, matrix builds and equi-joins through
+    /// the encoded columnar data path (dictionary codes + remap tables)
+    /// instead of the row-at-a-time `Value` interpreter.  Successful
+    /// queries return bit-identical results either way (the `perfqueries`
+    /// harness and the `encoded_oracle` proptests enforce it).  The one
+    /// observable difference is *error ordering*: vectorized filter atoms
+    /// run before complex predicates, so a row rejected by an atom can no
+    /// longer raise an evaluation error (e.g. division by zero) from a
+    /// complex predicate that textually precedes it — see
+    /// `relops::apply_filters_with`.  Disabling this selects the
+    /// interpreter for harness baselines and debugging.
+    pub encoded_path: bool,
 }
 
 impl Default for EngineConfig {
@@ -35,6 +47,7 @@ impl Default for EngineConfig {
             optimizer: OptimizerConfig::default(),
             materialize_limit: 1 << 24,
             count_only: false,
+            encoded_path: true,
         }
     }
 }
@@ -51,6 +64,13 @@ impl EngineConfig {
     /// Force every join step onto a specific plan kind (ablation studies).
     pub fn with_forced_plan(mut self, plan: PlanKind) -> EngineConfig {
         self.optimizer.force_plan = Some(plan);
+        self
+    }
+
+    /// Toggle the encoded columnar data path (on by default); `false`
+    /// selects the row-at-a-time `Value` interpreter baseline.
+    pub fn with_encoded_path(mut self, enabled: bool) -> EngineConfig {
+        self.encoded_path = enabled;
         self
     }
 }

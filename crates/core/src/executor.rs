@@ -21,7 +21,7 @@ use crate::analyzer::{AnalyzedQuery, QueryPattern};
 use crate::engine::EngineConfig;
 use crate::optimizer::{JoinShape, Optimizer, PlanChoice, PlanKind};
 use crate::relops;
-use crate::translate::{self, Domain};
+use crate::translate::{self, Domain, EncodedSource};
 use std::collections::HashSet;
 use tcudb_device::{ExecutionTimeline, Phase};
 use tcudb_sql::BinOp;
@@ -86,8 +86,9 @@ pub fn execute(
     };
     let cost = optimizer.cost_model();
 
-    // ---- Filters (GPU scans over the filtered columns) ----
-    let surviving = relops::apply_filters(analyzed)?;
+    // ---- Filters (GPU scans over the filtered columns; vectorized
+    // typed kernels on the encoded path) ----
+    let surviving = relops::apply_filters_with(analyzed, config.encoded_path)?;
     for (ti, bound) in analyzed.tables.iter().enumerate() {
         if !analyzed.filters_for_table(ti).is_empty() {
             let secs = cost.gpu_scan_seconds(bound.table.num_rows(), 8);
@@ -177,75 +178,99 @@ pub fn execute(
             pred.op.flip()
         };
 
-        // Gather the key values.
+        // Locate the key columns.
         let joined_pos = joined.iter().position(|&t| t == joined_table_idx).unwrap();
         let joined_table = &analyzed.tables[joined_table_idx].table;
         let joined_key_col_idx = joined_table.schema().require(&joined_col)?;
-        let left_keys: Vec<Value> = tuples
-            .iter()
-            .map(|t| joined_table.column(joined_key_col_idx).value(t[joined_pos]))
-            .collect();
-
         let new_table = &analyzed.tables[next].table;
         let new_key_col_idx = new_table.schema().require(&new_col)?;
         let right_rows = &surviving[next];
-        let right_keys: Vec<Value> = right_rows
-            .iter()
-            .map(|&r| new_table.column(new_key_col_idx).value(r))
-            .collect();
+        let bindings = (
+            analyzed.tables[joined_table_idx].binding.as_str(),
+            analyzed.tables[next].binding.as_str(),
+        );
+        let fused = is_last && fuse_last;
 
-        // ---- Shape + plan choice ----
-        let left_col = column_from_values(&left_keys)?;
-        let right_col = column_from_values(&right_keys)?;
-        let domain = Domain::build(&[(&left_col, None), (&right_col, None)]);
-        let k = domain.len().max(1);
+        // ---- Gather keys, choose the plan, execute the join step ----
+        let pairs = if config.encoded_path && op == BinOp::Eq {
+            // Encoded data path: dictionary codes end-to-end.  The base
+            // columns' dictionaries are cached on the tables, the domain
+            // union works on code-remap tables, and the join / matrix
+            // builders scatter codes directly — no per-row `Value`s.
+            let joined_dict = joined_table.encoded_column(joined_key_col_idx);
+            let new_dict = new_table.encoded_column(new_key_col_idx);
+            let left_codes: Vec<u32> = tuples
+                .iter()
+                .map(|t| joined_dict.codes()[t[joined_pos]])
+                .collect();
+            let lsrc = EncodedSource {
+                dict: &joined_dict,
+                codes: &left_codes,
+                rows: None,
+            };
+            let rsrc = EncodedSource::subset(&new_dict, right_rows);
+            let (domain, maps) = Domain::build_encoded(&[lsrc, rsrc]);
+            let (shape, choice) = plan_join_step(
+                analyzed,
+                optimizer,
+                &mut plan,
+                bindings,
+                (&joined_col, &new_col),
+                (lsrc.len(), rsrc.len(), domain.len()),
+                fused,
+                tuples.len(),
+            );
+            execute_join_step_encoded(
+                (&lsrc, &maps[0]),
+                (&rsrc, &maps[1]),
+                &domain,
+                &choice,
+                &shape,
+                optimizer,
+                config,
+                &mut timeline,
+            )?
+        } else {
+            let left_keys: Vec<Value> = tuples
+                .iter()
+                .map(|t| joined_table.column(joined_key_col_idx).value(t[joined_pos]))
+                .collect();
+            let right_keys: Vec<Value> = right_rows
+                .iter()
+                .map(|&r| new_table.column(new_key_col_idx).value(r))
+                .collect();
+            let left_col = column_from_values(&left_keys)?;
+            let right_col = column_from_values(&right_keys)?;
+            let domain = Domain::build(&[(&left_col, None), (&right_col, None)]);
+            let (shape, choice) = plan_join_step(
+                analyzed,
+                optimizer,
+                &mut plan,
+                bindings,
+                (&joined_col, &new_col),
+                (left_keys.len(), right_keys.len(), domain.len()),
+                fused,
+                tuples.len(),
+            );
+            execute_join_step(
+                &left_keys,
+                &right_keys,
+                &domain,
+                op,
+                &choice,
+                &shape,
+                optimizer,
+                config,
+                &mut timeline,
+            )?
+        };
 
-        let mut shape = JoinShape::equi_join(left_keys.len(), right_keys.len(), k);
-        shape.raw_bytes = (left_keys.len() + right_keys.len()) * 8;
-        if is_last && fuse_last {
-            shape.fused_aggregate = true;
-            shape.groups = estimate_groups(analyzed, &tuples.len());
-            shape.n = shape.groups.max(1).min(right_keys.len().max(1));
-        }
-        if analyzed.pattern == QueryPattern::MatMul {
-            // Dense value matrices: density is the fill factor of the
-            // (row, col) key space rather than 1/k.
-            let fill = left_keys.len() as f64 / (shape.m.max(1) * k) as f64;
-            shape.density = fill.clamp(0.0, 1.0).max(1e-9);
-        }
-        let choice = optimizer.choose_join_plan(&shape);
-        plan.used_tcu |= choice.kind.is_tcu();
-        plan.exact &= choice.exact_guaranteed;
-        plan.steps.push(format!(
-            "join {} ⋈ {} on {}={} via {} [{}], m={} n={} k={}",
-            analyzed.tables[joined_table_idx].binding,
-            analyzed.tables[next].binding,
-            joined_col,
-            new_col,
-            choice.kind,
-            choice.precision,
-            shape.m,
-            shape.n,
-            shape.k,
-        ));
-
-        // ---- Execute the join step ----
-        let pairs = execute_join_step(
-            &left_keys,
-            &right_keys,
-            &domain,
-            op,
-            &choice,
-            &shape,
-            optimizer,
-            config,
-            &mut timeline,
-        )?;
-
-        // Extend tuples with the new table's rows.
+        // Extend tuples with the new table's rows (exact-capacity alloc:
+        // clone-then-push would reallocate every tuple).
         let mut new_tuples = Vec::with_capacity(pairs.len());
         for (li, rj) in pairs {
-            let mut t = tuples[li].clone();
+            let mut t = Vec::with_capacity(joined.len() + 1);
+            t.extend_from_slice(&tuples[li]);
             t.push(right_rows[rj]);
             new_tuples.push(t);
         }
@@ -354,6 +379,233 @@ fn estimate_groups(analyzed: &AnalyzedQuery, tuple_count: &usize) -> usize {
         product = product.saturating_mul(best.max(1));
     }
     product.min((*tuple_count).max(1))
+}
+
+/// Build the join shape for one step, ask the optimizer for a plan and
+/// record the step in the plan description.  Shared by the encoded and the
+/// `Value`-based paths so both describe and cost joins identically.
+#[allow(clippy::too_many_arguments)]
+fn plan_join_step(
+    analyzed: &AnalyzedQuery,
+    optimizer: &Optimizer,
+    plan: &mut PlanDescription,
+    bindings: (&str, &str),
+    cols: (&str, &str),
+    (m, n, k): (usize, usize, usize),
+    fused: bool,
+    tuple_count: usize,
+) -> (JoinShape, PlanChoice) {
+    let k = k.max(1);
+    let mut shape = JoinShape::equi_join(m, n, k);
+    shape.raw_bytes = (m + n) * 8;
+    if fused {
+        shape.fused_aggregate = true;
+        shape.groups = estimate_groups(analyzed, &tuple_count);
+        shape.n = shape.groups.max(1).min(n.max(1));
+    }
+    if analyzed.pattern == QueryPattern::MatMul {
+        // Dense value matrices: density is the fill factor of the
+        // (row, col) key space rather than 1/k.
+        let fill = m as f64 / (shape.m.max(1) * k) as f64;
+        shape.density = fill.clamp(0.0, 1.0).max(1e-9);
+    }
+    let choice = optimizer.choose_join_plan(&shape);
+    plan.used_tcu |= choice.kind.is_tcu();
+    plan.exact &= choice.exact_guaranteed;
+    plan.steps.push(format!(
+        "join {} ⋈ {} on {}={} via {} [{}], m={} n={} k={}",
+        bindings.0,
+        bindings.1,
+        cols.0,
+        cols.1,
+        choice.kind,
+        choice.precision,
+        shape.m,
+        shape.n,
+        shape.k,
+    ));
+    (shape, choice)
+}
+
+/// Execute one equi-join step on the encoded data path, returning the
+/// matching `(left position, right position)` pairs.  Mirrors
+/// [`execute_join_step`] arm for arm — identical cost charging, identical
+/// results — but scatters dictionary codes instead of materialising
+/// `Value`s, and joins through array-indexed code buckets instead of a
+/// `ValueKey` hash table.
+#[allow(clippy::too_many_arguments)]
+fn execute_join_step_encoded(
+    (left, left_remap): (&EncodedSource<'_>, &[u32]),
+    (right, right_remap): (&EncodedSource<'_>, &[u32]),
+    domain: &Domain,
+    choice: &PlanChoice,
+    shape: &JoinShape,
+    optimizer: &Optimizer,
+    config: &EngineConfig,
+    timeline: &mut ExecutionTimeline,
+) -> TcuResult<Vec<(usize, usize)>> {
+    let cost = optimizer.cost_model();
+    let m = left.len();
+    let n = right.len();
+    let k = domain.len().max(1);
+    let precision: GemmPrecision = choice.precision.into();
+
+    let can_materialize = (m.saturating_mul(k)).max(n.saturating_mul(k))
+        <= config.materialize_limit
+        && m.saturating_mul(n) <= config.materialize_limit;
+
+    let dt = if choice.transform_on_gpu {
+        cost.transform_gpu_seconds(m + n)
+            + cost.device_mem_seconds(shape.plan_working_set_bytes(choice.kind, choice.precision))
+    } else {
+        cost.transform_cpu_seconds(m + n)
+    };
+    let dm = if choice.transform_on_gpu {
+        cost.h2d_seconds(shape.raw_bytes as f64)
+    } else {
+        cost.h2d_seconds(shape.plan_working_set_bytes(choice.kind, choice.precision))
+    };
+
+    let code_join =
+        || relops::join_pairs_by_code(left, left_remap, right, right_remap, domain.len());
+
+    match choice.kind {
+        PlanKind::GpuFallback => {
+            let pairs = code_join();
+            timeline.record_detail(
+                Phase::MemcpyHostToDevice,
+                "copy join columns",
+                cost.h2d_seconds(shape.raw_bytes as f64),
+            );
+            timeline.record_detail(
+                Phase::HashJoin,
+                format!("GPU hash join {m}x{n}"),
+                cost.gpu_hash_join_seconds(m, n, pairs.len()),
+            );
+            timeline.record_detail(
+                Phase::MemcpyDeviceToHost,
+                "copy result handle",
+                cost.d2h_seconds(RESULT_HANDLE_BYTES),
+            );
+            Ok(pairs)
+        }
+        PlanKind::TcuDense | PlanKind::TcuBlocked if can_materialize && !shape.fused_aggregate => {
+            timeline.record_detail(Phase::FillMatrices, "build one-hot matrices", dt);
+            timeline.record_detail(Phase::MemcpyHostToDevice, "copy operands", dm);
+            let a = translate::one_hot_matrix_encoded(left, left_remap, domain.len());
+            let b = translate::one_hot_matrix_encoded(right, right_remap, domain.len());
+            let (c, kernel_secs) = if choice.kind == PlanKind::TcuBlocked {
+                let block = blocked::choose_block_size(cost.profile().device_mem_bytes);
+                let (c, stats) = blocked::blocked_gemm_bt(&a, &b, precision, block)?;
+                (c, cost.blocked_gemm_seconds(&stats, choice.precision))
+            } else {
+                let (c, stats) = gemm::gemm_bt(&a, &b, precision)?;
+                (c, cost.tcu_gemm_seconds(&stats))
+            };
+            timeline.record_detail(
+                Phase::TcuKernel,
+                format!("{} {}x{}x{}", choice.kind, m, n, k),
+                kernel_secs,
+            );
+            let pairs = nonzero::nonzero(&c);
+            timeline.record_detail(
+                Phase::ResultMaterialize,
+                "nonzero extraction",
+                cost.nonzero_seconds(m, n, pairs.len()),
+            );
+            timeline.record_detail(
+                Phase::MemcpyDeviceToHost,
+                "copy result handle",
+                cost.d2h_seconds(RESULT_HANDLE_BYTES),
+            );
+            Ok(pairs)
+        }
+        PlanKind::TcuSparse if can_materialize && !shape.fused_aggregate => {
+            timeline.record_detail(Phase::FillMatrices, "build CSR operands", dt);
+            timeline.record_detail(Phase::MemcpyHostToDevice, "copy operands", dm);
+            let a = translate::one_hot_csr_encoded(left, left_remap, domain.len())?;
+            let b = translate::one_hot_csr_encoded(right, right_remap, domain.len())?;
+            let (c, stats) = spmm::tcu_spmm(&a, &b, precision)?;
+            timeline.record_detail(
+                Phase::TcuKernel,
+                format!(
+                    "TCU-SpMM {}x{}x{} ({} tiles, {:.1}% skipped)",
+                    m,
+                    n,
+                    k,
+                    stats.tiles_processed,
+                    stats.skip_ratio() * 100.0
+                ),
+                cost.tcu_spmm_seconds(&stats, choice.precision),
+            );
+            let pairs = nonzero::nonzero(&c);
+            timeline.record_detail(
+                Phase::ResultMaterialize,
+                "nonzero extraction",
+                cost.nonzero_seconds(m, n, pairs.len()),
+            );
+            timeline.record_detail(
+                Phase::MemcpyDeviceToHost,
+                "copy result handle",
+                cost.d2h_seconds(RESULT_HANDLE_BYTES),
+            );
+            Ok(pairs)
+        }
+        // Too large to materialise (or fused): compute through the code
+        // join while charging the simulated cost of the chosen TCU kernel.
+        kind => {
+            timeline.record_detail(Phase::FillMatrices, "build matrices (GPU-assisted)", dt);
+            timeline.record_detail(Phase::MemcpyHostToDevice, "copy operands", dm);
+            let pairs = code_join();
+            let kernel_secs = match kind {
+                PlanKind::TcuSparse => {
+                    cost.tcu_spmm_seconds(&shape.estimated_spmm_stats(), choice.precision)
+                }
+                PlanKind::TcuBlocked => {
+                    optimizer.tcu_plan_seconds(
+                        shape,
+                        PlanKind::TcuBlocked,
+                        choice.precision,
+                        choice.transform_on_gpu,
+                    ) - dt
+                        - dm
+                }
+                _ => cost.tcu_gemm_seconds(&shape.dense_gemm_stats(choice.precision)),
+            };
+            if shape.fused_aggregate {
+                timeline.record_detail(
+                    Phase::TcuKernel,
+                    format!(
+                        "fused Join+Aggregation {} {}x{}x{}",
+                        kind, shape.m, shape.n, shape.k
+                    ),
+                    kernel_secs.max(0.0),
+                );
+                timeline.record_detail(
+                    Phase::MemcpyDeviceToHost,
+                    "copy aggregate result",
+                    cost.d2h_seconds(shape.groups.max(1) as f64 * 8.0),
+                );
+            } else {
+                timeline.record_detail(
+                    Phase::TcuKernel,
+                    format!("{kind} {m}x{n}x{k} (simulated at scale)"),
+                    kernel_secs.max(0.0),
+                );
+                timeline.record_detail(
+                    Phase::ResultMaterialize,
+                    "nonzero extraction",
+                    cost.nonzero_seconds(shape.m, shape.n, pairs.len()),
+                );
+                timeline.record_detail(
+                    Phase::MemcpyDeviceToHost,
+                    "copy join result",
+                    cost.d2h_seconds(pairs.len() as f64 * 8.0),
+                );
+            }
+            Ok(pairs)
+        }
+    }
 }
 
 /// Execute one join step, returning the matching `(left index, right

@@ -6,8 +6,10 @@
 //! that TCUDB, the YDB baseline and the CPU baseline always agree on
 //! answers, which the integration tests assert.
 
-use crate::analyzer::AnalyzedQuery;
+use crate::analyzer::{vectorizable_atom, AnalyzedQuery, FilterAtom};
 use crate::context::{eval, eval_predicate, RowContext};
+use crate::translate::{EncodedSource, NO_INDEX};
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use tcudb_sql::{AggFunc, BinOp, Expr};
 use tcudb_storage::{Column, ColumnDef, Schema, Table};
@@ -44,8 +46,70 @@ pub fn hash_join_pairs(
     out
 }
 
-/// Non-equi join (nested loop) over two key columns restricted to row
-/// subsets, for the comparison operators of §3.4.
+/// Equality join on dictionary codes remapped into a shared domain: the
+/// encoded counterpart of [`hash_join_pairs`].  Build and probe work on
+/// array-indexed buckets over domain indices — no `ValueKey` hashing, no
+/// `Value` materialisation.  Returns pairs of *positions* within the two
+/// selected sequences, in the same order [`hash_join_pairs`] produces for
+/// the same sides (build on the smaller side, probe the larger).
+pub fn join_pairs_by_code(
+    left: &EncodedSource<'_>,
+    left_remap: &[u32],
+    right: &EncodedSource<'_>,
+    right_remap: &[u32],
+    domain_len: usize,
+) -> Vec<(usize, usize)> {
+    if right.len() < left.len() {
+        return join_pairs_by_code(right, right_remap, left, left_remap, domain_len)
+            .into_iter()
+            .map(|(r, l)| (l, r))
+            .collect();
+    }
+    // Counting-sort layout: one flat pass to count, one to fill, so the
+    // bucket table is two dense arrays rather than a Vec-of-Vecs.
+    let m = left.len();
+    let mut counts = vec![0u32; domain_len + 1];
+    for pos in 0..m {
+        let di = left_remap[left.code_at(pos) as usize];
+        if di != NO_INDEX {
+            counts[di as usize + 1] += 1;
+        }
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    let mut slots = vec![0u32; m];
+    let mut cursor = counts.clone();
+    for pos in 0..m {
+        let di = left_remap[left.code_at(pos) as usize];
+        if di != NO_INDEX {
+            slots[cursor[di as usize] as usize] = pos as u32;
+            cursor[di as usize] += 1;
+        }
+    }
+    let mut out = Vec::new();
+    for rpos in 0..right.len() {
+        let di = right_remap[right.code_at(rpos) as usize];
+        if di == NO_INDEX {
+            continue;
+        }
+        let (start, end) = (
+            counts[di as usize] as usize,
+            counts[di as usize + 1] as usize,
+        );
+        for &lpos in &slots[start..end] {
+            out.push((lpos as usize, rpos));
+        }
+    }
+    out
+}
+
+/// Non-equi join over two key columns restricted to row subsets, for the
+/// comparison operators of §3.4.  Each side's keys are extracted **once**
+/// into a typed buffer; on sortable keys (integer, non-NaN float, text)
+/// the ordering operators run as sort + `partition_point` instead of an
+/// O(n·m) comparison sweep.  Output order matches the reference nested
+/// loop exactly (left-major, right in `right_rows` order).
 pub fn nonequi_join_pairs(
     left: &Column,
     left_rows: &[usize],
@@ -56,32 +120,160 @@ pub fn nonequi_join_pairs(
     if !op.is_comparison() {
         return Err(TcuError::Plan(format!("{op} is not a join comparison")));
     }
+    match (left, right) {
+        // Exact integer keys: every operator (incl. Eq/NotEq, which the
+        // interpreter compares as exact i64) can use the sorted path.
+        (Column::Int64(lv), Column::Int64(rv)) => {
+            let lk: Vec<i64> = left_rows.iter().map(|&r| lv[r]).collect();
+            let rk: Vec<i64> = right_rows.iter().map(|&r| rv[r]).collect();
+            Ok(nonequi_sorted(&lk, left_rows, &rk, right_rows, op))
+        }
+        (Column::Text(lv), Column::Text(rv)) => {
+            let lk: Vec<&str> = left_rows.iter().map(|&r| lv[r].as_str()).collect();
+            let rk: Vec<&str> = right_rows.iter().map(|&r| rv[r].as_str()).collect();
+            Ok(nonequi_sorted(&lk, left_rows, &rk, right_rows, op))
+        }
+        (l, r) if l.data_type().is_numeric() && r.data_type().is_numeric() => {
+            let lk: Vec<f64> = left_rows.iter().map(|&i| l.numeric(i).unwrap()).collect();
+            let rk: Vec<f64> = right_rows.iter().map(|&i| r.numeric(i).unwrap()).collect();
+            // Mixed-numeric Eq/NotEq follow `group_key` (exact i64 for
+            // integral values) rather than f64 equality, and NaNs break
+            // the sort's total order — both fall back to the buffered
+            // `Value` sweep.
+            let nan = lk.iter().chain(&rk).any(|x| x.is_nan());
+            if !nan && !matches!(op, BinOp::Eq | BinOp::NotEq) {
+                Ok(nonequi_sorted(&lk, left_rows, &rk, right_rows, op))
+            } else {
+                Ok(nonequi_buffered(left, left_rows, right, right_rows, op))
+            }
+        }
+        // Cross-type text/numeric comparisons keep the reference `Value`
+        // semantics through the buffered sweep.
+        _ => Ok(nonequi_buffered(left, left_rows, right, right_rows, op)),
+    }
+}
+
+/// Reference non-equi sweep with each side's `Value`s materialised once.
+fn nonequi_buffered(
+    left: &Column,
+    left_rows: &[usize],
+    right: &Column,
+    right_rows: &[usize],
+    op: BinOp,
+) -> Vec<(usize, usize)> {
+    let lvals: Vec<Value> = left_rows.iter().map(|&r| left.value(r)).collect();
+    let rvals: Vec<Value> = right_rows.iter().map(|&r| right.value(r)).collect();
     let mut out = Vec::new();
-    for &l in left_rows {
-        let lv = left.value(l);
-        for &r in right_rows {
-            let rv = right.value(r);
-            let ord = lv.sql_cmp(&rv);
+    for (li, lv) in lvals.iter().enumerate() {
+        for (rj, rv) in rvals.iter().enumerate() {
+            let ord = lv.sql_cmp(rv);
             let hit = match op {
-                BinOp::Eq => lv.sql_eq(&rv),
-                BinOp::NotEq => !lv.is_null() && !rv.is_null() && !lv.sql_eq(&rv),
-                BinOp::Lt => ord == std::cmp::Ordering::Less,
-                BinOp::LtEq => ord != std::cmp::Ordering::Greater,
-                BinOp::Gt => ord == std::cmp::Ordering::Greater,
-                BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                BinOp::Eq => lv.sql_eq(rv),
+                BinOp::NotEq => !lv.is_null() && !rv.is_null() && !lv.sql_eq(rv),
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::LtEq => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::GtEq => ord != Ordering::Less,
                 _ => unreachable!(),
             };
             if hit {
-                out.push((l, r));
+                out.push((left_rows[li], right_rows[rj]));
             }
         }
     }
-    Ok(out)
+    out
+}
+
+/// Sorted-probe non-equi join: sort the right keys once, then locate each
+/// left key's matching range with `partition_point`.  `left_keys[i]`
+/// corresponds to `left_rows[i]` (likewise for the right side).
+fn nonequi_sorted<T: PartialOrd>(
+    left_keys: &[T],
+    left_rows: &[usize],
+    right_keys: &[T],
+    right_rows: &[usize],
+    op: BinOp,
+) -> Vec<(usize, usize)> {
+    // Stable sort of right *positions* by key: equal keys keep their
+    // probe-order, which the per-range position sort below relies on.
+    let mut order: Vec<u32> = (0..right_keys.len() as u32).collect();
+    order.sort_by(|&a, &b| {
+        right_keys[a as usize]
+            .partial_cmp(&right_keys[b as usize])
+            .unwrap_or(Ordering::Equal)
+    });
+    let below = |k: &T| {
+        order.partition_point(|&p| right_keys[p as usize].partial_cmp(k) == Some(Ordering::Less))
+    };
+    let through = |k: &T| {
+        order.partition_point(|&p| {
+            matches!(
+                right_keys[p as usize].partial_cmp(k),
+                Some(Ordering::Less) | Some(Ordering::Equal)
+            )
+        })
+    };
+    let n = order.len();
+    let mut out = Vec::new();
+    let mut positions: Vec<u32> = Vec::new();
+    for (li, k) in left_keys.iter().enumerate() {
+        // The matching right keys form one or two contiguous ranges of the
+        // sorted order.
+        let (a, b) = match op {
+            BinOp::Lt => (through(k), n),
+            BinOp::LtEq => (below(k), n),
+            BinOp::Gt => (0, below(k)),
+            BinOp::GtEq => (0, through(k)),
+            BinOp::Eq => (below(k), through(k)),
+            BinOp::NotEq => {
+                // The complement of the equal range is nearly everything;
+                // a direct scan (already in right_rows order) beats
+                // copying and re-sorting n positions per left key.
+                for (rpos, rk) in right_keys.iter().enumerate() {
+                    if rk != k {
+                        out.push((left_rows[li], right_rows[rpos]));
+                    }
+                }
+                continue;
+            }
+            _ => unreachable!("caller validated the comparison"),
+        };
+        positions.clear();
+        positions.extend_from_slice(&order[a..b]);
+        // Emit in original right_rows order, as the nested loop does.
+        positions.sort_unstable();
+        for &p in &positions {
+            out.push((left_rows[li], right_rows[p as usize]));
+        }
+    }
+    out
 }
 
 /// Evaluate the single-table filters of an analyzed query, returning the
 /// surviving row indices per table.
+///
+/// This is the *reference* path (row-at-a-time interpreter, textual
+/// predicate order) shared by the baseline engines; the TCUDB executor
+/// opts into the vectorized kernels through [`apply_filters_with`].
 pub fn apply_filters(analyzed: &AnalyzedQuery) -> TcuResult<Vec<Vec<usize>>> {
+    apply_filters_with(analyzed, false)
+}
+
+/// [`apply_filters`] with the vectorized path switchable, so harnesses
+/// and the oracle tests can compare both.
+///
+/// When `vectorized`, predicates the analyzer classifies as
+/// [`FilterAtom`]s run as tight typed loops over the column data (text
+/// equality/ordering goes through the cached dictionary codes), producing
+/// a selection mask; only rows surviving the mask reach the expression
+/// interpreter for the remaining complex predicates.  Note the atoms are
+/// therefore evaluated *first* — a row rejected by an atom can no longer
+/// raise an evaluation error (e.g. division by zero) from a complex
+/// predicate that textually precedes it.
+pub fn apply_filters_with(
+    analyzed: &AnalyzedQuery,
+    vectorized: bool,
+) -> TcuResult<Vec<Vec<usize>>> {
     let mut ctx = analyzed.row_context();
     let mut surviving = Vec::with_capacity(analyzed.tables.len());
     for (ti, bound) in analyzed.tables.iter().enumerate() {
@@ -91,19 +283,172 @@ pub fn apply_filters(analyzed: &AnalyzedQuery) -> TcuResult<Vec<Vec<usize>>> {
             surviving.push((0..nrows).collect());
             continue;
         }
-        let mut keep = Vec::new();
-        'rows: for r in 0..nrows {
-            ctx.set_row(ti, r);
+        let mut atoms = Vec::new();
+        let mut complex = Vec::new();
+        if vectorized {
             for f in &filters {
-                if !eval_predicate(f, &ctx)? {
-                    continue 'rows;
+                match vectorizable_atom(f, &ctx, ti) {
+                    Some(a) => atoms.push(a),
+                    None => complex.push(*f),
                 }
             }
-            keep.push(r);
+        } else {
+            complex.extend(filters.iter().copied());
+        }
+
+        let mut keep = Vec::new();
+        if atoms.is_empty() {
+            'rows: for r in 0..nrows {
+                ctx.set_row(ti, r);
+                for f in &complex {
+                    if !eval_predicate(f, &ctx)? {
+                        continue 'rows;
+                    }
+                }
+                keep.push(r);
+            }
+        } else {
+            let mut mask = vec![true; nrows];
+            for atom in &atoms {
+                apply_filter_atom(&bound.table, atom, &mut mask)?;
+            }
+            'masked: for (r, ok) in mask.iter().enumerate() {
+                if !*ok {
+                    continue;
+                }
+                if !complex.is_empty() {
+                    ctx.set_row(ti, r);
+                    for f in &complex {
+                        if !eval_predicate(f, &ctx)? {
+                            continue 'masked;
+                        }
+                    }
+                }
+                keep.push(r);
+            }
         }
         surviving.push(keep);
     }
     Ok(surviving)
+}
+
+/// AND one vectorizable predicate into the selection mask with a typed
+/// columnar loop.  Every branch reproduces the corresponding
+/// `eval_predicate` result bit for bit (including the
+/// `partial_cmp(..).unwrap_or(Equal)` NaN behaviour of `sql_cmp`, hence
+/// the negated comparisons for `LtEq`/`GtEq` — `!(a > b)` is *not* the
+/// same as `a <= b` on NaN, and the interpreter implements the former).
+#[allow(clippy::neg_cmp_op_on_partial_ord)]
+fn apply_filter_atom(table: &Table, atom: &FilterAtom, mask: &mut [bool]) -> TcuResult<()> {
+    fn mask_by<T: Copy>(mask: &mut [bool], data: &[T], pred: impl Fn(T) -> bool) {
+        for (m, &x) in mask.iter_mut().zip(data) {
+            *m = *m && pred(x);
+        }
+    }
+    let internal = |what: &str| {
+        TcuError::Execution(format!(
+            "filter atom misclassified ({what}); analyzer and kernels disagree"
+        ))
+    };
+    match atom {
+        FilterAtom::Between { col, low, high } => {
+            let (lo, hi) = (*low, *high);
+            match table.column(*col) {
+                Column::Int64(v) => mask_by(mask, v, |x| {
+                    let x = x as f64;
+                    x >= lo && x <= hi
+                }),
+                Column::Float64(v) => mask_by(mask, v, |x| x >= lo && x <= hi),
+                Column::Text(_) => return Err(internal("BETWEEN over text")),
+            }
+        }
+        FilterAtom::Cmp { col, op, lit } => {
+            let op = *op;
+            match (table.column(*col), lit) {
+                (Column::Int64(v), Value::Int(x)) => {
+                    let x = *x;
+                    match op {
+                        BinOp::Eq => mask_by(mask, v, |a| a == x),
+                        BinOp::NotEq => mask_by(mask, v, |a| a != x),
+                        BinOp::Lt => mask_by(mask, v, |a| a < x),
+                        BinOp::LtEq => mask_by(mask, v, |a| a <= x),
+                        BinOp::Gt => mask_by(mask, v, |a| a > x),
+                        BinOp::GtEq => mask_by(mask, v, |a| a >= x),
+                        _ => return Err(internal("non-comparison op")),
+                    }
+                }
+                (Column::Int64(v), Value::Float(f)) => {
+                    let f = *f;
+                    match op {
+                        // Int-vs-Float equality follows group_key: only an
+                        // integral literal can ever match.
+                        BinOp::Eq | BinOp::NotEq => {
+                            let want_eq = op == BinOp::Eq;
+                            match ValueKey::from_f64(f) {
+                                ValueKey::Int(x) => mask_by(mask, v, |a| (a == x) == want_eq),
+                                _ => mask_by(mask, v, |_| !want_eq),
+                            }
+                        }
+                        BinOp::Lt => mask_by(mask, v, |a| (a as f64) < f),
+                        BinOp::LtEq => mask_by(mask, v, |a| !((a as f64) > f)),
+                        BinOp::Gt => mask_by(mask, v, |a| (a as f64) > f),
+                        BinOp::GtEq => mask_by(mask, v, |a| !((a as f64) < f)),
+                        _ => return Err(internal("non-comparison op")),
+                    }
+                }
+                (Column::Float64(v), lit @ (Value::Int(_) | Value::Float(_))) => {
+                    let litf = lit.as_f64().expect("numeric literal");
+                    match op {
+                        BinOp::Eq | BinOp::NotEq => {
+                            let want_eq = op == BinOp::Eq;
+                            // group_key: the one normalisation both paths
+                            // share (ValueKey::from_f64).
+                            let key = lit.group_key();
+                            mask_by(mask, v, |a| (ValueKey::from_f64(a) == key) == want_eq);
+                        }
+                        BinOp::Lt => mask_by(mask, v, |a| a < litf),
+                        BinOp::LtEq => mask_by(mask, v, |a| !(a > litf)),
+                        BinOp::Gt => mask_by(mask, v, |a| a > litf),
+                        BinOp::GtEq => mask_by(mask, v, |a| !(a < litf)),
+                        _ => return Err(internal("non-comparison op")),
+                    }
+                }
+                (Column::Text(_), Value::Text(s)) => {
+                    let dict = table.encoded_column(*col);
+                    let codes = dict.codes();
+                    match op {
+                        BinOp::Eq | BinOp::NotEq => {
+                            let want_eq = op == BinOp::Eq;
+                            match dict.code_of(&Value::Text(s.clone())) {
+                                Some(t) => mask_by(mask, codes, |c| (c == t) == want_eq),
+                                None => mask_by(mask, codes, |_| !want_eq),
+                            }
+                        }
+                        BinOp::Lt | BinOp::LtEq | BinOp::Gt | BinOp::GtEq => {
+                            // One string comparison per *distinct* value.
+                            let lut: Vec<bool> = dict
+                                .values()
+                                .iter()
+                                .map(|v| {
+                                    let ord = v.as_str().expect("text dict").cmp(s.as_str());
+                                    match op {
+                                        BinOp::Lt => ord == Ordering::Less,
+                                        BinOp::LtEq => ord != Ordering::Greater,
+                                        BinOp::Gt => ord == Ordering::Greater,
+                                        _ => ord != Ordering::Less,
+                                    }
+                                })
+                                .collect();
+                            mask_by(mask, codes, |c| lut[c as usize]);
+                        }
+                        _ => return Err(internal("non-comparison op")),
+                    }
+                }
+                _ => return Err(internal("column/literal type mismatch")),
+            }
+        }
+    }
+    Ok(())
 }
 
 /// One accumulating aggregate state.
@@ -127,11 +472,20 @@ impl AggState {
         }
     }
 
+    /// Fold one value in, touching only the accumulators `finish` will
+    /// read for this aggregate (COUNT/SUM skip the min/max branches
+    /// entirely).
     fn update(&mut self, v: f64) {
-        self.sum += v;
-        self.count += 1;
-        self.min = Some(self.min.map_or(v, |m| m.min(v)));
-        self.max = Some(self.max.map_or(v, |m| m.max(v)));
+        match self.func {
+            AggFunc::Count => self.count += 1,
+            AggFunc::Sum => self.sum += v,
+            AggFunc::Avg => {
+                self.sum += v;
+                self.count += 1;
+            }
+            AggFunc::Min => self.min = Some(self.min.map_or(v, |m| m.min(v))),
+            AggFunc::Max => self.max = Some(self.max.map_or(v, |m| m.max(v))),
+        }
     }
 
     fn finish(&self) -> Value {
@@ -424,6 +778,119 @@ mod tests {
     }
 
     #[test]
+    fn nonequi_sorted_paths_match_buffered_reference() {
+        let li = Column::Int64(vec![3, 1, 4, 1, 5, 9, 2, 6]);
+        let ri = Column::Int64(vec![5, 3, 5, 8, 9, 7, 9]);
+        let lrows: Vec<usize> = vec![0, 2, 3, 5, 7];
+        let rrows: Vec<usize> = vec![1, 0, 4, 6, 2];
+        let lt = Column::Text(vec!["b".into(), "a".into(), "c".into(), "a".into()]);
+        let rt = Column::Text(vec!["a".into(), "c".into(), "b".into()]);
+        let lf = Column::Float64(vec![1.5, 2.0, -3.0, 2.0]);
+        for op in [
+            BinOp::Lt,
+            BinOp::LtEq,
+            BinOp::Gt,
+            BinOp::GtEq,
+            BinOp::Eq,
+            BinOp::NotEq,
+        ] {
+            let got = nonequi_join_pairs(&li, &lrows, &ri, &rrows, op).unwrap();
+            assert_eq!(got, nonequi_buffered(&li, &lrows, &ri, &rrows, op), "{op}");
+            let got_t = nonequi_join_pairs(&lt, &[0, 1, 2, 3], &rt, &[2, 0, 1], op).unwrap();
+            assert_eq!(
+                got_t,
+                nonequi_buffered(&lt, &[0, 1, 2, 3], &rt, &[2, 0, 1], op),
+                "text {op}"
+            );
+            // Mixed numeric (float left, int right).
+            let got_m = nonequi_join_pairs(&lf, &[0, 1, 2, 3], &ri, &rrows, op).unwrap();
+            assert_eq!(
+                got_m,
+                nonequi_buffered(&lf, &[0, 1, 2, 3], &ri, &rrows, op),
+                "mixed {op}"
+            );
+        }
+        // NaNs force the buffered fallback; results still match.
+        let nan = Column::Float64(vec![1.0, f64::NAN]);
+        let got = nonequi_join_pairs(&nan, &[0, 1], &lf, &[0, 1, 2, 3], BinOp::LtEq).unwrap();
+        assert_eq!(
+            got,
+            nonequi_buffered(&nan, &[0, 1], &lf, &[0, 1, 2, 3], BinOp::LtEq)
+        );
+    }
+
+    #[test]
+    fn code_join_matches_hash_join() {
+        use crate::translate::Domain;
+        use tcudb_storage::DictColumn;
+        let left = Column::Int64(vec![1, 1, 2, 3, 7]);
+        let right = Column::Int64(vec![1, 2, 2, 9]);
+        let ld = DictColumn::build(&left);
+        let rd = DictColumn::build(&right);
+        // Both orientations, since build/probe side selection depends on
+        // relative sizes and changes the output order.
+        for (lr, rr) in [
+            ((0..5).collect::<Vec<_>>(), (0..4).collect::<Vec<_>>()),
+            (vec![0, 2], (0..4).collect()),
+            (vec![], (0..4).collect()),
+        ] {
+            let lsrc = EncodedSource::subset(&ld, &lr);
+            let rsrc = EncodedSource::subset(&rd, &rr);
+            let (dom, maps) = Domain::build_encoded(&[lsrc, rsrc]);
+            let got = join_pairs_by_code(&lsrc, &maps[0], &rsrc, &maps[1], dom.len());
+            // hash_join_pairs over positions (gathered columns).
+            let lcol = left.gather(&lr);
+            let rcol = right.gather(&rr);
+            let lpos: Vec<usize> = (0..lr.len()).collect();
+            let rpos: Vec<usize> = (0..rr.len()).collect();
+            let want = hash_join_pairs(&lcol, &lpos, &rcol, &rpos);
+            assert_eq!(got, want, "lr={lr:?}");
+        }
+    }
+
+    #[test]
+    fn vectorized_filters_match_interpreter() {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs(&[
+            ("i", DataType::Int64),
+            ("f", DataType::Float64),
+            ("s", DataType::Text),
+        ]);
+        let t = Table::from_columns(
+            "T",
+            schema,
+            vec![
+                Column::Int64(vec![1, 2, 3, 4, 5]),
+                Column::Float64(vec![1.5, 2.0, -1.0, 4.0, 5.5]),
+                Column::Text(vec![
+                    "a".into(),
+                    "bb".into(),
+                    "a".into(),
+                    "cc".into(),
+                    "bb".into(),
+                ]),
+            ],
+        )
+        .unwrap();
+        cat.register(t);
+        for sql in [
+            "SELECT T.i FROM T WHERE T.i >= 2 AND T.i < 5",
+            "SELECT T.i FROM T WHERE T.f > 1.5 AND T.s <> 'bb'",
+            "SELECT T.i FROM T WHERE T.s = 'a' OR T.s = 'cc'", // OR → interpreter
+            "SELECT T.i FROM T WHERE T.i BETWEEN 2 AND 4 AND T.f = 2",
+            "SELECT T.i FROM T WHERE 3 < T.i",
+            "SELECT T.i FROM T WHERE T.s >= 'bb'",
+            "SELECT T.i FROM T WHERE T.i + 1 > 3 AND T.i <= 4", // mixed
+            "SELECT T.i FROM T WHERE T.f = 2.5",
+        ] {
+            let q = analyze(&parse(sql).unwrap(), &cat).unwrap();
+            let fast = apply_filters_with(&q, true).unwrap();
+            let slow = apply_filters_with(&q, false).unwrap();
+            assert_eq!(fast, slow, "{sql}");
+        }
+    }
+
+    #[test]
     fn filters_reduce_row_sets() {
         let cat = catalog();
         let q = analyze(
@@ -521,6 +988,26 @@ mod tests {
         let tuples = vec![vec![0, 0], vec![1, 0], vec![2, 1], vec![2, 2]];
         let out = finalize_output(&q, &tuples).unwrap();
         assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn vectorized_filters_reorder_error_raising_predicates() {
+        // Documented divergence: the atom `T.i = 5` masks out the i=0 row
+        // before the division predicate runs, so the vectorized path
+        // succeeds where the interpreter (which evaluates predicates in
+        // textual order on every row) raises division by zero.
+        let mut cat = Catalog::new();
+        cat.register(
+            Table::from_int_columns("T", &[("i", vec![0, 5]), ("v", vec![1, 2])]).unwrap(),
+        );
+        let q = analyze(
+            &parse("SELECT T.v FROM T WHERE T.v / T.i > 0 AND T.i = 5").unwrap(),
+            &cat,
+        )
+        .unwrap();
+        assert!(apply_filters_with(&q, false).is_err());
+        let fast = apply_filters_with(&q, true).unwrap();
+        assert_eq!(fast, vec![vec![1]]);
     }
 
     #[test]

@@ -13,12 +13,75 @@
 //! * a **comparison matrix** with `mat(A)[i][j] = 1` iff
 //!   `key_i <op> domain_j` (the non-equi joins of §3.4).
 
+use std::borrow::Cow;
 use std::collections::HashMap;
 use tcudb_sql::BinOp;
-use tcudb_storage::Column;
+use tcudb_storage::{Column, DictColumn};
 use tcudb_tensor::{CsrMatrix, DenseMatrix};
 use tcudb_types::value::ValueKey;
 use tcudb_types::{TcuResult, Value};
+
+/// Sentinel in a code-remap table for a dictionary code that never occurs
+/// in the selected rows (and therefore has no domain index).
+pub const NO_INDEX: u32 = u32::MAX;
+
+/// One side of an encoded domain build: a dictionary, the per-row codes in
+/// that dictionary's space (usually [`DictColumn::codes`], but joins pass
+/// gathered intermediate code vectors), and an optional row subset.
+#[derive(Clone, Copy)]
+pub struct EncodedSource<'a> {
+    /// The dictionary the codes index into.
+    pub dict: &'a DictColumn,
+    /// Per-row codes.
+    pub codes: &'a [u32],
+    /// Row subset (`None` = every row), indices into `codes`.
+    pub rows: Option<&'a [usize]>,
+}
+
+impl<'a> EncodedSource<'a> {
+    /// A source covering a whole encoded column.
+    pub fn whole(dict: &'a DictColumn) -> EncodedSource<'a> {
+        EncodedSource {
+            dict,
+            codes: dict.codes(),
+            rows: None,
+        }
+    }
+
+    /// A source over a row subset of an encoded column.
+    pub fn subset(dict: &'a DictColumn, rows: &'a [usize]) -> EncodedSource<'a> {
+        EncodedSource {
+            dict,
+            codes: dict.codes(),
+            rows: Some(rows),
+        }
+    }
+
+    /// Number of selected rows.
+    pub fn len(&self) -> usize {
+        self.rows.map_or(self.codes.len(), <[usize]>::len)
+    }
+
+    /// True if no rows are selected.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn for_each_code(&self, mut f: impl FnMut(u32)) {
+        match self.rows {
+            Some(rows) => {
+                for &r in rows {
+                    f(self.codes[r]);
+                }
+            }
+            None => {
+                for &c in self.codes {
+                    f(c);
+                }
+            }
+        }
+    }
+}
 
 /// A dictionary over the distinct values of one or more join-key columns:
 /// `dom(A.ID) ∪ dom(B.ID)` in the paper's notation.
@@ -50,6 +113,35 @@ impl Domain {
             }
         }
         dom
+    }
+
+    /// Build the union domain from dictionary-encoded sources, returning
+    /// the domain plus one code-remap table per source
+    /// (`remap[dict code] → domain index`, [`NO_INDEX`] for codes that
+    /// never occur in the selected rows).
+    ///
+    /// This is the fast path of the encoded data path: rows cost one array
+    /// read and branch each; hashing happens only once per *distinct*
+    /// value per source.  Domain order is identical to [`Domain::build`]
+    /// over the same rows (first-seen order under `group_key`
+    /// normalisation), so downstream matrix layouts — and therefore result
+    /// row order — match the `Value`-based path exactly.
+    pub fn build_encoded(sources: &[EncodedSource<'_>]) -> (Domain, Vec<Vec<u32>>) {
+        let mut dom = Domain::default();
+        let mut maps = Vec::with_capacity(sources.len());
+        for src in sources {
+            let mut map = vec![NO_INDEX; src.dict.dict_len()];
+            src.for_each_code(|code| {
+                let slot = &mut map[code as usize];
+                if *slot == NO_INDEX {
+                    let idx = dom.insert(src.dict.value(code).clone());
+                    debug_assert!(idx < NO_INDEX as usize, "domain exceeds u32 code space");
+                    *slot = idx as u32;
+                }
+            });
+            maps.push(map);
+        }
+        (dom, maps)
     }
 
     /// Insert a value, returning its index.
@@ -90,12 +182,13 @@ impl Domain {
     }
 }
 
-/// Row selection helper: `rows` as a vector of indices (identity when
-/// `None`).
-fn selected_rows(col: &Column, rows: Option<&[usize]>) -> Vec<usize> {
+/// Row selection helper: the row indices to visit.  An explicit subset is
+/// borrowed as-is (zero-copy); only the "all rows" case materialises the
+/// identity vector.
+fn selected_rows<'a>(col: &Column, rows: Option<&'a [usize]>) -> Cow<'a, [usize]> {
     match rows {
-        Some(r) => r.to_vec(),
-        None => (0..col.len()).collect(),
+        Some(r) => Cow::Borrowed(r),
+        None => Cow::Owned((0..col.len()).collect()),
     }
 }
 
@@ -158,6 +251,23 @@ pub fn adjacency_matrix(
     m
 }
 
+/// Does `ord` (of `key <cmp> domain value`) satisfy the comparison `op`?
+fn cmp_hit(ord: std::cmp::Ordering, op: BinOp) -> TcuResult<bool> {
+    Ok(match op {
+        BinOp::Lt => ord == std::cmp::Ordering::Less,
+        BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+        BinOp::Gt => ord == std::cmp::Ordering::Greater,
+        BinOp::GtEq => ord != std::cmp::Ordering::Less,
+        BinOp::NotEq => ord != std::cmp::Ordering::Equal,
+        BinOp::Eq => ord == std::cmp::Ordering::Equal,
+        other => {
+            return Err(tcudb_types::TcuError::Plan(format!(
+                "operator {other} is not a comparison"
+            )))
+        }
+    })
+}
+
 /// Build the comparison matrix of §3.4 for non-equi joins: entry `(i, j)`
 /// is 1 when `key_i <op> domain_j` holds.
 pub fn comparison_matrix(
@@ -171,22 +281,7 @@ pub fn comparison_matrix(
     for (i, &r) in rows.iter().enumerate() {
         let key = key_col.value(r);
         for j in 0..domain.len() {
-            let dv = domain.value_at(j);
-            let ord = key.sql_cmp(dv);
-            let hit = match op {
-                BinOp::Lt => ord == std::cmp::Ordering::Less,
-                BinOp::LtEq => ord != std::cmp::Ordering::Greater,
-                BinOp::Gt => ord == std::cmp::Ordering::Greater,
-                BinOp::GtEq => ord != std::cmp::Ordering::Less,
-                BinOp::NotEq => ord != std::cmp::Ordering::Equal,
-                BinOp::Eq => ord == std::cmp::Ordering::Equal,
-                other => {
-                    return Err(tcudb_types::TcuError::Plan(format!(
-                        "operator {other} is not a comparison"
-                    )))
-                }
-            };
-            if hit {
+            if cmp_hit(key.sql_cmp(domain.value_at(j)), op)? {
                 m.set(i, j, 1.0);
             }
         }
@@ -226,6 +321,146 @@ pub fn valued_csr(
         }
     }
     CsrMatrix::from_triplets(rows.len(), domain.len(), &triplets)
+}
+
+// ---------------------------------------------------------------------
+// Encoded builders: scatter dictionary codes through a remap table with
+// no `Value` materialisation and no per-element hash lookup.
+// ---------------------------------------------------------------------
+
+impl EncodedSource<'_> {
+    /// The dictionary code of the `pos`-th selected row.
+    #[inline]
+    pub fn code_at(&self, pos: usize) -> u32 {
+        match self.rows {
+            Some(rows) => self.codes[rows[pos]],
+            None => self.codes[pos],
+        }
+    }
+}
+
+/// Encoded [`one_hot_matrix`]: one array read and one store per row.
+pub fn one_hot_matrix_encoded(
+    src: &EncodedSource<'_>,
+    remap: &[u32],
+    domain_len: usize,
+) -> DenseMatrix {
+    let n = src.len();
+    let mut m = DenseMatrix::zeros(n, domain_len);
+    for i in 0..n {
+        let j = remap[src.code_at(i) as usize];
+        if j != NO_INDEX {
+            m.row_mut(i)[j as usize] = 1.0;
+        }
+    }
+    m
+}
+
+/// Encoded [`valued_matrix`].
+pub fn valued_matrix_encoded(
+    src: &EncodedSource<'_>,
+    payload: &[f64],
+    remap: &[u32],
+    domain_len: usize,
+) -> DenseMatrix {
+    let n = src.len();
+    let mut m = DenseMatrix::zeros(n, domain_len);
+    for i in 0..n {
+        let j = remap[src.code_at(i) as usize];
+        if j != NO_INDEX {
+            m.row_mut(i)[j as usize] = payload[i] as f32;
+        }
+    }
+    m
+}
+
+/// Encoded [`adjacency_matrix`].  `row_src` and `key_src` must select the
+/// same rows (they come from the same table).
+pub fn adjacency_matrix_encoded(
+    row_src: &EncodedSource<'_>,
+    row_remap: &[u32],
+    row_domain_len: usize,
+    key_src: &EncodedSource<'_>,
+    key_remap: &[u32],
+    key_domain_len: usize,
+    payload: Option<&[f64]>,
+) -> DenseMatrix {
+    debug_assert_eq!(row_src.len(), key_src.len());
+    let n = key_src.len();
+    let mut m = DenseMatrix::zeros(row_domain_len, key_domain_len);
+    for pos in 0..n {
+        let i = row_remap[row_src.code_at(pos) as usize];
+        let j = key_remap[key_src.code_at(pos) as usize];
+        if i != NO_INDEX && j != NO_INDEX {
+            let v = payload.map(|p| p[pos]).unwrap_or(1.0);
+            m.add_to(i as usize, j as usize, v as f32);
+        }
+    }
+    m
+}
+
+/// Encoded [`comparison_matrix`]: the comparison row of each *distinct*
+/// key is computed once against the domain and then copied per row, so
+/// duplicated keys cost a `memcpy` instead of `len(domain)` comparisons.
+pub fn comparison_matrix_encoded(
+    src: &EncodedSource<'_>,
+    domain: &Domain,
+    op: BinOp,
+) -> TcuResult<DenseMatrix> {
+    let n = src.len();
+    let mut m = DenseMatrix::zeros(n, domain.len());
+    let mut patterns: Vec<Option<Box<[f32]>>> = vec![None; src.dict.dict_len()];
+    for i in 0..n {
+        let code = src.code_at(i) as usize;
+        if patterns[code].is_none() {
+            let key = src.dict.value(code as u32);
+            let mut row = vec![0.0f32; domain.len()];
+            for (j, slot) in row.iter_mut().enumerate() {
+                if cmp_hit(key.sql_cmp(domain.value_at(j)), op)? {
+                    *slot = 1.0;
+                }
+            }
+            patterns[code] = Some(row.into_boxed_slice());
+        }
+        m.row_mut(i)
+            .copy_from_slice(patterns[code].as_deref().expect("pattern just built"));
+    }
+    Ok(m)
+}
+
+/// Encoded [`one_hot_csr`].
+pub fn one_hot_csr_encoded(
+    src: &EncodedSource<'_>,
+    remap: &[u32],
+    domain_len: usize,
+) -> TcuResult<CsrMatrix> {
+    let n = src.len();
+    let mut triplets = Vec::with_capacity(n);
+    for i in 0..n {
+        let j = remap[src.code_at(i) as usize];
+        if j != NO_INDEX {
+            triplets.push((i, j as usize, 1.0f32));
+        }
+    }
+    CsrMatrix::from_triplets(n, domain_len, &triplets)
+}
+
+/// Encoded [`valued_csr`].
+pub fn valued_csr_encoded(
+    src: &EncodedSource<'_>,
+    payload: &[f64],
+    remap: &[u32],
+    domain_len: usize,
+) -> TcuResult<CsrMatrix> {
+    let n = src.len();
+    let mut triplets = Vec::with_capacity(n);
+    for i in 0..n {
+        let j = remap[src.code_at(i) as usize];
+        if j != NO_INDEX {
+            triplets.push((i, j as usize, payload[i] as f32));
+        }
+    }
+    CsrMatrix::from_triplets(n, domain_len, &triplets)
 }
 
 #[cfg(test)]
@@ -321,6 +556,100 @@ mod tests {
         let vd = valued_matrix(&col, &payload, None, &dom);
         let vs = valued_csr(&col, &payload, None, &dom).unwrap();
         assert_eq!(vs.to_dense(), vd);
+    }
+
+    #[test]
+    fn encoded_domain_matches_value_domain() {
+        let a = Column::Int64(vec![1, 2, 2, 5]);
+        let b = Column::Float64(vec![2.0, 3.5, 1.0]);
+        let expected = Domain::build(&[(&a, Some(&[0, 1, 2])), (&b, None)]);
+        let da = DictColumn::build(&a);
+        let db = DictColumn::build(&b);
+        let rows = [0usize, 1, 2];
+        let (dom, maps) =
+            Domain::build_encoded(&[EncodedSource::subset(&da, &rows), EncodedSource::whole(&db)]);
+        assert_eq!(dom.values(), expected.values());
+        // Remap tables agree with index_of; unseen codes stay NO_INDEX.
+        for (code, v) in da.values().iter().enumerate() {
+            let want = if v == &Value::Int(5) {
+                NO_INDEX
+            } else {
+                dom.index_of(v).unwrap() as u32
+            };
+            assert_eq!(maps[0][code], want);
+        }
+        for (code, v) in db.values().iter().enumerate() {
+            assert_eq!(maps[1][code], dom.index_of(v).unwrap() as u32);
+        }
+    }
+
+    #[test]
+    fn encoded_builders_match_value_builders() {
+        let col = key_col();
+        let dict = DictColumn::build(&col);
+        let rows = [3usize, 0, 2];
+        for subset in [None, Some(&rows[..])] {
+            let dom_sources: Vec<(&Column, Option<&[usize]>)> = vec![(&col, subset)];
+            let dom = Domain::build(&dom_sources);
+            let src = EncodedSource {
+                dict: &dict,
+                codes: dict.codes(),
+                rows: subset,
+            };
+            let (edom, maps) = Domain::build_encoded(&[src]);
+            assert_eq!(edom.values(), dom.values());
+            let remap = &maps[0];
+
+            assert_eq!(
+                one_hot_matrix_encoded(&src, remap, dom.len()),
+                one_hot_matrix(&col, subset, &dom)
+            );
+            let payload: Vec<f64> = (0..src.len()).map(|i| i as f64 + 0.5).collect();
+            assert_eq!(
+                valued_matrix_encoded(&src, &payload, remap, dom.len()),
+                valued_matrix(&col, &payload, subset, &dom)
+            );
+            assert_eq!(
+                one_hot_csr_encoded(&src, remap, dom.len()).unwrap(),
+                one_hot_csr(&col, subset, &dom).unwrap()
+            );
+            assert_eq!(
+                valued_csr_encoded(&src, &payload, remap, dom.len()).unwrap(),
+                valued_csr(&col, &payload, subset, &dom).unwrap()
+            );
+            for op in [BinOp::Lt, BinOp::GtEq, BinOp::NotEq] {
+                assert_eq!(
+                    comparison_matrix_encoded(&src, &dom, op).unwrap(),
+                    comparison_matrix(&col, subset, &dom, op).unwrap()
+                );
+            }
+            assert!(comparison_matrix_encoded(&src, &dom, BinOp::Add).is_err());
+        }
+    }
+
+    #[test]
+    fn encoded_adjacency_matches() {
+        let group = Column::Int64(vec![7, 7, 8]);
+        let key = Column::Int64(vec![1, 1, 2]);
+        let gdom = Domain::build(&[(&group, None)]);
+        let kdom = Domain::build(&[(&key, None)]);
+        let gd = DictColumn::build(&group);
+        let kd = DictColumn::build(&key);
+        let (egdom, gmaps) = Domain::build_encoded(&[EncodedSource::whole(&gd)]);
+        let (ekdom, kmaps) = Domain::build_encoded(&[EncodedSource::whole(&kd)]);
+        assert_eq!(egdom.values(), gdom.values());
+        assert_eq!(ekdom.values(), kdom.values());
+        let got = adjacency_matrix_encoded(
+            &EncodedSource::whole(&gd),
+            &gmaps[0],
+            gdom.len(),
+            &EncodedSource::whole(&kd),
+            &kmaps[0],
+            kdom.len(),
+            Some(&[5.0, 6.0, 7.0]),
+        );
+        let want = adjacency_matrix(&group, &key, Some(&[5.0, 6.0, 7.0]), None, &gdom, &kdom);
+        assert_eq!(got, want);
     }
 
     #[test]

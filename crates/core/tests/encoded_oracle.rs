@@ -1,0 +1,407 @@
+//! Oracle suite: the encoded columnar data path (dictionary codes, remap
+//! tables, typed filter kernels, code-bucket joins) must produce results
+//! **identical** to the `Value`-based reference path across random
+//! schemas, row subsets (with duplicates), NULLs and empty tables — from
+//! the individual building blocks all the way through `TcuDb::execute`.
+
+use proptest::prelude::*;
+use tcudb_core::analyzer::analyze;
+use tcudb_core::relops::{self, apply_filters_with};
+use tcudb_core::translate::{
+    adjacency_matrix, adjacency_matrix_encoded, comparison_matrix, comparison_matrix_encoded,
+    one_hot_csr, one_hot_csr_encoded, one_hot_matrix, one_hot_matrix_encoded, valued_csr,
+    valued_csr_encoded, valued_matrix, valued_matrix_encoded, Domain, EncodedSource,
+};
+use tcudb_core::{EngineConfig, TcuDb};
+use tcudb_sql::{parse, BinOp};
+use tcudb_storage::{Catalog, Column, ColumnDef, DictColumn, Schema, Table};
+use tcudb_types::{DataType, Value};
+
+/// Build a column of one of the three storage types from raw draws, with
+/// small value domains so joins and filters actually collide.
+fn column_from(mode: i64, data: &[i64]) -> Column {
+    match mode.rem_euclid(3) {
+        0 => Column::Int64(data.iter().map(|&x| x % 7).collect()),
+        // Half-steps: a mix of integral floats (which must unify with Int
+        // keys) and genuinely fractional ones.
+        1 => Column::Float64(data.iter().map(|&x| (x % 9) as f64 * 0.5).collect()),
+        _ => Column::Text(data.iter().map(|&x| format!("k{}", x % 5)).collect()),
+    }
+}
+
+/// Map raw index draws into a valid (possibly duplicated) row subset.
+fn subset(idx: &[usize], len: usize) -> Vec<usize> {
+    if len == 0 {
+        Vec::new()
+    } else {
+        idx.iter().map(|&i| i % len).collect()
+    }
+}
+
+const OPS: [BinOp; 6] = [
+    BinOp::Lt,
+    BinOp::LtEq,
+    BinOp::Gt,
+    BinOp::GtEq,
+    BinOp::Eq,
+    BinOp::NotEq,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn domain_union_matches_value_path(
+        a_mode in 0i64..3,
+        a_data in prop::collection::vec(0i64..60, 0..24),
+        b_mode in 0i64..3,
+        b_data in prop::collection::vec(0i64..60, 0..24),
+        asub_raw in prop::collection::vec(0usize..64, 0..16),
+        use_asub in 0i64..2,
+    ) {
+        let a = column_from(a_mode, &a_data);
+        let b = column_from(b_mode, &b_data);
+        let asub = subset(&asub_raw, a.len());
+        let arows = (use_asub == 1).then_some(&asub[..]);
+
+        let expected = Domain::build(&[(&a, arows), (&b, None)]);
+        let da = DictColumn::build(&a);
+        let db = DictColumn::build(&b);
+        let asrc = EncodedSource { dict: &da, codes: da.codes(), rows: arows };
+        let (dom, maps) = Domain::build_encoded(&[asrc, EncodedSource::whole(&db)]);
+
+        prop_assert_eq!(dom.values(), expected.values());
+        // Every remap entry agrees with index_of on the shared domain.
+        for (src, map) in [(&da, &maps[0]), (&db, &maps[1])] {
+            for (code, v) in src.values().iter().enumerate() {
+                if map[code] != tcudb_core::translate::NO_INDEX {
+                    prop_assert_eq!(dom.index_of(v), Some(map[code] as usize));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_builders_match_value_path(
+        mode in 0i64..3,
+        data in prop::collection::vec(0i64..60, 0..24),
+        sub_raw in prop::collection::vec(0usize..64, 0..16),
+        use_sub in 0i64..2,
+        op_idx in 0usize..6,
+        extra in prop::collection::vec(0i64..60, 0..10),
+    ) {
+        let col = column_from(mode, &data);
+        let sub = subset(&sub_raw, col.len());
+        let rows = (use_sub == 1).then_some(&sub[..]);
+        // Domain over the column plus a disjoint-ish second source so some
+        // keys miss (exercising the NO_INDEX sentinel on both sides).
+        let other = column_from(mode, &extra);
+        let dom = Domain::build(&[(&col, rows), (&other, None)]);
+        let dict = DictColumn::build(&col);
+        let src = EncodedSource { dict: &dict, codes: dict.codes(), rows };
+        let odict = DictColumn::build(&other);
+        let (edom, maps) = Domain::build_encoded(&[src, EncodedSource::whole(&odict)]);
+        prop_assert_eq!(edom.values(), dom.values());
+        let remap = &maps[0];
+
+        let n = rows.map_or(col.len(), <[usize]>::len);
+        let payload: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 3.5).collect();
+
+        prop_assert_eq!(
+            one_hot_matrix_encoded(&src, remap, dom.len()),
+            one_hot_matrix(&col, rows, &dom)
+        );
+        prop_assert_eq!(
+            valued_matrix_encoded(&src, &payload, remap, dom.len()),
+            valued_matrix(&col, &payload, rows, &dom)
+        );
+        prop_assert_eq!(
+            one_hot_csr_encoded(&src, remap, dom.len()).unwrap(),
+            one_hot_csr(&col, rows, &dom).unwrap()
+        );
+        prop_assert_eq!(
+            valued_csr_encoded(&src, &payload, remap, dom.len()).unwrap(),
+            valued_csr(&col, &payload, rows, &dom).unwrap()
+        );
+        let op = OPS[op_idx];
+        prop_assert_eq!(
+            comparison_matrix_encoded(&src, &dom, op).unwrap(),
+            comparison_matrix(&col, rows, &dom, op).unwrap()
+        );
+    }
+
+    #[test]
+    fn adjacency_matches_value_path(
+        gmode in 0i64..3,
+        kmode in 0i64..3,
+        rows_data in prop::collection::vec((0i64..60, 0i64..60), 0..24),
+        sub_raw in prop::collection::vec(0usize..64, 0..16),
+        use_sub in 0i64..2,
+        with_payload in 0i64..2,
+    ) {
+        let gdata: Vec<i64> = rows_data.iter().map(|&(g, _)| g).collect();
+        let kdata: Vec<i64> = rows_data.iter().map(|&(_, k)| k).collect();
+        let gcol = column_from(gmode, &gdata);
+        let kcol = column_from(kmode, &kdata);
+        let sub = subset(&sub_raw, kcol.len());
+        let rows = (use_sub == 1).then_some(&sub[..]);
+
+        let gdom = Domain::build(&[(&gcol, rows)]);
+        let kdom = Domain::build(&[(&kcol, rows)]);
+        let n = rows.map_or(kcol.len(), <[usize]>::len);
+        let payload: Vec<f64> = (0..n).map(|i| (i % 11) as f64 * 0.25).collect();
+        let pay = (with_payload == 1).then_some(&payload[..]);
+        let want = adjacency_matrix(&gcol, &kcol, pay, rows, &gdom, &kdom);
+
+        let gd = DictColumn::build(&gcol);
+        let kd = DictColumn::build(&kcol);
+        let gsrc = EncodedSource { dict: &gd, codes: gd.codes(), rows };
+        let ksrc = EncodedSource { dict: &kd, codes: kd.codes(), rows };
+        let (egdom, gmaps) = Domain::build_encoded(&[gsrc]);
+        let (ekdom, kmaps) = Domain::build_encoded(&[ksrc]);
+        prop_assert_eq!(egdom.values(), gdom.values());
+        prop_assert_eq!(ekdom.values(), kdom.values());
+        let got = adjacency_matrix_encoded(
+            &gsrc, &gmaps[0], gdom.len(),
+            &ksrc, &kmaps[0], kdom.len(),
+            pay,
+        );
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn code_join_matches_hash_join(
+        lmode in 0i64..3,
+        ldata in prop::collection::vec(0i64..60, 0..28),
+        rdata in prop::collection::vec(0i64..60, 0..28),
+        lsub_raw in prop::collection::vec(0usize..64, 0..20),
+        rsub_raw in prop::collection::vec(0usize..64, 0..20),
+    ) {
+        // Same mode on both sides plus the Int/Float mixed case.
+        for rmode in [lmode, (lmode + 1).min(1)] {
+            let left = column_from(lmode, &ldata);
+            let right = column_from(rmode, &rdata);
+            if lmode.rem_euclid(3).min(1) != rmode.rem_euclid(3).min(1) {
+                continue; // text never joins numeric in these queries
+            }
+            let lsub = subset(&lsub_raw, left.len());
+            let rsub = subset(&rsub_raw, right.len());
+
+            let ld = DictColumn::build(&left);
+            let rd = DictColumn::build(&right);
+            let lsrc = EncodedSource::subset(&ld, &lsub);
+            let rsrc = EncodedSource::subset(&rd, &rsub);
+            let (dom, maps) = Domain::build_encoded(&[lsrc, rsrc]);
+            let got = relops::join_pairs_by_code(&lsrc, &maps[0], &rsrc, &maps[1], dom.len());
+
+            // Reference: positional hash join over the gathered columns.
+            let lcol = left.gather(&lsub);
+            let rcol = right.gather(&rsub);
+            let lpos: Vec<usize> = (0..lsub.len()).collect();
+            let rpos: Vec<usize> = (0..rsub.len()).collect();
+            let want = relops::hash_join_pairs(&lcol, &lpos, &rcol, &rpos);
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    #[test]
+    fn nonequi_join_matches_reference_order(
+        lmode in 0i64..3,
+        ldata in prop::collection::vec(0i64..60, 0..20),
+        rdata in prop::collection::vec(0i64..60, 0..20),
+        op_idx in 0usize..6,
+    ) {
+        let left = column_from(lmode, &ldata);
+        let right = column_from(lmode, &rdata);
+        let lrows: Vec<usize> = (0..left.len()).collect();
+        let rrows: Vec<usize> = (0..right.len()).collect();
+        let op = OPS[op_idx];
+        let got = relops::nonequi_join_pairs(&left, &lrows, &right, &rrows, op).unwrap();
+        // Reference: the original nested loop over materialised Values.
+        let mut want = Vec::new();
+        for &l in &lrows {
+            let lv = left.value(l);
+            for &r in &rrows {
+                let rv = right.value(r);
+                let ord = lv.sql_cmp(&rv);
+                let hit = match op {
+                    BinOp::Eq => lv.sql_eq(&rv),
+                    BinOp::NotEq => !lv.sql_eq(&rv),
+                    BinOp::Lt => ord == std::cmp::Ordering::Less,
+                    BinOp::LtEq => ord != std::cmp::Ordering::Greater,
+                    BinOp::Gt => ord == std::cmp::Ordering::Greater,
+                    BinOp::GtEq => ord != std::cmp::Ordering::Less,
+                    _ => unreachable!(),
+                };
+                if hit {
+                    want.push((l, r));
+                }
+            }
+        }
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Vectorized filters and full end-to-end queries.
+// ---------------------------------------------------------------------
+
+fn filter_table(rows: &[(i64, i64, i64)]) -> Table {
+    let schema = Schema::new(vec![
+        ColumnDef::new("i", DataType::Int64),
+        ColumnDef::new("f", DataType::Float64),
+        ColumnDef::new("s", DataType::Text),
+    ]);
+    Table::from_columns(
+        "T",
+        schema,
+        vec![
+            Column::Int64(rows.iter().map(|&(a, _, _)| a % 10).collect()),
+            Column::Float64(
+                rows.iter()
+                    .map(|&(_, b, _)| (b % 12) as f64 * 0.5)
+                    .collect(),
+            ),
+            Column::Text(
+                rows.iter()
+                    .map(|&(_, _, c)| format!("s{}", c % 4))
+                    .collect(),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+/// One random conjunct of the WHERE clause; mixes vectorizable atoms with
+/// expressions that must fall back to the interpreter.
+fn conjunct(kind: i64, lit: i64) -> String {
+    let ops = [">", ">=", "<", "<=", "=", "<>"];
+    let op = ops[(lit.unsigned_abs() as usize) % ops.len()];
+    match kind.rem_euclid(9) {
+        0 => format!("T.i {op} {}", lit % 10),
+        1 => format!("T.f {op} {}.5", lit % 6),
+        2 => format!("T.s {op} 's{}'", lit.rem_euclid(5)), // sometimes absent
+        3 => format!("{} {op} T.i", lit % 10),             // literal first
+        4 => format!("T.i BETWEEN {} AND {}", lit % 5, lit % 5 + 4),
+        5 => format!("T.f BETWEEN {} AND {}.5", lit % 4, lit % 4 + 2),
+        6 => format!("T.i + 1 {op} {}", lit % 10), // interpreter
+        7 => format!("T.s = 's1' OR T.s = 's{}'", lit.rem_euclid(4)), // interpreter
+        _ => format!("T.f {op} {}", lit % 6),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn vectorized_filters_match_interpreter(
+        rows in prop::collection::vec((0i64..40, 0i64..40, 0i64..40), 0..40),
+        conjs in prop::collection::vec((0i64..9, -12i64..12), 1..4),
+    ) {
+        let mut cat = Catalog::new();
+        cat.register(filter_table(&rows));
+        let preds: Vec<String> = conjs.iter().map(|&(k, l)| conjunct(k, l)).collect();
+        let sql = format!("SELECT T.i FROM T WHERE {}", preds.join(" AND "));
+        let q = analyze(&parse(&sql).unwrap(), &cat).unwrap();
+        let fast = apply_filters_with(&q, true);
+        let slow = apply_filters_with(&q, false);
+        match (fast, slow) {
+            (Ok(f), Ok(s)) => prop_assert_eq!(f, s, "{}", sql),
+            (f, s) => prop_assert_eq!(f.is_err(), s.is_err(), "{}", sql),
+        }
+    }
+
+    #[test]
+    fn execute_encoded_matches_interpreter(
+        a_rows in prop::collection::vec((0i64..12, 0i64..30), 0..40),
+        b_rows in prop::collection::vec((0i64..12, 0i64..30, 0i64..4), 0..30),
+        c_rows in prop::collection::vec((0i64..12, 0i64..30), 0..20),
+        query_idx in 0usize..8,
+    ) {
+        let a = Table::from_columns(
+            "A",
+            Schema::from_pairs(&[("id", DataType::Int64), ("val", DataType::Int64)]),
+            vec![
+                Column::Int64(a_rows.iter().map(|&(i, _)| i).collect()),
+                Column::Int64(a_rows.iter().map(|&(_, v)| v).collect()),
+            ],
+        ).unwrap();
+        let b = Table::from_columns(
+            "B",
+            Schema::new(vec![
+                ColumnDef::new("id", DataType::Int64),
+                ColumnDef::new("val", DataType::Float64),
+                ColumnDef::new("tag", DataType::Text),
+            ]),
+            vec![
+                Column::Int64(b_rows.iter().map(|&(i, _, _)| i).collect()),
+                Column::Float64(b_rows.iter().map(|&(_, v, _)| v as f64 * 0.5).collect()),
+                Column::Text(b_rows.iter().map(|&(_, _, t)| format!("s{t}")).collect()),
+            ],
+        ).unwrap();
+        let c = Table::from_int_columns(
+            "C",
+            &[
+                ("id", c_rows.iter().map(|&(i, _)| i).collect()),
+                ("w", c_rows.iter().map(|&(_, w)| w).collect()),
+            ],
+        ).unwrap();
+
+        let queries = [
+            "SELECT A.val, B.val FROM A, B WHERE A.id = B.id",
+            "SELECT SUM(A.val), B.tag FROM A, B WHERE A.id = B.id GROUP BY B.tag",
+            "SELECT SUM(A.val * B.val) FROM A, B WHERE A.id = B.id",
+            "SELECT A.val, B.val FROM A, B WHERE A.id = B.id AND A.val >= 5 AND B.tag = 's1'",
+            "SELECT A.val, B.val FROM A, B WHERE A.id < B.id LIMIT 7",
+            "SELECT A.val, C.w FROM A, B, C WHERE A.id = B.id AND B.id = C.id",
+            "SELECT COUNT(A.val), B.tag FROM A, B WHERE A.id = B.id AND B.val > 2 GROUP BY B.tag",
+            "SELECT A.id, B.id, SUM(A.val * B.val) AS res FROM A, B WHERE A.id = B.id GROUP BY A.id, B.id",
+        ];
+        let sql = queries[query_idx];
+
+        let mut encoded = TcuDb::new(EngineConfig::default().with_encoded_path(true));
+        let mut interp = TcuDb::new(EngineConfig::default().with_encoded_path(false));
+        for db in [&mut encoded, &mut interp] {
+            db.register_table(a.clone());
+            db.register_table(b.clone());
+            db.register_table(c.clone());
+        }
+        let e = encoded.execute(sql).unwrap();
+        let i = interp.execute(sql).unwrap();
+        prop_assert_eq!(&e.table, &i.table, "{}", sql);
+        prop_assert_eq!(&e.plan.steps, &i.plan.steps, "{}", sql);
+        // A second encoded run hits the warm dictionary cache and must be
+        // byte-identical too.
+        let e2 = encoded.execute(sql).unwrap();
+        prop_assert_eq!(&e2.table, &i.table, "warm {}", sql);
+    }
+}
+
+/// NULL keys (only producible through intermediate value vectors, never
+/// base columns) follow the same group_key semantics on both paths.
+#[test]
+fn null_keys_encode_like_domain_inserts() {
+    let vals = [
+        Value::Int(1),
+        Value::Null,
+        Value::Float(1.0),
+        Value::Null,
+        Value::Text("x".into()),
+    ];
+    let dict = DictColumn::from_values(&vals);
+    let mut dom = Domain::default();
+    for v in &vals {
+        dom.insert(v.clone());
+    }
+    let src = EncodedSource::whole(&dict);
+    let (edom, maps) = Domain::build_encoded(&[src]);
+    assert_eq!(edom.values(), dom.values());
+    // Int(1) and Float(1.0) share a code; Nulls share another.
+    assert_eq!(dict.codes(), &[0, 1, 0, 1, 2]);
+    let m = one_hot_matrix_encoded(&src, &maps[0], edom.len());
+    assert_eq!(m.rows(), 5);
+    for (i, v) in vals.iter().enumerate() {
+        let j = dom.index_of(v).unwrap();
+        assert_eq!(m.get(i, j), 1.0, "row {i}");
+    }
+}

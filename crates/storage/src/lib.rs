@@ -14,18 +14,24 @@
 //! * [`ColumnStats`] / [`TableStats`] — the per-column metadata TCUDB's
 //!   feasibility test relies on: minimum value, maximum value and the
 //!   number of distinct values (§4.2.1),
+//! * [`DictColumn`] / [`EncodingCache`] — per-column dictionary encodings
+//!   (`u32` codes + distinct values), built once per `(table, column)` and
+//!   cached on the [`Table`] so the encoded query data path never re-hashes
+//!   rows,
 //! * [`Catalog`] — the named-table registry shared by the engines,
 //! * [`csv`] — plain-text import/export used by the examples.
 
 pub mod catalog;
 pub mod column;
 pub mod csv;
+pub mod encoded;
 pub mod schema;
 pub mod stats;
 pub mod table;
 
 pub use catalog::Catalog;
 pub use column::Column;
+pub use encoded::{DictColumn, EncodingCache};
 pub use schema::{ColumnDef, Schema};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

@@ -1,8 +1,10 @@
 //! Tables: a schema plus equal-length columns.
 
 use crate::column::Column;
+use crate::encoded::{DictColumn, EncodingCache};
 use crate::schema::{ColumnDef, Schema};
 use crate::stats::TableStats;
+use std::sync::Arc;
 use tcudb_types::{DataType, TcuError, TcuResult, Value};
 
 /// An in-memory columnar table.
@@ -12,6 +14,10 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
+    /// Lazily built per-column dictionary encodings (derived state;
+    /// excluded from equality, invalidated by construction since every
+    /// mutation path builds a new `Table`).
+    encodings: EncodingCache,
 }
 
 impl Table {
@@ -27,6 +33,7 @@ impl Table {
             schema,
             columns,
             rows: 0,
+            encodings: EncodingCache::default(),
         }
     }
 
@@ -65,6 +72,7 @@ impl Table {
             schema,
             columns,
             rows,
+            encodings: EncodingCache::default(),
         })
     }
 
@@ -128,7 +136,22 @@ impl Table {
             col.push(val)?;
         }
         self.rows += 1;
+        // The cached encodings no longer cover the new row.
+        self.encodings = EncodingCache::default();
         Ok(())
+    }
+
+    /// The dictionary encoding of column `idx`, built on first use and
+    /// cached on the table — the "encode once per `(table, column)`" step
+    /// of the encoded query data path.
+    pub fn encoded_column(&self, idx: usize) -> Arc<DictColumn> {
+        self.encodings
+            .get_or_build(idx, || DictColumn::build(&self.columns[idx]))
+    }
+
+    /// Number of columns with a cached encoding (tests / telemetry).
+    pub fn encoded_column_count(&self) -> usize {
+        self.encodings.len()
     }
 
     /// Read one full row.
@@ -160,6 +183,7 @@ impl Table {
             schema: self.schema.clone(),
             columns: cols,
             rows: rows.len(),
+            encodings: EncodingCache::default(),
         }
     }
 

@@ -119,13 +119,7 @@ impl Value {
         match self {
             Value::Null => ValueKey::Null,
             Value::Int(v) => ValueKey::Int(*v),
-            Value::Float(v) => {
-                if v.fract() == 0.0 && v.abs() < 9.2e18 {
-                    ValueKey::Int(*v as i64)
-                } else {
-                    ValueKey::FloatBits(v.to_bits())
-                }
-            }
+            Value::Float(v) => ValueKey::from_f64(*v),
             Value::Text(s) => ValueKey::Text(s.clone()),
         }
     }
@@ -206,6 +200,21 @@ pub enum ValueKey {
     FloatBits(u64),
     /// String key.
     Text(String),
+}
+
+impl ValueKey {
+    /// The normalised key of a float: integral floats within the `i64`
+    /// range unify with [`ValueKey::Int`] (so INT⋈FLOAT equality works),
+    /// everything else keys by bit pattern.  The single source of truth
+    /// for this normalisation — [`Value::group_key`] and the vectorized
+    /// filter kernels both call it, so they can never disagree.
+    pub fn from_f64(x: f64) -> ValueKey {
+        if x.fract() == 0.0 && x.abs() < 9.2e18 {
+            ValueKey::Int(x as i64)
+        } else {
+            ValueKey::FloatBits(x.to_bits())
+        }
+    }
 }
 
 impl fmt::Display for ValueKey {
