@@ -405,6 +405,59 @@ pub fn vectorizable_atom(expr: &Expr, ctx: &RowContext, table: usize) -> Option<
     }
 }
 
+/// A scalar expression the vectorized output pipeline can evaluate
+/// column-at-a-time over a tuple batch: numeric columns, numeric literals
+/// and the four arithmetic operators, mirroring `context::eval` /
+/// `eval_binary` (which compute all arithmetic in f64 and yield `Float`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BatchExpr {
+    /// A numeric column: `(table index, column index)`.
+    Column(usize, usize),
+    /// A numeric literal, widened to f64 like `Value::as_f64` does.
+    Literal(f64),
+    /// An arithmetic operation over two batch expressions.
+    Binary {
+        /// Left operand.
+        left: Box<BatchExpr>,
+        /// Arithmetic operator (`+ - * /`).
+        op: BinOp,
+        /// Right operand.
+        right: Box<BatchExpr>,
+    },
+}
+
+/// Classify an expression as a [`BatchExpr`], or `None` when it needs the
+/// row interpreter (text operands, comparisons, BETWEEN, aggregates —
+/// anything whose `eval` result is not plain f64 arithmetic).
+pub fn batch_expr(expr: &Expr, ctx: &RowContext) -> Option<BatchExpr> {
+    match expr {
+        Expr::Column(c) => {
+            let (ti, ci) = ctx.resolve(c).ok()?;
+            ctx.table(ti)
+                .schema()
+                .column(ci)
+                .data_type
+                .is_numeric()
+                .then_some(BatchExpr::Column(ti, ci))
+        }
+        Expr::Literal(v) => v.as_f64().ok().map(BatchExpr::Literal),
+        Expr::Binary { left, op, right } if op.is_arithmetic() => Some(BatchExpr::Binary {
+            left: Box::new(batch_expr(left, ctx)?),
+            op: *op,
+            right: Box::new(batch_expr(right, ctx)?),
+        }),
+        _ => None,
+    }
+}
+
+/// Resolve an expression to a plain base-table column, when it is one.
+pub fn simple_column(expr: &Expr, ctx: &RowContext) -> Option<(usize, usize)> {
+    match expr {
+        Expr::Column(c) => ctx.resolve(c).ok(),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -505,6 +558,36 @@ mod tests {
         let a =
             analyze_sql("SELECT A.val, B.val FROM A, B WHERE A.id = B.id AND A.val + B.val > 4");
         assert_eq!(a.residual.len(), 1);
+    }
+
+    #[test]
+    fn batch_expr_classification() {
+        let cat = catalog();
+        let a = analyze(
+            &parse(
+                "SELECT SUM(A.val - B.val), SUM(A.val * 2), COUNT(*) FROM A, B WHERE A.id = B.id",
+            )
+            .unwrap(),
+            &cat,
+        )
+        .unwrap();
+        let ctx = a.row_context();
+        let (_, arg0) = a.stmt.items[0].expr.first_aggregate().unwrap();
+        assert!(matches!(
+            batch_expr(arg0, &ctx),
+            Some(BatchExpr::Binary { op: BinOp::Sub, .. })
+        ));
+        let (_, arg1) = a.stmt.items[1].expr.first_aggregate().unwrap();
+        assert!(batch_expr(arg1, &ctx).is_some());
+        // COUNT(*) argument is a literal 1.
+        let (_, arg2) = a.stmt.items[2].expr.first_aggregate().unwrap();
+        assert_eq!(batch_expr(arg2, &ctx), Some(BatchExpr::Literal(1.0)));
+        // Comparisons and text columns are not batchable.
+        let b = analyze(&parse("SELECT A.val FROM A WHERE A.val > 1").unwrap(), &cat).unwrap();
+        let bctx = b.row_context();
+        assert!(batch_expr(&b.filters[0].1, &bctx).is_none());
+        assert_eq!(simple_column(&b.stmt.items[0].expr, &bctx), Some((0, 1)));
+        assert!(simple_column(&b.filters[0].1, &bctx).is_none());
     }
 
     #[test]

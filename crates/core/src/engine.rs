@@ -1,7 +1,7 @@
 //! The public TCUDB engine facade.
 
 use crate::analyzer;
-use crate::executor::{self, PlanDescription};
+use crate::executor::{self, HostBreakdown, PlanDescription};
 use crate::optimizer::{Optimizer, OptimizerConfig, PlanKind};
 use tcudb_device::{DeviceProfile, ExecutionTimeline};
 use tcudb_sql::parse;
@@ -20,6 +20,14 @@ pub struct EngineConfig {
     /// tensor kernels; larger shapes execute through the hash-equivalent
     /// path while still being costed with the tensor-kernel formulas.
     pub materialize_limit: usize,
+    /// Largest `m·n·k` multiply-accumulate count the engine will actually
+    /// execute on the emulated tensor kernels.  Dense-GEMM operation
+    /// statistics are shape-derived, so beyond this budget the engine
+    /// computes the identical answer through the hash-equivalent path and
+    /// charges the identical simulated kernel cost — running the emulated
+    /// kernel would only burn host time validating what the oracle tests
+    /// already prove.
+    pub kernel_mac_limit: u128,
     /// When set, queries return only the matched-tuple count instead of the
     /// fully materialised result rows — used by the large benchmark
     /// configurations where materialising hundreds of millions of result
@@ -46,6 +54,7 @@ impl Default for EngineConfig {
             device: DeviceProfile::rtx_3090(),
             optimizer: OptimizerConfig::default(),
             materialize_limit: 1 << 24,
+            kernel_mac_limit: 1 << 27,
             count_only: false,
             encoded_path: true,
         }
@@ -84,6 +93,9 @@ pub struct QueryOutput {
     pub timeline: ExecutionTimeline,
     /// Description of the physical plan that ran.
     pub plan: PlanDescription,
+    /// Host-measured wall-clock attribution (filter / join / finalize),
+    /// independent of the simulated device timeline.
+    pub host: HostBreakdown,
 }
 
 impl QueryOutput {
@@ -176,6 +188,7 @@ impl TcuDb {
             table: exec.table,
             timeline: exec.timeline,
             plan: exec.plan,
+            host: exec.host,
         })
     }
 

@@ -18,11 +18,13 @@
 //! documents this substitution.
 
 use crate::analyzer::{AnalyzedQuery, QueryPattern};
+use crate::batch::TupleBatch;
 use crate::engine::EngineConfig;
 use crate::optimizer::{JoinShape, Optimizer, PlanChoice, PlanKind};
-use crate::relops;
+use crate::relops::{self, FinalizeOptions};
 use crate::translate::{self, Domain, EncodedSource};
 use std::collections::HashSet;
+use std::time::Instant;
 use tcudb_device::{ExecutionTimeline, Phase};
 use tcudb_sql::BinOp;
 use tcudb_storage::{Column, Table};
@@ -60,6 +62,30 @@ impl PlanDescription {
     }
 }
 
+/// Host-measured wall-clock attribution of one execution, independent of
+/// the *simulated* device timeline: how long this process actually spent
+/// in each stage.  The `perfqueries` harness reports the join vs finalize
+/// share per query so BENCH_queries.json shows *why* a query is fast or
+/// slow.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HostBreakdown {
+    /// Seconds in scan + filter evaluation.
+    pub filter_secs: f64,
+    /// Seconds in the join pipeline (key gather, planning, join kernels,
+    /// tuple-batch extension).
+    pub join_secs: f64,
+    /// Seconds in the output pipeline (residuals, grouping, aggregation,
+    /// ORDER BY/LIMIT, result materialization).
+    pub finalize_secs: f64,
+}
+
+impl HostBreakdown {
+    /// Total measured seconds across the attributed stages.
+    pub fn total_secs(&self) -> f64 {
+        self.filter_secs + self.join_secs + self.finalize_secs
+    }
+}
+
 /// Result of executing one query.
 #[derive(Debug, Clone)]
 pub struct Execution {
@@ -69,6 +95,8 @@ pub struct Execution {
     pub timeline: ExecutionTimeline,
     /// Description of the executed plan.
     pub plan: PlanDescription,
+    /// Host-measured wall-clock stage attribution.
+    pub host: HostBreakdown,
 }
 
 /// Execute an analyzed query on the TCUDB engine.
@@ -85,10 +113,13 @@ pub fn execute(
         exact: true,
     };
     let cost = optimizer.cost_model();
+    let mut host = HostBreakdown::default();
 
     // ---- Filters (GPU scans over the filtered columns; vectorized
     // typed kernels on the encoded path) ----
+    let stage = Instant::now();
     let surviving = relops::apply_filters_with(analyzed, config.encoded_path)?;
+    host.filter_secs = stage.elapsed().as_secs_f64();
     for (ti, bound) in analyzed.tables.iter().enumerate() {
         if !analyzed.filters_for_table(ti).is_empty() {
             let secs = cost.gpu_scan_seconds(bound.table.num_rows(), 8);
@@ -108,30 +139,38 @@ pub fn execute(
 
     // ---- Single-table queries: no join to accelerate ----
     if analyzed.tables.len() == 1 {
-        let tuples: Vec<Vec<usize>> = surviving[0].iter().map(|&r| vec![r]).collect();
-        let agg_secs = cost.gpu_aggregation_seconds(tuples.len());
+        let batch = TupleBatch::from_rows(&surviving[0])?;
+        let agg_secs = cost.gpu_aggregation_seconds(batch.len());
         timeline.record_detail(
             Phase::GroupByAggregation,
             "single-table aggregate",
             agg_secs,
         );
-        let table = relops::finalize_output(analyzed, &tuples)?;
         plan.steps
-            .push(format!("single-table pipeline over {} rows", tuples.len()));
+            .push(format!("single-table pipeline over {} rows", batch.len()));
+        let stage = Instant::now();
+        let table = if config.encoded_path {
+            let opts = FinalizeOptions::tensor(config.materialize_limit);
+            relops::finalize_output_columnar(analyzed, &batch, &opts)?.0
+        } else {
+            relops::finalize_output(analyzed, &batch.to_tuples())?
+        };
+        host.finalize_secs = stage.elapsed().as_secs_f64();
         return Ok(Execution {
             table,
             timeline,
             plan,
+            host,
         });
     }
 
     // ---- Join order: greedy connectivity over the join graph ----
+    let stage = Instant::now();
     let order = join_order(analyzed)?;
     let mut joined: Vec<usize> = vec![order[0]];
-    let mut tuples: Vec<Vec<usize>> = surviving[order[0]].iter().map(|&r| vec![r]).collect();
-    // A tuple holds one row index per *bound table index* (usize::MAX when
-    // the table has not joined yet); we keep them dense by storing rows in
-    // `joined` order and remapping at the end.
+    let mut batch = TupleBatch::from_rows(&surviving[order[0]])?;
+    // The batch holds one row-index column per *joined* table (in `joined`
+    // order); the columns are permuted into bound-table order at the end.
 
     let fuse_last = analyzed.stmt.has_aggregates()
         && matches!(
@@ -190,6 +229,7 @@ pub fn execute(
             analyzed.tables[next].binding.as_str(),
         );
         let fused = is_last && fuse_last;
+        let left_rows = batch.col(joined_pos);
 
         // ---- Gather keys, choose the plan, execute the join step ----
         let pairs = if config.encoded_path && op == BinOp::Eq {
@@ -199,9 +239,9 @@ pub fn execute(
             // builders scatter codes directly — no per-row `Value`s.
             let joined_dict = joined_table.encoded_column(joined_key_col_idx);
             let new_dict = new_table.encoded_column(new_key_col_idx);
-            let left_codes: Vec<u32> = tuples
+            let left_codes: Vec<u32> = left_rows
                 .iter()
-                .map(|t| joined_dict.codes()[t[joined_pos]])
+                .map(|&r| joined_dict.codes()[r as usize])
                 .collect();
             let lsrc = EncodedSource {
                 dict: &joined_dict,
@@ -218,7 +258,7 @@ pub fn execute(
                 (&joined_col, &new_col),
                 (lsrc.len(), rsrc.len(), domain.len()),
                 fused,
-                tuples.len(),
+                batch.len(),
             );
             execute_join_step_encoded(
                 (&lsrc, &maps[0]),
@@ -231,9 +271,10 @@ pub fn execute(
                 &mut timeline,
             )?
         } else {
-            let left_keys: Vec<Value> = tuples
+            let key_col = joined_table.column(joined_key_col_idx);
+            let left_keys: Vec<Value> = left_rows
                 .iter()
-                .map(|t| joined_table.column(joined_key_col_idx).value(t[joined_pos]))
+                .map(|&r| key_col.value(r as usize))
                 .collect();
             let right_keys: Vec<Value> = right_rows
                 .iter()
@@ -250,7 +291,7 @@ pub fn execute(
                 (&joined_col, &new_col),
                 (left_keys.len(), right_keys.len(), domain.len()),
                 fused,
-                tuples.len(),
+                batch.len(),
             );
             execute_join_step(
                 &left_keys,
@@ -265,56 +306,74 @@ pub fn execute(
             )?
         };
 
-        // Extend tuples with the new table's rows (exact-capacity alloc:
-        // clone-then-push would reallocate every tuple).
-        let mut new_tuples = Vec::with_capacity(pairs.len());
-        for (li, rj) in pairs {
-            let mut t = Vec::with_capacity(joined.len() + 1);
-            t.extend_from_slice(&tuples[li]);
-            t.push(right_rows[rj]);
-            new_tuples.push(t);
-        }
+        // Extend the batch with the new table's rows: columnar gathers,
+        // no per-tuple allocation.
         joined.push(next);
-        tuples = new_tuples;
+        batch = batch.extend_join(&pairs, right_rows)?;
 
         // Apply any *additional* join predicates that connect tables we
         // have already joined (composite keys) as residual filters.
-        tuples = filter_by_extra_joins(analyzed, &joined, tuples)?;
+        batch = filter_by_extra_joins(analyzed, &joined, batch)?;
     }
+    host.join_secs = stage.elapsed().as_secs_f64();
+
+    // Remap the batch columns from `joined` order to bound-table order
+    // (a column permutation — O(tables), not O(tuples × tables)).
+    let batch = batch.remap_slots(&joined, analyzed.tables.len());
 
     // ---- Final aggregation / projection ----
-    if analyzed.stmt.has_aggregates() && !fuse_last {
-        let secs =
-            cost.gpu_groupby_agg_seconds(tuples.len(), estimate_groups(analyzed, &tuples.len()));
-        timeline.record_detail(Phase::GroupByAggregation, "post-join aggregation", secs);
-    }
-
-    // Remap tuples from `joined` order back to bound-table order.
-    let remapped: Vec<Vec<usize>> = tuples
-        .iter()
-        .map(|t| {
-            let mut row = vec![0usize; analyzed.tables.len()];
-            for (pos, &table_idx) in joined.iter().enumerate() {
-                row[table_idx] = t[pos];
-            }
-            row
-        })
-        .collect();
-
+    let stage = Instant::now();
+    let record_agg = analyzed.stmt.has_aggregates() && !fuse_last;
     let table = if config.count_only {
+        if record_agg {
+            let secs =
+                cost.gpu_groupby_agg_seconds(batch.len(), estimate_groups(analyzed, &batch.len()));
+            timeline.record_detail(Phase::GroupByAggregation, "post-join aggregation", secs);
+        }
         relops::table_from_rows(
             "result_count",
             &["matched_tuples".to_string()],
-            vec![vec![Value::Int(remapped.len() as i64)]],
+            vec![vec![Value::Int(batch.len() as i64)]],
         )?
+    } else if config.encoded_path {
+        let opts = FinalizeOptions::tensor(config.materialize_limit);
+        let (table, report) = relops::finalize_output_columnar(analyzed, &batch, &opts)?;
+        if record_agg {
+            // Exact operation counts from the finalize stage, not the
+            // pre-execution row-count guess the interpreter path charges.
+            let secs = cost.gpu_groupby_agg_seconds(report.agg_rows, report.groups.max(1));
+            let detail = if report.gemm.is_empty() {
+                format!(
+                    "post-join aggregation ({} rows → {} groups)",
+                    report.agg_rows, report.groups
+                )
+            } else {
+                let macs: f64 = report.gemm.iter().map(|s| s.flops / 2.0).sum();
+                format!(
+                    "post-join aggregation ({} rows → {} groups, {} one-hot GEMMs, {macs:.0} MACs)",
+                    report.agg_rows,
+                    report.groups,
+                    report.gemm.len(),
+                )
+            };
+            timeline.record_detail(Phase::GroupByAggregation, detail, secs);
+        }
+        table
     } else {
-        relops::finalize_output(analyzed, &remapped)?
+        if record_agg {
+            let secs =
+                cost.gpu_groupby_agg_seconds(batch.len(), estimate_groups(analyzed, &batch.len()));
+            timeline.record_detail(Phase::GroupByAggregation, "post-join aggregation", secs);
+        }
+        relops::finalize_output(analyzed, &batch.to_tuples())?
     };
+    host.finalize_secs = stage.elapsed().as_secs_f64();
 
     Ok(Execution {
         table,
         timeline,
         plan,
+        host,
     })
 }
 
@@ -452,7 +511,8 @@ fn execute_join_step_encoded(
 
     let can_materialize = (m.saturating_mul(k)).max(n.saturating_mul(k))
         <= config.materialize_limit
-        && m.saturating_mul(n) <= config.materialize_limit;
+        && m.saturating_mul(n) <= config.materialize_limit
+        && (m as u128 * n as u128 * k as u128) <= config.kernel_mac_limit;
 
     let dt = if choice.transform_on_gpu {
         cost.transform_gpu_seconds(m + n)
@@ -630,7 +690,8 @@ fn execute_join_step(
 
     let can_materialize = (m.saturating_mul(k)).max(n.saturating_mul(k))
         <= config.materialize_limit
-        && m.saturating_mul(n) <= config.materialize_limit;
+        && m.saturating_mul(n) <= config.materialize_limit
+        && (m as u128 * n as u128 * k as u128) <= config.kernel_mac_limit;
 
     // Transformation + movement phases are charged the same way regardless
     // of whether the kernel really runs.
@@ -847,13 +908,14 @@ fn execute_join_step(
     }
 }
 
-/// Filter tuples by join predicates between already-joined tables that were
-/// not used as the primary join key of any step (composite join keys).
+/// Filter the batch by join predicates between already-joined tables that
+/// were not used as the primary join key of any step (composite join
+/// keys).
 fn filter_by_extra_joins(
     analyzed: &AnalyzedQuery,
     joined: &[usize],
-    tuples: Vec<Vec<usize>>,
-) -> TcuResult<Vec<Vec<usize>>> {
+    batch: TupleBatch,
+) -> TcuResult<TupleBatch> {
     // Collect predicates whose two sides are both joined.
     let joined_set: HashSet<usize> = joined.iter().copied().collect();
     let preds: Vec<_> = analyzed
@@ -863,19 +925,31 @@ fn filter_by_extra_joins(
         .collect();
     if preds.len() < joined.len() {
         // Only the spanning-tree predicates exist; nothing extra to check.
-        return Ok(tuples);
+        return Ok(batch);
     }
+    // Resolve each predicate's columns and batch slots once, then sweep
+    // the batch columns.
     let pos_of = |t: usize| joined.iter().position(|&x| x == t).unwrap();
-    let mut out = Vec::with_capacity(tuples.len());
-    'tuple: for t in tuples {
-        for p in &preds {
-            let lt = &analyzed.tables[p.left.0].table;
-            let rt = &analyzed.tables[p.right.0].table;
-            let lc = lt.schema().require(&p.left.1)?;
-            let rc = rt.schema().require(&p.right.1)?;
-            let lv = lt.column(lc).value(t[pos_of(p.left.0)]);
-            let rv = rt.column(rc).value(t[pos_of(p.right.0)]);
-            let keep = match p.op {
+    let mut resolved = Vec::with_capacity(preds.len());
+    for p in &preds {
+        let lt = &analyzed.tables[p.left.0].table;
+        let rt = &analyzed.tables[p.right.0].table;
+        let lc = lt.schema().require(&p.left.1)?;
+        let rc = rt.schema().require(&p.right.1)?;
+        resolved.push((
+            lt.column(lc),
+            batch.col(pos_of(p.left.0)),
+            rt.column(rc),
+            batch.col(pos_of(p.right.0)),
+            p.op,
+        ));
+    }
+    let mut keep = Vec::with_capacity(batch.len());
+    'tuple: for i in 0..batch.len() {
+        for (lcol, lrows, rcol, rrows, op) in &resolved {
+            let lv = lcol.value(lrows[i] as usize);
+            let rv = rcol.value(rrows[i] as usize);
+            let pass = match op {
                 BinOp::Eq => lv.sql_eq(&rv),
                 BinOp::NotEq => !lv.sql_eq(&rv),
                 BinOp::Lt => lv.sql_cmp(&rv) == std::cmp::Ordering::Less,
@@ -884,13 +958,16 @@ fn filter_by_extra_joins(
                 BinOp::GtEq => lv.sql_cmp(&rv) != std::cmp::Ordering::Less,
                 _ => true,
             };
-            if !keep {
+            if !pass {
                 continue 'tuple;
             }
         }
-        out.push(t);
+        keep.push(i as u32);
     }
-    Ok(out)
+    if keep.len() == batch.len() {
+        return Ok(batch);
+    }
+    Ok(batch.select(&keep))
 }
 
 // ---------------------------------------------------------------------

@@ -25,10 +25,13 @@
 //!   get back a result table, the chosen plan and the timing breakdown.
 //!
 //! Shared building blocks used by the baseline engines (`tcudb-ydb`,
-//! `tcudb-monet`) live in [`context`] (expression evaluation) and
-//! [`relops`] (reference hash join / aggregation).
+//! `tcudb-monet`) live in [`context`] (expression evaluation), [`batch`]
+//! (late-materialized struct-of-arrays tuple batches) and [`relops`]
+//! (reference hash join / aggregation plus the vectorized output
+//! pipeline).
 
 pub mod analyzer;
+pub mod batch;
 pub mod context;
 pub mod engine;
 pub mod executor;
@@ -37,6 +40,8 @@ pub mod relops;
 pub mod translate;
 
 pub use analyzer::{AnalyzedQuery, JoinPredicate, QueryPattern};
+pub use batch::TupleBatch;
 pub use engine::{EngineConfig, QueryOutput, TcuDb};
-pub use executor::PlanDescription;
+pub use executor::{HostBreakdown, PlanDescription};
 pub use optimizer::{Optimizer, PlanChoice, PlanKind};
+pub use relops::{FinalizeOptions, FinalizeReport};

@@ -5,14 +5,54 @@
 //! GPU hash join, CPU hash join).  Keeping a single result path guarantees
 //! that TCUDB, the YDB baseline and the CPU baseline always agree on
 //! answers, which the integration tests assert.
+//!
+//! # Output pipeline
+//!
+//! Two interchangeable implementations materialise a query's result:
+//!
+//! * [`finalize_output`] — the row-at-a-time `Value` interpreter, kept as
+//!   the semantic oracle (`EngineConfig::encoded_path = false`),
+//! * [`finalize_output_columnar`] — the vectorized, late-materialized
+//!   pipeline over a [`TupleBatch`]: group keys are composed from cached
+//!   dictionary codes into dense first-seen group ids, aggregates run as
+//!   segmented accumulation over `Vec<AggState>`, and projection/ORDER
+//!   BY/LIMIT work as typed gathers over a sort permutation.
+//!
+//! ## When the §3.3 GEMM aggregation path is selected
+//!
+//! Inside the columnar pipeline, a SUM/COUNT/AVG aggregate is lowered to
+//! an *actual one-hot GEMM* on the tensor engine
+//! (`tcudb_tensor::grouped::grouped_sum_gemm`, the grouped-GEMV form of
+//! Lemma 3.1) instead of segmented accumulation exactly when
+//!
+//! 1. the argument is a numeric [`BatchExpr`] (plain columns/arithmetic;
+//!    COUNT(*) always qualifies),
+//! 2. the `rows × groups` one-hot group matrix fits
+//!    [`FinalizeOptions::gemm_limit`] (the engine's
+//!    `materialize_limit` capped by a host execution budget — building
+//!    the group matrix is O(rows × groups) host memory traffic), and
+//! 3. the f32 exactness test holds: every value is an integer and the sum
+//!    of absolute values stays below 2²⁴, so every partial sum is exactly
+//!    representable and the kernel result is bit-identical to the
+//!    segmented f64 fold.
+//!
+//! MIN/MAX are not matrix-expressible (§3.4); they run as typed segmented
+//! reductions — over `i64`, over f64 with `sql_cmp` NaN semantics, or
+//! over the dictionary's sorted-order ranks for text columns.
 
-use crate::analyzer::{vectorizable_atom, AnalyzedQuery, FilterAtom};
+use crate::analyzer::{
+    batch_expr, simple_column, vectorizable_atom, AnalyzedQuery, BatchExpr, FilterAtom,
+};
+use crate::batch::{GroupIds, TupleBatch};
 use crate::context::{eval, eval_predicate, RowContext};
 use crate::translate::{EncodedSource, NO_INDEX};
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::HashMap;
-use tcudb_sql::{AggFunc, BinOp, Expr};
-use tcudb_storage::{Column, ColumnDef, Schema, Table};
+use std::sync::Arc;
+use tcudb_sql::{AggFunc, BinOp, Expr, SelectStatement};
+use tcudb_storage::{Column, ColumnDef, DictColumn, Schema, Table};
+use tcudb_tensor::{grouped, GemmPrecision, GemmStats};
 use tcudb_types::value::ValueKey;
 use tcudb_types::{DataType, TcuError, TcuResult, Value};
 
@@ -451,14 +491,23 @@ fn apply_filter_atom(table: &Table, atom: &FilterAtom, mask: &mut [bool]) -> Tcu
     Ok(())
 }
 
-/// One accumulating aggregate state.
+/// One accumulating aggregate state, shared by the row-at-a-time oracle
+/// and (as `Vec<AggState>` indexed by dense group id) the vectorized
+/// pipeline, so both fold values with identical SQL semantics:
+///
+/// * NULL inputs are **skipped** by every aggregate (COUNT(col) does not
+///   count them; SUM/AVG over zero non-NULL inputs yield NULL) — COUNT(*)
+///   counts rows because its call sites feed a literal `1`,
+/// * MIN/MAX keep the first-seen extreme **value** (via `sql_cmp`), so an
+///   INT column's minimum stays an `Int` and a TEXT column's minimum is
+///   the lexicographically smallest string, not a `0.0` coercion.
 #[derive(Debug, Clone)]
 struct AggState {
     func: AggFunc,
     sum: f64,
     count: u64,
-    min: Option<f64>,
-    max: Option<f64>,
+    /// Current MIN/MAX extreme (the original value, type preserved).
+    best: Option<Value>,
 }
 
 impl AggState {
@@ -467,30 +516,93 @@ impl AggState {
             func,
             sum: 0.0,
             count: 0,
-            min: None,
-            max: None,
+            best: None,
         }
     }
 
     /// Fold one value in, touching only the accumulators `finish` will
-    /// read for this aggregate (COUNT/SUM skip the min/max branches
-    /// entirely).
-    fn update(&mut self, v: f64) {
+    /// read for this aggregate.
+    fn update(&mut self, v: &Value) {
+        if v.is_null() {
+            return;
+        }
         match self.func {
             AggFunc::Count => self.count += 1,
-            AggFunc::Sum => self.sum += v,
-            AggFunc::Avg => {
+            AggFunc::Sum | AggFunc::Avg => {
+                // Non-numeric (text) inputs keep their historical 0.0
+                // coercion; only NULLs are skipped.
+                self.sum += v.as_f64().unwrap_or(0.0);
+                self.count += 1;
+            }
+            AggFunc::Min => {
+                if self
+                    .best
+                    .as_ref()
+                    .is_none_or(|b| v.sql_cmp(b) == Ordering::Less)
+                {
+                    self.best = Some(v.clone());
+                }
+            }
+            AggFunc::Max => {
+                if self
+                    .best
+                    .as_ref()
+                    .is_none_or(|b| v.sql_cmp(b) == Ordering::Greater)
+                {
+                    self.best = Some(v.clone());
+                }
+            }
+        }
+    }
+
+    /// Non-NULL numeric fast path: exactly [`AggState::update`] with
+    /// `Value::Float(v)` minus the boxing (the vectorized pipeline calls
+    /// this in its segmented-accumulation loop).
+    fn update_f64(&mut self, v: f64) {
+        match self.func {
+            AggFunc::Count => self.count += 1,
+            AggFunc::Sum | AggFunc::Avg => {
                 self.sum += v;
                 self.count += 1;
             }
-            AggFunc::Min => self.min = Some(self.min.map_or(v, |m| m.min(v))),
-            AggFunc::Max => self.max = Some(self.max.map_or(v, |m| m.max(v))),
+            // `sql_cmp` over two Floats is `partial_cmp` with NaN mapping
+            // to Equal (never replaces, never gets replaced).
+            AggFunc::Min => {
+                let replace = match &self.best {
+                    None => true,
+                    Some(b) => {
+                        v.partial_cmp(&b.as_f64().unwrap_or(f64::NEG_INFINITY))
+                            == Some(Ordering::Less)
+                    }
+                };
+                if replace {
+                    self.best = Some(Value::Float(v));
+                }
+            }
+            AggFunc::Max => {
+                let replace = match &self.best {
+                    None => true,
+                    Some(b) => {
+                        v.partial_cmp(&b.as_f64().unwrap_or(f64::NEG_INFINITY))
+                            == Some(Ordering::Greater)
+                    }
+                };
+                if replace {
+                    self.best = Some(Value::Float(v));
+                }
+            }
         }
     }
 
     fn finish(&self) -> Value {
         match self.func {
-            AggFunc::Sum => Value::Float(self.sum),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(self.sum)
+                }
+            }
             AggFunc::Count => Value::Int(self.count as i64),
             AggFunc::Avg => {
                 if self.count == 0 {
@@ -499,8 +611,7 @@ impl AggState {
                     Value::Float(self.sum / self.count as f64)
                 }
             }
-            AggFunc::Min => self.min.map(Value::Float).unwrap_or(Value::Null),
-            AggFunc::Max => self.max.map(Value::Float).unwrap_or(Value::Null),
+            AggFunc::Min | AggFunc::Max => self.best.clone().unwrap_or(Value::Null),
         }
     }
 }
@@ -553,10 +664,10 @@ pub fn finalize_output(analyzed: &AnalyzedQuery, tuples: &[Vec<usize>]) -> TcuRe
                 if let Some((func, arg)) = item.expr.first_aggregate() {
                     let v = match (func, arg) {
                         // COUNT(*) counts rows regardless of the argument.
-                        (AggFunc::Count, Expr::Literal(_)) => 1.0,
-                        _ => eval(arg, &ctx)?.as_f64().unwrap_or(0.0),
+                        (AggFunc::Count, Expr::Literal(_)) => Value::Int(1),
+                        _ => eval(arg, &ctx)?,
                     };
-                    state.update(v);
+                    state.update(&v);
                 }
             }
         }
@@ -615,28 +726,9 @@ pub fn finalize_output(analyzed: &AnalyzedQuery, tuples: &[Vec<usize>]) -> TcuRe
         }
     }
 
-    // ORDER BY against output columns.
+    // ORDER BY against output columns, then LIMIT.
     if !stmt.order_by.is_empty() {
-        let mut keys: Vec<(usize, bool)> = Vec::new();
-        for ob in &stmt.order_by {
-            let name = match &ob.expr {
-                Expr::Column(c) => c.column.clone(),
-                other => other.to_string(),
-            };
-            let idx = col_names
-                .iter()
-                .position(|n| n.eq_ignore_ascii_case(&name))
-                .or_else(|| {
-                    // Fall back to matching the rendered expression of each
-                    // SELECT item (e.g. ORDER BY d_year when the item has no
-                    // alias).
-                    stmt.items.iter().position(|i| i.expr == ob.expr)
-                })
-                .ok_or_else(|| {
-                    TcuError::Analysis(format!("ORDER BY key '{}' is not in the SELECT list", name))
-                })?;
-            keys.push((idx, ob.ascending));
-        }
+        let keys = order_key_indices(stmt, &col_names)?;
         rows.sort_by(|a, b| {
             for (idx, asc) in &keys {
                 let ord = a[*idx].sql_cmp(&b[*idx]);
@@ -654,6 +746,33 @@ pub fn finalize_output(analyzed: &AnalyzedQuery, tuples: &[Vec<usize>]) -> TcuRe
     }
 
     table_from_rows("result", &col_names, rows)
+}
+
+/// Resolve the ORDER BY keys to `(output column index, ascending)` pairs:
+/// by output name first, falling back to matching the rendered expression
+/// of each SELECT item (e.g. `ORDER BY d_year` when the item has no
+/// alias).  Shared by the row-oriented and the columnar output paths so
+/// both resolve — and fail — identically.
+fn order_key_indices(
+    stmt: &SelectStatement,
+    col_names: &[String],
+) -> TcuResult<Vec<(usize, bool)>> {
+    let mut keys = Vec::with_capacity(stmt.order_by.len());
+    for ob in &stmt.order_by {
+        let name = match &ob.expr {
+            Expr::Column(c) => c.column.clone(),
+            other => other.to_string(),
+        };
+        let idx = col_names
+            .iter()
+            .position(|n| n.eq_ignore_ascii_case(&name))
+            .or_else(|| stmt.items.iter().position(|i| i.expr == ob.expr))
+            .ok_or_else(|| {
+                TcuError::Analysis(format!("ORDER BY key '{}' is not in the SELECT list", name))
+            })?;
+        keys.push((idx, ob.ascending));
+    }
+    Ok(keys)
 }
 
 /// Apply the residual (multi-table, non-join) predicates to the current row.
@@ -730,6 +849,687 @@ pub fn table_from_rows(
         table.push_row(coerced)?;
     }
     Ok(table)
+}
+
+// ---------------------------------------------------------------------
+// Vectorized, late-materialized output pipeline:
+//   TupleBatch → residual mask → dense group ids → segmented /
+//   one-hot-GEMM aggregation → typed gather.
+//
+// The row-at-a-time [`finalize_output`] above stays intact as the oracle
+// (`EngineConfig::encoded_path(false)` selects it); the `encoded_oracle`
+// proptests hold the two bit-identical.  Like the vectorized filters, the
+// one observable difference is *error ordering*: the columnar pipeline
+// evaluates each output expression over all tuples before moving to the
+// next, so when two expressions would both fail, the error may come from
+// a different (expression, row) pair than the tuple-order interpreter's.
+// ---------------------------------------------------------------------
+
+/// Tunables of the columnar output pipeline.
+#[derive(Debug, Clone)]
+pub struct FinalizeOptions {
+    /// Largest `rows × groups` one-hot group matrix the aggregation stage
+    /// will materialise and push through the tensor engine (§3.3's
+    /// grouped-GEMV form); `0` disables the GEMM form entirely (the
+    /// CPU/GPU baseline engines, which model group-by as a separate
+    /// non-tensor kernel).
+    pub gemm_limit: usize,
+}
+
+/// Host execution budget for the one-hot aggregation GEMM: building the
+/// group matrix is O(rows × groups) memory traffic on the host, so past
+/// ~1M elements the segmented form computes the identical result faster
+/// than the emulated kernel can even materialise its operand (on real TCU
+/// hardware the cost model, not this constant, makes the call).
+const AGG_GEMM_EXEC_LIMIT: usize = 1 << 20;
+
+impl FinalizeOptions {
+    /// Options for the TCUDB executor: GEMM aggregation up to the
+    /// engine's materialization limit, bounded by the host execution
+    /// budget.
+    pub fn tensor(materialize_limit: usize) -> FinalizeOptions {
+        FinalizeOptions {
+            gemm_limit: materialize_limit.min(AGG_GEMM_EXEC_LIMIT),
+        }
+    }
+
+    /// Options for the baseline engines: vectorized pipeline, no tensor
+    /// kernels.
+    pub fn baseline() -> FinalizeOptions {
+        FinalizeOptions { gemm_limit: 0 }
+    }
+}
+
+/// What the columnar finalize actually did — exact counts the engine
+/// layer feeds to the cost model instead of pre-execution guesses.
+#[derive(Debug, Clone, Default)]
+pub struct FinalizeReport {
+    /// Tuples entering the stage (before residual predicates).
+    pub input_tuples: usize,
+    /// Tuples surviving the residual predicates (= aggregation input).
+    pub agg_rows: usize,
+    /// Distinct groups produced (0 for non-aggregating queries).
+    pub groups: usize,
+    /// Kernel statistics of each aggregate reduced on the tensor engine
+    /// (empty when every aggregate ran as segmented accumulation).
+    pub gemm: Vec<GemmStats>,
+    /// Which pipeline ran: `"projection"`, `"grouped"`, `"grouped-gemm"`
+    /// or `"value-fallback"`.
+    pub path: &'static str,
+}
+
+/// Columnar counterpart of [`finalize_output`]: materialise the output
+/// table of a query from a late-materialized [`TupleBatch`] with
+/// column-at-a-time kernels — dictionary-code group ids, segmented (or
+/// §3.3 one-hot GEMM) aggregation, sort-permutation ORDER BY and typed
+/// column gathers, with zero per-cell `Value` traffic on the hot paths.
+pub fn finalize_output_columnar(
+    analyzed: &AnalyzedQuery,
+    batch: &TupleBatch,
+    opts: &FinalizeOptions,
+) -> TcuResult<(Table, FinalizeReport)> {
+    let mut report = FinalizeReport {
+        input_tuples: batch.len(),
+        ..FinalizeReport::default()
+    };
+
+    // Complex group-key expressions: the row-at-a-time oracle is the only
+    // evaluator with the right semantics.  Decided before the residual
+    // pass, since `finalize_output` applies residuals itself.
+    let stmt = &analyzed.stmt;
+    let grouped = stmt.has_aggregates() || !stmt.group_by.is_empty();
+    if grouped {
+        let ctx = analyzed.row_context();
+        if !stmt
+            .group_by
+            .iter()
+            .all(|g| simple_column(g, &ctx).is_some())
+        {
+            let table = finalize_output(analyzed, &batch.to_tuples())?;
+            report.path = "value-fallback";
+            return Ok((table, report));
+        }
+    }
+
+    // Residual (multi-table, non-join) predicates: interpreter per tuple,
+    // vectorized selection of the survivors.
+    let filtered: Cow<'_, TupleBatch> = if analyzed.residual.is_empty() {
+        Cow::Borrowed(batch)
+    } else {
+        let mut ctx = analyzed.row_context();
+        let mut buf = vec![0usize; batch.num_slots()];
+        let mut keep = Vec::new();
+        for i in 0..batch.len() {
+            batch.write_row(i, &mut buf);
+            ctx.set_rows(&buf);
+            if residuals_pass(analyzed, &ctx)? {
+                keep.push(i as u32);
+            }
+        }
+        Cow::Owned(batch.select(&keep))
+    };
+    let batch = filtered.as_ref();
+    report.agg_rows = batch.len();
+
+    if grouped {
+        finalize_grouped(analyzed, batch, opts, report)
+    } else {
+        finalize_projection(analyzed, batch, report)
+    }
+}
+
+/// Grouped (or global) aggregation over a tuple batch.
+fn finalize_grouped(
+    analyzed: &AnalyzedQuery,
+    batch: &TupleBatch,
+    opts: &FinalizeOptions,
+    mut report: FinalizeReport,
+) -> TcuResult<(Table, FinalizeReport)> {
+    let stmt = &analyzed.stmt;
+    let ctx = analyzed.row_context();
+    let col_names: Vec<String> = stmt.items.iter().map(|i| i.output_name()).collect();
+
+    // ---- Group keys: gather cached dictionary codes per tuple, compose
+    // them into dense first-seen group ids (array lookups; hashing at
+    // most once per distinct combination).
+    let mut key_codes: Vec<(Arc<DictColumn>, Vec<u32>)> = Vec::with_capacity(stmt.group_by.len());
+    for g in &stmt.group_by {
+        let (ti, ci) = simple_column(g, &ctx)
+            .expect("finalize_output_columnar pre-checked group keys as simple columns");
+        let dict = analyzed.tables[ti].table.encoded_column(ci);
+        let codes: Vec<u32> = batch
+            .col(ti)
+            .iter()
+            .map(|&r| dict.codes()[r as usize])
+            .collect();
+        key_codes.push((dict, codes));
+    }
+    let mut gids = GroupIds::new(batch.len());
+    for (dict, codes) in &key_codes {
+        gids.compose(codes, dict.dict_len());
+    }
+    let groups = gids.groups();
+    report.groups = groups;
+    report.path = "grouped";
+
+    // ---- Aggregation: one Vec<AggState> (dense group id → state) per
+    // aggregate SELECT item, folded by segmented accumulation or the
+    // §3.3 one-hot GEMM.
+    let mut item_states: Vec<Option<Vec<AggState>>> = Vec::with_capacity(stmt.items.len());
+    for item in &stmt.items {
+        if item.expr.contains_aggregate() {
+            let (func, arg) = item.expr.first_aggregate().expect("contains_aggregate");
+            item_states.push(Some(reduce_aggregate(
+                analyzed,
+                batch,
+                *func,
+                arg,
+                &gids,
+                opts,
+                &mut report,
+            )?));
+        } else {
+            item_states.push(None);
+        }
+    }
+
+    // ---- Per-group key values: the representative (first-seen) tuple's
+    // dictionary values.
+    let key_values: Vec<Vec<Value>> = gids
+        .representatives()
+        .iter()
+        .map(|&rep| {
+            key_codes
+                .iter()
+                .map(|(dict, codes)| dict.value(codes[rep as usize]).clone())
+                .collect()
+        })
+        .collect();
+
+    // ---- Output rows, one per group in first-seen (= dense id) order.
+    let mut rows: Vec<Vec<Value>> = Vec::with_capacity(groups);
+    let mut emit_row = |g: Option<usize>| -> TcuResult<()> {
+        let mut row = Vec::with_capacity(stmt.items.len());
+        for (idx, item) in stmt.items.iter().enumerate() {
+            if let Some(states) = &item_states[idx] {
+                let state = match g {
+                    Some(g) => states[g].clone(),
+                    None => {
+                        let (func, _) = item.expr.first_aggregate().expect("aggregate item");
+                        AggState::new(*func)
+                    }
+                };
+                row.push(finish_aggregate_item(&item.expr, &state)?);
+            } else {
+                let pos = stmt
+                    .group_by
+                    .iter()
+                    .position(|gb| gb == &item.expr)
+                    .ok_or_else(|| {
+                        TcuError::Analysis(format!(
+                            "non-aggregate SELECT item '{}' is not in GROUP BY",
+                            item.expr
+                        ))
+                    })?;
+                row.push(key_values[g.expect("keyed groups have tuples")][pos].clone());
+            }
+        }
+        rows.push(row);
+        Ok(())
+    };
+    if groups == 0 && stmt.group_by.is_empty() {
+        // Global aggregation over zero tuples still yields one row.
+        emit_row(None)?;
+    } else {
+        for g in 0..groups {
+            emit_row(Some(g))?;
+        }
+    }
+
+    // ORDER BY / LIMIT over per-group rows: the group count is small, so
+    // the shared row sort is the right tool.
+    if !stmt.order_by.is_empty() {
+        let keys = order_key_indices(stmt, &col_names)?;
+        rows.sort_by(|a, b| {
+            for (idx, asc) in &keys {
+                let ord = a[*idx].sql_cmp(&b[*idx]);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+    }
+    if let Some(limit) = stmt.limit {
+        rows.truncate(limit);
+    }
+    let table = table_from_rows("result", &col_names, rows)?;
+    Ok((table, report))
+}
+
+/// Reduce one aggregate over the batch into per-group states.
+fn reduce_aggregate(
+    analyzed: &AnalyzedQuery,
+    batch: &TupleBatch,
+    func: AggFunc,
+    arg: &Expr,
+    gids: &GroupIds,
+    opts: &FinalizeOptions,
+    report: &mut FinalizeReport,
+) -> TcuResult<Vec<AggState>> {
+    let ids = gids.ids();
+    let groups = gids.groups();
+    let mut states = vec![AggState::new(func); groups];
+
+    // COUNT(*) counts tuples regardless of the (literal) argument.
+    if func == AggFunc::Count && matches!(arg, Expr::Literal(_)) {
+        if gemm_reduce_feasible(&[], batch.len(), groups, opts) {
+            let ones = vec![1.0f32; batch.len()];
+            let (sums, stats) = grouped::grouped_sum_gemm(&ones, ids, groups, GemmPrecision::Fp32)?;
+            for (state, s) in states.iter_mut().zip(&sums) {
+                state.count = *s as u64;
+            }
+            report.gemm.push(stats);
+            report.path = "grouped-gemm";
+        } else {
+            for &g in ids {
+                states[g as usize].count += 1;
+            }
+        }
+        return Ok(states);
+    }
+
+    let ctx = analyzed.row_context();
+
+    // Typed MIN/MAX fast paths over plain columns (the input type — and
+    // for text, the dictionary's sorted order — decides the winner).
+    if matches!(func, AggFunc::Min | AggFunc::Max) {
+        if let Some((ti, ci)) = simple_column(arg, &ctx) {
+            let rows = batch.col(ti);
+            match analyzed.tables[ti].table.column(ci) {
+                Column::Int64(v) => {
+                    let want = if func == AggFunc::Min {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    };
+                    let mut best: Vec<Option<i64>> = vec![None; groups];
+                    for (i, &g) in ids.iter().enumerate() {
+                        let x = v[rows[i] as usize];
+                        let slot = &mut best[g as usize];
+                        if slot.is_none_or(|b| x.cmp(&b) == want) {
+                            *slot = Some(x);
+                        }
+                    }
+                    for (state, b) in states.iter_mut().zip(best) {
+                        state.best = b.map(Value::Int);
+                    }
+                    return Ok(states);
+                }
+                Column::Text(_) => {
+                    // One string comparison per distinct value: reduce over
+                    // the dictionary's sorted-order ranks, then map the
+                    // winning code back to its value.
+                    let dict = analyzed.tables[ti].table.encoded_column(ci);
+                    let ranks = dict.ordered_ranks();
+                    let want = if func == AggFunc::Min {
+                        Ordering::Less
+                    } else {
+                        Ordering::Greater
+                    };
+                    let mut best: Vec<Option<u32>> = vec![None; groups];
+                    for (i, &g) in ids.iter().enumerate() {
+                        let code = dict.codes()[rows[i] as usize];
+                        let slot = &mut best[g as usize];
+                        if slot.is_none_or(|b| ranks[code as usize].cmp(&ranks[b as usize]) == want)
+                        {
+                            *slot = Some(code);
+                        }
+                    }
+                    for (state, b) in states.iter_mut().zip(best) {
+                        state.best = b.map(|code| dict.value(code).clone());
+                    }
+                    return Ok(states);
+                }
+                Column::Float64(v) => {
+                    for (i, &g) in ids.iter().enumerate() {
+                        states[g as usize].update_f64(v[rows[i] as usize]);
+                    }
+                    return Ok(states);
+                }
+            }
+        }
+    }
+
+    // Numeric argument expression → one flat f64 vector over the batch.
+    if let Some(be) = batch_expr(arg, &ctx) {
+        if func == AggFunc::Count {
+            // COUNT(col): a non-NULL numeric argument contributes only its
+            // presence — evaluate it solely for error parity with the
+            // interpreter (division by zero), skipped when the expression
+            // cannot fail, and reduce as an all-ones count.
+            if batch_expr_can_fail(&be) {
+                eval_batch_expr(&be, analyzed, batch)?;
+            }
+            if gemm_reduce_feasible(&[], batch.len(), groups, opts) {
+                let ones = vec![1.0f32; batch.len()];
+                let (sums, stats) =
+                    grouped::grouped_sum_gemm(&ones, ids, groups, GemmPrecision::Fp32)?;
+                for (state, s) in states.iter_mut().zip(&sums) {
+                    state.count = *s as u64;
+                }
+                report.gemm.push(stats);
+                report.path = "grouped-gemm";
+            } else {
+                for &g in ids {
+                    states[g as usize].count += 1;
+                }
+            }
+            return Ok(states);
+        }
+        let vals = eval_batch_expr(&be, analyzed, batch)?;
+        if matches!(func, AggFunc::Sum | AggFunc::Avg)
+            && gemm_reduce_feasible(&vals, batch.len(), groups, opts)
+        {
+            // §3.3: the per-group sums as one value-vector × one-hot GEMM
+            // on the tensor engine.  The feasibility test guarantees f32
+            // accumulation is exact, so the result is bit-identical to the
+            // segmented f64 form.
+            let vals32: Vec<f32> = vals.iter().map(|&v| v as f32).collect();
+            let (sums, stats) =
+                grouped::grouped_sum_gemm(&vals32, ids, groups, GemmPrecision::Fp32)?;
+            for (state, s) in states.iter_mut().zip(&sums) {
+                state.sum = *s as f64;
+            }
+            for &g in ids {
+                states[g as usize].count += 1;
+            }
+            report.gemm.push(stats);
+            report.path = "grouped-gemm";
+        } else {
+            for (i, &v) in vals.iter().enumerate() {
+                states[ids[i] as usize].update_f64(v);
+            }
+        }
+        return Ok(states);
+    }
+
+    // Interpreter fallback: evaluate the argument row by row (text
+    // arguments, BETWEEN, comparisons …) and fold with full SQL
+    // NULL-skipping semantics.
+    let mut ctx = analyzed.row_context();
+    let mut buf = vec![0usize; batch.num_slots()];
+    for (i, &g) in ids.iter().enumerate() {
+        batch.write_row(i, &mut buf);
+        ctx.set_rows(&buf);
+        let v = eval(arg, &ctx)?;
+        states[g as usize].update(&v);
+    }
+    Ok(states)
+}
+
+/// Can evaluating this batch expression raise an error?  Only division
+/// (by zero) can; columns, literals and `+ - *` are total over f64.
+fn batch_expr_can_fail(expr: &BatchExpr) -> bool {
+    match expr {
+        BatchExpr::Column(..) | BatchExpr::Literal(_) => false,
+        BatchExpr::Binary { left, op, right } => {
+            *op == BinOp::Div || batch_expr_can_fail(left) || batch_expr_can_fail(right)
+        }
+    }
+}
+
+/// Can this reduction run as an exact f32 one-hot GEMM?  Requires the
+/// group matrix (`rows × groups`) to fit the materialization budget and
+/// every partial sum to be exactly representable in f32: integer values
+/// with Σ|v| < 2²⁴ (pass an empty value slice for all-ones counting,
+/// where the sum bound reduces to the row count).
+fn gemm_reduce_feasible(vals: &[f64], rows: usize, groups: usize, opts: &FinalizeOptions) -> bool {
+    const EXACT_BOUND: f64 = (1u64 << 24) as f64;
+    if opts.gemm_limit == 0 || groups == 0 || rows == 0 {
+        return false;
+    }
+    if rows.saturating_mul(groups) > opts.gemm_limit {
+        return false;
+    }
+    if vals.is_empty() {
+        return (rows as f64) < EXACT_BOUND;
+    }
+    let mut abs_sum = 0.0f64;
+    for &v in vals {
+        // NaN and infinities fail the fract test.
+        if v.fract() != 0.0 {
+            return false;
+        }
+        abs_sum += v.abs();
+        if abs_sum >= EXACT_BOUND {
+            return false;
+        }
+    }
+    true
+}
+
+/// Evaluate a [`BatchExpr`] over every tuple of the batch into a flat f64
+/// vector — the column-at-a-time mirror of `context::eval` /
+/// `eval_binary` (which compute all arithmetic in f64).
+fn eval_batch_expr(
+    expr: &BatchExpr,
+    analyzed: &AnalyzedQuery,
+    batch: &TupleBatch,
+) -> TcuResult<Vec<f64>> {
+    match expr {
+        BatchExpr::Column(ti, ci) => {
+            let rows = batch.col(*ti);
+            match analyzed.tables[*ti].table.column(*ci) {
+                Column::Int64(v) => Ok(rows.iter().map(|&r| v[r as usize] as f64).collect()),
+                Column::Float64(v) => Ok(rows.iter().map(|&r| v[r as usize]).collect()),
+                Column::Text(_) => Err(TcuError::Execution(
+                    "batch expression misclassified (text column); analyzer and kernels disagree"
+                        .into(),
+                )),
+            }
+        }
+        BatchExpr::Literal(x) => Ok(vec![*x; batch.len()]),
+        BatchExpr::Binary { left, op, right } => {
+            let a = eval_batch_expr(left, analyzed, batch)?;
+            let b = eval_batch_expr(right, analyzed, batch)?;
+            let mut out = Vec::with_capacity(a.len());
+            for (&x, &y) in a.iter().zip(&b) {
+                out.push(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => {
+                        if y == 0.0 {
+                            return Err(TcuError::Execution("division by zero".into()));
+                        }
+                        x / y
+                    }
+                    other => {
+                        return Err(TcuError::Execution(format!(
+                            "batch expression misclassified (operator {other})"
+                        )))
+                    }
+                });
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Per-item data of the vectorized projection path.
+enum ItemData<'a> {
+    /// A plain base-table column gathered through the batch: the column
+    /// and the batch's row-index column for its table.
+    Gather(&'a Column, &'a [u32]),
+    /// A numeric expression evaluated column-at-a-time (always `Float`).
+    F64(Vec<f64>),
+    /// Interpreter fallback, one `Value` per tuple.
+    Values(Vec<Value>),
+}
+
+impl ItemData<'_> {
+    /// Compare the item's values of tuples `a` and `b` with `sql_cmp`
+    /// semantics (each variant holds a single value type, so the typed
+    /// comparisons below are exactly what `sql_cmp` would do).
+    fn cmp(&self, a: u32, b: u32) -> Ordering {
+        match self {
+            ItemData::Gather(col, rows) => {
+                let (ra, rb) = (rows[a as usize] as usize, rows[b as usize] as usize);
+                match col {
+                    Column::Int64(v) => v[ra].cmp(&v[rb]),
+                    Column::Float64(v) => v[ra].partial_cmp(&v[rb]).unwrap_or(Ordering::Equal),
+                    Column::Text(v) => v[ra].cmp(&v[rb]),
+                }
+            }
+            ItemData::F64(v) => v[a as usize]
+                .partial_cmp(&v[b as usize])
+                .unwrap_or(Ordering::Equal),
+            ItemData::Values(v) => v[a as usize].sql_cmp(&v[b as usize]),
+        }
+    }
+}
+
+/// Plain projection (no aggregates) over a tuple batch: typed gathers,
+/// sort-permutation ORDER BY and top-k selection under LIMIT.
+fn finalize_projection(
+    analyzed: &AnalyzedQuery,
+    batch: &TupleBatch,
+    mut report: FinalizeReport,
+) -> TcuResult<(Table, FinalizeReport)> {
+    let stmt = &analyzed.stmt;
+    let ctx = analyzed.row_context();
+    let col_names: Vec<String> = stmt.items.iter().map(|i| i.output_name()).collect();
+    report.path = "projection";
+
+    // Classify and evaluate each SELECT item over the whole batch.
+    let mut items: Vec<ItemData<'_>> = Vec::with_capacity(stmt.items.len());
+    for item in &stmt.items {
+        if let Some((ti, ci)) = simple_column(&item.expr, &ctx) {
+            items.push(ItemData::Gather(
+                analyzed.tables[ti].table.column(ci),
+                batch.col(ti),
+            ));
+        } else if let Some(be) = batch_expr(&item.expr, &ctx) {
+            items.push(ItemData::F64(eval_batch_expr(&be, analyzed, batch)?));
+        } else {
+            let mut row_ctx = analyzed.row_context();
+            let mut buf = vec![0usize; batch.num_slots()];
+            let mut vals = Vec::with_capacity(batch.len());
+            for i in 0..batch.len() {
+                batch.write_row(i, &mut buf);
+                row_ctx.set_rows(&buf);
+                vals.push(eval(&item.expr, &row_ctx)?);
+            }
+            items.push(ItemData::Values(vals));
+        }
+    }
+
+    // ORDER BY as a sort permutation over tuple positions; under LIMIT a
+    // top-k selection (total order via the position tiebreak, which makes
+    // select-then-sort reproduce stable-sort-then-truncate exactly).
+    let n = batch.len();
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    if !stmt.order_by.is_empty() {
+        let keys = order_key_indices(stmt, &col_names)?;
+        let key_cmp = |a: u32, b: u32| -> Ordering {
+            for (idx, asc) in &keys {
+                let ord = items[*idx].cmp(a, b);
+                let ord = if *asc { ord } else { ord.reverse() };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        };
+        match stmt.limit {
+            Some(limit) if limit < n => {
+                if limit == 0 {
+                    perm.clear();
+                } else {
+                    let total = |a: &u32, b: &u32| key_cmp(*a, *b).then(a.cmp(b));
+                    perm.select_nth_unstable_by(limit - 1, total);
+                    perm.truncate(limit);
+                    perm.sort_unstable_by(total);
+                }
+            }
+            _ => perm.sort_by(|&a, &b| key_cmp(a, b)),
+        }
+    } else if let Some(limit) = stmt.limit {
+        perm.truncate(limit);
+    }
+
+    // Zero output rows: defer to the shared row builder so the inferred
+    // schema (all-INT64) matches the `Value` path exactly.
+    if perm.is_empty() {
+        let table = table_from_rows("result", &col_names, Vec::new())?;
+        return Ok((table, report));
+    }
+
+    // Typed gather of the output columns through the (sorted, truncated)
+    // permutation.
+    let mut defs = Vec::with_capacity(items.len());
+    let mut columns = Vec::with_capacity(items.len());
+    for (name, data) in col_names.iter().zip(&items) {
+        let col = match data {
+            ItemData::Gather(col, rows) => {
+                let idx: Vec<u32> = perm.iter().map(|&p| rows[p as usize]).collect();
+                col.gather_u32(&idx)
+            }
+            ItemData::F64(vals) => {
+                Column::Float64(perm.iter().map(|&p| vals[p as usize]).collect())
+            }
+            ItemData::Values(vals) => {
+                column_from_inferred(perm.iter().map(|&p| vals[p as usize].clone()).collect())?
+            }
+        };
+        defs.push(ColumnDef::new(name.clone(), col.data_type()));
+        columns.push(col);
+    }
+    let table = Table::from_columns("result", Schema::new(defs), columns)?;
+    Ok((table, report))
+}
+
+/// Fold a sequence of values with one aggregate's full SQL semantics —
+/// NULL inputs are skipped (COUNT(col) does not count them; SUM/AVG over
+/// zero non-NULL inputs yield NULL), MIN/MAX preserve the input value's
+/// type and compare via `sql_cmp`.  This is the scalar oracle both the
+/// row-at-a-time and the segmented/GEMM pipelines reduce to; exposed so
+/// the oracle test-suite can drive it with NULL densities the SQL surface
+/// (whose base columns are never NULL) cannot express.
+pub fn aggregate_values(func: AggFunc, values: &[Value]) -> Value {
+    let mut state = AggState::new(func);
+    for v in values {
+        state.update(v);
+    }
+    state.finish()
+}
+
+/// Build one column from `Value`s with exactly the type-inference and
+/// NULL-coercion rules of [`table_from_rows`], applied to a single
+/// column.
+fn column_from_inferred(values: Vec<Value>) -> TcuResult<Column> {
+    let mut ty = DataType::Int64;
+    for v in &values {
+        match v {
+            Value::Text(_) => ty = DataType::Text,
+            Value::Float(_) if ty == DataType::Int64 => ty = DataType::Float64,
+            _ => {}
+        }
+    }
+    let mut col = Column::with_capacity(ty, values.len());
+    for v in values {
+        let coerced = match (v, ty) {
+            (Value::Int(x), DataType::Float64) => Value::Float(x as f64),
+            (Value::Null, DataType::Float64) => Value::Float(f64::NAN),
+            (Value::Null, DataType::Int64) => Value::Int(0),
+            (Value::Null, DataType::Text) => Value::Text(String::new()),
+            (v, _) => v,
+        };
+        col.push(coerced)?;
+    }
+    Ok(col)
 }
 
 #[cfg(test)]
@@ -1008,6 +1808,133 @@ mod tests {
         assert!(apply_filters_with(&q, false).is_err());
         let fast = apply_filters_with(&q, true).unwrap();
         assert_eq!(fast, vec![vec![1]]);
+    }
+
+    /// Run both finalize paths over the same tuples and assert equality.
+    fn both_paths(sql: &str, cat: &Catalog, tuples: &[Vec<usize>]) -> Table {
+        let q = analyze(&parse(sql).unwrap(), cat).unwrap();
+        let oracle = finalize_output(&q, tuples).unwrap();
+        let batch = TupleBatch::from_tuples(tuples, q.tables.len()).unwrap();
+        for opts in [
+            FinalizeOptions::baseline(),
+            FinalizeOptions::tensor(1 << 24),
+        ] {
+            let (got, report) = finalize_output_columnar(&q, &batch, &opts).unwrap();
+            assert_eq!(got, oracle, "{sql} ({})", report.path);
+        }
+        oracle
+    }
+
+    #[test]
+    fn columnar_finalize_matches_oracle_on_fixtures() {
+        let cat = catalog();
+        let tuples = vec![vec![0, 0], vec![1, 0], vec![2, 1], vec![2, 2]];
+        for sql in [
+            "SELECT A.val, B.val FROM A, B WHERE A.id = B.id ORDER BY A.val DESC",
+            "SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val",
+            "SELECT SUM(A.val * B.val), COUNT(*) FROM A, B WHERE A.id = B.id",
+            "SELECT AVG(A.val), MIN(A.val), MAX(A.val) FROM A, B WHERE A.id = B.id",
+            "SELECT A.val, B.val FROM A, B WHERE A.id = B.id AND A.val + B.val > 20 LIMIT 1",
+            "SELECT COUNT(B.val), B.id FROM A, B WHERE A.id = B.id GROUP BY B.id ORDER BY B.id LIMIT 2",
+            "SELECT A.val + B.val, B.val FROM A, B WHERE A.id = B.id ORDER BY B.val LIMIT 3",
+        ] {
+            both_paths(sql, &cat, &tuples);
+            both_paths(sql, &cat, &[]);
+        }
+    }
+
+    #[test]
+    fn columnar_gemm_aggregation_agrees_with_segmented() {
+        // The §3.3 one-hot GEMM and the segmented form must produce the
+        // same table bit for bit when the exactness test admits the GEMM.
+        let cat = catalog();
+        let sql =
+            "SELECT SUM(A.val), COUNT(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val";
+        let q = analyze(&parse(sql).unwrap(), &cat).unwrap();
+        let tuples = vec![vec![0, 0], vec![1, 0], vec![2, 1], vec![2, 2], vec![3, 2]];
+        let batch = TupleBatch::from_tuples(&tuples, 2).unwrap();
+        let (seg, seg_rep) =
+            finalize_output_columnar(&q, &batch, &FinalizeOptions::baseline()).unwrap();
+        let (gemm, gemm_rep) =
+            finalize_output_columnar(&q, &batch, &FinalizeOptions::tensor(1 << 24)).unwrap();
+        assert_eq!(seg, gemm);
+        assert!(seg_rep.gemm.is_empty());
+        assert_eq!(gemm_rep.path, "grouped-gemm");
+        // One GEMM per tensor-reduced aggregate (SUM and COUNT).
+        assert_eq!(gemm_rep.gemm.len(), 2);
+        assert_eq!(gemm_rep.groups, 3);
+        assert_eq!(gemm_rep.agg_rows, 5);
+    }
+
+    #[test]
+    fn aggregates_skip_nulls() {
+        use AggFunc::*;
+        let vals = [Value::Int(3), Value::Null, Value::Int(5), Value::Null];
+        assert_eq!(aggregate_values(Count, &vals), Value::Int(2));
+        assert_eq!(aggregate_values(Sum, &vals), Value::Float(8.0));
+        assert_eq!(aggregate_values(Avg, &vals), Value::Float(4.0));
+        // SUM/AVG over zero non-NULL inputs yield NULL, not 0.
+        let all_null = [Value::Null, Value::Null];
+        assert_eq!(aggregate_values(Sum, &all_null), Value::Null);
+        assert_eq!(aggregate_values(Avg, &all_null), Value::Null);
+        assert_eq!(aggregate_values(Count, &all_null), Value::Int(0));
+        assert_eq!(aggregate_values(Min, &all_null), Value::Null);
+        assert_eq!(aggregate_values(Sum, &[]), Value::Null);
+    }
+
+    #[test]
+    fn min_max_preserve_input_type() {
+        use AggFunc::*;
+        let ints = [Value::Int(7), Value::Null, Value::Int(-2), Value::Int(7)];
+        assert_eq!(aggregate_values(Min, &ints), Value::Int(-2));
+        assert_eq!(aggregate_values(Max, &ints), Value::Int(7));
+        let floats = [Value::Float(1.5), Value::Float(-0.5)];
+        assert_eq!(aggregate_values(Min, &floats), Value::Float(-0.5));
+        let texts = [
+            Value::from("pear"),
+            Value::from("apple"),
+            Value::from("fig"),
+        ];
+        assert_eq!(aggregate_values(Min, &texts), Value::from("apple"));
+        assert_eq!(aggregate_values(Max, &texts), Value::from("pear"));
+        // Mixed Int/Float keeps whichever value actually won.
+        let mixed = [Value::Int(3), Value::Float(2.5)];
+        assert_eq!(aggregate_values(Min, &mixed), Value::Float(2.5));
+        assert_eq!(aggregate_values(Max, &mixed), Value::Int(3));
+    }
+
+    #[test]
+    fn min_max_over_text_column_through_both_paths() {
+        let mut cat = Catalog::new();
+        let schema = Schema::from_pairs(&[("id", DataType::Int64), ("tag", DataType::Text)]);
+        cat.register(
+            Table::from_columns(
+                "T",
+                schema,
+                vec![
+                    Column::Int64(vec![1, 1, 2, 2]),
+                    Column::Text(vec![
+                        "pear".into(),
+                        "apple".into(),
+                        "fig".into(),
+                        "zed".into(),
+                    ]),
+                ],
+            )
+            .unwrap(),
+        );
+        cat.register(Table::from_int_columns("U", &[("id", vec![1, 2])]).unwrap());
+        let out = both_paths(
+            "SELECT MIN(T.tag), MAX(T.tag), U.id FROM T, U WHERE T.id = U.id GROUP BY U.id ORDER BY U.id",
+            &cat,
+            &[vec![0, 0], vec![1, 0], vec![2, 1], vec![3, 1]],
+        );
+        assert_eq!(out.row(0)[0], Value::from("apple"));
+        assert_eq!(out.row(0)[1], Value::from("pear"));
+        assert_eq!(out.row(1)[0], Value::from("fig"));
+        assert_eq!(out.row(1)[1], Value::from("zed"));
+        // The output columns stay TEXT, not coerced floats.
+        assert_eq!(out.schema().column(0).data_type, DataType::Text);
     }
 
     #[test]

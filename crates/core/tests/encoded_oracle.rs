@@ -6,13 +6,15 @@
 
 use proptest::prelude::*;
 use tcudb_core::analyzer::analyze;
-use tcudb_core::relops::{self, apply_filters_with};
+use tcudb_core::batch::TupleBatch;
+use tcudb_core::relops::{self, apply_filters_with, FinalizeOptions};
 use tcudb_core::translate::{
     adjacency_matrix, adjacency_matrix_encoded, comparison_matrix, comparison_matrix_encoded,
     one_hot_csr, one_hot_csr_encoded, one_hot_matrix, one_hot_matrix_encoded, valued_csr,
     valued_csr_encoded, valued_matrix, valued_matrix_encoded, Domain, EncodedSource,
 };
 use tcudb_core::{EngineConfig, TcuDb};
+use tcudb_sql::AggFunc;
 use tcudb_sql::{parse, BinOp};
 use tcudb_storage::{Catalog, Column, ColumnDef, DictColumn, Schema, Table};
 use tcudb_types::{DataType, Value};
@@ -374,6 +376,202 @@ proptest! {
         // byte-identical too.
         let e2 = encoded.execute(sql).unwrap();
         prop_assert_eq!(&e2.table, &i.table, "warm {}", sql);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Grouped aggregation: the vectorized output pipeline (group-id
+// composition, segmented and one-hot-GEMM reduction, ORDER BY/LIMIT)
+// against the row-at-a-time `Value` oracle.
+// ---------------------------------------------------------------------
+
+/// A three-column table whose group keys collide heavily: an integer key,
+/// a text key and a numeric value column (int or float by `vmode`).
+fn agg_table(rows: &[(i64, i64, i64)], vmode: i64) -> Table {
+    let vals: Vec<i64> = rows.iter().map(|&(_, _, v)| v % 50 - 10).collect();
+    let (vdef, vcol) = if vmode.rem_euclid(2) == 0 {
+        (
+            ColumnDef::new("v", DataType::Int64),
+            Column::Int64(vals.clone()),
+        )
+    } else {
+        (
+            ColumnDef::new("v", DataType::Float64),
+            Column::Float64(vals.iter().map(|&v| v as f64 * 0.5).collect()),
+        )
+    };
+    Table::from_columns(
+        "G",
+        Schema::new(vec![
+            ColumnDef::new("k", DataType::Int64),
+            ColumnDef::new("tag", DataType::Text),
+            vdef,
+        ]),
+        vec![
+            Column::Int64(rows.iter().map(|&(k, _, _)| k % 5).collect()),
+            Column::Text(
+                rows.iter()
+                    .map(|&(_, t, _)| format!("t{}", t % 3))
+                    .collect(),
+            ),
+            vcol,
+        ],
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All five aggregate functions × single/multi group keys × ORDER BY
+    /// direction × LIMIT × empty inputs: the encoded pipeline (segmented
+    /// or GEMM) must match the `Value` interpreter end to end, twice
+    /// (cold and warm dictionary caches).
+    #[test]
+    fn grouped_aggregation_matches_value_oracle(
+        g_rows in prop::collection::vec((0i64..8, 0i64..8, 0i64..80), 0..48),
+        j_rows in prop::collection::vec(0i64..8, 0..12),
+        vmode in 0i64..2,
+        query_idx in 0usize..10,
+    ) {
+        let g = agg_table(&g_rows, vmode);
+        let j = Table::from_int_columns(
+            "J",
+            &[("k", j_rows.clone()), ("w", j_rows.iter().map(|&k| k * 3 + 1).collect())],
+        ).unwrap();
+
+        let queries = [
+            "SELECT SUM(G.v), G.k FROM G, J WHERE G.k = J.k GROUP BY G.k",
+            "SELECT COUNT(G.v), G.tag FROM G, J WHERE G.k = J.k GROUP BY G.tag",
+            "SELECT AVG(G.v), G.k, G.tag FROM G, J WHERE G.k = J.k GROUP BY G.k, G.tag",
+            "SELECT MIN(G.v), MAX(G.v), G.k FROM G, J WHERE G.k = J.k GROUP BY G.k",
+            "SELECT MIN(G.tag), MAX(G.tag), G.k FROM G, J WHERE G.k = J.k GROUP BY G.k",
+            "SELECT SUM(G.v), G.tag FROM G, J WHERE G.k = J.k GROUP BY G.tag ORDER BY G.tag DESC",
+            "SELECT COUNT(*), AVG(G.v * J.w), G.k FROM G, J WHERE G.k = J.k GROUP BY G.k ORDER BY G.k LIMIT 3",
+            "SELECT SUM(G.v - J.w), COUNT(*) FROM G, J WHERE G.k = J.k",
+            "SELECT MAX(G.v) FROM G, J WHERE G.k = J.k",
+            "SELECT SUM(G.v), G.k FROM G, J WHERE G.k = J.k AND G.v > 1000 GROUP BY G.k",
+        ];
+        let sql = queries[query_idx];
+
+        let mut encoded = TcuDb::new(EngineConfig::default().with_encoded_path(true));
+        let mut interp = TcuDb::new(EngineConfig::default().with_encoded_path(false));
+        for db in [&mut encoded, &mut interp] {
+            db.register_table(g.clone());
+            db.register_table(j.clone());
+        }
+        let e = encoded.execute(sql).unwrap();
+        let i = interp.execute(sql).unwrap();
+        prop_assert_eq!(&e.table, &i.table, "{}", sql);
+        prop_assert_eq!(&e.plan.steps, &i.plan.steps, "{}", sql);
+        let warm = encoded.execute(sql).unwrap();
+        prop_assert_eq!(&warm.table, &i.table, "warm {}", sql);
+    }
+
+    /// The segmented and the §3.3 fused one-hot-GEMM reductions must
+    /// produce bit-identical tables whenever the GEMM is admitted, both
+    /// matching the `Value` oracle over the same tuple batch.
+    #[test]
+    fn segmented_and_gemm_finalize_agree(
+        g_rows in prop::collection::vec((0i64..8, 0i64..8, 0i64..80), 1..40),
+        tuple_raw in prop::collection::vec((0usize..64, 0usize..64), 0..48),
+        vmode in 0i64..2,
+        query_idx in 0usize..5,
+    ) {
+        let g = agg_table(&g_rows, vmode);
+        let j = Table::from_int_columns("J", &[("k", vec![0, 1, 2, 3])]).unwrap();
+        let mut cat = Catalog::new();
+        cat.register(g);
+        cat.register(j);
+
+        let queries = [
+            "SELECT SUM(G.v), G.k FROM G, J WHERE G.k = J.k GROUP BY G.k",
+            "SELECT COUNT(G.v), G.k, G.tag FROM G, J WHERE G.k = J.k GROUP BY G.k, G.tag",
+            "SELECT AVG(G.v), G.tag FROM G, J WHERE G.k = J.k GROUP BY G.tag ORDER BY G.tag",
+            "SELECT SUM(G.v), COUNT(*) FROM G, J WHERE G.k = J.k",
+            "SELECT SUM(G.v), G.k FROM G, J WHERE G.k = J.k GROUP BY G.k ORDER BY SUM(G.v) LIMIT 2",
+        ];
+        let q = analyze(&parse(queries[query_idx]).unwrap(), &cat).unwrap();
+
+        let grows = cat.table("G").unwrap().num_rows();
+        let jrows = cat.table("J").unwrap().num_rows();
+        let tuples: Vec<Vec<usize>> = tuple_raw
+            .iter()
+            .map(|&(a, b)| vec![a % grows.max(1), b % jrows])
+            .collect();
+        let oracle = relops::finalize_output(&q, &tuples);
+        let batch = TupleBatch::from_tuples(&tuples, 2).unwrap();
+        let segmented = relops::finalize_output_columnar(&q, &batch, &FinalizeOptions::baseline());
+        let gemm = relops::finalize_output_columnar(&q, &batch, &FinalizeOptions::tensor(1 << 24));
+        match (oracle, segmented, gemm) {
+            (Ok(want), Ok((seg, _)), Ok((via_gemm, _))) => {
+                prop_assert_eq!(&seg, &want, "segmented {}", queries[query_idx]);
+                prop_assert_eq!(&via_gemm, &want, "gemm {}", queries[query_idx]);
+            }
+            (o, s, g2) => {
+                // ORDER BY SUM(...) is unresolvable on every path alike.
+                prop_assert!(o.is_err() && s.is_err() && g2.is_err());
+            }
+        }
+    }
+
+    /// NULL-density sweep over the scalar aggregation oracle: NULLs are
+    /// skipped by every function, SUM/AVG over zero non-NULL inputs are
+    /// NULL, COUNT counts only non-NULL, MIN/MAX preserve types.
+    #[test]
+    fn aggregate_null_semantics(
+        raw in prop::collection::vec((0i64..100, 0i64..4), 0..40),
+        vmode in 0i64..3,
+    ) {
+        // NULL density ~25%; value type by vmode (int / float / text).
+        let vals: Vec<Value> = raw
+            .iter()
+            .map(|&(x, null)| {
+                if null == 0 {
+                    Value::Null
+                } else {
+                    match vmode {
+                        0 => Value::Int(x - 50),
+                        1 => Value::Float((x - 50) as f64 * 0.25),
+                        _ => Value::Text(format!("s{:02}", x % 20)),
+                    }
+                }
+            })
+            .collect();
+        let live: Vec<&Value> = vals.iter().filter(|v| !v.is_null()).collect();
+
+        prop_assert_eq!(
+            relops::aggregate_values(AggFunc::Count, &vals),
+            Value::Int(live.len() as i64)
+        );
+        let sum: f64 = live.iter().map(|v| v.as_f64().unwrap_or(0.0)).sum();
+        let want_sum = if live.is_empty() { Value::Null } else { Value::Float(sum) };
+        prop_assert_eq!(relops::aggregate_values(AggFunc::Sum, &vals), want_sum);
+        let want_avg = if live.is_empty() {
+            Value::Null
+        } else {
+            Value::Float(sum / live.len() as f64)
+        };
+        prop_assert_eq!(relops::aggregate_values(AggFunc::Avg, &vals), want_avg);
+        // MIN/MAX: first-seen extreme under sql_cmp, type preserved.
+        let mut want_min: Option<&Value> = None;
+        let mut want_max: Option<&Value> = None;
+        for v in &live {
+            if want_min.is_none_or(|b| v.sql_cmp(b) == std::cmp::Ordering::Less) {
+                want_min = Some(v);
+            }
+            if want_max.is_none_or(|b| v.sql_cmp(b) == std::cmp::Ordering::Greater) {
+                want_max = Some(v);
+            }
+        }
+        prop_assert_eq!(
+            relops::aggregate_values(AggFunc::Min, &vals),
+            want_min.cloned().unwrap_or(Value::Null)
+        );
+        prop_assert_eq!(
+            relops::aggregate_values(AggFunc::Max, &vals),
+            want_max.cloned().unwrap_or(Value::Null)
+        );
     }
 }
 

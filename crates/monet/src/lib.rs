@@ -12,7 +12,8 @@
 //! MonetDB vs. YDB (roughly 2–6× slower depending on the query).
 
 use tcudb_core::analyzer::{self, AnalyzedQuery};
-use tcudb_core::relops;
+use tcudb_core::batch::TupleBatch;
+use tcudb_core::relops::{self, FinalizeOptions};
 use tcudb_device::{ExecutionTimeline, Phase};
 use tcudb_sql::{parse, BinOp};
 use tcudb_storage::{Catalog, Table};
@@ -135,11 +136,8 @@ impl MonetEngine {
             }
         }
 
-        let (tuples, joined) = if analyzed.tables.len() == 1 {
-            (
-                surviving[0].iter().map(|&r| vec![r]).collect::<Vec<_>>(),
-                vec![0usize],
-            )
+        let (batch, joined) = if analyzed.tables.len() == 1 {
+            (TupleBatch::from_rows(&surviving[0])?, vec![0usize])
         } else {
             self.run_joins(analyzed, &surviving, &mut timeline)?
         };
@@ -147,45 +145,36 @@ impl MonetEngine {
         if analyzed.stmt.has_aggregates() || !analyzed.stmt.group_by.is_empty() {
             timeline.record_detail(
                 Phase::CpuCompute,
-                format!("aggregate {} tuples", tuples.len()),
-                self.cost.aggregation_seconds(tuples.len()),
+                format!("aggregate {} tuples", batch.len()),
+                self.cost.aggregation_seconds(batch.len()),
             );
         }
 
-        let remapped: Vec<Vec<usize>> = tuples
-            .iter()
-            .map(|t| {
-                let mut row = vec![0usize; analyzed.tables.len()];
-                for (pos, &table_idx) in joined.iter().enumerate() {
-                    row[table_idx] = t[pos];
-                }
-                row
-            })
-            .collect();
+        let batch = batch.remap_slots(&joined, analyzed.tables.len());
         let table = if self.count_only {
             relops::table_from_rows(
                 "result_count",
                 &["matched_tuples".to_string()],
-                vec![vec![Value::Int(remapped.len() as i64)]],
+                vec![vec![Value::Int(batch.len() as i64)]],
             )?
         } else {
-            relops::finalize_output(analyzed, &remapped)?
+            // CPU pipeline: the vectorized output path, no tensor kernels.
+            relops::finalize_output_columnar(analyzed, &batch, &FinalizeOptions::baseline())?.0
         };
         Ok(MonetOutput { table, timeline })
     }
 
-    #[allow(clippy::type_complexity)]
     fn run_joins(
         &self,
         analyzed: &AnalyzedQuery,
         surviving: &[Vec<usize>],
         timeline: &mut ExecutionTimeline,
-    ) -> TcuResult<(Vec<Vec<usize>>, Vec<usize>)> {
+    ) -> TcuResult<(TupleBatch, Vec<usize>)> {
         let n = analyzed.tables.len();
         let degree = |i: usize| analyzed.joins_for_table(i).len();
         let start = (0..n).max_by_key(|&i| degree(i)).unwrap_or(0);
         let mut joined = vec![start];
-        let mut tuples: Vec<Vec<usize>> = surviving[start].iter().map(|&r| vec![r]).collect();
+        let mut batch = TupleBatch::from_rows(&surviving[start])?;
 
         while joined.len() < n {
             let (next, pred, joined_is_left) = (0..n)
@@ -217,9 +206,11 @@ impl MonetEngine {
             let jpos = joined.iter().position(|&t| t == jt).unwrap();
             let jtable = &analyzed.tables[jt].table;
             let jci = jtable.schema().require(&jcol)?;
-            let left_keys: Vec<Value> = tuples
+            let jcolumn = jtable.column(jci);
+            let left_keys: Vec<Value> = batch
+                .col(jpos)
                 .iter()
-                .map(|t| jtable.column(jci).value(t[jpos]))
+                .map(|&r| jcolumn.value(r as usize))
                 .collect();
             let ntable = &analyzed.tables[next].table;
             let nci = ntable.schema().require(&ncol)?;
@@ -256,16 +247,10 @@ impl MonetEngine {
                     .hash_join_seconds(left_keys.len(), right_keys.len(), pairs.len()),
             );
 
-            let mut new_tuples = Vec::with_capacity(pairs.len());
-            for (li, rj) in pairs {
-                let mut t = tuples[li].clone();
-                t.push(right_rows[rj]);
-                new_tuples.push(t);
-            }
             joined.push(next);
-            tuples = new_tuples;
+            batch = batch.extend_join(&pairs, right_rows)?;
         }
-        Ok((tuples, joined))
+        Ok((batch, joined))
     }
 }
 

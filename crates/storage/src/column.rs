@@ -152,6 +152,16 @@ impl Column {
         }
     }
 
+    /// [`Column::gather`] over `u32` row indices — the index width the
+    /// executor's columnar tuple batches store.
+    pub fn gather_u32(&self, rows: &[u32]) -> Column {
+        match self {
+            Column::Int64(v) => Column::Int64(rows.iter().map(|&i| v[i as usize]).collect()),
+            Column::Float64(v) => Column::Float64(rows.iter().map(|&i| v[i as usize]).collect()),
+            Column::Text(v) => Column::Text(rows.iter().map(|&i| v[i as usize].clone()).collect()),
+        }
+    }
+
     /// Approximate host-memory footprint in bytes (used by the
     /// data-movement cost model).
     pub fn byte_size(&self) -> usize {
@@ -212,6 +222,9 @@ mod tests {
         let c = Column::Int64(vec![10, 20, 30]);
         let g = c.gather(&[2, 0, 0]);
         assert_eq!(g, Column::Int64(vec![30, 10, 10]));
+        assert_eq!(c.gather_u32(&[2, 0, 0]), g);
+        let t = Column::Text(vec!["a".into(), "b".into()]);
+        assert_eq!(t.gather_u32(&[1]), t.gather(&[1]));
     }
 
     #[test]

@@ -166,6 +166,21 @@ impl DictColumn {
     pub fn code_of(&self, value: &Value) -> Option<u32> {
         self.index.get(&value.group_key()).copied()
     }
+
+    /// Rank of each code in the dictionary's **sorted value order**
+    /// (`ranks[code] = position of value(code) in ascending `sql_cmp`
+    /// order`).  Lets MIN/MAX over a text column run as a segmented
+    /// integer min/max over ranks — one string comparison per *distinct*
+    /// value instead of one per row.
+    pub fn ordered_ranks(&self) -> Vec<u32> {
+        let mut order: Vec<u32> = (0..self.values.len() as u32).collect();
+        order.sort_by(|&a, &b| self.values[a as usize].sql_cmp(&self.values[b as usize]));
+        let mut ranks = vec![0u32; self.values.len()];
+        for (rank, &code) in order.iter().enumerate() {
+            ranks[code as usize] = rank as u32;
+        }
+        ranks
+    }
 }
 
 /// Lazy per-table cache of column encodings, keyed by column index.
@@ -277,6 +292,16 @@ mod tests {
         let d = DictColumn::build(&Column::empty(DataType::Text));
         assert!(d.is_empty());
         assert_eq!(d.dict_len(), 0);
+    }
+
+    #[test]
+    fn ordered_ranks_follow_sorted_value_order() {
+        let col = Column::Text(vec!["b".into(), "a".into(), "c".into(), "a".into()]);
+        let d = DictColumn::build(&col);
+        // codes: b=0, a=1, c=2; ascending value order a < b < c.
+        assert_eq!(d.ordered_ranks(), vec![1, 0, 2]);
+        let ints = DictColumn::build(&Column::Int64(vec![30, 10, 20]));
+        assert_eq!(ints.ordered_ranks(), vec![2, 0, 1]);
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`gemm`] — dense matrix multiplication in emulated precisions
 //!   (fp16-input / fp32-accumulate, int8 / int4-input / wide-integer-
 //!   accumulate, and exact f64 reference),
+//! * [`grouped`] — grouped reduction (§3.3): per-group sums either as a
+//!   scatter-accumulate `segmented_reduce` or as an actual one-hot GEMM
+//!   (`grouped_sum_gemm`) on the tiled engine,
 //! * [`reference`] — the naive scalar kernels, kept as the bit-exact
 //!   correctness oracle and perf baseline,
 //! * [`sparse`] — CSR matrices and conversions,
@@ -35,6 +38,7 @@ pub mod blocked;
 pub mod dense;
 pub mod engine;
 pub mod gemm;
+pub mod grouped;
 pub mod nonzero;
 pub mod reference;
 pub mod sparse;
@@ -43,6 +47,7 @@ pub mod spmm;
 pub use blocked::{blocked_gemm, blocked_gemm_bt, BlockedGemmStats};
 pub use dense::DenseMatrix;
 pub use gemm::{gemm, gemm_bt, GemmPrecision, GemmStats};
+pub use grouped::{grouped_sum_gemm, one_hot_groups, segmented_reduce};
 pub use nonzero::{nonzero, nonzero_with_values};
 pub use sparse::CsrMatrix;
 pub use spmm::{tcu_spmm, SpmmStats, TILE_DIM};

@@ -15,7 +15,8 @@
 //! this); only the simulated timing differs.
 
 use tcudb_core::analyzer::{self, AnalyzedQuery};
-use tcudb_core::relops;
+use tcudb_core::batch::TupleBatch;
+use tcudb_core::relops::{self, FinalizeOptions};
 use tcudb_device::{CostModel, DeviceProfile, ExecutionTimeline, Phase};
 use tcudb_sql::{parse, BinOp};
 use tcudb_storage::{Catalog, Table};
@@ -139,15 +140,15 @@ impl YdbEngine {
         }
 
         // Joins in greedy connectivity order (same order TCUDB uses).
-        let mut tuples: Vec<Vec<usize>>;
+        let mut batch: TupleBatch;
         let mut joined: Vec<usize>;
         if analyzed.tables.len() == 1 {
             joined = vec![0];
-            tuples = surviving[0].iter().map(|&r| vec![r]).collect();
+            batch = TupleBatch::from_rows(&surviving[0])?;
         } else {
             let order = join_order(analyzed)?;
             joined = vec![order[0]];
-            tuples = surviving[order[0]].iter().map(|&r| vec![r]).collect();
+            batch = TupleBatch::from_rows(&surviving[order[0]])?;
             for &next in order.iter().skip(1) {
                 let (pred, joined_is_left) = analyzed
                     .joins
@@ -176,9 +177,11 @@ impl YdbEngine {
                 let jpos = joined.iter().position(|&t| t == jt).unwrap();
                 let jtable = &analyzed.tables[jt].table;
                 let jci = jtable.schema().require(&jcol)?;
-                let left_keys: Vec<Value> = tuples
+                let jcolumn = jtable.column(jci);
+                let left_keys: Vec<Value> = batch
+                    .col(jpos)
                     .iter()
-                    .map(|t| jtable.column(jci).value(t[jpos]))
+                    .map(|&r| jcolumn.value(r as usize))
                     .collect();
                 let ntable = &analyzed.tables[next].table;
                 let nci = ntable.schema().require(&ncol)?;
@@ -222,14 +225,8 @@ impl YdbEngine {
                     cost.gpu_hash_join_seconds(left_keys.len(), right_keys.len(), pairs.len()),
                 );
 
-                let mut new_tuples = Vec::with_capacity(pairs.len());
-                for (li, rj) in pairs {
-                    let mut t = tuples[li].clone();
-                    t.push(right_rows[rj]);
-                    new_tuples.push(t);
-                }
                 joined.push(next);
-                tuples = new_tuples;
+                batch = batch.extend_join(&pairs, right_rows)?;
             }
         }
 
@@ -238,8 +235,8 @@ impl YdbEngine {
             let groups = analyzed.stmt.group_by.len().max(1) * 32;
             timeline.record_detail(
                 Phase::GroupByAggregation,
-                format!("group-by + aggregation over {} tuples", tuples.len()),
-                cost.gpu_groupby_agg_seconds(tuples.len(), groups.min(tuples.len().max(1))),
+                format!("group-by + aggregation over {} tuples", batch.len()),
+                cost.gpu_groupby_agg_seconds(batch.len(), groups.min(batch.len().max(1))),
             );
         }
 
@@ -251,25 +248,18 @@ impl YdbEngine {
             cost.d2h_seconds(4096.0),
         );
 
-        // Remap tuples to bound-table order and materialise the answer.
-        let remapped: Vec<Vec<usize>> = tuples
-            .iter()
-            .map(|t| {
-                let mut row = vec![0usize; analyzed.tables.len()];
-                for (pos, &table_idx) in joined.iter().enumerate() {
-                    row[table_idx] = t[pos];
-                }
-                row
-            })
-            .collect();
+        // Remap the batch to bound-table order and materialise the answer
+        // through the vectorized output pipeline (no tensor kernels: YDB
+        // models group-by as the separate GPU operator charged above).
+        let batch = batch.remap_slots(&joined, analyzed.tables.len());
         let table = if self.config.count_only {
             relops::table_from_rows(
                 "result_count",
                 &["matched_tuples".to_string()],
-                vec![vec![Value::Int(remapped.len() as i64)]],
+                vec![vec![Value::Int(batch.len() as i64)]],
             )?
         } else {
-            relops::finalize_output(analyzed, &remapped)?
+            relops::finalize_output_columnar(analyzed, &batch, &FinalizeOptions::baseline())?.0
         };
 
         Ok(YdbOutput { table, timeline })
