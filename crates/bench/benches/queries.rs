@@ -10,8 +10,8 @@ use tcudb_datagen::{micro, ssb};
 fn bench_queries(c: &mut Criterion) {
     let ssb_catalog = ssb::gen_catalog(1, 0x55B);
     let q11 = &ssb::queries()[0].1;
-    let mut encoded = TcuDb::new(EngineConfig::default().with_encoded_path(true));
-    let mut interp = TcuDb::new(EngineConfig::default().with_encoded_path(false));
+    let encoded = TcuDb::new(EngineConfig::default().with_encoded_path(true));
+    let interp = TcuDb::new(EngineConfig::default().with_encoded_path(false));
     encoded.set_catalog(ssb_catalog.clone());
     interp.set_catalog(ssb_catalog);
     // Warm the dictionary cache so the timed runs measure the
@@ -25,7 +25,7 @@ fn bench_queries(c: &mut Criterion) {
     });
 
     let micro_catalog = micro::gen_catalog(&micro::MicroConfig::new(20_000, 4_096));
-    let mut encoded_micro = TcuDb::new(EngineConfig::default().with_encoded_path(true));
+    let encoded_micro = TcuDb::new(EngineConfig::default().with_encoded_path(true));
     encoded_micro.set_catalog(micro_catalog);
     encoded_micro.execute(micro::Q3).unwrap();
     c.bench_function("queries/micro_q3_encoded", |b| {

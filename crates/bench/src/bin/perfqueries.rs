@@ -90,8 +90,8 @@ fn time_query(db: &TcuDb, sql: &str, reps: usize) -> (f64, HostBreakdown) {
 
 /// Build the two engines over one shared catalog.
 fn engines(catalog: &Catalog) -> (TcuDb, TcuDb) {
-    let mut encoded = TcuDb::new(EngineConfig::default().with_encoded_path(true));
-    let mut interp = TcuDb::new(EngineConfig::default().with_encoded_path(false));
+    let encoded = TcuDb::new(EngineConfig::default().with_encoded_path(true));
+    let interp = TcuDb::new(EngineConfig::default().with_encoded_path(false));
     encoded.set_catalog(catalog.clone());
     interp.set_catalog(catalog.clone());
     (encoded, interp)

@@ -1,0 +1,308 @@
+//! `perfserve` — concurrent query-serving throughput harness.
+//!
+//! Replays a mixed read-only SSB + microbenchmark statement stream
+//! against one shared [`TcuDb`] through the `tcudb-serve` worker-pool
+//! scheduler at 1 / 2 / 4 / 8 closed-loop client threads, asserts every
+//! served result is **byte-identical** to the serial execution of the
+//! same statement, and emits `BENCH_serve.json` (QPS, p50/p95 latency,
+//! plan-cache hit rate, coalescing counters) so every future PR has a
+//! serving trajectory to beat.
+//!
+//! Throughput on a box with few cores comes from the serving layer
+//! itself, not raw parallelism: the plan cache pays parse/analyze/cost
+//! once per statement per epoch, and in-flight coalescing answers
+//! concurrently submitted identical statements with one execution.  On a
+//! many-core box the worker pool adds real parallelism on top.
+//!
+//! ```text
+//! cargo run --release -p tcudb-bench --bin perfserve            # full sweep
+//! cargo run --release -p tcudb-bench --bin perfserve -- --quick # CI smoke
+//! cargo run --release -p tcudb-bench --bin perfserve -- --out s.json
+//! ```
+//!
+//! Exit codes: `0` success, `2` throughput gate missed (8-client QPS
+//! below the floor: ≥ 3× the 1-client QPS in full mode, ≥ 1× in quick
+//! mode — CI runners are noisy), `3` a served result diverged from the
+//! serial execution.
+
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use tcudb_core::TcuDb;
+use tcudb_datagen::{micro, ssb};
+use tcudb_serve::{ServeConfig, Server};
+use tcudb_storage::{Catalog, Table};
+
+const CLIENT_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct RunResult {
+    clients: usize,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    executed: u64,
+    coalesced: u64,
+    admission_waits: u64,
+}
+
+/// The merged read-only serving catalog: SSB star schema + micro join
+/// tables (names are disjoint).
+fn serving_catalog(quick: bool) -> Catalog {
+    let ssb_cat = ssb::gen_catalog(1, 0x55B);
+    let micro_cat = micro::gen_catalog(&micro::MicroConfig::new(
+        if quick { 10_000 } else { 20_000 },
+        4_096,
+    ));
+    let mut cat = Catalog::new();
+    for source in [&ssb_cat, &micro_cat] {
+        for name in source.table_names() {
+            let table = source.table(&name).expect("table exists");
+            cat.register((*table).clone());
+        }
+    }
+    cat
+}
+
+/// The mixed statement stream (one round; clients replay it `rounds`
+/// times).
+fn stream(quick: bool) -> Vec<(String, String)> {
+    let smoke = ["Q1.1", "Q2.1", "Q3.2", "Q4.2"];
+    let mut queries: Vec<(String, String)> = ssb::queries()
+        .into_iter()
+        .filter(|(name, _)| !quick || smoke.contains(name))
+        .map(|(name, sql)| (format!("ssb/{name}"), sql))
+        .collect();
+    for (name, sql) in micro::queries() {
+        if quick && name == "Q4" {
+            continue;
+        }
+        queries.push((format!("micro/{name}"), sql.to_string()));
+    }
+    queries
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+/// Drive `clients` closed-loop client threads through `rounds` replays of
+/// the stream, verifying every result against the serial reference.
+fn run_clients(
+    db: &Arc<TcuDb>,
+    queries: &[(String, String)],
+    expected: &[Table],
+    clients: usize,
+    rounds: usize,
+    workers: usize,
+) -> RunResult {
+    let server = Server::start(Arc::clone(db), ServeConfig::with_workers(workers));
+    let barrier = Barrier::new(clients + 1);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let start = Mutex::new(None::<Instant>);
+
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let session = server.session();
+            let barrier = &barrier;
+            let latencies = &latencies;
+            s.spawn(move || {
+                let mut local = Vec::with_capacity(rounds * queries.len());
+                barrier.wait();
+                for _ in 0..rounds {
+                    for (qi, (name, sql)) in queries.iter().enumerate() {
+                        let t = Instant::now();
+                        let out = session.execute(sql).expect("served query executes");
+                        local.push(t.elapsed().as_secs_f64() * 1e3);
+                        if out.table != expected[qi] {
+                            eprintln!(
+                                "FATAL: {name}: served result diverged from serial execution"
+                            );
+                            eprintln!("-- served --\n{}", out.table.format_preview(10));
+                            eprintln!("-- serial --\n{}", expected[qi].format_preview(10));
+                            std::process::exit(3);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+            });
+        }
+        barrier.wait();
+        *start.lock().unwrap() = Some(Instant::now());
+    });
+    let wall = start
+        .lock()
+        .unwrap()
+        .expect("started")
+        .elapsed()
+        .as_secs_f64();
+    let stats = server.shutdown();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let total_queries = clients * rounds * queries.len();
+    RunResult {
+        clients,
+        qps: total_queries as f64 / wall,
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        executed: stats.executed,
+        coalesced: stats.coalesced,
+        admission_waits: stats.admission_waits,
+    }
+}
+
+fn json(
+    mode: &str,
+    workers: usize,
+    stream_len: usize,
+    rounds: usize,
+    serial_qps: f64,
+    runs: &[RunResult],
+    db: &TcuDb,
+) -> String {
+    let qps_of = |clients: usize| {
+        runs.iter()
+            .find(|r| r.clients == clients)
+            .map(|r| r.qps)
+            .unwrap_or(0.0)
+    };
+    let scaling = if qps_of(1) > 0.0 {
+        qps_of(8) / qps_of(1)
+    } else {
+        0.0
+    };
+    let cache = db.plan_cache_stats();
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"perfserve\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"workers\": {workers},\n"));
+    out.push_str(&format!("  \"stream_len\": {stream_len},\n"));
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str(&format!("  \"serial_qps\": {serial_qps:.1},\n"));
+    out.push_str(&format!("  \"qps_8_over_1\": {scaling:.2},\n"));
+    out.push_str(&format!(
+        "  \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.4}}},\n",
+        cache.hits,
+        cache.misses,
+        cache.hit_rate()
+    ));
+    out.push_str("  \"entries\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"clients\": {}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"speedup_vs_1\": {:.2}, \"executed\": {}, \"coalesced\": {}, \
+             \"admission_waits\": {}}}{}\n",
+            r.clients,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            if qps_of(1) > 0.0 {
+                r.qps / qps_of(1)
+            } else {
+                0.0
+            },
+            r.executed,
+            r.coalesced,
+            r.admission_waits,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_serve.json");
+    let rounds = if quick { 3 } else { 6 };
+    let mode = if quick { "quick" } else { "full" };
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    let queries = stream(quick);
+    println!(
+        "perfserve: mode={mode} stream={} queries rounds={rounds} workers={workers}",
+        queries.len()
+    );
+
+    let db = Arc::new(TcuDb::default());
+    db.set_catalog(serving_catalog(quick));
+
+    // ---- Serial reference pass: records the expected result of every
+    // statement and warms the dictionary + plan caches (the serving
+    // regime this harness measures is repeated statements).
+    let expected: Vec<Table> = queries
+        .iter()
+        .map(|(_, sql)| db.execute(sql).expect("serial query executes").table)
+        .collect();
+
+    // ---- Serial throughput over the same stream (no serving layer).
+    let t = Instant::now();
+    for _ in 0..rounds {
+        for (qi, (name, sql)) in queries.iter().enumerate() {
+            let out = db.execute(sql).expect("serial query executes");
+            if out.table != expected[qi] {
+                eprintln!("FATAL: {name}: serial re-execution diverged");
+                std::process::exit(3);
+            }
+        }
+    }
+    let serial_qps = (rounds * queries.len()) as f64 / t.elapsed().as_secs_f64();
+    println!("serial: {serial_qps:>8.1} qps");
+    println!(
+        "{:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "clients", "qps", "vs 1", "p50 ms", "p95 ms", "executed", "coalesced", "adm.waits"
+    );
+
+    // ---- Served sweeps.
+    let mut runs = Vec::new();
+    for &clients in &CLIENT_COUNTS {
+        let r = run_clients(&db, &queries, &expected, clients, rounds, workers);
+        println!(
+            "{:>7} {:>10.1} {:>8.2}x {:>9.3} {:>9.3} {:>9} {:>10} {:>10}",
+            r.clients,
+            r.qps,
+            r.qps / runs.first().map(|f: &RunResult| f.qps).unwrap_or(r.qps),
+            r.p50_ms,
+            r.p95_ms,
+            r.executed,
+            r.coalesced,
+            r.admission_waits
+        );
+        runs.push(r);
+    }
+
+    let payload = json(mode, workers, queries.len(), rounds, serial_qps, &runs, &db);
+    if let Err(e) = std::fs::write(out_path, &payload) {
+        eprintln!("FATAL: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    // ---- Throughput gate: the serving layer must scale the QPS of a
+    // replayed statement stream.  Full runs (committed BENCH_serve.json)
+    // require >= 3x at 8 clients; CI quick runs on noisy shared runners
+    // only require that concurrency never LOSES throughput.
+    let qps1 = runs[0].qps;
+    let qps8 = runs.last().expect("runs").qps;
+    let floor = if quick { 1.0 } else { 3.0 };
+    if qps8 < qps1 * floor {
+        eprintln!(
+            "GATE: 8-client QPS {qps8:.1} below {floor:.1}x of 1-client QPS {qps1:.1} \
+             ({:.2}x)",
+            qps8 / qps1
+        );
+        std::process::exit(2);
+    }
+}

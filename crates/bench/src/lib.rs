@@ -72,10 +72,10 @@ pub fn compare_engines(
 ) -> TcuResult<Comparison> {
     let mut config = EngineConfig::for_device(device.clone());
     config.count_only = count_only;
-    let mut tcudb = TcuDb::new(config);
+    let tcudb = TcuDb::new(config);
     tcudb.set_catalog(catalog.clone());
 
-    let mut ydb = YdbEngine::new(YdbConfig {
+    let ydb = YdbEngine::new(YdbConfig {
         device: device.clone(),
         count_only,
     });

@@ -1,12 +1,23 @@
 //! The public TCUDB engine facade.
+//!
+//! [`TcuDb`] is built for concurrent serving: every method that queries
+//! takes `&self`, so one engine wrapped in an [`Arc`] can be hammered by
+//! any number of threads.  Reads pin an immutable
+//! [`CatalogSnapshot`] for their whole
+//! lifetime; writes (also `&self`) publish a *new* snapshot with a bumped
+//! epoch and never disturb in-flight queries.  Statements are cached per
+//! `(normalized SQL, epoch)` in a [`PlanCache`], so repeat executions of
+//! identical SQL skip parse, analysis and optimizer costing entirely.
 
 use crate::analyzer;
 use crate::executor::{self, HostBreakdown, PlanDescription};
 use crate::optimizer::{Optimizer, OptimizerConfig, PlanKind};
+use crate::plancache::{self, PlanCache, PlanCacheStats};
+use std::sync::Arc;
 use tcudb_device::{DeviceProfile, ExecutionTimeline};
 use tcudb_sql::parse;
-use tcudb_storage::{Catalog, Table};
-use tcudb_types::TcuResult;
+use tcudb_storage::{Catalog, CatalogSnapshot, SharedCatalog, Table};
+use tcudb_types::{TcuResult, Value};
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
@@ -105,14 +116,21 @@ impl QueryOutput {
     }
 }
 
-/// The TCUDB engine: a catalog of tables plus the TCU-aware optimizer and
-/// executor.
+/// The TCUDB engine: a shared, versioned catalog of tables plus the
+/// TCU-aware optimizer, executor and plan/statement cache.
+///
+/// Queries and writes both take `&self`: wrap the engine in an
+/// [`Arc`] and share it freely across threads.  Each `execute` pins the
+/// catalog snapshot current at its start; concurrent
+/// [`register_table`](TcuDb::register_table) /
+/// [`append_rows`](TcuDb::append_rows) calls publish new snapshots that
+/// only later queries observe.
 ///
 /// ```
 /// use tcudb_core::TcuDb;
 /// use tcudb_storage::Table;
 ///
-/// let mut db = TcuDb::default();
+/// let db = TcuDb::default();
 /// db.register_table(
 ///     Table::from_int_columns("A", &[("id", vec![1, 2]), ("val", vec![10, 20])]).unwrap(),
 /// );
@@ -121,22 +139,44 @@ impl QueryOutput {
 /// );
 /// let out = db.execute("SELECT A.val, B.val FROM A, B WHERE A.id = B.id").unwrap();
 /// assert_eq!(out.table.num_rows(), 1);
+/// // The second execution of the identical statement hits the plan cache.
+/// db.execute("SELECT A.val, B.val FROM A, B WHERE A.id = B.id").unwrap();
+/// assert_eq!(db.plan_cache_stats().hits, 1);
 /// ```
-#[derive(Debug, Default, Clone)]
+#[derive(Debug)]
 pub struct TcuDb {
-    catalog: Catalog,
+    shared: SharedCatalog,
     config: EngineConfig,
-    optimizer: Optimizer,
+    plan_cache: PlanCache,
+}
+
+impl Default for TcuDb {
+    fn default() -> Self {
+        TcuDb::new(EngineConfig::default())
+    }
+}
+
+impl Clone for TcuDb {
+    /// Cloning forks the engine: the clone starts from this engine's
+    /// current catalog snapshot (sharing table storage by `Arc`) with the
+    /// same configuration and a cold plan cache, then evolves
+    /// independently.
+    fn clone(&self) -> Self {
+        TcuDb {
+            shared: self.shared.clone(),
+            config: self.config.clone(),
+            plan_cache: PlanCache::default(),
+        }
+    }
 }
 
 impl TcuDb {
     /// Create an engine with the given configuration.
     pub fn new(config: EngineConfig) -> TcuDb {
-        let optimizer = Optimizer::with_config(config.device.clone(), config.optimizer.clone());
         TcuDb {
-            catalog: Catalog::new(),
+            shared: SharedCatalog::default(),
             config,
-            optimizer,
+            plan_cache: PlanCache::default(),
         }
     }
 
@@ -145,24 +185,72 @@ impl TcuDb {
         TcuDb::new(EngineConfig::for_device(device))
     }
 
-    /// Register (or replace) a table.
-    pub fn register_table(&mut self, table: Table) {
-        self.catalog.register(table);
+    /// Register (or replace) a table, publishing a new catalog snapshot.
+    pub fn register_table(&self, table: Table) {
+        self.publish(|c| c.register(table));
     }
 
-    /// Register a table under an explicit name.
-    pub fn register_table_as(&mut self, name: &str, table: Table) {
-        self.catalog.register_as(name, table);
+    /// Register a table under an explicit name (new snapshot).
+    pub fn register_table_as(&self, name: &str, table: Table) {
+        self.publish(|c| c.register_as(name, table));
     }
 
-    /// Access the catalog (shared with baseline engines in comparisons).
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Append rows to a registered table, publishing a new snapshot.
+    ///
+    /// The write is copy-on-write: the current version of the table is
+    /// cloned (its warm dictionary encodings carry over and are extended
+    /// incrementally, see `Table::push_row`), the rows are appended, the
+    /// statistics are recomputed and the result replaces the table in the
+    /// next snapshot.  Queries pinned to older snapshots are unaffected.
+    pub fn append_rows(&self, name: &str, rows: Vec<Vec<Value>>) -> TcuResult<()> {
+        // A rejected write publishes nothing: the epoch is unchanged and
+        // every cached plan stays warm.
+        let (snapshot, ()) = self.shared.try_update(|c| -> TcuResult<()> {
+            let mut table = (*c.table(name)?).clone();
+            for row in rows {
+                table.push_row(row)?;
+            }
+            c.register(table);
+            Ok(())
+        })?;
+        self.plan_cache.retire_epochs_before(snapshot.epoch());
+        Ok(())
     }
 
-    /// Replace the whole catalog (e.g. to share one with a baseline engine).
-    pub fn set_catalog(&mut self, catalog: Catalog) {
-        self.catalog = catalog;
+    /// Drop a table (new snapshot), returning whether it existed.
+    pub fn drop_table(&self, name: &str) -> bool {
+        self.publish(|c| c.drop_table(name))
+    }
+
+    /// Replace the whole catalog, e.g. to share one with a baseline
+    /// engine (new snapshot).
+    pub fn set_catalog(&self, catalog: Catalog) {
+        self.publish(move |c| *c = catalog);
+    }
+
+    /// Pin the current catalog snapshot (shared with baseline engines in
+    /// comparisons; dereferences to [`Catalog`]).
+    pub fn catalog(&self) -> Arc<CatalogSnapshot> {
+        self.shared.snapshot()
+    }
+
+    /// Pin the current catalog snapshot — alias of [`TcuDb::catalog`]
+    /// that reads better at serving call sites.
+    pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
+        self.shared.snapshot()
+    }
+
+    /// The current catalog epoch (bumped by every published write).
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch()
+    }
+
+    /// Apply a catalog write, publish the resulting snapshot and retire
+    /// plan-cache entries that were planned against older epochs.
+    fn publish<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
+        let (snapshot, out) = self.shared.update(f);
+        self.plan_cache.retire_epochs_before(snapshot.epoch());
+        out
     }
 
     /// The engine configuration.
@@ -170,20 +258,90 @@ impl TcuDb {
         &self.config
     }
 
-    /// Mutable access to the engine configuration (re-derives the
-    /// optimizer on the next query).
+    /// Mutable access to the engine configuration.  Clears the plan cache:
+    /// recorded plan choices embed decisions made under the old
+    /// configuration (device profile, forced plans, thresholds).
     pub fn config_mut(&mut self) -> &mut EngineConfig {
+        self.plan_cache.clear();
         &mut self.config
     }
 
-    /// Parse, analyze, optimize and execute a SQL query.
+    /// The optimizer derived from the current configuration.
+    pub fn optimizer(&self) -> Optimizer {
+        Optimizer::with_config(self.config.device.clone(), self.config.optimizer.clone())
+    }
+
+    /// Hit/miss counters of the plan/statement cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Number of statements currently held by the plan cache.
+    pub fn plan_cache_len(&self) -> usize {
+        self.plan_cache.len()
+    }
+
+    /// Parse, analyze, optimize and execute a SQL query against the
+    /// current catalog snapshot.
+    ///
+    /// The snapshot is pinned once at entry: a concurrent write published
+    /// mid-execution is invisible to this query.  Repeat executions of a
+    /// statement that normalizes identically (see
+    /// [`plancache::normalize_sql`]) against an unchanged catalog skip
+    /// parse, analysis and per-join-step optimizer costing via the plan
+    /// cache.
     pub fn execute(&self, sql: &str) -> TcuResult<QueryOutput> {
-        let stmt = parse(sql)?;
-        let analyzed = analyzer::analyze(&stmt, &self.catalog)?;
-        let optimizer =
-            Optimizer::with_config(self.config.device.clone(), self.config.optimizer.clone());
-        let _ = &self.optimizer; // kept for future plan caching
-        let exec = executor::execute(&analyzed, &optimizer, &self.config)?;
+        let snapshot = self.shared.snapshot();
+        self.execute_at(sql, &snapshot)
+    }
+
+    /// Execute against an explicitly pinned snapshot (must originate from
+    /// this engine — the plan cache keys on its epoch).  Lets a session
+    /// run several statements against one consistent catalog state.
+    pub fn execute_at(&self, sql: &str, snapshot: &CatalogSnapshot) -> TcuResult<QueryOutput> {
+        let entry = self.prepare(sql, snapshot)?;
+        self.execute_prepared(&entry)
+    }
+
+    /// Resolve a statement to its plan-cache entry for a pinned snapshot,
+    /// parsing and analyzing on a miss.  One cache lookup (hit or miss) is
+    /// counted per call.  The serving layer prepares at admission time —
+    /// the analyzed query feeds
+    /// [`executor::estimate_working_set_bytes`] — and executes the same
+    /// entry later without a second lookup.
+    pub fn prepare(
+        &self,
+        sql: &str,
+        snapshot: &CatalogSnapshot,
+    ) -> TcuResult<Arc<plancache::CachedStatement>> {
+        let key = (plancache::normalize_sql(sql), snapshot.epoch());
+        match self.plan_cache.lookup(&key) {
+            Some(entry) => Ok(entry),
+            None => {
+                let stmt = Arc::new(parse(sql)?);
+                let analyzed = Arc::new(analyzer::analyze(&stmt, snapshot.catalog())?);
+                Ok(self
+                    .plan_cache
+                    .insert(key.0, snapshot.epoch(), stmt, analyzed))
+            }
+        }
+    }
+
+    /// Execute a prepared statement (its bound tables pin the snapshot it
+    /// was prepared against), recording the plan choices into the entry if
+    /// this is its first execution.
+    pub fn execute_prepared(&self, entry: &plancache::CachedStatement) -> TcuResult<QueryOutput> {
+        let optimizer = self.optimizer();
+        let replay = entry.choices();
+        let exec = executor::execute(
+            &entry.analyzed,
+            &optimizer,
+            &self.config,
+            replay.as_deref().map(Vec::as_slice),
+        )?;
+        if replay.is_none() {
+            entry.record_choices(exec.choices);
+        }
         Ok(QueryOutput {
             table: exec.table,
             timeline: exec.timeline,
@@ -192,10 +350,11 @@ impl TcuDb {
         })
     }
 
-    /// Analyze a query without executing it (exposed for tools and tests).
+    /// Analyze a query without executing it (exposed for tools, tests and
+    /// the serving layer's admission control).  Bypasses the plan cache.
     pub fn explain(&self, sql: &str) -> TcuResult<crate::analyzer::AnalyzedQuery> {
         let stmt = parse(sql)?;
-        analyzer::analyze(&stmt, &self.catalog)
+        analyzer::analyze(&stmt, self.shared.snapshot().catalog())
     }
 }
 
@@ -206,7 +365,7 @@ mod tests {
     use tcudb_types::Value;
 
     fn db() -> TcuDb {
-        let mut db = TcuDb::default();
+        let db = TcuDb::default();
         db.register_table(
             Table::from_int_columns(
                 "A",
@@ -294,8 +453,8 @@ mod tests {
     #[test]
     fn forced_gpu_plan_still_correct() {
         let config = EngineConfig::default().with_forced_plan(PlanKind::GpuFallback);
-        let mut engine = TcuDb::new(config);
-        engine.set_catalog(db().catalog().clone());
+        let engine = TcuDb::new(config);
+        engine.set_catalog(db().catalog().catalog().clone());
         let out = engine
             .execute("SELECT A.val, B.val FROM A, B WHERE A.id = B.id")
             .unwrap();
@@ -305,7 +464,7 @@ mod tests {
 
     #[test]
     fn three_way_join_chains_gemm_steps() {
-        let mut engine = db();
+        let engine = db();
         engine.register_table(
             Table::from_int_columns("C", &[("id", vec![2, 3]), ("w", vec![100, 200])]).unwrap(),
         );
@@ -324,5 +483,116 @@ mod tests {
             .unwrap();
         assert_eq!(out.table.num_rows(), 2);
         assert_eq!(out.table.row(0)[0], Value::Int(10));
+    }
+
+    #[test]
+    fn repeat_statements_hit_the_plan_cache_with_identical_results() {
+        let engine = db();
+        let sql = "SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val";
+        let first = engine.execute(sql).unwrap();
+        let stats = engine.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+
+        // Different whitespace, same normalized statement: a hit that
+        // skips parse/analyze and replays the recorded plan choices.
+        let second = engine
+            .execute("SELECT  SUM(A.val),  B.val\nFROM A, B  WHERE A.id = B.id GROUP BY B.val")
+            .unwrap();
+        let stats = engine.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(first.table, second.table);
+        assert_eq!(first.plan.steps, second.plan.steps);
+        // The replayed run charges the identical simulated timeline.
+        assert_eq!(
+            first.timeline.total_seconds(),
+            second.timeline.total_seconds()
+        );
+        assert_eq!(engine.plan_cache_len(), 1);
+    }
+
+    #[test]
+    fn writes_bump_the_epoch_and_retire_cached_plans() {
+        let engine = db();
+        let sql = "SELECT A.val, B.val FROM A, B WHERE A.id = B.id";
+        engine.execute(sql).unwrap();
+        engine.execute(sql).unwrap();
+        assert_eq!(engine.plan_cache_stats().hits, 1);
+
+        let epoch_before = engine.epoch();
+        engine
+            .append_rows("B", vec![vec![Value::Int(3), Value::Int(8)]])
+            .unwrap();
+        assert_eq!(engine.epoch(), epoch_before + 1);
+
+        // The post-ingest execution must miss (stale plans were retired)
+        // and must see the new row: A.id=3 now matches.
+        let out = engine.execute(sql).unwrap();
+        let stats = engine.plan_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 2));
+        assert!(stats.stale_evictions >= 1);
+        assert_eq!(out.table.num_rows(), 5);
+    }
+
+    #[test]
+    fn pinned_snapshots_isolate_queries_from_concurrent_writes() {
+        let engine = db();
+        let sql = "SELECT A.val, B.val FROM A, B WHERE A.id = B.id";
+        let pinned = engine.snapshot();
+        engine
+            .append_rows("B", vec![vec![Value::Int(3), Value::Int(8)]])
+            .unwrap();
+        // Against the pinned snapshot the ingest is invisible...
+        let old = engine.execute_at(sql, &pinned).unwrap();
+        assert_eq!(old.table.num_rows(), 4);
+        // ...while the current snapshot sees it.
+        assert_eq!(engine.execute(sql).unwrap().table.num_rows(), 5);
+    }
+
+    #[test]
+    fn append_rows_keeps_warm_dictionaries_and_stays_correct() {
+        let engine = db();
+        let sql = "SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val";
+        engine.execute(sql).unwrap(); // warms A.id / B.id dictionaries
+        let warm = engine.snapshot().table("a").unwrap().encoded_column_count();
+        assert!(warm >= 1);
+        engine
+            .append_rows("A", vec![vec![Value::Int(2), Value::Int(5)]])
+            .unwrap();
+        // The new table version still has its warm (extended) encodings.
+        assert_eq!(
+            engine.snapshot().table("a").unwrap().encoded_column_count(),
+            warm
+        );
+        let out = engine.execute(sql).unwrap();
+        // Group B.val=6 and B.val=7 each gain the appended A row (val 5).
+        assert_eq!(out.table.num_rows(), 3);
+        assert_eq!(out.table.row(0)[0].as_f64().unwrap(), 21.0);
+    }
+
+    #[test]
+    fn append_rows_to_missing_table_errors_without_publishing() {
+        let engine = db();
+        engine
+            .execute("SELECT A.val FROM A WHERE A.val >= 20")
+            .unwrap();
+        let epoch = engine.epoch();
+        assert!(engine.append_rows("ghost", vec![]).is_err());
+        // The rejected write publishes nothing: the epoch is unchanged
+        // and cached plans stay warm.
+        assert_eq!(engine.epoch(), epoch);
+        assert_eq!(engine.plan_cache_len(), 1);
+        assert!(!engine.snapshot().contains("ghost"));
+    }
+
+    #[test]
+    fn config_mut_clears_cached_plans() {
+        let mut engine = db();
+        let sql = "SELECT A.val, B.val FROM A, B WHERE A.id = B.id";
+        engine.execute(sql).unwrap();
+        assert_eq!(engine.plan_cache_len(), 1);
+        engine.config_mut().count_only = true;
+        assert_eq!(engine.plan_cache_len(), 0);
+        let out = engine.execute(sql).unwrap();
+        assert_eq!(out.table.row(0)[0], Value::Int(4));
     }
 }

@@ -97,13 +97,26 @@ pub struct Execution {
     pub plan: PlanDescription,
     /// Host-measured wall-clock stage attribution.
     pub host: HostBreakdown,
+    /// The optimizer's decision per executed join step, in execution
+    /// order — what the plan cache records so repeat executions of the
+    /// same statement against the same snapshot skip costing entirely.
+    pub choices: Vec<PlanChoice>,
 }
 
 /// Execute an analyzed query on the TCUDB engine.
+///
+/// `replay` carries the per-join-step [`PlanChoice`]s recorded by a prior
+/// execution of the identical statement against the identical catalog
+/// snapshot (see [`crate::plancache`]); when present, join steps reuse
+/// those decisions instead of re-running the optimizer's feasibility /
+/// density / working-set / cost tests.  Pass `None` to plan from scratch
+/// (the choices actually taken are returned in [`Execution::choices`]
+/// either way).
 pub fn execute(
     analyzed: &AnalyzedQuery,
     optimizer: &Optimizer,
     config: &EngineConfig,
+    replay: Option<&[PlanChoice]>,
 ) -> TcuResult<Execution> {
     let mut timeline = ExecutionTimeline::new();
     let mut plan = PlanDescription {
@@ -161,6 +174,7 @@ pub fn execute(
             timeline,
             plan,
             host,
+            choices: Vec::new(),
         });
     }
 
@@ -181,8 +195,12 @@ pub fn execute(
                 | QueryPattern::MultiWayJoin
         );
 
+    let mut choices: Vec<PlanChoice> = Vec::with_capacity(order.len().saturating_sub(1));
     for (step_idx, &next) in order.iter().enumerate().skip(1) {
         let is_last = step_idx == order.len() - 1;
+        // One join step per loop iteration: replayed choices line up with
+        // `choices` by position.
+        let cached_choice = replay.and_then(|c| c.get(choices.len()));
         // Find the join predicate connecting `next` to the joined set.
         let (pred, joined_side_is_left) = analyzed
             .joins
@@ -259,7 +277,9 @@ pub fn execute(
                 (lsrc.len(), rsrc.len(), domain.len()),
                 fused,
                 batch.len(),
+                cached_choice,
             );
+            choices.push(choice.clone());
             execute_join_step_encoded(
                 (&lsrc, &maps[0]),
                 (&rsrc, &maps[1]),
@@ -292,7 +312,9 @@ pub fn execute(
                 (left_keys.len(), right_keys.len(), domain.len()),
                 fused,
                 batch.len(),
+                cached_choice,
             );
+            choices.push(choice.clone());
             execute_join_step(
                 &left_keys,
                 &right_keys,
@@ -374,6 +396,7 @@ pub fn execute(
         timeline,
         plan,
         host,
+        choices,
     })
 }
 
@@ -440,9 +463,10 @@ fn estimate_groups(analyzed: &AnalyzedQuery, tuple_count: &usize) -> usize {
     product.min((*tuple_count).max(1))
 }
 
-/// Build the join shape for one step, ask the optimizer for a plan and
-/// record the step in the plan description.  Shared by the encoded and the
-/// `Value`-based paths so both describe and cost joins identically.
+/// Build the join shape for one step, ask the optimizer for a plan (or
+/// replay a cached one) and record the step in the plan description.
+/// Shared by the encoded and the `Value`-based paths so both describe and
+/// cost joins identically.
 #[allow(clippy::too_many_arguments)]
 fn plan_join_step(
     analyzed: &AnalyzedQuery,
@@ -453,6 +477,7 @@ fn plan_join_step(
     (m, n, k): (usize, usize, usize),
     fused: bool,
     tuple_count: usize,
+    cached: Option<&PlanChoice>,
 ) -> (JoinShape, PlanChoice) {
     let k = k.max(1);
     let mut shape = JoinShape::equi_join(m, n, k);
@@ -468,7 +493,13 @@ fn plan_join_step(
         let fill = m as f64 / (shape.m.max(1) * k) as f64;
         shape.density = fill.clamp(0.0, 1.0).max(1e-9);
     }
-    let choice = optimizer.choose_join_plan(&shape);
+    // A cached choice was produced by this very function for the identical
+    // statement against the identical snapshot, so the shape — and
+    // therefore the decision — is the same; skip the costing pass.
+    let choice = match cached {
+        Some(c) => c.clone(),
+        None => optimizer.choose_join_plan(&shape),
+    };
     plan.used_tcu |= choice.kind.is_tcu();
     plan.exact &= choice.exact_guaranteed;
     plan.steps.push(format!(
@@ -906,6 +937,52 @@ fn execute_join_step(
             Ok(pairs)
         }
     }
+}
+
+/// Estimate the peak device working-set bytes a query will occupy, before
+/// executing it — the admission-control currency of the `tcudb-serve`
+/// scheduler.
+///
+/// For every join predicate the estimator builds the [`JoinShape`] the
+/// executor *would* build with no filters applied (base-table row counts,
+/// key-domain bounded by the join columns' distinct counts from the
+/// catalog statistics), asks the optimizer which plan it would choose and
+/// charges that plan's [`JoinShape::plan_working_set_bytes`].  The result
+/// is the peak over the steps plus the raw bytes of one pass over the
+/// touched tables.
+///
+/// This is a *heuristic*, deliberately biased high for the common case —
+/// filters only shrink per-predicate shapes below the unfiltered bound —
+/// but it is not a guaranteed upper bound: multi-way joins whose
+/// intermediate results fan out beyond the base-table row counts, or
+/// shapes where the runtime plan kind diverges from the unfiltered
+/// estimate's, can exceed it.  Admission control treats it as a
+/// throttling currency, not a hard memory reservation.
+pub fn estimate_working_set_bytes(analyzed: &AnalyzedQuery, optimizer: &Optimizer) -> f64 {
+    let table_bytes: f64 = analyzed
+        .tables
+        .iter()
+        .map(|b| b.table.byte_size() as f64)
+        .sum();
+    let mut peak: f64 = 0.0;
+    for j in &analyzed.joins {
+        let (lt, lcol) = (&analyzed.tables[j.left.0], &j.left.1);
+        let (rt, rcol) = (&analyzed.tables[j.right.0], &j.right.1);
+        let m = lt.table.num_rows();
+        let n = rt.table.num_rows();
+        let ndv = |b: &crate::analyzer::BoundTable, col: &str| {
+            b.stats
+                .column(col)
+                .map(|s| s.distinct_count)
+                .unwrap_or_else(|| b.table.num_rows())
+        };
+        // The executor's domain is the union of both sides' key sets.
+        let k = ndv(lt, lcol).saturating_add(ndv(rt, rcol)).max(1);
+        let shape = JoinShape::equi_join(m, n, k);
+        let choice = optimizer.choose_join_plan(&shape);
+        peak = peak.max(shape.plan_working_set_bytes(choice.kind, choice.precision));
+    }
+    table_bytes + peak
 }
 
 /// Filter the batch by join predicates between already-joined tables that

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # tcudb-core
 //!
 //! The TCUDB engine itself: the paper's primary contribution.
@@ -23,6 +24,12 @@
 //!   [`ExecutionTimeline`](tcudb_device::ExecutionTimeline).
 //! * [`engine`] — the public [`TcuDb`] facade: register tables, run SQL,
 //!   get back a result table, the chosen plan and the timing breakdown.
+//!   Built for concurrent serving: queries and writes take `&self`,
+//!   reads pin epoch-tagged catalog snapshots, writes publish new ones.
+//! * [`plancache`] — the plan/statement cache keyed on
+//!   `(normalized SQL, catalog epoch)`: repeat executions of identical
+//!   statements skip parse, analysis and per-join-step optimizer costing
+//!   (the `tcudb-serve` crate builds its scheduler on top of this).
 //!
 //! Shared building blocks used by the baseline engines (`tcudb-ydb`,
 //! `tcudb-monet`) live in [`context`] (expression evaluation), [`batch`]
@@ -36,6 +43,7 @@ pub mod context;
 pub mod engine;
 pub mod executor;
 pub mod optimizer;
+pub mod plancache;
 pub mod relops;
 pub mod translate;
 
@@ -44,4 +52,5 @@ pub use batch::TupleBatch;
 pub use engine::{EngineConfig, QueryOutput, TcuDb};
 pub use executor::{HostBreakdown, PlanDescription};
 pub use optimizer::{Optimizer, PlanChoice, PlanKind};
+pub use plancache::{PlanCache, PlanCacheStats};
 pub use relops::{FinalizeOptions, FinalizeReport};

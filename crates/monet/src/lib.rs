@@ -16,7 +16,7 @@ use tcudb_core::batch::TupleBatch;
 use tcudb_core::relops::{self, FinalizeOptions};
 use tcudb_device::{ExecutionTimeline, Phase};
 use tcudb_sql::{parse, BinOp};
-use tcudb_storage::{Catalog, Table};
+use tcudb_storage::{Catalog, CatalogSnapshot, SharedCatalog, Table};
 use tcudb_types::{DataType, TcuError, TcuResult, Value};
 
 /// CPU execution cost constants (single node, main-memory column store).
@@ -80,9 +80,12 @@ impl MonetOutput {
 }
 
 /// The MonetDB-style CPU engine.
+///
+/// Shares the snapshot API of the TCUDB engine: queries pin an immutable
+/// [`CatalogSnapshot`] and writes (all `&self`) publish new snapshots.
 #[derive(Debug, Default, Clone)]
 pub struct MonetEngine {
-    catalog: Catalog,
+    shared: SharedCatalog,
     cost: CpuCostModel,
     /// Return only matched-tuple counts (see the other engines).
     pub count_only: bool,
@@ -94,19 +97,19 @@ impl MonetEngine {
         MonetEngine::default()
     }
 
-    /// Register (or replace) a table.
-    pub fn register_table(&mut self, table: Table) {
-        self.catalog.register(table);
+    /// Register (or replace) a table, publishing a new catalog snapshot.
+    pub fn register_table(&self, table: Table) {
+        self.shared.update(|c| c.register(table));
     }
 
-    /// Share a catalog built elsewhere.
-    pub fn set_catalog(&mut self, catalog: Catalog) {
-        self.catalog = catalog;
+    /// Share a catalog built elsewhere; publishes a new snapshot.
+    pub fn set_catalog(&self, catalog: Catalog) {
+        self.shared.replace(catalog);
     }
 
-    /// Access the catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Pin the current catalog snapshot.
+    pub fn catalog(&self) -> std::sync::Arc<CatalogSnapshot> {
+        self.shared.snapshot()
     }
 
     /// The CPU cost model in use.
@@ -117,7 +120,8 @@ impl MonetEngine {
     /// Execute a SQL query on the CPU pipeline.
     pub fn execute(&self, sql: &str) -> TcuResult<MonetOutput> {
         let stmt = parse(sql)?;
-        let analyzed = analyzer::analyze(&stmt, &self.catalog)?;
+        let snapshot = self.shared.snapshot();
+        let analyzed = analyzer::analyze(&stmt, snapshot.catalog())?;
         self.execute_analyzed(&analyzed)
     }
 
@@ -259,7 +263,7 @@ mod tests {
     use super::*;
 
     fn engine() -> MonetEngine {
-        let mut e = MonetEngine::new();
+        let e = MonetEngine::new();
         e.register_table(
             Table::from_int_columns(
                 "A",

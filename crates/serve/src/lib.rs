@@ -1,0 +1,607 @@
+//! # tcudb-serve
+//!
+//! Concurrent query serving for TCUDB: the layer that turns the
+//! single-query engine of `tcudb-core` into a front that sustains a
+//! stream of statements from many clients at once.
+//!
+//! ```text
+//!   Session (client handle, optional pinned snapshot)
+//!      │ submit(sql)
+//!      ▼
+//!   prepare: plan-cache lookup (normalized SQL + epoch)
+//!      │        └─ miss → parse + analyze once, shared by every waiter
+//!      ▼
+//!   FIFO queue ──┬─ coalesce: identical (SQL, epoch) already queued?
+//!                │        └─ attach to that job, one execution fans out
+//!                ▼
+//!   admission control: Σ estimated working-set bytes of in-flight
+//!                      queries ≤ cap  (JoinShape::plan_working_set_bytes)
+//!                ▼
+//!   worker pool (N threads) → TcuDb::execute_prepared → reply channels
+//! ```
+//!
+//! Three mechanisms make repeated traffic cheap:
+//!
+//! * the **plan/statement cache** (in `tcudb-core`) pays parse → analyze →
+//!   cost once per distinct statement per catalog epoch,
+//! * **in-flight coalescing** executes one physical query for any number
+//!   of concurrently submitted identical statements against the same
+//!   snapshot (read-only queries are deterministic per snapshot, so every
+//!   waiter receives a byte-identical result),
+//! * **admission control** keeps the device working set bounded: a query
+//!   is dispatched only while the sum of the estimated working-set bytes
+//!   of running queries stays under the configured cap; everything else
+//!   waits in arrival (FIFO) order.  One query is always admitted when
+//!   the server is idle, so an over-sized query degrades to serial
+//!   execution instead of starving.
+
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use tcudb_core::executor::estimate_working_set_bytes;
+use tcudb_core::plancache::CachedStatement;
+use tcudb_core::{QueryOutput, TcuDb};
+use tcudb_storage::CatalogSnapshot;
+use tcudb_types::{TcuError, TcuResult};
+
+/// Serving-layer configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing queries.
+    pub workers: usize,
+    /// Admission cap: maximum summed estimated working-set bytes of
+    /// concurrently executing queries.  `0.0` derives the cap from the
+    /// engine's device profile (its device memory) at server start.
+    pub admission_bytes: f64,
+    /// Coalesce concurrently submitted identical statements (same
+    /// normalized SQL, same catalog epoch) into one execution.
+    pub coalesce: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            admission_bytes: 0.0,
+            coalesce: true,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A configuration with an explicit worker count.
+    pub fn with_workers(workers: usize) -> ServeConfig {
+        ServeConfig {
+            workers: workers.max(1),
+            ..ServeConfig::default()
+        }
+    }
+}
+
+/// Counters describing server behaviour since start.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Statements submitted (including ones that joined an existing job).
+    pub submitted: u64,
+    /// Executions completed (one per physical execution, not per waiter).
+    pub executed: u64,
+    /// Submissions answered by attaching to an already queued identical
+    /// statement (no additional execution).
+    pub coalesced: u64,
+    /// Times the queue head had to wait because admitting it would have
+    /// pushed the in-flight working set over the cap.
+    pub admission_waits: u64,
+    /// Executions that returned an error.
+    pub errors: u64,
+    /// Peak summed estimated working-set bytes of concurrently executing
+    /// queries.
+    pub peak_in_flight_bytes: f64,
+}
+
+/// A pending query: await the result with [`Ticket::wait`].
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<TcuResult<QueryOutput>>,
+}
+
+impl Ticket {
+    /// Block until the query finishes and return its result.
+    pub fn wait(self) -> TcuResult<QueryOutput> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(TcuError::Execution(
+                "server shut down before the query completed".into(),
+            ))
+        })
+    }
+}
+
+/// The clients waiting on one physical execution.  `closed` flips when
+/// the executing worker claims the list to fan the result out; attachers
+/// arriving later start a fresh job instead.
+#[derive(Default)]
+struct ReplierSlot {
+    senders: Vec<mpsc::Sender<TcuResult<QueryOutput>>>,
+    closed: bool,
+}
+
+/// One unit of scheduled work: a prepared statement plus every client
+/// waiting on its result.
+///
+/// The plan cache hands out one `Arc<CachedStatement>` per
+/// `(normalized SQL, epoch)` pair, so `Arc::ptr_eq` on `entry` is the
+/// coalescing identity — no re-normalization, no key strings.
+struct Job {
+    entry: Arc<CachedStatement>,
+    est_bytes: f64,
+    repliers: Arc<Mutex<ReplierSlot>>,
+    /// Whether this job has already been counted in `admission_waits`
+    /// (the counter records blocked jobs, not condvar wakeups).
+    counted_wait: bool,
+}
+
+#[derive(Default)]
+struct SchedState {
+    queue: VecDeque<Job>,
+    /// `(entry, repliers)` of jobs currently executing on a worker, so
+    /// identical statements submitted mid-execution can still attach.
+    running: Vec<(Arc<CachedStatement>, Arc<Mutex<ReplierSlot>>)>,
+    in_flight_bytes: f64,
+    in_flight: usize,
+    peak_in_flight_bytes: f64,
+    shutdown: bool,
+}
+
+struct Shared {
+    db: Arc<TcuDb>,
+    admission_bytes: f64,
+    coalesce: bool,
+    state: Mutex<SchedState>,
+    work_ready: Condvar,
+    submitted: AtomicU64,
+    executed: AtomicU64,
+    coalesced: AtomicU64,
+    admission_waits: AtomicU64,
+    errors: AtomicU64,
+}
+
+impl Shared {
+    /// Pop the next admissible job, FIFO.  Returns `None` on shutdown
+    /// with an empty queue.
+    fn next_job(&self) -> Option<Job> {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        loop {
+            if state.shutdown && state.queue.is_empty() {
+                return None;
+            }
+            if let Some(head_est) = state.queue.front().map(|j| j.est_bytes) {
+                // Strict FIFO: only the head is considered.  Admit it when
+                // it fits under the cap — or unconditionally when nothing
+                // is running (otherwise a query estimated above the cap
+                // could never run at all).
+                let fits = state.in_flight_bytes + head_est <= self.admission_bytes;
+                if fits || state.in_flight == 0 {
+                    let job = state.queue.pop_front().expect("head exists");
+                    state.in_flight += 1;
+                    state.in_flight_bytes += job.est_bytes;
+                    state.peak_in_flight_bytes =
+                        state.peak_in_flight_bytes.max(state.in_flight_bytes);
+                    if self.coalesce {
+                        state
+                            .running
+                            .push((Arc::clone(&job.entry), Arc::clone(&job.repliers)));
+                    }
+                    return Some(job);
+                }
+                // Count each blocked job once, not once per condvar
+                // wakeup of each idle worker.
+                let head = state.queue.front_mut().expect("head exists");
+                if !head.counted_wait {
+                    head.counted_wait = true;
+                    self.admission_waits.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            state = self
+                .work_ready
+                .wait(state)
+                .expect("scheduler lock poisoned");
+        }
+    }
+
+    fn finish_job(&self, job: &Job) {
+        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        state.in_flight -= 1;
+        state.in_flight_bytes -= job.est_bytes;
+        state
+            .running
+            .retain(|(_, slot)| !Arc::ptr_eq(slot, &job.repliers));
+        drop(state);
+        // A completed job frees admission budget: wake every waiter (both
+        // workers blocked on admission and `shutdown` joiners).
+        self.work_ready.notify_all();
+    }
+
+    fn worker_loop(&self) {
+        while let Some(job) = self.next_job() {
+            let result = self.db.execute_prepared(&job.entry);
+            self.executed.fetch_add(1, Ordering::Relaxed);
+            if result.is_err() {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+            }
+            // Claim the waiter list before announcing completion: once
+            // `closed`, late identical submissions start a fresh job.
+            let senders = {
+                let mut slot = job.repliers.lock().expect("replier slot poisoned");
+                slot.closed = true;
+                std::mem::take(&mut slot.senders)
+            };
+            self.finish_job(&job);
+            // Fan the one result out to every coalesced waiter.  A waiter
+            // that dropped its ticket is simply skipped.
+            for tx in senders {
+                let _ = tx.send(result.clone());
+            }
+        }
+    }
+}
+
+/// The serving front: a worker pool draining an admission-controlled FIFO
+/// queue of prepared statements against a shared [`TcuDb`].
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.workers.len())
+            .field("admission_bytes", &self.shared.admission_bytes)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Start a server over an engine, spawning the worker pool.
+    pub fn start(db: Arc<TcuDb>, config: ServeConfig) -> Server {
+        let admission_bytes = if config.admission_bytes > 0.0 {
+            config.admission_bytes
+        } else {
+            db.config().device.device_mem_bytes as f64
+        };
+        let shared = Arc::new(Shared {
+            db,
+            admission_bytes,
+            coalesce: config.coalesce,
+            state: Mutex::new(SchedState::default()),
+            work_ready: Condvar::new(),
+            submitted: AtomicU64::new(0),
+            executed: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+            admission_waits: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tcudb-serve-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawn worker")
+            })
+            .collect();
+        Server { shared, workers }
+    }
+
+    /// The engine this server executes against.
+    pub fn db(&self) -> &Arc<TcuDb> {
+        &self.shared.db
+    }
+
+    /// Open a client session (current-snapshot reads; see
+    /// [`Session::pin_current`] for repeatable reads).
+    pub fn session(&self) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+            pinned: None,
+        }
+    }
+
+    /// Submit a statement against the current snapshot and wait for it —
+    /// convenience for one-off callers; sessions are the normal interface.
+    pub fn execute(&self, sql: &str) -> TcuResult<QueryOutput> {
+        self.session().execute(sql)
+    }
+
+    /// Counters since start (see [`ServerStats`]).
+    pub fn stats(&self) -> ServerStats {
+        let state = self.shared.state.lock().expect("scheduler lock poisoned");
+        ServerStats {
+            submitted: self.shared.submitted.load(Ordering::Relaxed),
+            executed: self.shared.executed.load(Ordering::Relaxed),
+            coalesced: self.shared.coalesced.load(Ordering::Relaxed),
+            admission_waits: self.shared.admission_waits.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+            peak_in_flight_bytes: state.peak_in_flight_bytes,
+        }
+    }
+
+    /// Drain the queue, stop the workers and return the final counters.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop_workers();
+        self.stats()
+    }
+
+    fn stop_workers(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("scheduler lock poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+/// A client handle onto a [`Server`].
+///
+/// Sessions are cheap (an `Arc` clone) and independent: each decides per
+/// statement which catalog snapshot to read — the server's current one by
+/// default, or a pinned one after [`Session::pin_current`] (repeatable
+/// reads across a sequence of statements).
+#[derive(Clone)]
+pub struct Session {
+    shared: Arc<Shared>,
+    pinned: Option<Arc<CatalogSnapshot>>,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("pinned_epoch", &self.pinned.as_ref().map(|s| s.epoch()))
+            .finish()
+    }
+}
+
+impl Session {
+    /// Pin the catalog snapshot current *now*: until
+    /// [`unpin`](Session::unpin), every statement of this session reads
+    /// this exact catalog state, regardless of concurrent writes.
+    pub fn pin_current(&mut self) -> u64 {
+        let snap = self.shared.db.snapshot();
+        let epoch = snap.epoch();
+        self.pinned = Some(snap);
+        epoch
+    }
+
+    /// Return to reading the current snapshot per statement.
+    pub fn unpin(&mut self) {
+        self.pinned = None;
+    }
+
+    /// Submit a statement; returns a [`Ticket`] to wait on.
+    ///
+    /// Parse/analysis errors surface here synchronously (they need no
+    /// scheduling); valid statements are enqueued FIFO and possibly
+    /// coalesced with an identical in-queue statement.
+    pub fn submit(&self, sql: &str) -> TcuResult<Ticket> {
+        let shared = &self.shared;
+        let snapshot = match &self.pinned {
+            Some(s) => Arc::clone(s),
+            None => shared.db.snapshot(),
+        };
+        let entry = shared.db.prepare(sql, &snapshot)?;
+        // Memoized on the entry: computed once per statement per epoch.
+        let est_bytes = entry.working_set_bytes(|| {
+            estimate_working_set_bytes(&entry.analyzed, &shared.db.optimizer())
+        });
+
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut state = shared.state.lock().expect("scheduler lock poisoned");
+            if state.shutdown {
+                return Err(TcuError::Execution("server is shut down".into()));
+            }
+            shared.submitted.fetch_add(1, Ordering::Relaxed);
+            if shared.coalesce {
+                // Attach to an identical queued statement, or to one that
+                // is executing right now but has not fanned out yet —
+                // both run against exactly the epoch this submission
+                // would (same plan-cache entry, compared by pointer), so
+                // the shared result is byte-identical to a private
+                // execution.
+                let slot = state
+                    .queue
+                    .iter()
+                    .find(|j| Arc::ptr_eq(&j.entry, &entry))
+                    .map(|j| Arc::clone(&j.repliers))
+                    .or_else(|| {
+                        state
+                            .running
+                            .iter()
+                            .find(|(e, _)| Arc::ptr_eq(e, &entry))
+                            .map(|(_, slot)| Arc::clone(slot))
+                    });
+                if let Some(slot) = slot {
+                    let mut guard = slot.lock().expect("replier slot poisoned");
+                    if !guard.closed {
+                        guard.senders.push(tx);
+                        drop(guard);
+                        shared.coalesced.fetch_add(1, Ordering::Relaxed);
+                        drop(state);
+                        shared.work_ready.notify_all();
+                        return Ok(Ticket { rx });
+                    }
+                    // The execution finished between lookup and attach:
+                    // fall through and enqueue a fresh job.
+                }
+            }
+            state.queue.push_back(Job {
+                entry,
+                est_bytes,
+                repliers: Arc::new(Mutex::new(ReplierSlot {
+                    senders: vec![tx],
+                    closed: false,
+                })),
+                counted_wait: false,
+            });
+        }
+        shared.work_ready.notify_all();
+        Ok(Ticket { rx })
+    }
+
+    /// Submit a statement and block until its result arrives.
+    pub fn execute(&self, sql: &str) -> TcuResult<QueryOutput> {
+        self.submit(sql)?.wait()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcudb_storage::Table;
+    use tcudb_types::Value;
+
+    fn engine() -> Arc<TcuDb> {
+        let db = TcuDb::default();
+        db.register_table(
+            Table::from_int_columns(
+                "A",
+                &[("id", vec![1, 1, 2, 3]), ("val", vec![10, 11, 20, 30])],
+            )
+            .unwrap(),
+        );
+        db.register_table(
+            Table::from_int_columns("B", &[("id", vec![1, 2, 2]), ("val", vec![5, 6, 7])]).unwrap(),
+        );
+        Arc::new(db)
+    }
+
+    const JOIN: &str = "SELECT A.val, B.val FROM A, B WHERE A.id = B.id";
+
+    #[test]
+    fn serial_and_served_results_agree() {
+        let db = engine();
+        let serial = db.execute(JOIN).unwrap();
+        let server = Server::start(Arc::clone(&db), ServeConfig::with_workers(2));
+        let served = server.execute(JOIN).unwrap();
+        assert_eq!(serial.table, served.table);
+        assert_eq!(serial.plan.steps, served.plan.steps);
+        let stats = server.shutdown();
+        assert_eq!(stats.executed, 1);
+        assert_eq!(stats.errors, 0);
+    }
+
+    #[test]
+    fn many_clients_one_server_byte_identical() {
+        let db = engine();
+        let expected = db.execute(JOIN).unwrap().table;
+        let server = Server::start(Arc::clone(&db), ServeConfig::with_workers(3));
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                let session = server.session();
+                let expected = &expected;
+                s.spawn(move || {
+                    for _ in 0..10 {
+                        let out = session.execute(JOIN).unwrap();
+                        assert_eq!(&out.table, expected);
+                    }
+                });
+            }
+        });
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 60);
+        // Every submission was answered, by execution or by coalescing.
+        assert_eq!(stats.executed + stats.coalesced, 60);
+    }
+
+    #[test]
+    fn coalescing_executes_once_for_concurrent_identical_statements() {
+        let db = engine();
+        // A single worker guarantees the queue backs up, so identical
+        // submissions must coalesce.
+        let server = Server::start(Arc::clone(&db), ServeConfig::with_workers(1));
+        let session = server.session();
+        let tickets: Vec<Ticket> = (0..8).map(|_| session.submit(JOIN).unwrap()).collect();
+        let expected = db.execute(JOIN).unwrap().table;
+        for t in tickets {
+            assert_eq!(t.wait().unwrap().table, expected);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.submitted, 8);
+        assert!(stats.coalesced >= 1, "stats: {stats:?}");
+        assert!(stats.executed < 8);
+    }
+
+    #[test]
+    fn admission_cap_serializes_oversized_queries() {
+        let db = engine();
+        // A 1-byte cap admits only via the idle-server escape hatch: every
+        // query runs strictly alone.
+        let server = Server::start(
+            Arc::clone(&db),
+            ServeConfig {
+                workers: 4,
+                admission_bytes: 1.0,
+                coalesce: false,
+            },
+        );
+        let session = server.session();
+        let tickets: Vec<Ticket> = (0..6).map(|_| session.submit(JOIN).unwrap()).collect();
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.executed, 6);
+        // The cap kept executions strictly serial: the peak in-flight
+        // working set never exceeded a single query's estimate.
+        let snap = db.snapshot();
+        let entry = db.prepare(JOIN, &snap).unwrap();
+        let one = estimate_working_set_bytes(&entry.analyzed, &db.optimizer());
+        assert!(one > 1.0, "estimate should exceed the cap");
+        assert!(
+            stats.peak_in_flight_bytes <= one,
+            "peak {} vs single estimate {one}",
+            stats.peak_in_flight_bytes
+        );
+    }
+
+    #[test]
+    fn pinned_sessions_are_repeatable_under_ingest() {
+        let db = engine();
+        let server = Server::start(Arc::clone(&db), ServeConfig::with_workers(2));
+        let mut pinned = server.session();
+        pinned.pin_current();
+        let before = pinned.execute(JOIN).unwrap().table;
+        db.append_rows("B", vec![vec![Value::Int(3), Value::Int(9)]])
+            .unwrap();
+        // The pinned session still sees the pre-ingest catalog...
+        assert_eq!(pinned.execute(JOIN).unwrap().table, before);
+        // ...an unpinned session sees the new row.
+        let fresh = server.session().execute(JOIN).unwrap();
+        assert_eq!(fresh.table.num_rows(), before.num_rows() + 1);
+        let mut unpinned = pinned.clone();
+        unpinned.unpin();
+        assert_eq!(unpinned.execute(JOIN).unwrap().table, fresh.table);
+    }
+
+    #[test]
+    fn parse_errors_surface_synchronously() {
+        let db = engine();
+        let server = Server::start(db, ServeConfig::with_workers(1));
+        assert!(server.session().submit("SELEKT nope").is_err());
+        let stats = server.shutdown();
+        assert_eq!(stats.executed, 0);
+    }
+}

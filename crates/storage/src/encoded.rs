@@ -167,6 +167,22 @@ impl DictColumn {
         self.index.get(&value.group_key()).copied()
     }
 
+    /// Append one more row's value, extending the dictionary if the value
+    /// is new.  Keys exactly like the build paths (`group_key`
+    /// normalisation), so an incrementally extended dictionary is
+    /// indistinguishable from one rebuilt from scratch over the longer
+    /// column — `Table::push_row` uses this to keep warm encodings valid
+    /// through ingest instead of discarding them.
+    pub fn push_value(&mut self, value: &Value) {
+        let key = value.group_key();
+        let code = *self.index.entry(key.clone()).or_insert_with(|| {
+            self.keys.push(key);
+            self.values.push(value.clone());
+            (self.keys.len() - 1) as u32
+        });
+        self.codes.push(code);
+    }
+
     /// Rank of each code in the dictionary's **sorted value order**
     /// (`ranks[code] = position of value(code) in ascending `sql_cmp`
     /// order`).  Lets MIN/MAX over a text column run as a segmented
@@ -208,6 +224,21 @@ impl EncodingCache {
         map.entry(idx)
             .or_insert_with(|| std::sync::Arc::new(make()))
             .clone()
+    }
+
+    /// Extend every warm entry with one appended row, keeping the cache
+    /// valid through `Table::push_row` instead of invalidating it.
+    ///
+    /// `value_of` maps a column index to the appended row's value for that
+    /// column.  Entries are copy-on-write: if a pinned snapshot still
+    /// holds an `Arc` to the old encoding (covering the shorter column),
+    /// that encoding is left untouched and this table gets an extended
+    /// copy — [`std::sync::Arc::make_mut`] semantics.
+    pub fn extend_with_row(&self, value_of: impl Fn(usize) -> Value) {
+        let mut map = self.inner.lock().expect("encoding cache poisoned");
+        for (&idx, dict) in map.iter_mut() {
+            std::sync::Arc::make_mut(dict).push_value(&value_of(idx));
+        }
     }
 
     /// Number of cached column encodings (telemetry / tests).

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # tcudb-storage
 //!
 //! In-memory columnar table storage for TCUDB-RS.
@@ -19,6 +20,11 @@
 //!   cached on the [`Table`] so the encoded query data path never re-hashes
 //!   rows,
 //! * [`Catalog`] — the named-table registry shared by the engines,
+//! * [`CatalogSnapshot`] / [`SharedCatalog`] — epoch-tagged immutable
+//!   catalog snapshots and their copy-on-write publish point: queries pin
+//!   one snapshot for their lifetime, writes publish the next epoch, and
+//!   the epoch doubles as the invalidation token for every cache derived
+//!   from catalog state (dictionary encodings, cached plans),
 //! * [`csv`] — plain-text import/export used by the examples.
 
 pub mod catalog;
@@ -26,6 +32,7 @@ pub mod column;
 pub mod csv;
 pub mod encoded;
 pub mod schema;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
 
@@ -33,5 +40,6 @@ pub use catalog::Catalog;
 pub use column::Column;
 pub use encoded::{DictColumn, EncodingCache};
 pub use schema::{ColumnDef, Schema};
+pub use snapshot::{CatalogSnapshot, SharedCatalog};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;

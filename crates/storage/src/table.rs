@@ -14,9 +14,10 @@ pub struct Table {
     schema: Schema,
     columns: Vec<Column>,
     rows: usize,
-    /// Lazily built per-column dictionary encodings (derived state;
-    /// excluded from equality, invalidated by construction since every
-    /// mutation path builds a new `Table`).
+    /// Lazily built per-column dictionary encodings (derived state,
+    /// excluded from equality).  Construction paths start cold; `clone`
+    /// carries warm entries over, and `push_row` extends them in place
+    /// (copy-on-write) so ingest never discards a warm dictionary.
     encodings: EncodingCache,
 }
 
@@ -132,12 +133,16 @@ impl Table {
                 self.columns.len()
             )));
         }
-        for (col, val) in self.columns.iter_mut().zip(row) {
-            col.push(val)?;
+        for (col, val) in self.columns.iter_mut().zip(&row) {
+            col.push(val.clone())?;
         }
         self.rows += 1;
-        // The cached encodings no longer cover the new row.
-        self.encodings = EncodingCache::default();
+        // Keep warm dictionary encodings valid by extending them with the
+        // appended row (copy-on-write, so encodings pinned by concurrent
+        // snapshots of the pre-ingest table are unaffected).  Before this,
+        // every `push_row` discarded the whole cache and the next query
+        // re-encoded every column from scratch.
+        self.encodings.extend_with_row(|idx| row[idx].clone());
         Ok(())
     }
 
@@ -372,6 +377,44 @@ mod tests {
         let p = t.format_preview(2);
         assert!(p.contains("id | val | tag"));
         assert!(p.contains("3 rows total"));
+    }
+
+    #[test]
+    fn push_row_extends_warm_encodings_instead_of_wiping_them() {
+        let mut t = sample();
+        // Warm two of the three columns.
+        let id_before = t.encoded_column(0);
+        let _ = t.encoded_column(2);
+        assert_eq!(t.encoded_column_count(), 2);
+
+        t.push_row(vec![Value::Int(2), Value::Float(9.5), Value::from("d")])
+            .unwrap();
+
+        // The cache survived ingest (regression: push_row used to reset
+        // the whole cache) and each warm entry now covers the new row.
+        assert_eq!(t.encoded_column_count(), 2);
+        let id_after = t.encoded_column(0);
+        assert_eq!(id_after.len(), 4);
+        assert_eq!(id_after.codes(), DictColumn::build(t.column(0)).codes());
+        let tag_after = t.encoded_column(2);
+        assert_eq!(tag_after.len(), 4);
+        assert_eq!(tag_after.codes(), DictColumn::build(t.column(2)).codes());
+        // A pinned pre-ingest encoding is untouched (copy-on-write).
+        assert_eq!(id_before.len(), 3);
+    }
+
+    #[test]
+    fn push_row_extension_matches_rebuild_for_new_distinct_values() {
+        let mut t = Table::from_int_columns("t", &[("k", vec![5, 7, 5])]).unwrap();
+        let warm = t.encoded_column(0);
+        assert_eq!(warm.dict_len(), 2);
+        t.push_row(vec![Value::Int(11)]).unwrap();
+        t.push_row(vec![Value::Int(7)]).unwrap();
+        let extended = t.encoded_column(0);
+        let rebuilt = DictColumn::build(t.column(0));
+        assert_eq!(extended.codes(), rebuilt.codes());
+        assert_eq!(extended.values(), rebuilt.values());
+        assert_eq!(extended.code_of(&Value::Int(11)), Some(2));
     }
 
     #[test]

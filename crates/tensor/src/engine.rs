@@ -164,7 +164,7 @@ pub fn auto_threads(m: usize, n: usize, k: usize) -> usize {
 /// Compute `C = A × B` (`A`: m×k, `B`: k×n) on the tiled engine.
 ///
 /// Shapes must already be validated (`a.cols() == b.rows()`); the public
-/// wrappers in [`crate::gemm`] do so and attach [`crate::gemm::GemmStats`].
+/// wrappers in [`crate::gemm`](mod@crate::gemm) do so and attach [`crate::gemm::GemmStats`].
 pub fn tiled_gemm(
     a: &DenseMatrix,
     b: &DenseMatrix,

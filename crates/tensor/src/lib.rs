@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # tcudb-tensor
 //!
 //! The tensor/matrix substrate of TCUDB-RS.  On the paper's hardware this
@@ -13,13 +14,13 @@
 //! * [`engine`] — the tiled, operand-packed, multi-threaded kernel engine
 //!   every dense entry point routes through (packing, MR×NR register-tiled
 //!   microkernel over cache-sized k-blocks, row-panel threading),
-//! * [`gemm`] — dense matrix multiplication in emulated precisions
+//! * [`gemm`](mod@gemm) — dense matrix multiplication in emulated precisions
 //!   (fp16-input / fp32-accumulate, int8 / int4-input / wide-integer-
 //!   accumulate, and exact f64 reference),
 //! * [`grouped`] — grouped reduction (§3.3): per-group sums either as a
 //!   scatter-accumulate `segmented_reduce` or as an actual one-hot GEMM
 //!   (`grouped_sum_gemm`) on the tiled engine,
-//! * [`reference`] — the naive scalar kernels, kept as the bit-exact
+//! * [`reference`](mod@reference) — the naive scalar kernels, kept as the bit-exact
 //!   correctness oracle and perf baseline,
 //! * [`sparse`] — CSR matrices and conversions,
 //! * [`spmm`] — the TCU-SpMM operator of §4.2.4: tile the operands into
@@ -27,7 +28,7 @@
 //!   multiply the surviving pairs on the shared microkernel,
 //! * [`blocked`] — the MSplitGEMM-style blocked/pipelined GEMM of §4.2.3
 //!   for operands that do not fit in device memory,
-//! * [`nonzero`] — the `nonzero(·)` matrix→pairs conversion used between
+//! * [`nonzero`](mod@nonzero) — the `nonzero(·)` matrix→pairs conversion used between
 //!   the stages of a multi-way join (§3.2).
 //!
 //! Every kernel returns a small "kernel statistics" struct (FLOPs, bytes

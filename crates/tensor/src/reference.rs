@@ -16,7 +16,7 @@
 //!   and converted to f32 exactly once at store time.  The original
 //!   non-transposed kernel accumulated through f32 `add_to`, silently
 //!   losing integer precision past 2²⁴ — fixed here for both orientations,
-//!   with a regression test in [`crate::gemm`].
+//!   with a regression test in [`crate::gemm`](mod@crate::gemm).
 //! * `Fp32`: plain f32 accumulation in ascending k order per element.
 
 use crate::dense::DenseMatrix;

@@ -21,10 +21,20 @@ pub enum TcuError {
     /// overflow (feasibility test failure, §4.2.1 of the paper).
     PrecisionOverflow(String),
     /// A matrix / tensor operation was invoked with incompatible shapes.
-    ShapeMismatch { expected: String, got: String },
+    ShapeMismatch {
+        /// The shape the operation required, rendered as text.
+        expected: String,
+        /// The shape it was given.
+        got: String,
+    },
     /// The simulated device ran out of device memory and no blocked plan
     /// was available.
-    DeviceMemoryExceeded { required: usize, available: usize },
+    DeviceMemoryExceeded {
+        /// Bytes the plan needed resident on the device.
+        required: usize,
+        /// Bytes the device actually has.
+        available: usize,
+    },
     /// Error touching the filesystem (CSV import/export).
     Io(String),
     /// Catch-all for invalid arguments to public APIs.

@@ -1,3 +1,4 @@
+#![warn(missing_docs)]
 //! # tcudb-types
 //!
 //! Foundational scalar types shared by every TCUDB crate:

@@ -19,7 +19,7 @@ use tcudb_core::batch::TupleBatch;
 use tcudb_core::relops::{self, FinalizeOptions};
 use tcudb_device::{CostModel, DeviceProfile, ExecutionTimeline, Phase};
 use tcudb_sql::{parse, BinOp};
-use tcudb_storage::{Catalog, Table};
+use tcudb_storage::{Catalog, CatalogSnapshot, SharedCatalog, Table};
 use tcudb_types::{TcuError, TcuResult, Value};
 
 /// Result of one YDB query execution.
@@ -59,9 +59,14 @@ impl Default for YdbConfig {
 }
 
 /// The YDB-style GPU query engine.
+///
+/// Shares the snapshot API of the TCUDB engine: queries pin an immutable
+/// [`CatalogSnapshot`] for their lifetime and writes (all `&self`)
+/// publish new snapshots, so one `YdbEngine` can serve concurrent
+/// threads.
 #[derive(Debug, Default, Clone)]
 pub struct YdbEngine {
-    catalog: Catalog,
+    shared: SharedCatalog,
     config: YdbConfig,
 }
 
@@ -69,7 +74,7 @@ impl YdbEngine {
     /// Create an engine for a device.
     pub fn new(config: YdbConfig) -> YdbEngine {
         YdbEngine {
-            catalog: Catalog::new(),
+            shared: SharedCatalog::default(),
             config,
         }
     }
@@ -82,20 +87,21 @@ impl YdbEngine {
         })
     }
 
-    /// Register (or replace) a table.
-    pub fn register_table(&mut self, table: Table) {
-        self.catalog.register(table);
+    /// Register (or replace) a table, publishing a new catalog snapshot.
+    pub fn register_table(&self, table: Table) {
+        self.shared.update(|c| c.register(table));
     }
 
     /// Share a catalog built elsewhere (comparison experiments register the
-    /// data once and hand the same catalog to every engine).
-    pub fn set_catalog(&mut self, catalog: Catalog) {
-        self.catalog = catalog;
+    /// data once and hand the same catalog to every engine); publishes a
+    /// new snapshot.
+    pub fn set_catalog(&self, catalog: Catalog) {
+        self.shared.replace(catalog);
     }
 
-    /// Access the catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Pin the current catalog snapshot.
+    pub fn catalog(&self) -> std::sync::Arc<CatalogSnapshot> {
+        self.shared.snapshot()
     }
 
     /// Mutable configuration access.
@@ -106,7 +112,8 @@ impl YdbEngine {
     /// Execute a SQL query through the conventional GPU pipeline.
     pub fn execute(&self, sql: &str) -> TcuResult<YdbOutput> {
         let stmt = parse(sql)?;
-        let analyzed = analyzer::analyze(&stmt, &self.catalog)?;
+        let snapshot = self.shared.snapshot();
+        let analyzed = analyzer::analyze(&stmt, snapshot.catalog())?;
         self.execute_analyzed(&analyzed)
     }
 
@@ -293,7 +300,7 @@ mod tests {
     use super::*;
 
     fn engine() -> YdbEngine {
-        let mut e = YdbEngine::default();
+        let e = YdbEngine::default();
         e.register_table(
             Table::from_int_columns(
                 "A",
@@ -358,8 +365,8 @@ mod tests {
     fn slower_device_is_slower() {
         let sql = "SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val";
         let fast = engine().execute(sql).unwrap().total_seconds();
-        let mut slow_engine = YdbEngine::for_device(DeviceProfile::rtx_2080());
-        slow_engine.set_catalog(engine().catalog().clone());
+        let slow_engine = YdbEngine::for_device(DeviceProfile::rtx_2080());
+        slow_engine.set_catalog(engine().catalog().catalog().clone());
         let slow = slow_engine.execute(sql).unwrap().total_seconds();
         assert!(slow > fast);
     }

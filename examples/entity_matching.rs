@@ -17,9 +17,9 @@ fn main() -> TcuResult<()> {
     );
     let catalog = em::gen_catalog(&dataset, 23);
 
-    let mut tcudb = TcuDb::default();
+    let tcudb = TcuDb::default();
     tcudb.set_catalog(catalog.clone());
-    let mut ydb = YdbEngine::default();
+    let ydb = YdbEngine::default();
     ydb.set_catalog(catalog);
 
     println!(

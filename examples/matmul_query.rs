@@ -14,9 +14,9 @@ fn main() -> TcuResult<()> {
     // Figure 10 (mini dims): run the query end to end on both engines.
     let dim = 64;
     let catalog = matmul::gen_catalog(dim, 1.0, matmul::ValueRange::Int7, 17);
-    let mut tcudb = TcuDb::default();
+    let tcudb = TcuDb::default();
     tcudb.set_catalog(catalog.clone());
-    let mut ydb = YdbEngine::default();
+    let ydb = YdbEngine::default();
     ydb.set_catalog(catalog);
 
     let t = tcudb.execute(matmul::MATMUL_QUERY)?;

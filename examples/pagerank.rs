@@ -19,7 +19,7 @@ fn main() -> TcuResult<()> {
     let init_rank = vec![1.0 / g.nodes as f64; g.nodes];
     graph::register_pagerank_state(&mut catalog, &g, &init_rank);
 
-    let mut db = TcuDb::default();
+    let db = TcuDb::default();
     db.set_catalog(catalog);
 
     // PR Q1: out-degrees.

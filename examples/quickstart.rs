@@ -10,7 +10,7 @@ use tcudb::prelude::*;
 
 fn main() -> TcuResult<()> {
     // Build a tiny catalog: A(id, val) and B(id, val).
-    let mut db = TcuDb::default();
+    let db = TcuDb::default();
     db.register_table(Table::from_int_columns(
         "A",
         &[

@@ -20,9 +20,9 @@ fn main() -> TcuResult<()> {
     let mut tcudb = TcuDb::default();
     tcudb.config_mut().count_only = false;
     tcudb.set_catalog(catalog.clone());
-    let mut ydb = YdbEngine::default();
+    let ydb = YdbEngine::default();
     ydb.set_catalog(catalog.clone());
-    let mut monet = MonetEngine::default();
+    let monet = MonetEngine::default();
     monet.set_catalog(catalog);
 
     println!(

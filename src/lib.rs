@@ -7,23 +7,30 @@
 //! examples, integration tests and downstream users can depend on a single
 //! crate:
 //!
-//! * [`core`](tcudb_core) — the TCUDB engine (analyzer, optimizer, TCU
-//!   operators, executor),
-//! * [`tensor`](tcudb_tensor) — dense/sparse/blocked tensor kernels with
-//!   emulated tensor-core precisions,
-//! * [`device`](tcudb_device) — the simulated GPU device and cost model,
-//! * [`storage`](tcudb_storage) — columnar tables, statistics, catalog,
-//! * [`sql`](tcudb_sql) — the SQL front-end,
-//! * [`ydb`](tcudb_ydb), [`monet`](tcudb_monet), [`magiq`](tcudb_magiq) —
-//!   the baseline engines of the paper's evaluation,
-//! * [`datagen`](tcudb_datagen) — workload generators for every experiment.
+//! * [`core`] — the TCUDB engine (analyzer, optimizer, TCU operators,
+//!   executor, plan/statement cache),
+//! * [`serve`] — concurrent query serving: sessions, a worker-pool
+//!   scheduler with admission control and statement coalescing,
+//! * [`tensor`] — dense/sparse/blocked tensor kernels with emulated
+//!   tensor-core precisions,
+//! * [`device`] — the simulated GPU device and cost model,
+//! * [`storage`] — columnar tables, statistics, catalog and epoch-tagged
+//!   catalog snapshots,
+//! * [`sql`] — the SQL front-end,
+//! * [`ydb`], [`monet`], [`magiq`] — the baseline engines of the paper's
+//!   evaluation,
+//! * [`datagen`] — workload generators for every experiment.
+//!
+//! See `ARCHITECTURE.md` at the repository root for the end-to-end query
+//! data path and the serving layer, and `BENCHMARKS.md` for the committed
+//! benchmark artifacts.
 //!
 //! ## Quickstart
 //!
 //! ```
 //! use tcudb::prelude::*;
 //!
-//! let mut db = TcuDb::default();
+//! let db = TcuDb::default();
 //! db.register_table(
 //!     Table::from_int_columns("A", &[("id", vec![1, 2, 3]), ("val", vec![10, 20, 30])]).unwrap(),
 //! );
@@ -42,6 +49,7 @@ pub use tcudb_datagen as datagen;
 pub use tcudb_device as device;
 pub use tcudb_magiq as magiq;
 pub use tcudb_monet as monet;
+pub use tcudb_serve as serve;
 pub use tcudb_sql as sql;
 pub use tcudb_storage as storage;
 pub use tcudb_tensor as tensor;
@@ -53,8 +61,11 @@ pub mod prelude {
     pub use tcudb_core::{EngineConfig, PlanKind, QueryOutput, TcuDb};
     pub use tcudb_device::{DeviceProfile, ExecutionTimeline, Phase};
     pub use tcudb_monet::MonetEngine;
+    pub use tcudb_serve::{ServeConfig, Server, Session};
     pub use tcudb_sql::parse;
-    pub use tcudb_storage::{Catalog, Column, ColumnDef, Schema, Table};
+    pub use tcudb_storage::{
+        Catalog, CatalogSnapshot, Column, ColumnDef, Schema, SharedCatalog, Table,
+    };
     pub use tcudb_types::{DataType, Precision, TcuError, TcuResult, Value};
     pub use tcudb_ydb::YdbEngine;
 }

@@ -10,11 +10,11 @@ use tcudb::prelude::*;
 /// row for row (after sorting rows textually, since row order is only
 /// defined when the query has an ORDER BY).
 fn assert_engines_agree(catalog: &Catalog, sql: &str) {
-    let mut tcudb = TcuDb::default();
+    let tcudb = TcuDb::default();
     tcudb.set_catalog(catalog.clone());
-    let mut ydb = YdbEngine::default();
+    let ydb = YdbEngine::default();
     ydb.set_catalog(catalog.clone());
-    let mut monet = MonetEngine::default();
+    let monet = MonetEngine::default();
     monet.set_catalog(catalog.clone());
 
     let t = tcudb.execute(sql).expect("tcudb executes");
@@ -158,7 +158,7 @@ fn forced_plans_do_not_change_answers() {
         rows
     };
     let reference = {
-        let mut db = TcuDb::default();
+        let db = TcuDb::default();
         db.set_catalog(catalog.clone());
         normalize(&db.execute(sql).unwrap().table)
     };
@@ -167,7 +167,7 @@ fn forced_plans_do_not_change_answers() {
         PlanKind::TcuSparse,
         PlanKind::GpuFallback,
     ] {
-        let mut db = TcuDb::new(EngineConfig::default().with_forced_plan(plan));
+        let db = TcuDb::new(EngineConfig::default().with_forced_plan(plan));
         db.set_catalog(catalog.clone());
         let out = db.execute(sql).unwrap();
         assert_eq!(normalize(&out.table), reference, "plan {plan:?}");

@@ -124,7 +124,7 @@ fn graph_engine_ranking_matches_figure_13() {
 #[test]
 fn optimizer_falls_back_when_values_exceed_tcu_range() {
     // §4.2.1: values beyond the fp16 range make the feasibility test fail.
-    let mut db = TcuDb::default();
+    let db = TcuDb::default();
     db.register_table(
         Table::from_int_columns(
             "A",

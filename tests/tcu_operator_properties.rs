@@ -97,10 +97,10 @@ proptest! {
             &[("id", b.iter().map(|(k, _)| *k).collect()),
               ("val", b.iter().map(|(_, v)| *v).collect())],
         ).unwrap();
-        let mut tcudb = TcuDb::default();
+        let tcudb = TcuDb::default();
         tcudb.register_table(table_a.clone());
         tcudb.register_table(table_b.clone());
-        let mut ydb = YdbEngine::default();
+        let ydb = YdbEngine::default();
         ydb.register_table(table_a);
         ydb.register_table(table_b);
 

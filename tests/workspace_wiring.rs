@@ -55,7 +55,7 @@ fn every_reexported_crate_is_reachable() {
 /// layer (sql -> core -> storage -> tensor -> device).
 #[test]
 fn prelude_supports_end_to_end_query() {
-    let mut db = TcuDb::default();
+    let db = TcuDb::default();
     db.register_table(
         Table::from_int_columns("A", &[("id", vec![1, 2, 3]), ("val", vec![10, 20, 30])]).unwrap(),
     );
