@@ -1,0 +1,409 @@
+//! A minimal Rust lexer.
+//!
+//! This is **not** a full Rust lexer: it distinguishes exactly the token
+//! classes the lint rules need — identifiers, literals, punctuation,
+//! delimiters and lifetimes — and keeps comments (the carriers of
+//! `// SAFETY:` and `// lint: allow(...)` annotations) in a side list with
+//! line information.  Strings (including raw and byte strings), char
+//! literals vs. lifetimes, nested block comments and numeric literals are
+//! handled faithfully enough that no token is ever mis-bucketed into code
+//! when it is really data, which is all the rules rely on.
+
+/// Token classes distinguished by the scanner.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// An identifier or keyword (text kept on the token).
+    Ident,
+    /// A lifetime such as `'a` (text kept without the quote).
+    Lifetime,
+    /// Any literal: string, raw string, byte string, char or number.
+    Lit,
+    /// A single punctuation character (`.`, `;`, `#`, `!`, …).
+    Punct(char),
+    /// An opening delimiter: `(`, `[` or `{`.
+    Open(char),
+    /// A closing delimiter: `)`, `]` or `}`.
+    Close(char),
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokKind,
+    /// Source text for identifiers and lifetimes; empty otherwise.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// True when the token is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment, kept out of the token stream.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// Comment text without the `//`/`/*` markers.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based line the comment ends on (block comments may span lines).
+    pub end_line: u32,
+    /// True for doc comments (`///`, `//!`, `/** */`, `/*! */`).
+    pub doc: bool,
+}
+
+/// The output of [`lex`]: code tokens plus the comment side list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenize `src`.  Unterminated constructs (strings, block comments) are
+/// consumed to end-of-file rather than reported: the analyzer lints code
+/// that already compiles, so they cannot occur in practice.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            _ if c.is_ascii_whitespace() => i += 1,
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                let start = i + 2;
+                let doc = start < b.len() && (b[start] == b'/' || b[start] == b'!');
+                let mut j = i + 2;
+                while j < b.len() && b[j] != b'\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&b[i + 2..j]).into_owned(),
+                    line,
+                    end_line: line,
+                    doc,
+                });
+                i = j;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                let doc = i + 2 < b.len() && (b[i + 2] == b'*' || b[i + 2] == b'!');
+                let start_line = line;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < b.len() && depth > 0 {
+                    if b[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == b'/' && j + 1 < b.len() && b[j + 1] == b'*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == b'*' && j + 1 < b.len() && b[j + 1] == b'/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&b[i + 2..j.saturating_sub(2).max(i + 2)])
+                        .into_owned(),
+                    line: start_line,
+                    end_line: line,
+                    doc,
+                });
+                i = j;
+            }
+            b'"' => {
+                let l = line;
+                i = skip_string(b, i, &mut line);
+                out.tokens.push(lit(l));
+            }
+            b'r' | b'b' if is_raw_or_byte_string(b, i) => {
+                let l = line;
+                i = skip_raw_or_byte(b, i, &mut line);
+                out.tokens.push(lit(l));
+            }
+            b'\'' => {
+                // Lifetime vs char literal: `'ident` not followed by a
+                // closing quote is a lifetime.
+                let is_lifetime =
+                    i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') && {
+                        let mut j = i + 2;
+                        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                            j += 1;
+                        }
+                        !(j < b.len() && b[j] == b'\'')
+                    };
+                if is_lifetime {
+                    let mut j = i + 1;
+                    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        kind: TokKind::Lifetime,
+                        text: String::from_utf8_lossy(&b[i + 1..j]).into_owned(),
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let l = line;
+                    i = skip_char_literal(b, i);
+                    out.tokens.push(lit(l));
+                }
+            }
+            _ if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut j = i + 1;
+                while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    kind: TokKind::Ident,
+                    text: String::from_utf8_lossy(&b[i..j]).into_owned(),
+                    line,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let l = line;
+                i = skip_number(b, i);
+                out.tokens.push(lit(l));
+            }
+            b'(' | b'[' | b'{' => {
+                out.tokens.push(Token {
+                    kind: TokKind::Open(c as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+            b')' | b']' | b'}' => {
+                out.tokens.push(Token {
+                    kind: TokKind::Close(c as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    kind: TokKind::Punct(c as char),
+                    text: String::new(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+fn lit(line: u32) -> Token {
+    Token {
+        kind: TokKind::Lit,
+        text: String::new(),
+        line,
+    }
+}
+
+/// Skip a `"…"` string starting at `i`; returns the index past the close.
+fn skip_string(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i + 1;
+    while j < b.len() {
+        match b[j] {
+            b'\\' => j += 2,
+            b'\n' => {
+                *line += 1;
+                j += 1;
+            }
+            b'"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// True when position `i` starts `r"`, `r#`, `b"`, `b'`, `br` or `rb`-style
+/// raw/byte literals (as opposed to an identifier starting with r/b).
+fn is_raw_or_byte_string(b: &[u8], i: usize) -> bool {
+    let rest = &b[i..];
+    let after = |k: usize| rest.get(k).copied();
+    match rest.first() {
+        Some(b'r') => matches!(after(1), Some(b'"') | Some(b'#')),
+        Some(b'b') => match after(1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(after(2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skip a raw string / byte string / byte char starting at `i`.
+fn skip_raw_or_byte(b: &[u8], i: usize, line: &mut u32) -> usize {
+    let mut j = i;
+    if b[j] == b'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == b'\'' {
+        return skip_char_literal(b, j);
+    }
+    if j < b.len() && b[j] == b'r' {
+        j += 1;
+        let mut hashes = 0usize;
+        while j < b.len() && b[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < b.len() && b[j] == b'"' {
+            j += 1;
+            while j < b.len() {
+                if b[j] == b'\n' {
+                    *line += 1;
+                    j += 1;
+                } else if b[j] == b'"' && b[j + 1..].iter().take(hashes).all(|&h| h == b'#') {
+                    return j + 1 + hashes;
+                } else {
+                    j += 1;
+                }
+            }
+        }
+        return j;
+    }
+    // Plain byte string `b"…"`.
+    skip_string(b, j, line)
+}
+
+/// Skip a `'…'` char literal starting at `i`.
+fn skip_char_literal(b: &[u8], i: usize) -> usize {
+    let mut j = i + 1;
+    if j < b.len() && b[j] == b'\\' {
+        j += 2;
+        // `\u{…}` escapes.
+        if j <= b.len() && b.get(j - 1) == Some(&b'{') {
+            while j < b.len() && b[j] != b'}' {
+                j += 1;
+            }
+            j += 1;
+        }
+    } else {
+        j += 1;
+    }
+    while j < b.len() && b[j] != b'\'' {
+        j += 1;
+    }
+    j + 1
+}
+
+/// Skip a numeric literal starting at `i` without consuming `..` ranges.
+fn skip_number(b: &[u8], i: usize) -> usize {
+    let mut j = i;
+    while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+        j += 1;
+    }
+    // Fractional part — only when the dot is not the start of `..` or a
+    // method call on the literal.
+    if j + 1 < b.len() && b[j] == b'.' && b[j + 1].is_ascii_digit() {
+        j += 1;
+        while j < b.len() && (b[j].is_ascii_alphanumeric() || b[j] == b'_') {
+            j += 1;
+        }
+        // Exponent sign (`1.5e-3`): the `e` was consumed above; a sign
+        // followed by digits continues the literal.
+        if j + 1 < b.len()
+            && (b[j] == b'+' || b[j] == b'-')
+            && b[j - 1].eq_ignore_ascii_case(&b'e')
+            && b[j + 1].is_ascii_digit()
+        {
+            j += 1;
+            while j < b.len() && b[j].is_ascii_digit() {
+                j += 1;
+            }
+        }
+    } else if j + 1 < b.len()
+        && (b[j] == b'+' || b[j] == b'-')
+        && b[j - 1].eq_ignore_ascii_case(&b'e')
+        && b[j + 1].is_ascii_digit()
+        && b[i..j].iter().any(|&d| d.eq_ignore_ascii_case(&b'e'))
+    {
+        j += 1;
+        while j < b.len() && b[j].is_ascii_digit() {
+            j += 1;
+        }
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_never_leak_tokens() {
+        let src = r##"
+            // unsafe in a comment
+            let s = "unsafe { lock() }";
+            let r = r#"panic!("x")"#;
+            /* block /* nested */ unwrap() */
+            let c = '{';
+            real_ident();
+        "##;
+        let ids = idents(src);
+        assert!(ids.contains(&"real_ident".to_string()));
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(!ids.contains(&"panic".to_string()));
+        assert!(!ids.contains(&"unwrap".to_string()));
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = lex("fn f<'a>(x: &'a str) { let c = 'a'; }").tokens;
+        let lifetimes = toks.iter().filter(|t| t.kind == TokKind::Lifetime).count();
+        let lits = toks.iter().filter(|t| t.kind == TokKind::Lit).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(lits, 1);
+    }
+
+    #[test]
+    fn ranges_do_not_eat_dots() {
+        let toks = lex("for i in 0..10 { x[i] = 1.5e-3; }").tokens;
+        let dots = toks.iter().filter(|t| t.is_punct('.')).count();
+        assert_eq!(dots, 2, "0..10 keeps its two dots");
+        assert_eq!(toks.iter().filter(|t| t.kind == TokKind::Lit).count(), 3);
+    }
+
+    #[test]
+    fn lines_are_tracked_through_multiline_constructs() {
+        let src = "let a = \"x\ny\";\n/* c\nc */\nfinal_token();";
+        let toks = lex(src).tokens;
+        let last = toks.iter().find(|t| t.is_ident("final_token")).unwrap();
+        assert_eq!(last.line, 5);
+    }
+}

@@ -1,0 +1,338 @@
+//! `tcudb-analyze` — workspace-native static analysis for TCUDB.
+//!
+//! The concurrency and panic-safety invariants introduced with the
+//! concurrent serving layer ("readers only block for the final pointer
+//! swap", "a poisoned mutex must not kill the server", "`unsafe` lives
+//! only in the tensor kernels") are cheap to state and easy to erode.
+//! This crate machine-checks them on every commit with a lightweight,
+//! dependency-free source scanner: a hand-rolled lexer ([`lexer`]), a
+//! structural pass good enough to recover functions, impls, struct
+//! fields, attributes and `unsafe` sites ([`model`]) — no full parse —
+//! and three rule families on top:
+//!
+//! * [`locks`] — static lock-order graph, cycle / re-entrancy detection,
+//!   publish-under-lock and condvar double-hold checks;
+//! * [`panics`] — deny `unwrap`/`expect`/`panic!`/unchecked indexing in
+//!   the serving request path, with a `// lint: allow(panic) <reason>`
+//!   escape hatch;
+//! * [`unsafety`] — every `unsafe` needs a safety comment, and only the
+//!   tensor crate may contain `unsafe` at all.
+//!
+//! Run it as `cargo run -p tcudb-analyze -- --deny`; findings are also
+//! written as a JSON report ([`report`]) consumed by CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lexer;
+pub mod locks;
+pub mod model;
+pub mod panics;
+pub mod report;
+pub mod unsafety;
+
+use model::SourceFile;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// The lint rules the analyzer enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// Lock-order cycle or re-entrant acquisition.
+    LockOrder,
+    /// `SharedCatalog` publish reached while a lock guard is held.
+    PublishUnderLock,
+    /// Condvar wait while holding a lock other than the waited mutex.
+    CondvarDoubleHold,
+    /// Panic-capable construct in the serving request path.
+    PanicPath,
+    /// `unsafe` without a safety comment.
+    SafetyComment,
+    /// `unsafe` in a crate that must not contain any.
+    UnsafeOutsideTensor,
+    /// Unsafe-free crate whose root lacks `#![forbid(unsafe_code)]`.
+    ForbidUnsafeMissing,
+    /// Malformed `// lint: allow(…)` annotation (missing reason).
+    LintAnnotation,
+}
+
+impl Rule {
+    /// Stable kebab-case identifier used in reports and annotations.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::LockOrder => "lock-order",
+            Rule::PublishUnderLock => "publish-under-lock",
+            Rule::CondvarDoubleHold => "condvar-double-hold",
+            Rule::PanicPath => "panic-path",
+            Rule::SafetyComment => "safety-comment",
+            Rule::UnsafeOutsideTensor => "unsafe-outside-tensor",
+            Rule::ForbidUnsafeMissing => "forbid-unsafe-missing",
+            Rule::LintAnnotation => "lint-annotation",
+        }
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// One lint finding: rule, location, human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Workspace-relative file path (forward slashes).
+    pub file: String,
+    /// 1-based line number (0 when the finding is file-level).
+    pub line: u32,
+    /// What went wrong and how to fix it.
+    pub message: String,
+}
+
+impl Finding {
+    /// Construct a finding.
+    pub fn new(rule: Rule, file: &str, line: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}:{}: {}",
+            self.rule.id(),
+            self.file,
+            self.line,
+            self.message
+        )
+    }
+}
+
+/// Analyzer configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Path prefixes (workspace-relative) forming the serving request
+    /// path, where the panic lint applies.
+    pub panic_paths: Vec<String>,
+    /// Path prefixes fed to the lock-order analysis.  Kept to the crates
+    /// that own `std::sync` state so unrelated code can never add noise.
+    pub lock_paths: Vec<String>,
+    /// Crates permitted to contain `unsafe`.
+    pub unsafe_allowed_crates: Vec<String>,
+    /// Enforce `#![forbid(unsafe_code)]` on unsafe-free crate roots.
+    pub check_forbid: bool,
+}
+
+impl Config {
+    /// The default configuration for a given workspace root.
+    pub fn for_root(root: PathBuf) -> Config {
+        Config {
+            root,
+            panic_paths: vec!["crates/serve/src".into()],
+            lock_paths: vec![
+                "crates/serve/src".into(),
+                "crates/storage/src".into(),
+                "crates/core/src".into(),
+                "crates/types/src".into(),
+            ],
+            unsafe_allowed_crates: vec!["tcudb-tensor".into()],
+            check_forbid: true,
+        }
+    }
+}
+
+/// The full result of one analyzer run.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// All findings, sorted by file, line, rule.
+    pub findings: Vec<Finding>,
+    /// The lock-order analysis (graph, declared locks, statistics).
+    pub locks: locks::LockAnalysis,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of functions recovered by the structural pass.
+    pub functions_scanned: usize,
+}
+
+/// Directories never descended into during the workspace walk.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    ".git",
+    "vendor",
+    "fixtures",
+    "node_modules",
+    ".github",
+];
+
+/// Walk the workspace under `config.root` and run every rule.
+pub fn analyze(config: &Config) -> Analysis {
+    let files = collect_files(&config.root);
+    analyze_files(config, &files)
+}
+
+/// Run every rule over an already-parsed file set (used by fixture
+/// tests, which build the set by hand).
+pub fn analyze_files(config: &Config, files: &[SourceFile]) -> Analysis {
+    let mut a = Analysis {
+        files_scanned: files.len(),
+        functions_scanned: files.iter().map(|f| f.fns.len()).sum(),
+        ..Analysis::default()
+    };
+
+    let lock_files: Vec<SourceFile> = files
+        .iter()
+        .filter(|f| under_any(&f.rel_path, &config.lock_paths))
+        .cloned()
+        .collect();
+    a.locks = locks::run(&lock_files);
+    a.findings.extend(a.locks.findings.iter().cloned());
+
+    for f in files {
+        if under_any(&f.rel_path, &config.panic_paths) {
+            panics::run(f, &mut a.findings);
+        }
+    }
+
+    unsafety::run(
+        files,
+        &config.unsafe_allowed_crates,
+        config.check_forbid,
+        &mut a.findings,
+    );
+
+    a.findings
+        .sort_by(|x, y| (&x.file, x.line, x.rule).cmp(&(&y.file, y.line, y.rule)));
+    a
+}
+
+fn under_any(rel: &str, prefixes: &[String]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p.as_str()))
+}
+
+/// Collect and parse every `.rs` file in the workspace, resolving each
+/// file's crate name from the nearest `Cargo.toml`.
+pub fn collect_files(root: &Path) -> Vec<SourceFile> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let Ok(src) = std::fs::read_to_string(&path) else {
+                    continue;
+                };
+                let rel = rel_path(root, &path);
+                let krate = crate_name_for(root, &path);
+                let in_tests_dir = rel.split('/').any(|seg| seg == "tests" || seg == "benches");
+                out.push(SourceFile::parse(&rel, &krate, &src, in_tests_dir));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    out
+}
+
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Resolve the crate a file belongs to: the `name` in the `[package]`
+/// section of the nearest ancestor `Cargo.toml`.
+fn crate_name_for(root: &Path, file: &Path) -> String {
+    let mut dir = file.parent();
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if manifest.exists() {
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if let Some(name) = package_name(&text) {
+                    return name;
+                }
+            }
+            // A virtual-manifest workspace root: keep walking up only if
+            // we are still below it; otherwise give up.
+        }
+        if d == root {
+            break;
+        }
+        dir = d.parent();
+    }
+    "unknown".to_string()
+}
+
+/// Extract `name = "…"` from the `[package]` section of a manifest.
+fn package_name(manifest: &str) -> Option<String> {
+    let mut in_package = false;
+    for line in manifest.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    let v = rest.trim().trim_matches('"');
+                    if !v.is_empty() {
+                        return Some(v.to_string());
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn package_name_is_extracted_from_package_section_only() {
+        let m = r#"
+[workspace]
+members = ["a"]
+
+[package]
+name = "tcudb-analyze"
+version = "0.1.0"
+"#;
+        assert_eq!(package_name(m).as_deref(), Some("tcudb-analyze"));
+        assert_eq!(package_name("[workspace]\nmembers = []\n"), None);
+    }
+
+    #[test]
+    fn path_prefix_filter_matches_forward_slash_paths() {
+        assert!(under_any(
+            "crates/serve/src/lib.rs",
+            &["crates/serve/src".to_string()]
+        ));
+        assert!(!under_any(
+            "crates/server2/src/lib.rs",
+            &["crates/serve/src".to_string()]
+        ));
+    }
+}

@@ -1,0 +1,1244 @@
+//! Lock-order analysis.
+//!
+//! The rule recovers, purely statically:
+//!
+//! 1. **Lock declarations** — struct fields whose type mentions
+//!    [`std::sync::Mutex`], [`std::sync::RwLock`] or
+//!    [`std::sync::Condvar`].  A lock's identity is `crate::Struct.field`,
+//!    so two fields that happen to share a name in different crates stay
+//!    distinct.
+//! 2. **Acquisition sites** — `x.lock()`, `x.read()`, `x.write()` method
+//!    calls whose receiver resolves to a declared lock field (directly,
+//!    through a `let` alias, or through the poison-recovering helpers
+//!    `locked(…)` / `read_locked(…)` / `write_locked(…)` from
+//!    `tcudb_types::sync`).  Guard lifetimes follow a block-scoped model:
+//!    a `let`-bound guard lives to the end of its block (or an explicit
+//!    `drop(guard)`), an unbound guard lives to the end of its statement.
+//! 3. **Call edges** — method and function calls resolved by name, with
+//!    receiver *hints*: `self.f()` resolves within the enclosing impl,
+//!    `x.field.f()` resolves against the struct types mentioned in
+//!    `field`'s declared type.  Unresolvable calls produce no edges — the
+//!    analysis is deliberately conservative towards silence, never noise.
+//!
+//! From these it builds the **static lock-order graph**: an edge `A → B`
+//! whenever `B` is acquired (directly, or transitively through calls)
+//! while `A` is held.  Findings:
+//!
+//! * `lock-order` — a cycle in the graph (two code paths that take the
+//!   same pair of locks in opposite orders can deadlock), or a lock
+//!   re-acquired while already held (self-deadlock for non-reentrant
+//!   `std::sync` primitives).
+//! * `publish-under-lock` — a `SharedCatalog` publish
+//!   (`update` / `try_update` / `replace` on a `SharedCatalog`-typed
+//!   field) reached while any lock guard is held: publishing is the one
+//!   point where readers block, so holding an unrelated lock there turns
+//!   "readers only block for the pointer swap" into "readers block for
+//!   whatever the guard owner is doing".
+//! * `condvar-double-hold` — waiting on a [`std::sync::Condvar`] while
+//!   holding a lock other than the mutex being waited on (the classic
+//!   lost-wakeup / deadlock shape).
+
+use crate::lexer::{TokKind, Token};
+use crate::model::{field_table, FnItem, SourceFile};
+use crate::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+
+/// The lock flavours the rule tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum LockKind {
+    /// `std::sync::Mutex`.
+    Mutex,
+    /// `std::sync::RwLock`.
+    RwLock,
+    /// `std::sync::Condvar`.
+    Condvar,
+}
+
+/// Identity of one declared lock: `crate::Struct.field`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LockId {
+    /// Declaring crate.
+    pub krate: String,
+    /// Declaring struct.
+    pub owner: String,
+    /// Field name.
+    pub field: String,
+}
+
+impl fmt::Display for LockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}::{}.{}", self.krate, self.owner, self.field)
+    }
+}
+
+/// One edge of the lock-order graph, kept for the findings report.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LockEdge {
+    /// Lock held when `to` was acquired.
+    pub from: LockId,
+    /// Lock acquired while `from` was held.
+    pub to: LockId,
+    /// `file:line` of the acquisition (or call) that creates the edge.
+    pub site: String,
+    /// Function the edge was observed in.
+    pub in_fn: String,
+    /// For call-propagated edges, the callee that performs the
+    /// acquisition; empty for direct intra-function edges.
+    pub via: String,
+}
+
+/// Everything the lock pass extracted, consumed by [`crate::analyze`] and
+/// exposed in the machine-readable report.
+#[derive(Debug, Default)]
+pub struct LockAnalysis {
+    /// Declared locks (sorted, deduplicated).
+    pub locks: Vec<(LockId, LockKind)>,
+    /// The lock-order graph edges (one representative per from/to pair).
+    pub edges: Vec<LockEdge>,
+    /// Total acquisition sites observed.
+    pub acquisition_sites: usize,
+    /// Findings produced by the rule.
+    pub findings: Vec<Finding>,
+}
+
+/// A per-function key used for call resolution and display.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FnKey {
+    krate: String,
+    impl_type: Option<String>,
+    name: String,
+}
+
+impl FnKey {
+    fn display(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{}::{}::{}", self.krate, t, self.name),
+            None => format!("{}::{}", self.krate, self.name),
+        }
+    }
+}
+
+/// A resolved call observed inside a function body.
+#[derive(Debug)]
+struct CallObs {
+    /// Candidate callees (indices into the workspace function table).
+    candidates: Vec<usize>,
+    /// Locks held at the call site.
+    held: Vec<LockId>,
+    line: u32,
+}
+
+/// A `SharedCatalog` publish observed inside a function body.
+#[derive(Debug)]
+struct PublishObs {
+    held: Vec<LockId>,
+    line: u32,
+}
+
+/// Per-function facts from the intra-procedural scan.
+#[derive(Debug, Default)]
+struct FnFacts {
+    acquires: Vec<(LockId, u32)>,
+    intra_edges: Vec<(LockId, LockId, u32)>,
+    reentrant: Vec<(LockId, u32)>,
+    calls: Vec<CallObs>,
+    publishes: Vec<PublishObs>,
+    condvar_double: Vec<(LockId, u32)>,
+}
+
+/// Run the lock-order analysis over the parsed workspace.
+pub fn run(files: &[SourceFile]) -> LockAnalysis {
+    let ws = Workspace::build(files);
+    let mut facts: Vec<FnFacts> = Vec::with_capacity(ws.fns.len());
+    for &(fi, gi) in &ws.fn_order {
+        facts.push(scan_fn(&ws, &files[fi], &files[fi].fns[gi]));
+    }
+
+    // Fixpoint: transitive acquisition / publish sets over the call graph.
+    let n = ws.fns.len();
+    let mut acq: Vec<BTreeSet<LockId>> = (0..n)
+        .map(|i| facts[i].acquires.iter().map(|(l, _)| l.clone()).collect())
+        .collect();
+    let mut publishes: Vec<bool> = (0..n).map(|i| !facts[i].publishes.is_empty()).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..n {
+            for ci in 0..facts[i].calls.len() {
+                for k in 0..facts[i].calls[ci].candidates.len() {
+                    let cand = facts[i].calls[ci].candidates[k];
+                    if cand == i {
+                        continue;
+                    }
+                    let extra: Vec<LockId> = acq[cand].difference(&acq[i]).cloned().collect();
+                    if !extra.is_empty() {
+                        acq[i].extend(extra);
+                        changed = true;
+                    }
+                    if publishes[cand] && !publishes[i] {
+                        publishes[i] = true;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut out = LockAnalysis {
+        locks: {
+            let set: BTreeMap<LockId, LockKind> =
+                ws.locks.iter().map(|d| (d.id.clone(), d.kind)).collect();
+            set.into_iter().collect()
+        },
+        ..LockAnalysis::default()
+    };
+    out.acquisition_sites = facts.iter().map(|f| f.acquires.len()).sum();
+
+    // Assemble the edge set: direct intra-function edges plus edges
+    // propagated through resolved calls.
+    let mut edge_index: BTreeMap<(LockId, LockId), LockEdge> = BTreeMap::new();
+    for (i, f) in facts.iter().enumerate() {
+        let key = &ws.fns[i];
+        let file = &files[ws.fn_order[i].0];
+        for (from, to, line) in &f.intra_edges {
+            edge_index
+                .entry((from.clone(), to.clone()))
+                .or_insert_with(|| LockEdge {
+                    from: from.clone(),
+                    to: to.clone(),
+                    site: format!("{}:{}", file.rel_path, line),
+                    in_fn: key.display(),
+                    via: String::new(),
+                });
+        }
+        for c in &f.calls {
+            if c.held.is_empty() {
+                continue;
+            }
+            for &cand in &c.candidates {
+                for to in acq[cand].iter() {
+                    for from in &c.held {
+                        if from == to {
+                            out.findings.push(Finding::new(
+                                Rule::LockOrder,
+                                &file.rel_path,
+                                c.line,
+                                format!(
+                                    "{} may re-acquire {} (already held here) via call to {}",
+                                    key.display(),
+                                    from,
+                                    ws.fns[cand].display()
+                                ),
+                            ));
+                            continue;
+                        }
+                        edge_index
+                            .entry((from.clone(), to.clone()))
+                            .or_insert_with(|| LockEdge {
+                                from: from.clone(),
+                                to: to.clone(),
+                                site: format!("{}:{}", file.rel_path, c.line),
+                                in_fn: key.display(),
+                                via: ws.fns[cand].display(),
+                            });
+                    }
+                }
+                if publishes[cand] {
+                    let held: Vec<String> = c.held.iter().map(|l| l.to_string()).collect();
+                    out.findings.push(Finding::new(
+                        Rule::PublishUnderLock,
+                        &file.rel_path,
+                        c.line,
+                        format!(
+                            "{} calls {} (which publishes a SharedCatalog snapshot) \
+                             while holding [{}]",
+                            key.display(),
+                            ws.fns[cand].display(),
+                            held.join(", ")
+                        ),
+                    ));
+                }
+            }
+        }
+        for (lock, line) in &f.reentrant {
+            out.findings.push(Finding::new(
+                Rule::LockOrder,
+                &file.rel_path,
+                *line,
+                format!(
+                    "{} acquires {} while a guard for it is already held (self-deadlock)",
+                    key.display(),
+                    lock
+                ),
+            ));
+        }
+        for p in &f.publishes {
+            if !p.held.is_empty() {
+                let held: Vec<String> = p.held.iter().map(|l| l.to_string()).collect();
+                out.findings.push(Finding::new(
+                    Rule::PublishUnderLock,
+                    &file.rel_path,
+                    p.line,
+                    format!(
+                        "{} publishes a SharedCatalog snapshot while holding [{}]; \
+                         publish must run lock-free so readers only block for the pointer swap",
+                        key.display(),
+                        held.join(", ")
+                    ),
+                ));
+            }
+        }
+        for (lock, line) in &f.condvar_double {
+            out.findings.push(Finding::new(
+                Rule::CondvarDoubleHold,
+                &file.rel_path,
+                *line,
+                format!(
+                    "{} waits on a Condvar while also holding {}; \
+                     only the waited-on mutex may be held across a wait",
+                    key.display(),
+                    lock
+                ),
+            ));
+        }
+    }
+    out.edges = edge_index.into_values().collect();
+
+    // Cycle detection over the assembled graph.
+    for cycle in find_cycles(&out.edges) {
+        let path: Vec<String> = cycle.iter().map(|l| l.to_string()).collect();
+        let witness: Vec<&LockEdge> = out
+            .edges
+            .iter()
+            .filter(|e| cycle.contains(&e.from) && cycle.contains(&e.to))
+            .collect();
+        let sites: Vec<String> = witness
+            .iter()
+            .map(|e| format!("{} -> {} at {}", e.from, e.to, e.site))
+            .collect();
+        let first = witness.first().map(|e| e.site.clone()).unwrap_or_default();
+        let (file, line) = split_site(&first);
+        out.findings.push(Finding::new(
+            Rule::LockOrder,
+            &file,
+            line,
+            format!(
+                "lock-order cycle: {} -> (back to start); witness edges: {}",
+                path.join(" -> "),
+                sites.join("; ")
+            ),
+        ));
+    }
+    out
+}
+
+fn split_site(site: &str) -> (String, u32) {
+    match site.rsplit_once(':') {
+        Some((f, l)) => (f.to_string(), l.parse().unwrap_or(0)),
+        None => (site.to_string(), 0),
+    }
+}
+
+/// A lock declaration resolved from a struct field.
+#[derive(Debug, Clone)]
+struct LockDecl {
+    id: LockId,
+    kind: LockKind,
+}
+
+/// Classify a field as a lock from its type's identifier sequence.  The
+/// lock type must be the *outermost* constructor (after reference-count /
+/// box wrappers and path prefixes): `Mutex<T>`, `Arc<Mutex<T>>` and
+/// `std::sync::RwLock<T>` qualify, but a `Vec<(K, Arc<Mutex<V>>)>` is a
+/// container that happens to hold locks, not a lock field — treating it
+/// as one would mis-resolve unrelated accesses to the container.
+fn lock_kind(type_idents: &[String]) -> Option<LockKind> {
+    let mut first = None;
+    for t in type_idents {
+        match t.as_str() {
+            "Arc" | "Box" | "Rc" | "std" | "sync" => continue,
+            other => {
+                first = Some(other);
+                break;
+            }
+        }
+    }
+    match first {
+        Some("Mutex") => Some(LockKind::Mutex),
+        Some("RwLock") => Some(LockKind::RwLock),
+        Some("Condvar") => Some(LockKind::Condvar),
+        _ => None,
+    }
+}
+
+/// Pre-computed workspace tables shared by every function scan.
+struct Workspace {
+    /// All declared locks.
+    locks: Vec<LockDecl>,
+    /// Lock lookup by field name.
+    locks_by_field: HashMap<String, Vec<usize>>,
+    /// Field-name → (crate, struct, type idents) table for receiver hints.
+    fields: HashMap<String, Vec<(String, String, Vec<String>)>>,
+    /// Fields whose type mentions `SharedCatalog` (publish points).
+    publish_fields: HashSet<String>,
+    /// Every struct name in the workspace.
+    struct_names: HashSet<String>,
+    /// Non-test function keys, parallel to `fn_order`.
+    fns: Vec<FnKey>,
+    /// `(file index, fn index within file)` for each entry of `fns`.
+    fn_order: Vec<(usize, usize)>,
+    /// name → indices into `fns`.
+    fns_by_name: HashMap<String, Vec<usize>>,
+}
+
+impl Workspace {
+    fn build(files: &[SourceFile]) -> Workspace {
+        let fields = field_table(files);
+        let mut locks = Vec::new();
+        let mut publish_fields = HashSet::new();
+        let mut struct_names = HashSet::new();
+        for f in files {
+            for s in &f.structs {
+                struct_names.insert(s.name.clone());
+                for fd in &s.fields {
+                    if let Some(kind) = lock_kind(&fd.type_idents) {
+                        locks.push(LockDecl {
+                            id: LockId {
+                                krate: f.crate_name.clone(),
+                                owner: s.name.clone(),
+                                field: fd.name.clone(),
+                            },
+                            kind,
+                        });
+                    }
+                    if fd.type_idents.iter().any(|t| t == "SharedCatalog") {
+                        publish_fields.insert(fd.name.clone());
+                    }
+                }
+            }
+        }
+        let mut locks_by_field: HashMap<String, Vec<usize>> = HashMap::new();
+        for (i, d) in locks.iter().enumerate() {
+            locks_by_field
+                .entry(d.id.field.clone())
+                .or_default()
+                .push(i);
+        }
+        let mut fns = Vec::new();
+        let mut fn_order = Vec::new();
+        let mut fns_by_name: HashMap<String, Vec<usize>> = HashMap::new();
+        for (fi, f) in files.iter().enumerate() {
+            for (gi, g) in f.fns.iter().enumerate() {
+                if g.is_test || g.body.is_none() {
+                    continue;
+                }
+                fns_by_name
+                    .entry(g.name.clone())
+                    .or_default()
+                    .push(fns.len());
+                fns.push(FnKey {
+                    krate: f.crate_name.clone(),
+                    impl_type: g.impl_type.clone(),
+                    name: g.name.clone(),
+                });
+                fn_order.push((fi, gi));
+            }
+        }
+        Workspace {
+            locks,
+            locks_by_field,
+            fields,
+            publish_fields,
+            struct_names,
+            fns,
+            fn_order,
+            fns_by_name,
+        }
+    }
+
+    /// Resolve a lock acquisition receiver name to a declared lock,
+    /// preferring declarations from `krate`.  Refuses to guess when the
+    /// name is ambiguous across crates.
+    fn resolve_lock(&self, name: &str, kinds: &[LockKind], krate: &str) -> Option<LockId> {
+        let cands = self.locks_by_field.get(name)?;
+        let matching: Vec<&LockDecl> = cands
+            .iter()
+            .map(|&i| &self.locks[i])
+            .filter(|d| kinds.contains(&d.kind))
+            .collect();
+        if let Some(local) = matching.iter().find(|d| d.id.krate == krate) {
+            return Some(local.id.clone());
+        }
+        if matching.len() == 1 {
+            return Some(matching[0].id.clone());
+        }
+        None
+    }
+
+    /// Candidate functions for a method call `name` on receiver types
+    /// `types`.
+    fn method_candidates(&self, name: &str, types: &[String]) -> Vec<usize> {
+        let Some(list) = self.fns_by_name.get(name) else {
+            return Vec::new();
+        };
+        list.iter()
+            .copied()
+            .filter(|&i| {
+                self.fns[i]
+                    .impl_type
+                    .as_ref()
+                    .is_some_and(|t| types.iter().any(|x| x == t))
+            })
+            .collect()
+    }
+
+    /// Candidate free functions for a bare call `name`, preferring the
+    /// calling crate.
+    fn free_candidates(&self, name: &str, krate: &str) -> Vec<usize> {
+        let Some(list) = self.fns_by_name.get(name) else {
+            return Vec::new();
+        };
+        let free: Vec<usize> = list
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].impl_type.is_none())
+            .collect();
+        let local: Vec<usize> = free
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].krate == krate)
+            .collect();
+        if local.is_empty() {
+            free
+        } else {
+            local
+        }
+    }
+
+    /// The workspace struct types mentioned by field `name` (receiver
+    /// hint), preferring declarations in `krate`.
+    fn field_types(&self, name: &str, krate: &str) -> Vec<String> {
+        let Some(decls) = self.fields.get(name) else {
+            return Vec::new();
+        };
+        let local: Vec<&(String, String, Vec<String>)> =
+            decls.iter().filter(|d| d.0 == krate).collect();
+        let pick: Vec<&(String, String, Vec<String>)> = if local.is_empty() {
+            decls.iter().collect()
+        } else {
+            local
+        };
+        let mut out = Vec::new();
+        for (_, _, tys) in pick {
+            for t in tys {
+                if self.struct_names.contains(t) && !out.contains(t) {
+                    out.push(t.clone());
+                }
+            }
+        }
+        out
+    }
+}
+
+/// A guard currently held during the intra-function walk.
+#[derive(Debug, Clone)]
+struct Guard {
+    lock: LockId,
+    binding: Option<String>,
+    depth: usize,
+    temp: bool,
+}
+
+/// An in-flight `let` statement during the intra-function walk.
+struct LetCtx {
+    depth: usize,
+    binding: Option<String>,
+    /// An acquisition happened in the initializer: the binding is a guard,
+    /// not an alias.
+    acquired: bool,
+    /// Lock fields mentioned (but not acquired) by the initializer; the
+    /// first one becomes the binding's alias target.
+    mentions: Vec<LockId>,
+    past_eq: bool,
+    /// The initializer contains calls, blocks or indexing — too complex
+    /// to be a plain reference to a lock field, so no alias is formed.
+    impure: bool,
+}
+
+const LOCK_METHODS: &[(&str, &[LockKind])] = &[
+    ("lock", &[LockKind::Mutex]),
+    ("read", &[LockKind::RwLock]),
+    ("write", &[LockKind::RwLock]),
+];
+
+const HELPER_FNS: &[(&str, &[LockKind])] = &[
+    ("locked", &[LockKind::Mutex]),
+    ("read_locked", &[LockKind::RwLock]),
+    ("write_locked", &[LockKind::RwLock]),
+];
+
+const PUBLISH_METHODS: &[&str] = &["update", "try_update", "replace"];
+
+/// Scan one function body, producing its local facts.
+fn scan_fn(ws: &Workspace, file: &SourceFile, item: &FnItem) -> FnFacts {
+    let mut facts = FnFacts::default();
+    let Some((open, close)) = item.body else {
+        return facts;
+    };
+    let toks = &file.tokens;
+    let krate = &file.crate_name;
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut aliases: HashMap<String, LockId> = HashMap::new();
+    let mut letctx: Option<LetCtx> = None;
+    let mut depth = 0usize;
+
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        match t.kind {
+            TokKind::Open('{') => {
+                if let Some(ctx) = letctx.as_mut().filter(|c| c.past_eq) {
+                    ctx.impure = true;
+                }
+                depth += 1;
+            }
+            TokKind::Open(_) => {
+                if let Some(ctx) = letctx.as_mut().filter(|c| c.past_eq) {
+                    ctx.impure = true;
+                }
+            }
+            TokKind::Close('}') => {
+                guards.retain(|g| g.depth < depth);
+                depth = depth.saturating_sub(1);
+            }
+            TokKind::Punct(';') => {
+                guards.retain(|g| !(g.temp && g.depth >= depth));
+                if letctx.as_ref().is_some_and(|c| c.depth >= depth) {
+                    let ctx = letctx.take().expect("checked above");
+                    // Only a simple reference initializer mentioning
+                    // exactly one lock creates an alias.
+                    if !ctx.acquired && !ctx.impure && ctx.mentions.len() == 1 {
+                        if let (Some(b), Some(lock)) = (ctx.binding, ctx.mentions.first().cloned())
+                        {
+                            aliases.insert(b, lock);
+                        }
+                    }
+                }
+            }
+            TokKind::Ident if t.text == "let" => {
+                let mut j = i + 1;
+                while j < close && toks[j].is_ident("mut") {
+                    j += 1;
+                }
+                let binding = match toks.get(j) {
+                    Some(n)
+                        if n.kind == TokKind::Ident
+                            && toks
+                                .get(j + 1)
+                                .is_some_and(|a| a.is_punct('=') || a.is_punct(':')) =>
+                    {
+                        Some(n.text.clone())
+                    }
+                    _ => None,
+                };
+                letctx = Some(LetCtx {
+                    depth,
+                    binding,
+                    acquired: false,
+                    mentions: Vec::new(),
+                    past_eq: false,
+                    impure: false,
+                });
+            }
+            TokKind::Punct('=') => {
+                if let Some(ctx) = &mut letctx {
+                    ctx.past_eq = true;
+                }
+            }
+            TokKind::Ident => {
+                handle_ident(
+                    ws,
+                    item,
+                    krate,
+                    toks,
+                    i,
+                    close,
+                    depth,
+                    &mut guards,
+                    &mut aliases,
+                    &mut letctx,
+                    &mut facts,
+                );
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    facts
+}
+
+/// Handle one identifier token inside a function body: acquisitions,
+/// releases, calls, publishes and condvar waits.
+#[allow(clippy::too_many_arguments)]
+fn handle_ident(
+    ws: &Workspace,
+    item: &FnItem,
+    krate: &str,
+    toks: &[Token],
+    i: usize,
+    close: usize,
+    depth: usize,
+    guards: &mut Vec<Guard>,
+    aliases: &mut HashMap<String, LockId>,
+    letctx: &mut Option<LetCtx>,
+    facts: &mut FnFacts,
+) {
+    let name = &toks[i].text;
+    // Macro invocations look like `name ! ( … )` — the `!` sits between
+    // the ident and the delimiter — so requiring `(` immediately after
+    // the ident excludes them for free.
+    let next_is_call = toks
+        .get(i + 1)
+        .is_some_and(|n| n.kind == TokKind::Open('('));
+    if !next_is_call {
+        // A bare mention of a lock field inside a `let` initializer feeds
+        // the alias map (e.g. `let m = &self.state;` … `m.lock()`).
+        if let Some(ctx) = letctx {
+            if ctx.past_eq {
+                if let Some(lock) =
+                    ws.resolve_lock(name, &[LockKind::Mutex, LockKind::RwLock], krate)
+                {
+                    ctx.mentions.push(lock);
+                }
+            }
+        }
+        return;
+    }
+    let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+    let line = toks[i].line;
+
+    // `drop(guard)` releases a named guard early.
+    if !prev_dot && name == "drop" {
+        if let (Some(arg), Some(cl)) = (toks.get(i + 2), toks.get(i + 3)) {
+            if arg.kind == TokKind::Ident && cl.kind == TokKind::Close(')') {
+                let victim = arg.text.clone();
+                guards.retain(|g| g.binding.as_deref() != Some(victim.as_str()));
+                return;
+            }
+        }
+    }
+
+    // Poison-recovering helper acquisitions: `locked(&self.state)` etc.
+    if !prev_dot {
+        if let Some((_, kinds)) = HELPER_FNS.iter().find(|(h, _)| h == name) {
+            let args = arg_idents(toks, i + 1, close);
+            let lock = args.iter().find_map(|a| {
+                aliases
+                    .get(a)
+                    .cloned()
+                    .or_else(|| ws.resolve_lock(a, kinds, krate))
+            });
+            if let Some(lock) = lock {
+                acquire(lock, line, depth, guards, letctx, facts);
+            }
+            return;
+        }
+        if name == "wait_on" {
+            let args = arg_idents(toks, i + 1, close);
+            record_wait(&args, guards, line, facts);
+            return;
+        }
+    }
+
+    if prev_dot {
+        let chain = receiver_chain(toks, i - 1);
+        // Direct lock-method acquisition.
+        if let Some((_, kinds)) = LOCK_METHODS.iter().find(|(m, _)| m == name) {
+            let lock = chain.iter().rev().find_map(|r| {
+                aliases
+                    .get(r)
+                    .cloned()
+                    .or_else(|| ws.resolve_lock(r, kinds, krate))
+            });
+            if let Some(lock) = lock {
+                acquire(lock, line, depth, guards, letctx, facts);
+                return;
+            }
+        }
+        // Condvar wait.
+        if name == "wait" || name == "wait_while" || name == "wait_timeout" {
+            let is_condvar = chain
+                .iter()
+                .rev()
+                .any(|r| ws.resolve_lock(r, &[LockKind::Condvar], krate).is_some());
+            if is_condvar {
+                let args = arg_idents(toks, i + 1, close);
+                record_wait(&args, guards, line, facts);
+                return;
+            }
+        }
+        // SharedCatalog publish: `self.shared.update(…)` and friends.
+        if PUBLISH_METHODS.contains(&name.as_str())
+            && chain.iter().any(|r| ws.publish_fields.contains(r))
+        {
+            facts.publishes.push(PublishObs {
+                held: held_locks(guards),
+                line,
+            });
+            return;
+        }
+        // Plain method call: resolve via receiver hints only.
+        let types: Vec<String> = match chain.last().map(String::as_str) {
+            Some("self") => item.impl_type.clone().into_iter().collect(),
+            Some(field) => ws.field_types(field, krate),
+            None => Vec::new(),
+        };
+        let candidates = if types.is_empty() {
+            Vec::new()
+        } else {
+            ws.method_candidates(name, &types)
+        };
+        if !candidates.is_empty() {
+            facts.calls.push(CallObs {
+                candidates,
+                held: held_locks(guards),
+                line,
+            });
+        }
+        return;
+    }
+
+    // Qualified call `Type::name(…)` or bare call `name(…)`.
+    let qualified = i >= 2 && toks[i - 1].is_punct(':') && toks[i - 2].is_punct(':');
+    let candidates = if qualified {
+        match i.checked_sub(3).and_then(|q| toks.get(q)) {
+            Some(q) if q.kind == TokKind::Ident && ws.struct_names.contains(&q.text) => {
+                ws.method_candidates(name, std::slice::from_ref(&q.text))
+            }
+            _ => Vec::new(),
+        }
+    } else {
+        ws.free_candidates(name, krate)
+    };
+    if !candidates.is_empty() {
+        facts.calls.push(CallObs {
+            candidates,
+            held: held_locks(guards),
+            line,
+        });
+    }
+}
+
+/// Record a lock acquisition: edges from every held lock, re-entrancy
+/// check, and the new guard (block-scoped when inside a `let`).
+fn acquire(
+    lock: LockId,
+    line: u32,
+    depth: usize,
+    guards: &mut Vec<Guard>,
+    letctx: &mut Option<LetCtx>,
+    facts: &mut FnFacts,
+) {
+    for g in guards.iter() {
+        if g.lock == lock {
+            facts.reentrant.push((lock.clone(), line));
+        } else {
+            facts.intra_edges.push((g.lock.clone(), lock.clone(), line));
+        }
+    }
+    facts.acquires.push((lock.clone(), line));
+    let (binding, temp, gdepth) = match letctx {
+        Some(ctx) if ctx.past_eq => {
+            ctx.acquired = true;
+            (ctx.binding.clone(), false, ctx.depth)
+        }
+        _ => (None, true, depth),
+    };
+    guards.push(Guard {
+        lock,
+        binding,
+        depth: gdepth,
+        temp,
+    });
+}
+
+/// A condvar wait: any held lock other than the one whose guard is passed
+/// to the wait is a double-hold hazard.
+fn record_wait(args: &[String], guards: &[Guard], line: u32, facts: &mut FnFacts) {
+    let waited: HashSet<&LockId> = guards
+        .iter()
+        .filter(|g| {
+            g.binding
+                .as_deref()
+                .is_some_and(|b| args.iter().any(|a| a == b))
+        })
+        .map(|g| &g.lock)
+        .collect();
+    for g in guards {
+        if !waited.contains(&g.lock) {
+            facts.condvar_double.push((g.lock.clone(), line));
+        }
+    }
+}
+
+fn held_locks(guards: &[Guard]) -> Vec<LockId> {
+    let mut out: Vec<LockId> = Vec::new();
+    for g in guards {
+        if !out.contains(&g.lock) {
+            out.push(g.lock.clone());
+        }
+    }
+    out
+}
+
+/// Identifiers appearing anywhere in a call's argument list.
+fn arg_idents(toks: &[Token], open: usize, limit: usize) -> Vec<String> {
+    let close = crate::model::match_delim(toks, open)
+        .min(limit)
+        .min(toks.len() - 1);
+    toks[open..=close]
+        .iter()
+        .filter(|t| t.kind == TokKind::Ident)
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// The dotted receiver chain ending at the `.` at index `dot`:
+/// `self.shared.state.lock()` yields `["self", "shared", "state"]`.
+/// Stops (returning what it has) at anything that is not `ident.`; a
+/// receiver hidden behind `)` or `]` therefore yields an empty chain and
+/// the call stays unresolved — conservative by design.
+fn receiver_chain(toks: &[Token], dot: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut j = dot;
+    loop {
+        if j == 0 || !toks[j].is_punct('.') {
+            break;
+        }
+        let prev = &toks[j - 1];
+        if prev.kind != TokKind::Ident {
+            break;
+        }
+        chain.push(prev.text.clone());
+        if j < 2 {
+            break;
+        }
+        j -= 2;
+    }
+    chain.reverse();
+    chain
+}
+
+/// Find elementary cycles in the lock graph.  The graph is tiny (a
+/// handful of locks), so a bounded DFS per start node suffices; cycles
+/// are canonicalized (rotated to start at the smallest lock) and
+/// deduplicated.
+fn find_cycles(edges: &[LockEdge]) -> Vec<Vec<LockId>> {
+    let mut adj: BTreeMap<&LockId, Vec<&LockId>> = BTreeMap::new();
+    for e in edges {
+        adj.entry(&e.from).or_default().push(&e.to);
+    }
+    let mut seen: BTreeSet<Vec<LockId>> = BTreeSet::new();
+    let nodes: Vec<&LockId> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut path: Vec<&LockId> = vec![start];
+        let mut stack: Vec<(usize, Vec<&LockId>)> =
+            vec![(0, adj.get(start).cloned().unwrap_or_default())];
+        while let Some((idx, succs)) = stack.last_mut() {
+            if *idx >= succs.len() {
+                stack.pop();
+                path.pop();
+                continue;
+            }
+            let next = succs[*idx];
+            *idx += 1;
+            if next == start {
+                let mut cyc: Vec<LockId> = path.iter().map(|&l| l.clone()).collect();
+                let min_pos = cyc
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.cmp(b.1))
+                    .map(|(p, _)| p)
+                    .unwrap_or(0);
+                cyc.rotate_left(min_pos);
+                seen.insert(cyc);
+                continue;
+            }
+            if path.contains(&next) || path.len() > 8 {
+                continue;
+            }
+            path.push(next);
+            let succs = adj.get(next).cloned().unwrap_or_default();
+            stack.push((0, succs));
+        }
+    }
+    seen.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn parse_one(src: &str) -> Vec<SourceFile> {
+        vec![SourceFile::parse("x/src/lib.rs", "x", src, false)]
+    }
+
+    const DECLS: &str = r#"
+        pub struct Hub { a: Mutex<u32>, b: Mutex<u32>, cv: Condvar, shared: SharedCatalog }
+        pub struct SharedCatalog { current: RwLock<u32>, writer: Mutex<()> }
+    "#;
+
+    #[test]
+    fn opposite_order_acquisitions_form_a_cycle() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn fwd(&self) {{ let g = self.a.lock().unwrap(); let h = self.b.lock().unwrap(); }}
+                fn rev(&self) {{ let g = self.b.lock().unwrap(); let h = self.a.lock().unwrap(); }}
+            }}"
+        ));
+        let out = run(&files);
+        assert_eq!(out.edges.len(), 2, "edges: {:?}", out.edges);
+        assert!(
+            out.findings
+                .iter()
+                .any(|f| f.rule == Rule::LockOrder && f.message.contains("cycle")),
+            "findings: {:?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_edges_are_reported() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn fwd(&self) {{ let g = self.a.lock().unwrap(); let h = self.b.lock().unwrap(); }}
+                fn also_fwd(&self) {{ let g = self.a.lock().unwrap(); self.b.lock().unwrap().checked_add(1); }}
+            }}"
+        ));
+        let out = run(&files);
+        assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+        assert_eq!(out.edges.len(), 1);
+        assert_eq!(out.edges[0].from.field, "a");
+        assert_eq!(out.edges[0].to.field, "b");
+    }
+
+    #[test]
+    fn interprocedural_edge_via_self_call() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn inner(&self) {{ let g = self.b.lock().unwrap(); }}
+                fn outer(&self) {{ let g = self.a.lock().unwrap(); self.inner(); }}
+                fn rev(&self) {{ let g = self.b.lock().unwrap(); let h = self.a.lock().unwrap(); }}
+            }}"
+        ));
+        let out = run(&files);
+        assert!(
+            out.findings
+                .iter()
+                .any(|f| f.rule == Rule::LockOrder && f.message.contains("cycle")),
+            "findings: {:?}",
+            out.findings
+        );
+        assert!(out.edges.iter().any(|e| !e.via.is_empty()));
+    }
+
+    #[test]
+    fn reentrant_acquisition_is_flagged() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn twice(&self) {{ let g = self.a.lock().unwrap(); let h = self.a.lock().unwrap(); }}
+            }}"
+        ));
+        let out = run(&files);
+        assert!(
+            out.findings
+                .iter()
+                .any(|f| f.rule == Rule::LockOrder && f.message.contains("self-deadlock")),
+            "findings: {:?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn block_scope_and_drop_release_guards() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn scoped(&self) {{
+                    {{ let g = self.a.lock().unwrap(); g.checked_add(1); }}
+                    let h = self.b.lock().unwrap();
+                }}
+                fn dropped(&self) {{
+                    let g = self.a.lock().unwrap();
+                    drop(g);
+                    let h = self.b.lock().unwrap();
+                }}
+            }}"
+        ));
+        let out = run(&files);
+        assert!(out.edges.is_empty(), "edges: {:?}", out.edges);
+        assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+    }
+
+    #[test]
+    fn temporary_guard_dies_at_statement_end() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn temps(&self) {{
+                    self.a.lock().unwrap().checked_add(1);
+                    self.b.lock().unwrap().checked_add(1);
+                }}
+            }}"
+        ));
+        let out = run(&files);
+        assert!(out.edges.is_empty(), "edges: {:?}", out.edges);
+    }
+
+    #[test]
+    fn publish_under_lock_is_flagged_directly_and_through_calls() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn bad(&self) {{ let g = self.a.lock().unwrap(); self.shared.update(1); }}
+                fn publishes(&self) {{ self.shared.update(2); }}
+                fn bad_via_call(&self) {{ let g = self.b.lock().unwrap(); self.publishes(); }}
+                fn fine(&self) {{ self.shared.update(3); }}
+            }}"
+        ));
+        let out = run(&files);
+        let pubs: Vec<_> = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::PublishUnderLock)
+            .collect();
+        assert_eq!(pubs.len(), 2, "findings: {:?}", out.findings);
+    }
+
+    #[test]
+    fn condvar_wait_with_extra_lock_is_flagged() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn ok(&self) {{
+                    let mut g = self.a.lock().unwrap();
+                    g = self.cv.wait(g).unwrap();
+                }}
+                fn bad(&self) {{
+                    let g = self.a.lock().unwrap();
+                    let h = self.b.lock().unwrap();
+                    let h2 = self.cv.wait(h).unwrap();
+                }}
+            }}"
+        ));
+        let out = run(&files);
+        let cv: Vec<_> = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::CondvarDoubleHold)
+            .collect();
+        assert_eq!(cv.len(), 1, "findings: {:?}", out.findings);
+        assert!(cv[0].message.contains("Hub.a"), "msg: {}", cv[0].message);
+    }
+
+    #[test]
+    fn helper_acquisitions_are_tracked_like_direct_locks() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn fwd(&self) {{ let g = locked(&self.a); let h = locked(&self.b); }}
+                fn rev(&self) {{ let g = locked(&self.b); let h = locked(&self.a); }}
+            }}"
+        ));
+        let out = run(&files);
+        assert!(
+            out.findings
+                .iter()
+                .any(|f| f.rule == Rule::LockOrder && f.message.contains("cycle")),
+            "findings: {:?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn container_of_locks_is_not_a_lock_and_complex_lets_make_no_alias() {
+        // Mirrors the serving scheduler's coalescing path: `running` is a
+        // Vec that *contains* mutexes (not itself a lock), and `slot` is
+        // bound from a lookup expression that mentions the `state` field
+        // — neither may alias `slot.lock()` back to `Shared.state`.
+        let files = parse_one(
+            r#"
+            pub struct Sched { queue: u32, running: Vec<(u32, Arc<Mutex<u8>>)> }
+            pub struct Shr { state: Mutex<Sched> }
+            impl Shr {
+                fn submit(&self) {
+                    let mut state = self.state.lock().unwrap();
+                    let slot = state.running.iter().find(|x| true).map(|x| x.clone());
+                    if let Some(slot) = slot {
+                        let mut guard = slot.lock().unwrap();
+                        guard.checked_add(1);
+                    }
+                }
+            }
+            "#,
+        );
+        let out = run(&files);
+        assert_eq!(out.locks.len(), 1, "locks: {:?}", out.locks);
+        assert_eq!(out.locks[0].0.field, "state");
+        assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+    }
+
+    #[test]
+    fn simple_reference_let_still_aliases() {
+        let files = parse_one(&format!(
+            "{DECLS}
+            impl Hub {{
+                fn via_ref(&self) {{
+                    let m = &self.a;
+                    let g = m.lock().unwrap();
+                    let h = self.a.lock().unwrap();
+                }}
+            }}"
+        ));
+        let out = run(&files);
+        assert!(
+            out.findings
+                .iter()
+                .any(|f| f.message.contains("self-deadlock")),
+            "findings: {:?}",
+            out.findings
+        );
+    }
+
+    #[test]
+    fn unrelated_update_method_is_not_a_publish() {
+        // `state.update(1)` where `state` is an AggState parameter, not a
+        // SharedCatalog field, must not count as a publish.
+        let files = parse_one(&format!(
+            "{DECLS}
+            pub struct AggState {{ v: u32 }}
+            impl Hub {{
+                fn f(&self, state: &mut AggState) {{
+                    let g = self.a.lock().unwrap();
+                    state.update(1);
+                }}
+            }}"
+        ));
+        let out = run(&files);
+        assert!(
+            out.findings
+                .iter()
+                .all(|f| f.rule != Rule::PublishUnderLock),
+            "findings: {:?}",
+            out.findings
+        );
+    }
+}

@@ -1,0 +1,104 @@
+//! Command-line entry point for the TCUDB static analyzer.
+//!
+//! ```text
+//! cargo run -p tcudb-analyze -- --deny
+//! ```
+//!
+//! Options:
+//!
+//! * `--root <dir>`    workspace root (default: auto-detected from the
+//!   manifest directory, falling back to the current directory);
+//! * `--report <file>` where to write the JSON findings report
+//!   (default `ANALYZE_findings.json`);
+//! * `--deny`          exit non-zero when any finding is present;
+//! * `--quiet`         suppress the per-finding listing.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use tcudb_analyze::{analyze, report, Config};
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut report_path = PathBuf::from("ANALYZE_findings.json");
+    let mut deny = false;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a value"),
+            },
+            "--report" => match args.next() {
+                Some(v) => report_path = PathBuf::from(v),
+                None => return usage("--report needs a value"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "tcudb-analyze: lock-order, panic-path and unsafe-audit lints\n\
+                     usage: cargo run -p tcudb-analyze -- [--deny] [--quiet] \
+                     [--root <dir>] [--report <file>]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let root = root.unwrap_or_else(default_root);
+    let config = Config::for_root(root);
+    let analysis = analyze(&config);
+
+    let json = report::to_json(&analysis);
+    if let Err(e) = std::fs::write(&report_path, &json) {
+        eprintln!(
+            "tcudb-analyze: cannot write report {}: {e}",
+            report_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    if !quiet {
+        for f in &analysis.findings {
+            println!("{f}");
+        }
+    }
+    println!(
+        "tcudb-analyze: {} files, {} functions, {} locks, {} acquisition sites, {} lock-order edges, {} findings ({})",
+        analysis.files_scanned,
+        analysis.functions_scanned,
+        analysis.locks.locks.len(),
+        analysis.locks.acquisition_sites,
+        analysis.locks.edges.len(),
+        analysis.findings.len(),
+        report_path.display()
+    );
+
+    if deny && !analysis.findings.is_empty() {
+        eprintln!("tcudb-analyze: failing (--deny with findings present)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// The workspace root: the analyzer's own manifest dir is
+/// `<root>/crates/analyze`, so two levels up; when run from elsewhere,
+/// the current directory.
+fn default_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(|p| p.to_path_buf())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("tcudb-analyze: {msg}\nusage: cargo run -p tcudb-analyze -- [--deny] [--quiet] [--root <dir>] [--report <file>]");
+    ExitCode::FAILURE
+}

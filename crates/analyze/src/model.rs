@@ -1,0 +1,703 @@
+//! The source model: per-file item structure recovered from the token
+//! stream.
+//!
+//! A single linear pass over the tokens of one file recovers everything
+//! the rules consume:
+//!
+//! * **functions** — name, enclosing `impl` type, body token range,
+//!   `unsafe`ness, and whether the function is test code (`#[test]`, or
+//!   anywhere inside a `#[cfg(test)]` module, or in a `tests/` file),
+//! * **structs** — named fields with the identifiers appearing in their
+//!   types (enough to recognise `Mutex<…>`, `RwLock<…>`, `Condvar` and
+//!   lock-holding struct types without a real type system),
+//! * **unsafe sites** — `unsafe {` blocks, `unsafe fn`s, `unsafe impl`s,
+//! * **annotations** — `// lint: allow(rule) reason` escape hatches and
+//!   `// SAFETY:` comments, resolved by line adjacency,
+//! * the presence of the crate-level `#![forbid(unsafe_code)]` attribute.
+//!
+//! The pass is deliberately heuristic (no expression grammar, no name
+//! resolution beyond what the lock rule builds on top), but it is
+//! *conservative in the right direction* for every rule: a construct the
+//! model fails to classify produces no finding, never a spurious one.
+
+use crate::lexer::{lex, Comment, TokKind, Token};
+use std::collections::{HashMap, HashSet};
+
+/// What kind of code an `unsafe` keyword introduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    /// `unsafe { … }`.
+    Block,
+    /// `unsafe fn …`.
+    Fn,
+    /// `unsafe impl …` / `unsafe trait …`.
+    Item,
+}
+
+/// One occurrence of the `unsafe` keyword in non-macro code.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    /// Classification of the site.
+    pub kind: UnsafeKind,
+    /// 1-based line of the `unsafe` keyword.
+    pub line: u32,
+}
+
+/// A function item (free function or method).
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// The function name.
+    pub name: String,
+    /// The self type of the enclosing `impl` block, if any.
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// Whether the function is declared `unsafe`.
+    pub is_unsafe: bool,
+    /// Whether the function is test code (see module docs).
+    pub is_test: bool,
+    /// Token-index range `(open, close)` of the body braces, if present.
+    pub body: Option<(usize, usize)>,
+    /// Whether the doc comment above the item contains a `# Safety`
+    /// section or a `SAFETY` note.
+    pub doc_safety: bool,
+}
+
+/// A named struct field and the identifiers mentioned in its type.
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    /// Field name.
+    pub name: String,
+    /// Every identifier appearing in the field's type.
+    pub type_idents: Vec<String>,
+    /// 1-based line of the field name.
+    pub line: u32,
+}
+
+/// A struct item with named fields (tuple/unit structs keep no fields).
+#[derive(Debug, Clone)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// Named fields.
+    pub fields: Vec<FieldDecl>,
+}
+
+/// A `// lint: allow(rule) reason` annotation.
+#[derive(Debug, Clone)]
+pub struct AllowNote {
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// The rule key inside `allow(…)`.
+    pub rule: String,
+    /// Whether any justification text follows the `allow(…)`.
+    pub has_reason: bool,
+}
+
+/// One analyzed source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Path relative to the analysis root, `/`-separated.
+    pub rel_path: String,
+    /// The cargo package name the file belongs to.
+    pub crate_name: String,
+    /// Code tokens.
+    pub tokens: Vec<Token>,
+    /// Comments (side list).
+    pub comments: Vec<Comment>,
+    /// Function items in source order.
+    pub fns: Vec<FnItem>,
+    /// Struct items in source order.
+    pub structs: Vec<StructItem>,
+    /// `unsafe` sites in source order.
+    pub unsafe_sites: Vec<UnsafeSite>,
+    /// `// lint: allow(…)` annotations.
+    pub allows: Vec<AllowNote>,
+    /// Whether the file carries `#![forbid(unsafe_code)]`.
+    pub has_forbid_unsafe: bool,
+    /// Lines occupied by code tokens (to tell own-line comments apart
+    /// from trailing ones).
+    token_lines: HashSet<u32>,
+    /// Lines fully occupied by attributes (`#[…]`), treated as skippable
+    /// when walking a comment block upwards.
+    attr_lines: HashSet<u32>,
+}
+
+impl SourceFile {
+    /// Parse one file.  `rel_path` is stored verbatim; `in_tests_dir`
+    /// marks every function as test code (integration-test trees).
+    pub fn parse(rel_path: &str, crate_name: &str, src: &str, in_tests_dir: bool) -> SourceFile {
+        let lexed = lex(src);
+        let mut f = SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            tokens: lexed.tokens,
+            comments: lexed.comments,
+            fns: Vec::new(),
+            structs: Vec::new(),
+            unsafe_sites: Vec::new(),
+            allows: Vec::new(),
+            has_forbid_unsafe: false,
+            token_lines: HashSet::new(),
+            attr_lines: HashSet::new(),
+        };
+        f.token_lines = f.tokens.iter().map(|t| t.line).collect();
+        f.collect_allows();
+        f.structure_pass(in_tests_dir);
+        f
+    }
+
+    /// The comment text on `line` when that line holds no code tokens
+    /// (an "own-line" comment), or a trailing comment on a code line.
+    fn comment_on(&self, line: u32) -> Option<&Comment> {
+        self.comments
+            .iter()
+            .find(|c| c.line <= line && line <= c.end_line)
+    }
+
+    /// True when `line` holds only comments or attributes (no other code).
+    fn is_skippable_line(&self, line: u32) -> bool {
+        if self.attr_lines.contains(&line) {
+            return true;
+        }
+        !self.token_lines.contains(&line) && self.comment_on(line).is_some()
+    }
+
+    /// Walk the contiguous comment/attribute block directly above `line`
+    /// (and the trailing comment on `line` itself) and return true when
+    /// any comment in it satisfies `pred`.
+    pub fn comment_block_above(&self, line: u32, mut pred: impl FnMut(&Comment) -> bool) -> bool {
+        if let Some(c) = self.comment_on(line) {
+            if pred(c) {
+                return true;
+            }
+        }
+        let mut l = line.saturating_sub(1);
+        while l >= 1 && self.is_skippable_line(l) {
+            if let Some(c) = self.comment_on(l) {
+                if pred(c) {
+                    return true;
+                }
+                l = c.line.saturating_sub(1);
+            } else {
+                l = l.saturating_sub(1);
+            }
+            if l == 0 {
+                break;
+            }
+        }
+        false
+    }
+
+    /// The `allow(rule)` annotations that cover a finding at `line`: the
+    /// trailing comment of that line or the contiguous comment block
+    /// directly above it.
+    pub fn allow_covering(&self, line: u32, rule: &str) -> Option<&AllowNote> {
+        let mut found = None;
+        self.comment_block_above(line, |c| {
+            if let Some(note) = self.allows.iter().find(|a| a.line == c.line) {
+                if note.rule == rule {
+                    found = Some(note.line);
+                    return true;
+                }
+            }
+            false
+        });
+        found.and_then(|l| self.allows.iter().find(|a| a.line == l && a.rule == rule))
+    }
+
+    fn collect_allows(&mut self) {
+        for c in &self.comments {
+            let Some(pos) = c.text.find("lint: allow(") else {
+                continue;
+            };
+            let after = &c.text[pos + "lint: allow(".len()..];
+            let Some(close) = after.find(')') else {
+                continue;
+            };
+            let rule = after[..close].trim().to_string();
+            let reason = after[close + 1..].trim();
+            self.allows.push(AllowNote {
+                line: c.line,
+                rule,
+                has_reason: !reason.is_empty(),
+            });
+        }
+    }
+
+    /// The single linear pass recovering items (see module docs).
+    fn structure_pass(&mut self, in_tests_dir: bool) {
+        #[derive(Debug)]
+        enum Ctx {
+            /// `mod … {` — `cfg_test` true for `#[cfg(test)]` modules.
+            Mod { cfg_test: bool },
+            /// `impl … {` with the recovered self-type name.
+            Impl { type_name: Option<String> },
+            /// A function body; index into `self.fns`.
+            Fn { idx: usize, open: usize },
+            /// Any other brace (blocks, match bodies, struct literals…).
+            Other,
+        }
+
+        let toks = std::mem::take(&mut self.tokens);
+        let mut ctx: Vec<Ctx> = Vec::new();
+        // Tokens accumulated since the last statement/item boundary —
+        // consulted when a `{` opens to classify it.
+        let mut header: Vec<(usize, TokKind)> = Vec::new();
+        let mut pending_attr_test = false;
+        let mut pending_fn: Option<usize> = None;
+        let mut cfg_test_depth = 0usize;
+        let mut i = 0usize;
+        while i < toks.len() {
+            let t = &toks[i];
+            match t.kind {
+                TokKind::Punct('#') => {
+                    // Attribute: `#[…]` or `#![…]`.
+                    let mut j = i + 1;
+                    let inner = j < toks.len() && toks[j].is_punct('!');
+                    if inner {
+                        j += 1;
+                    }
+                    if j < toks.len() && toks[j].kind == TokKind::Open('[') {
+                        let close = match_delim(&toks, j);
+                        let idents: Vec<&str> = toks[j..=close.min(toks.len() - 1)]
+                            .iter()
+                            .filter(|t| t.kind == TokKind::Ident)
+                            .map(|t| t.text.as_str())
+                            .collect();
+                        if inner && idents.contains(&"forbid") && idents.contains(&"unsafe_code") {
+                            self.has_forbid_unsafe = true;
+                        }
+                        if !inner && idents.contains(&"test") {
+                            pending_attr_test = true;
+                        }
+                        for t in &toks[i..=close.min(toks.len() - 1)] {
+                            self.attr_lines.insert(t.line);
+                        }
+                        i = close + 1;
+                        continue;
+                    }
+                    i += 1;
+                }
+                TokKind::Ident if t.text == "unsafe" => {
+                    let next = toks.get(i + 1);
+                    let kind = match next.map(|n| &n.kind) {
+                        Some(TokKind::Open('{')) => Some(UnsafeKind::Block),
+                        Some(TokKind::Ident) => {
+                            let w = &next.expect("checked").text;
+                            if w == "fn" || w == "extern" {
+                                Some(UnsafeKind::Fn)
+                            } else if w == "impl" || w == "trait" {
+                                Some(UnsafeKind::Item)
+                            } else {
+                                None
+                            }
+                        }
+                        _ => None,
+                    };
+                    if let Some(kind) = kind {
+                        self.unsafe_sites.push(UnsafeSite { kind, line: t.line });
+                    }
+                    header.push((i, t.kind));
+                    i += 1;
+                }
+                TokKind::Ident if t.text == "fn" => {
+                    if let Some(name_tok) = toks.get(i + 1) {
+                        if name_tok.kind == TokKind::Ident {
+                            let impl_type = ctx.iter().rev().find_map(|c| match c {
+                                Ctx::Impl { type_name } => Some(type_name.clone()),
+                                _ => None,
+                            });
+                            let is_unsafe = header
+                                .iter()
+                                .any(|&(h, k)| k == TokKind::Ident && toks[h].text == "unsafe");
+                            let doc_safety = self.comment_block_above(t.line, |c| {
+                                c.doc && (c.text.contains("# Safety") || c.text.contains("SAFETY"))
+                            });
+                            self.fns.push(FnItem {
+                                name: name_tok.text.clone(),
+                                impl_type: impl_type.flatten(),
+                                line: t.line,
+                                is_unsafe,
+                                is_test: pending_attr_test || cfg_test_depth > 0 || in_tests_dir,
+                                body: None,
+                                doc_safety,
+                            });
+                            pending_fn = Some(self.fns.len() - 1);
+                            pending_attr_test = false;
+                        }
+                    }
+                    header.push((i, t.kind));
+                    i += 1;
+                }
+                TokKind::Ident if t.text == "struct" => {
+                    let (item, next) = parse_struct(&toks, i);
+                    if let Some(s) = item {
+                        self.structs.push(s);
+                    }
+                    pending_attr_test = false;
+                    header.clear();
+                    pending_fn = None;
+                    i = next;
+                }
+                TokKind::Open('{') => {
+                    let words: Vec<&str> = header
+                        .iter()
+                        .filter(|&&(_, k)| k == TokKind::Ident)
+                        .map(|&(h, _)| toks[h].text.as_str())
+                        .collect();
+                    let c = if let Some(idx) = pending_fn.take() {
+                        Ctx::Fn { idx, open: i }
+                    } else if words.first() == Some(&"mod")
+                        || (words.contains(&"mod") && words.contains(&"pub"))
+                    {
+                        let cfg_test = pending_attr_test;
+                        if cfg_test {
+                            cfg_test_depth += 1;
+                        }
+                        Ctx::Mod { cfg_test }
+                    } else if words.contains(&"impl") {
+                        Ctx::Impl {
+                            type_name: impl_self_type(&toks, &header),
+                        }
+                    } else {
+                        Ctx::Other
+                    };
+                    pending_attr_test = false;
+                    ctx.push(c);
+                    header.clear();
+                    i += 1;
+                }
+                TokKind::Close('}') => {
+                    match ctx.pop() {
+                        Some(Ctx::Fn { idx, open }) => {
+                            self.fns[idx].body = Some((open, i));
+                        }
+                        Some(Ctx::Mod { cfg_test: true }) => {
+                            cfg_test_depth = cfg_test_depth.saturating_sub(1);
+                        }
+                        _ => {}
+                    }
+                    header.clear();
+                    pending_fn = None;
+                    i += 1;
+                }
+                TokKind::Punct(';') => {
+                    header.clear();
+                    // A `;` after `fn name(…)` is a bodyless declaration.
+                    pending_fn = None;
+                    pending_attr_test = false;
+                    i += 1;
+                }
+                _ => {
+                    header.push((i, t.kind));
+                    i += 1;
+                }
+            }
+        }
+        self.tokens = toks;
+    }
+}
+
+/// Token index of the `Close` matching the `Open` at `open` (or the last
+/// token when unbalanced).
+pub fn match_delim(toks: &[Token], open: usize) -> usize {
+    let (want_open, want_close) = match toks[open].kind {
+        TokKind::Open(c) => {
+            let close = match c {
+                '(' => ')',
+                '[' => ']',
+                _ => '}',
+            };
+            (c, close)
+        }
+        _ => return open,
+    };
+    let mut depth = 0usize;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Open(c) if c == want_open => depth += 1,
+            TokKind::Close(c) if c == want_close => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+    }
+    toks.len() - 1
+}
+
+/// Recover the self-type name from an `impl` header: the last path segment
+/// after `for` when present, otherwise the last path segment of the type
+/// being implemented (generic arguments are skipped).
+fn impl_self_type(toks: &[Token], header: &[(usize, TokKind)]) -> Option<String> {
+    let impl_pos = header
+        .iter()
+        .position(|&(h, k)| k == TokKind::Ident && toks[h].text == "impl")?;
+    let mut angle = 0i32;
+    let mut candidate: Option<String> = None;
+    for &(h, k) in &header[impl_pos + 1..] {
+        let t = &toks[h];
+        match k {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle -= 1,
+            TokKind::Ident if angle == 0 => {
+                if t.text == "where" {
+                    break;
+                }
+                if t.text == "for" {
+                    candidate = None;
+                } else if t.text != "dyn" && t.text != "const" {
+                    // Path segments overwrite each other, so the self
+                    // type ends up as the last path segment seen before
+                    // the body (after `for` when present, which resets).
+                    candidate = Some(t.text.clone());
+                }
+            }
+            _ => {}
+        }
+    }
+    candidate
+}
+
+/// Parse `struct Name …` starting at the `struct` keyword; returns the
+/// item (named-field structs only) and the token index to resume at.
+fn parse_struct(toks: &[Token], kw: usize) -> (Option<StructItem>, usize) {
+    let Some(name_tok) = toks.get(kw + 1) else {
+        return (None, kw + 1);
+    };
+    if name_tok.kind != TokKind::Ident {
+        return (None, kw + 1);
+    }
+    let name = name_tok.text.clone();
+    let mut j = kw + 2;
+    let mut angle = 0i32;
+    let mut seen_where = false;
+    // Find the body `{`, a tuple `(`, or the terminating `;`.
+    loop {
+        let Some(t) = toks.get(j) else {
+            return (None, j);
+        };
+        match t.kind {
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle -= 1,
+            TokKind::Ident if t.text == "where" => seen_where = true,
+            TokKind::Punct(';') if angle <= 0 => {
+                return (
+                    Some(StructItem {
+                        name,
+                        fields: Vec::new(),
+                    }),
+                    j + 1,
+                );
+            }
+            TokKind::Open('(') if angle <= 0 && !seen_where => {
+                // Tuple struct: skip to the `;`.
+                let close = match_delim(toks, j);
+                let mut k = close + 1;
+                while k < toks.len() && !toks[k].is_punct(';') {
+                    k += 1;
+                }
+                return (
+                    Some(StructItem {
+                        name,
+                        fields: Vec::new(),
+                    }),
+                    k + 1,
+                );
+            }
+            TokKind::Open('{') if angle <= 0 => break,
+            _ => {}
+        }
+        j += 1;
+    }
+    let body_open = j;
+    let body_close = match_delim(toks, body_open);
+    let mut fields = Vec::new();
+    let mut k = body_open + 1;
+    while k < body_close {
+        // Skip attributes on the field.
+        if toks[k].is_punct('#') {
+            if let Some(n) = toks.get(k + 1) {
+                if n.kind == TokKind::Open('[') {
+                    k = match_delim(toks, k + 1) + 1;
+                    continue;
+                }
+            }
+            k += 1;
+            continue;
+        }
+        // Skip visibility.
+        if toks[k].is_ident("pub") {
+            k += 1;
+            if k < body_close && toks[k].kind == TokKind::Open('(') {
+                k = match_delim(toks, k) + 1;
+            }
+            continue;
+        }
+        if toks[k].kind != TokKind::Ident {
+            k += 1;
+            continue;
+        }
+        let fname = toks[k].text.clone();
+        let fline = toks[k].line;
+        if !toks.get(k + 1).is_some_and(|t| t.is_punct(':')) {
+            k += 1;
+            continue;
+        }
+        // Collect the type idents until the `,` that ends the field (at
+        // delimiter depth 0 relative to the struct body, outside `<…>`).
+        let mut type_idents = Vec::new();
+        let mut depth = 0i32;
+        let mut angle = 0i32;
+        k += 2;
+        while k < body_close {
+            match toks[k].kind {
+                TokKind::Open(_) => depth += 1,
+                TokKind::Close(_) => depth -= 1,
+                TokKind::Punct('<') => angle += 1,
+                TokKind::Punct('>') => angle -= 1,
+                TokKind::Punct(',') if depth == 0 && angle <= 0 => {
+                    k += 1;
+                    break;
+                }
+                TokKind::Ident => type_idents.push(toks[k].text.clone()),
+                _ => {}
+            }
+            k += 1;
+        }
+        fields.push(FieldDecl {
+            name: fname,
+            type_idents,
+            line: fline,
+        });
+    }
+    (Some(StructItem { name, fields }), body_close + 1)
+}
+
+/// Map from field name to every `(crate, struct, type idents)` declaring
+/// it — the receiver-hint table used by the lock rule.
+pub fn field_table(files: &[SourceFile]) -> HashMap<String, Vec<(String, String, Vec<String>)>> {
+    let mut map: HashMap<String, Vec<(String, String, Vec<String>)>> = HashMap::new();
+    for f in files {
+        for s in &f.structs {
+            for fd in &s.fields {
+                map.entry(fd.name.clone()).or_default().push((
+                    f.crate_name.clone(),
+                    s.name.clone(),
+                    fd.type_idents.clone(),
+                ));
+            }
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("lib.rs", "demo", src, false)
+    }
+
+    #[test]
+    fn fns_and_impl_types_are_recovered() {
+        let f = file(
+            "impl std::fmt::Debug for Server { fn fmt(&self) {} }\n\
+             impl<T: Clone> Wrapper<T> { fn get(&self) -> T { self.0.clone() } }\n\
+             pub fn free() {}\n",
+        );
+        let names: Vec<(String, Option<String>)> = f
+            .fns
+            .iter()
+            .map(|x| (x.name.clone(), x.impl_type.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("fmt".into(), Some("Server".into())),
+                ("get".into(), Some("Wrapper".into())),
+                ("free".into(), None),
+            ]
+        );
+        assert!(f.fns.iter().all(|x| x.body.is_some()));
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_attrs_mark_fns() {
+        let f = file(
+            "fn real() {}\n\
+             #[test]\nfn unit() {}\n\
+             #[cfg(test)]\nmod tests { fn helper() {} #[test] fn t() {} }\n",
+        );
+        let by_name = |n: &str| f.fns.iter().find(|x| x.name == n).unwrap();
+        assert!(!by_name("real").is_test);
+        assert!(by_name("unit").is_test);
+        assert!(by_name("helper").is_test);
+        assert!(by_name("t").is_test);
+    }
+
+    #[test]
+    fn struct_fields_capture_type_idents() {
+        let f = file(
+            "struct Shared { state: Mutex<SchedState>, work_ready: Condvar, \
+             db: Arc<TcuDb>, n: usize }\nstruct Unit;\nstruct Tup(Mutex<u8>);\n",
+        );
+        assert_eq!(f.structs.len(), 3);
+        let shared = &f.structs[0];
+        assert_eq!(shared.fields.len(), 4);
+        assert!(shared.fields[0].type_idents.contains(&"Mutex".to_string()));
+        assert!(shared.fields[1]
+            .type_idents
+            .contains(&"Condvar".to_string()));
+    }
+
+    #[test]
+    fn unsafe_sites_and_forbid_attr_are_found() {
+        let f = file(
+            "#![forbid(unsafe_code)]\n\
+             fn a() { let x = 1; }\n",
+        );
+        assert!(f.has_forbid_unsafe);
+        let g = file(
+            "unsafe fn raw() {}\n\
+             fn b() { unsafe { core::hint::unreachable_unchecked() } }\n\
+             unsafe impl Send for X {}\n",
+        );
+        let kinds: Vec<UnsafeKind> = g.unsafe_sites.iter().map(|s| s.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![UnsafeKind::Fn, UnsafeKind::Block, UnsafeKind::Item]
+        );
+    }
+
+    #[test]
+    fn allow_notes_resolve_by_adjacency() {
+        let f = file(
+            "fn a() {\n\
+             \u{20}   // lint: allow(panic) invariant: queue is non-empty here\n\
+             \u{20}   let x = q.pop().unwrap();\n\
+             \u{20}   let y = r.pop().unwrap(); // lint: allow(panic) same\n\
+             \u{20}   let z = s.pop().unwrap();\n\
+             }\n",
+        );
+        assert!(f.allow_covering(3, "panic").is_some());
+        assert!(f.allow_covering(4, "panic").is_some());
+        assert!(f.allow_covering(5, "panic").is_none());
+        assert!(f.allow_covering(3, "lock-order").is_none());
+    }
+
+    #[test]
+    fn doc_safety_sections_attach_to_fns() {
+        let f = file(
+            "/// Does raw things.\n///\n/// # Safety\n/// Caller must check x.\n\
+             #[inline]\npub unsafe fn raw() {}\n\
+             pub unsafe fn undocumented() {}\n",
+        );
+        assert!(f.fns[0].doc_safety);
+        assert!(!f.fns[1].doc_safety);
+    }
+}

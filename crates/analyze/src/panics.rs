@@ -1,0 +1,287 @@
+//! Panic-path lint.
+//!
+//! The serving layer must never die because of a recoverable fault: one
+//! panicking worker poisons a mutex, the next `lock().unwrap()` panics,
+//! and the whole server is gone.  This rule denies, in the configured
+//! request-path files:
+//!
+//! * `.unwrap()` / `.expect(…)` on any expression;
+//! * `panic!`, `unreachable!`, `todo!`, `unimplemented!`, `assert!`-family
+//!   macros (`debug_assert!` is allowed: it compiles out in release);
+//! * unchecked indexing `x[i]` where the index expression involves a
+//!   computed value (literal-indexed fixed-size patterns like `pair[0]`
+//!   are allowed — they are bounds-known shapes, not data-dependent).
+//!
+//! A site can opt out with an adjacent annotation:
+//!
+//! ```text
+//! // lint: allow(panic) worker threads are detached; a poisoned spawn is fatal by design
+//! ```
+//!
+//! either on the same line or in the contiguous comment block directly
+//! above the statement.  An annotation **without** a reason suppresses
+//! nothing: it downgrades to a `lint-annotation` finding so the report
+//! still fails `--deny` until a reason is written.  Test code
+//! (`#[cfg(test)]` modules, `#[test]` fns, `tests/` trees) is exempt —
+//! panicking is how tests fail.
+
+use crate::lexer::TokKind;
+use crate::model::SourceFile;
+use crate::{Finding, Rule};
+
+/// Macro names denied in the request path.
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Method names denied in the request path.
+const PANIC_METHODS: &[&str] = &["unwrap", "expect"];
+
+/// Run the panic-path lint over one file that is part of the configured
+/// request path.  `findings` receives one entry per denied site.
+pub fn run(file: &SourceFile, findings: &mut Vec<Finding>) {
+    let toks = &file.tokens;
+    for g in &file.fns {
+        if g.is_test {
+            continue;
+        }
+        let Some((open, close)) = g.body else {
+            continue;
+        };
+        let mut i = open + 1;
+        while i < close {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident {
+                // Unchecked indexing: `expr [ idx ]` where `expr` ends in
+                // an ident or `)`/`]` (i.e. not an array literal or slice
+                // pattern) and the index is not a bare integer literal.
+                if t.kind == TokKind::Open('[') && i > open + 1 {
+                    if let Some(site) = indexing_site(file, i, close) {
+                        push_or_allow(
+                            file,
+                            site,
+                            "unchecked indexing `[…]` (use .get()/.get_mut() and return an error)",
+                            findings,
+                        );
+                    }
+                }
+                i += 1;
+                continue;
+            }
+            let line = t.line;
+            let is_macro = toks.get(i + 1).is_some_and(|n| n.is_punct('!'));
+            if is_macro && PANIC_MACROS.contains(&t.text.as_str()) {
+                push_or_allow(
+                    file,
+                    line,
+                    &format!("`{}!` in the serving request path", t.text),
+                    findings,
+                );
+                i += 1;
+                continue;
+            }
+            let prev_dot = i > 0 && toks[i - 1].is_punct('.');
+            let next_call = toks
+                .get(i + 1)
+                .is_some_and(|n| n.kind == TokKind::Open('('));
+            if prev_dot && next_call && PANIC_METHODS.contains(&t.text.as_str()) {
+                push_or_allow(
+                    file,
+                    line,
+                    &format!(
+                        "`.{}()` in the serving request path (propagate an error instead)",
+                        t.text
+                    ),
+                    findings,
+                );
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Decide whether the `[` at token index `i` is an unchecked, data-
+/// dependent indexing site.  Returns the line to report, or `None` when
+/// the pattern is allowed.
+fn indexing_site(file: &SourceFile, i: usize, close: usize) -> Option<u32> {
+    let toks = &file.tokens;
+    let prev = &toks[i - 1];
+    // Only `ident[...]`, `)[...]` and `][...]` are index expressions;
+    // `= [...]`, `&[...]`, `([...]` etc. are array/slice literals or types.
+    let indexable = match prev.kind {
+        TokKind::Ident => {
+            // Keywords that can precede `[` without being an indexed value.
+            !matches!(
+                prev.text.as_str(),
+                "mut" | "return" | "in" | "box" | "dyn" | "as" | "else"
+            )
+        }
+        TokKind::Close(')') | TokKind::Close(']') => true,
+        _ => false,
+    };
+    if !indexable {
+        return None;
+    }
+    let end = crate::model::match_delim(toks, i).min(close);
+    // A bare integer literal index (`pair[0]`) is a fixed-shape access.
+    if end == i + 2 && toks[i + 1].kind == TokKind::Lit {
+        return None;
+    }
+    // A range index (`buf[..n]`, `buf[a..b]`) yields a slice — still a
+    // potential panic, but the serving layer's uses are length-derived;
+    // accept ranges and flag only scalar computed indices.
+    let inner = &toks[i + 1..end];
+    if inner.iter().any(|t| t.is_punct('.')) {
+        // `..` appears as two '.' puncts.
+        let mut dots = 0;
+        for t in inner {
+            if t.is_punct('.') {
+                dots += 1;
+                if dots == 2 {
+                    return None;
+                }
+            } else {
+                dots = 0;
+            }
+        }
+    }
+    Some(toks[i].line)
+}
+
+/// Push a finding unless an `// lint: allow(panic) <reason>` annotation
+/// covers the line; an annotation without a reason becomes a
+/// `lint-annotation` finding instead.
+fn push_or_allow(file: &SourceFile, line: u32, what: &str, findings: &mut Vec<Finding>) {
+    match file.allow_covering(line, "panic") {
+        Some(note) if note.has_reason => {}
+        Some(note) => findings.push(Finding::new(
+            Rule::LintAnnotation,
+            &file.rel_path,
+            note.line,
+            "`// lint: allow(panic)` requires a reason after the rule name".to_string(),
+        )),
+        None => findings.push(Finding::new(
+            Rule::PanicPath,
+            &file.rel_path,
+            line,
+            what.to_string(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn lint(src: &str) -> Vec<Finding> {
+        let f = SourceFile::parse("serve/src/lib.rs", "tcudb-serve", src, false);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_expect_and_panic_macros_are_denied() {
+        let out = lint(
+            r#"
+            fn handle(x: Option<u32>) -> u32 {
+                let a = x.unwrap();
+                let b = x.expect("present");
+                if a == 0 { panic!("zero"); }
+                b
+            }
+            "#,
+        );
+        assert_eq!(out.len(), 3, "findings: {out:?}");
+        assert!(out.iter().all(|f| f.rule == Rule::PanicPath));
+    }
+
+    #[test]
+    fn annotation_with_reason_suppresses() {
+        let out = lint(
+            r#"
+            fn start() {
+                // lint: allow(panic) spawn failure at boot is fatal by design
+                std::thread::Builder::new().spawn(f).expect("spawn worker");
+            }
+            "#,
+        );
+        assert!(out.is_empty(), "findings: {out:?}");
+    }
+
+    #[test]
+    fn annotation_without_reason_is_its_own_finding() {
+        let out = lint(
+            r#"
+            fn start() {
+                // lint: allow(panic)
+                std::thread::Builder::new().spawn(f).expect("spawn worker");
+            }
+            "#,
+        );
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, Rule::LintAnnotation);
+    }
+
+    #[test]
+    fn same_line_annotation_works() {
+        let out = lint(
+            r#"
+            fn f(x: Option<u32>) -> u32 {
+                x.unwrap() // lint: allow(panic) checked non-empty above
+            }
+            "#,
+        );
+        assert!(out.is_empty(), "findings: {out:?}");
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let out = lint(
+            r#"
+            fn handler() {}
+            #[cfg(test)]
+            mod tests {
+                #[test]
+                fn t() { Some(1).unwrap(); assert_eq!(1, 1); }
+            }
+            "#,
+        );
+        assert!(out.is_empty(), "findings: {out:?}");
+    }
+
+    #[test]
+    fn computed_indexing_is_denied_but_fixed_shapes_allowed() {
+        let out = lint(
+            r#"
+            fn f(v: &[u32], i: usize, pair: (u32, u32)) -> u32 {
+                let fixed = v[0];
+                let slice = &v[..i];
+                let a = [1, 2, 3];
+                v[i]
+            }
+            "#,
+        );
+        assert_eq!(out.len(), 1, "findings: {out:?}");
+        assert!(out[0].message.contains("indexing"));
+    }
+
+    #[test]
+    fn debug_assert_is_allowed() {
+        let out = lint(
+            r#"
+            fn f(x: u32) {
+                debug_assert!(x > 0);
+            }
+            "#,
+        );
+        assert!(out.is_empty(), "findings: {out:?}");
+    }
+}

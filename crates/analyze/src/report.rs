@@ -1,0 +1,132 @@
+//! Machine-readable findings report.
+//!
+//! The analyzer has no serde (the workspace is offline), so the JSON is
+//! emitted by hand: a small escaper plus structural helpers.  The format
+//! is stable and consumed by the CI artifact upload:
+//!
+//! ```json
+//! {
+//!   "tool": "tcudb-analyze",
+//!   "clean": true,
+//!   "stats": { "files": 42, "functions": 310, "locks": 7, "acquisitions": 19 },
+//!   "locks": [ { "id": "tcudb-serve::Shared.state", "kind": "Mutex" } ],
+//!   "lock_order": [ { "from": "…", "to": "…", "site": "…", "in_fn": "…", "via": "" } ],
+//!   "findings": [ { "rule": "panic-path", "file": "…", "line": 12, "message": "…" } ]
+//! }
+//! ```
+
+use crate::locks::{LockAnalysis, LockKind};
+use crate::{Analysis, Finding};
+use std::fmt::Write as _;
+
+/// Render the full analysis as a JSON document.
+pub fn to_json(a: &Analysis) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"tool\": \"tcudb-analyze\",\n");
+    let _ = writeln!(s, "  \"clean\": {},", a.findings.is_empty());
+    let _ = writeln!(
+        s,
+        "  \"stats\": {{ \"files\": {}, \"functions\": {}, \"locks\": {}, \"acquisitions\": {} }},",
+        a.files_scanned,
+        a.functions_scanned,
+        a.locks.locks.len(),
+        a.locks.acquisition_sites
+    );
+    push_locks(&mut s, &a.locks);
+    push_edges(&mut s, &a.locks);
+    push_findings(&mut s, &a.findings);
+    s.push_str("}\n");
+    s
+}
+
+fn push_locks(s: &mut String, l: &LockAnalysis) {
+    s.push_str("  \"locks\": [\n");
+    for (i, (id, kind)) in l.locks.iter().enumerate() {
+        let kind = match kind {
+            LockKind::Mutex => "Mutex",
+            LockKind::RwLock => "RwLock",
+            LockKind::Condvar => "Condvar",
+        };
+        let _ = write!(
+            s,
+            "    {{ \"id\": {}, \"kind\": \"{kind}\" }}",
+            quote(&id.to_string())
+        );
+        s.push_str(if i + 1 < l.locks.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+}
+
+fn push_edges(s: &mut String, l: &LockAnalysis) {
+    s.push_str("  \"lock_order\": [\n");
+    for (i, e) in l.edges.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"from\": {}, \"to\": {}, \"site\": {}, \"in_fn\": {}, \"via\": {} }}",
+            quote(&e.from.to_string()),
+            quote(&e.to.to_string()),
+            quote(&e.site),
+            quote(&e.in_fn),
+            quote(&e.via)
+        );
+        s.push_str(if i + 1 < l.edges.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n");
+}
+
+fn push_findings(s: &mut String, findings: &[Finding]) {
+    s.push_str("  \"findings\": [\n");
+    for (i, f) in findings.iter().enumerate() {
+        let _ = write!(
+            s,
+            "    {{ \"rule\": {}, \"file\": {}, \"line\": {}, \"message\": {} }}",
+            quote(f.rule.id()),
+            quote(&f.file),
+            f.line,
+            quote(&f.message)
+        );
+        s.push_str(if i + 1 < findings.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n");
+}
+
+/// JSON string escaping for the characters that can appear in paths,
+/// messages and code snippets.
+fn quote(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len() + 2);
+    out.push('"');
+    for c in raw.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_escapes_specials() {
+        assert_eq!(quote("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn empty_analysis_renders_clean_document() {
+        let a = Analysis::default();
+        let j = to_json(&a);
+        assert!(j.contains("\"clean\": true"));
+        assert!(j.contains("\"findings\": [\n  ]"));
+    }
+}

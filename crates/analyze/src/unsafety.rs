@@ -1,0 +1,220 @@
+//! Unsafe-audit rule.
+//!
+//! Three checks, all workspace-wide:
+//!
+//! * **`safety-comment`** — every `unsafe` block must carry a `// SAFETY:`
+//!   comment (same line or the contiguous comment block directly above),
+//!   and every `unsafe fn` must either carry one or document a
+//!   `# Safety` section in its doc comment (the rustdoc convention).
+//! * **`unsafe-outside-tensor`** — crates other than the configured
+//!   allow-list (by default just `tcudb-tensor`, whose SIMD kernels are
+//!   the one legitimate home for `unsafe`) must contain no `unsafe` at
+//!   all.
+//! * **`forbid-unsafe-missing`** — crates proven clean of `unsafe` must
+//!   say so in the source: their crate root needs
+//!   `#![forbid(unsafe_code)]` so the guarantee is enforced by rustc
+//!   itself, not just by this analyzer.
+
+use crate::model::{SourceFile, UnsafeKind};
+use crate::{Finding, Rule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run the unsafe-audit over all parsed files.
+///
+/// `allowed_crates` are crate names permitted to contain `unsafe`;
+/// `check_forbid` enables the `forbid-unsafe-missing` check (fixtures
+/// turn it off — a one-file fixture has no crate root to annotate).
+pub fn run(
+    files: &[SourceFile],
+    allowed_crates: &[String],
+    check_forbid: bool,
+    findings: &mut Vec<Finding>,
+) {
+    // Crate → has any unsafe site anywhere.
+    let mut crate_unsafe: BTreeMap<&str, bool> = BTreeMap::new();
+    // Crate → crate-root files (lib.rs / main.rs) and whether one carries
+    // the forbid attribute.
+    let mut crate_roots: BTreeMap<&str, (bool, String)> = BTreeMap::new();
+
+    for f in files {
+        let entry = crate_unsafe.entry(&f.crate_name).or_insert(false);
+        *entry |= !f.unsafe_sites.is_empty();
+        if f.rel_path.ends_with("src/lib.rs") || f.rel_path.ends_with("src/main.rs") {
+            let e = crate_roots
+                .entry(&f.crate_name)
+                .or_insert((false, f.rel_path.clone()));
+            if f.has_forbid_unsafe {
+                e.0 = true;
+            }
+        }
+
+        let allowed = allowed_crates.iter().any(|c| c == &f.crate_name);
+        for site in &f.unsafe_sites {
+            if !allowed {
+                findings.push(Finding::new(
+                    Rule::UnsafeOutsideTensor,
+                    &f.rel_path,
+                    site.line,
+                    format!(
+                        "`unsafe` in crate `{}`; only [{}] may contain unsafe code",
+                        f.crate_name,
+                        allowed_crates.join(", ")
+                    ),
+                ));
+            }
+            let annotated = match site.kind {
+                UnsafeKind::Block | UnsafeKind::Item => has_safety_comment(f, site.line),
+                UnsafeKind::Fn => {
+                    has_safety_comment(f, site.line) || fn_has_safety_doc(f, site.line)
+                }
+            };
+            if !annotated {
+                let hint = match site.kind {
+                    UnsafeKind::Fn => {
+                        "document the caller contract in a `# Safety` doc section or a `// SAFETY:` comment"
+                    }
+                    _ => "add a `// SAFETY:` comment stating why the invariants hold",
+                };
+                findings.push(Finding::new(
+                    Rule::SafetyComment,
+                    &f.rel_path,
+                    site.line,
+                    format!("`unsafe` without a safety comment; {hint}"),
+                ));
+            }
+        }
+    }
+
+    if !check_forbid {
+        return;
+    }
+    let clean: BTreeSet<&str> = crate_unsafe
+        .iter()
+        .filter(|(_, has)| !**has)
+        .map(|(c, _)| *c)
+        .collect();
+    for (krate, (has_forbid, root)) in &crate_roots {
+        if clean.contains(krate) && !has_forbid {
+            findings.push(Finding::new(
+                Rule::ForbidUnsafeMissing,
+                root,
+                1,
+                format!(
+                    "crate `{krate}` contains no unsafe code but its root lacks \
+                     `#![forbid(unsafe_code)]`; add it so rustc enforces the guarantee"
+                ),
+            ));
+        }
+    }
+}
+
+/// A `// SAFETY` comment on the same line or in the contiguous comment
+/// block directly above `line`.
+fn has_safety_comment(f: &SourceFile, line: u32) -> bool {
+    f.comment_block_above(line, |c| c.text.to_ascii_uppercase().contains("SAFETY"))
+}
+
+/// An `unsafe fn` documented with a rustdoc `# Safety` section directly
+/// above its declaration.
+fn fn_has_safety_doc(f: &SourceFile, line: u32) -> bool {
+    f.fns
+        .iter()
+        .any(|g| g.line == line && g.is_unsafe && g.doc_safety)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SourceFile;
+
+    fn audit(crate_name: &str, src: &str, allowed: &[&str], check_forbid: bool) -> Vec<Finding> {
+        let f = SourceFile::parse(&format!("{crate_name}/src/lib.rs"), crate_name, src, false);
+        let mut out = Vec::new();
+        let allowed: Vec<String> = allowed.iter().map(|s| s.to_string()).collect();
+        run(&[f], &allowed, check_forbid, &mut out);
+        out
+    }
+
+    #[test]
+    fn uncommented_unsafe_block_is_flagged() {
+        let out = audit(
+            "tcudb-tensor",
+            "fn f(p: *const f32) -> f32 { unsafe { *p } }",
+            &["tcudb-tensor"],
+            false,
+        );
+        assert_eq!(out.len(), 1, "findings: {out:?}");
+        assert_eq!(out[0].rule, Rule::SafetyComment);
+    }
+
+    #[test]
+    fn safety_comment_above_or_on_line_passes() {
+        let out = audit(
+            "tcudb-tensor",
+            r#"
+            fn f(p: *const f32) -> f32 {
+                // SAFETY: caller guarantees p is valid for reads
+                unsafe { *p }
+            }
+            fn g(p: *const f32) -> f32 {
+                unsafe { *p } // SAFETY: bounds checked by construction
+            }
+            "#,
+            &["tcudb-tensor"],
+            false,
+        );
+        assert!(out.is_empty(), "findings: {out:?}");
+    }
+
+    #[test]
+    fn unsafe_fn_with_safety_doc_section_passes() {
+        let out = audit(
+            "tcudb-tensor",
+            r#"
+            /// Does pointer things.
+            ///
+            /// # Safety
+            /// `p` must be valid for `n` reads.
+            pub unsafe fn f(p: *const f32, n: usize) -> f32 { *p }
+            "#,
+            &["tcudb-tensor"],
+            false,
+        );
+        assert!(out.is_empty(), "findings: {out:?}");
+    }
+
+    #[test]
+    fn unsafe_outside_allowed_crates_is_flagged() {
+        let out = audit(
+            "tcudb-storage",
+            r#"
+            fn f(p: *const f32) -> f32 {
+                // SAFETY: commented, but still in the wrong crate
+                unsafe { *p }
+            }
+            "#,
+            &["tcudb-tensor"],
+            false,
+        );
+        assert_eq!(out.len(), 1, "findings: {out:?}");
+        assert_eq!(out[0].rule, Rule::UnsafeOutsideTensor);
+    }
+
+    #[test]
+    fn clean_crate_without_forbid_attribute_is_flagged() {
+        let out = audit("tcudb-types", "pub fn f() {}", &["tcudb-tensor"], true);
+        assert_eq!(out.len(), 1, "findings: {out:?}");
+        assert_eq!(out[0].rule, Rule::ForbidUnsafeMissing);
+    }
+
+    #[test]
+    fn clean_crate_with_forbid_attribute_passes() {
+        let out = audit(
+            "tcudb-types",
+            "#![forbid(unsafe_code)]\npub fn f() {}",
+            &["tcudb-tensor"],
+            true,
+        );
+        assert!(out.is_empty(), "findings: {out:?}");
+    }
+}

@@ -1,0 +1,5 @@
+//! A crate root with no `#![forbid(unsafe_code)]` attribute.
+
+pub fn answer() -> u32 {
+    42
+}

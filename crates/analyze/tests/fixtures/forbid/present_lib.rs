@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! A crate root that forbids unsafe code, as required.
+
+pub fn answer() -> u32 {
+    42
+}

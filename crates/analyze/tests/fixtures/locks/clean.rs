@@ -1,0 +1,22 @@
+//! Consistent a → b ordering in every function: one edge, no cycle.
+use std::sync::Mutex;
+use tcudb_types::sync::locked;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn sum(&self) -> u32 {
+        let ga = locked(&self.a);
+        let gb = locked(&self.b);
+        *ga + *gb
+    }
+
+    pub fn product(&self) -> u32 {
+        let ga = locked(&self.a);
+        let gb = locked(&self.b);
+        *ga * *gb
+    }
+}

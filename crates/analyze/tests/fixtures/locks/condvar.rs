@@ -1,0 +1,25 @@
+//! Condvar wait while a second, unrelated guard is still held.
+use std::sync::{Condvar, Mutex};
+use tcudb_types::sync::{locked, wait_on};
+
+pub struct Waiter {
+    m: Mutex<bool>,
+    other: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Waiter {
+    pub fn double_hold(&self) {
+        let extra = locked(&self.other);
+        let mut g = locked(&self.m);
+        g = wait_on(&self.cv, g);
+        drop(g);
+        drop(extra);
+    }
+
+    pub fn single_hold(&self) {
+        let mut g = locked(&self.m);
+        g = wait_on(&self.cv, g);
+        drop(g);
+    }
+}

@@ -1,0 +1,22 @@
+//! Injected lock-order cycle: `ab` acquires a → b, `ba` acquires b → a.
+use std::sync::Mutex;
+use tcudb_types::sync::locked;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn ab(&self) -> u32 {
+        let ga = locked(&self.a);
+        let gb = locked(&self.b);
+        *ga + *gb
+    }
+
+    pub fn ba(&self) -> u32 {
+        let gb = locked(&self.b);
+        let ga = locked(&self.a);
+        *ga + *gb
+    }
+}

@@ -1,0 +1,23 @@
+//! Publishing a catalog snapshot while holding a scheduler lock.
+use std::sync::Mutex;
+use tcudb_storage::SharedCatalog;
+use tcudb_types::sync::locked;
+
+pub struct Engine {
+    state: Mutex<u32>,
+    catalog: SharedCatalog,
+}
+
+impl Engine {
+    pub fn publish_while_locked(&self) {
+        let g = locked(&self.state);
+        self.catalog.update(|c| c.clear());
+        drop(g);
+    }
+
+    pub fn publish_after_release(&self) {
+        let g = locked(&self.state);
+        drop(g);
+        self.catalog.update(|c| c.clear());
+    }
+}

@@ -1,0 +1,16 @@
+//! Annotated panic sites: a reasoned allow is clean, a bare allow is not.
+
+pub fn boot(v: &[u32]) -> u32 {
+    // lint: allow(panic) boot-time only: the caller seeds v before serving
+    *v.first().unwrap()
+}
+
+pub fn unreasoned(v: &[u32]) -> u32 {
+    // lint: allow(panic)
+    *v.first().unwrap()
+}
+
+pub fn range_and_literal(v: &[u32]) -> u32 {
+    let pair = &v[..2];
+    pair[0]
+}

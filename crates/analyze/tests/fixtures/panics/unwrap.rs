@@ -1,0 +1,18 @@
+//! Unannotated panic sites in the serving request path.
+
+pub fn head(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn pick(v: &[u32], i: usize) -> u32 {
+    v[i]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1u32];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

@@ -1,0 +1,6 @@
+//! A properly documented unsafe block in the tensor crate.
+
+pub fn peek(v: &[u32]) -> u32 {
+    // SAFETY: callers guarantee `v` is non-empty (checked at kernel entry).
+    unsafe { *v.get_unchecked(0) }
+}

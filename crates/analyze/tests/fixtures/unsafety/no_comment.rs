@@ -1,0 +1,5 @@
+//! An uncommented unsafe block in a crate that must stay safe.
+
+pub fn peek(v: &[u32]) -> u32 {
+    unsafe { *v.get_unchecked(0) }
+}

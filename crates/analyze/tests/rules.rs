@@ -1,0 +1,212 @@
+//! Fixture-based positive/negative tests, one pair per rule.
+//!
+//! Each fixture under `tests/fixtures/` is a standalone Rust source that
+//! is lexed and analyzed but never compiled (the `fixtures` directory is
+//! on the analyzer's skip list, so the workspace scan never sees it
+//! either).  Tests feed a fixture through the public [`analyze_files`]
+//! entry point with an explicit [`Config`], then assert on which rules
+//! fired — the same path `--deny` takes, minus the filesystem walk.
+
+use std::path::PathBuf;
+use tcudb_analyze::model::SourceFile;
+use tcudb_analyze::{analyze_files, Config, Finding, Rule};
+
+/// A config scoped to the serving-path prefixes the fixtures pretend to
+/// live under.  `check_forbid` is off by default because most fixtures
+/// are not crate roots; the forbid tests switch it on.
+fn config(check_forbid: bool) -> Config {
+    Config {
+        root: PathBuf::from("."),
+        panic_paths: vec!["crates/serve/src".into()],
+        lock_paths: vec!["crates/serve/src".into(), "crates/storage/src".into()],
+        unsafe_allowed_crates: vec!["tcudb-tensor".into()],
+        check_forbid,
+    }
+}
+
+fn parse(fixture_src: &str, rel_path: &str, krate: &str) -> SourceFile {
+    SourceFile::parse(rel_path, krate, fixture_src, false)
+}
+
+fn rules_of(findings: &[Finding]) -> Vec<Rule> {
+    findings.iter().map(|f| f.rule).collect()
+}
+
+#[test]
+fn injected_lock_order_cycle_is_denied() {
+    let f = parse(
+        include_str!("fixtures/locks/cycle.rs"),
+        "crates/serve/src/cycle.rs",
+        "tcudb-serve",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    assert!(
+        a.findings.iter().any(|f| f.rule == Rule::LockOrder),
+        "expected a lock-order finding, got {:?}",
+        a.findings
+    );
+    // Both orderings were observed as edges.
+    assert_eq!(a.locks.edges.len(), 2, "edges: {:?}", a.locks.edges);
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let f = parse(
+        include_str!("fixtures/locks/clean.rs"),
+        "crates/serve/src/clean.rs",
+        "tcudb-serve",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+    // The single a → b edge is still recorded for the report.
+    assert_eq!(a.locks.edges.len(), 1);
+    assert_eq!(a.locks.edges[0].from.field, "a");
+    assert_eq!(a.locks.edges[0].to.field, "b");
+}
+
+#[test]
+fn publish_under_lock_is_denied_and_release_first_is_clean() {
+    let f = parse(
+        include_str!("fixtures/locks/publish.rs"),
+        "crates/serve/src/publish.rs",
+        "tcudb-serve",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    let publishes: Vec<&Finding> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::PublishUnderLock)
+        .collect();
+    assert_eq!(publishes.len(), 1, "findings: {:?}", a.findings);
+    assert!(
+        publishes[0].message.contains("publish_while_locked"),
+        "finding should name the offending fn: {}",
+        publishes[0].message
+    );
+}
+
+#[test]
+fn condvar_wait_with_extra_guard_is_denied_and_single_hold_is_clean() {
+    let f = parse(
+        include_str!("fixtures/locks/condvar.rs"),
+        "crates/serve/src/condvar.rs",
+        "tcudb-serve",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    let waits: Vec<&Finding> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::CondvarDoubleHold)
+        .collect();
+    assert_eq!(waits.len(), 1, "findings: {:?}", a.findings);
+    assert!(
+        waits[0].message.contains("double_hold"),
+        "finding should name the offending fn: {}",
+        waits[0].message
+    );
+}
+
+#[test]
+fn unannotated_serving_path_panics_are_denied() {
+    let f = parse(
+        include_str!("fixtures/panics/unwrap.rs"),
+        "crates/serve/src/unwrap.rs",
+        "tcudb-serve",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    // One for `.unwrap()` in `head`, one for the computed index in `pick`;
+    // the `#[cfg(test)]` unwrap is exempt.
+    assert_eq!(
+        rules_of(&a.findings),
+        vec![Rule::PanicPath, Rule::PanicPath],
+        "findings: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn panic_lint_does_not_apply_outside_the_serving_path() {
+    let f = parse(
+        include_str!("fixtures/panics/unwrap.rs"),
+        "crates/datagen/src/unwrap.rs",
+        "tcudb-datagen",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+}
+
+#[test]
+fn reasoned_allow_is_clean_and_bare_allow_is_flagged() {
+    let f = parse(
+        include_str!("fixtures/panics/annotated.rs"),
+        "crates/serve/src/annotated.rs",
+        "tcudb-serve",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    // `boot` is covered by a reasoned allow; `unreasoned` has the
+    // annotation but no reason (lint-annotation, and the site stays
+    // suppressed as panic-path); `range_and_literal` uses only the
+    // allowed indexing forms.
+    assert_eq!(
+        rules_of(&a.findings),
+        vec![Rule::LintAnnotation],
+        "findings: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn uncommented_unsafe_outside_tensor_is_denied_twice() {
+    let f = parse(
+        include_str!("fixtures/unsafety/no_comment.rs"),
+        "crates/storage/src/no_comment.rs",
+        "tcudb-storage",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    let mut rules = rules_of(&a.findings);
+    rules.sort();
+    assert_eq!(
+        rules,
+        vec![Rule::SafetyComment, Rule::UnsafeOutsideTensor],
+        "findings: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn commented_unsafe_in_tensor_is_clean() {
+    let f = parse(
+        include_str!("fixtures/unsafety/commented.rs"),
+        "crates/tensor/src/commented.rs",
+        "tcudb-tensor",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+}
+
+#[test]
+fn unsafe_free_crate_root_without_forbid_is_flagged() {
+    let f = parse(
+        include_str!("fixtures/forbid/missing_lib.rs"),
+        "crates/foo/src/lib.rs",
+        "tcudb-foo",
+    );
+    let a = analyze_files(&config(true), &[f]);
+    assert_eq!(
+        rules_of(&a.findings),
+        vec![Rule::ForbidUnsafeMissing],
+        "findings: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn crate_root_with_forbid_is_clean() {
+    let f = parse(
+        include_str!("fixtures/forbid/present_lib.rs"),
+        "crates/foo/src/lib.rs",
+        "tcudb-foo",
+    );
+    let a = analyze_files(&config(true), &[f]);
+    assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+}

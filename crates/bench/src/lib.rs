@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcudb-bench
 //!
 //! Experiment runners that regenerate every table and figure of the

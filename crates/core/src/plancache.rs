@@ -36,6 +36,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use tcudb_sql::SelectStatement;
+use tcudb_types::sync::locked;
 
 /// Everything cached for one `(statement, epoch)` pair.
 ///
@@ -164,7 +165,7 @@ impl PlanCache {
     /// per-query hot path allocation-free inside the cache lock (callers
     /// build the key once and reuse it for the insert on a miss).
     pub fn lookup(&self, key: &(String, u64)) -> Option<Arc<CachedStatement>> {
-        let map = self.inner.lock().expect("plan cache poisoned");
+        let map = locked(&self.inner);
         let found = map.entries.get(key).cloned();
         match &found {
             Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
@@ -184,7 +185,7 @@ impl PlanCache {
         stmt: Arc<SelectStatement>,
         analyzed: Arc<AnalyzedQuery>,
     ) -> Arc<CachedStatement> {
-        let mut map = self.inner.lock().expect("plan cache poisoned");
+        let mut map = locked(&self.inner);
         let key = (normalized_sql, epoch);
         if let Some(existing) = map.entries.get(&key) {
             return Arc::clone(existing);
@@ -220,7 +221,7 @@ impl PlanCache {
     /// statements after each concurrent write — correct either way, since
     /// lookups at retired epochs simply miss.
     pub fn retire_epochs_before(&self, current_epoch: u64) {
-        let mut map = self.inner.lock().expect("plan cache poisoned");
+        let mut map = locked(&self.inner);
         let before = map.entries.len();
         map.entries.retain(|&(_, e), _| e >= current_epoch);
         let evicted = before - map.entries.len();
@@ -236,18 +237,14 @@ impl PlanCache {
     /// configuration changes under the cache: recorded choices may embed
     /// decisions from the old optimizer config).
     pub fn clear(&self) {
-        let mut map = self.inner.lock().expect("plan cache poisoned");
+        let mut map = locked(&self.inner);
         map.entries.clear();
         map.order.clear();
     }
 
     /// Number of cached statements.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("plan cache poisoned")
-            .entries
-            .len()
+        locked(&self.inner).entries.len()
     }
 
     /// True if the cache holds no statements.

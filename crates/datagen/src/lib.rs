@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcudb-datagen
 //!
 //! Workload generators for every experiment in the paper's evaluation

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcudb-device
 //!
 //! The simulated GPU device that stands in for the paper's NVIDIA RTX 3090

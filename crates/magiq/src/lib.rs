@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcudb-magiq
 //!
 //! The **MAGiQ baseline** of §5.5: a graph query engine that stores graphs

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcudb-monet
 //!
 //! The **CPU baseline** standing in for MonetDB in the paper's

@@ -36,6 +36,7 @@
 //!   execution instead of starving.
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -45,6 +46,7 @@ use tcudb_core::executor::estimate_working_set_bytes;
 use tcudb_core::plancache::CachedStatement;
 use tcudb_core::{QueryOutput, TcuDb};
 use tcudb_storage::CatalogSnapshot;
+use tcudb_types::sync::{locked, wait_on};
 use tcudb_types::{TcuError, TcuResult};
 
 /// Serving-layer configuration.
@@ -173,7 +175,7 @@ impl Shared {
     /// Pop the next admissible job, FIFO.  Returns `None` on shutdown
     /// with an empty queue.
     fn next_job(&self) -> Option<Job> {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        let mut state = locked(&self.state);
         loop {
             if state.shutdown && state.queue.is_empty() {
                 return None;
@@ -185,35 +187,33 @@ impl Shared {
                 // could never run at all).
                 let fits = state.in_flight_bytes + head_est <= self.admission_bytes;
                 if fits || state.in_flight == 0 {
-                    let job = state.queue.pop_front().expect("head exists");
-                    state.in_flight += 1;
-                    state.in_flight_bytes += job.est_bytes;
-                    state.peak_in_flight_bytes =
-                        state.peak_in_flight_bytes.max(state.in_flight_bytes);
-                    if self.coalesce {
-                        state
-                            .running
-                            .push((Arc::clone(&job.entry), Arc::clone(&job.repliers)));
+                    if let Some(job) = state.queue.pop_front() {
+                        state.in_flight += 1;
+                        state.in_flight_bytes += job.est_bytes;
+                        state.peak_in_flight_bytes =
+                            state.peak_in_flight_bytes.max(state.in_flight_bytes);
+                        if self.coalesce {
+                            state
+                                .running
+                                .push((Arc::clone(&job.entry), Arc::clone(&job.repliers)));
+                        }
+                        return Some(job);
                     }
-                    return Some(job);
-                }
-                // Count each blocked job once, not once per condvar
-                // wakeup of each idle worker.
-                let head = state.queue.front_mut().expect("head exists");
-                if !head.counted_wait {
-                    head.counted_wait = true;
-                    self.admission_waits.fetch_add(1, Ordering::Relaxed);
+                } else if let Some(head) = state.queue.front_mut() {
+                    // Count each blocked job once, not once per condvar
+                    // wakeup of each idle worker.
+                    if !head.counted_wait {
+                        head.counted_wait = true;
+                        self.admission_waits.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
-            state = self
-                .work_ready
-                .wait(state)
-                .expect("scheduler lock poisoned");
+            state = wait_on(&self.work_ready, state);
         }
     }
 
     fn finish_job(&self, job: &Job) {
-        let mut state = self.state.lock().expect("scheduler lock poisoned");
+        let mut state = locked(&self.state);
         state.in_flight -= 1;
         state.in_flight_bytes -= job.est_bytes;
         state
@@ -235,7 +235,7 @@ impl Shared {
             // Claim the waiter list before announcing completion: once
             // `closed`, late identical submissions start a fresh job.
             let senders = {
-                let mut slot = job.repliers.lock().expect("replier slot poisoned");
+                let mut slot = locked(&job.repliers);
                 slot.closed = true;
                 std::mem::take(&mut slot.senders)
             };
@@ -267,7 +267,21 @@ impl std::fmt::Debug for Server {
 
 impl Server {
     /// Start a server over an engine, spawning the worker pool.
+    ///
+    /// Panics only when *no* worker thread could be spawned at all; use
+    /// [`Server::try_start`] to handle that case as an error.
     pub fn start(db: Arc<TcuDb>, config: ServeConfig) -> Server {
+        // lint: allow(panic) boot-time only: a server with zero workers can never serve
+        Self::try_start(db, config).expect("could not spawn any worker thread")
+    }
+
+    /// Start a server over an engine, spawning the worker pool.
+    ///
+    /// Thread spawning can fail under resource exhaustion; a partially
+    /// spawned pool is kept (the server just runs with fewer workers),
+    /// and only a pool with zero workers is an error — such a server
+    /// would accept statements that can never execute.
+    pub fn try_start(db: Arc<TcuDb>, config: ServeConfig) -> TcuResult<Server> {
         let admission_bytes = if config.admission_bytes > 0.0 {
             config.admission_bytes
         } else {
@@ -285,16 +299,27 @@ impl Server {
             admission_waits: AtomicU64::new(0),
             errors: AtomicU64::new(0),
         });
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("tcudb-serve-{i}"))
-                    .spawn(move || shared.worker_loop())
-                    .expect("spawn worker")
-            })
-            .collect();
-        Server { shared, workers }
+        let mut workers = Vec::with_capacity(config.workers.max(1));
+        let mut spawn_err = None;
+        for i in 0..config.workers.max(1) {
+            let shared = Arc::clone(&shared);
+            match std::thread::Builder::new()
+                .name(format!("tcudb-serve-{i}"))
+                .spawn(move || shared.worker_loop())
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => spawn_err = Some(e),
+            }
+        }
+        if workers.is_empty() {
+            let detail = spawn_err
+                .map(|e| e.to_string())
+                .unwrap_or_else(|| "zero workers requested".into());
+            return Err(TcuError::Execution(format!(
+                "could not spawn any worker thread: {detail}"
+            )));
+        }
+        Ok(Server { shared, workers })
     }
 
     /// The engine this server executes against.
@@ -319,7 +344,7 @@ impl Server {
 
     /// Counters since start (see [`ServerStats`]).
     pub fn stats(&self) -> ServerStats {
-        let state = self.shared.state.lock().expect("scheduler lock poisoned");
+        let state = locked(&self.shared.state);
         ServerStats {
             submitted: self.shared.submitted.load(Ordering::Relaxed),
             executed: self.shared.executed.load(Ordering::Relaxed),
@@ -338,7 +363,7 @@ impl Server {
 
     fn stop_workers(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("scheduler lock poisoned");
+            let mut state = locked(&self.shared.state);
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
@@ -409,7 +434,7 @@ impl Session {
 
         let (tx, rx) = mpsc::channel();
         {
-            let mut state = shared.state.lock().expect("scheduler lock poisoned");
+            let mut state = locked(&shared.state);
             if state.shutdown {
                 return Err(TcuError::Execution("server is shut down".into()));
             }
@@ -434,7 +459,7 @@ impl Session {
                             .map(|(_, slot)| Arc::clone(slot))
                     });
                 if let Some(slot) = slot {
-                    let mut guard = slot.lock().expect("replier slot poisoned");
+                    let mut guard = locked(&slot);
                     if !guard.closed {
                         guard.senders.push(tx);
                         drop(guard);

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcudb-sql
 //!
 //! A small SQL front-end covering the query dialect used throughout the

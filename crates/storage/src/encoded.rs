@@ -18,6 +18,7 @@ use crate::column::Column;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::Mutex;
+use tcudb_types::sync::locked;
 use tcudb_types::value::ValueKey;
 use tcudb_types::Value;
 
@@ -220,7 +221,7 @@ impl EncodingCache {
         idx: usize,
         make: impl FnOnce() -> DictColumn,
     ) -> std::sync::Arc<DictColumn> {
-        let mut map = self.inner.lock().expect("encoding cache poisoned");
+        let mut map = locked(&self.inner);
         map.entry(idx)
             .or_insert_with(|| std::sync::Arc::new(make()))
             .clone()
@@ -235,7 +236,7 @@ impl EncodingCache {
     /// that encoding is left untouched and this table gets an extended
     /// copy — [`std::sync::Arc::make_mut`] semantics.
     pub fn extend_with_row(&self, value_of: impl Fn(usize) -> Value) {
-        let mut map = self.inner.lock().expect("encoding cache poisoned");
+        let mut map = locked(&self.inner);
         for (&idx, dict) in map.iter_mut() {
             std::sync::Arc::make_mut(dict).push_value(&value_of(idx));
         }
@@ -243,7 +244,7 @@ impl EncodingCache {
 
     /// Number of cached column encodings (telemetry / tests).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("encoding cache poisoned").len()
+        locked(&self.inner).len()
     }
 
     /// True if no column has been encoded yet.
@@ -255,7 +256,7 @@ impl EncodingCache {
 impl Clone for EncodingCache {
     fn clone(&self) -> Self {
         EncodingCache {
-            inner: Mutex::new(self.inner.lock().expect("encoding cache poisoned").clone()),
+            inner: Mutex::new(locked(&self.inner).clone()),
         }
     }
 }

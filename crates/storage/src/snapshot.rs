@@ -32,6 +32,7 @@
 
 use crate::catalog::Catalog;
 use std::sync::{Arc, Mutex, RwLock};
+use tcudb_types::sync::{locked, read_locked, write_locked};
 
 /// An immutable view of the catalog at one point in time.
 ///
@@ -115,12 +116,12 @@ impl SharedCatalog {
 
     /// Pin the current snapshot.  O(1): an `Arc` clone under a read lock.
     pub fn snapshot(&self) -> Arc<CatalogSnapshot> {
-        Arc::clone(&self.current.read().expect("catalog lock poisoned"))
+        Arc::clone(&read_locked(&self.current))
     }
 
     /// The current epoch without pinning a snapshot.
     pub fn epoch(&self) -> u64 {
-        self.current.read().expect("catalog lock poisoned").epoch
+        read_locked(&self.current).epoch
     }
 
     /// Apply a write and publish it as a new snapshot, returning the
@@ -139,14 +140,14 @@ impl SharedCatalog {
     /// only ever blocked for the final pointer swap, never for `f` or the
     /// catalog clone.
     pub fn update<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> (Arc<CatalogSnapshot>, R) {
-        let _writes_serialized = self.writer.lock().expect("catalog writer poisoned");
+        let _writes_serialized = locked(&self.writer);
         // Safe to read without re-checking: only writer-lock holders
         // publish, and we are the only one right now.
         let base = self.snapshot();
         let mut catalog = base.catalog.clone();
         let out = f(&mut catalog);
         let next = Arc::new(CatalogSnapshot::new(base.epoch + 1, catalog));
-        *self.current.write().expect("catalog lock poisoned") = Arc::clone(&next);
+        *write_locked(&self.current) = Arc::clone(&next);
         (next, out)
     }
 
@@ -159,12 +160,12 @@ impl SharedCatalog {
         &self,
         f: impl FnOnce(&mut Catalog) -> Result<R, E>,
     ) -> Result<(Arc<CatalogSnapshot>, R), E> {
-        let _writes_serialized = self.writer.lock().expect("catalog writer poisoned");
+        let _writes_serialized = locked(&self.writer);
         let base = self.snapshot();
         let mut catalog = base.catalog.clone();
         let out = f(&mut catalog)?;
         let next = Arc::new(CatalogSnapshot::new(base.epoch + 1, catalog));
-        *self.current.write().expect("catalog lock poisoned") = Arc::clone(&next);
+        *write_locked(&self.current) = Arc::clone(&next);
         Ok((next, out))
     }
 

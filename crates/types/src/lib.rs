@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 //! # tcudb-types
 //!
@@ -14,12 +15,15 @@
 //!   query optimizer.
 //! * [`quant`] — int8 / int4 quantisation helpers used by the low-precision
 //!   execution paths.
+//! * [`sync`] — poison-recovering lock helpers used by every crate that
+//!   holds `std::sync` state (serving layer, caches, shared catalog).
 //! * [`TcuError`] — the common error type.
 
 pub mod error;
 pub mod f16;
 pub mod precision;
 pub mod quant;
+pub mod sync;
 pub mod value;
 
 pub use error::{TcuError, TcuResult};

@@ -1,0 +1,121 @@
+//! Poison-recovering lock helpers.
+//!
+//! `std::sync` poisons a lock when a thread panics while holding its
+//! guard.  For the TCUDB serving layer, poisoning must never be fatal:
+//! the protected state is either a pure cache (plan cache, encoding
+//! cache) or scheduler bookkeeping whose invariants are re-established
+//! on every pass, so the correct response to a poisoned lock is to clear
+//! the flag and continue — not to `unwrap()` and turn one panicking
+//! worker into whole-server death.
+//!
+//! These helpers are also what the `tcudb-analyze` lock-order rule keys
+//! on: `locked(&self.state)` is recognised as an acquisition of `state`
+//! exactly like a bare `self.state.lock()` would be, so migrating a call
+//! site to the helpers never hides it from the static analysis.
+
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Lock a [`Mutex`], clearing poisoning instead of panicking.
+pub fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            m.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Read-lock an [`RwLock`], clearing poisoning instead of panicking.
+pub fn read_locked<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    match l.read() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            l.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Write-lock an [`RwLock`], clearing poisoning instead of panicking.
+pub fn write_locked<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    match l.write() {
+        Ok(g) => g,
+        Err(poisoned) => {
+            l.clear_poison();
+            poisoned.into_inner()
+        }
+    }
+}
+
+/// Wait on a [`Condvar`], re-acquiring the guard and clearing poisoning
+/// instead of panicking.
+pub fn wait_on<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    match cv.wait(guard) {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    fn poison_mutex(m: &Arc<Mutex<u32>>) {
+        let m2 = Arc::clone(m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+    }
+
+    #[test]
+    fn locked_recovers_from_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        poison_mutex(&m);
+        let g = locked(&m);
+        assert_eq!(*g, 7);
+        drop(g);
+        assert!(!m.is_poisoned());
+        // And a plain lock() works again afterwards.
+        assert_eq!(*m.lock().unwrap(), 7);
+    }
+
+    #[test]
+    fn rwlock_helpers_recover_from_poison() {
+        let l = Arc::new(RwLock::new(3u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(l.is_poisoned());
+        assert_eq!(*read_locked(&l), 3);
+        *write_locked(&l) = 4;
+        assert_eq!(*l.read().unwrap(), 4);
+    }
+
+    #[test]
+    fn wait_on_passes_through_signalled_guard() {
+        use std::sync::Condvar;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut done = locked(m);
+            while !*done {
+                done = wait_on(cv, done);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *locked(m) = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
+    }
+}

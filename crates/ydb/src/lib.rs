@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcudb-ydb
 //!
 //! The **YDB baseline**: a conventional GPU-accelerated warehouse engine in

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # tcudb
 //!
 //! Umbrella crate for **TCUDB-RS**, a pure-Rust reproduction of
