@@ -138,7 +138,16 @@ impl Config {
     pub fn for_root(root: PathBuf) -> Config {
         Config {
             root,
-            panic_paths: vec!["crates/serve/src".into()],
+            panic_paths: vec![
+                "crates/serve/src".into(),
+                // The durability subsystem: recovery code runs on every
+                // open over arbitrarily damaged inputs, so a panic here
+                // turns a recoverable torn file into a crashed server.
+                "crates/storage/src/backend.rs".into(),
+                "crates/storage/src/wal.rs".into(),
+                "crates/storage/src/segment.rs".into(),
+                "crates/storage/src/recover.rs".into(),
+            ],
             lock_paths: vec![
                 "crates/serve/src".into(),
                 "crates/storage/src".into(),

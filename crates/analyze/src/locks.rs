@@ -580,7 +580,7 @@ const HELPER_FNS: &[(&str, &[LockKind])] = &[
     ("write_locked", &[LockKind::RwLock]),
 ];
 
-const PUBLISH_METHODS: &[&str] = &["update", "try_update", "replace"];
+const PUBLISH_METHODS: &[&str] = &["update", "try_update", "try_update_with", "replace"];
 
 /// Scan one function body, producing its local facts.
 fn scan_fn(ws: &Workspace, file: &SourceFile, item: &FnItem) -> FnFacts {
@@ -746,7 +746,7 @@ fn handle_ident(
             }
             return;
         }
-        if name == "wait_on" {
+        if name == "wait_on" || name == "wait_on_timeout" {
             let args = arg_idents(toks, i + 1, close);
             record_wait(&args, guards, line, facts);
             return;

@@ -1,0 +1,28 @@
+//! The background flusher's timed condvar wait: `wait_on_timeout` with a
+//! second guard held is the same lost-wakeup/deadlock hazard as
+//! `wait_on`.
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+use tcudb_types::sync::{locked, wait_on_timeout};
+
+pub struct Flusher {
+    stop: Mutex<bool>,
+    other: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Flusher {
+    pub fn timed_double_hold(&self) {
+        let extra = locked(&self.other);
+        let g = locked(&self.stop);
+        let (g, _timed_out) = wait_on_timeout(&self.cv, g, Duration::from_millis(10));
+        drop(g);
+        drop(extra);
+    }
+
+    pub fn timed_single_hold(&self) {
+        let g = locked(&self.stop);
+        let (g, _timed_out) = wait_on_timeout(&self.cv, g, Duration::from_millis(10));
+        drop(g);
+    }
+}

@@ -1,0 +1,29 @@
+//! The durable commit path publishes through `try_update_with`; doing so
+//! while holding a scheduler lock is the same inversion hazard as the
+//! plain `update` case.
+use std::sync::Mutex;
+use tcudb_storage::SharedCatalog;
+use tcudb_types::sync::locked;
+
+pub struct Engine {
+    state: Mutex<u32>,
+    catalog: SharedCatalog,
+}
+
+impl Engine {
+    pub fn durable_publish_while_locked(&self) {
+        let g = locked(&self.state);
+        let _ = self
+            .catalog
+            .try_update_with(|c| -> Result<(), ()> { Ok(c.clear()) }, |_epoch| Ok(()));
+        drop(g);
+    }
+
+    pub fn durable_publish_after_release(&self) {
+        let g = locked(&self.state);
+        drop(g);
+        let _ = self
+            .catalog
+            .try_update_with(|c| -> Result<(), ()> { Ok(c.clear()) }, |_epoch| Ok(()));
+    }
+}

@@ -1,0 +1,33 @@
+//! Panic sites in crash-recovery code: recovery runs over arbitrarily
+//! damaged bytes on every open, so indexing and unwraps here turn a torn
+//! file into a crashed server.
+
+pub fn byte_at(bytes: &[u8], cursor: usize) -> u8 {
+    // Computed indexing into untrusted input: flagged.
+    bytes[cursor]
+}
+
+pub fn last_epoch(epochs: &[u64]) -> u64 {
+    // Unwrap on data derived from disk contents: flagged.
+    *epochs.last().unwrap()
+}
+
+pub fn decode_header_checked(bytes: &[u8]) -> Option<u32> {
+    // Bounds-checked access is the accepted idiom and stays clean.
+    let lo = bytes.first()?;
+    let hi = bytes.get(1)?;
+    Some(u32::from(*lo) | (u32::from(*hi) << 8))
+}
+
+pub fn prefix(bytes: &[u8], n: usize) -> Option<&[u8]> {
+    // Range indexing via `get` is clean too.
+    bytes.get(..n)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        assert_eq!(super::decode_header_checked(&[1, 0]).unwrap(), 1);
+    }
+}

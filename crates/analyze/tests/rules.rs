@@ -17,7 +17,12 @@ use tcudb_analyze::{analyze_files, Config, Finding, Rule};
 fn config(check_forbid: bool) -> Config {
     Config {
         root: PathBuf::from("."),
-        panic_paths: vec!["crates/serve/src".into()],
+        panic_paths: vec![
+            "crates/serve/src".into(),
+            "crates/storage/src/wal.rs".into(),
+            "crates/storage/src/segment.rs".into(),
+            "crates/storage/src/recover.rs".into(),
+        ],
         lock_paths: vec!["crates/serve/src".into(), "crates/storage/src".into()],
         unsafe_allowed_crates: vec!["tcudb-tensor".into()],
         check_forbid,
@@ -133,6 +138,82 @@ fn panic_lint_does_not_apply_outside_the_serving_path() {
     );
     let a = analyze_files(&config(false), &[f]);
     assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+}
+
+#[test]
+fn recovery_path_panics_are_denied() {
+    let f = parse(
+        include_str!("fixtures/panics/recovery.rs"),
+        "crates/storage/src/recover.rs",
+        "tcudb-storage",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    // One for the computed index in `byte_at`, one for the `.unwrap()`
+    // in `last_epoch`; the bounds-checked variants and the
+    // `#[cfg(test)]` unwrap are exempt.
+    assert_eq!(
+        rules_of(&a.findings),
+        vec![Rule::PanicPath, Rule::PanicPath],
+        "findings: {:?}",
+        a.findings
+    );
+}
+
+#[test]
+fn recovery_panic_lint_is_scoped_to_the_durability_modules() {
+    // The identical source outside the durability file set (and outside
+    // the serving path) is not linted.
+    let f = parse(
+        include_str!("fixtures/panics/recovery.rs"),
+        "crates/storage/src/stats.rs",
+        "tcudb-storage",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    assert!(a.findings.is_empty(), "findings: {:?}", a.findings);
+}
+
+#[test]
+fn durable_publish_under_lock_is_denied_and_release_first_is_clean() {
+    let f = parse(
+        include_str!("fixtures/locks/publish_with.rs"),
+        "crates/serve/src/publish_with.rs",
+        "tcudb-serve",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    let publishes: Vec<&Finding> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::PublishUnderLock)
+        .collect();
+    assert_eq!(publishes.len(), 1, "findings: {:?}", a.findings);
+    assert!(
+        publishes[0]
+            .message
+            .contains("durable_publish_while_locked"),
+        "finding should name the offending fn: {}",
+        publishes[0].message
+    );
+}
+
+#[test]
+fn timed_condvar_wait_with_extra_guard_is_denied_and_single_hold_is_clean() {
+    let f = parse(
+        include_str!("fixtures/locks/condvar_timeout.rs"),
+        "crates/serve/src/condvar_timeout.rs",
+        "tcudb-serve",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    let waits: Vec<&Finding> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::CondvarDoubleHold)
+        .collect();
+    assert_eq!(waits.len(), 1, "findings: {:?}", a.findings);
+    assert!(
+        waits[0].message.contains("timed_double_hold"),
+        "finding should name the offending fn: {}",
+        waits[0].message
+    );
 }
 
 #[test]

@@ -1,0 +1,320 @@
+//! `perfingest` — durable-ingest throughput and recovery-time harness.
+//!
+//! Streams batched `append_rows` commits into one [`TcuDb`] under three
+//! durability settings — in-memory (no WAL), WAL with `EveryCommit`
+//! fsync (ack ⇒ durable, the crash-oracle mode), and WAL with
+//! `EveryN(32)` group commit — then measures how recovery time grows
+//! with log length by reopening databases whose WAL holds progressively
+//! more unreplayed commits.  Every reopened database is checked against
+//! the row count that was acknowledged before the close, and the run
+//! emits `BENCH_ingest.json` so future PRs have an ingest/recovery
+//! trajectory to beat.
+//!
+//! ```text
+//! cargo run --release -p tcudb-bench --bin perfingest            # full sweep
+//! cargo run --release -p tcudb-bench --bin perfingest -- --quick # CI smoke
+//! cargo run --release -p tcudb-bench --bin perfingest -- --out i.json
+//! ```
+//!
+//! Exit codes: `0` success, `2` durability-overhead gate missed (WAL
+//! `EveryCommit` ingest below 1% of in-memory ingest — durability must
+//! never be pathologically slow), `3` a reopened database disagreed with
+//! the acknowledged state.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use tcudb_core::{EngineConfig, TcuDb};
+use tcudb_storage::{ColumnDef, DurabilityOptions, FlushPolicy, Schema, Table};
+use tcudb_types::{DataType, Value};
+
+const TABLE: &str = "ingest";
+
+/// One measured ingest configuration.
+struct IngestResult {
+    mode: &'static str,
+    rows: usize,
+    batches: usize,
+    rows_per_sec: f64,
+    wall_ms: f64,
+}
+
+/// One measured recovery run.
+struct RecoveryResult {
+    commits: usize,
+    rows: usize,
+    wal_bytes: u64,
+    recovery_ms: f64,
+    replayed_commits: u64,
+}
+
+/// A scratch directory under the system temp dir, removed on drop.
+struct ScratchDir {
+    path: PathBuf,
+}
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let path =
+            std::env::temp_dir().join(format!("tcudb-perfingest-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&path);
+        std::fs::create_dir_all(&path).expect("create scratch dir");
+        ScratchDir { path }
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+fn ingest_schema() -> Schema {
+    Schema::new(vec![
+        ColumnDef::new("id", DataType::Int64),
+        ColumnDef::new("val", DataType::Int64),
+    ])
+}
+
+/// Deterministic batch `b` of `batch_rows` rows.
+fn batch(b: usize, batch_rows: usize) -> Vec<Vec<Value>> {
+    (0..batch_rows)
+        .map(|i| {
+            let id = (b * batch_rows + i) as i64;
+            vec![
+                Value::Int(id),
+                Value::Int(id.wrapping_mul(2_654_435_761) % 997),
+            ]
+        })
+        .collect()
+}
+
+/// Append `batches` batches into a fresh `ingest` table and return the
+/// measured throughput.  The registration commit is outside the timed
+/// region; the appends are what this harness measures.
+fn run_ingest(db: &TcuDb, mode: &'static str, batches: usize, batch_rows: usize) -> IngestResult {
+    db.try_register_table(Table::new(TABLE, ingest_schema()))
+        .expect("register ingest table");
+    let t = Instant::now();
+    for b in 0..batches {
+        db.append_rows(TABLE, batch(b, batch_rows))
+            .expect("append batch");
+    }
+    let wall = t.elapsed().as_secs_f64();
+    let rows = batches * batch_rows;
+    IngestResult {
+        mode,
+        rows,
+        batches,
+        rows_per_sec: rows as f64 / wall,
+        wall_ms: wall * 1e3,
+    }
+}
+
+fn rows_in(db: &TcuDb) -> usize {
+    db.snapshot()
+        .catalog()
+        .table(TABLE)
+        .map(|t| t.num_rows())
+        .unwrap_or(0)
+}
+
+/// Total bytes of WAL files in `dir` (the unreplayed log the next open
+/// must scan).
+fn wal_bytes_in(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            if name.to_string_lossy().ends_with(".log") {
+                total += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    total
+}
+
+/// Build a database whose WAL holds `commits` append commits past the
+/// last checkpoint, close it, and time the recovering reopen.
+fn run_recovery(dir: &ScratchDir, commits: usize, batch_rows: usize) -> RecoveryResult {
+    let _ = std::fs::remove_dir_all(&dir.path);
+    std::fs::create_dir_all(&dir.path).expect("recreate scratch dir");
+    let options = DurabilityOptions {
+        flush_policy: FlushPolicy::EveryN(32),
+        ..DurabilityOptions::strict_manual()
+    };
+    let db = TcuDb::open_with(&dir.path, EngineConfig::default(), options.clone())
+        .expect("open durable db");
+    db.try_register_table(Table::new(TABLE, ingest_schema()))
+        .expect("register ingest table");
+    for b in 0..commits {
+        db.append_rows(TABLE, batch(b, batch_rows))
+            .expect("append batch");
+    }
+    let acked_rows = rows_in(&db);
+    drop(db);
+
+    let wal_bytes = wal_bytes_in(&dir.path);
+    let t = Instant::now();
+    let db =
+        TcuDb::open_with(&dir.path, EngineConfig::default(), options).expect("recovering reopen");
+    let recovery_ms = t.elapsed().as_secs_f64() * 1e3;
+    let report = db
+        .recovery_report()
+        .expect("durable db has a report")
+        .clone();
+    let recovered_rows = rows_in(&db);
+    if recovered_rows != acked_rows {
+        eprintln!("FATAL: recovery returned {recovered_rows} rows, {acked_rows} were acknowledged");
+        std::process::exit(3);
+    }
+    RecoveryResult {
+        commits,
+        rows: acked_rows,
+        wal_bytes,
+        recovery_ms,
+        replayed_commits: report.replayed_commits,
+    }
+}
+
+fn json(
+    mode: &str,
+    batch_rows: usize,
+    ingests: &[IngestResult],
+    recoveries: &[RecoveryResult],
+) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"generated_by\": \"perfingest\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str(&format!("  \"batch_rows\": {batch_rows},\n"));
+    out.push_str("  \"ingest\": [\n");
+    for (i, r) in ingests.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"rows\": {}, \"batches\": {}, \
+             \"rows_per_sec\": {:.0}, \"wall_ms\": {:.1}}}{}\n",
+            r.mode,
+            r.rows,
+            r.batches,
+            r.rows_per_sec,
+            r.wall_ms,
+            if i + 1 < ingests.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"recovery\": [\n");
+    for (i, r) in recoveries.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"commits\": {}, \"rows\": {}, \"wal_bytes\": {}, \
+             \"recovery_ms\": {:.2}, \"replayed_commits\": {}}}{}\n",
+            r.commits,
+            r.rows,
+            r.wal_bytes,
+            r.recovery_ms,
+            r.replayed_commits,
+            if i + 1 < recoveries.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_ingest.json");
+    let mode = if quick { "quick" } else { "full" };
+    let (batches, batch_rows) = if quick { (40, 500) } else { (200, 1_000) };
+    let recovery_commits: &[usize] = if quick {
+        &[10, 20, 40]
+    } else {
+        &[25, 50, 100, 200]
+    };
+
+    println!("perfingest: mode={mode} batches={batches} batch_rows={batch_rows}");
+    println!(
+        "{:>18} {:>10} {:>14} {:>10}",
+        "mode", "rows", "rows/sec", "wall ms"
+    );
+
+    // ---- Ingest sweeps: same batched workload, three durability settings.
+    let mut ingests = Vec::new();
+
+    let db = TcuDb::default();
+    ingests.push(run_ingest(&db, "memory", batches, batch_rows));
+
+    let scratch = ScratchDir::new("wal-every-commit");
+    let db = TcuDb::open_with(
+        &scratch.path,
+        EngineConfig::default(),
+        DurabilityOptions::strict_manual(),
+    )
+    .expect("open durable db");
+    ingests.push(run_ingest(&db, "wal-every-commit", batches, batch_rows));
+    drop(db);
+    drop(scratch);
+
+    let scratch = ScratchDir::new("wal-group-32");
+    let db = TcuDb::open_with(
+        &scratch.path,
+        EngineConfig::default(),
+        DurabilityOptions {
+            flush_policy: FlushPolicy::EveryN(32),
+            ..DurabilityOptions::strict_manual()
+        },
+    )
+    .expect("open durable db");
+    ingests.push(run_ingest(&db, "wal-group-32", batches, batch_rows));
+    drop(db);
+    drop(scratch);
+
+    for r in &ingests {
+        println!(
+            "{:>18} {:>10} {:>14.0} {:>10.1}",
+            r.mode, r.rows, r.rows_per_sec, r.wall_ms
+        );
+    }
+
+    // ---- Recovery time vs log length: reopen with a growing unreplayed
+    // WAL, verifying the acknowledged row count survives each time.
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>10}",
+        "commits", "rows", "wal bytes", "recovery ms", "replayed"
+    );
+    let scratch = ScratchDir::new("recovery");
+    let mut recoveries = Vec::new();
+    for &commits in recovery_commits {
+        let r = run_recovery(&scratch, commits, batch_rows);
+        println!(
+            "{:>10} {:>10} {:>12} {:>12.2} {:>10}",
+            r.commits, r.rows, r.wal_bytes, r.recovery_ms, r.replayed_commits
+        );
+        recoveries.push(r);
+    }
+    drop(scratch);
+
+    let payload = json(mode, batch_rows, &ingests, &recoveries);
+    if let Err(e) = std::fs::write(out_path, &payload) {
+        eprintln!("FATAL: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {out_path}");
+
+    // ---- Overhead gate: per-commit fsync costs real throughput, but a
+    // WAL that is more than 100x slower than memory ingest means the
+    // durable path is rewriting or re-syncing far more than one commit's
+    // worth of bytes.
+    let memory = ingests[0].rows_per_sec;
+    let durable = ingests[1].rows_per_sec;
+    if durable < memory * 0.01 {
+        eprintln!(
+            "GATE: WAL EveryCommit ingest {durable:.0} rows/sec below 1% of in-memory \
+             {memory:.0} rows/sec"
+        );
+        std::process::exit(2);
+    }
+}

@@ -13,11 +13,22 @@ use crate::analyzer;
 use crate::executor::{self, HostBreakdown, PlanDescription};
 use crate::optimizer::{Optimizer, OptimizerConfig, PlanKind};
 use crate::plancache::{self, PlanCache, PlanCacheStats};
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use tcudb_device::{DeviceProfile, ExecutionTimeline};
 use tcudb_sql::parse;
-use tcudb_storage::{Catalog, CatalogSnapshot, SharedCatalog, Table};
-use tcudb_types::{TcuResult, Value};
+use tcudb_storage::{
+    spawn_flusher, Catalog, CatalogSnapshot, DurabilityOptions, DurableStore, Flusher, FsBackend,
+    MemBackend, RecoveryReport, SharedCatalog, StorageBackend, Table, WalRecord,
+};
+use tcudb_types::sync::locked;
+use tcudb_types::{TcuError, TcuResult, Value};
+
+/// Rows per `AppendRows` WAL record: large ingests are chunked so no
+/// single log frame grows unbounded.
+const APPEND_CHUNK_ROWS: usize = 65_536;
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
@@ -145,9 +156,22 @@ impl QueryOutput {
 /// ```
 #[derive(Debug)]
 pub struct TcuDb {
-    shared: SharedCatalog,
+    shared: Arc<SharedCatalog>,
     config: EngineConfig,
     plan_cache: PlanCache,
+    durability: Option<Durability>,
+}
+
+/// Everything a durable engine carries beyond the in-memory state.
+#[derive(Debug)]
+struct Durability {
+    store: Arc<DurableStore>,
+    report: RecoveryReport,
+    /// Dropping the handle stops and joins the background flusher.
+    _flusher: Option<Flusher>,
+    /// Last error swallowed by an infallible write wrapper.
+    last_error: Mutex<Option<String>>,
+    error_count: AtomicU64,
 }
 
 impl Default for TcuDb {
@@ -160,23 +184,27 @@ impl Clone for TcuDb {
     /// Cloning forks the engine: the clone starts from this engine's
     /// current catalog snapshot (sharing table storage by `Arc`) with the
     /// same configuration and a cold plan cache, then evolves
-    /// independently.
+    /// independently.  The fork is always in-memory — it does not share
+    /// (or reopen) the original's write-ahead log.
     fn clone(&self) -> Self {
         TcuDb {
-            shared: self.shared.clone(),
+            shared: Arc::new((*self.shared).clone()),
             config: self.config.clone(),
             plan_cache: PlanCache::default(),
+            durability: None,
         }
     }
 }
 
 impl TcuDb {
-    /// Create an engine with the given configuration.
+    /// Create an in-memory engine (no durability) with the given
+    /// configuration.
     pub fn new(config: EngineConfig) -> TcuDb {
         TcuDb {
-            shared: SharedCatalog::default(),
+            shared: Arc::new(SharedCatalog::default()),
             config,
             plan_cache: PlanCache::default(),
+            durability: None,
         }
     }
 
@@ -185,47 +213,261 @@ impl TcuDb {
         TcuDb::new(EngineConfig::for_device(device))
     }
 
-    /// Register (or replace) a table, publishing a new catalog snapshot.
-    pub fn register_table(&self, table: Table) {
-        self.publish(|c| c.register(table));
+    /// Open (or create) a durable database in `dir`: recover to the last
+    /// published epoch, truncate any torn WAL tail, and start logging
+    /// writes.  Uses the default engine configuration and
+    /// [`DurabilityOptions`]; see [`TcuDb::open_with`] to tune either.
+    pub fn open(dir: impl AsRef<Path>) -> TcuResult<TcuDb> {
+        TcuDb::open_with(dir, EngineConfig::default(), DurabilityOptions::default())
     }
 
-    /// Register a table under an explicit name (new snapshot).
+    /// [`TcuDb::open`] with explicit engine and durability configuration.
+    pub fn open_with(
+        dir: impl AsRef<Path>,
+        config: EngineConfig,
+        options: DurabilityOptions,
+    ) -> TcuResult<TcuDb> {
+        let backend = Arc::new(FsBackend::open(dir.as_ref())?);
+        TcuDb::open_with_backend(backend, config, options)
+    }
+
+    /// A durable engine over an in-memory backend: full WAL + checkpoint
+    /// machinery, no filesystem.  The state lives only as long as the
+    /// process; mainly useful for tests and experiments.
+    pub fn open_in_memory() -> TcuResult<TcuDb> {
+        TcuDb::open_with_backend(
+            Arc::new(MemBackend::new()),
+            EngineConfig::default(),
+            DurabilityOptions::default(),
+        )
+    }
+
+    /// Open a durable engine over any [`StorageBackend`] — the fault
+    /// injection harness passes a `MemBackend` with a scripted crash
+    /// point here.
+    pub fn open_with_backend(
+        backend: Arc<dyn StorageBackend>,
+        config: EngineConfig,
+        options: DurabilityOptions,
+    ) -> TcuResult<TcuDb> {
+        let background = options.background_flusher;
+        let interval = options.flusher_interval;
+        let (store, recovered) = DurableStore::open(backend, options)?;
+        let shared = Arc::new(SharedCatalog::at_epoch(recovered.epoch, recovered.catalog));
+        let store = Arc::new(store);
+        let flusher = if background {
+            Some(spawn_flusher(
+                Arc::clone(&store),
+                Arc::clone(&shared),
+                interval,
+            )?)
+        } else {
+            None
+        };
+        Ok(TcuDb {
+            shared,
+            config,
+            plan_cache: PlanCache::default(),
+            durability: Some(Durability {
+                store,
+                report: recovered.report,
+                _flusher: flusher,
+                last_error: Mutex::new(None),
+                error_count: AtomicU64::new(0),
+            }),
+        })
+    }
+
+    /// True when writes are logged to a write-ahead log.
+    pub fn is_durable(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// What recovery found when this engine was opened (durable engines
+    /// only).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.durability.as_ref().map(|d| &d.report)
+    }
+
+    /// Seal the current epoch into segment files and rotate the WAL.
+    /// Returns the sealed epoch, `Ok(None)` when nothing new was
+    /// published (or the engine is in-memory).
+    pub fn checkpoint(&self) -> TcuResult<Option<u64>> {
+        match &self.durability {
+            Some(d) => d.store.checkpoint(&self.shared),
+            None => Ok(None),
+        }
+    }
+
+    /// Errors swallowed by the infallible write wrappers
+    /// ([`register_table`](TcuDb::register_table) and friends) since
+    /// open.  Durable deployments that must not lose writes should call
+    /// the `try_` variants instead.
+    pub fn write_error_count(&self) -> u64 {
+        match &self.durability {
+            Some(d) => d.error_count.load(Ordering::Relaxed),
+            None => 0,
+        }
+    }
+
+    /// The most recent swallowed write error, if any.
+    pub fn last_write_error(&self) -> Option<String> {
+        self.durability
+            .as_ref()
+            .and_then(|d| locked(&d.last_error).clone())
+    }
+
+    fn note_write_error(&self, err: &TcuError) {
+        if let Some(d) = &self.durability {
+            d.error_count.fetch_add(1, Ordering::Relaxed);
+            *locked(&d.last_error) = Some(err.to_string());
+        }
+    }
+
+    /// Register (or replace) a table, publishing a new catalog snapshot.
+    ///
+    /// Infallible wrapper around [`TcuDb::try_register_table`]: a WAL
+    /// failure on a durable engine is recorded (see
+    /// [`TcuDb::write_error_count`]) and the write is NOT published.
+    pub fn register_table(&self, table: Table) {
+        if let Err(e) = self.try_register_table(table) {
+            self.note_write_error(&e);
+        }
+    }
+
+    /// Register (or replace) a table, publishing a new catalog snapshot;
+    /// on a durable engine the write is in the log before it is visible.
+    pub fn try_register_table(&self, table: Table) -> TcuResult<()> {
+        let durable = self.is_durable();
+        self.publish_records(|c, records| {
+            if durable {
+                records_for_register(c, &table, records);
+            }
+            c.register(table);
+            Ok(())
+        })
+    }
+
+    /// Register a table under an explicit name (new snapshot).  Same
+    /// error handling as [`TcuDb::register_table`].
     pub fn register_table_as(&self, name: &str, table: Table) {
-        self.publish(|c| c.register_as(name, table));
+        let mut table = table;
+        table.set_name(name);
+        self.register_table(table);
     }
 
     /// Append rows to a registered table, publishing a new snapshot.
     ///
     /// The write is copy-on-write: the current version of the table is
     /// cloned (its warm dictionary encodings carry over and are extended
-    /// incrementally, see `Table::push_row`), the rows are appended, the
-    /// statistics are recomputed and the result replaces the table in the
-    /// next snapshot.  Queries pinned to older snapshots are unaffected.
+    /// incrementally, see `Table::append_rows`), the rows are appended,
+    /// the statistics are recomputed and the result replaces the table in
+    /// the next snapshot.  Queries pinned to older snapshots are
+    /// unaffected.  The batch is validated up front and rejected
+    /// atomically; on a durable engine a successful append is in the WAL
+    /// before it becomes visible.
     pub fn append_rows(&self, name: &str, rows: Vec<Vec<Value>>) -> TcuResult<()> {
         // A rejected write publishes nothing: the epoch is unchanged and
         // every cached plan stays warm.
-        let (snapshot, ()) = self.shared.try_update(|c| -> TcuResult<()> {
+        let durable = self.is_durable();
+        self.publish_records(|c, records| {
             let mut table = (*c.table(name)?).clone();
-            for row in rows {
-                table.push_row(row)?;
+            if durable {
+                for chunk in rows.chunks(APPEND_CHUNK_ROWS) {
+                    records.push(WalRecord::AppendRows {
+                        name: table.name().to_string(),
+                        rows: chunk.to_vec(),
+                    });
+                }
             }
+            table.append_rows(rows)?;
             c.register(table);
             Ok(())
-        })?;
-        self.plan_cache.retire_epochs_before(snapshot.epoch());
-        Ok(())
+        })
     }
 
     /// Drop a table (new snapshot), returning whether it existed.
+    ///
+    /// Infallible wrapper around [`TcuDb::try_drop_table`]: a WAL failure
+    /// is recorded and reported as `false`.
     pub fn drop_table(&self, name: &str) -> bool {
-        self.publish(|c| c.drop_table(name))
+        match self.try_drop_table(name) {
+            Ok(existed) => existed,
+            Err(e) => {
+                self.note_write_error(&e);
+                false
+            }
+        }
+    }
+
+    /// Drop a table (new snapshot), returning whether it existed; on a
+    /// durable engine the drop is in the log before it takes effect.
+    pub fn try_drop_table(&self, name: &str) -> TcuResult<bool> {
+        let durable = self.is_durable();
+        self.publish_records(|c, records| {
+            if durable && c.contains(name) {
+                records.push(WalRecord::DropTable { name: name.into() });
+            }
+            Ok(c.drop_table(name))
+        })
     }
 
     /// Replace the whole catalog, e.g. to share one with a baseline
-    /// engine (new snapshot).
+    /// engine (new snapshot).  Same error handling as
+    /// [`TcuDb::register_table`].
     pub fn set_catalog(&self, catalog: Catalog) {
-        self.publish(move |c| *c = catalog);
+        if let Err(e) = self.try_set_catalog(catalog) {
+            self.note_write_error(&e);
+        }
+    }
+
+    /// Replace the whole catalog (new snapshot); on a durable engine the
+    /// replacement is logged as drops of every old table followed by
+    /// creates of every new one.
+    pub fn try_set_catalog(&self, catalog: Catalog) -> TcuResult<()> {
+        let durable = self.is_durable();
+        self.publish_records(move |c, records| {
+            if durable {
+                for name in c.table_names() {
+                    records.push(WalRecord::DropTable { name });
+                }
+                for name in catalog.table_names() {
+                    let table = catalog.table(&name)?;
+                    records_for_register(c, &table, records);
+                }
+            }
+            *c = catalog;
+            Ok(())
+        })
+    }
+
+    /// Apply a catalog write transactionally: `f` mutates a staged copy
+    /// and appends the WAL records describing the change; the commit is
+    /// logged (durable engines) strictly before the snapshot is
+    /// published.  A failure anywhere publishes nothing.
+    fn publish_records<R>(
+        &self,
+        f: impl FnOnce(&mut Catalog, &mut Vec<WalRecord>) -> TcuResult<R>,
+    ) -> TcuResult<R> {
+        let records: RefCell<Vec<WalRecord>> = RefCell::new(Vec::new());
+        let (snapshot, out) = self.shared.try_update_with(
+            |c| f(c, &mut records.borrow_mut()),
+            |epoch| match &self.durability {
+                Some(d) => d.store.log_commit(&records.borrow(), epoch),
+                None => Ok(()),
+            },
+        )?;
+        self.plan_cache.retire_epochs_before(snapshot.epoch());
+        // Without a background flusher, size-triggered checkpoints run
+        // inline on the writing thread.
+        if let Some(d) = &self.durability {
+            if d._flusher.is_none() && d.store.needs_checkpoint() {
+                if let Err(e) = d.store.checkpoint(&self.shared) {
+                    self.note_write_error(&e);
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Pin the current catalog snapshot (shared with baseline engines in
@@ -243,14 +485,6 @@ impl TcuDb {
     /// The current catalog epoch (bumped by every published write).
     pub fn epoch(&self) -> u64 {
         self.shared.epoch()
-    }
-
-    /// Apply a catalog write, publish the resulting snapshot and retire
-    /// plan-cache entries that were planned against older epochs.
-    fn publish<R>(&self, f: impl FnOnce(&mut Catalog) -> R) -> R {
-        let (snapshot, out) = self.shared.update(f);
-        self.plan_cache.retire_epochs_before(snapshot.epoch());
-        out
     }
 
     /// The engine configuration.
@@ -355,6 +589,33 @@ impl TcuDb {
     pub fn explain(&self, sql: &str) -> TcuResult<crate::analyzer::AnalyzedQuery> {
         let stmt = parse(sql)?;
         analyzer::analyze(&stmt, self.shared.snapshot().catalog())
+    }
+}
+
+/// WAL records for registering `table` into the staged catalog `c`: a
+/// drop when the name is being replaced, the create, and the existing
+/// rows in chunks.
+fn records_for_register(c: &Catalog, table: &Table, records: &mut Vec<WalRecord>) {
+    let name = table.name().to_string();
+    if c.contains(&name) {
+        records.push(WalRecord::DropTable { name: name.clone() });
+    }
+    records.push(WalRecord::CreateTable {
+        name: name.clone(),
+        schema: table.schema().clone(),
+    });
+    let mut rows = Vec::new();
+    for row in table.rows_iter() {
+        rows.push(row);
+        if rows.len() == APPEND_CHUNK_ROWS {
+            records.push(WalRecord::AppendRows {
+                name: name.clone(),
+                rows: std::mem::take(&mut rows),
+            });
+        }
+    }
+    if !rows.is_empty() {
+        records.push(WalRecord::AppendRows { name, rows });
     }
 }
 
@@ -582,6 +843,87 @@ mod tests {
         assert_eq!(engine.epoch(), epoch);
         assert_eq!(engine.plan_cache_len(), 1);
         assert!(!engine.snapshot().contains("ghost"));
+    }
+
+    fn durable_on(backend: tcudb_storage::MemBackend) -> TcuDb {
+        TcuDb::open_with_backend(
+            std::sync::Arc::new(backend),
+            EngineConfig::default(),
+            tcudb_storage::DurabilityOptions::strict_manual(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn durable_engine_round_trips_through_reopen() {
+        let backend = tcudb_storage::MemBackend::new();
+        {
+            let engine = durable_on(backend.clone());
+            assert!(engine.is_durable());
+            engine.register_table(
+                Table::from_int_columns("A", &[("id", vec![1, 2]), ("val", vec![10, 20])]).unwrap(),
+            );
+            engine
+                .append_rows("A", vec![vec![Value::Int(3), Value::Int(30)]])
+                .unwrap();
+            engine.register_table(
+                Table::from_int_columns("B", &[("id", vec![2]), ("val", vec![7])]).unwrap(),
+            );
+            assert!(engine.drop_table("B"));
+            assert_eq!(engine.write_error_count(), 0);
+        }
+        let engine = durable_on(backend);
+        let report = engine.recovery_report().unwrap();
+        assert_eq!(report.recovered_epoch, 4);
+        assert_eq!(report.replayed_commits, 4);
+        assert!(!engine.snapshot().contains("B"));
+        let out = engine
+            .execute("SELECT A.val FROM A ORDER BY A.val DESC")
+            .unwrap();
+        assert_eq!(out.table.num_rows(), 3);
+        assert_eq!(out.table.row(0)[0], Value::Int(30));
+    }
+
+    #[test]
+    fn checkpoint_then_reopen_skips_replay() {
+        let backend = tcudb_storage::MemBackend::new();
+        {
+            let engine = durable_on(backend.clone());
+            engine.register_table(
+                Table::from_int_columns("A", &[("id", vec![1, 2]), ("val", vec![10, 20])]).unwrap(),
+            );
+            assert_eq!(engine.checkpoint().unwrap(), Some(1));
+            // Nothing new: checkpoint is idempotent per epoch.
+            assert_eq!(engine.checkpoint().unwrap(), None);
+        }
+        let engine = durable_on(backend);
+        let report = engine.recovery_report().unwrap();
+        assert_eq!(report.manifest_epoch, 1);
+        assert_eq!(report.replayed_commits, 0);
+        assert_eq!(engine.snapshot().table("a").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn clone_forks_a_durable_engine_in_memory() {
+        let engine = durable_on(tcudb_storage::MemBackend::new());
+        engine.register_table(Table::from_int_columns("A", &[("id", vec![1])]).unwrap());
+        let fork = engine.clone();
+        assert!(!fork.is_durable());
+        fork.register_table(Table::from_int_columns("C", &[("id", vec![9])]).unwrap());
+        // The fork sees the original's tables; the original never sees
+        // the fork's writes.
+        assert!(fork.snapshot().contains("A"));
+        assert!(!engine.snapshot().contains("C"));
+    }
+
+    #[test]
+    fn in_memory_engine_reports_no_durability() {
+        let engine = db();
+        assert!(!engine.is_durable());
+        assert!(engine.recovery_report().is_none());
+        assert_eq!(engine.checkpoint().unwrap(), None);
+        assert_eq!(engine.write_error_count(), 0);
+        assert!(engine.last_write_error().is_none());
     }
 
     #[test]

@@ -1,0 +1,250 @@
+//! Crash-recovery oracle: kill the database at a scripted disk
+//! operation in the middle of a random workload, recover, and assert the
+//! recovered state equals a serial in-memory oracle at the recovered
+//! epoch.
+//!
+//! The contract being checked:
+//!
+//! * recovery never loses an acknowledged write — the recovered epoch is
+//!   at least the last epoch whose commit was acknowledged before the
+//!   crash;
+//! * recovery may at most additionally surface the one commit that was
+//!   in flight when the crash hit (its log frames can have reached
+//!   durable storage even though the acknowledgement never made it out);
+//! * whatever epoch recovery lands on, the catalog equals the shadow
+//!   oracle's state at exactly that epoch — never a partial commit;
+//! * the recovered database is live (it accepts new writes) and a second
+//!   recovery is idempotent.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use tcudb_core::{EngineConfig, TcuDb};
+use tcudb_storage::{DurabilityOptions, FaultSpec, MemBackend, Table};
+use tcudb_types::{TcuError, Value};
+
+/// One workload step, applied identically to the durable engine under
+/// test and to the in-memory shadow engine.
+#[derive(Debug, Clone)]
+enum Op {
+    Create(String),
+    Append(String, Vec<Vec<Value>>),
+    Drop(String),
+    Checkpoint,
+}
+
+fn empty_table(name: &str) -> Table {
+    Table::from_int_columns(name, &[("id", vec![]), ("val", vec![])]).unwrap()
+}
+
+/// Whether a successful application of `op` publishes a new epoch.
+fn publishes(op: &Op) -> bool {
+    !matches!(op, Op::Checkpoint)
+}
+
+/// Apply one op.  Validation rejections (append to a missing table) are
+/// part of the workload and return `Ok(())` like any other non-crash
+/// outcome; only backend I/O errors — the injected crash — surface.
+fn apply(db: &TcuDb, op: &Op) -> Result<(), TcuError> {
+    let res = match op {
+        Op::Create(name) => db.try_register_table(empty_table(name)),
+        Op::Append(name, rows) => db.append_rows(name, rows.clone()),
+        Op::Drop(name) => db.try_drop_table(name).map(|_| ()),
+        Op::Checkpoint => db.checkpoint().map(|_| ()),
+    };
+    match res {
+        Err(e @ TcuError::Io(_)) => Err(e),
+        _ => Ok(()),
+    }
+}
+
+/// Run the workload until completion or the injected crash.  Returns the
+/// last acknowledged epoch and whether the op that hit the crash would
+/// have published (recovery may then legitimately land one epoch ahead).
+fn run_until_crash(db: &TcuDb, ops: &[Op]) -> (u64, bool) {
+    for op in ops {
+        if apply(db, op).is_err() {
+            return (db.epoch(), publishes(op));
+        }
+    }
+    (db.epoch(), false)
+}
+
+type State = BTreeMap<String, Vec<Vec<Value>>>;
+
+fn state_of(db: &TcuDb) -> State {
+    let snap = db.snapshot();
+    let cat = snap.catalog();
+    cat.table_names()
+        .into_iter()
+        .map(|n| {
+            let t = cat.table(&n).unwrap();
+            (n, t.rows_iter().collect())
+        })
+        .collect()
+}
+
+/// Serial shadow oracle: the same workload on a plain in-memory engine,
+/// recording the catalog state at every published epoch.  `history[e]`
+/// is the state at epoch `e`; epochs are contiguous because every
+/// publish bumps by exactly one.
+fn shadow_history(ops: &[Op]) -> Vec<State> {
+    let shadow = TcuDb::default();
+    let mut history = vec![state_of(&shadow)];
+    let mut last = shadow.epoch();
+    for op in ops {
+        apply(&shadow, op).expect("shadow run cannot crash");
+        if shadow.epoch() > last {
+            last = shadow.epoch();
+            history.push(state_of(&shadow));
+        }
+    }
+    history
+}
+
+fn open_on(backend: MemBackend) -> Result<TcuDb, TcuError> {
+    TcuDb::open_with_backend(
+        Arc::new(backend),
+        EngineConfig::default(),
+        DurabilityOptions::strict_manual(),
+    )
+}
+
+/// Crash the workload at mutating disk op `crash_at`, recover, and check
+/// the recovered state against the shadow history.
+fn check_crash_point(ops: &[Op], history: &[State], crash_at: u64, torn_seed: u64, flip: bool) {
+    let be = MemBackend::with_faults(FaultSpec {
+        crash_at_op: Some(crash_at),
+        torn_seed,
+        flip_bit_in_torn_tail: flip,
+        ..FaultSpec::default()
+    });
+    // Phase 1: run until the crash.  The crash can even hit while the
+    // database is being opened; then nothing was ever acknowledged.
+    let (acked, in_flight) = match open_on(be.clone()) {
+        Ok(db) => run_until_crash(&db, ops),
+        Err(_) => (0, false),
+    };
+
+    // Phase 2: reboot (unsynced tails tear deterministically) + recover.
+    be.reboot();
+    let db = open_on(be.clone()).expect("recovery after reboot");
+    let report = db.recovery_report().unwrap().clone();
+    let e = report.recovered_epoch;
+    assert!(
+        e >= acked,
+        "crash_at={crash_at}: lost acknowledged epoch {acked}, recovered only {e}"
+    );
+    assert!(
+        e <= acked + u64::from(in_flight),
+        "crash_at={crash_at}: recovered {e}, but only epoch {acked} (+ one in-flight) existed"
+    );
+    assert_eq!(
+        state_of(&db),
+        history[e as usize],
+        "crash_at={crash_at}: recovered catalog diverges from the oracle at epoch {e} ({report:?})"
+    );
+
+    // Phase 3: the recovered database is live, and recovery is idempotent.
+    db.try_register_table(empty_table("probe")).unwrap();
+    db.append_rows("probe", vec![vec![Value::Int(1), Value::Int(2)]])
+        .unwrap();
+    drop(db);
+    let db = open_on(be).expect("second recovery");
+    assert_eq!(db.recovery_report().unwrap().recovered_epoch, e + 2);
+    assert_eq!(
+        db.snapshot().table("probe").unwrap().num_rows(),
+        1,
+        "post-recovery write lost"
+    );
+}
+
+/// A fixed workload covering create / append / replace / drop /
+/// checkpoint, including a checkpoint mid-stream so crash points sweep
+/// through segment sealing and WAL rotation too.
+fn fixed_workload() -> Vec<Op> {
+    let row = |id: i64, val: i64| vec![Value::Int(id), Value::Int(val)];
+    vec![
+        Op::Create("t0".into()),
+        Op::Append("t0".into(), vec![row(1, 10), row(2, 20)]),
+        Op::Create("t1".into()),
+        Op::Append("t1".into(), vec![row(7, 70)]),
+        Op::Checkpoint,
+        Op::Append("t0".into(), vec![row(3, 30)]),
+        Op::Drop("t1".into()),
+        Op::Append("ghost".into(), vec![row(0, 0)]), // validation no-op
+        Op::Create("t0".into()),                     // replace wipes t0
+        Op::Append("t0".into(), vec![row(4, 40), row(5, 50)]),
+        Op::Checkpoint,
+        Op::Append("t0".into(), vec![row(6, 60)]),
+    ]
+}
+
+/// Sweep the crash point across EVERY mutating disk operation of the
+/// fixed workload — append, fsync, file create, truncate, remove — and
+/// require a clean recovery at each.
+#[test]
+fn crash_oracle_covers_every_fault_point() {
+    let ops = fixed_workload();
+    let history = shadow_history(&ops);
+
+    // Fault-free run to count the workload's mutating disk ops.
+    let be = MemBackend::new();
+    {
+        let db = open_on(be.clone()).unwrap();
+        let (acked, _) = run_until_crash(&db, &ops);
+        assert_eq!(state_of(&db), history[acked as usize]);
+    }
+    let total = be.mutating_ops();
+    assert!(total > 20, "workload too small to be interesting: {total}");
+
+    for crash_at in 1..=total {
+        check_crash_point(
+            &ops,
+            &history,
+            crash_at,
+            crash_at * 2654435761 + 13,
+            crash_at % 3 == 0,
+        );
+    }
+}
+
+fn decode_ops(raw: &[(i64, i64, i64)]) -> Vec<Op> {
+    let mut ops = vec![Op::Create("t0".into())];
+    for &(kind, t, v) in raw {
+        let name = format!("t{t}");
+        let row = |id: i64| vec![Value::Int(id), Value::Int(kind * 10 + id)];
+        ops.push(match kind {
+            0 => Op::Create(name),
+            1..=5 => Op::Append(name, vec![row(v)]),
+            6 | 7 => Op::Append(name, (0..=v).map(row).collect()),
+            8 => Op::Drop(name),
+            _ => Op::Checkpoint,
+        });
+    }
+    ops
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random workload, random kill point, randomized torn-tail seed:
+    /// recovery must land on a real epoch with the oracle's exact state.
+    #[test]
+    fn random_workload_survives_random_kill(
+        raw in prop::collection::vec((0i64..10, 0i64..3, 0i64..6), 3..16),
+        crash_at in 1usize..60,
+        torn_seed in 0i64..1_000_000,
+        flip in 0i64..2,
+    ) {
+        let ops = decode_ops(&raw);
+        let history = shadow_history(&ops);
+        check_crash_point(
+            &ops,
+            &history,
+            crash_at as u64,
+            torn_seed as u64,
+            flip == 1,
+        );
+    }
+}

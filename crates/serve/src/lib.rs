@@ -103,6 +103,12 @@ pub struct ServerStats {
     /// Peak summed estimated working-set bytes of concurrently executing
     /// queries.
     pub peak_in_flight_bytes: f64,
+    /// Epoch sealed by the graceful-shutdown checkpoint: `Some(e)` when
+    /// [`Server::shutdown`] checkpointed a durable engine at epoch `e`,
+    /// `None` when the engine is in-memory, nothing new had been
+    /// published, or the checkpoint failed (the data is still safe in
+    /// the WAL — the next open replays it).
+    pub checkpoint_epoch: Option<u64>,
 }
 
 /// A pending query: await the result with [`Ticket::wait`].
@@ -352,13 +358,24 @@ impl Server {
             admission_waits: self.shared.admission_waits.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
             peak_in_flight_bytes: state.peak_in_flight_bytes,
+            checkpoint_epoch: None,
         }
     }
 
     /// Drain the queue, stop the workers and return the final counters.
+    ///
+    /// On a durable engine a graceful shutdown also checkpoints: the
+    /// current epoch is sealed into segment files so the next open
+    /// replays nothing from the WAL.  A failed checkpoint is reported as
+    /// `checkpoint_epoch: None` and loses nothing — every published
+    /// write is already in the log.
     pub fn shutdown(mut self) -> ServerStats {
         self.stop_workers();
-        self.stats()
+        let mut stats = self.stats();
+        if self.shared.db.is_durable() {
+            stats.checkpoint_epoch = self.shared.db.checkpoint().ok().flatten();
+        }
+        stats
     }
 
     fn stop_workers(&mut self) {

@@ -1,0 +1,684 @@
+//! Storage backends: the I/O boundary of the durability subsystem.
+//!
+//! Everything the WAL, segment and recovery code does to persistent
+//! media goes through the [`StorageBackend`] trait — a flat namespace of
+//! named byte files with append handles, positional reads, whole-file
+//! writes and truncation.  Two implementations exist:
+//!
+//! * [`FsBackend`] — a directory on the real filesystem; `sync` maps to
+//!   `File::sync_all`.
+//! * [`MemBackend`] — an in-memory disk with deterministic fault
+//!   injection: scripted crashes at a given mutating-operation count,
+//!   torn (partially surviving) unsynced tails on reboot, optional bit
+//!   flips inside the torn region, and short reads.  The crash oracle
+//!   tests drive recovery through this backend at every possible fault
+//!   point.
+//!
+//! The fault model matches real disks: bytes acknowledged by `sync` are
+//! durable and never corrupted; bytes written but not yet synced may
+//! survive fully, partially, or damaged after a crash.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fs;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+use tcudb_types::sync::locked;
+use tcudb_types::{TcuError, TcuResult};
+
+/// An open append-only handle to one backend file.
+pub trait AppendHandle: Send {
+    /// Append `buf` at the end of the file.  The bytes are *not* durable
+    /// until [`AppendHandle::sync`] returns.
+    fn append(&mut self, buf: &[u8]) -> TcuResult<()>;
+    /// Make all previously appended bytes durable.
+    fn sync(&mut self) -> TcuResult<()>;
+    /// Current length of the file in bytes (including unsynced appends).
+    fn len(&self) -> u64;
+    /// True when the file holds no bytes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A flat namespace of named byte files; the only way durability code
+/// touches persistent media.
+pub trait StorageBackend: Send + Sync + fmt::Debug {
+    /// Open (creating if absent) an append handle for `name`.
+    fn appender(&self, name: &str) -> TcuResult<Box<dyn AppendHandle>>;
+
+    /// Read up to `buf.len()` bytes at `offset`; returns the count read
+    /// (0 at or past end of file).  Implementations may return fewer
+    /// bytes than requested even mid-file (short reads).
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> TcuResult<usize>;
+
+    /// Read the whole file.  The default loops [`StorageBackend::read_at`]
+    /// so short reads are always tolerated.
+    fn read_all(&self, name: &str) -> TcuResult<Vec<u8>> {
+        let total = self.file_len(name)?;
+        let mut out = Vec::new();
+        let mut chunk = vec![0u8; 64 * 1024];
+        let mut offset = 0u64;
+        while offset < total {
+            let n = self.read_at(name, offset, &mut chunk)?;
+            if n == 0 {
+                break; // file shrank under us; return what we have
+            }
+            let Some(got) = chunk.get(..n) else {
+                return Err(TcuError::Io(format!(
+                    "backend read_at returned {n} bytes into a {} byte buffer",
+                    chunk.len()
+                )));
+            };
+            out.extend_from_slice(got);
+            offset += n as u64;
+        }
+        Ok(out)
+    }
+
+    /// Atomically-enough create/replace `name` with `content` and sync
+    /// it.  Crash atomicity is *not* guaranteed by the backend — callers
+    /// frame content with CRCs and treat an invalid file as absent.
+    fn write_file(&self, name: &str, content: &[u8]) -> TcuResult<()>;
+
+    /// Truncate `name` to `len` bytes and sync the new length.
+    fn truncate(&self, name: &str, len: u64) -> TcuResult<()>;
+
+    /// Remove `name`; removing a missing file is an error.
+    fn remove(&self, name: &str) -> TcuResult<()>;
+
+    /// All file names in the namespace, sorted.
+    fn list(&self) -> TcuResult<Vec<String>>;
+
+    /// True when `name` exists.
+    fn exists(&self, name: &str) -> TcuResult<bool>;
+
+    /// Length of `name` in bytes.
+    fn file_len(&self, name: &str) -> TcuResult<u64>;
+}
+
+fn io_err(ctx: &str, e: std::io::Error) -> TcuError {
+    TcuError::Io(format!("{ctx}: {e}"))
+}
+
+// ---------------------------------------------------------------------------
+// Real filesystem backend
+// ---------------------------------------------------------------------------
+
+/// A directory on the real filesystem; each backend file is one regular
+/// file directly under the root.
+#[derive(Debug)]
+pub struct FsBackend {
+    root: PathBuf,
+}
+
+impl FsBackend {
+    /// Open (creating if needed) the database directory at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> TcuResult<FsBackend> {
+        let root = root.into();
+        fs::create_dir_all(&root).map_err(|e| io_err("create database directory", e))?;
+        Ok(FsBackend { root })
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+}
+
+struct FsAppendHandle {
+    file: fs::File,
+    len: u64,
+    name: String,
+}
+
+impl AppendHandle for FsAppendHandle {
+    fn append(&mut self, buf: &[u8]) -> TcuResult<()> {
+        self.file
+            .write_all(buf)
+            .map_err(|e| io_err(&format!("append to {}", self.name), e))?;
+        self.len += buf.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> TcuResult<()> {
+        self.file
+            .sync_all()
+            .map_err(|e| io_err(&format!("fsync {}", self.name), e))
+    }
+
+    fn len(&self) -> u64 {
+        self.len
+    }
+}
+
+impl StorageBackend for FsBackend {
+    fn appender(&self, name: &str) -> TcuResult<Box<dyn AppendHandle>> {
+        let file = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(self.path(name))
+            .map_err(|e| io_err(&format!("open {name} for append"), e))?;
+        let len = file
+            .metadata()
+            .map_err(|e| io_err(&format!("stat {name}"), e))?
+            .len();
+        Ok(Box::new(FsAppendHandle {
+            file,
+            len,
+            name: name.to_string(),
+        }))
+    }
+
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> TcuResult<usize> {
+        let mut file =
+            fs::File::open(self.path(name)).map_err(|e| io_err(&format!("open {name}"), e))?;
+        file.seek(SeekFrom::Start(offset))
+            .map_err(|e| io_err(&format!("seek {name}"), e))?;
+        file.read(buf)
+            .map_err(|e| io_err(&format!("read {name}"), e))
+    }
+
+    fn read_all(&self, name: &str) -> TcuResult<Vec<u8>> {
+        fs::read(self.path(name)).map_err(|e| io_err(&format!("read {name}"), e))
+    }
+
+    fn write_file(&self, name: &str, content: &[u8]) -> TcuResult<()> {
+        let path = self.path(name);
+        let mut file = fs::File::create(&path).map_err(|e| io_err(&format!("create {name}"), e))?;
+        file.write_all(content)
+            .map_err(|e| io_err(&format!("write {name}"), e))?;
+        file.sync_all()
+            .map_err(|e| io_err(&format!("fsync {name}"), e))
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> TcuResult<()> {
+        let file = fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))
+            .map_err(|e| io_err(&format!("open {name} for truncate"), e))?;
+        file.set_len(len)
+            .map_err(|e| io_err(&format!("truncate {name}"), e))?;
+        file.sync_all()
+            .map_err(|e| io_err(&format!("fsync {name}"), e))
+    }
+
+    fn remove(&self, name: &str) -> TcuResult<()> {
+        fs::remove_file(self.path(name)).map_err(|e| io_err(&format!("remove {name}"), e))
+    }
+
+    fn list(&self) -> TcuResult<Vec<String>> {
+        let mut out = Vec::new();
+        let entries = fs::read_dir(&self.root).map_err(|e| io_err("list database directory", e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_err("list database directory", e))?;
+            if entry.file_type().map(|t| t.is_file()).unwrap_or(false) {
+                if let Some(name) = entry.file_name().to_str() {
+                    out.push(name.to_string());
+                }
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn exists(&self, name: &str) -> TcuResult<bool> {
+        Ok(self.path(name).exists())
+    }
+
+    fn file_len(&self, name: &str) -> TcuResult<u64> {
+        let md = fs::metadata(self.path(name)).map_err(|e| io_err(&format!("stat {name}"), e))?;
+        Ok(md.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend with deterministic fault injection
+// ---------------------------------------------------------------------------
+
+/// Scripted faults for [`MemBackend`].
+///
+/// All randomness is derived from `torn_seed` with splitmix64, so a
+/// given `(FaultSpec, workload)` pair replays identically forever.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSpec {
+    /// Crash (atomically, mid-operation) on the Nth mutating backend
+    /// operation (1-based).  After the crash every operation fails until
+    /// [`MemBackend::reboot`].
+    pub crash_at_op: Option<u64>,
+    /// Seed for deciding how much of each unsynced tail survives a
+    /// crash, and where a bit flip lands.
+    pub torn_seed: u64,
+    /// Flip one bit inside the *surviving unsynced* region of each torn
+    /// file on reboot (durable bytes are never corrupted).
+    pub flip_bit_in_torn_tail: bool,
+    /// Cap every `read_at` to this many bytes (forces short reads during
+    /// recovery).  `None` reads normally.
+    pub short_read_chunk: Option<usize>,
+}
+
+/// One in-memory file: its bytes plus the synced (durable) prefix length.
+#[derive(Debug, Clone, Default)]
+struct MemFile {
+    data: Vec<u8>,
+    synced: usize,
+}
+
+#[derive(Debug, Default)]
+struct MemDisk {
+    files: BTreeMap<String, MemFile>,
+    spec: FaultSpec,
+    /// Count of mutating operations since the last (re)boot.
+    mutating_ops: u64,
+    crashed: bool,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+fn name_salt(name: &str) -> u64 {
+    name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    })
+}
+
+impl MemDisk {
+    /// Account one mutating operation; returns `Err` if the disk is (or
+    /// just went) down.  On the scripted crash op the caller-visible
+    /// effect is "the operation partially happened": the caller applies
+    /// a seeded prefix of its effect before erroring.
+    fn begin_mutation(&mut self) -> TcuResult<MutationOutcome> {
+        if self.crashed {
+            return Err(TcuError::Io("storage backend is down (crashed)".into()));
+        }
+        self.mutating_ops += 1;
+        if self.spec.crash_at_op == Some(self.mutating_ops) {
+            self.crashed = true;
+            return Ok(MutationOutcome::CrashDuring);
+        }
+        Ok(MutationOutcome::Complete)
+    }
+
+    fn check_up(&self) -> TcuResult<()> {
+        if self.crashed {
+            return Err(TcuError::Io("storage backend is down (crashed)".into()));
+        }
+        Ok(())
+    }
+
+    fn file(&self, name: &str) -> TcuResult<&MemFile> {
+        self.files
+            .get(name)
+            .ok_or_else(|| TcuError::Io(format!("{name}: no such file")))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MutationOutcome {
+    Complete,
+    CrashDuring,
+}
+
+/// Deterministic in-memory storage backend with fault injection; shared
+/// clones see one disk, so an engine handle and a test can both touch it.
+#[derive(Debug, Clone, Default)]
+pub struct MemBackend {
+    disk: Arc<Mutex<MemDisk>>,
+}
+
+impl MemBackend {
+    /// A fresh, fault-free in-memory disk.
+    pub fn new() -> MemBackend {
+        MemBackend::default()
+    }
+
+    /// A fresh disk that will fault per `spec`.
+    pub fn with_faults(spec: FaultSpec) -> MemBackend {
+        let backend = MemBackend::default();
+        locked(&backend.disk).spec = spec;
+        backend
+    }
+
+    /// Simulate power-on after a crash: every file's unsynced tail is
+    /// truncated to a seeded survival length (torn write); optionally one
+    /// bit inside the surviving unsynced region is flipped.  Durable
+    /// (synced) bytes are never touched.  Clears the crash script but
+    /// keeps any short-read cap so recovery itself is exercised.
+    pub fn reboot(&self) {
+        let mut disk = locked(&self.disk);
+        let seed = disk.spec.torn_seed;
+        let flip = disk.spec.flip_bit_in_torn_tail;
+        for (name, file) in disk.files.iter_mut() {
+            let unsynced = file.data.len() - file.synced;
+            if unsynced == 0 {
+                continue;
+            }
+            let r = splitmix64(seed ^ name_salt(name));
+            // Survive anywhere from 0 to all of the unsynced tail.
+            let survive = (r % (unsynced as u64 + 1)) as usize;
+            file.data.truncate(file.synced + survive);
+            if flip && survive > 0 {
+                let bit = splitmix64(r) % (survive as u64 * 8);
+                let byte = file.synced + (bit / 8) as usize;
+                if let Some(b) = file.data.get_mut(byte) {
+                    *b ^= 1 << (bit % 8);
+                }
+            }
+            file.synced = file.data.len();
+        }
+        disk.crashed = false;
+        disk.mutating_ops = 0;
+        disk.spec.crash_at_op = None;
+        disk.spec.flip_bit_in_torn_tail = false;
+    }
+
+    /// [`MemBackend::reboot`] and then install a new fault script for the
+    /// next incarnation.
+    pub fn reboot_with(&self, spec: FaultSpec) {
+        self.reboot();
+        locked(&self.disk).spec = spec;
+    }
+
+    /// Number of mutating operations since the last (re)boot — used by
+    /// tests to size `crash_at_op` sweeps.
+    pub fn mutating_ops(&self) -> u64 {
+        locked(&self.disk).mutating_ops
+    }
+
+    /// True when a scripted crash has fired and the disk is down.
+    pub fn is_crashed(&self) -> bool {
+        locked(&self.disk).crashed
+    }
+}
+
+struct MemAppendHandle {
+    disk: Arc<Mutex<MemDisk>>,
+    name: String,
+}
+
+impl AppendHandle for MemAppendHandle {
+    fn append(&mut self, buf: &[u8]) -> TcuResult<()> {
+        let mut disk = locked(&self.disk);
+        let outcome = disk.begin_mutation()?;
+        let seed = disk.spec.torn_seed;
+        let Some(file) = disk.files.get_mut(&self.name) else {
+            return Err(TcuError::Io(format!("{}: no such file", self.name)));
+        };
+        match outcome {
+            MutationOutcome::Complete => {
+                file.data.extend_from_slice(buf);
+                Ok(())
+            }
+            MutationOutcome::CrashDuring => {
+                // The append itself tears: a seeded prefix reaches the disk
+                // cache before power is lost.
+                let keep = (splitmix64(seed ^ name_salt(&self.name) ^ 0xA99E)
+                    % (buf.len() as u64 + 1)) as usize;
+                file.data.extend_from_slice(buf.get(..keep).unwrap_or(buf));
+                Err(TcuError::Io("storage crashed during append".into()))
+            }
+        }
+    }
+
+    fn sync(&mut self) -> TcuResult<()> {
+        let mut disk = locked(&self.disk);
+        let outcome = disk.begin_mutation()?;
+        let Some(file) = disk.files.get_mut(&self.name) else {
+            return Err(TcuError::Io(format!("{}: no such file", self.name)));
+        };
+        match outcome {
+            MutationOutcome::Complete => {
+                file.synced = file.data.len();
+                Ok(())
+            }
+            // Crash at fsync time: nothing new becomes durable; the
+            // written-but-unsynced tail is at the mercy of reboot().
+            MutationOutcome::CrashDuring => {
+                Err(TcuError::Io("storage crashed during fsync".into()))
+            }
+        }
+    }
+
+    fn len(&self) -> u64 {
+        locked(&self.disk)
+            .files
+            .get(&self.name)
+            .map(|f| f.data.len() as u64)
+            .unwrap_or(0)
+    }
+}
+
+impl StorageBackend for MemBackend {
+    fn appender(&self, name: &str) -> TcuResult<Box<dyn AppendHandle>> {
+        let mut disk = locked(&self.disk);
+        disk.check_up()?;
+        disk.files.entry(name.to_string()).or_default();
+        Ok(Box::new(MemAppendHandle {
+            disk: Arc::clone(&self.disk),
+            name: name.to_string(),
+        }))
+    }
+
+    fn read_at(&self, name: &str, offset: u64, buf: &mut [u8]) -> TcuResult<usize> {
+        let disk = locked(&self.disk);
+        disk.check_up()?;
+        let cap = disk.spec.short_read_chunk.unwrap_or(usize::MAX);
+        let file = disk.file(name)?;
+        let start = (offset as usize).min(file.data.len());
+        let want = buf.len().min(cap).max(1).min(file.data.len() - start);
+        let Some(src) = file.data.get(start..start + want) else {
+            return Ok(0);
+        };
+        let Some(dst) = buf.get_mut(..want) else {
+            return Ok(0);
+        };
+        dst.copy_from_slice(src);
+        Ok(want)
+    }
+
+    fn write_file(&self, name: &str, content: &[u8]) -> TcuResult<()> {
+        let mut disk = locked(&self.disk);
+        let outcome = disk.begin_mutation()?;
+        let seed = disk.spec.torn_seed;
+        match outcome {
+            MutationOutcome::Complete => {
+                // write_file syncs before returning: fully durable.
+                disk.files.insert(
+                    name.to_string(),
+                    MemFile {
+                        data: content.to_vec(),
+                        synced: content.len(),
+                    },
+                );
+                Ok(())
+            }
+            MutationOutcome::CrashDuring => {
+                // A seeded prefix lands, none of it synced.
+                let keep = (splitmix64(seed ^ name_salt(name) ^ 0xF11E)
+                    % (content.len() as u64 + 1)) as usize;
+                disk.files.insert(
+                    name.to_string(),
+                    MemFile {
+                        data: content.get(..keep).unwrap_or(content).to_vec(),
+                        synced: 0,
+                    },
+                );
+                Err(TcuError::Io("storage crashed during write".into()))
+            }
+        }
+    }
+
+    fn truncate(&self, name: &str, len: u64) -> TcuResult<()> {
+        let mut disk = locked(&self.disk);
+        let outcome = disk.begin_mutation()?;
+        let Some(file) = disk.files.get_mut(name) else {
+            return Err(TcuError::Io(format!("{name}: no such file")));
+        };
+        match outcome {
+            MutationOutcome::Complete => {
+                file.data.truncate(len as usize);
+                file.synced = file.synced.min(file.data.len());
+                Ok(())
+            }
+            // Crash before the truncate takes effect.
+            MutationOutcome::CrashDuring => {
+                Err(TcuError::Io("storage crashed during truncate".into()))
+            }
+        }
+    }
+
+    fn remove(&self, name: &str) -> TcuResult<()> {
+        let mut disk = locked(&self.disk);
+        let outcome = disk.begin_mutation()?;
+        match outcome {
+            MutationOutcome::Complete => {
+                if disk.files.remove(name).is_none() {
+                    return Err(TcuError::Io(format!("{name}: no such file")));
+                }
+                Ok(())
+            }
+            // Crash before the unlink takes effect.
+            MutationOutcome::CrashDuring => {
+                Err(TcuError::Io("storage crashed during remove".into()))
+            }
+        }
+    }
+
+    fn list(&self) -> TcuResult<Vec<String>> {
+        let disk = locked(&self.disk);
+        disk.check_up()?;
+        Ok(disk.files.keys().cloned().collect())
+    }
+
+    fn exists(&self, name: &str) -> TcuResult<bool> {
+        let disk = locked(&self.disk);
+        disk.check_up()?;
+        Ok(disk.files.contains_key(name))
+    }
+
+    fn file_len(&self, name: &str) -> TcuResult<u64> {
+        let disk = locked(&self.disk);
+        disk.check_up()?;
+        Ok(disk.file(name)?.data.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fs_backend_round_trips() {
+        let dir = std::env::temp_dir().join(format!("tcudb-backend-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let be = FsBackend::open(&dir).unwrap();
+        let mut h = be.appender("wal-000.log").unwrap();
+        h.append(b"hello ").unwrap();
+        h.append(b"world").unwrap();
+        h.sync().unwrap();
+        assert_eq!(h.len(), 11);
+        drop(h);
+        assert_eq!(be.read_all("wal-000.log").unwrap(), b"hello world");
+        be.truncate("wal-000.log", 5).unwrap();
+        assert_eq!(be.read_all("wal-000.log").unwrap(), b"hello");
+        be.write_file("manifest-1", b"m1").unwrap();
+        assert_eq!(be.list().unwrap(), vec!["manifest-1", "wal-000.log"]);
+        assert!(be.exists("manifest-1").unwrap());
+        be.remove("manifest-1").unwrap();
+        assert!(!be.exists("manifest-1").unwrap());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mem_backend_round_trips() {
+        let be = MemBackend::new();
+        let mut h = be.appender("f").unwrap();
+        h.append(b"abc").unwrap();
+        h.sync().unwrap();
+        assert_eq!(be.read_all("f").unwrap(), b"abc");
+        assert_eq!(be.file_len("f").unwrap(), 3);
+    }
+
+    #[test]
+    fn unsynced_tail_is_torn_on_reboot() {
+        let be = MemBackend::with_faults(FaultSpec {
+            torn_seed: 7,
+            ..FaultSpec::default()
+        });
+        let mut h = be.appender("f").unwrap();
+        h.append(b"durable").unwrap();
+        h.sync().unwrap();
+        h.append(b"maybe-lost").unwrap();
+        be.reboot();
+        let data = be.read_all("f").unwrap();
+        assert!(data.starts_with(b"durable"), "synced prefix must survive");
+        assert!(data.len() <= b"durable".len() + b"maybe-lost".len());
+    }
+
+    #[test]
+    fn crash_at_op_downs_the_disk_until_reboot() {
+        let be = MemBackend::with_faults(FaultSpec {
+            crash_at_op: Some(2),
+            torn_seed: 3,
+            ..FaultSpec::default()
+        });
+        let mut h = be.appender("f").unwrap();
+        h.append(b"one").unwrap(); // op 1
+        assert!(h.sync().is_err()); // op 2: crash
+        assert!(h.append(b"two").is_err()); // down
+        assert!(be.list().is_err());
+        be.reboot();
+        assert!(be.list().is_ok());
+        // Nothing was synced, so the reboot may have torn everything.
+        assert!(be.read_all("f").unwrap().len() <= 3);
+    }
+
+    #[test]
+    fn short_reads_still_read_everything_via_default_read_all() {
+        let be = MemBackend::with_faults(FaultSpec {
+            short_read_chunk: Some(3),
+            ..FaultSpec::default()
+        });
+        be.write_file("f", b"0123456789abcdef").unwrap();
+        // Use the trait's default read_all (loops read_at).
+        let via_trait: &dyn StorageBackend = &be;
+        assert_eq!(via_trait.read_all("f").unwrap(), b"0123456789abcdef");
+    }
+
+    #[test]
+    fn bit_flip_lands_only_in_unsynced_region() {
+        let be = MemBackend::with_faults(FaultSpec {
+            torn_seed: 11,
+            flip_bit_in_torn_tail: true,
+            ..FaultSpec::default()
+        });
+        let mut h = be.appender("f").unwrap();
+        h.append(b"AAAA").unwrap();
+        h.sync().unwrap();
+        h.append(b"BBBBBBBB").unwrap();
+        be.reboot();
+        let data = be.read_all("f").unwrap();
+        assert_eq!(&data.get(..4).unwrap(), b"AAAA", "durable bytes untouched");
+    }
+
+    #[test]
+    fn reboot_is_deterministic_for_a_seed() {
+        let run = |seed: u64| {
+            let be = MemBackend::with_faults(FaultSpec {
+                torn_seed: seed,
+                ..FaultSpec::default()
+            });
+            let mut h = be.appender("f").unwrap();
+            h.append(b"0123456789").unwrap();
+            be.reboot();
+            be.read_all("f").unwrap()
+        };
+        assert_eq!(run(5), run(5));
+        assert_eq!(run(6), run(6));
+    }
+}

@@ -86,6 +86,19 @@ impl Column {
         Ok(())
     }
 
+    /// True when [`Column::push`] would accept `value` — the same
+    /// coercion rules, without mutating anything.  Batch ingest uses
+    /// this to validate a whole batch before touching the column.
+    pub fn can_push(&self, value: &Value) -> bool {
+        matches!(
+            (self, value),
+            (Column::Int64(_), Value::Int(_))
+                | (Column::Float64(_), Value::Float(_))
+                | (Column::Float64(_), Value::Int(_))
+                | (Column::Text(_), Value::Text(_))
+        ) || matches!((self, value), (Column::Int64(_), Value::Float(x)) if x.fract() == 0.0)
+    }
+
     /// View as an `i64` slice (errors for non-integer columns).
     pub fn as_i64(&self) -> TcuResult<&[i64]> {
         match self {
@@ -197,6 +210,22 @@ mod tests {
         assert_eq!(c.value(1), Value::Int(2));
         assert!(c.push(Value::Float(2.5)).is_err());
         assert!(c.push(Value::Text("x".into())).is_err());
+    }
+
+    #[test]
+    fn can_push_mirrors_push_for_every_combination() {
+        let values = [
+            Value::Int(3),
+            Value::Float(2.0),
+            Value::Float(2.5),
+            Value::Text("x".into()),
+        ];
+        for dt in [DataType::Int64, DataType::Float64, DataType::Text] {
+            for v in &values {
+                let mut c = Column::empty(dt);
+                assert_eq!(c.can_push(v), c.push(v.clone()).is_ok(), "{dt:?} <- {v:?}");
+            }
+        }
     }
 
     #[test]

@@ -150,6 +150,47 @@ mod tests {
     }
 
     #[test]
+    fn parse_reports_bad_floats_with_line_numbers() {
+        let schema = Schema::from_pairs(&[("v", DataType::Float64)]);
+        // The bad field sits on (1-based) line 3: the message must name
+        // that line, not just "a parse failed somewhere".
+        let err = parse_csv("t", &schema, "1.0\n2.0\nnot-a-float\n", false).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("bad float"), "message: {msg}");
+        assert!(msg.contains("line 3"), "message: {msg}");
+        assert!(msg.contains("not-a-float"), "message: {msg}");
+    }
+
+    #[test]
+    fn parse_reports_field_count_with_line_numbers() {
+        let schema = Schema::from_pairs(&[("a", DataType::Int64), ("b", DataType::Int64)]);
+        let err = parse_csv("t", &schema, "1,2\n3\n", false).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 2"), "message: {msg}");
+        assert!(msg.contains("expected 2 fields, found 1"), "message: {msg}");
+    }
+
+    #[test]
+    fn read_csv_missing_file_is_a_typed_error() {
+        let schema = Schema::from_pairs(&[("id", DataType::Int64)]);
+        let path = std::env::temp_dir().join("tcudb_csv_test_definitely_missing.csv");
+        std::fs::remove_file(&path).ok();
+        let err = read_csv(&path, "t", &schema, false).unwrap_err();
+        // An I/O failure surfaces as a TcuError value, never a panic.
+        assert!(matches!(err, TcuError::Io(_)), "got: {err:?}");
+    }
+
+    #[test]
+    fn infer_schema_failure_modes_are_distinct() {
+        let empty = infer_schema("").unwrap_err();
+        assert!(empty.to_string().contains("empty CSV"));
+        let headers_only = infer_schema("a,b\n").unwrap_err();
+        assert!(headers_only.to_string().contains("no data rows"));
+        let mismatch = infer_schema("a,b\n1\n").unwrap_err();
+        assert!(mismatch.to_string().contains("field count mismatch"));
+    }
+
+    #[test]
     fn blank_lines_are_skipped() {
         let schema = Schema::from_pairs(&[("id", DataType::Int64)]);
         let t = parse_csv("t", &schema, "1\n\n2\n\n", false).unwrap();

@@ -26,21 +26,37 @@
 //!   one snapshot for their lifetime, writes publish the next epoch, and
 //!   the epoch doubles as the invalidation token for every cache derived
 //!   from catalog state (dictionary encodings, cached plans),
-//! * [`csv`] — plain-text import/export used by the examples.
+//! * [`csv`] — plain-text import/export used by the examples,
+//! * [`backend`] / [`wal`] / [`segment`] / [`mod@recover`] — the durability
+//!   subsystem: a pluggable storage backend (real filesystem or a
+//!   deterministic fault-injecting in-memory disk), a CRC-framed
+//!   write-ahead log whose commits carry epoch-publish markers, sealed
+//!   columnar segment files with an epoch-stamped manifest, and crash
+//!   recovery that replays the log to the last published epoch and
+//!   truncates torn tails.
 
+pub mod backend;
 pub mod catalog;
 pub mod column;
 pub mod csv;
 pub mod encoded;
+pub mod recover;
 pub mod schema;
+pub mod segment;
 pub mod snapshot;
 pub mod stats;
 pub mod table;
+pub mod wal;
 
+pub use backend::{FaultSpec, FsBackend, MemBackend, StorageBackend};
 pub use catalog::Catalog;
 pub use column::Column;
 pub use encoded::{DictColumn, EncodingCache};
+pub use recover::{
+    recover, spawn_flusher, DurabilityOptions, DurableStore, Flusher, Recovered, RecoveryReport,
+};
 pub use schema::{ColumnDef, Schema};
 pub use snapshot::{CatalogSnapshot, SharedCatalog};
 pub use stats::{ColumnStats, TableStats};
 pub use table::Table;
+pub use wal::{FlushPolicy, WalRecord};

@@ -1,0 +1,517 @@
+//! Immutable columnar segment files and the epoch manifest.
+//!
+//! A checkpoint seals the rows of each table into one or more *segment
+//! files*: CRC-checksummed, dictionary-encoded (text columns, via
+//! [`DictColumn`]) columnar images that are written once and never
+//! modified.  A *manifest* maps one published catalog epoch to the
+//! segment set that reproduces it plus the name of the WAL file that
+//! continues from there — the on-disk counterpart of a
+//! [`crate::CatalogSnapshot`].
+//!
+//! Because tables are append-only between checkpoints, a later
+//! checkpoint usually reuses a table's existing segment files verbatim
+//! and seals only the new tail rows into one additional segment;
+//! recovery reassembles the table by concatenating its segments in
+//! manifest order.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! segment:  "TSG1" | name | schema | row_count:u64 | col0 … colN | crc32:u32
+//!   Int64/Float64 column: row_count × 8-byte LE values
+//!   Text column:          dict_len:u64 | dict strings | row_count × u32 codes
+//! manifest: "TMF1" | epoch:u64 | wal_file | n_tables:u64
+//!           | (name | n_segments:u64 | segment file names)* | crc32:u32
+//! ```
+//!
+//! Every decode error is a typed [`TcuError::Io`]; a file that fails its
+//! CRC is treated by recovery as absent, never as a panic.
+
+use tcudb_types::{DataType, TcuError, TcuResult, Value};
+
+use crate::column::Column;
+use crate::encoded::DictColumn;
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::wal::{crc32, put_str, put_u32, put_u64, Cursor};
+
+const SEGMENT_MAGIC: &[u8; 4] = b"TSG1";
+const MANIFEST_MAGIC: &[u8; 4] = b"TMF1";
+
+// ---------------------------------------------------------------------------
+// File naming
+// ---------------------------------------------------------------------------
+
+/// Manifest file name for an epoch (`manifest-000000000042`).
+pub fn manifest_file_name(epoch: u64) -> String {
+    format!("manifest-{epoch:012}")
+}
+
+/// WAL file name for the log that continues from `epoch`
+/// (`wal-000000000042.log`).
+pub fn wal_file_name(epoch: u64) -> String {
+    format!("wal-{epoch:012}.log")
+}
+
+/// Segment file name: sealed at `epoch`, `idx`-th segment of that
+/// checkpoint (`seg-000000000042-000007.tsg`).
+pub fn segment_file_name(epoch: u64, idx: u64) -> String {
+    format!("seg-{epoch:012}-{idx:06}.tsg")
+}
+
+/// The epoch of a manifest file name, if it is one.
+pub fn parse_manifest_epoch(name: &str) -> Option<u64> {
+    name.strip_prefix("manifest-")?.parse().ok()
+}
+
+/// True for WAL file names produced by [`wal_file_name`].
+pub fn is_wal_file(name: &str) -> bool {
+    name.starts_with("wal-") && name.ends_with(".log")
+}
+
+/// True for segment file names produced by [`segment_file_name`].
+pub fn is_segment_file(name: &str) -> bool {
+    name.starts_with("seg-") && name.ends_with(".tsg")
+}
+
+// ---------------------------------------------------------------------------
+// Segment encode / decode
+// ---------------------------------------------------------------------------
+
+fn corrupt(what: &str) -> TcuError {
+    TcuError::Io(format!("corrupt segment: {what}"))
+}
+
+/// Encode rows `start_row..` of `table` into a segment image.
+///
+/// `start_row == 0` seals the whole table; a positive `start_row` seals
+/// only the tail a previous checkpoint has not yet covered.
+pub fn encode_segment(table: &Table, start_row: usize) -> TcuResult<Vec<u8>> {
+    let rows = table.num_rows();
+    if start_row > rows {
+        return Err(TcuError::InvalidArgument(format!(
+            "segment start row {start_row} past end of table ({rows} rows)"
+        )));
+    }
+    let count = rows - start_row;
+    let mut out = Vec::new();
+    out.extend_from_slice(SEGMENT_MAGIC);
+    put_str(&mut out, table.name());
+    crate::wal::put_schema(&mut out, table.schema());
+    put_u64(&mut out, count as u64);
+    for col in table.columns() {
+        match col {
+            Column::Int64(v) => {
+                let tail = v.get(start_row..).unwrap_or(&[]);
+                for &x in tail {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            Column::Float64(v) => {
+                let tail = v.get(start_row..).unwrap_or(&[]);
+                for &x in tail {
+                    out.extend_from_slice(&x.to_bits().to_le_bytes());
+                }
+            }
+            Column::Text(v) => {
+                let tail = v.get(start_row..).unwrap_or(&[]);
+                let values: Vec<Value> = tail.iter().map(|s| Value::Text(s.clone())).collect();
+                let dict = DictColumn::from_values(&values);
+                put_u64(&mut out, dict.dict_len() as u64);
+                for value in dict.values() {
+                    match value {
+                        Value::Text(s) => put_str(&mut out, s),
+                        other => {
+                            return Err(TcuError::InvalidArgument(format!(
+                                "text column dictionary holds non-text value {other:?}"
+                            )))
+                        }
+                    }
+                }
+                for &code in dict.codes() {
+                    put_u32(&mut out, code);
+                }
+            }
+        }
+    }
+    let crc = crc32(&out);
+    put_u32(&mut out, crc);
+    Ok(out)
+}
+
+/// A decoded segment: one table's (partial) rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedSegment {
+    /// Table name as sealed.
+    pub name: String,
+    /// The table's schema at seal time.
+    pub schema: Schema,
+    /// One column per schema entry, `rows` long.
+    pub columns: Vec<Column>,
+    /// Row count of this segment.
+    pub rows: usize,
+}
+
+/// Decode and CRC-verify a segment image.
+pub fn decode_segment(bytes: &[u8]) -> TcuResult<DecodedSegment> {
+    let body = verify_crc_trailer(bytes, "segment")?;
+    let mut c = Cursor::new(body);
+    if c.take(4)? != SEGMENT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let name = c.str()?;
+    let schema = c.schema()?;
+    let rows = c.u64()?;
+    if rows > body.len() as u64 {
+        return Err(corrupt("row count exceeds file"));
+    }
+    let rows = rows as usize;
+    let mut columns = Vec::with_capacity(schema.len());
+    for def in schema.columns() {
+        let col = match def.data_type {
+            DataType::Int64 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(c.i64()?);
+                }
+                Column::Int64(v)
+            }
+            DataType::Float64 => {
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    v.push(c.f64()?);
+                }
+                Column::Float64(v)
+            }
+            DataType::Text => {
+                let dict_len = c.u64()?;
+                if dict_len > body.len() as u64 {
+                    return Err(corrupt("dictionary length exceeds file"));
+                }
+                let mut dict = Vec::with_capacity(dict_len as usize);
+                for _ in 0..dict_len {
+                    dict.push(c.str()?);
+                }
+                let mut v = Vec::with_capacity(rows);
+                for _ in 0..rows {
+                    let code = c.u32()? as usize;
+                    let s = dict
+                        .get(code)
+                        .ok_or_else(|| corrupt("dictionary code out of range"))?;
+                    v.push(s.clone());
+                }
+                Column::Text(v)
+            }
+        };
+        columns.push(col);
+    }
+    if !c.is_done() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(DecodedSegment {
+        name,
+        schema,
+        columns,
+        rows,
+    })
+}
+
+/// Append `tail`'s rows onto `base`'s columns (segment concatenation
+/// during recovery).  Schemas must match.
+pub fn concat_segment(base: &mut DecodedSegment, tail: DecodedSegment) -> TcuResult<()> {
+    if base.schema != tail.schema || base.name != tail.name {
+        return Err(corrupt("segment chain mismatch (schema or name differs)"));
+    }
+    for (dst, src) in base.columns.iter_mut().zip(tail.columns) {
+        match (dst, src) {
+            (Column::Int64(d), Column::Int64(s)) => d.extend(s),
+            (Column::Float64(d), Column::Float64(s)) => d.extend(s),
+            (Column::Text(d), Column::Text(s)) => d.extend(s),
+            _ => return Err(corrupt("segment chain mismatch (column type differs)")),
+        }
+    }
+    base.rows += tail.rows;
+    Ok(())
+}
+
+/// Build the recovered [`Table`] from a decoded segment chain.
+pub fn table_from_segment(seg: DecodedSegment) -> TcuResult<Table> {
+    Table::from_columns(seg.name.clone(), seg.schema, seg.columns)
+}
+
+/// True when the first `rows` rows of `longer` equal `base`'s columns —
+/// i.e. `longer` extends the sealed image and only its tail needs
+/// sealing.  Schemas must already be known equal.
+pub fn is_prefix_of(base: &Table, longer: &Table) -> bool {
+    let rows = base.num_rows();
+    if longer.num_rows() < rows || base.schema() != longer.schema() {
+        return false;
+    }
+    base.columns()
+        .iter()
+        .zip(longer.columns())
+        .all(|(b, l)| match (b, l) {
+            (Column::Int64(bv), Column::Int64(lv)) => lv.get(..rows) == Some(&bv[..]),
+            (Column::Float64(bv), Column::Float64(lv)) => {
+                // Bit-exact comparison (NaN-safe): recovered floats must
+                // reproduce the sealed image exactly.
+                lv.get(..rows).is_some_and(|prefix| {
+                    prefix
+                        .iter()
+                        .zip(bv)
+                        .all(|(a, b)| a.to_bits() == b.to_bits())
+                })
+            }
+            (Column::Text(bv), Column::Text(lv)) => lv.get(..rows) == Some(&bv[..]),
+            _ => false,
+        })
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One table's segment chain inside a [`Manifest`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestTable {
+    /// Lower-cased table name.
+    pub name: String,
+    /// Segment file names, in concatenation order.
+    pub segments: Vec<String>,
+}
+
+/// The durable description of one published epoch: which segment files
+/// reproduce the catalog and which WAL file continues from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The catalog epoch this manifest seals.
+    pub epoch: u64,
+    /// The WAL file holding commits after this epoch.
+    pub wal_file: String,
+    /// Every table and its segment chain.
+    pub tables: Vec<ManifestTable>,
+}
+
+impl Manifest {
+    /// Encode with magic and CRC trailer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MANIFEST_MAGIC);
+        put_u64(&mut out, self.epoch);
+        put_str(&mut out, &self.wal_file);
+        put_u64(&mut out, self.tables.len() as u64);
+        for t in &self.tables {
+            put_str(&mut out, &t.name);
+            put_u64(&mut out, t.segments.len() as u64);
+            for s in &t.segments {
+                put_str(&mut out, s);
+            }
+        }
+        let crc = crc32(&out);
+        put_u32(&mut out, crc);
+        out
+    }
+
+    /// Decode and CRC-verify a manifest image.
+    pub fn decode(bytes: &[u8]) -> TcuResult<Manifest> {
+        let body = verify_crc_trailer(bytes, "manifest")?;
+        let mut c = Cursor::new(body);
+        if c.take(4)? != MANIFEST_MAGIC {
+            return Err(corrupt("bad manifest magic"));
+        }
+        let epoch = c.u64()?;
+        let wal_file = c.str()?;
+        let n_tables = c.u64()?;
+        if n_tables > body.len() as u64 {
+            return Err(corrupt("table count exceeds file"));
+        }
+        let mut tables = Vec::with_capacity(n_tables as usize);
+        for _ in 0..n_tables {
+            let name = c.str()?;
+            let n_segments = c.u64()?;
+            if n_segments > body.len() as u64 {
+                return Err(corrupt("segment count exceeds file"));
+            }
+            let mut segments = Vec::with_capacity(n_segments as usize);
+            for _ in 0..n_segments {
+                segments.push(c.str()?);
+            }
+            tables.push(ManifestTable { name, segments });
+        }
+        if !c.is_done() {
+            return Err(corrupt("trailing bytes after manifest"));
+        }
+        Ok(Manifest {
+            epoch,
+            wal_file,
+            tables,
+        })
+    }
+
+    /// Every segment file any table references.
+    pub fn segment_files(&self) -> impl Iterator<Item = &str> {
+        self.tables
+            .iter()
+            .flat_map(|t| t.segments.iter().map(|s| s.as_str()))
+    }
+}
+
+/// Split `bytes` into body and CRC trailer, verifying the checksum.
+fn verify_crc_trailer<'a>(bytes: &'a [u8], what: &str) -> TcuResult<&'a [u8]> {
+    if bytes.len() < 4 {
+        return Err(corrupt(&format!("{what} shorter than its CRC trailer")));
+    }
+    let split = bytes.len() - 4;
+    let body = bytes.get(..split).unwrap_or(&[]);
+    let trailer = bytes.get(split..).unwrap_or(&[]);
+    let mut le = [0u8; 4];
+    le.copy_from_slice(trailer);
+    if crc32(body) != u32::from_le_bytes(le) {
+        return Err(corrupt(&format!("{what} CRC mismatch")));
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use tcudb_types::DataType;
+
+    fn sample_table() -> Table {
+        let schema = Schema::from_pairs(&[
+            ("id", DataType::Int64),
+            ("score", DataType::Float64),
+            ("tag", DataType::Text),
+        ]);
+        let mut t = Table::new("events", schema);
+        for i in 0..10 {
+            t.push_row(vec![
+                Value::Int(i),
+                Value::Float(i as f64 + 0.5),
+                Value::Text(if i % 3 == 0 {
+                    "fizz".into()
+                } else {
+                    "x".into()
+                }),
+            ])
+            .unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn segment_round_trips_whole_table() {
+        let t = sample_table();
+        let bytes = encode_segment(&t, 0).unwrap();
+        let seg = decode_segment(&bytes).unwrap();
+        assert_eq!(seg.name, "events");
+        assert_eq!(seg.rows, 10);
+        let recovered = table_from_segment(seg).unwrap();
+        assert_eq!(recovered.columns(), t.columns());
+        assert_eq!(recovered.schema(), t.schema());
+    }
+
+    #[test]
+    fn tail_segment_concatenates_back() {
+        let t = sample_table();
+        let head = decode_segment(&encode_segment(&t, 0).unwrap()).unwrap();
+        // Pretend the first checkpoint sealed 6 rows; re-encode head over a
+        // truncated copy and the tail from row 6.
+        let mut short = Table::new("events", t.schema().clone());
+        for row in t.rows_iter().take(6) {
+            short.push_row(row).unwrap();
+        }
+        let mut base = decode_segment(&encode_segment(&short, 0).unwrap()).unwrap();
+        let tail = decode_segment(&encode_segment(&t, 6).unwrap()).unwrap();
+        assert_eq!(tail.rows, 4);
+        concat_segment(&mut base, tail).unwrap();
+        assert_eq!(base, head);
+    }
+
+    #[test]
+    fn bit_flip_fails_the_crc() {
+        let t = sample_table();
+        let mut bytes = encode_segment(&t, 0).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 1;
+        assert!(decode_segment(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_segment_is_an_error_not_a_panic() {
+        let t = sample_table();
+        let bytes = encode_segment(&t, 0).unwrap();
+        for cut in [0, 3, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_segment(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn prefix_detection() {
+        let t = sample_table();
+        let mut short = Table::new("events", t.schema().clone());
+        for row in t.rows_iter().take(6) {
+            short.push_row(row).unwrap();
+        }
+        assert!(is_prefix_of(&short, &t));
+        assert!(
+            !is_prefix_of(&t, &short),
+            "longer is not a prefix of shorter"
+        );
+        let mut diverged = Table::new("events", t.schema().clone());
+        for (i, mut row) in t.rows_iter().take(6).enumerate() {
+            if i == 3 {
+                row[0] = Value::Int(999);
+            }
+            diverged.push_row(row).unwrap();
+        }
+        assert!(!is_prefix_of(&diverged, &t));
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_damage() {
+        let m = Manifest {
+            epoch: 7,
+            wal_file: wal_file_name(7),
+            tables: vec![
+                ManifestTable {
+                    name: "a".into(),
+                    segments: vec![segment_file_name(3, 0), segment_file_name(7, 0)],
+                },
+                ManifestTable {
+                    name: "b".into(),
+                    segments: vec![],
+                },
+            ],
+        };
+        let bytes = m.encode();
+        assert_eq!(Manifest::decode(&bytes).unwrap(), m);
+        assert_eq!(m.segment_files().count(), 2);
+        let mut bad = bytes.clone();
+        bad[10] ^= 0x80;
+        assert!(Manifest::decode(&bad).is_err());
+        assert!(Manifest::decode(&bytes[..bytes.len() - 2]).is_err());
+    }
+
+    #[test]
+    fn file_names_parse_back() {
+        assert_eq!(parse_manifest_epoch(&manifest_file_name(42)), Some(42));
+        assert_eq!(parse_manifest_epoch("wal-000000000001.log"), None);
+        assert!(is_wal_file(&wal_file_name(1)));
+        assert!(is_segment_file(&segment_file_name(1, 2)));
+        assert!(!is_segment_file(&manifest_file_name(1)));
+    }
+
+    #[test]
+    fn empty_table_seals_and_recovers() {
+        let t = Table::new(
+            "empty",
+            Schema::from_pairs(&[("x", DataType::Int64), ("s", DataType::Text)]),
+        );
+        let seg = decode_segment(&encode_segment(&t, 0).unwrap()).unwrap();
+        let recovered = table_from_segment(seg).unwrap();
+        assert_eq!(recovered.num_rows(), 0);
+        assert_eq!(recovered.schema(), t.schema());
+    }
+}

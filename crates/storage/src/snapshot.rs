@@ -169,6 +169,49 @@ impl SharedCatalog {
         Ok((next, out))
     }
 
+    /// Like [`try_update`](SharedCatalog::try_update), but runs
+    /// `pre_publish(new_epoch)` after `f` succeeds and **before** the new
+    /// snapshot becomes visible — while the writer lock is still held.
+    /// If `pre_publish` fails, nothing is published and the epoch is not
+    /// burned.
+    ///
+    /// This is the durability commit point: the WAL writes (and, under
+    /// `FlushPolicy::EveryCommit`, syncs) the commit for epoch `N+1`
+    /// strictly before any reader can pin epoch `N+1`, so an
+    /// acknowledged-and-observed write is always on disk first.
+    pub fn try_update_with<R, E>(
+        &self,
+        f: impl FnOnce(&mut Catalog) -> Result<R, E>,
+        pre_publish: impl FnOnce(u64) -> Result<(), E>,
+    ) -> Result<(Arc<CatalogSnapshot>, R), E> {
+        let _writes_serialized = locked(&self.writer);
+        let base = self.snapshot();
+        let mut catalog = base.catalog.clone();
+        let out = f(&mut catalog)?;
+        pre_publish(base.epoch + 1)?;
+        let next = Arc::new(CatalogSnapshot::new(base.epoch + 1, catalog));
+        *write_locked(&self.current) = Arc::clone(&next);
+        Ok((next, out))
+    }
+
+    /// Run `f` with the writer lock held, excluding every concurrent
+    /// publish for its duration.  The current snapshot cannot change
+    /// while `f` runs — checkpoints use this to seal a frozen epoch.
+    pub fn with_writer_locked<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _writes_serialized = locked(&self.writer);
+        f()
+    }
+
+    /// Wrap a recovered catalog at its recovered epoch (durable open):
+    /// the next published write gets `epoch + 1`, continuing the on-disk
+    /// epoch sequence instead of restarting from zero.
+    pub fn at_epoch(epoch: u64, catalog: Catalog) -> SharedCatalog {
+        SharedCatalog {
+            current: RwLock::new(Arc::new(CatalogSnapshot::new(epoch, catalog))),
+            writer: Mutex::new(()),
+        }
+    }
+
     /// Replace the whole catalog (publishes a new epoch).
     pub fn replace(&self, catalog: Catalog) -> Arc<CatalogSnapshot> {
         self.update(move |c| *c = catalog).0
@@ -231,6 +274,74 @@ mod tests {
         assert_eq!(shared.epoch(), 2);
         assert_eq!(fork.epoch(), 1);
         assert!(!fork.snapshot().contains("b"));
+    }
+
+    #[test]
+    fn try_update_with_runs_pre_publish_before_visibility() {
+        let shared = SharedCatalog::default();
+        let seen = std::cell::Cell::new(0u64);
+        let (snap, ()) = shared
+            .try_update_with::<_, ()>(
+                |c| {
+                    c.register(small("a", vec![1]));
+                    Ok(())
+                },
+                |epoch| {
+                    // The new epoch is named but not yet visible.
+                    seen.set(epoch);
+                    assert_eq!(shared.epoch(), 0, "publish must not have happened yet");
+                    Ok(())
+                },
+            )
+            .unwrap();
+        assert_eq!(seen.get(), 1);
+        assert_eq!(snap.epoch(), 1);
+        assert_eq!(shared.epoch(), 1);
+    }
+
+    #[test]
+    fn failed_pre_publish_publishes_nothing() {
+        let shared = SharedCatalog::default();
+        let err = shared.try_update_with(
+            |c| {
+                c.register(small("a", vec![1]));
+                Ok(())
+            },
+            |_| Err("wal write failed"),
+        );
+        assert_eq!(err.err(), Some("wal write failed"));
+        assert_eq!(shared.epoch(), 0);
+        assert!(!shared.snapshot().contains("a"));
+    }
+
+    #[test]
+    fn at_epoch_continues_the_sequence() {
+        let mut cat = Catalog::new();
+        cat.register(small("t", vec![1, 2]));
+        let shared = SharedCatalog::at_epoch(41, cat);
+        assert_eq!(shared.epoch(), 41);
+        let (snap, _) = shared.update(|c| c.register(small("u", vec![3])));
+        assert_eq!(snap.epoch(), 42);
+    }
+
+    #[test]
+    fn with_writer_locked_excludes_publishes() {
+        let shared = std::sync::Arc::new(SharedCatalog::default());
+        let handle = shared.with_writer_locked(|| {
+            let epoch_inside = shared.epoch();
+            // A racing writer cannot publish while we hold the section.
+            let racing = std::sync::Arc::clone(&shared);
+            let handle = std::thread::spawn(move || {
+                racing.update(|c| c.register(small("r", vec![1])));
+            });
+            // Give the racer a moment; the epoch must not move.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            assert_eq!(shared.epoch(), epoch_inside);
+            handle
+        });
+        // Section released: the racer completes and publishes.
+        handle.join().unwrap();
+        assert_eq!(shared.epoch(), 1);
     }
 
     #[test]

@@ -133,6 +133,18 @@ impl Table {
                 self.columns.len()
             )));
         }
+        // Validate every value before mutating anything: a mid-row type
+        // error must not leave the columns at uneven lengths.
+        for (i, (col, val)) in self.columns.iter().zip(&row).enumerate() {
+            if !col.can_push(val) {
+                return Err(TcuError::InvalidArgument(format!(
+                    "cannot push {val:?} into {:?} column {} of table {}",
+                    col.data_type(),
+                    self.schema.column(i).name,
+                    self.name
+                )));
+            }
+        }
         for (col, val) in self.columns.iter_mut().zip(&row) {
             col.push(val.clone())?;
         }
@@ -143,6 +155,41 @@ impl Table {
         // every `push_row` discarded the whole cache and the next query
         // re-encoded every column from scratch.
         self.encodings.extend_with_row(|idx| row[idx].clone());
+        Ok(())
+    }
+
+    /// Append a batch of rows atomically: the whole batch is validated
+    /// (arity and value types) before any column is touched, so a
+    /// rejected batch leaves the table — including its warm
+    /// [`EncodingCache`] — exactly as it was.
+    pub fn append_rows(&mut self, rows: Vec<Vec<Value>>) -> TcuResult<()> {
+        for (r, row) in rows.iter().enumerate() {
+            if row.len() != self.columns.len() {
+                return Err(TcuError::InvalidArgument(format!(
+                    "batch row {r} has {} values, table {} has {} columns",
+                    row.len(),
+                    self.name,
+                    self.columns.len()
+                )));
+            }
+            for (i, (col, val)) in self.columns.iter().zip(row).enumerate() {
+                if !col.can_push(val) {
+                    return Err(TcuError::InvalidArgument(format!(
+                        "batch row {r}: cannot push {val:?} into {:?} column {} of table {}",
+                        col.data_type(),
+                        self.schema.column(i).name,
+                        self.name
+                    )));
+                }
+            }
+        }
+        for row in rows {
+            for (col, val) in self.columns.iter_mut().zip(&row) {
+                col.push(val.clone())?;
+            }
+            self.rows += 1;
+            self.encodings.extend_with_row(|idx| row[idx].clone());
+        }
         Ok(())
     }
 
@@ -415,6 +462,63 @@ mod tests {
         assert_eq!(extended.codes(), rebuilt.codes());
         assert_eq!(extended.values(), rebuilt.values());
         assert_eq!(extended.code_of(&Value::Int(11)), Some(2));
+    }
+
+    #[test]
+    fn append_rows_appends_the_whole_batch() {
+        let mut t = sample();
+        t.append_rows(vec![
+            vec![Value::Int(4), Value::Float(4.5), Value::from("d")],
+            vec![Value::Int(5), Value::Float(5.5), Value::from("e")],
+        ])
+        .unwrap();
+        assert_eq!(t.num_rows(), 5);
+        assert_eq!(
+            t.row(4),
+            vec![Value::Int(5), Value::Float(5.5), Value::from("e")]
+        );
+    }
+
+    #[test]
+    fn rejected_batch_leaves_table_and_encodings_untouched() {
+        let mut t = sample();
+        // Warm the cache, then keep a full "before" image.
+        let _ = t.encoded_column(0);
+        let _ = t.encoded_column(2);
+        let before = t.clone();
+        let warm_before = t.encoded_column_count();
+
+        // Row 0 is valid, row 1 has a type error in its LAST column: an
+        // eager implementation would have pushed row 0 and two of row 1's
+        // values before noticing.
+        let err = t.append_rows(vec![
+            vec![Value::Int(4), Value::Float(4.5), Value::from("d")],
+            vec![Value::Int(5), Value::Float(5.5), Value::Int(99)],
+        ]);
+        assert!(err.is_err());
+        assert_eq!(t, before, "table mutated by a rejected batch");
+        assert_eq!(t.encoded_column_count(), warm_before);
+        assert_eq!(t.encoded_column(0).len(), 3);
+
+        // Arity errors are rejected just as atomically.
+        let err = t.append_rows(vec![
+            vec![Value::Int(4), Value::Float(4.5), Value::from("d")],
+            vec![Value::Int(5)],
+        ]);
+        assert!(err.is_err());
+        assert_eq!(t, before);
+    }
+
+    #[test]
+    fn push_row_mid_row_type_error_keeps_columns_even() {
+        let mut t = sample();
+        // Type error in the LAST column: every column must stay length 3.
+        let err = t.push_row(vec![Value::Int(4), Value::Float(4.5), Value::Int(99)]);
+        assert!(err.is_err());
+        assert_eq!(t.num_rows(), 3);
+        for i in 0..t.num_columns() {
+            assert_eq!(t.column(i).len(), 3, "column {i} partially mutated");
+        }
     }
 
     #[test]

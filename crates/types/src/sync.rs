@@ -57,6 +57,24 @@ pub fn wait_on<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, 
     }
 }
 
+/// Wait on a [`Condvar`] with a timeout, re-acquiring the guard and
+/// clearing poisoning instead of panicking.  Returns the guard and
+/// whether the wait timed out — the shape background flusher loops
+/// need: wake on signal *or* after the flush interval.
+pub fn wait_on_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: std::time::Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match cv.wait_timeout(guard, timeout) {
+        Ok((g, t)) => (g, t.timed_out()),
+        Err(poisoned) => {
+            let (g, t) = poisoned.into_inner();
+            (g, t.timed_out())
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +115,36 @@ mod tests {
         assert_eq!(*read_locked(&l), 3);
         *write_locked(&l) = 4;
         assert_eq!(*l.read().unwrap(), 4);
+    }
+
+    #[test]
+    fn wait_on_timeout_reports_timeouts_and_signals() {
+        use std::sync::Condvar;
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // No signal: times out.
+        {
+            let (m, cv) = &*pair;
+            let g = locked(m);
+            let (_g, timed_out) = wait_on_timeout(cv, g, Duration::from_millis(5));
+            assert!(timed_out);
+        }
+        // Signalled: returns before a generous timeout.
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut stop = locked(m);
+            while !*stop {
+                let (g, _) = wait_on_timeout(cv, stop, Duration::from_secs(10));
+                stop = g;
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *locked(m) = true;
+            cv.notify_all();
+        }
+        t.join().unwrap();
     }
 
     #[test]
