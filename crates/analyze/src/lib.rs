@@ -11,7 +11,7 @@
 //! and three rule families on top:
 //!
 //! * [`locks`] — static lock-order graph, cycle / re-entrancy detection,
-//!   publish-under-lock and condvar double-hold checks;
+//!   publish-under-lock, condvar double-hold and leaf-lock checks;
 //! * [`panics`] — deny `unwrap`/`expect`/`panic!`/unchecked indexing in
 //!   the serving request path, with a `// lint: allow(panic) <reason>`
 //!   escape hatch;
@@ -44,6 +44,8 @@ pub enum Rule {
     PublishUnderLock,
     /// Condvar wait while holding a lock other than the waited mutex.
     CondvarDoubleHold,
+    /// Another lock acquired while a declared leaf lock is held.
+    LeafLockHeld,
     /// Panic-capable construct in the serving request path.
     PanicPath,
     /// `unsafe` without a safety comment.
@@ -63,6 +65,7 @@ impl Rule {
             Rule::LockOrder => "lock-order",
             Rule::PublishUnderLock => "publish-under-lock",
             Rule::CondvarDoubleHold => "condvar-double-hold",
+            Rule::LeafLockHeld => "leaf-lock-held",
             Rule::PanicPath => "panic-path",
             Rule::SafetyComment => "safety-comment",
             Rule::UnsafeOutsideTensor => "unsafe-outside-tensor",
@@ -147,6 +150,13 @@ impl Config {
                 "crates/storage/src/wal.rs".into(),
                 "crates/storage/src/segment.rs".into(),
                 "crates/storage/src/recover.rs".into(),
+                // Transient-fault retry: a panic mid-retry would turn a
+                // recoverable blip into a dead durability path.
+                "crates/storage/src/retry.rs".into(),
+                // Cancellation primitives: checkpoints run on every query
+                // and cancel() runs from arbitrary sessions — both must
+                // degrade to an error, never unwind.
+                "crates/types/src/sync.rs".into(),
             ],
             lock_paths: vec![
                 "crates/serve/src".into(),

@@ -37,6 +37,13 @@
 //! * `condvar-double-hold` — waiting on a [`std::sync::Condvar`] while
 //!   holding a lock other than the mutex being waited on (the classic
 //!   lost-wakeup / deadlock shape).
+//! * `leaf-lock-held` — a lock whose field declaration carries a
+//!   `// lint: leaf-lock <reason>` comment is a **leaf**: it promises to
+//!   be the innermost lock on every path (the cancellation token's state
+//!   mutex, for example, is taken from arbitrary call sites that may
+//!   already hold scheduler or catalog locks — that composes only while
+//!   nothing is ever acquired *under* it).  Any lock-order edge
+//!   originating from a leaf lock breaks the promise and is denied.
 
 use crate::lexer::{TokKind, Token};
 use crate::model::{field_table, FnItem, SourceFile};
@@ -94,6 +101,9 @@ pub struct LockEdge {
 pub struct LockAnalysis {
     /// Declared locks (sorted, deduplicated).
     pub locks: Vec<(LockId, LockKind)>,
+    /// Locks declared as leaves via `// lint: leaf-lock <reason>`
+    /// (sorted); edges originating from these produce findings.
+    pub leaf_locks: Vec<LockId>,
     /// The lock-order graph edges (one representative per from/to pair).
     pub edges: Vec<LockEdge>,
     /// Total acquisition sites observed.
@@ -191,6 +201,15 @@ pub fn run(files: &[SourceFile]) -> LockAnalysis {
         locks: {
             let set: BTreeMap<LockId, LockKind> =
                 ws.locks.iter().map(|d| (d.id.clone(), d.kind)).collect();
+            set.into_iter().collect()
+        },
+        leaf_locks: {
+            let set: BTreeSet<LockId> = ws
+                .locks
+                .iter()
+                .filter(|d| d.leaf)
+                .map(|d| d.id.clone())
+                .collect();
             set.into_iter().collect()
         },
         ..LockAnalysis::default()
@@ -307,6 +326,29 @@ pub fn run(files: &[SourceFile]) -> LockAnalysis {
     }
     out.edges = edge_index.into_values().collect();
 
+    // A leaf lock promises to be innermost everywhere: any edge leaving
+    // it means something was acquired while the leaf was held.
+    for e in &out.edges {
+        if out.leaf_locks.contains(&e.from) {
+            let (file, line) = split_site(&e.site);
+            let via = if e.via.is_empty() {
+                String::new()
+            } else {
+                format!(" (via {})", e.via)
+            };
+            out.findings.push(Finding::new(
+                Rule::LeafLockHeld,
+                &file,
+                line,
+                format!(
+                    "{} acquires {} while holding {}{}; \
+                     {} is declared `// lint: leaf-lock` and must stay innermost",
+                    e.in_fn, e.to, e.from, via, e.from
+                ),
+            ));
+        }
+    }
+
     // Cycle detection over the assembled graph.
     for cycle in find_cycles(&out.edges) {
         let path: Vec<String> = cycle.iter().map(|l| l.to_string()).collect();
@@ -347,6 +389,8 @@ fn split_site(site: &str) -> (String, u32) {
 struct LockDecl {
     id: LockId,
     kind: LockKind,
+    /// The field declaration carries a `// lint: leaf-lock` comment.
+    leaf: bool,
 }
 
 /// Classify a field as a lock from its type's identifier sequence.  The
@@ -405,6 +449,8 @@ impl Workspace {
                 struct_names.insert(s.name.clone());
                 for fd in &s.fields {
                     if let Some(kind) = lock_kind(&fd.type_idents) {
+                        let leaf =
+                            f.comment_block_above(fd.line, |c| c.text.contains("lint: leaf-lock"));
                         locks.push(LockDecl {
                             id: LockId {
                                 krate: f.crate_name.clone(),
@@ -412,6 +458,7 @@ impl Workspace {
                                 field: fd.name.clone(),
                             },
                             kind,
+                            leaf,
                         });
                     }
                     if fd.type_idents.iter().any(|t| t == "SharedCatalog") {
@@ -1216,6 +1263,85 @@ mod tests {
             "findings: {:?}",
             out.findings
         );
+    }
+
+    #[test]
+    fn leaf_lock_held_across_an_acquisition_is_flagged() {
+        let files = parse_one(
+            r#"
+            pub struct Sig {
+                // lint: leaf-lock wake signalling is taken from arbitrary callers
+                sig: Mutex<u32>,
+                queue: Mutex<u32>,
+            }
+            impl Sig {
+                fn bad(&self) { let g = self.sig.lock().unwrap(); let q = self.queue.lock().unwrap(); }
+            }
+            "#,
+        );
+        let out = run(&files);
+        assert_eq!(out.leaf_locks.len(), 1, "leaves: {:?}", out.leaf_locks);
+        assert_eq!(out.leaf_locks[0].field, "sig");
+        let leaf: Vec<_> = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::LeafLockHeld)
+            .collect();
+        assert_eq!(leaf.len(), 1, "findings: {:?}", out.findings);
+        assert!(
+            leaf[0].message.contains("Sig.sig"),
+            "msg: {}",
+            leaf[0].message
+        );
+    }
+
+    #[test]
+    fn acquiring_a_leaf_lock_last_is_clean() {
+        let files = parse_one(
+            r#"
+            pub struct Sig {
+                // lint: leaf-lock wake signalling is taken from arbitrary callers
+                sig: Mutex<u32>,
+                queue: Mutex<u32>,
+            }
+            impl Sig {
+                fn good(&self) { let q = self.queue.lock().unwrap(); let g = self.sig.lock().unwrap(); }
+            }
+            "#,
+        );
+        let out = run(&files);
+        assert_eq!(out.leaf_locks.len(), 1);
+        assert!(out.findings.is_empty(), "findings: {:?}", out.findings);
+        assert_eq!(
+            out.edges.len(),
+            1,
+            "the queue -> sig edge is still recorded"
+        );
+    }
+
+    #[test]
+    fn leaf_violations_propagate_through_calls() {
+        let files = parse_one(
+            r#"
+            pub struct Sig {
+                // lint: leaf-lock wake signalling is taken from arbitrary callers
+                sig: Mutex<u32>,
+                queue: Mutex<u32>,
+            }
+            impl Sig {
+                fn inner(&self) { let q = self.queue.lock().unwrap(); }
+                fn outer(&self) { let g = self.sig.lock().unwrap(); self.inner(); }
+            }
+            "#,
+        );
+        let out = run(&files);
+        let leaf: Vec<_> = out
+            .findings
+            .iter()
+            .filter(|f| f.rule == Rule::LeafLockHeld)
+            .collect();
+        assert_eq!(leaf.len(), 1, "findings: {:?}", out.findings);
+        assert!(leaf[0].message.contains("via"), "msg: {}", leaf[0].message);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //!   "tool": "tcudb-analyze",
 //!   "clean": true,
 //!   "stats": { "files": 42, "functions": 310, "locks": 7, "acquisitions": 19 },
-//!   "locks": [ { "id": "tcudb-serve::Shared.state", "kind": "Mutex" } ],
+//!   "locks": [ { "id": "tcudb-serve::Shared.state", "kind": "Mutex", "leaf": false } ],
 //!   "lock_order": [ { "from": "…", "to": "…", "site": "…", "in_fn": "…", "via": "" } ],
 //!   "findings": [ { "rule": "panic-path", "file": "…", "line": 12, "message": "…" } ]
 //! }
@@ -50,8 +50,9 @@ fn push_locks(s: &mut String, l: &LockAnalysis) {
         };
         let _ = write!(
             s,
-            "    {{ \"id\": {}, \"kind\": \"{kind}\" }}",
-            quote(&id.to_string())
+            "    {{ \"id\": {}, \"kind\": \"{kind}\", \"leaf\": {} }}",
+            quote(&id.to_string()),
+            l.leaf_locks.contains(id)
         );
         s.push_str(if i + 1 < l.locks.len() { ",\n" } else { "\n" });
     }

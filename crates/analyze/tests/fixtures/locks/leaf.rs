@@ -1,0 +1,27 @@
+//! Leaf-lock fixture: `sig` is declared a leaf, so `held_across` (which
+//! acquires `queue` while holding it) is denied, while `taken_last`
+//! (leaf acquired innermost) is the blessed shape.
+use std::sync::Mutex;
+use tcudb_types::sync::locked;
+
+pub struct Waker {
+    // lint: leaf-lock wake signalling is probed from arbitrary callers
+    // that may already hold scheduler locks
+    sig: Mutex<u32>,
+    queue: Mutex<u32>,
+    roster: Mutex<u32>,
+}
+
+impl Waker {
+    pub fn held_across(&self) -> u32 {
+        let g = locked(&self.sig);
+        let q = locked(&self.queue);
+        *g + *q
+    }
+
+    pub fn taken_last(&self) -> u32 {
+        let r = locked(&self.roster);
+        let g = locked(&self.sig);
+        *r + *g
+    }
+}

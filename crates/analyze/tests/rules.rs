@@ -22,8 +22,14 @@ fn config(check_forbid: bool) -> Config {
             "crates/storage/src/wal.rs".into(),
             "crates/storage/src/segment.rs".into(),
             "crates/storage/src/recover.rs".into(),
+            "crates/storage/src/retry.rs".into(),
+            "crates/types/src/sync.rs".into(),
         ],
-        lock_paths: vec!["crates/serve/src".into(), "crates/storage/src".into()],
+        lock_paths: vec![
+            "crates/serve/src".into(),
+            "crates/storage/src".into(),
+            "crates/types/src".into(),
+        ],
         unsafe_allowed_crates: vec!["tcudb-tensor".into()],
         check_forbid,
     }
@@ -109,6 +115,56 @@ fn condvar_wait_with_extra_guard_is_denied_and_single_hold_is_clean() {
         "finding should name the offending fn: {}",
         waits[0].message
     );
+}
+
+#[test]
+fn leaf_lock_held_across_acquisition_is_denied_and_leaf_last_is_clean() {
+    let f = parse(
+        include_str!("fixtures/locks/leaf.rs"),
+        "crates/serve/src/leaf.rs",
+        "tcudb-serve",
+    );
+    let a = analyze_files(&config(false), &[f]);
+    assert_eq!(
+        a.locks.leaf_locks.len(),
+        1,
+        "leaves: {:?}",
+        a.locks.leaf_locks
+    );
+    assert_eq!(a.locks.leaf_locks[0].field, "sig");
+    let leaf: Vec<&Finding> = a
+        .findings
+        .iter()
+        .filter(|f| f.rule == Rule::LeafLockHeld)
+        .collect();
+    // Only `held_across` violates; `taken_last` keeps the leaf innermost
+    // (its roster -> sig edge is fine), and nothing else fires.
+    assert_eq!(leaf.len(), 1, "findings: {:?}", a.findings);
+    assert!(
+        leaf[0].message.contains("held_across"),
+        "finding should name the offending fn: {}",
+        leaf[0].message
+    );
+    assert_eq!(rules_of(&a.findings), vec![Rule::LeafLockHeld]);
+}
+
+#[test]
+fn cancellation_and_retry_modules_are_on_the_panic_path() {
+    // The same panicking source denied in the serving path is denied at
+    // the cancellation-primitive and retry-loop paths too.
+    for (rel, krate) in [
+        ("crates/types/src/sync.rs", "tcudb-types"),
+        ("crates/storage/src/retry.rs", "tcudb-storage"),
+    ] {
+        let f = parse(include_str!("fixtures/panics/unwrap.rs"), rel, krate);
+        let a = analyze_files(&config(false), &[f]);
+        assert_eq!(
+            rules_of(&a.findings),
+            vec![Rule::PanicPath, Rule::PanicPath],
+            "at {rel}: {:?}",
+            a.findings
+        );
+    }
 }
 
 #[test]

@@ -53,12 +53,21 @@ fn workspace_lock_graph_has_the_expected_shape() {
         "tcudb-storage::SharedCatalog.writer",
         "tcudb-storage::EncodingCache.inner",
         "tcudb-core::PlanCache.inner",
+        "tcudb-types::CancelInner.state",
     ] {
         assert!(
             ids.contains(&expected.to_string()),
             "missing lock {expected}; have {ids:?}"
         );
     }
+
+    // The cancellation token's state mutex is probed from checkpoints
+    // everywhere — it must be declared (and verified) a leaf lock.
+    let leaves: Vec<String> = a.locks.leaf_locks.iter().map(|id| id.to_string()).collect();
+    assert!(
+        leaves.contains(&"tcudb-types::CancelInner.state".to_string()),
+        "leaf locks: {leaves:?}"
+    );
 
     // The one deliberate ordering in the tree: `SharedCatalog::update`
     // takes the writer mutex, then swaps `current` under the write lock.

@@ -4,9 +4,12 @@
 //! against one shared [`TcuDb`] through the `tcudb-serve` worker-pool
 //! scheduler at 1 / 2 / 4 / 8 closed-loop client threads, asserts every
 //! served result is **byte-identical** to the serial execution of the
-//! same statement, and emits `BENCH_serve.json` (QPS, p50/p95 latency,
-//! plan-cache hit rate, coalescing counters) so every future PR has a
-//! serving trajectory to beat.
+//! same statement, and emits `BENCH_serve.json` (QPS, p50/p95/p99
+//! latency, plan-cache hit rate, coalescing/shed/timeout counters) so
+//! every future PR has a serving trajectory to beat.  A final overload
+//! scenario floods a one-worker server with a two-entry queue from 16
+//! clients and gates that load shedding keeps the p99 of *admitted*
+//! queries bounded.
 //!
 //! Throughput on a box with few cores comes from the serving layer
 //! itself, not raw parallelism: the plan cache pays parse/analyze/cost
@@ -20,10 +23,11 @@
 //! cargo run --release -p tcudb-bench --bin perfserve -- --out s.json
 //! ```
 //!
-//! Exit codes: `0` success, `2` throughput gate missed (8-client QPS
-//! below the floor: ≥ 3× the 1-client QPS in full mode, ≥ 1× in quick
-//! mode — CI runners are noisy), `3` a served result diverged from the
-//! serial execution.
+//! Exit codes: `0` success, `2` a gate missed (8-client QPS below the
+//! floor: ≥ 3× the 1-client QPS in full mode, ≥ 1× in quick mode — CI
+//! runners are noisy; or the overload scenario never shed / blew its
+//! admitted-p99 bound), `3` a served result diverged from the serial
+//! execution.
 
 use std::sync::{Arc, Barrier, Mutex};
 use std::time::Instant;
@@ -40,9 +44,26 @@ struct RunResult {
     qps: f64,
     p50_ms: f64,
     p95_ms: f64,
+    p99_ms: f64,
     executed: u64,
     coalesced: u64,
     admission_waits: u64,
+    shed: u64,
+    timed_out: u64,
+}
+
+/// Outcome of the overload scenario: a deliberately under-provisioned
+/// server (one worker, tiny queue) flooded by closed-loop clients.
+struct OverloadResult {
+    clients: usize,
+    admitted: u64,
+    shed: u64,
+    timed_out: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+    /// The bound enforced on `p99_ms`: `max(20 x unloaded p95, 50 ms)`.
+    gate_p99_ms: f64,
 }
 
 /// The merged read-only serving catalog: SSB star schema + micro join
@@ -149,12 +170,92 @@ fn run_clients(
         qps: total_queries as f64 / wall,
         p50_ms: percentile(&lat, 0.50),
         p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
         executed: stats.executed,
         coalesced: stats.coalesced,
         admission_waits: stats.admission_waits,
+        shed: stats.shed,
+        timed_out: stats.timed_out,
     }
 }
 
+/// Flood a one-worker server whose queue is capped at two entries with
+/// `clients` closed-loop threads.  Sheds are expected (that is the
+/// point); admitted queries must keep a bounded tail because the queue
+/// in front of them can never grow past the cap.
+fn run_overload(
+    db: &Arc<TcuDb>,
+    queries: &[(String, String)],
+    clients: usize,
+    rounds: usize,
+    gate_p99_ms: f64,
+) -> OverloadResult {
+    let server = Server::start(
+        Arc::clone(db),
+        ServeConfig {
+            max_queue: 2,
+            default_deadline: Some(std::time::Duration::from_secs(10)),
+            ..ServeConfig::with_workers(1)
+        },
+    );
+    let barrier = Barrier::new(clients + 1);
+    let lat: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let shed = std::sync::atomic::AtomicU64::new(0);
+    let timed_out = std::sync::atomic::AtomicU64::new(0);
+
+    std::thread::scope(|s| {
+        for c in 0..clients {
+            let session = server.session();
+            let barrier = &barrier;
+            let lat = &lat;
+            let shed = &shed;
+            let timed_out = &timed_out;
+            s.spawn(move || {
+                use std::sync::atomic::Ordering;
+                let mut local = Vec::new();
+                barrier.wait();
+                for r in 0..rounds {
+                    for q in 0..queries.len() {
+                        // Offset per client so distinct statements overlap.
+                        let sql = &queries[(q + c + r) % queries.len()].1;
+                        let t = Instant::now();
+                        match session.execute(sql) {
+                            Ok(_) => local.push(t.elapsed().as_secs_f64() * 1e3),
+                            Err(tcudb_types::TcuError::Overloaded(_)) => {
+                                shed.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(tcudb_types::TcuError::DeadlineExceeded(_)) => {
+                                timed_out.fetch_add(1, Ordering::Relaxed);
+                            }
+                            Err(e) => {
+                                eprintln!("FATAL: overload client hit unexpected error: {e}");
+                                std::process::exit(3);
+                            }
+                        }
+                    }
+                }
+                lat.lock().unwrap().extend(local);
+            });
+        }
+        barrier.wait();
+    });
+    server.shutdown();
+
+    let mut lat = lat.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    OverloadResult {
+        clients,
+        admitted: lat.len() as u64,
+        shed: shed.into_inner(),
+        timed_out: timed_out.into_inner(),
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
+        gate_p99_ms,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn json(
     mode: &str,
     workers: usize,
@@ -162,6 +263,7 @@ fn json(
     rounds: usize,
     serial_qps: f64,
     runs: &[RunResult],
+    overload: &OverloadResult,
     db: &TcuDb,
 ) -> String {
     let qps_of = |clients: usize| {
@@ -190,16 +292,30 @@ fn json(
         cache.misses,
         cache.hit_rate()
     ));
+    out.push_str(&format!(
+        "  \"overload\": {{\"clients\": {}, \"workers\": 1, \"max_queue\": 2, \
+         \"admitted\": {}, \"shed\": {}, \"timed_out\": {}, \"p50_ms\": {:.3}, \
+         \"p95_ms\": {:.3}, \"p99_ms\": {:.3}, \"gate_p99_ms\": {:.3}}},\n",
+        overload.clients,
+        overload.admitted,
+        overload.shed,
+        overload.timed_out,
+        overload.p50_ms,
+        overload.p95_ms,
+        overload.p99_ms,
+        overload.gate_p99_ms,
+    ));
     out.push_str("  \"entries\": [\n");
     for (i, r) in runs.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"clients\": {}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
-             \"speedup_vs_1\": {:.2}, \"executed\": {}, \"coalesced\": {}, \
-             \"admission_waits\": {}}}{}\n",
+             \"p99_ms\": {:.3}, \"speedup_vs_1\": {:.2}, \"executed\": {}, \"coalesced\": {}, \
+             \"admission_waits\": {}, \"shed\": {}, \"timed_out\": {}}}{}\n",
             r.clients,
             r.qps,
             r.p50_ms,
             r.p95_ms,
+            r.p99_ms,
             if qps_of(1) > 0.0 {
                 r.qps / qps_of(1)
             } else {
@@ -208,6 +324,8 @@ fn json(
             r.executed,
             r.coalesced,
             r.admission_waits,
+            r.shed,
+            r.timed_out,
             if i + 1 < runs.len() { "," } else { "" }
         ));
     }
@@ -261,8 +379,16 @@ fn main() {
     let serial_qps = (rounds * queries.len()) as f64 / t.elapsed().as_secs_f64();
     println!("serial: {serial_qps:>8.1} qps");
     println!(
-        "{:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
-        "clients", "qps", "vs 1", "p50 ms", "p95 ms", "executed", "coalesced", "adm.waits"
+        "{:>7} {:>10} {:>9} {:>9} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "clients",
+        "qps",
+        "vs 1",
+        "p50 ms",
+        "p95 ms",
+        "p99 ms",
+        "executed",
+        "coalesced",
+        "adm.waits"
     );
 
     // ---- Served sweeps.
@@ -270,12 +396,13 @@ fn main() {
     for &clients in &CLIENT_COUNTS {
         let r = run_clients(&db, &queries, &expected, clients, rounds, workers);
         println!(
-            "{:>7} {:>10.1} {:>8.2}x {:>9.3} {:>9.3} {:>9} {:>10} {:>10}",
+            "{:>7} {:>10.1} {:>8.2}x {:>9.3} {:>9.3} {:>9.3} {:>9} {:>10} {:>10}",
             r.clients,
             r.qps,
             r.qps / runs.first().map(|f: &RunResult| f.qps).unwrap_or(r.qps),
             r.p50_ms,
             r.p95_ms,
+            r.p99_ms,
             r.executed,
             r.coalesced,
             r.admission_waits
@@ -283,7 +410,39 @@ fn main() {
         runs.push(r);
     }
 
-    let payload = json(mode, workers, queries.len(), rounds, serial_qps, &runs, &db);
+    // ---- Overload scenario: 16 closed-loop clients against one worker
+    // with a two-entry queue.  Shedding keeps the queue ahead of any
+    // admitted query short, so the admitted tail stays bounded even
+    // though the offered load is ~16x capacity.
+    // An admitted query runs behind at most 2 queued + 1 executing
+    // statements; 20x the unloaded p95 (floored against timer jitter on
+    // sub-ms streams) is a generous but real ceiling — an unbounded
+    // queue under this flood would blow straight through it.
+    let gate_p99_ms = (20.0 * runs[0].p95_ms).max(50.0);
+    let overload = run_overload(&db, &queries, 16, if quick { 2 } else { 3 }, gate_p99_ms);
+    println!(
+        "overload: clients={} admitted={} shed={} timed_out={} p50={:.3}ms p95={:.3}ms \
+         p99={:.3}ms (gate {:.1}ms)",
+        overload.clients,
+        overload.admitted,
+        overload.shed,
+        overload.timed_out,
+        overload.p50_ms,
+        overload.p95_ms,
+        overload.p99_ms,
+        overload.gate_p99_ms
+    );
+
+    let payload = json(
+        mode,
+        workers,
+        queries.len(),
+        rounds,
+        serial_qps,
+        &runs,
+        &overload,
+        &db,
+    );
     if let Err(e) = std::fs::write(out_path, &payload) {
         eprintln!("FATAL: cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -302,6 +461,24 @@ fn main() {
             "GATE: 8-client QPS {qps8:.1} below {floor:.1}x of 1-client QPS {qps1:.1} \
              ({:.2}x)",
             qps8 / qps1
+        );
+        std::process::exit(2);
+    }
+
+    // ---- Overload gate: the flood must actually overload (sheds fire),
+    // and shedding must keep the admitted tail bounded.
+    if overload.shed == 0 {
+        eprintln!(
+            "GATE: overload flood was never shed (admitted={}) — queue bound not exercised",
+            overload.admitted
+        );
+        std::process::exit(2);
+    }
+    if overload.p99_ms > overload.gate_p99_ms {
+        eprintln!(
+            "GATE: overload admitted p99 {:.3}ms exceeds {:.1}ms — \
+             shedding failed to bound the tail",
+            overload.p99_ms, overload.gate_p99_ms
         );
         std::process::exit(2);
     }

@@ -565,13 +565,28 @@ impl TcuDb {
     /// was prepared against), recording the plan choices into the entry if
     /// this is its first execution.
     pub fn execute_prepared(&self, entry: &plancache::CachedStatement) -> TcuResult<QueryOutput> {
+        self.execute_prepared_ctx(entry, &tcudb_types::sync::QueryContext::unbounded())
+    }
+
+    /// [`TcuDb::execute_prepared`] under a cancellation/deadline context.
+    /// The context is probed at every pipeline chunk boundary (filters,
+    /// join steps, tensor k-blocks, finalize chunks); a cancelled or
+    /// past-deadline query returns [`tcudb_types::TcuError::Cancelled`] /
+    /// [`tcudb_types::TcuError::DeadlineExceeded`] without recording plan
+    /// choices for the aborted run.
+    pub fn execute_prepared_ctx(
+        &self,
+        entry: &plancache::CachedStatement,
+        ctx: &tcudb_types::sync::QueryContext,
+    ) -> TcuResult<QueryOutput> {
         let optimizer = self.optimizer();
         let replay = entry.choices();
-        let exec = executor::execute(
+        let exec = executor::execute_ctx(
             &entry.analyzed,
             &optimizer,
             &self.config,
             replay.as_deref().map(Vec::as_slice),
+            ctx,
         )?;
         if replay.is_none() {
             entry.record_choices(exec.choices);

@@ -29,6 +29,7 @@ use tcudb_device::{ExecutionTimeline, Phase};
 use tcudb_sql::BinOp;
 use tcudb_storage::{Column, Table};
 use tcudb_tensor::{blocked, gemm, nonzero, spmm, CsrMatrix, DenseMatrix, GemmPrecision};
+use tcudb_types::sync::QueryContext;
 use tcudb_types::{DataType, TcuError, TcuResult, Value};
 
 /// Join results stay resident in device memory (the in-GPU-memory
@@ -118,6 +119,32 @@ pub fn execute(
     config: &EngineConfig,
     replay: Option<&[PlanChoice]>,
 ) -> TcuResult<Execution> {
+    execute_ctx(
+        analyzed,
+        optimizer,
+        config,
+        replay,
+        &QueryContext::unbounded(),
+    )
+}
+
+/// [`execute`] under a cancellation/deadline [`QueryContext`].
+///
+/// The context is probed at the pipeline's natural chunk boundaries —
+/// per filtered table, per join step, inside the tensor kernels between
+/// k-blocks, and per finalize chunk — so a cancelled or past-deadline
+/// query unwinds with [`TcuError::Cancelled`] /
+/// [`TcuError::DeadlineExceeded`] within one chunk's worth of work,
+/// never mid-mutation and never leaving a poisoned lock (execution holds
+/// no locks; the serve layer owns the admission bookkeeping and releases
+/// it on *any* return path).
+pub fn execute_ctx(
+    analyzed: &AnalyzedQuery,
+    optimizer: &Optimizer,
+    config: &EngineConfig,
+    replay: Option<&[PlanChoice]>,
+    ctx: &QueryContext,
+) -> TcuResult<Execution> {
     let mut timeline = ExecutionTimeline::new();
     let mut plan = PlanDescription {
         pattern: format!("{:?}", analyzed.pattern),
@@ -131,7 +158,7 @@ pub fn execute(
     // ---- Filters (GPU scans over the filtered columns; vectorized
     // typed kernels on the encoded path) ----
     let stage = Instant::now();
-    let surviving = relops::apply_filters_with(analyzed, config.encoded_path)?;
+    let surviving = relops::apply_filters_ctx(analyzed, config.encoded_path, ctx)?;
     host.filter_secs = stage.elapsed().as_secs_f64();
     for (ti, bound) in analyzed.tables.iter().enumerate() {
         if !analyzed.filters_for_table(ti).is_empty() {
@@ -163,9 +190,10 @@ pub fn execute(
             .push(format!("single-table pipeline over {} rows", batch.len()));
         let stage = Instant::now();
         let table = if config.encoded_path {
-            let opts = FinalizeOptions::tensor(config.materialize_limit);
+            let opts = FinalizeOptions::tensor(config.materialize_limit).with_ctx(ctx.clone());
             relops::finalize_output_columnar(analyzed, &batch, &opts)?.0
         } else {
+            ctx.check()?;
             relops::finalize_output(analyzed, &batch.to_tuples())?
         };
         host.finalize_secs = stage.elapsed().as_secs_f64();
@@ -197,6 +225,9 @@ pub fn execute(
 
     let mut choices: Vec<PlanChoice> = Vec::with_capacity(order.len().saturating_sub(1));
     for (step_idx, &next) in order.iter().enumerate().skip(1) {
+        // Per-join-step checkpoint: a multi-way join abandons remaining
+        // steps as soon as the query is cancelled or past deadline.
+        ctx.check()?;
         let is_last = step_idx == order.len() - 1;
         // One join step per loop iteration: replayed choices line up with
         // `choices` by position.
@@ -289,6 +320,7 @@ pub fn execute(
                 optimizer,
                 config,
                 &mut timeline,
+                ctx,
             )?
         } else {
             let key_col = joined_table.column(joined_key_col_idx);
@@ -325,6 +357,7 @@ pub fn execute(
                 optimizer,
                 config,
                 &mut timeline,
+                ctx,
             )?
         };
 
@@ -358,7 +391,7 @@ pub fn execute(
             vec![vec![Value::Int(batch.len() as i64)]],
         )?
     } else if config.encoded_path {
-        let opts = FinalizeOptions::tensor(config.materialize_limit);
+        let opts = FinalizeOptions::tensor(config.materialize_limit).with_ctx(ctx.clone());
         let (table, report) = relops::finalize_output_columnar(analyzed, &batch, &opts)?;
         if record_agg {
             // Exact operation counts from the finalize stage, not the
@@ -387,6 +420,7 @@ pub fn execute(
                 cost.gpu_groupby_agg_seconds(batch.len(), estimate_groups(analyzed, &batch.len()));
             timeline.record_detail(Phase::GroupByAggregation, "post-join aggregation", secs);
         }
+        ctx.check()?;
         relops::finalize_output(analyzed, &batch.to_tuples())?
     };
     host.finalize_secs = stage.elapsed().as_secs_f64();
@@ -533,6 +567,7 @@ fn execute_join_step_encoded(
     optimizer: &Optimizer,
     config: &EngineConfig,
     timeline: &mut ExecutionTimeline,
+    ctx: &QueryContext,
 ) -> TcuResult<Vec<(usize, usize)>> {
     let cost = optimizer.cost_model();
     let m = left.len();
@@ -587,10 +622,10 @@ fn execute_join_step_encoded(
             let b = translate::one_hot_matrix_encoded(right, right_remap, domain.len());
             let (c, kernel_secs) = if choice.kind == PlanKind::TcuBlocked {
                 let block = blocked::choose_block_size(cost.profile().device_mem_bytes);
-                let (c, stats) = blocked::blocked_gemm_bt(&a, &b, precision, block)?;
+                let (c, stats) = blocked::blocked_gemm_bt_ctx(&a, &b, precision, block, ctx)?;
                 (c, cost.blocked_gemm_seconds(&stats, choice.precision))
             } else {
-                let (c, stats) = gemm::gemm_bt(&a, &b, precision)?;
+                let (c, stats) = gemm::gemm_bt_ctx(&a, &b, precision, ctx)?;
                 (c, cost.tcu_gemm_seconds(&stats))
             };
             timeline.record_detail(
@@ -616,7 +651,7 @@ fn execute_join_step_encoded(
             timeline.record_detail(Phase::MemcpyHostToDevice, "copy operands", dm);
             let a = translate::one_hot_csr_encoded(left, left_remap, domain.len())?;
             let b = translate::one_hot_csr_encoded(right, right_remap, domain.len())?;
-            let (c, stats) = spmm::tcu_spmm(&a, &b, precision)?;
+            let (c, stats) = spmm::tcu_spmm_ctx(&a, &b, precision, ctx)?;
             timeline.record_detail(
                 Phase::TcuKernel,
                 format!(
@@ -712,6 +747,7 @@ fn execute_join_step(
     optimizer: &Optimizer,
     config: &EngineConfig,
     timeline: &mut ExecutionTimeline,
+    ctx: &QueryContext,
 ) -> TcuResult<Vec<(usize, usize)>> {
     let cost = optimizer.cost_model();
     let m = left_keys.len();
@@ -781,10 +817,10 @@ fn execute_join_step(
                 let block = blocked::choose_block_size(cost.profile().device_mem_bytes);
                 // The bt-oriented blocked path packs the transpose inside the
                 // kernel engine instead of materialising a k×n copy here.
-                let (c, stats) = blocked::blocked_gemm_bt(&a, &b, precision, block)?;
+                let (c, stats) = blocked::blocked_gemm_bt_ctx(&a, &b, precision, block, ctx)?;
                 (c, cost.blocked_gemm_seconds(&stats, choice.precision))
             } else {
-                let (c, stats) = gemm::gemm_bt(&a, &b, precision)?;
+                let (c, stats) = gemm::gemm_bt_ctx(&a, &b, precision, ctx)?;
                 (c, cost.tcu_gemm_seconds(&stats))
             };
             timeline.record_detail(
@@ -812,7 +848,7 @@ fn execute_join_step(
             let right_col = column_from_values(right_keys)?;
             let a = translate::one_hot_csr(&left_col, None, domain)?;
             let b = translate::one_hot_csr(&right_col, None, domain)?;
-            let (c, stats) = spmm::tcu_spmm(&a, &b, precision)?;
+            let (c, stats) = spmm::tcu_spmm_ctx(&a, &b, precision, ctx)?;
             timeline.record_detail(
                 Phase::TcuKernel,
                 format!(
@@ -849,7 +885,7 @@ fn execute_join_step(
             let pairs = if can_materialize {
                 let a = translate::comparison_matrix(&left_col, None, domain, op)?;
                 let b = translate::one_hot_matrix(&right_col, None, domain);
-                let (c, stats) = gemm::gemm_bt(&a, &b, precision)?;
+                let (c, stats) = gemm::gemm_bt_ctx(&a, &b, precision, ctx)?;
                 timeline.record_detail(
                     Phase::TcuKernel,
                     format!("non-equi TCU join {m}x{n}x{k}"),

@@ -53,6 +53,7 @@ use std::sync::Arc;
 use tcudb_sql::{AggFunc, BinOp, Expr, SelectStatement};
 use tcudb_storage::{Column, ColumnDef, DictColumn, Schema, Table};
 use tcudb_tensor::{grouped, GemmPrecision, GemmStats};
+use tcudb_types::sync::QueryContext;
 use tcudb_types::value::ValueKey;
 use tcudb_types::{DataType, TcuError, TcuResult, Value};
 
@@ -314,9 +315,22 @@ pub fn apply_filters_with(
     analyzed: &AnalyzedQuery,
     vectorized: bool,
 ) -> TcuResult<Vec<Vec<usize>>> {
+    apply_filters_ctx(analyzed, vectorized, &QueryContext::unbounded())
+}
+
+/// [`apply_filters_with`] under a cancellation/deadline context, probed
+/// once per filtered table — the "per-filter" checkpoint of the query
+/// lifecycle.  A cancelled query unwinds here with the typed error before
+/// any join work starts.
+pub fn apply_filters_ctx(
+    analyzed: &AnalyzedQuery,
+    vectorized: bool,
+    qctx: &QueryContext,
+) -> TcuResult<Vec<Vec<usize>>> {
     let mut ctx = analyzed.row_context();
     let mut surviving = Vec::with_capacity(analyzed.tables.len());
     for (ti, bound) in analyzed.tables.iter().enumerate() {
+        qctx.check()?;
         let filters = analyzed.filters_for_table(ti);
         let nrows = bound.table.num_rows();
         if filters.is_empty() {
@@ -874,7 +888,16 @@ pub struct FinalizeOptions {
     /// CPU/GPU baseline engines, which model group-by as a separate
     /// non-tensor kernel).
     pub gemm_limit: usize,
+    /// Cancellation/deadline context, probed at finalize-chunk boundaries
+    /// (residual batches, per-aggregate reductions, group-emission
+    /// chunks).  Defaults to unbounded.
+    pub ctx: QueryContext,
 }
+
+/// Tuples (or groups) processed between two cancellation probes inside
+/// the finalize loops — small enough that a cancelled query stops within
+/// microseconds, large enough that the probe cost vanishes.
+const FINALIZE_CHECK_CHUNK: usize = 4096;
 
 /// Host execution budget for the one-hot aggregation GEMM: building the
 /// group matrix is O(rows × groups) memory traffic on the host, so past
@@ -890,13 +913,24 @@ impl FinalizeOptions {
     pub fn tensor(materialize_limit: usize) -> FinalizeOptions {
         FinalizeOptions {
             gemm_limit: materialize_limit.min(AGG_GEMM_EXEC_LIMIT),
+            ctx: QueryContext::unbounded(),
         }
     }
 
     /// Options for the baseline engines: vectorized pipeline, no tensor
     /// kernels.
     pub fn baseline() -> FinalizeOptions {
-        FinalizeOptions { gemm_limit: 0 }
+        FinalizeOptions {
+            gemm_limit: 0,
+            ctx: QueryContext::unbounded(),
+        }
+    }
+
+    /// Attach a cancellation/deadline context to probe at finalize-chunk
+    /// boundaries.
+    pub fn with_ctx(mut self, ctx: QueryContext) -> FinalizeOptions {
+        self.ctx = ctx;
+        self
     }
 }
 
@@ -960,6 +994,9 @@ pub fn finalize_output_columnar(
         let mut buf = vec![0usize; batch.num_slots()];
         let mut keep = Vec::new();
         for i in 0..batch.len() {
+            if i % FINALIZE_CHECK_CHUNK == 0 {
+                opts.ctx.check()?;
+            }
             batch.write_row(i, &mut buf);
             ctx.set_rows(&buf);
             if residuals_pass(analyzed, &ctx)? {
@@ -974,7 +1011,7 @@ pub fn finalize_output_columnar(
     if grouped {
         finalize_grouped(analyzed, batch, opts, report)
     } else {
-        finalize_projection(analyzed, batch, report)
+        finalize_projection(analyzed, batch, &opts.ctx, report)
     }
 }
 
@@ -1017,6 +1054,7 @@ fn finalize_grouped(
     // §3.3 one-hot GEMM.
     let mut item_states: Vec<Option<Vec<AggState>>> = Vec::with_capacity(stmt.items.len());
     for item in &stmt.items {
+        opts.ctx.check()?;
         if item.expr.contains_aggregate() {
             let (func, arg) = item.expr.first_aggregate().expect("contains_aggregate");
             item_states.push(Some(reduce_aggregate(
@@ -1082,6 +1120,9 @@ fn finalize_grouped(
         emit_row(None)?;
     } else {
         for g in 0..groups {
+            if g % FINALIZE_CHECK_CHUNK == 0 {
+                opts.ctx.check()?;
+            }
             emit_row(Some(g))?;
         }
     }
@@ -1396,6 +1437,7 @@ impl ItemData<'_> {
 fn finalize_projection(
     analyzed: &AnalyzedQuery,
     batch: &TupleBatch,
+    qctx: &QueryContext,
     mut report: FinalizeReport,
 ) -> TcuResult<(Table, FinalizeReport)> {
     let stmt = &analyzed.stmt;
@@ -1403,9 +1445,11 @@ fn finalize_projection(
     let col_names: Vec<String> = stmt.items.iter().map(|i| i.output_name()).collect();
     report.path = "projection";
 
-    // Classify and evaluate each SELECT item over the whole batch.
+    // Classify and evaluate each SELECT item over the whole batch: one
+    // cancellation probe per item (each evaluates over the full batch).
     let mut items: Vec<ItemData<'_>> = Vec::with_capacity(stmt.items.len());
     for item in &stmt.items {
+        qctx.check()?;
         if let Some((ti, ci)) = simple_column(&item.expr, &ctx) {
             items.push(ItemData::Gather(
                 analyzed.tables[ti].table.column(ci),

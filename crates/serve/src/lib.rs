@@ -34,6 +34,27 @@
 //!   waits in arrival (FIFO) order.  One query is always admitted when
 //!   the server is idle, so an over-sized query degrades to serial
 //!   execution instead of starving.
+//!
+//! ## Query lifecycle & overload resilience
+//!
+//! Every submission gets a [`QueryContext`] — a fresh
+//! [`CancellationToken`] plus an optional [`Deadline`] (explicit via
+//! [`Session::submit_with_deadline`] or defaulted from
+//! [`ServeConfig::default_deadline`]).  The context rides the job through
+//! the queue and into `TcuDb::execute_prepared_ctx`, where the engine
+//! probes it at every pipeline chunk boundary; a tripped context unwinds
+//! with the typed [`TcuError::Cancelled`] / [`TcuError::DeadlineExceeded`]
+//! and the worker releases the admission budget exactly as for a success.
+//!
+//! Overload is met at the door, not in the queue: a submission is
+//! rejected with [`TcuError::Overloaded`] when the queue is at
+//! [`ServeConfig::max_queue`] depth or its head has waited longer than
+//! [`ServeConfig::max_queue_wait`] (both gates skip coalescing attaches,
+//! which add no work).  [`Session::cancel`] detaches a session's waiters
+//! and cancels executions nobody else is waiting on.
+//! [`Server::shutdown`] drains gracefully for up to
+//! [`ServeConfig::drain_timeout`], then cancels stragglers and answers
+//! queued waiters with `Cancelled` instead of hanging.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -42,11 +63,14 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 use tcudb_core::executor::estimate_working_set_bytes;
 use tcudb_core::plancache::CachedStatement;
 use tcudb_core::{QueryOutput, TcuDb};
 use tcudb_storage::CatalogSnapshot;
-use tcudb_types::sync::{locked, wait_on};
+use tcudb_types::sync::{
+    locked, wait_on, wait_on_timeout, CancellationToken, Deadline, QueryContext,
+};
 use tcudb_types::{TcuError, TcuResult};
 
 /// Serving-layer configuration.
@@ -61,6 +85,24 @@ pub struct ServeConfig {
     /// Coalesce concurrently submitted identical statements (same
     /// normalized SQL, same catalog epoch) into one execution.
     pub coalesce: bool,
+    /// Queue-depth shed threshold: a submission that would make the queue
+    /// deeper than this is rejected with [`TcuError::Overloaded`]
+    /// (coalescing attaches are exempt — they add no work).  `0` means
+    /// unbounded.
+    pub max_queue: usize,
+    /// Queue-wait shed threshold: while the queue head has been waiting
+    /// longer than this, new work is rejected with
+    /// [`TcuError::Overloaded`] — the server is visibly not keeping up,
+    /// so admitting more would only grow everyone's latency.
+    pub max_queue_wait: Option<Duration>,
+    /// Deadline applied to every submission that does not carry an
+    /// explicit one (see [`Session::submit_with_deadline`]).  The clock
+    /// starts at submit, so time spent queued counts.
+    pub default_deadline: Option<Duration>,
+    /// How long [`Server::shutdown`] waits for queued and in-flight work
+    /// to drain before cancelling stragglers.  `None` waits forever (the
+    /// pre-resilience behaviour).
+    pub drain_timeout: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +113,10 @@ impl Default for ServeConfig {
                 .unwrap_or(1),
             admission_bytes: 0.0,
             coalesce: true,
+            max_queue: 0,
+            max_queue_wait: None,
+            default_deadline: None,
+            drain_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -98,8 +144,23 @@ pub struct ServerStats {
     /// Times the queue head had to wait because admitting it would have
     /// pushed the in-flight working set over the cap.
     pub admission_waits: u64,
-    /// Executions that returned an error.
+    /// Executions that returned an error (excluding cancellations and
+    /// deadline misses, which have their own counters).
     pub errors: u64,
+    /// Submissions rejected with [`TcuError::Overloaded`] by the
+    /// queue-depth / queue-wait shed gates.
+    pub shed: u64,
+    /// Queries that returned [`TcuError::DeadlineExceeded`].
+    pub timed_out: u64,
+    /// Cancellation events: waiters detached by [`Session::cancel`] or
+    /// a hard-stopping shutdown, plus executions that returned
+    /// [`TcuError::Cancelled`].
+    pub cancelled: u64,
+    /// Queue depth at the moment the stats were read.
+    pub queue_depth: u64,
+    /// Summed estimated working-set bytes executing at the moment the
+    /// stats were read.
+    pub in_flight_bytes: f64,
     /// Peak summed estimated working-set bytes of concurrently executing
     /// queries.
     pub peak_in_flight_bytes: f64,
@@ -130,10 +191,12 @@ impl Ticket {
 
 /// The clients waiting on one physical execution.  `closed` flips when
 /// the executing worker claims the list to fan the result out; attachers
-/// arriving later start a fresh job instead.
+/// arriving later start a fresh job instead.  Each sender is tagged with
+/// the submitting session's id so [`Session::cancel`] can detach exactly
+/// its own waiters.
 #[derive(Default)]
 struct ReplierSlot {
-    senders: Vec<mpsc::Sender<TcuResult<QueryOutput>>>,
+    senders: Vec<(u64, mpsc::Sender<TcuResult<QueryOutput>>)>,
     closed: bool,
 }
 
@@ -147,34 +210,59 @@ struct Job {
     entry: Arc<CachedStatement>,
     est_bytes: f64,
     repliers: Arc<Mutex<ReplierSlot>>,
+    /// The query's cancellation/deadline context; its token is also kept
+    /// in `SchedState::running` while the job executes so cancellation
+    /// and hard-stop shutdown can reach it.
+    ctx: QueryContext,
+    enqueued_at: Instant,
     /// Whether this job has already been counted in `admission_waits`
     /// (the counter records blocked jobs, not condvar wakeups).
     counted_wait: bool,
 }
 
+/// One executing job as seen by cancellation: its coalescing identity,
+/// its waiter list, and its cancellation token.
+struct RunningJob {
+    entry: Arc<CachedStatement>,
+    repliers: Arc<Mutex<ReplierSlot>>,
+    token: Option<CancellationToken>,
+}
+
 #[derive(Default)]
 struct SchedState {
     queue: VecDeque<Job>,
-    /// `(entry, repliers)` of jobs currently executing on a worker, so
-    /// identical statements submitted mid-execution can still attach.
-    running: Vec<(Arc<CachedStatement>, Arc<Mutex<ReplierSlot>>)>,
+    /// Jobs currently executing on a worker, so identical statements
+    /// submitted mid-execution can still attach and cancellation can
+    /// reach in-flight tokens.
+    running: Vec<RunningJob>,
     in_flight_bytes: f64,
     in_flight: usize,
     peak_in_flight_bytes: f64,
     shutdown: bool,
+    /// Set when a draining shutdown ran out of patience: workers stop
+    /// taking queued jobs even though the queue may be non-empty.
+    hard_stop: bool,
 }
 
 struct Shared {
     db: Arc<TcuDb>,
     admission_bytes: f64,
     coalesce: bool,
+    max_queue: usize,
+    max_queue_wait: Option<Duration>,
+    default_deadline: Option<Duration>,
+    drain_timeout: Option<Duration>,
     state: Mutex<SchedState>,
     work_ready: Condvar,
+    next_session_id: AtomicU64,
     submitted: AtomicU64,
     executed: AtomicU64,
     coalesced: AtomicU64,
     admission_waits: AtomicU64,
     errors: AtomicU64,
+    shed: AtomicU64,
+    timed_out: AtomicU64,
+    cancelled: AtomicU64,
 }
 
 impl Shared {
@@ -183,7 +271,7 @@ impl Shared {
     fn next_job(&self) -> Option<Job> {
         let mut state = locked(&self.state);
         loop {
-            if state.shutdown && state.queue.is_empty() {
+            if state.shutdown && (state.queue.is_empty() || state.hard_stop) {
                 return None;
             }
             if let Some(head_est) = state.queue.front().map(|j| j.est_bytes) {
@@ -198,11 +286,11 @@ impl Shared {
                         state.in_flight_bytes += job.est_bytes;
                         state.peak_in_flight_bytes =
                             state.peak_in_flight_bytes.max(state.in_flight_bytes);
-                        if self.coalesce {
-                            state
-                                .running
-                                .push((Arc::clone(&job.entry), Arc::clone(&job.repliers)));
-                        }
+                        state.running.push(RunningJob {
+                            entry: Arc::clone(&job.entry),
+                            repliers: Arc::clone(&job.repliers),
+                            token: job.ctx.token.clone(),
+                        });
                         return Some(job);
                     }
                 } else if let Some(head) = state.queue.front_mut() {
@@ -224,7 +312,7 @@ impl Shared {
         state.in_flight_bytes -= job.est_bytes;
         state
             .running
-            .retain(|(_, slot)| !Arc::ptr_eq(slot, &job.repliers));
+            .retain(|r| !Arc::ptr_eq(&r.repliers, &job.repliers));
         drop(state);
         // A completed job frees admission budget: wake every waiter (both
         // workers blocked on admission and `shutdown` joiners).
@@ -233,10 +321,24 @@ impl Shared {
 
     fn worker_loop(&self) {
         while let Some(job) = self.next_job() {
-            let result = self.db.execute_prepared(&job.entry);
+            // A query cancelled or expired while queued is answered
+            // without touching the engine.
+            let result = match job.ctx.error_if_done() {
+                Err(e) => Err(e),
+                Ok(()) => self.db.execute_prepared_ctx(&job.entry, &job.ctx),
+            };
             self.executed.fetch_add(1, Ordering::Relaxed);
-            if result.is_err() {
-                self.errors.fetch_add(1, Ordering::Relaxed);
+            match &result {
+                Err(TcuError::Cancelled(_)) => {
+                    self.cancelled.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(TcuError::DeadlineExceeded(_)) => {
+                    self.timed_out.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    self.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) => {}
             }
             // Claim the waiter list before announcing completion: once
             // `closed`, late identical submissions start a fresh job.
@@ -248,7 +350,7 @@ impl Shared {
             self.finish_job(&job);
             // Fan the one result out to every coalesced waiter.  A waiter
             // that dropped its ticket is simply skipped.
-            for tx in senders {
+            for (_, tx) in senders {
                 let _ = tx.send(result.clone());
             }
         }
@@ -297,13 +399,21 @@ impl Server {
             db,
             admission_bytes,
             coalesce: config.coalesce,
+            max_queue: config.max_queue,
+            max_queue_wait: config.max_queue_wait,
+            default_deadline: config.default_deadline,
+            drain_timeout: config.drain_timeout,
             state: Mutex::new(SchedState::default()),
             work_ready: Condvar::new(),
+            next_session_id: AtomicU64::new(1),
             submitted: AtomicU64::new(0),
             executed: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             admission_waits: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
         });
         let mut workers = Vec::with_capacity(config.workers.max(1));
         let mut spawn_err = None;
@@ -339,6 +449,7 @@ impl Server {
         Session {
             shared: Arc::clone(&self.shared),
             pinned: None,
+            id: self.shared.next_session_id.fetch_add(1, Ordering::Relaxed),
         }
     }
 
@@ -357,12 +468,23 @@ impl Server {
             coalesced: self.shared.coalesced.load(Ordering::Relaxed),
             admission_waits: self.shared.admission_waits.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
+            shed: self.shared.shed.load(Ordering::Relaxed),
+            timed_out: self.shared.timed_out.load(Ordering::Relaxed),
+            cancelled: self.shared.cancelled.load(Ordering::Relaxed),
+            queue_depth: state.queue.len() as u64,
+            in_flight_bytes: state.in_flight_bytes,
             peak_in_flight_bytes: state.peak_in_flight_bytes,
             checkpoint_epoch: None,
         }
     }
 
     /// Drain the queue, stop the workers and return the final counters.
+    ///
+    /// Draining is bounded by [`ServeConfig::drain_timeout`]: past it,
+    /// running queries are cancelled through their tokens (they unwind at
+    /// the next engine checkpoint with [`TcuError::Cancelled`]) and
+    /// still-queued waiters are answered with the same typed error — the
+    /// shutdown never hangs on a straggler.
     ///
     /// On a durable engine a graceful shutdown also checkpoints: the
     /// current epoch is sealed into segment files so the next open
@@ -384,6 +506,46 @@ impl Server {
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
+        if let Some(limit) = self.shared.drain_timeout {
+            let deadline = Instant::now() + limit;
+            let mut state = locked(&self.shared.state);
+            while !(state.queue.is_empty() && state.in_flight == 0) {
+                let now = Instant::now();
+                if now >= deadline {
+                    // Out of patience: cancel stragglers instead of
+                    // hanging.  Running queries unwind at their next
+                    // cancellation checkpoint; queued jobs are answered
+                    // here, typed, without executing.
+                    state.hard_stop = true;
+                    for r in &state.running {
+                        if let Some(token) = &r.token {
+                            token.cancel();
+                        }
+                    }
+                    let abandoned: Vec<Job> = state.queue.drain(..).collect();
+                    drop(state);
+                    for job in abandoned {
+                        let senders = {
+                            let mut slot = locked(&job.repliers);
+                            slot.closed = true;
+                            std::mem::take(&mut slot.senders)
+                        };
+                        for (_, tx) in senders {
+                            self.shared.cancelled.fetch_add(1, Ordering::Relaxed);
+                            let _ = tx.send(Err(TcuError::Cancelled(
+                                "server shut down before the query ran".into(),
+                            )));
+                        }
+                    }
+                    self.shared.work_ready.notify_all();
+                    state = locked(&self.shared.state);
+                    break;
+                }
+                let (guard, _) = wait_on_timeout(&self.shared.work_ready, state, deadline - now);
+                state = guard;
+            }
+            drop(state);
+        }
         for w in self.workers.drain(..) {
             let _ = w.join();
         }
@@ -402,15 +564,20 @@ impl Drop for Server {
 /// statement which catalog snapshot to read — the server's current one by
 /// default, or a pinned one after [`Session::pin_current`] (repeatable
 /// reads across a sequence of statements).
+///
+/// Clones share the original's cancellation scope: [`Session::cancel`]
+/// on either handle detaches the submissions of both.
 #[derive(Clone)]
 pub struct Session {
     shared: Arc<Shared>,
     pinned: Option<Arc<CatalogSnapshot>>,
+    id: u64,
 }
 
 impl std::fmt::Debug for Session {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Session")
+            .field("id", &self.id)
             .field("pinned_epoch", &self.pinned.as_ref().map(|s| s.epoch()))
             .finish()
     }
@@ -436,8 +603,22 @@ impl Session {
     ///
     /// Parse/analysis errors surface here synchronously (they need no
     /// scheduling); valid statements are enqueued FIFO and possibly
-    /// coalesced with an identical in-queue statement.
+    /// coalesced with an identical in-queue statement.  The statement
+    /// runs under [`ServeConfig::default_deadline`] when one is set.
     pub fn submit(&self, sql: &str) -> TcuResult<Ticket> {
+        self.submit_inner(sql, self.shared.default_deadline)
+    }
+
+    /// Submit a statement with an explicit deadline, measured from now —
+    /// time spent queued counts.  Overrides
+    /// [`ServeConfig::default_deadline`].  A statement still queued or
+    /// executing past the deadline returns
+    /// [`TcuError::DeadlineExceeded`].
+    pub fn submit_with_deadline(&self, sql: &str, deadline: Duration) -> TcuResult<Ticket> {
+        self.submit_inner(sql, Some(deadline))
+    }
+
+    fn submit_inner(&self, sql: &str, deadline: Option<Duration>) -> TcuResult<Ticket> {
         let shared = &self.shared;
         let snapshot = match &self.pinned {
             Some(s) => Arc::clone(s),
@@ -448,6 +629,10 @@ impl Session {
         let est_bytes = entry.working_set_bytes(|| {
             estimate_working_set_bytes(&entry.analyzed, &shared.db.optimizer())
         });
+        let mut ctx = QueryContext::with_token(CancellationToken::new());
+        if let Some(d) = deadline {
+            ctx = ctx.deadline(Deadline::after(d));
+        }
 
         let (tx, rx) = mpsc::channel();
         {
@@ -455,14 +640,14 @@ impl Session {
             if state.shutdown {
                 return Err(TcuError::Execution("server is shut down".into()));
             }
-            shared.submitted.fetch_add(1, Ordering::Relaxed);
             if shared.coalesce {
                 // Attach to an identical queued statement, or to one that
                 // is executing right now but has not fanned out yet —
                 // both run against exactly the epoch this submission
                 // would (same plan-cache entry, compared by pointer), so
                 // the shared result is byte-identical to a private
-                // execution.
+                // execution.  Attaches bypass the shed gates: they add
+                // no queue depth and no execution work.
                 let slot = state
                     .queue
                     .iter()
@@ -472,14 +657,15 @@ impl Session {
                         state
                             .running
                             .iter()
-                            .find(|(e, _)| Arc::ptr_eq(e, &entry))
-                            .map(|(_, slot)| Arc::clone(slot))
+                            .find(|r| Arc::ptr_eq(&r.entry, &entry))
+                            .map(|r| Arc::clone(&r.repliers))
                     });
                 if let Some(slot) = slot {
                     let mut guard = locked(&slot);
                     if !guard.closed {
-                        guard.senders.push(tx);
+                        guard.senders.push((self.id, tx));
                         drop(guard);
+                        shared.submitted.fetch_add(1, Ordering::Relaxed);
                         shared.coalesced.fetch_add(1, Ordering::Relaxed);
                         drop(state);
                         shared.work_ready.notify_all();
@@ -489,13 +675,36 @@ impl Session {
                     // fall through and enqueue a fresh job.
                 }
             }
+            // Overload shedding: reject (typed, retryable) instead of
+            // letting the queue grow without bound or behind a stalled
+            // head.  Shed submissions are not counted as `submitted` —
+            // nothing was accepted.
+            if shared.max_queue > 0 && state.queue.len() >= shared.max_queue {
+                shared.shed.fetch_add(1, Ordering::Relaxed);
+                return Err(TcuError::Overloaded(format!(
+                    "queue is at its depth bound ({})",
+                    shared.max_queue
+                )));
+            }
+            if let (Some(limit), Some(head)) = (shared.max_queue_wait, state.queue.front()) {
+                let waited = head.enqueued_at.elapsed();
+                if waited > limit {
+                    shared.shed.fetch_add(1, Ordering::Relaxed);
+                    return Err(TcuError::Overloaded(format!(
+                        "queue head has waited {waited:?} (shed threshold {limit:?})"
+                    )));
+                }
+            }
+            shared.submitted.fetch_add(1, Ordering::Relaxed);
             state.queue.push_back(Job {
                 entry,
                 est_bytes,
                 repliers: Arc::new(Mutex::new(ReplierSlot {
-                    senders: vec![tx],
+                    senders: vec![(self.id, tx)],
                     closed: false,
                 })),
+                ctx,
+                enqueued_at: Instant::now(),
                 counted_wait: false,
             });
         }
@@ -503,10 +712,82 @@ impl Session {
         Ok(Ticket { rx })
     }
 
+    /// Cancel this session's outstanding submissions.
+    ///
+    /// Queued waiters are detached and answered immediately with
+    /// [`TcuError::Cancelled`]; a queued job left with no waiters is
+    /// removed from the queue without executing.  An *executing* job
+    /// loses this session's waiters, and its cancellation token fires
+    /// when no other session is waiting on it — the engine unwinds at
+    /// its next checkpoint and the worker releases the admission budget
+    /// normally.  Returns the number of waiters detached.
+    pub fn cancel(&self) -> usize {
+        let shared = &self.shared;
+        let mut detached: Vec<mpsc::Sender<TcuResult<QueryOutput>>> = Vec::new();
+        {
+            let mut state = locked(&shared.state);
+            // Queued jobs: detach our waiters; drop jobs nobody waits on.
+            let mut kept = VecDeque::with_capacity(state.queue.len());
+            while let Some(job) = state.queue.pop_front() {
+                let now_empty = {
+                    let mut slot = locked(&job.repliers);
+                    let mine = extract_session(&mut slot.senders, self.id);
+                    detached.extend(mine);
+                    slot.senders.is_empty()
+                };
+                if !now_empty {
+                    kept.push_back(job);
+                }
+            }
+            state.queue = kept;
+            // Executing jobs: detach our waiters; cancel the execution
+            // when it has no remaining audience.
+            for r in &state.running {
+                let mut slot = locked(&r.repliers);
+                if slot.closed {
+                    continue;
+                }
+                let mine = extract_session(&mut slot.senders, self.id);
+                if !mine.is_empty() && slot.senders.is_empty() {
+                    if let Some(token) = &r.token {
+                        token.cancel();
+                    }
+                }
+                detached.extend(mine);
+            }
+        }
+        shared.work_ready.notify_all();
+        shared
+            .cancelled
+            .fetch_add(detached.len() as u64, Ordering::Relaxed);
+        let n = detached.len();
+        for tx in detached {
+            let _ = tx.send(Err(TcuError::Cancelled("cancelled by session".into())));
+        }
+        n
+    }
+
     /// Submit a statement and block until its result arrives.
     pub fn execute(&self, sql: &str) -> TcuResult<QueryOutput> {
         self.submit(sql)?.wait()
     }
+}
+
+/// Remove and return the senders belonging to `session_id`.
+fn extract_session(
+    senders: &mut Vec<(u64, mpsc::Sender<TcuResult<QueryOutput>>)>,
+    session_id: u64,
+) -> Vec<mpsc::Sender<TcuResult<QueryOutput>>> {
+    let mut mine = Vec::new();
+    senders.retain_mut(|(sid, tx)| {
+        if *sid == session_id {
+            mine.push(tx.clone());
+            false
+        } else {
+            true
+        }
+    });
+    mine
 }
 
 #[cfg(test)]
@@ -597,6 +878,7 @@ mod tests {
                 workers: 4,
                 admission_bytes: 1.0,
                 coalesce: false,
+                ..ServeConfig::default()
             },
         );
         let session = server.session();
@@ -645,5 +927,198 @@ mod tests {
         assert!(server.session().submit("SELEKT nope").is_err());
         let stats = server.shutdown();
         assert_eq!(stats.executed, 0);
+    }
+
+    /// Distinct statements so nothing coalesces (coalescing attaches are
+    /// exempt from shedding by design).
+    fn distinct_sql(i: usize) -> String {
+        format!("SELECT A.val, B.val FROM A, B WHERE A.id = B.id AND A.val > {i}")
+    }
+
+    #[test]
+    fn queue_depth_bound_sheds_with_typed_error() {
+        let db = engine();
+        // A 1-byte admission cap serializes execution and max_queue: 1
+        // bounds the backlog, so a fast burst of distinct statements
+        // must either complete or shed.  Timing decides how many of
+        // each; the counter invariants must hold for any split.
+        let server = Server::start(
+            Arc::clone(&db),
+            ServeConfig {
+                workers: 1,
+                admission_bytes: 1.0,
+                coalesce: false,
+                max_queue: 1,
+                ..ServeConfig::default()
+            },
+        );
+        let session = server.session();
+        let mut tickets = Vec::new();
+        let mut shed = 0u64;
+        for i in 0..32 {
+            match session.submit(&distinct_sql(i)) {
+                Ok(t) => tickets.push(t),
+                Err(TcuError::Overloaded(_)) => shed += 1,
+                Err(e) => panic!("unexpected error kind: {e}"),
+            }
+        }
+        for t in tickets {
+            t.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.shed, shed);
+        assert_eq!(stats.submitted, 32 - shed);
+        assert_eq!(stats.executed, 32 - shed);
+        assert!(
+            stats.queue_depth == 0 && stats.in_flight_bytes == 0.0,
+            "drained server should report an idle scheduler: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn expired_deadline_returns_typed_error_without_executing() {
+        let db = engine();
+        let server = Server::start(Arc::clone(&db), ServeConfig::with_workers(1));
+        let session = server.session();
+        // A zero deadline is already expired when the worker picks the
+        // job up: the reply must be DeadlineExceeded, typed, not a hang.
+        let t = session
+            .submit_with_deadline(JOIN, Duration::from_secs(0))
+            .unwrap();
+        match t.wait() {
+            Err(TcuError::DeadlineExceeded(_)) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.timed_out, 1);
+        assert_eq!(stats.errors, 0, "deadline misses are not generic errors");
+    }
+
+    #[test]
+    fn default_deadline_applies_to_plain_submits() {
+        let db = engine();
+        let server = Server::start(
+            Arc::clone(&db),
+            ServeConfig {
+                workers: 1,
+                default_deadline: Some(Duration::from_secs(0)),
+                ..ServeConfig::default()
+            },
+        );
+        match server.session().execute(JOIN) {
+            Err(TcuError::DeadlineExceeded(_)) => {}
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn session_cancel_answers_queued_waiters() {
+        let db = engine();
+        // Stall the queue: zero workers is impossible, so use a long
+        // queue behind a paused worker via admission: a 1-byte cap plus
+        // in-flight work keeps queued jobs waiting.  Simplest determin-
+        // istic arrangement: submit with an already-expired deadline so
+        // the worker is busy answering, then cancel the rest.
+        let server = Server::start(
+            Arc::clone(&db),
+            ServeConfig {
+                workers: 1,
+                admission_bytes: 1.0,
+                coalesce: false,
+                ..ServeConfig::default()
+            },
+        );
+        let victim = server.session();
+        let bystander = server.session();
+        let mut victim_tickets = Vec::new();
+        let mut bystander_tickets = Vec::new();
+        for i in 0..8 {
+            victim_tickets.push(victim.submit(&distinct_sql(i)).unwrap());
+            bystander_tickets.push(bystander.submit(&distinct_sql(100 + i)).unwrap());
+        }
+        let detached = victim.cancel();
+        // Everything detached is answered with the typed cancellation;
+        // anything already executed (the race is inherent) succeeded.
+        let mut cancelled_seen = 0;
+        for t in victim_tickets {
+            match t.wait() {
+                Err(TcuError::Cancelled(_)) => cancelled_seen += 1,
+                Ok(_) => {}
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(cancelled_seen, detached);
+        // The bystander session is untouched.
+        for t in bystander_tickets {
+            t.wait().unwrap();
+        }
+        let stats = server.shutdown();
+        assert!(stats.cancelled >= detached as u64);
+    }
+
+    #[test]
+    fn shutdown_with_zero_drain_timeout_cancels_queued_work() {
+        let db = engine();
+        let server = Server::start(
+            Arc::clone(&db),
+            ServeConfig {
+                workers: 1,
+                admission_bytes: 1.0,
+                coalesce: false,
+                drain_timeout: Some(Duration::from_millis(0)),
+                ..ServeConfig::default()
+            },
+        );
+        let session = server.session();
+        let tickets: Vec<Ticket> = (0..16)
+            .map(|i| session.submit(&distinct_sql(i)).unwrap())
+            .collect();
+        let stats = server.shutdown();
+        // Every ticket is answered — success for whatever ran, the typed
+        // cancellation for whatever was abandoned.  Never a hang.
+        let mut done = 0u64;
+        let mut cancelled = 0u64;
+        for t in tickets {
+            match t.wait() {
+                Ok(_) => done += 1,
+                Err(TcuError::Cancelled(_)) => cancelled += 1,
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        assert_eq!(done + cancelled, 16);
+        assert_eq!(stats.executed, done);
+        assert!(stats.cancelled >= cancelled);
+    }
+
+    #[test]
+    fn cancelled_and_shed_queries_never_leak_admission_budget() {
+        let db = engine();
+        let server = Server::start(
+            Arc::clone(&db),
+            ServeConfig {
+                workers: 2,
+                admission_bytes: 1.0,
+                coalesce: false,
+                max_queue: 4,
+                default_deadline: Some(Duration::from_secs(0)),
+                ..ServeConfig::default()
+            },
+        );
+        let session = server.session();
+        let mut tickets = Vec::new();
+        for i in 0..64 {
+            if let Ok(t) = session.submit(&distinct_sql(i)) {
+                tickets.push(t);
+            }
+        }
+        session.cancel();
+        for t in tickets {
+            let _ = t.wait();
+        }
+        let stats = server.stats();
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.in_flight_bytes, 0.0);
+        server.shutdown();
     }
 }

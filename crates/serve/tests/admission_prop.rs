@@ -1,0 +1,125 @@
+//! Admission-accounting property: after ANY interleaving of successful
+//! queries, coalesced attaches, session cancellations, expired
+//! deadlines, shed floods, ingest-driven epoch bumps and a starvation-
+//! tight admission cap, the scheduler leaks nothing — every waiter is
+//! woken (each `Ticket::wait` returns), the queue is empty, and the
+//! in-flight working-set accounting drains to exactly zero.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+use tcudb_core::TcuDb;
+use tcudb_serve::{ServeConfig, Server, Ticket};
+use tcudb_storage::{Catalog, Table};
+use tcudb_types::{TcuError, Value};
+
+fn base_catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    cat.register(
+        Table::from_int_columns(
+            "A",
+            &[
+                ("id", vec![1, 2, 3, 4, 5]),
+                ("val", vec![10, 20, 30, 40, 50]),
+            ],
+        )
+        .unwrap(),
+    );
+    cat.register(
+        Table::from_int_columns("B", &[("id", vec![1, 2, 2, 4]), ("val", vec![5, 6, 7, 8])])
+            .unwrap(),
+    );
+    cat
+}
+
+/// A statement unique to `i`, defeating coalescing.
+fn distinct_sql(i: usize) -> String {
+    format!("SELECT A.val, B.val FROM A, B WHERE A.id = B.id AND A.val > {i}")
+}
+
+/// The statement every "duplicate" op submits, inviting coalescing.
+const DUP_SQL: &str = "SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val";
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn any_interleaving_drains_admission_accounting_to_zero(
+        ops in prop::collection::vec((0u8..6, 0u8..8), 1..40),
+        workers in 1usize..4,
+        bound_queue_raw in 0u8..2,
+        tight_cap_raw in 0u8..2,
+    ) {
+        let (bound_queue, tight_cap) = (bound_queue_raw == 1, tight_cap_raw == 1);
+        let db = Arc::new(TcuDb::default());
+        db.set_catalog(base_catalog());
+        let server = Server::start(
+            Arc::clone(&db),
+            ServeConfig {
+                // A 1-byte cap makes every query oversized: each runs
+                // alone through the idle escape hatch, maximally
+                // stressing the reserve/release bookkeeping.
+                admission_bytes: if tight_cap { 1.0 } else { 0.0 },
+                max_queue: if bound_queue { 2 } else { 0 },
+                ..ServeConfig::with_workers(workers)
+            },
+        );
+        let main = server.session();
+        let victim = server.session();
+
+        let mut tickets: Vec<Ticket> = Vec::new();
+        for (i, &(kind, var)) in ops.iter().enumerate() {
+            let outcome: Result<Ticket, TcuError> = match kind {
+                // Distinct statement on the main session.
+                0 => main.submit(&distinct_sql(i)),
+                // Duplicate statement: invites in-flight coalescing.
+                1 => main.submit(DUP_SQL),
+                // Already-expired deadline: resolves DeadlineExceeded.
+                2 => main.submit_with_deadline(&distinct_sql(i), Duration::ZERO),
+                // Work on the victim session (cancellation fodder).
+                3 => victim.submit(&distinct_sql(1000 + i)),
+                // Cancel everything the victim has pending.
+                4 => {
+                    victim.cancel();
+                    continue;
+                }
+                // Ingest: publishes a new epoch mid-stream, so queued
+                // statements prepared at the old epoch still drain fine.
+                _ => {
+                    db.append_rows(
+                        "B",
+                        vec![vec![Value::Int(i64::from(var) % 5), Value::Int(100 + i as i64)]],
+                    ).unwrap();
+                    continue;
+                }
+            };
+            match outcome {
+                Ok(t) => tickets.push(t),
+                // The only permitted submit-time rejection is the shed
+                // gate, and only when the queue is actually bounded.
+                Err(TcuError::Overloaded(_)) if bound_queue => {}
+                Err(e) => panic!("submit failed with unexpected error: {e}"),
+            }
+        }
+
+        // Every waiter wakes: wait() returns for every ticket, with a
+        // result or a typed abort — a leaked reservation or a lost
+        // notification would hang right here.
+        for t in tickets {
+            match t.wait() {
+                Ok(_)
+                | Err(TcuError::Cancelled(_))
+                | Err(TcuError::DeadlineExceeded(_)) => {}
+                Err(e) => panic!("ticket resolved with unexpected error: {e}"),
+            }
+        }
+
+        // The server is still live for all sessions...
+        main.execute(DUP_SQL).expect("server live after interleaving");
+        // ...and the accounting has drained to exactly zero.
+        let stats = server.stats();
+        prop_assert_eq!(stats.queue_depth, 0, "stats: {:?}", stats);
+        prop_assert_eq!(stats.in_flight_bytes, 0.0, "stats: {:?}", stats);
+        server.shutdown();
+    }
+}

@@ -256,6 +256,12 @@ pub struct FaultSpec {
     /// Cap every `read_at` to this many bytes (forces short reads during
     /// recovery).  `None` reads normally.
     pub short_read_chunk: Option<usize>,
+    /// Fail the next N mutating operations with
+    /// [`TcuError::IoTransient`] *before* they have any effect, then
+    /// recover.  Models EINTR-style blips: the file state is untouched,
+    /// so the failed operation is safe to retry verbatim.  Transient
+    /// trips do not count toward `crash_at_op`.
+    pub transient_failures: u64,
 }
 
 /// One in-memory file: its bytes plus the synced (durable) prefix length.
@@ -271,6 +277,8 @@ struct MemDisk {
     spec: FaultSpec,
     /// Count of mutating operations since the last (re)boot.
     mutating_ops: u64,
+    /// Count of injected transient failures since construction.
+    transient_trips: u64,
     crashed: bool,
 }
 
@@ -295,6 +303,13 @@ impl MemDisk {
     fn begin_mutation(&mut self) -> TcuResult<MutationOutcome> {
         if self.crashed {
             return Err(TcuError::Io("storage backend is down (crashed)".into()));
+        }
+        if self.spec.transient_failures > 0 {
+            self.spec.transient_failures -= 1;
+            self.transient_trips += 1;
+            return Err(TcuError::IoTransient(
+                "injected transient backend fault".into(),
+            ));
         }
         self.mutating_ops += 1;
         if self.spec.crash_at_op == Some(self.mutating_ops) {
@@ -375,6 +390,7 @@ impl MemBackend {
         disk.mutating_ops = 0;
         disk.spec.crash_at_op = None;
         disk.spec.flip_bit_in_torn_tail = false;
+        disk.spec.transient_failures = 0;
     }
 
     /// [`MemBackend::reboot`] and then install a new fault script for the
@@ -393,6 +409,18 @@ impl MemBackend {
     /// True when a scripted crash has fired and the disk is down.
     pub fn is_crashed(&self) -> bool {
         locked(&self.disk).crashed
+    }
+
+    /// Make the next `n` mutating operations fail with
+    /// [`TcuError::IoTransient`] (no effect on file state), then recover.
+    pub fn inject_transient_failures(&self, n: u64) {
+        locked(&self.disk).spec.transient_failures = n;
+    }
+
+    /// Total transient failures injected since construction — used by
+    /// tests to assert that retries actually exercised the fault.
+    pub fn transient_trips(&self) -> u64 {
+        locked(&self.disk).transient_trips
     }
 }
 
@@ -664,6 +692,52 @@ mod tests {
         be.reboot();
         let data = be.read_all("f").unwrap();
         assert_eq!(&data.get(..4).unwrap(), b"AAAA", "durable bytes untouched");
+    }
+
+    #[test]
+    fn transient_failures_fail_n_ops_then_recover_without_side_effects() {
+        let be = MemBackend::new();
+        let mut h = be.appender("f").unwrap();
+        h.append(b"base").unwrap();
+        h.sync().unwrap();
+        be.inject_transient_failures(2);
+        let e1 = h.append(b"x").unwrap_err();
+        assert!(e1.is_transient(), "expected transient error, got {e1}");
+        let e2 = h.sync().unwrap_err();
+        assert!(e2.is_transient(), "expected transient error, got {e2}");
+        // The failed ops left no trace; the third attempt succeeds.
+        assert_eq!(be.read_all("f").unwrap(), b"base");
+        h.append(b"x").unwrap();
+        h.sync().unwrap();
+        assert_eq!(be.read_all("f").unwrap(), b"basex");
+        assert_eq!(be.transient_trips(), 2);
+        assert!(!be.is_crashed());
+    }
+
+    #[test]
+    fn transient_trips_do_not_advance_the_crash_schedule() {
+        let be = MemBackend::with_faults(FaultSpec {
+            crash_at_op: Some(2),
+            transient_failures: 3,
+            ..FaultSpec::default()
+        });
+        let mut h = be.appender("f").unwrap();
+        // Transient trips consume attempts without counting as ops.
+        assert!(h.append(b"a").is_err());
+        assert!(h.append(b"a").is_err());
+        assert!(h.append(b"a").is_err());
+        h.append(b"a").unwrap(); // op 1
+        assert!(h.sync().is_err()); // op 2: crash fires exactly here
+        assert!(be.is_crashed());
+    }
+
+    #[test]
+    fn reboot_clears_pending_transient_failures() {
+        let be = MemBackend::new();
+        be.inject_transient_failures(5);
+        be.reboot();
+        be.write_file("f", b"ok").unwrap();
+        assert_eq!(be.read_all("f").unwrap(), b"ok");
     }
 
     #[test]

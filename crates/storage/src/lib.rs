@@ -33,7 +33,8 @@
 //!   write-ahead log whose commits carry epoch-publish markers, sealed
 //!   columnar segment files with an epoch-stamped manifest, and crash
 //!   recovery that replays the log to the last published epoch and
-//!   truncates torn tails.
+//!   truncates torn tails; transient I/O blips on the write path are
+//!   retried under a bounded-backoff [`RetryPolicy`] ([`mod@retry`]).
 
 pub mod backend;
 pub mod catalog;
@@ -41,6 +42,7 @@ pub mod column;
 pub mod csv;
 pub mod encoded;
 pub mod recover;
+pub mod retry;
 pub mod schema;
 pub mod segment;
 pub mod snapshot;
@@ -55,6 +57,7 @@ pub use encoded::{DictColumn, EncodingCache};
 pub use recover::{
     recover, spawn_flusher, DurabilityOptions, DurableStore, Flusher, Recovered, RecoveryReport,
 };
+pub use retry::RetryPolicy;
 pub use schema::{ColumnDef, Schema};
 pub use snapshot::{CatalogSnapshot, SharedCatalog};
 pub use stats::{ColumnStats, TableStats};

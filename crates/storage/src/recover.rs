@@ -38,6 +38,7 @@ use tcudb_types::{TcuError, TcuResult};
 
 use crate::backend::StorageBackend;
 use crate::catalog::Catalog;
+use crate::retry::RetryPolicy;
 use crate::segment::{
     self, decode_segment, encode_segment, is_segment_file, is_wal_file, manifest_file_name,
     parse_manifest_epoch, segment_file_name, table_from_segment, wal_file_name, Manifest,
@@ -348,6 +349,10 @@ pub struct DurabilityOptions {
     pub background_flusher: bool,
     /// How often the background flusher checks the WAL size.
     pub flusher_interval: Duration,
+    /// Backoff policy for transient I/O faults on the write path (WAL
+    /// appends/syncs and checkpoint file writes).  Permanent faults are
+    /// never retried.
+    pub retry: RetryPolicy,
 }
 
 impl Default for DurabilityOptions {
@@ -357,19 +362,22 @@ impl Default for DurabilityOptions {
             checkpoint_wal_bytes: 4 * 1024 * 1024,
             background_flusher: true,
             flusher_interval: Duration::from_millis(200),
+            retry: RetryPolicy::default(),
         }
     }
 }
 
 impl DurabilityOptions {
     /// Options for tests and oracles: every commit synced, no background
-    /// thread (checkpoints only when asked).
+    /// thread (checkpoints only when asked), retries without sleeping so
+    /// fault schedules stay deterministic in time.
     pub fn strict_manual() -> DurabilityOptions {
         DurabilityOptions {
             flush_policy: FlushPolicy::EveryCommit,
             checkpoint_wal_bytes: 0,
             background_flusher: false,
             flusher_interval: Duration::from_millis(200),
+            retry: RetryPolicy::immediate(4),
         }
     }
 }
@@ -460,15 +468,21 @@ impl DurableStore {
     }
 
     /// Append one commit (operations + publish marker for `epoch`) to
-    /// the WAL.  Called from inside the catalog's pre-publish hook, so a
-    /// failure here means the epoch is never published.
+    /// the WAL, retrying transient backend faults per the configured
+    /// [`RetryPolicy`].  Called from inside the catalog's pre-publish
+    /// hook, so a failure here means the epoch is never published.
     pub fn log_commit(&self, ops: &[WalRecord], epoch: u64) -> TcuResult<()> {
-        locked(&self.wal).writer.commit(ops, epoch)
+        locked(&self.wal)
+            .writer
+            .commit_with_retry(ops, epoch, &self.options.retry)
     }
 
-    /// fsync the WAL regardless of flush policy.
+    /// fsync the WAL regardless of flush policy, retrying transient
+    /// backend faults.
     pub fn sync(&self) -> TcuResult<()> {
-        locked(&self.wal).writer.sync()
+        locked(&self.wal)
+            .writer
+            .sync_with_retry(&self.options.retry)
     }
 
     /// Current WAL length in bytes.
@@ -542,15 +556,21 @@ impl DurableStore {
 
             // 2. A durable empty successor WAL, then the manifest — the
             //    atomicity point.  A crash before the manifest write
-            //    leaves the previous checkpoint fully intact.
-            self.backend.write_file(&new_wal_file, &[])?;
+            //    leaves the previous checkpoint fully intact.  Whole-file
+            //    writes are idempotent, so transient faults retry safely.
+            self.options
+                .retry
+                .run(|| self.backend.write_file(&new_wal_file, &[]))?;
             let manifest = Manifest {
                 epoch,
                 wal_file: new_wal_file.clone(),
                 tables: manifest_tables,
             };
-            self.backend
-                .write_file(&manifest_file_name(epoch), &manifest.encode())?;
+            let manifest_bytes = manifest.encode();
+            self.options.retry.run(|| {
+                self.backend
+                    .write_file(&manifest_file_name(epoch), &manifest_bytes)
+            })?;
 
             // 3. Swap the writer to the new log.
             let handle = self.backend.appender(&new_wal_file)?;
@@ -595,7 +615,9 @@ impl DurableStore {
                 let bytes = encode_segment(table, prev.rows)?;
                 let file = segment_file_name(epoch, *seg_idx);
                 *seg_idx += 1;
-                self.backend.write_file(&file, &bytes)?;
+                self.options
+                    .retry
+                    .run(|| self.backend.write_file(&file, &bytes))?;
                 let mut files = prev.files.clone();
                 files.push(file);
                 return Ok(files);
@@ -605,7 +627,9 @@ impl DurableStore {
         let bytes = encode_segment(table, 0)?;
         let file = segment_file_name(epoch, *seg_idx);
         *seg_idx += 1;
-        self.backend.write_file(&file, &bytes)?;
+        self.options
+            .retry
+            .run(|| self.backend.write_file(&file, &bytes))?;
         Ok(vec![file])
     }
 }
@@ -726,6 +750,95 @@ mod tests {
     }
 
     #[test]
+    fn transient_faults_during_commit_are_retried_without_duplication() {
+        let be = MemBackend::new();
+        {
+            let (store, _) = open_mem(&be);
+            store.log_commit(&ops_create("t"), 1).unwrap();
+            // Two consecutive blips on the append are absorbed by the
+            // retry budget; the commit lands exactly once.
+            be.inject_transient_failures(2);
+            store.log_commit(&ops_append("t", &[1, 2]), 2).unwrap();
+            assert_eq!(be.transient_trips(), 2);
+            // And a blip on a bare fsync retries through the sync path.
+            be.inject_transient_failures(1);
+            store.sync().unwrap();
+            assert_eq!(be.transient_trips(), 3);
+        }
+        let (_store, rec) = open_mem(&be);
+        assert_eq!(rec.epoch, 2);
+        assert_eq!(
+            rec.report.replayed_commits, 2,
+            "the retried commit must appear exactly once"
+        );
+        assert_eq!(rec.catalog.table("t").unwrap().num_rows(), 2);
+    }
+
+    #[test]
+    fn transient_faults_beyond_the_attempt_budget_surface_as_transient() {
+        let be = MemBackend::new();
+        let (store, _) = open_mem(&be);
+        store.log_commit(&ops_create("t"), 1).unwrap();
+        // strict_manual retries 4 attempts; 10 blips exhaust them.
+        be.inject_transient_failures(10);
+        let err = store.log_commit(&ops_append("t", &[1]), 2).unwrap_err();
+        assert!(err.is_transient(), "expected transient error, got {err}");
+        // The disk is still up: once the blips drain, commits succeed and
+        // the failed commit left no partial frames behind.
+        be.inject_transient_failures(0);
+        store.log_commit(&ops_append("t", &[7]), 2).unwrap();
+        drop(store);
+        let (_store, rec) = open_mem(&be);
+        assert_eq!(rec.epoch, 2);
+        let t = rec.catalog.table("t").unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.row(0)[0], Value::Int(7));
+    }
+
+    #[test]
+    fn permanent_faults_are_not_retried() {
+        // A scripted crash is permanent: the first error must surface
+        // without the retry loop hammering a downed disk.
+        let be = MemBackend::with_faults(FaultSpec {
+            crash_at_op: Some(4),
+            torn_seed: 9,
+            ..FaultSpec::default()
+        });
+        let (store, _) = open_mem(&be);
+        // open writes the epoch-0 manifest (op 1); the first commit is
+        // ops 2 (append) + 3 (sync); the second commit's append is op 4.
+        store.log_commit(&ops_create("t"), 1).unwrap();
+        let err = store.log_commit(&ops_append("t", &[1]), 2).unwrap_err();
+        assert!(!err.is_transient());
+        assert!(be.is_crashed());
+    }
+
+    #[test]
+    fn checkpoint_survives_transient_faults() {
+        let be = MemBackend::new();
+        {
+            let (store, _) = open_mem(&be);
+            let shared = SharedCatalog::default();
+            let mut t = Table::new(
+                "t",
+                Schema::from_pairs(&[("id", DataType::Int64), ("tag", DataType::Text)]),
+            );
+            t.push_row(vec![Value::Int(1), Value::Text("a".into())])
+                .unwrap();
+            store.log_commit(&ops_create("t"), 1).unwrap();
+            shared.update(|c| c.register(t));
+            // Blip the segment write, the successor WAL and the manifest.
+            be.inject_transient_failures(3);
+            assert_eq!(store.checkpoint(&shared).unwrap(), Some(1));
+            assert_eq!(be.transient_trips(), 3);
+        }
+        let (_store, rec) = open_mem(&be);
+        assert_eq!(rec.report.manifest_epoch, 1);
+        assert_eq!(rec.report.replayed_commits, 0);
+        assert_eq!(rec.catalog.table("t").unwrap().num_rows(), 1);
+    }
+
+    #[test]
     fn checkpoint_rotates_the_wal_and_reopen_skips_replay() {
         let be = MemBackend::new();
         {
@@ -779,6 +892,125 @@ mod tests {
         // And the file itself was truncated back to the valid prefix.
         let decoded = decode_stream(&be.read_all(&wal_file_name(0)).unwrap());
         assert!(!decoded.torn);
+    }
+
+    /// Byte length of one bare epoch-publish commit (a single
+    /// `EpochPublish` frame) — the tail region the bit-flip sweep
+    /// corrupts.
+    fn publish_marker_len() -> usize {
+        let be = MemBackend::new();
+        let mut w = WalWriter::new(be.appender("w").unwrap(), FlushPolicy::EveryCommit);
+        w.commit(&[], 7).unwrap();
+        w.len() as usize
+    }
+
+    /// Flip EVERY bit of the last commit's epoch-publish marker frame,
+    /// one at a time: the frame CRC (or length sanity check) must catch
+    /// each flip, recovery must discard exactly that commit — the
+    /// marker never decodes, so its operations never publish — and the
+    /// preceding epoch must survive bit-identical.
+    #[test]
+    fn bit_flips_in_the_publish_marker_discard_exactly_that_commit() {
+        let be = MemBackend::new();
+        {
+            let (store, _) = open_mem(&be);
+            store.log_commit(&ops_create("t"), 1).unwrap();
+            store.log_commit(&ops_append("t", &[1, 2]), 2).unwrap();
+            store.log_commit(&ops_append("t", &[3]), 3).unwrap();
+        }
+        let wal_file = wal_file_name(0);
+        let pristine: Vec<(String, Vec<u8>)> = be
+            .list()
+            .unwrap()
+            .into_iter()
+            .map(|f| {
+                let bytes = be.read_all(&f).unwrap();
+                (f, bytes)
+            })
+            .collect();
+        let wal = be.read_all(&wal_file).unwrap();
+        let mlen = publish_marker_len();
+        assert!(wal.len() > mlen, "WAL too short to hold a marker");
+        let marker_start = wal.len() - mlen;
+
+        for bit in 0..mlen * 8 {
+            // A fresh disk with the pristine image, then one flipped bit
+            // inside epoch 3's publish marker.
+            let nb = MemBackend::new();
+            for (f, bytes) in &pristine {
+                nb.write_file(f, bytes).unwrap();
+            }
+            let mut damaged = wal.clone();
+            damaged[marker_start + bit / 8] ^= 1 << (bit % 8);
+            nb.write_file(&wal_file, &damaged).unwrap();
+
+            let (store, rec) = DurableStore::open(
+                Arc::new(nb.clone()) as Arc<dyn StorageBackend>,
+                DurabilityOptions::strict_manual(),
+            )
+            .expect("recovery never fails on damaged content");
+            assert_eq!(
+                rec.epoch, 2,
+                "bit {bit}: epoch 3's marker was damaged, so exactly epoch 2 must survive"
+            );
+            let t = rec.catalog.table("t").unwrap();
+            assert_eq!(t.num_rows(), 2, "bit {bit}: preceding epoch not intact");
+            assert!(
+                rec.report.truncated_bytes > 0 || rec.report.discarded_records > 0,
+                "bit {bit}: damage went unreported: {:?}",
+                rec.report
+            );
+            // The reopened log accepts the re-issued commit.
+            store.log_commit(&ops_append("t", &[3]), 3).unwrap();
+            drop(store);
+            let (_s, rec) = open_mem(&nb);
+            assert_eq!(rec.epoch, 3, "bit {bit}: re-issued commit lost");
+            assert_eq!(rec.catalog.table("t").unwrap().num_rows(), 3);
+        }
+    }
+
+    /// Same sweep one commit deeper: damage epoch 2's marker and the
+    /// scan stops there — epoch 3's perfectly valid frames AFTER the
+    /// damage must not resurrect (prefix-consistency, not salvage).
+    #[test]
+    fn bit_flip_in_an_interior_marker_truncates_everything_after_it() {
+        let be = MemBackend::new();
+        {
+            let (store, _) = open_mem(&be);
+            store.log_commit(&ops_create("t"), 1).unwrap();
+            store.log_commit(&ops_append("t", &[1, 2]), 2).unwrap();
+        }
+        let wal_file = wal_file_name(0);
+        let len_through_2 = be.read_all(&wal_file).unwrap().len();
+        {
+            let (store, _) = open_mem(&be);
+            store.log_commit(&ops_append("t", &[3]), 3).unwrap();
+        }
+        let wal = be.read_all(&wal_file).unwrap();
+        let mlen = publish_marker_len();
+        let marker2_start = len_through_2 - mlen;
+
+        // One representative flip per byte of epoch 2's marker.
+        for byte in 0..mlen {
+            let nb = MemBackend::new();
+            for f in be.list().unwrap() {
+                nb.write_file(&f, &be.read_all(&f).unwrap()).unwrap();
+            }
+            let mut damaged = wal.clone();
+            damaged[marker2_start + byte] ^= 1 << (byte % 8);
+            nb.write_file(&wal_file, &damaged).unwrap();
+
+            let (_s, rec) = DurableStore::open(
+                Arc::new(nb) as Arc<dyn StorageBackend>,
+                DurabilityOptions::strict_manual(),
+            )
+            .expect("recovery never fails on damaged content");
+            assert_eq!(
+                rec.epoch, 1,
+                "byte {byte}: scan must stop at the damaged marker, not salvage epoch 3"
+            );
+            assert_eq!(rec.catalog.table("t").unwrap().num_rows(), 0);
+        }
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Bounded-backoff retry for transient storage faults.
+//!
+//! The durability path distinguishes two failure classes via
+//! [`tcudb_types::TcuError::is_transient`]:
+//!
+//! * **Transient** faults ([`tcudb_types::TcuError::IoTransient`], `Overloaded`) —
+//!   EINTR-style blips where the operation had no effect and is safe to
+//!   retry verbatim.  [`RetryPolicy::run`] retries these with doubling
+//!   delays up to a bounded attempt count.
+//! * **Permanent** faults (plain `Io`, corruption) — retrying cannot
+//!   help; they surface to the caller on the first occurrence.
+//!
+//! Retry granularity matters: the WAL writer retries its *append* and
+//! its *sync* as separate operations (see `WalWriter::commit_with_retry`)
+//! so a sync-side blip never re-appends frames that already landed.
+
+use std::time::Duration;
+
+use tcudb_types::TcuResult;
+
+/// Bounded exponential backoff for transient faults.
+///
+/// `attempts` counts total tries (first try included), so `attempts: 1`
+/// disables retrying.  Delays double from `base_delay`, capped at
+/// `max_delay`; a zero `base_delay` retries immediately (used by tests
+/// and the deterministic chaos harness).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles each retry after that.
+    pub base_delay: Duration,
+    /// Upper bound on any single sleep.
+    pub max_delay: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base_delay: Duration::from_millis(1),
+            max_delay: Duration::from_millis(20),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries: every error surfaces immediately.
+    pub fn none() -> RetryPolicy {
+        RetryPolicy {
+            attempts: 1,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// A policy for deterministic tests: `attempts` tries with no sleep.
+    pub fn immediate(attempts: u32) -> RetryPolicy {
+        RetryPolicy {
+            attempts,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+        }
+    }
+
+    /// Run `op`, retrying transient failures with bounded exponential
+    /// backoff.  Non-transient errors — and a transient error on the
+    /// final attempt — are returned as-is.
+    pub fn run<T>(&self, mut op: impl FnMut() -> TcuResult<T>) -> TcuResult<T> {
+        let attempts = self.attempts.max(1);
+        let mut delay = self.base_delay;
+        let mut attempt = 1u32;
+        loop {
+            match op() {
+                Ok(v) => return Ok(v),
+                Err(e) if e.is_transient() && attempt < attempts => {
+                    if !delay.is_zero() {
+                        std::thread::sleep(delay);
+                    }
+                    delay = (delay * 2).min(self.max_delay).max(self.base_delay);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tcudb_types::TcuError;
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let mut failures = 2;
+        let policy = RetryPolicy::immediate(4);
+        let out = policy.run(|| {
+            if failures > 0 {
+                failures -= 1;
+                Err(TcuError::IoTransient("blip".into()))
+            } else {
+                Ok(42)
+            }
+        });
+        assert_eq!(out.unwrap(), 42);
+    }
+
+    #[test]
+    fn exhausting_attempts_surfaces_the_transient_error() {
+        let mut calls = 0u32;
+        let policy = RetryPolicy::immediate(3);
+        let out: TcuResult<()> = policy.run(|| {
+            calls += 1;
+            Err(TcuError::IoTransient("blip".into()))
+        });
+        assert!(matches!(out, Err(TcuError::IoTransient(_))));
+        assert_eq!(calls, 3, "exactly `attempts` tries");
+    }
+
+    #[test]
+    fn permanent_errors_are_never_retried() {
+        let mut calls = 0u32;
+        let policy = RetryPolicy::immediate(5);
+        let out: TcuResult<()> = policy.run(|| {
+            calls += 1;
+            Err(TcuError::Io("disk on fire".into()))
+        });
+        assert!(matches!(out, Err(TcuError::Io(_))));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn none_policy_tries_exactly_once() {
+        let mut calls = 0u32;
+        let out: TcuResult<()> = RetryPolicy::none().run(|| {
+            calls += 1;
+            Err(TcuError::IoTransient("blip".into()))
+        });
+        assert!(out.is_err());
+        assert_eq!(calls, 1);
+    }
+}

@@ -24,6 +24,7 @@
 use tcudb_types::{DataType, TcuError, TcuResult, Value};
 
 use crate::backend::AppendHandle;
+use crate::retry::RetryPolicy;
 use crate::schema::{ColumnDef, Schema};
 
 // ---------------------------------------------------------------------------
@@ -444,12 +445,29 @@ impl WalWriter {
     /// marker for `epoch` — as a single backend append, then sync if the
     /// flush policy says so.
     pub fn commit(&mut self, ops: &[WalRecord], epoch: u64) -> TcuResult<()> {
+        self.commit_with_retry(ops, epoch, &RetryPolicy::none())
+    }
+
+    /// [`WalWriter::commit`], retrying transient backend faults under
+    /// `retry`.
+    ///
+    /// The append and the sync retry *independently*: a transient append
+    /// failure had no effect (the fault model guarantees it), so the same
+    /// bytes are appended again; a transient sync failure retries only
+    /// the sync, never re-appending frames that already landed — a
+    /// whole-commit retry there would duplicate the commit in the log.
+    pub fn commit_with_retry(
+        &mut self,
+        ops: &[WalRecord],
+        epoch: u64,
+        retry: &RetryPolicy,
+    ) -> TcuResult<()> {
         let mut buf = Vec::new();
         for op in ops {
             encode_frame(&mut buf, op)?;
         }
         encode_frame(&mut buf, &WalRecord::EpochPublish { epoch })?;
-        self.handle.append(&buf)?;
+        retry.run(|| self.handle.append(&buf))?;
         self.unsynced_commits += 1;
         let should_sync = match self.policy {
             FlushPolicy::EveryCommit => true,
@@ -457,7 +475,7 @@ impl WalWriter {
             FlushPolicy::Manual => false,
         };
         if should_sync {
-            self.sync()?;
+            self.sync_with_retry(retry)?;
         }
         Ok(())
     }
@@ -465,6 +483,13 @@ impl WalWriter {
     /// fsync the log, making every appended commit durable.
     pub fn sync(&mut self) -> TcuResult<()> {
         self.handle.sync()?;
+        self.unsynced_commits = 0;
+        Ok(())
+    }
+
+    /// [`WalWriter::sync`], retrying transient backend faults.
+    pub fn sync_with_retry(&mut self, retry: &RetryPolicy) -> TcuResult<()> {
+        retry.run(|| self.handle.sync())?;
         self.unsynced_commits = 0;
         Ok(())
     }

@@ -14,6 +14,7 @@
 
 use crate::dense::DenseMatrix;
 use crate::gemm::{gemm, gemm_bt, GemmPrecision};
+use tcudb_types::sync::QueryContext;
 use tcudb_types::{TcuError, TcuResult};
 
 /// Statistics reported by a blocked GEMM execution.
@@ -75,7 +76,7 @@ pub fn blocked_gemm(
             got: format!("B is {}x{}", b.rows(), b.cols()),
         });
     }
-    blocked_loop(a, b, precision, block_size, false)
+    blocked_loop(a, b, precision, block_size, false, None)
 }
 
 /// Compute `C = A × Bᵀ` (`A`: m×k, `B`: n×k) by streaming
@@ -95,7 +96,27 @@ pub fn blocked_gemm_bt(
             got: format!("B is {}x{}", b.rows(), b.cols()),
         });
     }
-    blocked_loop(a, b, precision, block_size, true)
+    blocked_loop(a, b, precision, block_size, true, None)
+}
+
+/// [`blocked_gemm_bt`] under a [`QueryContext`]: the context is probed
+/// before every block-triple multiplication (the natural streaming
+/// boundary), so a cancelled or past-deadline query abandons the
+/// remaining blocks with a typed error.
+pub fn blocked_gemm_bt_ctx(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    block_size: usize,
+    ctx: &QueryContext,
+) -> TcuResult<(DenseMatrix, BlockedGemmStats)> {
+    if a.cols() != b.cols() {
+        return Err(TcuError::ShapeMismatch {
+            expected: format!("A.cols == B.cols (A is {}x{})", a.rows(), a.cols()),
+            got: format!("B is {}x{}", b.rows(), b.cols()),
+        });
+    }
+    blocked_loop(a, b, precision, block_size, true, Some(ctx))
 }
 
 /// The shared block-streaming loop.  `bt` selects the operand orientation:
@@ -107,6 +128,7 @@ fn blocked_loop(
     precision: GemmPrecision,
     block_size: usize,
     bt: bool,
+    ctx: Option<&QueryContext>,
 ) -> TcuResult<(DenseMatrix, BlockedGemmStats)> {
     if block_size == 0 {
         return Err(TcuError::InvalidArgument("block_size must be > 0".into()));
@@ -136,6 +158,9 @@ fn blocked_loop(
                 continue;
             }
             for bk in 0..blocks_k {
+                if let Some(ctx) = ctx {
+                    ctx.check()?;
+                }
                 let k0 = bk * block_size;
                 let ks = block_size.min(k.saturating_sub(k0));
                 if ks == 0 {
@@ -263,6 +288,25 @@ mod tests {
         }
         assert!(blocked_gemm_bt(&a, &a.transpose(), GemmPrecision::Fp32, 4).is_err());
         assert!(blocked_gemm_bt(&a, &b, GemmPrecision::Fp32, 0).is_err());
+    }
+
+    #[test]
+    fn ctx_blocked_matches_and_cancels_mid_stream() {
+        use tcudb_types::sync::{CancellationToken, QueryContext};
+        use tcudb_types::TcuError;
+        let a = random_matrix(19, 13, 21);
+        let b = random_matrix(17, 13, 22);
+        let ctx = QueryContext::unbounded();
+        let (via_ctx, _) = blocked_gemm_bt_ctx(&a, &b, GemmPrecision::Fp32, 8, &ctx).unwrap();
+        let (plain, _) = blocked_gemm_bt(&a, &b, GemmPrecision::Fp32, 8).unwrap();
+        assert_eq!(via_ctx, plain);
+
+        // Cancel on the second block-triple: the stream stops there.
+        let token = CancellationToken::new();
+        token.cancel_at_check(2);
+        let ctx = QueryContext::with_token(token);
+        let err = blocked_gemm_bt_ctx(&a, &b, GemmPrecision::Fp32, 8, &ctx).unwrap_err();
+        assert!(matches!(err, TcuError::Cancelled(_)));
     }
 
     #[test]

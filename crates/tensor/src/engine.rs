@@ -66,7 +66,8 @@
 use crate::dense::DenseMatrix;
 use crate::gemm::GemmPrecision;
 use tcudb_types::quant::{to_i4_saturating, to_i8_saturating};
-use tcudb_types::F16;
+use tcudb_types::sync::QueryContext;
+use tcudb_types::{TcuResult, F16};
 
 /// Scalar-fallback microkernel register-tile rows.
 pub const MR: usize = 4;
@@ -180,7 +181,32 @@ pub fn tiled_gemm(
         b.rows(),
         b.cols()
     );
-    dispatch(a, b, true, b.cols(), precision, threads)
+    dispatch(a, b, true, b.cols(), precision, threads, None)
+}
+
+/// [`tiled_gemm`] under a [`QueryContext`]: every shard probes the
+/// context at each k-block boundary and stops early when it trips; the
+/// partial output is discarded and the typed cancellation/deadline error
+/// is returned.
+pub fn tiled_gemm_ctx(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    threads: usize,
+    ctx: &QueryContext,
+) -> TcuResult<DenseMatrix> {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "tiled_gemm shape mismatch: A is {}x{}, B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let out = dispatch(a, b, true, b.cols(), precision, threads, Some(ctx));
+    ctx.error_if_done()?;
+    Ok(out)
 }
 
 /// Compute `C = A × Bᵀ` (`A`: m×k, `B`: n×k) on the tiled engine — the
@@ -200,12 +226,43 @@ pub fn tiled_gemm_bt(
         b.rows(),
         b.cols()
     );
-    dispatch(a, b, false, b.rows(), precision, threads)
+    dispatch(a, b, false, b.rows(), precision, threads, None)
+}
+
+/// [`tiled_gemm_bt`] under a [`QueryContext`] — see [`tiled_gemm_ctx`].
+pub fn tiled_gemm_bt_ctx(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    threads: usize,
+    ctx: &QueryContext,
+) -> TcuResult<DenseMatrix> {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "tiled_gemm_bt shape mismatch: A is {}x{}, B is {}x{}",
+        a.rows(),
+        a.cols(),
+        b.rows(),
+        b.cols()
+    );
+    let out = dispatch(a, b, false, b.rows(), precision, threads, Some(ctx));
+    ctx.error_if_done()?;
+    Ok(out)
+}
+
+/// One cancellation probe from inside a shard: counts a checkpoint and
+/// reports whether the shard should stop.  The shard exits quietly; the
+/// entry point surfaces the typed error via `error_if_done`.
+#[inline]
+fn shard_should_stop(ctx: Option<&QueryContext>) -> bool {
+    ctx.is_some_and(|c| c.check().is_err())
 }
 
 /// Single precision dispatch table for both operand orientations (the
 /// per-entry-point `match precision` blocks of the old kernels collapse to
 /// this one place).
+#[allow(clippy::too_many_arguments)]
 fn dispatch(
     a: &DenseMatrix,
     b: &DenseMatrix,
@@ -213,20 +270,33 @@ fn dispatch(
     n: usize,
     precision: GemmPrecision,
     threads: usize,
+    ctx: Option<&QueryContext>,
 ) -> DenseMatrix {
     let m = a.rows();
     let data: Vec<f32> = match precision {
-        GemmPrecision::Fp32 => run_f32(a, b, b_from_columns, n, threads, |v| v),
-        GemmPrecision::Half => run_f32(a, b, b_from_columns, n, threads, F16::round_trip),
-        GemmPrecision::Int8 => run_generic::<i32>(a, b, b_from_columns, n, threads, |v| {
-            to_i8_saturating(v as f64) as i32
-        })
+        GemmPrecision::Fp32 => run_f32(a, b, b_from_columns, n, threads, |v| v, ctx),
+        GemmPrecision::Half => run_f32(a, b, b_from_columns, n, threads, F16::round_trip, ctx),
+        GemmPrecision::Int8 => run_generic::<i32>(
+            a,
+            b,
+            b_from_columns,
+            n,
+            threads,
+            |v| to_i8_saturating(v as f64) as i32,
+            ctx,
+        )
         .into_iter()
         .map(|acc| acc as f32)
         .collect(),
-        GemmPrecision::Int4 => run_generic::<i32>(a, b, b_from_columns, n, threads, |v| {
-            to_i4_saturating(v as f64) as i32
-        })
+        GemmPrecision::Int4 => run_generic::<i32>(
+            a,
+            b,
+            b_from_columns,
+            n,
+            threads,
+            |v| to_i4_saturating(v as f64) as i32,
+            ctx,
+        )
         .into_iter()
         .map(|acc| acc as f32)
         .collect(),
@@ -242,14 +312,15 @@ fn run_f32(
     n: usize,
     threads: usize,
     cast: impl Fn(f32) -> f32 + Copy,
+    ctx: Option<&QueryContext>,
 ) -> Vec<f32> {
     let level = simd_level();
     #[cfg(target_arch = "x86_64")]
     if level != SimdLevel::Scalar {
-        return run_f32_simd(a, b, b_from_columns, n, threads, cast, level);
+        return run_f32_simd(a, b, b_from_columns, n, threads, cast, level, ctx);
     }
     let _ = level;
-    run_generic::<f32>(a, b, b_from_columns, n, threads, cast)
+    run_generic::<f32>(a, b, b_from_columns, n, threads, cast, ctx)
 }
 
 /// f32 panel multiply on a detected x86 SIMD tier.
@@ -263,6 +334,7 @@ fn run_f32_simd(
     threads: usize,
     cast: impl Fn(f32) -> f32 + Copy,
     level: SimdLevel,
+    ctx: Option<&QueryContext>,
 ) -> Vec<f32> {
     let (mr, nr) = level.lanes();
     let apack = pack_panels(a, false, mr, cast);
@@ -281,6 +353,7 @@ fn run_f32_simd(
             n,
             k,
             level,
+            ctx,
         }
         .run(chunk)
     });
@@ -296,6 +369,7 @@ fn run_generic<T: MicroElem>(
     n: usize,
     threads: usize,
     cast: impl Fn(f32) -> T + Copy,
+    ctx: Option<&QueryContext>,
 ) -> Vec<T::Acc> {
     let apack = pack_panels(a, false, MR, cast);
     let bpack = pack_panels(b, b_from_columns, NR, cast);
@@ -312,6 +386,7 @@ fn run_generic<T: MicroElem>(
             rows,
             n,
             k,
+            ctx,
         }
         .run(chunk)
     });
@@ -396,13 +471,20 @@ struct GemmShard<'a, T: MicroElem> {
     rows: usize,
     n: usize,
     k: usize,
+    /// Cancellation governor, probed at every k-block boundary.
+    ctx: Option<&'a QueryContext>,
 }
 
 impl<T: MicroElem> GemmShard<'_, T> {
     /// Run the shard over its output chunk (`rows × n`, row-major).
+    /// Stops early (leaving the chunk partial) when the context trips;
+    /// the entry point discards the buffer and reports the typed error.
     fn run(&self, c: &mut [T::Acc]) {
         let mut kb = 0usize;
         while kb < self.k {
+            if shard_should_stop(self.ctx) {
+                return;
+            }
             let kend = (kb + KC).min(self.k);
             for jt in 0..self.n.div_ceil(NR) {
                 for it in 0..self.rows.div_ceil(MR) {
@@ -464,6 +546,8 @@ struct F32Shard<'a> {
     n: usize,
     k: usize,
     level: SimdLevel,
+    /// Cancellation governor, probed at every k-block boundary.
+    ctx: Option<&'a QueryContext>,
 }
 
 #[cfg(target_arch = "x86_64")]
@@ -473,6 +557,9 @@ impl F32Shard<'_> {
         let (n, k) = (self.n, self.k);
         let mut kb = 0usize;
         while kb < k {
+            if shard_should_stop(self.ctx) {
+                return;
+            }
             let kend = (kb + KC).min(k);
             let first = kb == 0;
             for jt in 0..n.div_ceil(nr_l) {
@@ -787,5 +874,61 @@ mod tests {
             let t = tiled_gemm_bt(&a, &b, GemmPrecision::Fp32, threads);
             assert_eq!(one, t, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn ctx_variants_match_the_plain_entry_points() {
+        use tcudb_types::sync::QueryContext;
+        let a = lcg_matrix(9, 1030, 5);
+        let b = lcg_matrix(33, 1030, 6);
+        let ctx = QueryContext::unbounded();
+        let bt = tiled_gemm_bt_ctx(&a, &b, GemmPrecision::Fp32, 2, &ctx).unwrap();
+        assert_eq!(bt, tiled_gemm_bt(&a, &b, GemmPrecision::Fp32, 2));
+        let b2 = lcg_matrix(1030, 12, 7);
+        let g = tiled_gemm_ctx(&a, &b2, GemmPrecision::Int8, 1, &ctx).unwrap();
+        assert_eq!(g, tiled_gemm(&a, &b2, GemmPrecision::Int8, 1));
+    }
+
+    #[test]
+    fn cancelled_context_stops_the_engine_with_a_typed_error() {
+        use tcudb_types::sync::{CancellationToken, QueryContext};
+        use tcudb_types::TcuError;
+        // k spans several KC blocks so shards actually probe mid-flight.
+        let a = lcg_matrix(8, 3 * KC, 1);
+        let b = lcg_matrix(8, 3 * KC, 2);
+        let token = CancellationToken::new();
+        token.cancel();
+        let ctx = QueryContext::with_token(token);
+        for threads in [1, 4] {
+            let err = tiled_gemm_bt_ctx(&a, &b, GemmPrecision::Fp32, threads, &ctx).unwrap_err();
+            assert!(matches!(err, TcuError::Cancelled(_)), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn cancel_at_check_sweep_always_yields_cancelled_or_full_result() {
+        use tcudb_types::sync::{CancellationToken, QueryContext};
+        let a = lcg_matrix(8, 3 * KC, 1);
+        let b = lcg_matrix(8, 3 * KC, 2);
+        let expected = tiled_gemm_bt(&a, &b, GemmPrecision::Fp32, 1);
+        // Learn the probe count, then cancel at every index.
+        let probe = CancellationToken::new();
+        let ctx = QueryContext::with_token(probe.clone());
+        tiled_gemm_bt_ctx(&a, &b, GemmPrecision::Fp32, 1, &ctx).unwrap();
+        let count = probe.checks();
+        assert!(count >= 3, "one probe per k block, k = 3*KC");
+        for at in 1..=count {
+            let token = CancellationToken::new();
+            token.cancel_at_check(at);
+            let ctx = QueryContext::with_token(token);
+            let out = tiled_gemm_bt_ctx(&a, &b, GemmPrecision::Fp32, 1, &ctx);
+            assert!(out.is_err(), "cancel at probe {at} must not complete");
+        }
+        // Past the last probe: runs to completion, bit-identical.
+        let token = CancellationToken::new();
+        token.cancel_at_check(count + 1);
+        let ctx = QueryContext::with_token(token);
+        let out = tiled_gemm_bt_ctx(&a, &b, GemmPrecision::Fp32, 1, &ctx).unwrap();
+        assert_eq!(out, expected);
     }
 }

@@ -23,6 +23,7 @@
 
 use crate::dense::DenseMatrix;
 use crate::engine;
+use tcudb_types::sync::QueryContext;
 use tcudb_types::{Precision, TcuError, TcuResult};
 
 /// The arithmetic mode of a GEMM kernel.
@@ -144,6 +145,22 @@ pub fn gemm_with_threads(
     Ok((out, GemmStats::new(m, n, k, precision.into())))
 }
 
+/// [`gemm`] under a [`QueryContext`]: shards probe the context between
+/// k blocks and a tripped context returns the typed
+/// cancellation/deadline error instead of a result.
+pub fn gemm_ctx(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    ctx: &QueryContext,
+) -> TcuResult<(DenseMatrix, GemmStats)> {
+    check_gemm_shapes(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let threads = engine::auto_threads(m, n, k);
+    let out = engine::tiled_gemm_ctx(a, b, precision, threads, ctx)?;
+    Ok((out, GemmStats::new(m, n, k, precision.into())))
+}
+
 /// Convenience wrapper: `C = A × Bᵀ`, the orientation every join pattern of
 /// §3 uses (both operands are laid out with the shared key domain along
 /// their column dimension).
@@ -154,6 +171,20 @@ pub fn gemm_bt(
 ) -> TcuResult<(DenseMatrix, GemmStats)> {
     let threads = engine::auto_threads(a.rows(), b.rows(), a.cols());
     gemm_bt_with_threads(a, b, precision, threads)
+}
+
+/// [`gemm_bt`] under a [`QueryContext`] — see [`gemm_ctx`].
+pub fn gemm_bt_ctx(
+    a: &DenseMatrix,
+    b: &DenseMatrix,
+    precision: GemmPrecision,
+    ctx: &QueryContext,
+) -> TcuResult<(DenseMatrix, GemmStats)> {
+    check_gemm_bt_shapes(a, b)?;
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let threads = engine::auto_threads(m, n, k);
+    let out = engine::tiled_gemm_bt_ctx(a, b, precision, threads, ctx)?;
+    Ok((out, GemmStats::new(m, n, k, precision.into())))
 }
 
 /// [`gemm_bt`] with an explicit thread count.
@@ -318,6 +349,25 @@ mod tests {
         assert_eq!(r.get(0, 0), exact);
         let (rbt, _) = crate::reference::gemm_bt(&a, &b_row, GemmPrecision::Int8).unwrap();
         assert_eq!(rbt.get(0, 0), exact);
+    }
+
+    #[test]
+    fn ctx_wrappers_match_and_cancel() {
+        use tcudb_types::sync::{CancellationToken, QueryContext};
+        let ctx = QueryContext::unbounded();
+        let (c, _) = gemm_ctx(&a2x3(), &b3x2(), GemmPrecision::Fp32, &ctx).unwrap();
+        let (plain, _) = gemm(&a2x3(), &b3x2(), GemmPrecision::Fp32).unwrap();
+        assert_eq!(c, plain);
+        let b = DenseMatrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 1.0]]).unwrap();
+        let (cbt, _) = gemm_bt_ctx(&a2x3(), &b, GemmPrecision::Fp32, &ctx).unwrap();
+        let (plainbt, _) = gemm_bt(&a2x3(), &b, GemmPrecision::Fp32).unwrap();
+        assert_eq!(cbt, plainbt);
+
+        let token = CancellationToken::new();
+        token.cancel();
+        let cancelled = QueryContext::with_token(token);
+        assert!(gemm_ctx(&a2x3(), &b3x2(), GemmPrecision::Fp32, &cancelled).is_err());
+        assert!(gemm_bt_ctx(&a2x3(), &b, GemmPrecision::Fp32, &cancelled).is_err());
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::dense::DenseMatrix;
 use crate::engine;
 use crate::gemm::GemmPrecision;
 use crate::sparse::CsrMatrix;
+use tcudb_types::sync::QueryContext;
 use tcudb_types::{TcuError, TcuResult, F16};
 
 /// Side length of a TCU tile (the m16n16k16 WMMA fragment).
@@ -181,6 +182,30 @@ pub fn tcu_spmm(
     b: &CsrMatrix,
     precision: GemmPrecision,
 ) -> TcuResult<(DenseMatrix, SpmmStats)> {
+    spmm_inner(a, b, precision, None)
+}
+
+/// Cancellation-aware variant of [`tcu_spmm`]: probes `ctx` once per k-tile
+/// stripe (the outermost loop), so a cancelled or past-deadline query stops
+/// within one stripe's worth of work and returns the typed error.  The
+/// kernel is sequential, so probe counts are deterministic for a given
+/// input shape — the property the chaos harness's checkpoint sweep relies
+/// on.
+pub fn tcu_spmm_ctx(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    precision: GemmPrecision,
+    ctx: &QueryContext,
+) -> TcuResult<(DenseMatrix, SpmmStats)> {
+    spmm_inner(a, b, precision, Some(ctx))
+}
+
+fn spmm_inner(
+    a: &CsrMatrix,
+    b: &CsrMatrix,
+    precision: GemmPrecision,
+    ctx: Option<&QueryContext>,
+) -> TcuResult<(DenseMatrix, SpmmStats)> {
     if a.cols() != b.cols() {
         return Err(TcuError::ShapeMismatch {
             expected: format!("A.cols == B.cols (A is {}x{})", a.rows(), a.cols()),
@@ -230,6 +255,9 @@ pub fn tcu_spmm(
     // original kernel — the dense engine's wide i64 accumulation applies
     // to the dense entry points only).
     for tk in 0..tile_k {
+        if let Some(ctx) = ctx {
+            ctx.check()?;
+        }
         let k_lo = tk * TILE_DIM;
         let k_hi = (k_lo + TILE_DIM).min(k);
         b_gathered.fill(false);
@@ -426,6 +454,31 @@ mod tests {
         assert_eq!(c.rows(), 0);
         assert_eq!(stats.tiles_processed, 0);
         assert_eq!(stats.skip_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ctx_spmm_matches_and_cancels_per_stripe() {
+        use tcudb_types::sync::{CancellationToken, QueryContext};
+        use tcudb_types::TcuError;
+        let a_dense = random_sparse(40, 70, 6, 11);
+        let b_dense = random_sparse(35, 70, 6, 12);
+        let a = CsrMatrix::from_dense(&a_dense);
+        let b = CsrMatrix::from_dense(&b_dense);
+        let (plain, _) = tcu_spmm(&a, &b, GemmPrecision::Fp32).unwrap();
+
+        // Unbounded context: identical result.
+        let (via_ctx, _) =
+            tcu_spmm_ctx(&a, &b, GemmPrecision::Fp32, &QueryContext::unbounded()).unwrap();
+        assert_eq!(via_ctx, plain);
+
+        // 70 columns → 5 k-tile stripes → 5 probes.  Cancel on the second:
+        // typed error, no result.
+        let token = CancellationToken::new();
+        token.cancel_at_check(2);
+        let ctx = QueryContext::with_token(token.clone());
+        let err = tcu_spmm_ctx(&a, &b, GemmPrecision::Fp32, &ctx).unwrap_err();
+        assert!(matches!(err, TcuError::Cancelled(_)), "{err}");
+        assert_eq!(token.checks(), 2);
     }
 
     #[test]

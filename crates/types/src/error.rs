@@ -37,8 +37,33 @@ pub enum TcuError {
     },
     /// Error touching the filesystem (CSV import/export).
     Io(String),
+    /// A storage-layer I/O failure the caller may retry: the medium is
+    /// expected to recover (interrupted syscall, transient backend
+    /// outage).  Permanent damage — corruption, missing files — stays
+    /// [`TcuError::Io`].
+    IoTransient(String),
+    /// The query was cancelled by its session or the server before it
+    /// finished.  Execution unwound cleanly at a cancellation checkpoint;
+    /// no partial result escaped.
+    Cancelled(String),
+    /// The query ran past its deadline and was abandoned at a
+    /// cancellation checkpoint.
+    DeadlineExceeded(String),
+    /// The server refused to enqueue the query: the queue was at its
+    /// depth bound or the head had waited past the shed threshold.
+    /// Back off and retry; nothing was executed.
+    Overloaded(String),
     /// Catch-all for invalid arguments to public APIs.
     InvalidArgument(String),
+}
+
+impl TcuError {
+    /// True for failures worth retrying with backoff: transient storage
+    /// faults and server overload rejections.  Cancellation, deadlines,
+    /// corruption and semantic errors are permanent for the attempt.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, TcuError::IoTransient(_) | TcuError::Overloaded(_))
+    }
 }
 
 impl fmt::Display for TcuError {
@@ -60,6 +85,10 @@ impl fmt::Display for TcuError {
                 "device memory exceeded: required {required} bytes, available {available} bytes"
             ),
             TcuError::Io(msg) => write!(f, "io error: {msg}"),
+            TcuError::IoTransient(msg) => write!(f, "transient io error: {msg}"),
+            TcuError::Cancelled(msg) => write!(f, "cancelled: {msg}"),
+            TcuError::DeadlineExceeded(msg) => write!(f, "deadline exceeded: {msg}"),
+            TcuError::Overloaded(msg) => write!(f, "overloaded: {msg}"),
             TcuError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
         }
     }
@@ -69,7 +98,14 @@ impl std::error::Error for TcuError {}
 
 impl From<std::io::Error> for TcuError {
     fn from(e: std::io::Error) -> Self {
-        TcuError::Io(e.to_string())
+        use std::io::ErrorKind;
+        match e.kind() {
+            // The kinds the OS hands back for "try again", not damage.
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                TcuError::IoTransient(e.to_string())
+            }
+            _ => TcuError::Io(e.to_string()),
+        }
     }
 }
 
@@ -103,6 +139,13 @@ mod tests {
                 "device memory exceeded",
             ),
             (TcuError::Io("disk".into()), "io error"),
+            (TcuError::IoTransient("blip".into()), "transient io error"),
+            (TcuError::Cancelled("by session".into()), "cancelled"),
+            (
+                TcuError::DeadlineExceeded("10ms".into()),
+                "deadline exceeded",
+            ),
+            (TcuError::Overloaded("queue full".into()), "overloaded"),
             (TcuError::InvalidArgument("nope".into()), "invalid argument"),
         ];
         for (err, prefix) in cases {
@@ -118,5 +161,29 @@ mod tests {
         let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
         let err: TcuError = io.into();
         assert!(matches!(err, TcuError::Io(_)));
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn retryable_io_kinds_convert_to_transient() {
+        for kind in [
+            std::io::ErrorKind::Interrupted,
+            std::io::ErrorKind::WouldBlock,
+            std::io::ErrorKind::TimedOut,
+        ] {
+            let err: TcuError = std::io::Error::new(kind, "blip").into();
+            assert!(matches!(err, TcuError::IoTransient(_)), "{kind:?}");
+            assert!(err.is_transient());
+        }
+    }
+
+    #[test]
+    fn transient_taxonomy_is_exactly_io_and_overload() {
+        assert!(TcuError::IoTransient("x".into()).is_transient());
+        assert!(TcuError::Overloaded("x".into()).is_transient());
+        assert!(!TcuError::Cancelled("x".into()).is_transient());
+        assert!(!TcuError::DeadlineExceeded("x".into()).is_transient());
+        assert!(!TcuError::Io("x".into()).is_transient());
+        assert!(!TcuError::Execution("x".into()).is_transient());
     }
 }

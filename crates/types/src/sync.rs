@@ -1,4 +1,4 @@
-//! Poison-recovering lock helpers.
+//! Poison-recovering lock helpers and query-lifecycle primitives.
 //!
 //! `std::sync` poisons a lock when a thread panics while holding its
 //! guard.  For the TCUDB serving layer, poisoning must never be fatal:
@@ -12,8 +12,21 @@
 //! on: `locked(&self.state)` is recognised as an acquisition of `state`
 //! exactly like a bare `self.state.lock()` would be, so migrating a call
 //! site to the helpers never hides it from the static analysis.
+//!
+//! The second half of this module is the query-lifecycle layer:
+//! [`CancellationToken`] (cooperative cancellation with a deterministic
+//! cancel-at-Nth-checkpoint hook for the chaos tests), [`Deadline`]
+//! (a wall-clock budget), and [`QueryContext`] bundling the two into the
+//! value the executor, the tensor engine and the serving layer thread
+//! through a query.  `CancelInner.state` is a **leaf lock**: no code may
+//! acquire any other lock while holding it (the `tcudb-analyze`
+//! lock-order pass enforces this), so a checkpoint probe can run from
+//! inside any critical section without joining the lock-order graph.
 
-use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+use crate::{TcuError, TcuResult};
 
 /// Lock a [`Mutex`], clearing poisoning instead of panicking.
 pub fn locked<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -72,6 +85,240 @@ pub fn wait_on_timeout<'a, T>(
             let (g, t) = poisoned.into_inner();
             (g, t.timed_out())
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Query lifecycle: cancellation, deadlines, contexts
+// ---------------------------------------------------------------------------
+
+/// Shared state behind a [`CancellationToken`].
+///
+/// `state` is a leaf lock: it is never held across an acquisition of any
+/// other lock, so probing it from arbitrary checkpoints cannot deadlock.
+#[derive(Debug)]
+struct CancelInner {
+    // lint: leaf-lock probed from arbitrary call sites that may already
+    // hold scheduler or catalog locks; nothing may be acquired under it
+    state: Mutex<CancelState>,
+    changed: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct CancelState {
+    cancelled: bool,
+    /// Total checkpoint probes observed (all clones, all threads).
+    checks: u64,
+    /// Deterministic chaos hook: flip to cancelled on the Nth probe.
+    cancel_at_check: Option<u64>,
+}
+
+/// A cooperative cancellation flag shared by every clone.
+///
+/// Executors poll it at cancellation checkpoints (per filter table, per
+/// join step, per finalize chunk, between tensor row-panel shards);
+/// the serve layer's `Session::cancel` and drain timeout set it.  The
+/// deterministic [`CancellationToken::cancel_at_check`] hook lets the
+/// chaos oracle cancel at *every* checkpoint index in turn and assert
+/// clean unwinding at each.
+#[derive(Debug, Clone, Default)]
+pub struct CancellationToken {
+    inner: Arc<CancelInner>,
+}
+
+impl Default for CancelInner {
+    fn default() -> Self {
+        CancelInner {
+            state: Mutex::new(CancelState::default()),
+            changed: Condvar::new(),
+        }
+    }
+}
+
+impl CancellationToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> CancellationToken {
+        CancellationToken::default()
+    }
+
+    /// Request cancellation.  Every clone observes it at its next
+    /// checkpoint; threads blocked in [`CancellationToken::wait_cancelled`]
+    /// wake immediately.  Idempotent.
+    pub fn cancel(&self) {
+        let mut st = locked(&self.inner.state);
+        st.cancelled = true;
+        self.inner.changed.notify_all();
+    }
+
+    /// True once [`CancellationToken::cancel`] has been called (or a
+    /// scripted [`CancellationToken::cancel_at_check`] fired).
+    pub fn is_cancelled(&self) -> bool {
+        locked(&self.inner.state).cancelled
+    }
+
+    /// Script this token to flip to cancelled on its `n`-th checkpoint
+    /// probe (1-based; `checkpoint` calls count).  `n = 0` cancels
+    /// immediately.  Deterministic for a deterministic execution, which
+    /// is what lets the chaos oracle sweep every checkpoint index.
+    pub fn cancel_at_check(&self, n: u64) {
+        let mut st = locked(&self.inner.state);
+        if n == 0 {
+            st.cancelled = true;
+            self.inner.changed.notify_all();
+        } else {
+            st.cancel_at_check = Some(st.checks + n);
+        }
+    }
+
+    /// One checkpoint probe: count it, fire any scripted cancellation
+    /// that is due, and report whether the token is cancelled.
+    pub fn checkpoint(&self) -> bool {
+        let mut st = locked(&self.inner.state);
+        st.checks += 1;
+        if let Some(at) = st.cancel_at_check {
+            if st.checks >= at {
+                st.cancelled = true;
+                st.cancel_at_check = None;
+                self.inner.changed.notify_all();
+            }
+        }
+        st.cancelled
+    }
+
+    /// Number of checkpoint probes observed so far — the chaos oracle
+    /// runs a query once to learn its checkpoint count, then sweeps
+    /// `cancel_at_check(1..=count)`.
+    pub fn checks(&self) -> u64 {
+        locked(&self.inner.state).checks
+    }
+
+    /// Block until the token is cancelled or `timeout` elapses; returns
+    /// whether it is cancelled.
+    pub fn wait_cancelled(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        let mut st = locked(&self.inner.state);
+        while !st.cancelled {
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _) = wait_on_timeout(&self.inner.changed, st, deadline - now);
+            st = g;
+        }
+        true
+    }
+}
+
+/// A wall-clock deadline for one query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `budget` from now.
+    pub fn after(budget: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now() + budget,
+        }
+    }
+
+    /// A deadline at an explicit instant.
+    pub fn at(at: Instant) -> Deadline {
+        Deadline { at }
+    }
+
+    /// True once the deadline has passed.
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left before the deadline (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// Everything a query carries about its own lifetime: an optional
+/// cancellation token and an optional deadline.  `Default` is unbounded —
+/// `check()` always passes — so library callers that don't care pay one
+/// branch per checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct QueryContext {
+    /// Cooperative cancellation flag, shared with the session/server.
+    pub token: Option<CancellationToken>,
+    /// Wall-clock budget for the whole query.
+    pub deadline: Option<Deadline>,
+}
+
+impl QueryContext {
+    /// An unbounded context: never cancelled, no deadline.
+    pub fn unbounded() -> QueryContext {
+        QueryContext::default()
+    }
+
+    /// A context governed by `token` only.
+    pub fn with_token(token: CancellationToken) -> QueryContext {
+        QueryContext {
+            token: Some(token),
+            deadline: None,
+        }
+    }
+
+    /// A context governed by a deadline only.
+    pub fn with_deadline(deadline: Deadline) -> QueryContext {
+        QueryContext {
+            token: None,
+            deadline: Some(deadline),
+        }
+    }
+
+    /// Attach (or replace) the deadline.
+    pub fn deadline(mut self, deadline: Deadline) -> QueryContext {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// One cancellation checkpoint: returns [`TcuError::Cancelled`] when
+    /// the token fired, [`TcuError::DeadlineExceeded`] when the deadline
+    /// passed, `Ok(())` otherwise.  The deadline is only consulted when
+    /// the token (if any) is clear, so a cancelled query reports
+    /// cancellation even if it also ran long.
+    pub fn check(&self) -> TcuResult<()> {
+        if let Some(token) = &self.token {
+            if token.checkpoint() {
+                return Err(TcuError::Cancelled("query cancelled at checkpoint".into()));
+            }
+        }
+        if let Some(deadline) = &self.deadline {
+            if deadline.expired() {
+                return Err(TcuError::DeadlineExceeded(
+                    "query deadline passed at checkpoint".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when either governor has tripped, without counting a probe.
+    pub fn is_done(&self) -> bool {
+        self.token.as_ref().is_some_and(|t| t.is_cancelled())
+            || self.deadline.as_ref().is_some_and(|d| d.expired())
+    }
+
+    /// The typed error for a tripped context without counting a probe —
+    /// used after a parallel region to surface the error its worker
+    /// shards observed (shards stop quietly; the coordinator reports).
+    pub fn error_if_done(&self) -> TcuResult<()> {
+        if self.token.as_ref().is_some_and(|t| t.is_cancelled()) {
+            return Err(TcuError::Cancelled("query cancelled at checkpoint".into()));
+        }
+        if self.deadline.as_ref().is_some_and(|d| d.expired()) {
+            return Err(TcuError::DeadlineExceeded(
+                "query deadline passed at checkpoint".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -145,6 +392,95 @@ mod tests {
             cv.notify_all();
         }
         t.join().unwrap();
+    }
+
+    #[test]
+    fn cancellation_token_is_shared_across_clones() {
+        let token = CancellationToken::new();
+        let clone = token.clone();
+        assert!(!clone.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert!(clone.checkpoint());
+        // Idempotent.
+        token.cancel();
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_at_check_fires_on_the_exact_probe() {
+        let token = CancellationToken::new();
+        token.cancel_at_check(3);
+        assert!(!token.checkpoint()); // probe 1
+        assert!(!token.checkpoint()); // probe 2
+        assert!(token.checkpoint()); // probe 3: fires
+        assert!(token.is_cancelled());
+        assert_eq!(token.checks(), 3);
+    }
+
+    #[test]
+    fn cancel_at_check_zero_cancels_immediately() {
+        let token = CancellationToken::new();
+        token.cancel_at_check(0);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancel_at_check_counts_from_current_probe() {
+        let token = CancellationToken::new();
+        token.checkpoint();
+        token.checkpoint();
+        token.cancel_at_check(2); // relative: fires on probe 4 overall
+        assert!(!token.checkpoint());
+        assert!(token.checkpoint());
+    }
+
+    #[test]
+    fn wait_cancelled_wakes_on_cancel_and_times_out_otherwise() {
+        use std::time::Duration;
+        let token = CancellationToken::new();
+        assert!(!token.wait_cancelled(Duration::from_millis(5)));
+        let t2 = token.clone();
+        let waiter = std::thread::spawn(move || t2.wait_cancelled(Duration::from_secs(10)));
+        token.cancel();
+        assert!(waiter.join().unwrap());
+    }
+
+    #[test]
+    fn deadline_expires_and_reports_remaining() {
+        use std::time::Duration;
+        let d = Deadline::after(Duration::from_secs(60));
+        assert!(!d.expired());
+        assert!(d.remaining() > Duration::from_secs(30));
+        let past = Deadline::after(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(past.expired());
+        assert_eq!(past.remaining(), Duration::ZERO);
+    }
+
+    #[test]
+    fn query_context_check_returns_typed_errors() {
+        use crate::TcuError;
+        use std::time::Duration;
+        // Unbounded: always passes.
+        assert!(QueryContext::unbounded().check().is_ok());
+
+        let token = CancellationToken::new();
+        let ctx = QueryContext::with_token(token.clone());
+        assert!(ctx.check().is_ok());
+        token.cancel();
+        assert!(matches!(ctx.check(), Err(TcuError::Cancelled(_))));
+        assert!(ctx.is_done());
+
+        let ctx = QueryContext::with_deadline(Deadline::after(Duration::ZERO));
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(matches!(ctx.check(), Err(TcuError::DeadlineExceeded(_))));
+
+        // Cancellation wins over an expired deadline.
+        let token = CancellationToken::new();
+        token.cancel();
+        let ctx = QueryContext::with_token(token).deadline(Deadline::after(Duration::ZERO));
+        assert!(matches!(ctx.check(), Err(TcuError::Cancelled(_))));
     }
 
     #[test]
