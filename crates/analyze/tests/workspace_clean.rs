@@ -54,6 +54,8 @@ fn workspace_lock_graph_has_the_expected_shape() {
         "tcudb-storage::EncodingCache.inner",
         "tcudb-core::PlanCache.inner",
         "tcudb-types::CancelInner.state",
+        "tcudb-types::WorkerPool.state",
+        "tcudb-storage::ZoneCache.inner",
     ] {
         assert!(
             ids.contains(&expected.to_string()),
@@ -62,12 +64,20 @@ fn workspace_lock_graph_has_the_expected_shape() {
     }
 
     // The cancellation token's state mutex is probed from checkpoints
-    // everywhere — it must be declared (and verified) a leaf lock.
+    // everywhere — it must be declared (and verified) a leaf lock.  The
+    // worker pool's accounting mutex and the zone-map cache are taken
+    // from inside morsel execution for the same reason.
     let leaves: Vec<String> = a.locks.leaf_locks.iter().map(|id| id.to_string()).collect();
-    assert!(
-        leaves.contains(&"tcudb-types::CancelInner.state".to_string()),
-        "leaf locks: {leaves:?}"
-    );
+    for expected in [
+        "tcudb-types::CancelInner.state",
+        "tcudb-types::WorkerPool.state",
+        "tcudb-storage::ZoneCache.inner",
+    ] {
+        assert!(
+            leaves.contains(&expected.to_string()),
+            "missing leaf lock {expected}; leaf locks: {leaves:?}"
+        );
+    }
 
     // The one deliberate ordering in the tree: `SharedCatalog::update`
     // takes the writer mutex, then swaps `current` under the write lock.

@@ -28,7 +28,7 @@ use tcudb_types::{TcuError, TcuResult, Value};
 
 /// Rows per `AppendRows` WAL record: large ingests are chunked so no
 /// single log frame grows unbounded.
-const APPEND_CHUNK_ROWS: usize = 65_536;
+const APPEND_CHUNK_ROWS: usize = tcudb_storage::DEFAULT_CHUNK_ROWS;
 
 /// Engine-wide configuration.
 #[derive(Debug, Clone)]
@@ -68,6 +68,18 @@ pub struct EngineConfig {
     /// `relops::apply_filters_with`.  Disabling this selects the
     /// interpreter for harness baselines and debugging.
     pub encoded_path: bool,
+    /// Prune column chunks through their zone maps during scans: both a
+    /// table's own filter atoms and semi-join key ranges pushed from
+    /// already-filtered join partners.  Final query results are identical
+    /// either way; disabling it selects the scan-everything baseline the
+    /// benchmark speedup gates compare against.
+    pub zone_prune: bool,
+    /// Thread cap for one morsel run (scan chunks, join probe ranges).
+    /// `None` sizes each run from the shared
+    /// [`WorkerPool`](tcudb_types::WorkerPool)'s currently idle share;
+    /// `Some(1)` forces chunk-serial execution (the single-thread
+    /// baseline).
+    pub morsel_threads: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -79,6 +91,8 @@ impl Default for EngineConfig {
             kernel_mac_limit: 1 << 27,
             count_only: false,
             encoded_path: true,
+            zone_prune: true,
+            morsel_threads: None,
         }
     }
 }
@@ -103,6 +117,28 @@ impl EngineConfig {
     pub fn with_encoded_path(mut self, enabled: bool) -> EngineConfig {
         self.encoded_path = enabled;
         self
+    }
+
+    /// Toggle zone-map chunk pruning (on by default); `false` selects the
+    /// scan-everything baseline.
+    pub fn with_zone_prune(mut self, enabled: bool) -> EngineConfig {
+        self.zone_prune = enabled;
+        self
+    }
+
+    /// Fix the morsel thread cap (`None` = size from the shared pool).
+    pub fn with_morsel_threads(mut self, threads: Option<usize>) -> EngineConfig {
+        self.morsel_threads = threads;
+        self
+    }
+
+    /// Threads one morsel run may use under this configuration: the
+    /// explicit cap when set, else the shared worker pool's currently
+    /// idle share.
+    pub fn effective_morsel_threads(&self) -> usize {
+        self.morsel_threads
+            .unwrap_or_else(|| tcudb_types::WorkerPool::shared().scoped_parallelism())
+            .max(1)
     }
 }
 

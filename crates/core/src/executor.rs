@@ -78,6 +78,16 @@ pub struct HostBreakdown {
     /// Seconds in the output pipeline (residuals, grouping, aggregation,
     /// ORDER BY/LIMIT, result materialization).
     pub finalize_secs: f64,
+    /// Column chunks actually scanned (summed over the query's tables).
+    pub chunks_scanned: u64,
+    /// Column chunks skipped by zone-map pruning.
+    pub chunks_pruned: u64,
+    /// Morsels executed through the shared worker pool (scan chunks plus
+    /// join probe ranges).
+    pub morsels: u64,
+    /// Most worker threads any morsel run of this query used (1 = every
+    /// run stayed inline on the calling thread).
+    pub workers: u64,
 }
 
 impl HostBreakdown {
@@ -156,11 +166,31 @@ pub fn execute_ctx(
     let mut host = HostBreakdown::default();
 
     // ---- Filters (GPU scans over the filtered columns; vectorized
-    // typed kernels on the encoded path) ----
+    // typed kernels on the encoded path), chunked with zone-map pruning
+    // and morsel parallelism ----
     let stage = Instant::now();
-    let surviving = relops::apply_filters_ctx(analyzed, config.encoded_path, ctx)?;
+    let scan_opts = relops::ScanOptions {
+        threads: config.effective_morsel_threads(),
+        zone_prune: config.zone_prune,
+        semi_join: config.zone_prune,
+    };
+    let (surviving, table_scans, scan_stats) =
+        relops::apply_filters_scan(analyzed, config.encoded_path, ctx, &scan_opts)?;
     host.filter_secs = stage.elapsed().as_secs_f64();
+    host.chunks_scanned = scan_stats.chunks_scanned;
+    host.chunks_pruned = scan_stats.chunks_pruned;
+    host.morsels = scan_stats.morsels;
+    host.workers = scan_stats.workers.max(1);
     for (ti, bound) in analyzed.tables.iter().enumerate() {
+        // Both plan lines depend only on chunk layout, zone maps and
+        // surviving counts, which the encoded and interpreter paths share
+        // — plan text stays engine-independent.
+        if table_scans[ti].pruned > 0 {
+            plan.steps.push(format!(
+                "zone-prune {}: skipped {}/{} chunks",
+                bound.binding, table_scans[ti].pruned, table_scans[ti].chunks
+            ));
+        }
         if !analyzed.filters_for_table(ti).is_empty() {
             let secs = cost.gpu_scan_seconds(bound.table.num_rows(), 8);
             timeline.record_detail(
@@ -320,6 +350,7 @@ pub fn execute_ctx(
                 optimizer,
                 config,
                 &mut timeline,
+                &mut host,
                 ctx,
             )?
         } else {
@@ -567,6 +598,7 @@ fn execute_join_step_encoded(
     optimizer: &Optimizer,
     config: &EngineConfig,
     timeline: &mut ExecutionTimeline,
+    host: &mut HostBreakdown,
     ctx: &QueryContext,
 ) -> TcuResult<Vec<(usize, usize)>> {
     let cost = optimizer.cost_model();
@@ -592,12 +624,26 @@ fn execute_join_step_encoded(
         cost.h2d_seconds(shape.plan_working_set_bytes(choice.kind, choice.precision))
     };
 
-    let code_join =
-        || relops::join_pairs_by_code(left, left_remap, right, right_remap, domain.len());
+    // The probe side of the code join runs as contiguous row morsels on
+    // the shared worker pool; pair order is identical to the serial probe.
+    let code_join = |host: &mut HostBreakdown| {
+        let (pairs, run) = relops::join_pairs_by_code_morsels(
+            left,
+            left_remap,
+            right,
+            right_remap,
+            domain.len(),
+            config.effective_morsel_threads(),
+            tcudb_storage::DEFAULT_CHUNK_ROWS,
+        );
+        host.morsels += run.morsels;
+        host.workers = host.workers.max(run.threads as u64);
+        pairs
+    };
 
     match choice.kind {
         PlanKind::GpuFallback => {
-            let pairs = code_join();
+            let pairs = code_join(host);
             timeline.record_detail(
                 Phase::MemcpyHostToDevice,
                 "copy join columns",
@@ -682,7 +728,7 @@ fn execute_join_step_encoded(
         kind => {
             timeline.record_detail(Phase::FillMatrices, "build matrices (GPU-assisted)", dt);
             timeline.record_detail(Phase::MemcpyHostToDevice, "copy operands", dm);
-            let pairs = code_join();
+            let pairs = code_join(host);
             let kernel_secs = match kind {
                 PlanKind::TcuSparse => {
                     cost.tcu_spmm_seconds(&shape.estimated_spmm_stats(), choice.precision)
@@ -995,10 +1041,14 @@ fn execute_join_step(
 /// estimate's, can exceed it.  Admission control treats it as a
 /// throttling currency, not a hard memory reservation.
 pub fn estimate_working_set_bytes(analyzed: &AnalyzedQuery, optimizer: &Optimizer) -> f64 {
+    // Each table is charged only the fraction of its chunks a zone-pruned
+    // scan will actually read: admission control prices pruned scans, not
+    // whole-table sizes.
     let table_bytes: f64 = analyzed
         .tables
         .iter()
-        .map(|b| b.table.byte_size() as f64)
+        .enumerate()
+        .map(|(ti, b)| b.table.byte_size() as f64 * relops::pruned_scan_fraction(analyzed, ti))
         .sum();
     let mut peak: f64 = 0.0;
     for j in &analyzed.joins {

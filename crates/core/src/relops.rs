@@ -51,11 +51,11 @@ use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 use tcudb_sql::{AggFunc, BinOp, Expr, SelectStatement};
-use tcudb_storage::{Column, ColumnDef, DictColumn, Schema, Table};
+use tcudb_storage::{chunk, Column, ColumnDef, DictColumn, Schema, Table};
 use tcudb_tensor::{grouped, GemmPrecision, GemmStats};
 use tcudb_types::sync::QueryContext;
 use tcudb_types::value::ValueKey;
-use tcudb_types::{DataType, TcuError, TcuResult, Value};
+use tcudb_types::{DataType, MorselRun, TcuError, TcuResult, Value, WorkerPool};
 
 /// Equality hash join over two key columns restricted to row subsets.
 /// Returns pairs of *original* row indices `(left_row, right_row)`.
@@ -100,11 +100,43 @@ pub fn join_pairs_by_code(
     right_remap: &[u32],
     domain_len: usize,
 ) -> Vec<(usize, usize)> {
+    join_pairs_by_code_morsels(
+        left,
+        left_remap,
+        right,
+        right_remap,
+        domain_len,
+        1,
+        usize::MAX,
+    )
+    .0
+}
+
+/// [`join_pairs_by_code`] with the probe side split into contiguous row
+/// morsels executed on the shared [`WorkerPool`].  The build side (the
+/// smaller input) is laid out once; each morsel probes one row range and
+/// the per-morsel outputs are concatenated in range order, so the pair
+/// sequence is byte-identical to the serial probe for every thread count.
+pub fn join_pairs_by_code_morsels(
+    left: &EncodedSource<'_>,
+    left_remap: &[u32],
+    right: &EncodedSource<'_>,
+    right_remap: &[u32],
+    domain_len: usize,
+    threads: usize,
+    morsel_rows: usize,
+) -> (Vec<(usize, usize)>, MorselRun) {
     if right.len() < left.len() {
-        return join_pairs_by_code(right, right_remap, left, left_remap, domain_len)
-            .into_iter()
-            .map(|(r, l)| (l, r))
-            .collect();
+        let (pairs, run) = join_pairs_by_code_morsels(
+            right,
+            right_remap,
+            left,
+            left_remap,
+            domain_len,
+            threads,
+            morsel_rows,
+        );
+        return (pairs.into_iter().map(|(r, l)| (l, r)).collect(), run);
     }
     // Counting-sort layout: one flat pass to count, one to fill, so the
     // bucket table is two dense arrays rather than a Vec-of-Vecs.
@@ -128,21 +160,33 @@ pub fn join_pairs_by_code(
             cursor[di as usize] += 1;
         }
     }
-    let mut out = Vec::new();
-    for rpos in 0..right.len() {
-        let di = right_remap[right.code_at(rpos) as usize];
-        if di == NO_INDEX {
-            continue;
+    let mr = morsel_rows.max(1);
+    let morsel_count = right.len().div_ceil(mr);
+    let (parts, run) = WorkerPool::shared().run_chunks(morsel_count, threads, |ci| {
+        let lo = ci * mr;
+        let hi = lo.saturating_add(mr).min(right.len());
+        let mut out = Vec::new();
+        for rpos in lo..hi {
+            let di = right_remap[right.code_at(rpos) as usize];
+            if di == NO_INDEX {
+                continue;
+            }
+            let (start, end) = (
+                counts[di as usize] as usize,
+                counts[di as usize + 1] as usize,
+            );
+            for &lpos in &slots[start..end] {
+                out.push((lpos as usize, rpos));
+            }
         }
-        let (start, end) = (
-            counts[di as usize] as usize,
-            counts[di as usize + 1] as usize,
-        );
-        for &lpos in &slots[start..end] {
-            out.push((lpos as usize, rpos));
-        }
+        out
+    });
+    let total = parts.iter().map(Vec::len).sum();
+    let mut out = Vec::with_capacity(total);
+    for p in parts {
+        out.extend(p);
     }
-    out
+    (out, run)
 }
 
 /// Non-equi join over two key columns restricted to row subsets, for the
@@ -319,86 +363,381 @@ pub fn apply_filters_with(
 }
 
 /// [`apply_filters_with`] under a cancellation/deadline context, probed
-/// once per filtered table — the "per-filter" checkpoint of the query
-/// lifecycle.  A cancelled query unwinds here with the typed error before
-/// any join work starts.
+/// per table and per scan morsel.  A cancelled query unwinds here with
+/// the typed error before any join work starts.
+///
+/// This legacy entry point runs the scan chunk-serially with zone-map
+/// pruning **off**, so row order, predicate evaluation order and error
+/// order are exactly the historical single-stream semantics; the executor
+/// opts into pruning and morsel parallelism through
+/// [`apply_filters_scan`].
 pub fn apply_filters_ctx(
     analyzed: &AnalyzedQuery,
     vectorized: bool,
     qctx: &QueryContext,
 ) -> TcuResult<Vec<Vec<usize>>> {
-    let mut ctx = analyzed.row_context();
-    let mut surviving = Vec::with_capacity(analyzed.tables.len());
-    for (ti, bound) in analyzed.tables.iter().enumerate() {
-        qctx.check()?;
-        let filters = analyzed.filters_for_table(ti);
-        let nrows = bound.table.num_rows();
-        if filters.is_empty() {
-            surviving.push((0..nrows).collect());
-            continue;
-        }
-        let mut atoms = Vec::new();
-        let mut complex = Vec::new();
-        if vectorized {
-            for f in &filters {
-                match vectorizable_atom(f, &ctx, ti) {
-                    Some(a) => atoms.push(a),
-                    None => complex.push(*f),
-                }
-            }
-        } else {
-            complex.extend(filters.iter().copied());
-        }
-
-        let mut keep = Vec::new();
-        if atoms.is_empty() {
-            'rows: for r in 0..nrows {
-                ctx.set_row(ti, r);
-                for f in &complex {
-                    if !eval_predicate(f, &ctx)? {
-                        continue 'rows;
-                    }
-                }
-                keep.push(r);
-            }
-        } else {
-            let mut mask = vec![true; nrows];
-            for atom in &atoms {
-                apply_filter_atom(&bound.table, atom, &mut mask)?;
-            }
-            'masked: for (r, ok) in mask.iter().enumerate() {
-                if !*ok {
-                    continue;
-                }
-                if !complex.is_empty() {
-                    ctx.set_row(ti, r);
-                    for f in &complex {
-                        if !eval_predicate(f, &ctx)? {
-                            continue 'masked;
-                        }
-                    }
-                }
-                keep.push(r);
-            }
-        }
-        surviving.push(keep);
-    }
-    Ok(surviving)
+    let opts = ScanOptions {
+        threads: 1,
+        zone_prune: false,
+        semi_join: false,
+    };
+    Ok(apply_filters_scan(analyzed, vectorized, qctx, &opts)?.0)
 }
 
-/// AND one vectorizable predicate into the selection mask with a typed
-/// columnar loop.  Every branch reproduces the corresponding
-/// `eval_predicate` result bit for bit (including the
-/// `partial_cmp(..).unwrap_or(Equal)` NaN behaviour of `sql_cmp`, hence
-/// the negated comparisons for `LtEq`/`GtEq` — `!(a > b)` is *not* the
-/// same as `a <= b` on NaN, and the interpreter implements the former).
+/// Knobs of the chunked scan pipeline ([`apply_filters_scan`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ScanOptions {
+    /// Maximum threads one morsel run may use (1 = inline, serial).
+    pub threads: usize,
+    /// Skip chunks whose zone maps cannot satisfy the table's own
+    /// [`FilterAtom`]s.  Pure pruning: never changes the surviving set.
+    pub zone_prune: bool,
+    /// Additionally push min/max key ranges from already-filtered join
+    /// partners and prune chunks that cannot contain a joinable key.
+    /// This *shrinks* per-table surviving sets (rows that provably join
+    /// nothing are dropped before the join), so it is only enabled on the
+    /// executor path where every downstream consumer is the join itself —
+    /// final query results are unchanged.
+    pub semi_join: bool,
+}
+
+impl ScanOptions {
+    /// Chunk-serial scan with pruning but no cross-table pushdown.
+    pub fn serial() -> ScanOptions {
+        ScanOptions {
+            threads: 1,
+            zone_prune: true,
+            semi_join: false,
+        }
+    }
+}
+
+/// Chunk accounting of one table's scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TableScan {
+    /// Total chunks the table is partitioned into.
+    pub chunks: u64,
+    /// Chunks skipped by zone-map pruning.
+    pub pruned: u64,
+}
+
+/// Aggregate scan statistics of one query (summed over its tables).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Chunks actually scanned.
+    pub chunks_scanned: u64,
+    /// Chunks skipped by zone-map pruning.
+    pub chunks_pruned: u64,
+    /// Scan morsels executed.
+    pub morsels: u64,
+    /// Most threads any morsel run used (0 when no morsels ran).
+    pub workers: u64,
+}
+
+/// The executor's scan entry point: evaluate every table's single-table
+/// filters over its column chunks, with zone-map pruning and
+/// morsel-parallel evaluation on the shared [`WorkerPool`].
+///
+/// Determinism: kept chunks are scanned as index-ordered morsels whose
+/// results are concatenated in chunk order, so the surviving row sets —
+/// and the first error, if any — are identical for every thread count.
+/// Atoms are classified in **both** the vectorized and the interpreter
+/// mode so that two engines differing only in `vectorized` prune (and
+/// report) identically; the interpreter mode still evaluates all
+/// predicates row-at-a-time on the chunks it scans.
+///
+/// Returns `(surviving rows per table, per-table chunk accounting,
+/// aggregate stats)`.
+pub fn apply_filters_scan(
+    analyzed: &AnalyzedQuery,
+    vectorized: bool,
+    qctx: &QueryContext,
+    opts: &ScanOptions,
+) -> TcuResult<(Vec<Vec<usize>>, Vec<TableScan>, ScanStats)> {
+    let n = analyzed.tables.len();
+    let class_ctx = analyzed.row_context();
+    let mut surviving: Vec<Option<Vec<usize>>> = (0..n).map(|_| None).collect();
+    let mut scans = vec![TableScan::default(); n];
+    let mut stats = ScanStats::default();
+    // Semi-join key-range constraints pushed onto not-yet-scanned tables:
+    // `(column index, lo, hi)` — a chunk of that table whose key zone
+    // cannot intersect `[lo, hi]` cannot produce a join match.
+    let mut pushed: Vec<Vec<(usize, f64, f64)>> = vec![Vec::new(); n];
+    let mut order: Vec<usize> = (0..n).collect();
+    if opts.semi_join {
+        // Scan smaller tables first so filtered dimensions push their key
+        // ranges onto the fact tables scanned after them.
+        order.sort_by_key(|&t| (analyzed.tables[t].table.num_rows(), t));
+    }
+    let pool = WorkerPool::shared();
+
+    for &ti in &order {
+        qctx.check()?;
+        let bound = &analyzed.tables[ti];
+        let table: &Table = &bound.table;
+        let nrows = table.num_rows();
+        let filters = analyzed.filters_for_table(ti);
+
+        // Classify the table's predicates (pruning needs the atoms in
+        // both modes; only the vectorized path evaluates them as typed
+        // kernels).
+        let mut atoms: Vec<FilterAtom> = Vec::new();
+        let mut complex: Vec<&Expr> = Vec::new();
+        for f in &filters {
+            match vectorizable_atom(f, &class_ctx, ti) {
+                Some(a) => atoms.push(a),
+                None => complex.push(*f),
+            }
+        }
+
+        // ---- Zone-map pruning ----
+        let chunk_rows = table.chunk_rows();
+        let total = chunk::chunk_count(nrows, chunk_rows);
+        let mut constraints: Vec<(std::sync::Arc<chunk::ColumnZones>, f64, f64)> = Vec::new();
+        if opts.zone_prune {
+            for a in &atoms {
+                if let Some((col, lo, hi)) = atom_interval(a) {
+                    constraints.push((table.zone_map(col), lo, hi));
+                }
+            }
+            for &(col, lo, hi) in &pushed[ti] {
+                constraints.push((table.zone_map(col), lo, hi));
+            }
+        }
+        let kept: Vec<usize> = (0..total)
+            .filter(|&k| {
+                constraints
+                    .iter()
+                    .all(|(z, lo, hi)| z.may_intersect(k, *lo, *hi))
+            })
+            .collect();
+        scans[ti] = TableScan {
+            chunks: total as u64,
+            pruned: (total - kept.len()) as u64,
+        };
+        stats.chunks_scanned += kept.len() as u64;
+        stats.chunks_pruned += scans[ti].pruned;
+
+        // ---- Evaluate the kept chunks as morsels ----
+        let keep: Vec<usize> = if filters.is_empty() && kept.len() == total {
+            // Unfiltered and nothing pruned: the identity selection.
+            (0..nrows).collect()
+        } else {
+            let eval_atoms: &[FilterAtom] = if vectorized { &atoms } else { &[] };
+            let eval_complex: &[&Expr] = if vectorized { &complex } else { &filters };
+            let scan_chunk = |ci: usize| -> TcuResult<Vec<usize>> {
+                qctx.check()?;
+                let (start, end) = chunk::chunk_span(nrows, chunk_rows, kept[ci]);
+                scan_range(analyzed, ti, table, start, end, eval_atoms, eval_complex)
+            };
+            let (parts, run) = pool.run_chunks(kept.len(), opts.threads.max(1), scan_chunk);
+            stats.morsels += run.morsels;
+            stats.workers = stats.workers.max(run.threads as u64);
+            let mut acc = Vec::new();
+            for p in parts {
+                acc.extend(p?);
+            }
+            acc
+        };
+
+        // ---- Semi-join key-range pushdown ----
+        if opts.semi_join && keep.len() < nrows {
+            for j in &analyzed.joins {
+                if !j.is_equi() {
+                    continue;
+                }
+                let (partner, my_col, partner_col) = if j.left.0 == ti {
+                    (j.right.0, &j.left.1, &j.right.1)
+                } else if j.right.0 == ti {
+                    (j.left.0, &j.right.1, &j.left.1)
+                } else {
+                    continue;
+                };
+                if partner == ti || surviving[partner].is_some() {
+                    continue;
+                }
+                let my_idx = table.schema().require(my_col)?;
+                if let Some((lo, hi)) = value_range(table.column(my_idx), &keep) {
+                    let p_idx = analyzed.tables[partner]
+                        .table
+                        .schema()
+                        .require(partner_col)?;
+                    pushed[partner].push((p_idx, lo, hi));
+                }
+            }
+        }
+        surviving[ti] = Some(keep);
+    }
+
+    let surviving = surviving
+        .into_iter()
+        .map(Option::unwrap_or_default)
+        .collect();
+    Ok((surviving, scans, stats))
+}
+
+/// Evaluate one table's predicates over the row range `[start, end)`,
+/// reproducing the single-stream evaluation order exactly: atoms AND into
+/// a mask with typed kernels, surviving rows run the complex predicates
+/// through the interpreter in textual order.
+fn scan_range(
+    analyzed: &AnalyzedQuery,
+    ti: usize,
+    table: &Table,
+    start: usize,
+    end: usize,
+    atoms: &[FilterAtom],
+    complex: &[&Expr],
+) -> TcuResult<Vec<usize>> {
+    let mut keep = Vec::new();
+    if atoms.is_empty() {
+        let mut ctx = analyzed.row_context();
+        'rows: for r in start..end {
+            ctx.set_row(ti, r);
+            for f in complex {
+                if !eval_predicate(f, &ctx)? {
+                    continue 'rows;
+                }
+            }
+            keep.push(r);
+        }
+        return Ok(keep);
+    }
+    let mut mask = vec![true; end - start];
+    for atom in atoms {
+        apply_filter_atom_range(table, atom, start, &mut mask)?;
+    }
+    if complex.is_empty() {
+        keep.extend(
+            mask.iter()
+                .enumerate()
+                .filter(|(_, ok)| **ok)
+                .map(|(i, _)| start + i),
+        );
+        return Ok(keep);
+    }
+    let mut ctx = analyzed.row_context();
+    'masked: for (i, ok) in mask.iter().enumerate() {
+        if !*ok {
+            continue;
+        }
+        let r = start + i;
+        ctx.set_row(ti, r);
+        for f in complex {
+            if !eval_predicate(f, &ctx)? {
+                continue 'masked;
+            }
+        }
+        keep.push(r);
+    }
+    Ok(keep)
+}
+
+/// The constraint interval `[lo, hi]` a [`FilterAtom`] imposes on its
+/// column, for zone-map pruning — `None` when the atom cannot prune
+/// (text/NotEq, or a literal whose exact `f64` image is not guaranteed).
+/// Ordering atoms use a half-open-at-infinity interval; the closed
+/// endpoint is conservative for the strict operators (a chunk whose bound
+/// only *equals* the literal is still scanned), which keeps pruning sound.
+fn atom_interval(atom: &FilterAtom) -> Option<(usize, f64, f64)> {
+    match atom {
+        FilterAtom::Between { col, low, high } => Some((*col, *low, *high)),
+        FilterAtom::Cmp { col, op, lit } => {
+            let v = match lit {
+                Value::Int(x) => chunk::int_bound(*x)?,
+                Value::Float(f) if !f.is_nan() => *f,
+                _ => return None,
+            };
+            match op {
+                BinOp::Eq => Some((*col, v, v)),
+                BinOp::Lt | BinOp::LtEq => Some((*col, f64::NEG_INFINITY, v)),
+                BinOp::Gt | BinOp::GtEq => Some((*col, v, f64::INFINITY)),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Min/max of a key column restricted to `rows`, as an exact `f64`
+/// interval — the semi-join range pushed to join partners.  `None` when
+/// no sound interval exists (text keys, NaN keys — which join other NaNs
+/// under `group_key` — or integers beyond ±2⁵²).  An empty selection
+/// yields the empty interval `[+∞, −∞]`, which prunes every prunable
+/// partner chunk.
+fn value_range(col: &Column, rows: &[usize]) -> Option<(f64, f64)> {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    match col {
+        Column::Int64(v) => {
+            for &r in rows {
+                let x = chunk::int_bound(v[r])?;
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        Column::Float64(v) => {
+            for &r in rows {
+                let x = v[r];
+                if x.is_nan() {
+                    return None;
+                }
+                lo = lo.min(x);
+                hi = hi.max(x);
+            }
+        }
+        Column::Text(_) => return None,
+    }
+    Some((lo, hi))
+}
+
+/// Fraction of table `ti`'s chunks a zone-pruned scan must still read
+/// (1.0 when nothing can be pruned) — the hook admission control uses to
+/// price pruned scans instead of whole-table sizes.
+pub fn pruned_scan_fraction(analyzed: &AnalyzedQuery, ti: usize) -> f64 {
+    let table = &analyzed.tables[ti].table;
+    let total = table.chunk_count();
+    if total == 0 {
+        return 1.0;
+    }
+    let ctx = analyzed.row_context();
+    let mut zones = Vec::new();
+    for f in &analyzed.filters_for_table(ti) {
+        if let Some(a) = vectorizable_atom(f, &ctx, ti) {
+            if let Some((col, lo, hi)) = atom_interval(&a) {
+                zones.push((table.zone_map(col), lo, hi));
+            }
+        }
+    }
+    if zones.is_empty() {
+        return 1.0;
+    }
+    let constraints: Vec<(&chunk::ColumnZones, f64, f64)> = zones
+        .iter()
+        .map(|(z, lo, hi)| (z.as_ref(), *lo, *hi))
+        .collect();
+    chunk::kept_chunks(total, &constraints) as f64 / total as f64
+}
+
+/// AND one vectorizable predicate into the selection mask of the row
+/// range `[start, start + mask.len())` with a typed columnar loop.  Every
+/// branch reproduces the corresponding `eval_predicate` result bit for
+/// bit (including the `partial_cmp(..).unwrap_or(Equal)` NaN behaviour of
+/// `sql_cmp`, hence the negated comparisons for `LtEq`/`GtEq` — `!(a > b)`
+/// is *not* the same as `a <= b` on NaN, and the interpreter implements
+/// the former).
 #[allow(clippy::neg_cmp_op_on_partial_ord)]
-fn apply_filter_atom(table: &Table, atom: &FilterAtom, mask: &mut [bool]) -> TcuResult<()> {
+fn apply_filter_atom_range(
+    table: &Table,
+    atom: &FilterAtom,
+    start: usize,
+    mask: &mut [bool],
+) -> TcuResult<()> {
     fn mask_by<T: Copy>(mask: &mut [bool], data: &[T], pred: impl Fn(T) -> bool) {
         for (m, &x) in mask.iter_mut().zip(data) {
             *m = *m && pred(x);
         }
     }
+    let end = start + mask.len();
     let internal = |what: &str| {
         TcuError::Execution(format!(
             "filter atom misclassified ({what}); analyzer and kernels disagree"
@@ -408,11 +747,11 @@ fn apply_filter_atom(table: &Table, atom: &FilterAtom, mask: &mut [bool]) -> Tcu
         FilterAtom::Between { col, low, high } => {
             let (lo, hi) = (*low, *high);
             match table.column(*col) {
-                Column::Int64(v) => mask_by(mask, v, |x| {
+                Column::Int64(v) => mask_by(mask, &v[start..end], |x| {
                     let x = x as f64;
                     x >= lo && x <= hi
                 }),
-                Column::Float64(v) => mask_by(mask, v, |x| x >= lo && x <= hi),
+                Column::Float64(v) => mask_by(mask, &v[start..end], |x| x >= lo && x <= hi),
                 Column::Text(_) => return Err(internal("BETWEEN over text")),
             }
         }
@@ -420,6 +759,7 @@ fn apply_filter_atom(table: &Table, atom: &FilterAtom, mask: &mut [bool]) -> Tcu
             let op = *op;
             match (table.column(*col), lit) {
                 (Column::Int64(v), Value::Int(x)) => {
+                    let v = &v[start..end];
                     let x = *x;
                     match op {
                         BinOp::Eq => mask_by(mask, v, |a| a == x),
@@ -432,6 +772,7 @@ fn apply_filter_atom(table: &Table, atom: &FilterAtom, mask: &mut [bool]) -> Tcu
                     }
                 }
                 (Column::Int64(v), Value::Float(f)) => {
+                    let v = &v[start..end];
                     let f = *f;
                     match op {
                         // Int-vs-Float equality follows group_key: only an
@@ -451,6 +792,7 @@ fn apply_filter_atom(table: &Table, atom: &FilterAtom, mask: &mut [bool]) -> Tcu
                     }
                 }
                 (Column::Float64(v), lit @ (Value::Int(_) | Value::Float(_))) => {
+                    let v = &v[start..end];
                     let litf = lit.as_f64().expect("numeric literal");
                     match op {
                         BinOp::Eq | BinOp::NotEq => {
@@ -469,7 +811,7 @@ fn apply_filter_atom(table: &Table, atom: &FilterAtom, mask: &mut [bool]) -> Tcu
                 }
                 (Column::Text(_), Value::Text(s)) => {
                     let dict = table.encoded_column(*col);
-                    let codes = dict.codes();
+                    let codes = &dict.codes()[start..end];
                     match op {
                         BinOp::Eq | BinOp::NotEq => {
                             let want_eq = op == BinOp::Eq;

@@ -137,6 +137,71 @@ fn expired_deadline_is_typed_and_engine_stays_live() {
     assert_eq!(db.execute(sql).unwrap().table, expected);
 }
 
+/// Chunked tables turn scans into many-morsel pipelines; every morsel is
+/// a cooperative checkpoint, and cancellation at each of them must stay
+/// typed — serially and with parallel morsel workers.
+#[test]
+fn cancellation_sweep_hits_per_morsel_checkpoints() {
+    let mut cat = base_catalog();
+    for name in ["A", "B", "C"] {
+        let mut t = (*cat.table(name).unwrap()).clone();
+        t.set_chunk_rows(2);
+        cat.register(t);
+    }
+    let db = TcuDb::new(EngineConfig::default().with_morsel_threads(Some(1)));
+    db.set_catalog(cat.clone());
+    let unchunked = TcuDb::default();
+    unchunked.set_catalog(base_catalog());
+
+    // A filtered scan over 2-row chunks probes once per surviving morsel:
+    // strictly more checkpoints than the same scan over one big chunk.
+    let filtered = "SELECT A.val FROM A WHERE A.val >= 12";
+    let (_, chunked_probes) = run_counted(&db, filtered);
+    let (_, flat_probes) = run_counted(&unchunked, filtered);
+    assert!(
+        chunked_probes > flat_probes,
+        "chunking added no per-morsel checkpoints ({chunked_probes} vs {flat_probes})"
+    );
+
+    for sql in QUERIES {
+        let expected = unchunked.execute(sql).unwrap().table;
+        let (counted, probes) = run_counted(&db, sql);
+        assert_eq!(counted, expected, "{sql}: chunked run diverged");
+        let (_, probes2) = run_counted(&db, sql);
+        assert_eq!(
+            probes, probes2,
+            "{sql}: chunked probe schedule nondeterministic"
+        );
+        for k in 0..probes {
+            run_cancelled_at(&db, sql, k);
+        }
+        assert_eq!(
+            db.execute(sql).unwrap().table,
+            expected,
+            "{sql}: diverged after the abort sweep"
+        );
+    }
+
+    // With two morsel workers the schedule interleaves, but an abort at
+    // any reachable probe index is still a typed `Cancelled` and the
+    // engine stays live and correct afterwards.
+    let par = TcuDb::new(EngineConfig::default().with_morsel_threads(Some(2)));
+    par.set_catalog(cat);
+    for sql in QUERIES {
+        let expected = unchunked.execute(sql).unwrap().table;
+        let (tbl, probes) = run_counted(&par, sql);
+        assert_eq!(tbl, expected, "{sql}: parallel chunked run diverged");
+        for k in [0, probes / 2, probes.saturating_sub(1)] {
+            run_cancelled_at(&par, sql, k);
+        }
+        assert_eq!(
+            par.execute(sql).unwrap().table,
+            expected,
+            "{sql}: diverged after parallel aborts"
+        );
+    }
+}
+
 /// The composition test: concurrent readers cancelling at rotating probe
 /// indices race a durable writer whose backend suffers transient blips,
 /// then the machine reboots and recovery is checked against the shadow
@@ -234,6 +299,18 @@ fn chaos_readers_cancellation_and_transient_faults_compose() {
             )
             .expect("acked write despite transient blips");
             acked.push((3000 + i as i64, db.epoch()));
+        }
+        // Keep the chaos window open until both reader outcomes the
+        // assertions below require have actually happened: on a
+        // single-core box the readers may barely get scheduled while the
+        // writer loop runs, and closing the window immediately makes the
+        // test a race against the OS scheduler.
+        let window = std::time::Instant::now();
+        while (cancelled_seen.load(Ordering::Relaxed) == 0
+            || completed_seen.load(Ordering::Relaxed) == 0)
+            && window.elapsed() < std::time::Duration::from_secs(30)
+        {
+            std::thread::yield_now();
         }
         stop.store(true, Ordering::Relaxed);
     });

@@ -5,8 +5,9 @@
 //! joined by foreign keys, with the standard 13 queries in 4 flights.
 //!
 //! **Scale note.**  The paper runs SF 1–8 (0.7–5.6 GB).  This generator
-//! produces a proportionally shaped *mini* scale — `lineorder` has
-//! `60 000 × SF` rows instead of `6 000 000 × SF` — so the full 13-query ×
+//! supports both the paper's *full* scale ([`SsbScale::full`], six
+//! million `lineorder` rows per SF) and a proportionally shaped *mini*
+//! scale ([`SsbScale::mini`], `60 000 × SF` rows) so the full 13-query ×
 //! 4-scale-factor × 3-engine sweep completes in seconds on a laptop while
 //! preserving the fact:dimension cardinality ratios that determine the
 //! relative engine behaviour.  Monetary values are also scaled into the
@@ -61,6 +62,21 @@ impl SsbScale {
             customer: 300 * sf,
             supplier: 20 * sf,
             part: 1_000 + 200 * sf,
+            date: 2_556,
+        }
+    }
+
+    /// Full-scale row counts matching O'Neil et al.'s dbgen: six million
+    /// `lineorder` rows per scale factor, with the standard dimension
+    /// cardinalities (`part` grows logarithmically, as in the spec).
+    pub fn full(sf: usize) -> SsbScale {
+        let sf = sf.max(1);
+        SsbScale {
+            sf,
+            lineorder: 6_000_000 * sf,
+            customer: 30_000 * sf,
+            supplier: 2_000 * sf,
+            part: 200_000 * (1 + sf.ilog2() as usize),
             date: 2_556,
         }
     }
@@ -232,7 +248,15 @@ pub fn gen_lineorder(scale: &SsbScale, date: &Table, rng: &mut Xorshift) -> Tabl
         custkey.push(rng.range_i64(1, scale.customer as i64));
         partkey.push(rng.range_i64(1, scale.part as i64));
         suppkey.push(rng.range_i64(1, scale.supplier as i64));
-        orderdate.push(datekeys[rng.below(datekeys.len() as u64) as usize]);
+        // Orders arrive in rough date order (real fact tables are
+        // append-mostly by time), with a few days of jitter.  The
+        // correlation is what lets per-chunk zone maps on `lo_orderdate`
+        // prune date-restricted queries; a uniform pick would leave every
+        // chunk spanning all seven years.
+        let base = (i * datekeys.len()) / rows;
+        let jitter = rng.below(7) as i64 - 3;
+        let idx = (base as i64 + jitter).clamp(0, datekeys.len() as i64 - 1) as usize;
+        orderdate.push(datekeys[idx]);
         quantity.push(rng.range_i64(1, 50));
         // Monetary values kept within the fp16-representable range.
         let price = rng.range_i64(100, 10_000);
@@ -275,7 +299,14 @@ pub fn gen_lineorder(scale: &SsbScale, date: &Table, rng: &mut Xorshift) -> Tabl
 
 /// Generate a full mini-scale SSB catalog for a scale factor.
 pub fn gen_catalog(sf: usize, seed: u64) -> Catalog {
-    let scale = SsbScale::mini(sf);
+    gen_catalog_scaled(&SsbScale::mini(sf), seed)
+}
+
+/// Generate an SSB catalog for explicit row counts (use
+/// [`SsbScale::mini`] for CI-sized sweeps, [`SsbScale::full`] for the
+/// paper's SF 1–8 instances).
+pub fn gen_catalog_scaled(scale: &SsbScale, seed: u64) -> Catalog {
+    let scale = *scale;
     let mut rng = Xorshift::new(seed);
     let date = gen_date();
     let customer = gen_customer(scale.customer, &mut rng);
@@ -331,6 +362,35 @@ mod tests {
         assert_eq!(s8.customer, 8 * s1.customer);
         assert_eq!(s1.date, 2_556);
         assert_eq!(SsbScale::mini(0).sf, 1);
+    }
+
+    #[test]
+    fn full_scale_matches_dbgen_cardinalities() {
+        let s1 = SsbScale::full(1);
+        assert_eq!(s1.lineorder, 6_000_000);
+        assert_eq!(s1.customer, 30_000);
+        assert_eq!(s1.supplier, 2_000);
+        assert_eq!(s1.part, 200_000);
+        let s4 = SsbScale::full(4);
+        assert_eq!(s4.lineorder, 24_000_000);
+        assert_eq!(s4.part, 600_000);
+        assert_eq!(SsbScale::full(0).sf, 1);
+    }
+
+    #[test]
+    fn orderdates_are_time_correlated() {
+        // Rows should land near their proportional position in the date
+        // range: a chunk of early rows must not span late years.  This is
+        // the property zone-map pruning of date-filtered queries relies on.
+        let scale = SsbScale::mini(1);
+        let mut rng = Xorshift::new(11);
+        let date = gen_date();
+        let lo = gen_lineorder(&scale, &date, &mut rng);
+        let od = lo.column_by_name("lo_orderdate").unwrap().as_i64().unwrap();
+        let first_decile = &od[..od.len() / 10];
+        let last_decile = &od[od.len() - od.len() / 10..];
+        assert!(first_decile.iter().all(|&d| d < 19930000));
+        assert!(last_decile.iter().all(|&d| d > 19980000));
     }
 
     #[test]

@@ -71,7 +71,7 @@ use tcudb_storage::CatalogSnapshot;
 use tcudb_types::sync::{
     locked, wait_on, wait_on_timeout, CancellationToken, Deadline, QueryContext,
 };
-use tcudb_types::{TcuError, TcuResult};
+use tcudb_types::{TcuError, TcuResult, WorkerPool};
 
 /// Serving-layer configuration.
 #[derive(Debug, Clone)]
@@ -325,7 +325,13 @@ impl Shared {
             // without touching the engine.
             let result = match job.ctx.error_if_done() {
                 Err(e) => Err(e),
-                Ok(()) => self.db.execute_prepared_ctx(&job.entry, &job.ctx),
+                Ok(()) => {
+                    // Mark this worker busy for the duration of the query so
+                    // `WorkerPool::scoped_parallelism` prices morsel fan-out
+                    // against the cores actually serving.
+                    let _busy = WorkerPool::shared().busy_guard();
+                    self.db.execute_prepared_ctx(&job.entry, &job.ctx)
+                }
             };
             self.executed.fetch_add(1, Ordering::Relaxed);
             match &result {
@@ -419,9 +425,10 @@ impl Server {
         let mut spawn_err = None;
         for i in 0..config.workers.max(1) {
             let shared = Arc::clone(&shared);
-            match std::thread::Builder::new()
-                .name(format!("tcudb-serve-{i}"))
-                .spawn(move || shared.worker_loop())
+            // Workers lease capacity from the shared workspace pool so the
+            // morsel scheduler can see how many cores serving occupies.
+            match WorkerPool::shared()
+                .spawn_worker(format!("tcudb-serve-{i}"), move || shared.worker_loop())
             {
                 Ok(handle) => workers.push(handle),
                 Err(e) => spawn_err = Some(e),

@@ -38,6 +38,7 @@
 
 pub mod backend;
 pub mod catalog;
+pub mod chunk;
 pub mod column;
 pub mod csv;
 pub mod encoded;
@@ -52,6 +53,7 @@ pub mod wal;
 
 pub use backend::{FaultSpec, FsBackend, MemBackend, StorageBackend};
 pub use catalog::Catalog;
+pub use chunk::{ColumnZones, ZoneCache, ZoneEntry, DEFAULT_CHUNK_ROWS};
 pub use column::Column;
 pub use encoded::{DictColumn, EncodingCache};
 pub use recover::{

@@ -97,6 +97,12 @@ pub struct TableStats {
     pub columns: HashMap<String, ColumnStats>,
     /// Number of rows in the table.
     pub row_count: usize,
+    /// Rows per chunk of the table's partitioning (zone-map granularity).
+    pub chunk_rows: usize,
+    /// Number of row chunks the table is partitioned into — the
+    /// denominator of every "chunks pruned / chunks total" ratio the
+    /// executor and admission control report.
+    pub chunk_count: usize,
 }
 
 impl TableStats {
@@ -110,6 +116,8 @@ impl TableStats {
         TableStats {
             columns,
             row_count: table.num_rows(),
+            chunk_rows: table.chunk_rows(),
+            chunk_count: table.chunk_count(),
         }
     }
 
@@ -191,6 +199,16 @@ mod tests {
         assert_eq!(s.distinct_count, 0);
         assert_eq!(s.eq_selectivity(), 1.0);
         assert_eq!(s.one_hot_density(), 0.0);
+    }
+
+    #[test]
+    fn stats_record_chunk_partitioning() {
+        let mut t = table();
+        assert_eq!(t.compute_stats().chunk_count, 1);
+        t.set_chunk_rows(3);
+        let s = t.compute_stats();
+        assert_eq!(s.chunk_rows, 3);
+        assert_eq!(s.chunk_count, 2);
     }
 
     #[test]

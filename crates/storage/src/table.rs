@@ -1,5 +1,6 @@
 //! Tables: a schema plus equal-length columns.
 
+use crate::chunk::{self, ColumnZones, ZoneCache, DEFAULT_CHUNK_ROWS};
 use crate::column::Column;
 use crate::encoded::{DictColumn, EncodingCache};
 use crate::schema::{ColumnDef, Schema};
@@ -19,6 +20,10 @@ pub struct Table {
     /// carries warm entries over, and `push_row` extends them in place
     /// (copy-on-write) so ingest never discards a warm dictionary.
     encodings: EncodingCache,
+    /// Chunking granularity plus lazily built per-column zone maps
+    /// (derived state, excluded from equality).  Maintained incrementally
+    /// by `push_row` / `append_rows` the same way the encodings are.
+    zones: ZoneCache,
 }
 
 impl Table {
@@ -35,6 +40,7 @@ impl Table {
             columns,
             rows: 0,
             encodings: EncodingCache::default(),
+            zones: ZoneCache::new(DEFAULT_CHUNK_ROWS),
         }
     }
 
@@ -74,6 +80,7 @@ impl Table {
             columns,
             rows,
             encodings: EncodingCache::default(),
+            zones: ZoneCache::new(DEFAULT_CHUNK_ROWS),
         })
     }
 
@@ -155,6 +162,7 @@ impl Table {
         // every `push_row` discarded the whole cache and the next query
         // re-encoded every column from scratch.
         self.encodings.extend_with_row(|idx| row[idx].clone());
+        self.zones.extend_with_row(|idx| row[idx].clone());
         Ok(())
     }
 
@@ -189,6 +197,7 @@ impl Table {
             }
             self.rows += 1;
             self.encodings.extend_with_row(|idx| row[idx].clone());
+            self.zones.extend_with_row(|idx| row[idx].clone());
         }
         Ok(())
     }
@@ -204,6 +213,37 @@ impl Table {
     /// Number of columns with a cached encoding (tests / telemetry).
     pub fn encoded_column_count(&self) -> usize {
         self.encodings.len()
+    }
+
+    /// Rows per chunk of this table's partitioning (zone-map and morsel
+    /// granularity). Defaults to [`DEFAULT_CHUNK_ROWS`].
+    pub fn chunk_rows(&self) -> usize {
+        self.zones.chunk_rows()
+    }
+
+    /// Number of row chunks the table is partitioned into.
+    pub fn chunk_count(&self) -> usize {
+        chunk::chunk_count(self.rows, self.chunk_rows())
+    }
+
+    /// Override the chunking granularity (tests / benchmarks). Discards
+    /// warm zone maps — they were built at the old boundaries.
+    pub fn set_chunk_rows(&mut self, chunk_rows: usize) {
+        self.zones.set_chunk_rows(chunk_rows);
+    }
+
+    /// The zone map of column `idx`, built on first use and cached on the
+    /// table; ingest extends warm maps incrementally (no rebuild).
+    pub fn zone_map(&self, idx: usize) -> Arc<ColumnZones> {
+        let cr = self.chunk_rows();
+        self.zones
+            .get_or_build(idx, || ColumnZones::build(&self.columns[idx], cr))
+    }
+
+    /// How many full zone-map builds this table has performed (regression
+    /// hook: appends must extend warm maps, not rebuild them).
+    pub fn zone_map_build_count(&self) -> u64 {
+        self.zones.build_count()
     }
 
     /// Read one full row.
@@ -236,6 +276,7 @@ impl Table {
             columns: cols,
             rows: rows.len(),
             encodings: EncodingCache::default(),
+            zones: ZoneCache::new(self.zones.chunk_rows()),
         }
     }
 
@@ -519,6 +560,35 @@ mod tests {
         for i in 0..t.num_columns() {
             assert_eq!(t.column(i).len(), 3, "column {i} partially mutated");
         }
+    }
+
+    #[test]
+    fn append_extends_warm_zone_maps_without_rebuild() {
+        let mut t = Table::from_int_columns("t", &[("k", (0..10).collect())]).unwrap();
+        t.set_chunk_rows(4);
+        let pinned = t.zone_map(0);
+        assert_eq!(pinned.chunk_count(), 3);
+        assert_eq!(t.zone_map_build_count(), 1);
+
+        // Append across the mutable tail and several chunk boundaries: the
+        // warm map must stay correct WITHOUT a rebuild.
+        t.append_rows((10..26).map(|v| vec![Value::Int(v)]).collect())
+            .unwrap();
+        assert_eq!(t.zone_map_build_count(), 1, "append rebuilt the zone map");
+        assert_eq!(*t.zone_map(0), ColumnZones::build(t.column(0), 4));
+        // The pre-append map pinned by a concurrent reader is untouched.
+        assert_eq!(pinned.rows(), 10);
+
+        // push_row maintains the tail the same way.
+        t.push_row(vec![Value::Int(-7)]).unwrap();
+        assert_eq!(t.zone_map_build_count(), 1);
+        assert_eq!(*t.zone_map(0), ColumnZones::build(t.column(0), 4));
+        assert_eq!(t.chunk_count(), 7);
+
+        // Changing granularity discards warm maps (old boundaries).
+        t.set_chunk_rows(8);
+        assert_eq!(t.zone_map(0).chunk_count(), 4);
+        assert_eq!(t.zone_map_build_count(), 2);
     }
 
     #[test]

@@ -39,14 +39,16 @@
 //!    hardware's never-overflowing i32 accumulators) and convert to `f32`
 //!    exactly once at store time.
 //!
-//! 3. **Threading.**  Result row panels are sharded across
-//!    `std::thread::scope` threads (no added dependencies).  Each output
-//!    element is computed by exactly one thread in the same order as the
+//! 3. **Threading.**  Result row panels are sharded across the shared
+//!    workspace [`WorkerPool`] (`tcudb_types::pool`), so kernel
+//!    parallelism draws on the same thread budget as the serving layer's
+//!    workers and the executor's scan morsels.  Each output element is
+//!    computed by exactly one thread in the same order as the
 //!    single-threaded engine, so results are identical for every thread
-//!    count.  The thread count is capped by
-//!    `std::thread::available_parallelism` and multi-threading is bypassed
-//!    entirely below [`PARALLEL_MIN_WORK`] multiply-accumulates, keeping
-//!    small/test matrices single-threaded and cheap.
+//!    count.  The thread count is capped by the pool's currently idle
+//!    share and multi-threading is bypassed entirely below
+//!    [`PARALLEL_MIN_WORK`] multiply-accumulates, keeping small/test
+//!    matrices single-threaded and cheap.
 //!
 //! # Numeric contract
 //!
@@ -65,9 +67,10 @@
 
 use crate::dense::DenseMatrix;
 use crate::gemm::GemmPrecision;
+use std::sync::Mutex;
 use tcudb_types::quant::{to_i4_saturating, to_i8_saturating};
-use tcudb_types::sync::QueryContext;
-use tcudb_types::{TcuResult, F16};
+use tcudb_types::sync::{locked, QueryContext};
+use tcudb_types::{TcuResult, WorkerPool, F16};
 
 /// Scalar-fallback microkernel register-tile rows.
 pub const MR: usize = 4;
@@ -150,16 +153,15 @@ pub fn simd_level() -> SimdLevel {
 }
 
 /// The thread count the engine would pick on this host for an `m×n×k`
-/// multiplication: 1 below [`PARALLEL_MIN_WORK`], otherwise
-/// `available_parallelism` (never more than the number of row panels).
+/// multiplication: 1 below [`PARALLEL_MIN_WORK`], otherwise the shared
+/// [`WorkerPool`]'s currently idle share (never more than the number of
+/// row panels) — kernel fan-out shrinks while serve workers are busy.
 pub fn auto_threads(m: usize, n: usize, k: usize) -> usize {
     let work = m as u128 * n as u128 * k as u128;
     if work < PARALLEL_MIN_WORK {
         return 1;
     }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+    WorkerPool::shared().scoped_parallelism()
 }
 
 /// Compute `C = A × B` (`A`: m×k, `B`: k×n) on the tiled engine.
@@ -433,9 +435,10 @@ fn pack_panels<T: MicroElem>(
 }
 
 /// Split `c` (`m×n` row-major) into per-thread chunks of whole `mr`-row
-/// tiles and run `work(chunk, row_tile0, rows)` on each, on scoped threads
-/// when `threads > 1`.  Every output element is owned by exactly one
-/// chunk, so results are identical for every thread count.
+/// tiles and run `work(chunk, row_tile0, rows)` on each, through the
+/// shared [`WorkerPool`] when `threads > 1`.  Every output element is
+/// owned by exactly one chunk, so results are identical for every thread
+/// count.
 fn shard_rows<A: Send>(
     c: &mut [A],
     m: usize,
@@ -451,12 +454,20 @@ fn shard_rows<A: Send>(
         return;
     }
     let rows_per = row_tiles.div_ceil(threads) * mr;
-    std::thread::scope(|scope| {
-        for (idx, chunk) in c.chunks_mut(rows_per * n).enumerate() {
-            let work = &work;
-            let rows = chunk.len() / n;
-            scope.spawn(move || work(chunk, idx * (rows_per / mr), rows));
-        }
+    // Park each disjoint output chunk in an indexed slot; the morsel for
+    // index `i` takes exclusive ownership of chunk `i` out of its slot.
+    let chunks: Vec<Mutex<Option<&mut [A]>>> = c
+        .chunks_mut(rows_per * n)
+        .map(|chunk| Mutex::new(Some(chunk)))
+        .collect();
+    WorkerPool::shared().run_chunks(chunks.len(), threads, |idx| {
+        let chunk = locked(&chunks[idx])
+            .take()
+            // lint: allow(panic) unreachable: run_chunks hands out each
+            // index exactly once, so every slot is taken exactly once
+            .expect("row-panel chunk taken once");
+        let rows = chunk.len() / n;
+        work(chunk, idx * (rows_per / mr), rows);
     });
 }
 

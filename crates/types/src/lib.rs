@@ -21,6 +21,7 @@
 
 pub mod error;
 pub mod f16;
+pub mod pool;
 pub mod precision;
 pub mod quant;
 pub mod sync;
@@ -28,5 +29,6 @@ pub mod value;
 
 pub use error::{TcuError, TcuResult};
 pub use f16::F16;
+pub use pool::{MorselRun, WorkerPool};
 pub use precision::Precision;
 pub use value::{DataType, Value};

@@ -1,0 +1,322 @@
+//! The shared workspace worker pool.
+//!
+//! One process-wide thread budget covers **both** kinds of parallelism in
+//! TCUDB:
+//!
+//! * **inter-query** — `tcudb-serve`'s scheduler workers are leased from
+//!   the pool via [`WorkerPool::spawn_worker`] and mark themselves busy
+//!   (via [`WorkerPool::busy_guard`]) while a query executes;
+//! * **intra-query** — the executor's per-chunk scan/filter/join morsels
+//!   and the tensor engine's row-panel shards run through
+//!   [`WorkerPool::run_chunks`], whose helper threads are bounded by
+//!   whatever of the budget the serve workers are not currently using
+//!   ([`WorkerPool::scoped_parallelism`]).
+//!
+//! Because both sides draw on the same accounting, a box saturated with
+//! admitted queries stops fanning morsels out (each query runs its
+//! morsels inline on its own worker), while an idle box gives a single
+//! query the whole budget. Admission control prices queries in working-set
+//! bytes *after* zone-map pruning, so the budget is spent on chunks that
+//! will actually be scanned.
+//!
+//! [`WorkerPool::run_chunks`] is deterministic by construction: morsel
+//! results are slotted by index and returned in index order, so chunked
+//! parallel execution is byte-identical to an inline loop regardless of
+//! thread count or scheduling (the `chunked_oracle` proptest pins this).
+
+use crate::error::{TcuError, TcuResult};
+use crate::sync::locked;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+#[derive(Default)]
+struct PoolState {
+    /// Long-lived workers leased by the serving layer.
+    leased: usize,
+    /// Leased workers currently executing a query.
+    busy: usize,
+    /// Scope helper threads currently running morsels.
+    scoped: usize,
+    /// Total morsels executed through the pool (telemetry).
+    morsels: u64,
+}
+
+/// The shared worker pool: a thread budget plus accounting, a factory for
+/// leased long-lived workers, and a deterministic scoped morsel runner.
+pub struct WorkerPool {
+    budget: usize,
+    // lint: leaf-lock accounting only — held for counter updates, never
+    // across another acquisition, a wait, or user code
+    state: Mutex<PoolState>,
+}
+
+/// Outcome of one [`WorkerPool::run_chunks`] call: how many morsels ran
+/// and on how many threads (caller included).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MorselRun {
+    /// Morsels executed.
+    pub morsels: u64,
+    /// Threads that participated (1 = ran inline on the caller).
+    pub threads: usize,
+}
+
+/// Marks one leased worker busy for the guard's lifetime.
+pub struct BusyGuard<'a> {
+    pool: &'a WorkerPool,
+}
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = locked(&self.pool.state);
+        st.busy = st.busy.saturating_sub(1);
+    }
+}
+
+/// Decrements the lease count when a leased worker's loop exits (runs on
+/// the worker thread, even on unwind).
+struct LeaseGuard<'a> {
+    pool: &'a WorkerPool,
+}
+
+impl Drop for LeaseGuard<'_> {
+    fn drop(&mut self) {
+        let mut st = locked(&self.pool.state);
+        st.leased = st.leased.saturating_sub(1);
+    }
+}
+
+impl WorkerPool {
+    /// A pool with an explicit thread budget (tests / benchmarks).
+    pub fn with_budget(budget: usize) -> WorkerPool {
+        WorkerPool {
+            budget: budget.max(1),
+            state: Mutex::new(PoolState::default()),
+        }
+    }
+
+    /// The process-wide shared pool, sized to the machine's available
+    /// parallelism on first use.
+    pub fn shared() -> &'static WorkerPool {
+        static SHARED: OnceLock<WorkerPool> = OnceLock::new();
+        SHARED.get_or_init(|| {
+            WorkerPool::with_budget(
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1),
+            )
+        })
+    }
+
+    /// Total thread budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Workers currently leased to long-lived loops.
+    pub fn leased(&self) -> usize {
+        locked(&self.state).leased
+    }
+
+    /// Total morsels executed through the pool so far.
+    pub fn morsels_run(&self) -> u64 {
+        locked(&self.state).morsels
+    }
+
+    /// How many threads a scoped morsel run may use right now: the budget
+    /// minus workers busy on queries and helpers already fanned out.
+    /// Always at least 1 (the caller itself).
+    pub fn scoped_parallelism(&self) -> usize {
+        let st = locked(&self.state);
+        self.budget.saturating_sub(st.busy + st.scoped).max(1)
+    }
+
+    /// Lease a long-lived named worker thread from the pool. The thread
+    /// runs `f` to completion; the lease is released when it exits. Used
+    /// by `tcudb-serve` so its scheduler workers and the executor's
+    /// morsel helpers share one budget.
+    pub fn spawn_worker<F>(&'static self, name: String, f: F) -> TcuResult<JoinHandle<()>>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        {
+            let mut st = locked(&self.state);
+            st.leased += 1;
+        }
+        let spawned = std::thread::Builder::new()
+            .name(name.clone())
+            .spawn(move || {
+                let _lease = LeaseGuard { pool: self };
+                f();
+            });
+        match spawned {
+            Ok(handle) => Ok(handle),
+            Err(e) => {
+                let mut st = locked(&self.state);
+                st.leased = st.leased.saturating_sub(1);
+                Err(TcuError::Execution(format!(
+                    "spawning pool worker {name} failed: {e}"
+                )))
+            }
+        }
+    }
+
+    /// Mark the calling (leased) worker busy on a query until the guard
+    /// drops — scoped morsel runs elsewhere see a smaller budget.
+    pub fn busy_guard(&self) -> BusyGuard<'_> {
+        let mut st = locked(&self.state);
+        st.busy += 1;
+        BusyGuard { pool: self }
+    }
+
+    /// Run `count` index-addressed morsels on up to `threads` threads
+    /// (caller included) and return the results **in index order**.
+    ///
+    /// `threads <= 1` (or a single morsel) runs inline with zero
+    /// synchronisation. Parallel runs hand out indices through an atomic
+    /// counter and slot results by index, so output order — and therefore
+    /// every downstream concatenation — is identical to the inline path.
+    pub fn run_chunks<R, F>(&self, count: usize, threads: usize, f: F) -> (Vec<R>, MorselRun)
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if count == 0 {
+            return (Vec::new(), MorselRun::default());
+        }
+        let threads = threads.clamp(1, count);
+        if threads == 1 {
+            let out: Vec<R> = (0..count).map(&f).collect();
+            self.note_morsels(count as u64, 0);
+            return (
+                out,
+                MorselRun {
+                    morsels: count as u64,
+                    threads: 1,
+                },
+            );
+        }
+        let helpers = threads - 1;
+        {
+            let mut st = locked(&self.state);
+            st.scoped += helpers;
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<R>>> = (0..count).map(|_| Mutex::new(None)).collect();
+        let work = |_worker: usize| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= count {
+                break;
+            }
+            let r = f(i);
+            *locked(&slots[i]) = Some(r);
+        };
+        std::thread::scope(|s| {
+            let work = &work;
+            for w in 1..threads {
+                s.spawn(move || work(w));
+            }
+            work(0);
+        });
+        {
+            let mut st = locked(&self.state);
+            st.scoped = st.scoped.saturating_sub(helpers);
+        }
+        self.note_morsels(count as u64, 0);
+        let out: Vec<R> = slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .unwrap_or_else(|p| p.into_inner())
+                    // lint: allow(panic) unreachable: the scope above joins
+                    // every helper, and each index is claimed exactly once
+                    .expect("morsel slot filled before scope exit")
+            })
+            .collect();
+        (
+            out,
+            MorselRun {
+                morsels: count as u64,
+                threads,
+            },
+        )
+    }
+
+    fn note_morsels(&self, n: u64, _threads: usize) {
+        let mut st = locked(&self.state);
+        st.morsels += n;
+    }
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let st = locked(&self.state);
+        write!(
+            f,
+            "WorkerPool(budget {}, leased {}, busy {}, scoped {})",
+            self.budget, st.leased, st.busy, st.scoped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_parallel_runs_are_identical() {
+        let pool = WorkerPool::with_budget(4);
+        let f = |i: usize| (0..=i).sum::<usize>();
+        let (inline, r1) = pool.run_chunks(37, 1, f);
+        assert_eq!(r1.threads, 1);
+        for threads in [2, 3, 8] {
+            let (par, run) = pool.run_chunks(37, threads, f);
+            assert_eq!(par, inline, "threads={threads} diverged");
+            assert_eq!(run.threads, threads.min(37));
+            assert_eq!(run.morsels, 37);
+        }
+        assert_eq!(pool.morsels_run(), 37 * 4);
+    }
+
+    #[test]
+    fn empty_and_single_morsel_runs() {
+        let pool = WorkerPool::with_budget(2);
+        let (out, run) = pool.run_chunks(0, 4, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(run, MorselRun::default());
+        let (out, run) = pool.run_chunks(1, 4, |i| i * 10);
+        assert_eq!(out, vec![0]);
+        assert_eq!(run.threads, 1);
+    }
+
+    #[test]
+    fn busy_workers_shrink_scoped_parallelism() {
+        let pool = WorkerPool::with_budget(3);
+        assert_eq!(pool.scoped_parallelism(), 3);
+        let g1 = pool.busy_guard();
+        let g2 = pool.busy_guard();
+        assert_eq!(pool.scoped_parallelism(), 1);
+        drop(g1);
+        assert_eq!(pool.scoped_parallelism(), 2);
+        drop(g2);
+        // Never below 1: the caller always participates.
+        let _gs: Vec<_> = (0..9).map(|_| pool.busy_guard()).collect();
+        assert_eq!(pool.scoped_parallelism(), 1);
+    }
+
+    #[test]
+    fn leased_workers_are_tracked_until_exit() {
+        let pool = WorkerPool::shared();
+        let before = pool.leased();
+        let (tx, rx) = std::sync::mpsc::channel::<()>();
+        let h = pool
+            .spawn_worker("tcudb-pool-test".into(), move || {
+                rx.recv().ok();
+            })
+            .unwrap();
+        assert_eq!(pool.leased(), before + 1);
+        tx.send(()).unwrap();
+        h.join().unwrap();
+        assert_eq!(pool.leased(), before);
+    }
+}
