@@ -132,6 +132,11 @@ pub struct Config {
     pub lock_paths: Vec<String>,
     /// Crates permitted to contain `unsafe`.
     pub unsafe_allowed_crates: Vec<String>,
+    /// Individual files (workspace-relative prefixes) permitted to
+    /// contain `unsafe` even though their crate is not on the crate
+    /// allow-list.  Used for audited syscall-wrapper modules in
+    /// otherwise `#[deny(unsafe_code)]` crates.
+    pub unsafe_allowed_paths: Vec<String>,
     /// Enforce `#![forbid(unsafe_code)]` on unsafe-free crate roots.
     pub check_forbid: bool,
 }
@@ -157,14 +162,23 @@ impl Config {
                 // and cancel() runs from arbitrary sessions — both must
                 // degrade to an error, never unwind.
                 "crates/types/src/sync.rs".into(),
+                // The network layer parses attacker-controlled bytes and
+                // runs the reactor loop: a panic there is a remote DoS.
+                "crates/net/src".into(),
             ],
             lock_paths: vec![
                 "crates/serve/src".into(),
                 "crates/storage/src".into(),
                 "crates/core/src".into(),
                 "crates/types/src".into(),
+                "crates/net/src".into(),
             ],
             unsafe_allowed_crates: vec!["tcudb-tensor".into()],
+            unsafe_allowed_paths: vec![
+                // The epoll/eventfd syscall wrappers: the one audited
+                // `#[allow(unsafe_code)]` module in a `#[deny]` crate.
+                "crates/net/src/sys.rs".into(),
+            ],
             check_forbid: true,
         }
     }
@@ -225,6 +239,7 @@ pub fn analyze_files(config: &Config, files: &[SourceFile]) -> Analysis {
     unsafety::run(
         files,
         &config.unsafe_allowed_crates,
+        &config.unsafe_allowed_paths,
         config.check_forbid,
         &mut a.findings,
     );

@@ -9,7 +9,9 @@
 //! * **`unsafe-outside-tensor`** — crates other than the configured
 //!   allow-list (by default just `tcudb-tensor`, whose SIMD kernels are
 //!   the one legitimate home for `unsafe`) must contain no `unsafe` at
-//!   all.
+//!   all.  Individual files may additionally be allow-listed by path:
+//!   `tcudb-net` is `#[deny(unsafe_code)]` except for its audited
+//!   `src/sys.rs` syscall-wrapper module.
 //! * **`forbid-unsafe-missing`** — crates proven clean of `unsafe` must
 //!   say so in the source: their crate root needs
 //!   `#![forbid(unsafe_code)]` so the guarantee is enforced by rustc
@@ -22,11 +24,14 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Run the unsafe-audit over all parsed files.
 ///
 /// `allowed_crates` are crate names permitted to contain `unsafe`;
+/// `allowed_paths` are workspace-relative path prefixes permitted to
+/// contain `unsafe` regardless of crate (audited syscall modules);
 /// `check_forbid` enables the `forbid-unsafe-missing` check (fixtures
 /// turn it off — a one-file fixture has no crate root to annotate).
 pub fn run(
     files: &[SourceFile],
     allowed_crates: &[String],
+    allowed_paths: &[String],
     check_forbid: bool,
     findings: &mut Vec<Finding>,
 ) {
@@ -48,7 +53,10 @@ pub fn run(
             }
         }
 
-        let allowed = allowed_crates.iter().any(|c| c == &f.crate_name);
+        let allowed = allowed_crates.iter().any(|c| c == &f.crate_name)
+            || allowed_paths
+                .iter()
+                .any(|p| f.rel_path.starts_with(p.as_str()));
         for site in &f.unsafe_sites {
             if !allowed {
                 findings.push(Finding::new(
@@ -56,9 +64,11 @@ pub fn run(
                     &f.rel_path,
                     site.line,
                     format!(
-                        "`unsafe` in crate `{}`; only [{}] may contain unsafe code",
+                        "`unsafe` in crate `{}`; only crates [{}] and audited modules [{}] \
+                         may contain unsafe code",
                         f.crate_name,
-                        allowed_crates.join(", ")
+                        allowed_crates.join(", "),
+                        allowed_paths.join(", ")
                     ),
                 ));
             }
@@ -128,10 +138,29 @@ mod tests {
     use crate::model::SourceFile;
 
     fn audit(crate_name: &str, src: &str, allowed: &[&str], check_forbid: bool) -> Vec<Finding> {
-        let f = SourceFile::parse(&format!("{crate_name}/src/lib.rs"), crate_name, src, false);
+        audit_at(
+            &format!("{crate_name}/src/lib.rs"),
+            crate_name,
+            src,
+            allowed,
+            &[],
+            check_forbid,
+        )
+    }
+
+    fn audit_at(
+        rel_path: &str,
+        crate_name: &str,
+        src: &str,
+        allowed: &[&str],
+        allowed_paths: &[&str],
+        check_forbid: bool,
+    ) -> Vec<Finding> {
+        let f = SourceFile::parse(rel_path, crate_name, src, false);
         let mut out = Vec::new();
         let allowed: Vec<String> = allowed.iter().map(|s| s.to_string()).collect();
-        run(&[f], &allowed, check_forbid, &mut out);
+        let allowed_paths: Vec<String> = allowed_paths.iter().map(|s| s.to_string()).collect();
+        run(&[f], &allowed, &allowed_paths, check_forbid, &mut out);
         out
     }
 
@@ -194,6 +223,53 @@ mod tests {
             }
             "#,
             &["tcudb-tensor"],
+            false,
+        );
+        assert_eq!(out.len(), 1, "findings: {out:?}");
+        assert_eq!(out[0].rule, Rule::UnsafeOutsideTensor);
+    }
+
+    #[test]
+    fn path_allowance_admits_an_audited_module_in_a_deny_crate() {
+        // The sys.rs syscall module is allowed by path even though
+        // tcudb-net is not on the crate allow-list …
+        let out = audit_at(
+            "crates/net/src/sys.rs",
+            "tcudb-net",
+            r#"
+            pub fn f(p: *const i32) -> i32 {
+                // SAFETY: caller guarantees p is valid for reads
+                unsafe { *p }
+            }
+            "#,
+            &["tcudb-tensor"],
+            &["crates/net/src/sys.rs"],
+            false,
+        );
+        assert!(out.is_empty(), "findings: {out:?}");
+        // … but it still owes a safety comment on every unsafe site …
+        let out = audit_at(
+            "crates/net/src/sys.rs",
+            "tcudb-net",
+            "pub fn f(p: *const i32) -> i32 { unsafe { *p } }",
+            &["tcudb-tensor"],
+            &["crates/net/src/sys.rs"],
+            false,
+        );
+        assert_eq!(out.len(), 1, "findings: {out:?}");
+        assert_eq!(out[0].rule, Rule::SafetyComment);
+        // … and the allowance does not leak to sibling files in the crate.
+        let out = audit_at(
+            "crates/net/src/reactor.rs",
+            "tcudb-net",
+            r#"
+            pub fn f(p: *const i32) -> i32 {
+                // SAFETY: commented, but outside the audited module
+                unsafe { *p }
+            }
+            "#,
+            &["tcudb-tensor"],
+            &["crates/net/src/sys.rs"],
             false,
         );
         assert_eq!(out.len(), 1, "findings: {out:?}");

@@ -56,6 +56,7 @@ fn workspace_lock_graph_has_the_expected_shape() {
         "tcudb-types::CancelInner.state",
         "tcudb-types::WorkerPool.state",
         "tcudb-storage::ZoneCache.inner",
+        "tcudb-net::NetShared.completions",
     ] {
         assert!(
             ids.contains(&expected.to_string()),
@@ -66,12 +67,14 @@ fn workspace_lock_graph_has_the_expected_shape() {
     // The cancellation token's state mutex is probed from checkpoints
     // everywhere — it must be declared (and verified) a leaf lock.  The
     // worker pool's accounting mutex and the zone-map cache are taken
-    // from inside morsel execution for the same reason.
+    // from inside morsel execution for the same reason, and the net
+    // reactor's completion queue is pushed from worker callbacks.
     let leaves: Vec<String> = a.locks.leaf_locks.iter().map(|id| id.to_string()).collect();
     for expected in [
         "tcudb-types::CancelInner.state",
         "tcudb-types::WorkerPool.state",
         "tcudb-storage::ZoneCache.inner",
+        "tcudb-net::NetShared.completions",
     ] {
         assert!(
             leaves.contains(&expected.to_string()),

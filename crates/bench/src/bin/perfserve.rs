@@ -17,6 +17,13 @@
 //! concurrently submitted identical statements with one execution.  On a
 //! many-core box the worker pool adds real parallelism on top.
 //!
+//! A socket section then measures the same engine behind the TCP front
+//! end (`tcudb-net`): closed-loop socket clients verified byte-identical
+//! against the same oracle (and gated against in-process latency on the
+//! quick corpus), a 256-connection hold, and an **open-loop** ramp —
+//! Poisson arrivals at increasing offered rates, latencies measured from
+//! the *scheduled* arrival time — that reports the saturation QPS.
+//!
 //! ```text
 //! cargo run --release -p tcudb-bench --bin perfserve            # full sweep
 //! cargo run --release -p tcudb-bench --bin perfserve -- --quick # CI smoke
@@ -25,15 +32,19 @@
 //!
 //! Exit codes: `0` success, `2` a gate missed (8-client QPS below the
 //! floor: ≥ 3× the 1-client QPS in full mode, ≥ 1× in quick mode — CI
-//! runners are noisy; or the overload scenario never shed / blew its
-//! admitted-p99 bound), `3` a served result diverged from the serial
-//! execution.
+//! runners are noisy; the overload scenario never shed / blew its
+//! admitted-p99 bound; fewer than 256 concurrent connections held; or —
+//! quick mode — socket p95 above 1.5× the in-process p95), `3` a served
+//! result diverged from the serial execution.
 
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Barrier, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use tcudb_core::TcuDb;
 use tcudb_datagen::{micro, ssb};
+use tcudb_net::{Client, NetConfig, NetServer};
 use tcudb_serve::{ServeConfig, Server};
 use tcudb_storage::{Catalog, Table};
 
@@ -255,6 +266,348 @@ fn run_overload(
     }
 }
 
+/// One closed-loop socket sweep point.
+struct SocketRun {
+    clients: usize,
+    qps: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// One offered-rate step of the open-loop (Poisson) ramp.
+struct OpenLoopPoint {
+    offered_qps: f64,
+    achieved_qps: f64,
+    completed: u64,
+    shed: u64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// Everything the socket section measured.
+struct SocketSection {
+    connections_held: u64,
+    closed: Vec<SocketRun>,
+    open: Vec<OpenLoopPoint>,
+    saturation_qps: f64,
+}
+
+/// Deterministic splitmix64 — exponential inter-arrival sampling.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn socket_client(addr: SocketAddr) -> Client {
+    let mut attempt = 0;
+    loop {
+        match Client::connect(addr) {
+            Ok(client) => {
+                client
+                    .set_read_timeout(Some(Duration::from_secs(300)))
+                    .expect("set read timeout");
+                return client;
+            }
+            // Listen backlog overflow under the 256-connection stampede:
+            // back off and retry rather than failing the harness.
+            Err(_) if attempt < 50 => {
+                attempt += 1;
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("FATAL: socket client cannot connect: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+/// Closed-loop socket clients replaying the stream, every result checked
+/// against the serial oracle.
+fn run_socket_clients(
+    addr: SocketAddr,
+    queries: &[(String, String)],
+    expected: &[Table],
+    clients: usize,
+    rounds: usize,
+) -> SocketRun {
+    let barrier = Barrier::new(clients + 1);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let start = Mutex::new(None::<Instant>);
+
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let barrier = &barrier;
+            let latencies = &latencies;
+            s.spawn(move || {
+                let mut client = socket_client(addr);
+                let mut local = Vec::with_capacity(rounds * queries.len());
+                barrier.wait();
+                for _ in 0..rounds {
+                    for (qi, (name, sql)) in queries.iter().enumerate() {
+                        let t = Instant::now();
+                        let table = client.query(sql).expect("socket query executes");
+                        local.push(t.elapsed().as_secs_f64() * 1e3);
+                        if table != expected[qi] {
+                            eprintln!(
+                                "FATAL: {name}: socket result diverged from serial execution"
+                            );
+                            std::process::exit(3);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+                client.goodbye();
+            });
+        }
+        barrier.wait();
+        *start.lock().unwrap() = Some(Instant::now());
+    });
+    let wall = start
+        .lock()
+        .unwrap()
+        .expect("started")
+        .elapsed()
+        .as_secs_f64();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    SocketRun {
+        clients,
+        qps: (clients * rounds * queries.len()) as f64 / wall,
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
+    }
+}
+
+/// Hold `n` connections open simultaneously — each serving one verified
+/// statement while all `n` stay connected — and report the peak `active`
+/// count the reactor saw.
+fn hold_connections(
+    server: &NetServer,
+    queries: &[(String, String)],
+    expected: &[Table],
+    n: usize,
+) -> u64 {
+    let addr = server.local_addr();
+    let connected = Barrier::new(n + 1);
+    let done = Barrier::new(n + 1);
+    let mut peak = 0;
+    std::thread::scope(|s| {
+        for c in 0..n {
+            let connected = &connected;
+            let done = &done;
+            s.spawn(move || {
+                let mut client = socket_client(addr);
+                connected.wait();
+                let qi = c % queries.len();
+                let table = client.query(&queries[qi].1).expect("held-connection query");
+                if table != expected[qi] {
+                    eprintln!("FATAL: {}: held-connection result diverged", queries[qi].0);
+                    std::process::exit(3);
+                }
+                // Stay connected until the census below is done.
+                done.wait();
+                client.goodbye();
+            });
+        }
+        connected.wait();
+        // Every client is connected and has a statement in flight or
+        // answered; the reactor's active count is the census.
+        peak = server.stats().active;
+        done.wait();
+    });
+    peak
+}
+
+/// One open-loop step: Poisson arrivals at `rate` QPS dispatched over a
+/// fixed fleet of connections.  Latency is measured from each arrival's
+/// *scheduled* time, so queueing delay (including waiting for a free
+/// connection) counts against the server — the open-loop property that
+/// closed-loop sweeps cannot capture.
+fn run_open_loop(
+    addr: SocketAddr,
+    queries: &[(String, String)],
+    rate: f64,
+    duration_s: f64,
+    conns: usize,
+    seed: u64,
+) -> OpenLoopPoint {
+    let ops = ((rate * duration_s).ceil() as usize).clamp(conns, 6_000);
+    let mut rng = Rng(seed);
+    let mut arrivals = Vec::with_capacity(ops);
+    let mut at = 0.0f64;
+    for _ in 0..ops {
+        // Exponential inter-arrival: -ln(1 - u) / rate.
+        at += -(1.0 - rng.unit_f64()).ln() / rate;
+        arrivals.push(at);
+    }
+
+    let next = AtomicUsize::new(0);
+    let shed = AtomicU64::new(0);
+    let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+    let ready = Barrier::new(conns + 1);
+    let begun = Mutex::new(None::<Instant>);
+
+    std::thread::scope(|s| {
+        for _ in 0..conns {
+            let next = &next;
+            let shed = &shed;
+            let latencies = &latencies;
+            let ready = &ready;
+            let begun = &begun;
+            let arrivals = &arrivals;
+            s.spawn(move || {
+                let mut client = socket_client(addr);
+                ready.wait();
+                let start = begun.lock().unwrap().expect("start stamped");
+                let mut local = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= arrivals.len() {
+                        break;
+                    }
+                    let scheduled = Duration::from_secs_f64(arrivals[i]);
+                    if let Some(wait) = scheduled.checked_sub(start.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    match client.query(&queries[i % queries.len()].1) {
+                        Ok(_) => {
+                            let lat = start.elapsed().as_secs_f64() - arrivals[i];
+                            local.push(lat * 1e3);
+                        }
+                        Err(tcudb_types::TcuError::Overloaded(_)) => {
+                            shed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            eprintln!("FATAL: open-loop client hit unexpected error: {e}");
+                            std::process::exit(3);
+                        }
+                    }
+                }
+                latencies.lock().unwrap().extend(local);
+                client.goodbye();
+            });
+        }
+        // Stamp the common epoch before releasing the fleet.
+        *begun.lock().unwrap() = Some(Instant::now());
+        ready.wait();
+    });
+    let start = begun.lock().unwrap().expect("started");
+    let wall = start.elapsed().as_secs_f64();
+
+    let mut lat = latencies.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    OpenLoopPoint {
+        offered_qps: rate,
+        achieved_qps: lat.len() as f64 / wall,
+        completed: lat.len() as u64,
+        shed: shed.into_inner(),
+        p50_ms: percentile(&lat, 0.50),
+        p95_ms: percentile(&lat, 0.95),
+        p99_ms: percentile(&lat, 0.99),
+    }
+}
+
+/// The full socket section: closed-loop sweep, connection hold, and the
+/// open-loop ramp to saturation.
+fn run_socket_section(
+    db: &Arc<TcuDb>,
+    queries: &[(String, String)],
+    expected: &[Table],
+    rounds: usize,
+    workers: usize,
+    quick: bool,
+) -> SocketSection {
+    let server = match NetServer::start(
+        Arc::clone(db),
+        NetConfig {
+            max_connections: 1024,
+            serve: ServeConfig {
+                max_queue: 1024,
+                ..ServeConfig::with_workers(workers)
+            },
+            ..NetConfig::default()
+        },
+    ) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("FATAL: cannot start socket server: {e}");
+            std::process::exit(1);
+        }
+    };
+    let addr = server.local_addr();
+
+    let mut closed = Vec::new();
+    for &clients in &[1usize, 8] {
+        let r = run_socket_clients(addr, queries, expected, clients, rounds);
+        println!(
+            "socket: clients={} {:>8.1} qps p50={:.3}ms p95={:.3}ms p99={:.3}ms",
+            r.clients, r.qps, r.p50_ms, r.p95_ms, r.p99_ms
+        );
+        closed.push(r);
+    }
+
+    let connections_held = hold_connections(&server, queries, expected, 256);
+    println!("socket: held {connections_held} concurrent connections");
+
+    // Open-loop ramp: offered rate starts below the closed-loop capacity
+    // estimate and grows until the server visibly saturates (achieved
+    // rate falls behind offered, or sheds fire).
+    let capacity_est = closed.last().map(|r| r.qps).unwrap_or(100.0);
+    let mut rate = (capacity_est * 0.4).max(20.0);
+    let duration_s = if quick { 1.0 } else { 2.0 };
+    let conns = if quick { 32 } else { 64 };
+    let mut open = Vec::new();
+    let mut saturation_qps = 0.0f64;
+    for step in 0..6 {
+        let p = run_open_loop(
+            addr,
+            queries,
+            rate,
+            duration_s,
+            conns,
+            0x09E2_10AD ^ step as u64,
+        );
+        println!(
+            "open-loop: offered={:>8.1} achieved={:>8.1} completed={} shed={} \
+             p50={:.3}ms p95={:.3}ms p99={:.3}ms",
+            p.offered_qps, p.achieved_qps, p.completed, p.shed, p.p50_ms, p.p95_ms, p.p99_ms
+        );
+        saturation_qps = saturation_qps.max(p.achieved_qps);
+        let saturated = p.achieved_qps < 0.85 * p.offered_qps || p.shed > 0;
+        open.push(p);
+        if saturated {
+            break;
+        }
+        rate *= 1.6;
+    }
+
+    if let Err(e) = server.shutdown() {
+        eprintln!("perfserve: socket server shutdown reported: {e}");
+    }
+    SocketSection {
+        connections_held,
+        closed,
+        open,
+        saturation_qps,
+    }
+}
+
 #[allow(clippy::too_many_arguments)]
 fn json(
     mode: &str,
@@ -264,6 +617,7 @@ fn json(
     serial_qps: f64,
     runs: &[RunResult],
     overload: &OverloadResult,
+    socket: &SocketSection,
     db: &TcuDb,
 ) -> String {
     let qps_of = |clients: usize| {
@@ -305,6 +659,67 @@ fn json(
         overload.p99_ms,
         overload.gate_p99_ms,
     ));
+    let inproc_p95 = runs
+        .iter()
+        .find(|r| r.clients == 1)
+        .map(|r| r.p95_ms)
+        .unwrap_or(0.0);
+    let socket_p95 = socket
+        .closed
+        .iter()
+        .find(|r| r.clients == 1)
+        .map(|r| r.p95_ms)
+        .unwrap_or(0.0);
+    out.push_str("  \"socket\": {\n");
+    out.push_str(&format!(
+        "    \"connections_held\": {},\n",
+        socket.connections_held
+    ));
+    out.push_str(&format!(
+        "    \"inprocess_p95_ms\": {inproc_p95:.3},\n    \"socket_p95_ms\": {socket_p95:.3},\n"
+    ));
+    out.push_str(&format!(
+        "    \"overhead_p95\": {:.2},\n",
+        if inproc_p95 > 0.0 {
+            socket_p95 / inproc_p95
+        } else {
+            0.0
+        }
+    ));
+    out.push_str(&format!(
+        "    \"saturation_qps\": {:.1},\n",
+        socket.saturation_qps
+    ));
+    out.push_str("    \"closed_loop\": [\n");
+    for (i, r) in socket.closed.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"clients\": {}, \"qps\": {:.1}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \
+             \"p99_ms\": {:.3}}}{}\n",
+            r.clients,
+            r.qps,
+            r.p50_ms,
+            r.p95_ms,
+            r.p99_ms,
+            if i + 1 < socket.closed.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ],\n");
+    out.push_str("    \"open_loop\": [\n");
+    for (i, p) in socket.open.iter().enumerate() {
+        out.push_str(&format!(
+            "      {{\"offered_qps\": {:.1}, \"achieved_qps\": {:.1}, \"completed\": {}, \
+             \"shed\": {}, \"p50_ms\": {:.3}, \"p95_ms\": {:.3}, \"p99_ms\": {:.3}}}{}\n",
+            p.offered_qps,
+            p.achieved_qps,
+            p.completed,
+            p.shed,
+            p.p50_ms,
+            p.p95_ms,
+            p.p99_ms,
+            if i + 1 < socket.open.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("    ]\n  },\n");
     out.push_str("  \"entries\": [\n");
     for (i, r) in runs.iter().enumerate() {
         out.push_str(&format!(
@@ -433,6 +848,9 @@ fn main() {
         overload.gate_p99_ms
     );
 
+    // ---- Socket section: the same engine behind the TCP front end.
+    let socket = run_socket_section(&db, &queries, &expected, rounds, workers, quick);
+
     let payload = json(
         mode,
         workers,
@@ -441,6 +859,7 @@ fn main() {
         serial_qps,
         &runs,
         &overload,
+        &socket,
         &db,
     );
     if let Err(e) = std::fs::write(out_path, &payload) {
@@ -480,6 +899,33 @@ fn main() {
              shedding failed to bound the tail",
             overload.p99_ms, overload.gate_p99_ms
         );
+        std::process::exit(2);
+    }
+
+    // ---- Socket gates: the front end must hold 256 concurrent
+    // connections, and (on the quick corpus, where CI watches it) the
+    // wire protocol + reactor may cost at most 1.5x the in-process p95.
+    if socket.connections_held < 256 {
+        eprintln!(
+            "GATE: only {} concurrent connections held (need 256)",
+            socket.connections_held
+        );
+        std::process::exit(2);
+    }
+    if quick {
+        let inproc_p95 = runs[0].p95_ms;
+        let socket_p95 = socket.closed[0].p95_ms;
+        if socket_p95 > 1.5 * inproc_p95 {
+            eprintln!(
+                "GATE: socket p95 {socket_p95:.3}ms exceeds 1.5x in-process p95 \
+                 {inproc_p95:.3}ms ({:.2}x)",
+                socket_p95 / inproc_p95
+            );
+            std::process::exit(2);
+        }
+    }
+    if socket.saturation_qps <= 0.0 {
+        eprintln!("GATE: open-loop ramp produced no completed queries");
         std::process::exit(2);
     }
 }

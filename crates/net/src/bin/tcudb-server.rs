@@ -1,0 +1,149 @@
+//! `tcudb-server` — the TCUDB network server.
+//!
+//! Serves the TCUP wire protocol (see `tcudb_net::frame`) over TCP,
+//! backed by the full serving stack: plan cache, in-flight coalescing,
+//! admission control, deadlines, and load shedding.  Ships with the
+//! demo catalogs (SSB star schema + microbenchmark join tables) so a
+//! fresh checkout can serve traffic with no data pipeline:
+//!
+//! ```text
+//! cargo run --release -p tcudb-net --bin tcudb-server -- --addr 127.0.0.1:4333
+//! cargo run --release -p tcudb-net --bin tcudb-server -- --sf 2 --workers 8
+//! ```
+//!
+//! Options: `--addr HOST:PORT` (default `127.0.0.1:4333`), `--sf N` (SSB
+//! scale factor, default 1), `--workers N` (serve workers, default all
+//! cores), `--deadline-ms N` (default per-query deadline, default none),
+//! `--max-queue N` (shed bound, default 256), `--stats-secs N` (stats
+//! print interval, default 30, `0` = quiet).  The process serves until
+//! killed.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tcudb_core::TcuDb;
+use tcudb_datagen::{micro, ssb};
+use tcudb_net::{NetConfig, NetServer};
+use tcudb_serve::ServeConfig;
+use tcudb_storage::Catalog;
+
+struct Options {
+    addr: String,
+    sf: usize,
+    workers: usize,
+    deadline_ms: u64,
+    max_queue: usize,
+    stats_secs: u64,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:4333".to_string(),
+        sf: 1,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        deadline_ms: 0,
+        max_queue: 256,
+        stats_secs: 30,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args.get(i).map(String::as_str).unwrap_or("");
+        let value = |i: usize| -> Result<&String, String> {
+            args.get(i + 1)
+                .ok_or_else(|| format!("{arg} expects a value"))
+        };
+        match arg {
+            "--addr" => {
+                opts.addr = value(i)?.clone();
+                i += 2;
+            }
+            "--sf" => {
+                opts.sf = value(i)?.parse().map_err(|e| format!("--sf: {e}"))?;
+                i += 2;
+            }
+            "--workers" => {
+                opts.workers = value(i)?.parse().map_err(|e| format!("--workers: {e}"))?;
+                i += 2;
+            }
+            "--deadline-ms" => {
+                opts.deadline_ms = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--deadline-ms: {e}"))?;
+                i += 2;
+            }
+            "--max-queue" => {
+                opts.max_queue = value(i)?.parse().map_err(|e| format!("--max-queue: {e}"))?;
+                i += 2;
+            }
+            "--stats-secs" => {
+                opts.stats_secs = value(i)?
+                    .parse()
+                    .map_err(|e| format!("--stats-secs: {e}"))?;
+                i += 2;
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// SSB + micro demo catalog (disjoint table names).
+fn demo_catalog(sf: usize) -> Catalog {
+    let ssb_cat = ssb::gen_catalog(sf, 0x55B);
+    let micro_cat = micro::gen_catalog(&micro::MicroConfig::new(20_000, 4_096));
+    let mut cat = Catalog::new();
+    for source in [&ssb_cat, &micro_cat] {
+        for name in source.table_names() {
+            if let Ok(table) = source.table(&name) {
+                cat.register((*table).clone());
+            }
+        }
+    }
+    cat
+}
+
+fn run() -> Result<(), String> {
+    let opts = parse_args()?;
+    eprintln!(
+        "tcudb-server: generating demo catalog (ssb sf={}, micro) ...",
+        opts.sf
+    );
+    let db = Arc::new(TcuDb::default());
+    db.set_catalog(demo_catalog(opts.sf));
+
+    let config = NetConfig {
+        addr: opts.addr.clone(),
+        serve: ServeConfig {
+            workers: opts.workers,
+            max_queue: opts.max_queue,
+            default_deadline: (opts.deadline_ms > 0)
+                .then(|| Duration::from_millis(opts.deadline_ms)),
+            ..ServeConfig::default()
+        },
+        ..NetConfig::default()
+    };
+    let server = NetServer::start(db, config).map_err(|e| e.to_string())?;
+    println!("tcudb-server: listening on {}", server.local_addr());
+
+    // Serve until killed, periodically reporting reactor counters.
+    loop {
+        std::thread::sleep(Duration::from_secs(opts.stats_secs.max(1)));
+        if opts.stats_secs > 0 {
+            let s = server.stats();
+            eprintln!(
+                "tcudb-server: active={} accepted={} rejected={} idle_closed={}",
+                s.active, s.accepted, s.rejected, s.idle_closed
+            );
+        }
+    }
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("tcudb-server: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,1148 @@
+//! The TCUP wire protocol: CRC-framed, length-prefixed binary frames.
+//!
+//! Every frame on the wire is
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE] [payload = kind: u8 + body]
+//! ```
+//!
+//! where `len` counts the payload bytes and the CRC32 (IEEE — the same
+//! polynomial and implementation as the WAL, [`tcudb_storage::wal::crc32`])
+//! covers the payload only.  A receiver rejects, with a typed
+//! [`ProtocolError`] and never a panic or an unbounded allocation:
+//!
+//! * a length prefix above the negotiated maximum ([`MAX_FRAME_LEN`]) —
+//!   detected from the 8 header bytes alone, before anything is buffered;
+//! * a CRC mismatch (bit rot, torn writes, malicious garbage);
+//! * a payload that decodes short, long, or structurally malformed
+//!   (unknown frame kind, non-UTF-8 strings, column counts that cannot
+//!   fit the remaining bytes).
+//!
+//! Decoding is *incremental*: [`FrameReader`] accepts arbitrary byte
+//! slabs (network reads split frames anywhere) and yields complete frames
+//! as they form.  All integers are little-endian; strings are
+//! `u32` length + UTF-8 bytes; result sets stream as typed columnar
+//! batches (`i64` / `f64` words, length-prefixed text) so a client can
+//! reconstruct a byte-identical [`Table`].
+
+use std::fmt;
+use tcudb_storage::wal::crc32;
+use tcudb_storage::{Column, ColumnDef, Schema, Table};
+use tcudb_types::{DataType, TcuError, TcuResult};
+
+/// First field of every [`Frame::Hello`]: `"TCUP"` as a big-endian word.
+pub const MAGIC: u32 = 0x5443_5550;
+
+/// Lowest protocol version this build can speak.
+pub const VERSION_MIN: u16 = 1;
+
+/// Highest (and preferred) protocol version this build can speak.
+pub const VERSION: u16 = 1;
+
+/// Hard ceiling on one frame's payload bytes.  An incoming length prefix
+/// above this is rejected from the 8-byte header alone — the payload is
+/// never buffered, so a hostile `0xFFFF_FFFF` prefix cannot balloon
+/// memory.
+pub const MAX_FRAME_LEN: u32 = 32 << 20;
+
+/// Bytes of framing overhead preceding every payload (`len` + `crc`).
+pub const HEADER_LEN: usize = 8;
+
+/// Rows per [`Frame::ResultBatch`] when a server streams a result set.
+pub const BATCH_ROWS: usize = 4096;
+
+/// A violation of the wire protocol: bad magic, bad CRC, oversized or
+/// malformed frames.  Fatal for the connection that produced it (the
+/// peer's framing can no longer be trusted) but never for the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError(pub String);
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "protocol error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+impl From<ProtocolError> for TcuError {
+    fn from(e: ProtocolError) -> TcuError {
+        TcuError::InvalidArgument(e.to_string())
+    }
+}
+
+/// Typed error codes carried by [`Frame::Error`] — one per [`TcuError`]
+/// variant, plus [`ErrorCode::Protocol`] for framing violations, so a
+/// client reconstructs the same error kind the engine produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// [`TcuError::Parse`].
+    Parse = 1,
+    /// [`TcuError::Analysis`].
+    Analysis = 2,
+    /// [`TcuError::Plan`].
+    Plan = 3,
+    /// [`TcuError::Execution`].
+    Execution = 4,
+    /// [`TcuError::PrecisionOverflow`].
+    PrecisionOverflow = 5,
+    /// [`TcuError::ShapeMismatch`] (flattened to its display text).
+    ShapeMismatch = 6,
+    /// [`TcuError::DeviceMemoryExceeded`] (flattened to its display text).
+    DeviceMemoryExceeded = 7,
+    /// [`TcuError::Io`].
+    Io = 8,
+    /// [`TcuError::IoTransient`].
+    IoTransient = 9,
+    /// [`TcuError::Cancelled`].
+    Cancelled = 10,
+    /// [`TcuError::DeadlineExceeded`].
+    DeadlineExceeded = 11,
+    /// [`TcuError::Overloaded`].
+    Overloaded = 12,
+    /// [`TcuError::InvalidArgument`].
+    InvalidArgument = 13,
+    /// A wire-protocol violation ([`ProtocolError`]); the connection is
+    /// closed after this frame.
+    Protocol = 100,
+}
+
+impl ErrorCode {
+    /// Decode a wire code (unknown codes fall back to
+    /// [`ErrorCode::Execution`] — a future peer may speak a newer
+    /// taxonomy; the message still describes the failure).
+    pub fn from_u16(code: u16) -> ErrorCode {
+        match code {
+            1 => ErrorCode::Parse,
+            2 => ErrorCode::Analysis,
+            3 => ErrorCode::Plan,
+            5 => ErrorCode::PrecisionOverflow,
+            6 => ErrorCode::ShapeMismatch,
+            7 => ErrorCode::DeviceMemoryExceeded,
+            8 => ErrorCode::Io,
+            9 => ErrorCode::IoTransient,
+            10 => ErrorCode::Cancelled,
+            11 => ErrorCode::DeadlineExceeded,
+            12 => ErrorCode::Overloaded,
+            13 => ErrorCode::InvalidArgument,
+            100 => ErrorCode::Protocol,
+            _ => ErrorCode::Execution,
+        }
+    }
+
+    /// The `(code, message)` pair a server sends for an engine error.
+    pub fn from_error(err: &TcuError) -> (ErrorCode, String) {
+        match err {
+            TcuError::Parse(m) => (ErrorCode::Parse, m.clone()),
+            TcuError::Analysis(m) => (ErrorCode::Analysis, m.clone()),
+            TcuError::Plan(m) => (ErrorCode::Plan, m.clone()),
+            TcuError::Execution(m) => (ErrorCode::Execution, m.clone()),
+            TcuError::PrecisionOverflow(m) => (ErrorCode::PrecisionOverflow, m.clone()),
+            TcuError::ShapeMismatch { .. } => (ErrorCode::ShapeMismatch, err.to_string()),
+            TcuError::DeviceMemoryExceeded { .. } => {
+                (ErrorCode::DeviceMemoryExceeded, err.to_string())
+            }
+            TcuError::Io(m) => (ErrorCode::Io, m.clone()),
+            TcuError::IoTransient(m) => (ErrorCode::IoTransient, m.clone()),
+            TcuError::Cancelled(m) => (ErrorCode::Cancelled, m.clone()),
+            TcuError::DeadlineExceeded(m) => (ErrorCode::DeadlineExceeded, m.clone()),
+            TcuError::Overloaded(m) => (ErrorCode::Overloaded, m.clone()),
+            TcuError::InvalidArgument(m) => (ErrorCode::InvalidArgument, m.clone()),
+        }
+    }
+
+    /// Reconstruct the [`TcuError`] a client surfaces for this code.
+    /// The two structured variants (shape mismatch, device memory) were
+    /// flattened to text on encode and come back as
+    /// [`TcuError::Execution`] carrying that text.
+    pub fn to_error(self, message: String) -> TcuError {
+        match self {
+            ErrorCode::Parse => TcuError::Parse(message),
+            ErrorCode::Analysis => TcuError::Analysis(message),
+            ErrorCode::Plan => TcuError::Plan(message),
+            ErrorCode::Execution | ErrorCode::ShapeMismatch | ErrorCode::DeviceMemoryExceeded => {
+                TcuError::Execution(message)
+            }
+            ErrorCode::PrecisionOverflow => TcuError::PrecisionOverflow(message),
+            ErrorCode::Io => TcuError::Io(message),
+            ErrorCode::IoTransient => TcuError::IoTransient(message),
+            ErrorCode::Cancelled => TcuError::Cancelled(message),
+            ErrorCode::DeadlineExceeded => TcuError::DeadlineExceeded(message),
+            ErrorCode::Overloaded => TcuError::Overloaded(message),
+            ErrorCode::InvalidArgument => TcuError::InvalidArgument(message),
+            ErrorCode::Protocol => TcuError::InvalidArgument(format!("protocol error: {message}")),
+        }
+    }
+}
+
+/// One decoded protocol frame.
+///
+/// Statement ids (`id`) are chosen by the client, must be unique among
+/// its in-flight statements, and sequence the replies: a server answers
+/// a connection's statements strictly in submission order, which is what
+/// makes pipelining (N frames written before the first reply is read)
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Client → server, first frame on a connection: magic plus the
+    /// closed version range the client speaks.
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: u32,
+        /// Lowest protocol version the client accepts.
+        min_version: u16,
+        /// Highest protocol version the client accepts.
+        max_version: u16,
+    },
+    /// Server → client: the negotiated version and this connection's
+    /// server-side session id (diagnostic; shows up in server stats).
+    Welcome {
+        /// The version both sides speak from here on.
+        version: u16,
+        /// Server-assigned connection id.
+        session_id: u64,
+    },
+    /// Client → server: execute `sql`, reply under `id`.
+    Query {
+        /// Client-chosen statement id.
+        id: u64,
+        /// Per-statement deadline in milliseconds; `0` uses the server
+        /// default.
+        deadline_ms: u32,
+        /// The SQL text.
+        sql: String,
+    },
+    /// Client → server: parse/analyze `sql` once, binding it to a
+    /// connection-scoped statement handle for later
+    /// [`Frame::ExecutePrepared`].
+    Prepare {
+        /// Client-chosen statement id for the `Prepared` reply.
+        id: u64,
+        /// The SQL text.
+        sql: String,
+    },
+    /// Server → client: the handle assigned by a successful prepare.
+    Prepared {
+        /// Echoes the `Prepare` id.
+        id: u64,
+        /// Connection-scoped statement handle.
+        statement: u32,
+    },
+    /// Client → server: execute a prepared statement.
+    ExecutePrepared {
+        /// Client-chosen statement id.
+        id: u64,
+        /// Handle from a prior [`Frame::Prepared`].
+        statement: u32,
+        /// Per-statement deadline in milliseconds; `0` uses the server
+        /// default.
+        deadline_ms: u32,
+    },
+    /// Client → server: abort the in-flight statement `id`.  The reply
+    /// for `id` still arrives — either its result (the race is inherent)
+    /// or a typed [`ErrorCode::Cancelled`] error frame.
+    Cancel {
+        /// The statement to abort.
+        id: u64,
+    },
+    /// Server → client: a result set begins — its table name and schema.
+    ResultHeader {
+        /// The statement this result answers.
+        id: u64,
+        /// Result table name (part of byte-identical reconstruction).
+        name: String,
+        /// `(column name, data type)` pairs in schema order.
+        columns: Vec<(String, DataType)>,
+    },
+    /// Server → client: one columnar slab of result rows (at most
+    /// [`BATCH_ROWS`] per frame), all columns over the same row range.
+    ResultBatch {
+        /// The statement this result answers.
+        id: u64,
+        /// The batch's columns, schema order, equal lengths.
+        columns: Vec<Column>,
+    },
+    /// Server → client: the result set under `id` is complete.
+    ResultDone {
+        /// The statement this result answers.
+        id: u64,
+        /// Total rows streamed (across all batches).
+        rows: u64,
+    },
+    /// Server → client: statement `id` failed (or, with `id == 0`, the
+    /// connection itself — e.g. a protocol violation, after which the
+    /// server closes).
+    Error {
+        /// The failed statement, `0` for connection-level errors.
+        id: u64,
+        /// Typed error code ([`ErrorCode`] as `u16`).
+        code: u16,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Either direction: orderly close (idle timeout, shutdown, client
+    /// done).  No further frames follow from the sender.
+    Goodbye {
+        /// Why the sender is closing.
+        reason: String,
+    },
+}
+
+const KIND_HELLO: u8 = 1;
+const KIND_WELCOME: u8 = 2;
+const KIND_QUERY: u8 = 3;
+const KIND_PREPARE: u8 = 4;
+const KIND_PREPARED: u8 = 5;
+const KIND_EXECUTE_PREPARED: u8 = 6;
+const KIND_CANCEL: u8 = 7;
+const KIND_RESULT_HEADER: u8 = 8;
+const KIND_RESULT_BATCH: u8 = 9;
+const KIND_RESULT_DONE: u8 = 10;
+const KIND_ERROR: u8 = 11;
+const KIND_GOODBYE: u8 = 12;
+
+const TYPE_INT: u8 = 0;
+const TYPE_FLOAT: u8 = 1;
+const TYPE_TEXT: u8 = 2;
+
+fn type_code(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => TYPE_INT,
+        DataType::Float64 => TYPE_FLOAT,
+        DataType::Text => TYPE_TEXT,
+    }
+}
+
+fn type_from_code(code: u8) -> Result<DataType, ProtocolError> {
+    match code {
+        TYPE_INT => Ok(DataType::Int64),
+        TYPE_FLOAT => Ok(DataType::Float64),
+        TYPE_TEXT => Ok(DataType::Text),
+        other => Err(ProtocolError(format!("unknown column type code {other}"))),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Payload writer / reader
+// ---------------------------------------------------------------------------
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Bounds-checked cursor over one frame payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len().saturating_sub(self.pos)
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ProtocolError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| {
+            ProtocolError("length overflow while decoding frame payload".to_string())
+        })?;
+        let slice = self
+            .buf
+            .get(self.pos..end)
+            .ok_or_else(|| ProtocolError("frame payload truncated".to_string()))?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        let b = self.take(1)?;
+        b.first()
+            .copied()
+            .ok_or_else(|| ProtocolError("frame payload truncated".to_string()))
+    }
+
+    fn u16(&mut self) -> Result<u16, ProtocolError> {
+        let b = self.take(2)?;
+        let arr: [u8; 2] = b
+            .try_into()
+            .map_err(|_| ProtocolError("frame payload truncated".to_string()))?;
+        Ok(u16::from_le_bytes(arr))
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.take(4)?;
+        let arr: [u8; 4] = b
+            .try_into()
+            .map_err(|_| ProtocolError("frame payload truncated".to_string()))?;
+        Ok(u32::from_le_bytes(arr))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.take(8)?;
+        let arr: [u8; 8] = b
+            .try_into()
+            .map_err(|_| ProtocolError("frame payload truncated".to_string()))?;
+        Ok(u64::from_le_bytes(arr))
+    }
+
+    fn i64(&mut self) -> Result<i64, ProtocolError> {
+        Ok(self.u64()? as i64)
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn str(&mut self) -> Result<String, ProtocolError> {
+        let len = self.u32()? as usize;
+        if len > self.remaining() {
+            return Err(ProtocolError(format!(
+                "string length {len} exceeds remaining payload {}",
+                self.remaining()
+            )));
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| ProtocolError("string is not valid UTF-8".to_string()))
+    }
+
+    fn finish(self) -> Result<(), ProtocolError> {
+        if self.remaining() != 0 {
+            return Err(ProtocolError(format!(
+                "{} trailing bytes after frame payload",
+                self.remaining()
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn encode_column(out: &mut Vec<u8>, col: &Column, lo: usize, hi: usize) {
+    out.push(type_code(col.data_type()));
+    put_u32(out, (hi - lo) as u32);
+    match col {
+        Column::Int64(v) => {
+            for x in &v[lo..hi] {
+                put_u64(out, *x as u64);
+            }
+        }
+        Column::Float64(v) => {
+            for x in &v[lo..hi] {
+                put_u64(out, x.to_bits());
+            }
+        }
+        Column::Text(v) => {
+            for s in &v[lo..hi] {
+                put_str(out, s);
+            }
+        }
+    }
+}
+
+fn decode_column(r: &mut Reader<'_>) -> Result<Column, ProtocolError> {
+    let dt = type_from_code(r.u8()?)?;
+    let rows = r.u32()? as usize;
+    // Every encoded element is at least 4 bytes (text length prefix) and
+    // exactly 8 for numerics, so a row count beyond `remaining / 4`
+    // cannot be satisfied — reject before allocating.
+    if rows > r.remaining() / 4 {
+        return Err(ProtocolError(format!(
+            "column row count {rows} exceeds remaining payload {}",
+            r.remaining()
+        )));
+    }
+    match dt {
+        DataType::Int64 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.i64()?);
+            }
+            Ok(Column::Int64(v))
+        }
+        DataType::Float64 => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.f64()?);
+            }
+            Ok(Column::Float64(v))
+        }
+        DataType::Text => {
+            let mut v = Vec::with_capacity(rows);
+            for _ in 0..rows {
+                v.push(r.str()?);
+            }
+            Ok(Column::Text(v))
+        }
+    }
+}
+
+impl Frame {
+    /// Append this frame — header and CRC-protected payload — to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let header_at = out.len();
+        out.extend_from_slice(&[0u8; HEADER_LEN]);
+        let payload_at = out.len();
+        self.encode_payload(out);
+        let len = (out.len() - payload_at) as u32;
+        let crc = crc32(&out[payload_at..]);
+        out[header_at..header_at + 4].copy_from_slice(&len.to_le_bytes());
+        out[header_at + 4..header_at + 8].copy_from_slice(&crc.to_le_bytes());
+    }
+
+    /// This frame as a standalone byte vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Frame::Hello {
+                magic,
+                min_version,
+                max_version,
+            } => {
+                out.push(KIND_HELLO);
+                put_u32(out, *magic);
+                put_u16(out, *min_version);
+                put_u16(out, *max_version);
+            }
+            Frame::Welcome {
+                version,
+                session_id,
+            } => {
+                out.push(KIND_WELCOME);
+                put_u16(out, *version);
+                put_u64(out, *session_id);
+            }
+            Frame::Query {
+                id,
+                deadline_ms,
+                sql,
+            } => {
+                out.push(KIND_QUERY);
+                put_u64(out, *id);
+                put_u32(out, *deadline_ms);
+                put_str(out, sql);
+            }
+            Frame::Prepare { id, sql } => {
+                out.push(KIND_PREPARE);
+                put_u64(out, *id);
+                put_str(out, sql);
+            }
+            Frame::Prepared { id, statement } => {
+                out.push(KIND_PREPARED);
+                put_u64(out, *id);
+                put_u32(out, *statement);
+            }
+            Frame::ExecutePrepared {
+                id,
+                statement,
+                deadline_ms,
+            } => {
+                out.push(KIND_EXECUTE_PREPARED);
+                put_u64(out, *id);
+                put_u32(out, *statement);
+                put_u32(out, *deadline_ms);
+            }
+            Frame::Cancel { id } => {
+                out.push(KIND_CANCEL);
+                put_u64(out, *id);
+            }
+            Frame::ResultHeader { id, name, columns } => {
+                out.push(KIND_RESULT_HEADER);
+                put_u64(out, *id);
+                put_str(out, name);
+                put_u16(out, columns.len() as u16);
+                for (col_name, dt) in columns {
+                    put_str(out, col_name);
+                    out.push(type_code(*dt));
+                }
+            }
+            Frame::ResultBatch { id, columns } => {
+                out.push(KIND_RESULT_BATCH);
+                put_u64(out, *id);
+                put_u16(out, columns.len() as u16);
+                for col in columns {
+                    encode_column(out, col, 0, col.len());
+                }
+            }
+            Frame::ResultDone { id, rows } => {
+                out.push(KIND_RESULT_DONE);
+                put_u64(out, *id);
+                put_u64(out, *rows);
+            }
+            Frame::Error { id, code, message } => {
+                out.push(KIND_ERROR);
+                put_u64(out, *id);
+                put_u16(out, *code);
+                put_str(out, message);
+            }
+            Frame::Goodbye { reason } => {
+                out.push(KIND_GOODBYE);
+                put_str(out, reason);
+            }
+        }
+    }
+
+    /// Decode one payload (the bytes after the 8-byte header, CRC already
+    /// verified).
+    pub fn decode_payload(payload: &[u8]) -> Result<Frame, ProtocolError> {
+        let mut r = Reader::new(payload);
+        let kind = r.u8()?;
+        let frame = match kind {
+            KIND_HELLO => Frame::Hello {
+                magic: r.u32()?,
+                min_version: r.u16()?,
+                max_version: r.u16()?,
+            },
+            KIND_WELCOME => Frame::Welcome {
+                version: r.u16()?,
+                session_id: r.u64()?,
+            },
+            KIND_QUERY => Frame::Query {
+                id: r.u64()?,
+                deadline_ms: r.u32()?,
+                sql: r.str()?,
+            },
+            KIND_PREPARE => Frame::Prepare {
+                id: r.u64()?,
+                sql: r.str()?,
+            },
+            KIND_PREPARED => Frame::Prepared {
+                id: r.u64()?,
+                statement: r.u32()?,
+            },
+            KIND_EXECUTE_PREPARED => Frame::ExecutePrepared {
+                id: r.u64()?,
+                statement: r.u32()?,
+                deadline_ms: r.u32()?,
+            },
+            KIND_CANCEL => Frame::Cancel { id: r.u64()? },
+            KIND_RESULT_HEADER => {
+                let id = r.u64()?;
+                let name = r.str()?;
+                let ncols = r.u16()? as usize;
+                if ncols > r.remaining() {
+                    return Err(ProtocolError(format!(
+                        "header column count {ncols} exceeds remaining payload"
+                    )));
+                }
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    let col_name = r.str()?;
+                    let dt = type_from_code(r.u8()?)?;
+                    columns.push((col_name, dt));
+                }
+                Frame::ResultHeader { id, name, columns }
+            }
+            KIND_RESULT_BATCH => {
+                let id = r.u64()?;
+                let ncols = r.u16()? as usize;
+                if ncols > r.remaining() {
+                    return Err(ProtocolError(format!(
+                        "batch column count {ncols} exceeds remaining payload"
+                    )));
+                }
+                let mut columns = Vec::with_capacity(ncols);
+                for _ in 0..ncols {
+                    columns.push(decode_column(&mut r)?);
+                }
+                Frame::ResultBatch { id, columns }
+            }
+            KIND_RESULT_DONE => Frame::ResultDone {
+                id: r.u64()?,
+                rows: r.u64()?,
+            },
+            KIND_ERROR => Frame::Error {
+                id: r.u64()?,
+                code: r.u16()?,
+                message: r.str()?,
+            },
+            KIND_GOODBYE => Frame::Goodbye { reason: r.str()? },
+            other => return Err(ProtocolError(format!("unknown frame kind {other}"))),
+        };
+        r.finish()?;
+        Ok(frame)
+    }
+}
+
+/// Encode a [`Frame::Error`] answering statement `id` with the typed
+/// code for `err`.
+pub fn encode_error(id: u64, err: &TcuError) -> Vec<u8> {
+    let (code, message) = ErrorCode::from_error(err);
+    Frame::Error {
+        id,
+        code: code as u16,
+        message,
+    }
+    .to_bytes()
+}
+
+/// Encode a complete result set — header, columnar batches of at most
+/// `batch_rows` rows, and the terminating [`Frame::ResultDone`] — into
+/// `out`.
+pub fn encode_result(id: u64, table: &Table, batch_rows: usize, out: &mut Vec<u8>) {
+    let columns: Vec<(String, DataType)> = table
+        .schema()
+        .columns()
+        .iter()
+        .map(|c| (c.name.clone(), c.data_type))
+        .collect();
+    Frame::ResultHeader {
+        id,
+        name: table.name().to_string(),
+        columns,
+    }
+    .encode(out);
+    let rows = table.num_rows();
+    let step = batch_rows.max(1);
+    let mut lo = 0;
+    while lo < rows {
+        let hi = (lo + step).min(rows);
+        let header_at = out.len();
+        out.extend_from_slice(&[0u8; HEADER_LEN]);
+        let payload_at = out.len();
+        out.push(KIND_RESULT_BATCH);
+        put_u64(out, id);
+        put_u16(out, table.num_columns() as u16);
+        for col in table.columns() {
+            encode_column(out, col, lo, hi);
+        }
+        let len = (out.len() - payload_at) as u32;
+        let crc = crc32(&out[payload_at..]);
+        out[header_at..header_at + 4].copy_from_slice(&len.to_le_bytes());
+        out[header_at + 4..header_at + 8].copy_from_slice(&crc.to_le_bytes());
+        lo = hi;
+    }
+    Frame::ResultDone {
+        id,
+        rows: rows as u64,
+    }
+    .encode(out);
+}
+
+/// Reassembles a streamed result set (header + batches + done) back into
+/// the [`Table`] the server executed — byte-identical to the in-process
+/// result.
+#[derive(Debug)]
+pub struct ResultAssembler {
+    name: String,
+    schema: Vec<(String, DataType)>,
+    columns: Vec<Column>,
+}
+
+impl ResultAssembler {
+    /// Start assembling from a [`Frame::ResultHeader`].
+    pub fn new(name: String, schema: Vec<(String, DataType)>) -> ResultAssembler {
+        let columns = schema.iter().map(|(_, dt)| Column::empty(*dt)).collect();
+        ResultAssembler {
+            name,
+            schema,
+            columns,
+        }
+    }
+
+    /// Append one [`Frame::ResultBatch`]'s columns.
+    pub fn push_batch(&mut self, batch: Vec<Column>) -> Result<(), ProtocolError> {
+        if batch.len() != self.columns.len() {
+            return Err(ProtocolError(format!(
+                "batch has {} columns, header declared {}",
+                batch.len(),
+                self.columns.len()
+            )));
+        }
+        for (acc, part) in self.columns.iter_mut().zip(batch) {
+            match (acc, part) {
+                (Column::Int64(a), Column::Int64(b)) => a.extend(b),
+                (Column::Float64(a), Column::Float64(b)) => a.extend(b),
+                (Column::Text(a), Column::Text(b)) => a.extend(b),
+                _ => {
+                    return Err(ProtocolError(
+                        "batch column type differs from header".to_string(),
+                    ))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Finish on [`Frame::ResultDone`], checking the streamed row count.
+    pub fn finish(self, expected_rows: u64) -> TcuResult<Table> {
+        let rows = self.columns.first().map(|c| c.len()).unwrap_or(0);
+        if rows as u64 != expected_rows {
+            return Err(ProtocolError(format!(
+                "result stream carried {rows} rows, server declared {expected_rows}"
+            ))
+            .into());
+        }
+        let defs: Vec<ColumnDef> = self
+            .schema
+            .into_iter()
+            .map(|(name, dt)| ColumnDef::new(name, dt))
+            .collect();
+        Table::from_columns(self.name, Schema::new(defs), self.columns)
+    }
+}
+
+/// Incremental frame decoder: push network reads in, pull whole frames
+/// out.  Errors are sticky — once the stream violates the protocol the
+/// framing cannot be resynchronized, so every later call fails too.
+#[derive(Debug)]
+pub struct FrameReader {
+    buf: Vec<u8>,
+    start: usize,
+    max_frame: u32,
+    poisoned: Option<ProtocolError>,
+}
+
+impl Default for FrameReader {
+    fn default() -> FrameReader {
+        FrameReader::new(MAX_FRAME_LEN)
+    }
+}
+
+impl FrameReader {
+    /// A reader enforcing `max_frame` as the payload-length ceiling.
+    pub fn new(max_frame: u32) -> FrameReader {
+        FrameReader {
+            buf: Vec::new(),
+            start: 0,
+            max_frame,
+            poisoned: None,
+        }
+    }
+
+    /// Buffer raw bytes from the transport.
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as complete frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decode the next complete frame, `Ok(None)` when more bytes are
+    /// needed.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, ProtocolError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        match self.try_next() {
+            Ok(f) => Ok(f),
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn try_next(&mut self) -> Result<Option<Frame>, ProtocolError> {
+        let avail = &self.buf[self.start..];
+        let Some(header) = avail.get(..HEADER_LEN) else {
+            return Ok(None);
+        };
+        let len_bytes: [u8; 4] = header
+            .get(..4)
+            .and_then(|b| b.try_into().ok())
+            .ok_or_else(|| ProtocolError("short frame header".to_string()))?;
+        let crc_bytes: [u8; 4] = header
+            .get(4..8)
+            .and_then(|b| b.try_into().ok())
+            .ok_or_else(|| ProtocolError("short frame header".to_string()))?;
+        let len = u32::from_le_bytes(len_bytes);
+        let want_crc = u32::from_le_bytes(crc_bytes);
+        if len == 0 {
+            return Err(ProtocolError("zero-length frame".to_string()));
+        }
+        if len > self.max_frame {
+            // Rejected from the header alone: the oversized payload is
+            // never buffered or allocated.
+            return Err(ProtocolError(format!(
+                "frame length {len} exceeds the {max} byte limit",
+                max = self.max_frame
+            )));
+        }
+        let total = HEADER_LEN + len as usize;
+        let Some(payload) = avail.get(HEADER_LEN..total) else {
+            return Ok(None);
+        };
+        if crc32(payload) != want_crc {
+            return Err(ProtocolError("frame CRC mismatch".to_string()));
+        }
+        let frame = Frame::decode_payload(payload)?;
+        self.start += total;
+        // Compact once the consumed prefix dominates the buffer.
+        if self.start > 4096 && self.start * 2 > self.buf.len() {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: Frame) {
+        let bytes = f.to_bytes();
+        let mut r = FrameReader::default();
+        r.push_bytes(&bytes);
+        assert_eq!(r.next_frame().unwrap(), Some(f));
+        assert_eq!(r.next_frame().unwrap(), None);
+    }
+
+    #[test]
+    fn every_frame_kind_round_trips() {
+        roundtrip(Frame::Hello {
+            magic: MAGIC,
+            min_version: 1,
+            max_version: 3,
+        });
+        roundtrip(Frame::Welcome {
+            version: 1,
+            session_id: 42,
+        });
+        roundtrip(Frame::Query {
+            id: 7,
+            deadline_ms: 250,
+            sql: "SELECT 1".to_string(),
+        });
+        roundtrip(Frame::Prepare {
+            id: 8,
+            sql: "SELECT A.x FROM A".to_string(),
+        });
+        roundtrip(Frame::Prepared {
+            id: 8,
+            statement: 3,
+        });
+        roundtrip(Frame::ExecutePrepared {
+            id: 9,
+            statement: 3,
+            deadline_ms: 0,
+        });
+        roundtrip(Frame::Cancel { id: 9 });
+        roundtrip(Frame::ResultHeader {
+            id: 7,
+            name: "result".to_string(),
+            columns: vec![
+                ("a".to_string(), DataType::Int64),
+                ("b".to_string(), DataType::Float64),
+                ("c".to_string(), DataType::Text),
+            ],
+        });
+        roundtrip(Frame::ResultBatch {
+            id: 7,
+            columns: vec![
+                Column::Int64(vec![1, -2, i64::MAX]),
+                Column::Float64(vec![0.5, f64::INFINITY, f64::MIN_POSITIVE]),
+                Column::Text(vec!["".to_string(), "héllo".to_string()]),
+            ],
+        });
+        roundtrip(Frame::ResultDone { id: 7, rows: 3 });
+        roundtrip(Frame::Error {
+            id: 7,
+            code: ErrorCode::Overloaded as u16,
+            message: "queue full".to_string(),
+        });
+        roundtrip(Frame::Goodbye {
+            reason: "idle".to_string(),
+        });
+    }
+
+    #[test]
+    fn partial_reads_split_anywhere_still_decode() {
+        let mut bytes = Vec::new();
+        Frame::Cancel { id: 5 }.encode(&mut bytes);
+        Frame::Query {
+            id: 6,
+            deadline_ms: 0,
+            sql: "SELECT 1".to_string(),
+        }
+        .encode(&mut bytes);
+        for split in 0..bytes.len() {
+            let mut r = FrameReader::default();
+            r.push_bytes(&bytes[..split]);
+            let mut got = Vec::new();
+            while let Some(f) = r.next_frame().unwrap() {
+                got.push(f);
+            }
+            r.push_bytes(&bytes[split..]);
+            while let Some(f) = r.next_frame().unwrap() {
+                got.push(f);
+            }
+            assert_eq!(got.len(), 2, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn corrupt_crc_is_rejected_and_sticky() {
+        let mut bytes = Frame::Cancel { id: 5 }.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        let mut r = FrameReader::default();
+        r.push_bytes(&bytes);
+        assert!(r.next_frame().is_err());
+        // Sticky: even pushing a valid frame afterwards keeps failing.
+        r.push_bytes(&Frame::Cancel { id: 6 }.to_bytes());
+        assert!(r.next_frame().is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_from_the_header() {
+        let mut r = FrameReader::default();
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        r.push_bytes(&bytes);
+        let err = r.next_frame().unwrap_err();
+        assert!(err.0.contains("exceeds"), "{err}");
+        // Nothing beyond the 8 header bytes was ever required or buffered.
+        assert_eq!(r.buffered(), 8);
+    }
+
+    #[test]
+    fn truncated_and_trailing_payloads_are_rejected() {
+        // Truncated: claim a Query but cut the SQL short.
+        let good = Frame::Query {
+            id: 1,
+            deadline_ms: 0,
+            sql: "SELECT 1".to_string(),
+        }
+        .to_bytes();
+        let payload = &good[HEADER_LEN..good.len() - 2];
+        assert!(Frame::decode_payload(payload).is_err());
+        // Trailing: extra bytes after a complete payload.
+        let mut long = good[HEADER_LEN..].to_vec();
+        long.extend_from_slice(&[0, 0]);
+        assert!(Frame::decode_payload(&long).is_err());
+        // Unknown kind.
+        assert!(Frame::decode_payload(&[200]).is_err());
+    }
+
+    #[test]
+    fn hostile_row_counts_do_not_allocate() {
+        // A batch claiming 2^31 rows in a 30-byte payload must fail fast.
+        let mut payload = vec![KIND_RESULT_BATCH];
+        put_u64(&mut payload, 1);
+        put_u16(&mut payload, 1);
+        payload.push(TYPE_INT);
+        put_u32(&mut payload, u32::MAX);
+        assert!(Frame::decode_payload(&payload).is_err());
+    }
+
+    #[test]
+    fn result_encoding_reassembles_byte_identically() {
+        let table = Table::from_columns(
+            "result",
+            Schema::from_pairs(&[
+                ("id", DataType::Int64),
+                ("score", DataType::Float64),
+                ("tag", DataType::Text),
+            ]),
+            vec![
+                Column::Int64((0..10_000).collect()),
+                Column::Float64((0..10_000).map(|i| i as f64 * 0.25).collect()),
+                Column::Text((0..10_000).map(|i| format!("tag-{i}")).collect()),
+            ],
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        encode_result(9, &table, 1024, &mut bytes);
+        let mut r = FrameReader::default();
+        r.push_bytes(&bytes);
+        let mut asm = None;
+        let mut rebuilt = None;
+        let mut batches = 0;
+        while let Some(f) = r.next_frame().unwrap() {
+            match f {
+                Frame::ResultHeader { name, columns, .. } => {
+                    asm = Some(ResultAssembler::new(name, columns));
+                }
+                Frame::ResultBatch { columns, .. } => {
+                    batches += 1;
+                    asm.as_mut().unwrap().push_batch(columns).unwrap();
+                }
+                Frame::ResultDone { rows, .. } => {
+                    rebuilt = Some(asm.take().unwrap().finish(rows).unwrap());
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(batches, 10);
+        assert_eq!(rebuilt.unwrap(), table);
+        // Empty result sets round-trip too (zero batches).
+        let empty = Table::from_columns(
+            "result",
+            Schema::from_pairs(&[("id", DataType::Int64)]),
+            vec![Column::Int64(vec![])],
+        )
+        .unwrap();
+        let mut bytes = Vec::new();
+        encode_result(1, &empty, 1024, &mut bytes);
+        let mut r = FrameReader::default();
+        r.push_bytes(&bytes);
+        let mut asm = None;
+        let mut rebuilt = None;
+        while let Some(f) = r.next_frame().unwrap() {
+            match f {
+                Frame::ResultHeader { name, columns, .. } => {
+                    asm = Some(ResultAssembler::new(name, columns));
+                }
+                Frame::ResultDone { rows, .. } => {
+                    rebuilt = Some(asm.take().unwrap().finish(rows).unwrap());
+                }
+                other => panic!("unexpected frame {other:?}"),
+            }
+        }
+        assert_eq!(rebuilt.unwrap(), empty);
+    }
+
+    #[test]
+    fn error_codes_round_trip_tcu_errors() {
+        let cases = vec![
+            TcuError::Parse("p".into()),
+            TcuError::Analysis("a".into()),
+            TcuError::Plan("pl".into()),
+            TcuError::Execution("e".into()),
+            TcuError::PrecisionOverflow("po".into()),
+            TcuError::Io("io".into()),
+            TcuError::IoTransient("iot".into()),
+            TcuError::Cancelled("c".into()),
+            TcuError::DeadlineExceeded("d".into()),
+            TcuError::Overloaded("o".into()),
+            TcuError::InvalidArgument("i".into()),
+        ];
+        for err in cases {
+            let (code, msg) = ErrorCode::from_error(&err);
+            assert_eq!(code.to_error(msg), err);
+        }
+        // The structured variants flatten to Execution text.
+        let shape = TcuError::ShapeMismatch {
+            expected: "2x2".into(),
+            got: "3x3".into(),
+        };
+        let (code, msg) = ErrorCode::from_error(&shape);
+        assert_eq!(code, ErrorCode::ShapeMismatch);
+        assert!(matches!(code.to_error(msg), TcuError::Execution(_)));
+        assert_eq!(ErrorCode::from_u16(12), ErrorCode::Overloaded);
+        assert_eq!(ErrorCode::from_u16(9999), ErrorCode::Execution);
+    }
+}

@@ -1,0 +1,217 @@
+//! Socket-level kill-and-recover: concurrent TCP clients stream queries
+//! against a durable on-disk engine while a writer commits through the
+//! engine handle; the network server is killed SIGKILL-style mid-stream
+//! (sockets dropped, workers stopped, NO checkpoint).  Clients must see
+//! clean typed errors or disconnects — never hangs or torn frames — and
+//! a reopen from disk must land every acknowledged write.  A second pass
+//! restarts a server on the recovered engine and shuts down gracefully,
+//! proving the checkpoint seals the WAL.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tcudb_core::{EngineConfig, TcuDb};
+use tcudb_net::{Client, NetConfig, NetServer};
+use tcudb_storage::{DurabilityOptions, Table};
+use tcudb_types::Value;
+
+/// A unique on-disk scratch directory (no tempdir dependency).
+struct ScratchDir(std::path::PathBuf);
+
+impl ScratchDir {
+    fn new(tag: &str) -> ScratchDir {
+        let dir = std::env::temp_dir().join(format!(
+            "tcudb-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        ScratchDir(dir)
+    }
+}
+
+impl Drop for ScratchDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn open_db(dir: &std::path::Path) -> TcuDb {
+    TcuDb::open_with(
+        dir,
+        EngineConfig::default(),
+        DurabilityOptions::strict_manual(),
+    )
+    .expect("open durable db")
+}
+
+fn acked_ids(db: &TcuDb) -> Vec<i64> {
+    db.snapshot()
+        .table("B")
+        .unwrap()
+        .column_by_name("id")
+        .unwrap()
+        .as_i64()
+        .unwrap()
+        .to_vec()
+}
+
+/// No single socket operation may take longer than this; the kill must
+/// surface as a prompt error/EOF, not a stall.
+const STALL_BOUND: Duration = Duration::from_secs(10);
+
+#[test]
+fn killed_socket_server_loses_no_acked_write_and_drops_clients_cleanly() {
+    let scratch = ScratchDir::new("net-kill-recover");
+    let db = Arc::new(open_db(&scratch.0));
+    db.try_register_table(
+        Table::from_int_columns("A", &[("id", vec![1, 2, 3]), ("val", vec![10, 20, 30])]).unwrap(),
+    )
+    .unwrap();
+    db.try_register_table(
+        Table::from_int_columns("B", &[("id", vec![]), ("val", vec![])]).unwrap(),
+    )
+    .unwrap();
+
+    let server = NetServer::start(Arc::clone(&db), NetConfig::default()).expect("server starts");
+    let addr = server.local_addr();
+    let sql = "SELECT SUM(A.val), B.val FROM A, B WHERE A.id = B.id GROUP BY B.val";
+
+    // Three TCP clients hammer the server over sockets while the writer
+    // appends commits through the engine handle, recording the epoch of
+    // each acknowledgement.  At id == 20 the server is killed: reactor
+    // drops every socket without a Goodbye and the serve workers stop
+    // without a checkpoint — the network analogue of SIGKILL.
+    let mut server = Some(server);
+    let mut acked: Vec<(i64, u64)> = Vec::new();
+    let stop = AtomicBool::new(false);
+    let queries_ok = AtomicU64::new(0);
+    // All clients are connected and mid-stream before the writer starts,
+    // so the kill cuts live connections rather than racing the connects.
+    let ready = std::sync::Barrier::new(4);
+    std::thread::scope(|s| {
+        let stop = &stop;
+        let queries_ok = &queries_ok;
+        let ready = &ready;
+        for c in 0..3 {
+            s.spawn(move || {
+                let mut client = Client::connect(addr).expect("client connects");
+                client
+                    .set_read_timeout(Some(Duration::from_secs(30)))
+                    .expect("set timeout");
+                ready.wait();
+                loop {
+                    let began = Instant::now();
+                    match client.query(sql) {
+                        Ok(_) => {
+                            queries_ok.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => {
+                            // The kill must be visible promptly as a
+                            // typed error or disconnect — a cut client
+                            // may never stall.
+                            assert!(
+                                began.elapsed() < STALL_BOUND,
+                                "conn {c}: query stalled {:?} before failing: {e}",
+                                began.elapsed()
+                            );
+                            break;
+                        }
+                    }
+                    assert!(
+                        began.elapsed() < STALL_BOUND,
+                        "conn {c}: query took {:?} on a live server",
+                        began.elapsed()
+                    );
+                    if stop.load(Ordering::Relaxed) {
+                        // Server already killed but this connection kept
+                        // winning races — one more round will error out.
+                        continue;
+                    }
+                }
+                // The listener is gone too: a reconnect must be refused
+                // promptly, not accepted into a dead server.
+                assert!(stop.load(Ordering::Relaxed), "client died before the kill");
+                let began = Instant::now();
+                assert!(
+                    Client::connect(addr).is_err(),
+                    "conn {c}: reconnected to a killed server"
+                );
+                assert!(began.elapsed() < STALL_BOUND);
+            });
+        }
+        ready.wait();
+        for id in 0..40i64 {
+            db.append_rows("B", vec![vec![Value::Int(id), Value::Int(1000 + id)]])
+                .expect("acked write");
+            acked.push((id, db.epoch()));
+            if id == 20 {
+                // Let the clients get some real traffic through first.
+                let began = Instant::now();
+                while queries_ok.load(Ordering::Relaxed) < 3 && began.elapsed() < STALL_BOUND {
+                    std::thread::yield_now();
+                }
+                stop.store(true, Ordering::Relaxed);
+                if let Some(server) = server.take() {
+                    server.kill(); // SIGKILL-style: sockets dropped, no checkpoint
+                }
+            }
+        }
+    });
+    assert!(
+        queries_ok.load(Ordering::Relaxed) > 0,
+        "no client query ever succeeded before the kill"
+    );
+
+    let last_epoch = acked.last().unwrap().1;
+    drop(db);
+
+    // Reopen from disk: every acknowledged id must be present and the
+    // recovered epoch must cover the last acknowledgement.
+    let db = open_db(&scratch.0);
+    let report = db.recovery_report().unwrap();
+    assert!(
+        report.recovered_epoch >= last_epoch,
+        "recovered epoch {} < last acked epoch {last_epoch}",
+        report.recovered_epoch
+    );
+    let ids = acked_ids(&db);
+    for (id, epoch) in &acked {
+        assert!(
+            ids.contains(id),
+            "acked write id={id} (epoch {epoch}) missing after recovery"
+        );
+    }
+    assert_eq!(ids.len(), 40, "duplicate or phantom rows after recovery");
+
+    // Restart: a fresh server over the recovered engine serves sockets
+    // again, then shuts down gracefully — which checkpoints, so the next
+    // reopen replays nothing.
+    let db = Arc::new(db);
+    let server = NetServer::start(Arc::clone(&db), NetConfig::default()).expect("restart");
+    let mut client = Client::connect(server.local_addr()).expect("connect after restart");
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("set timeout");
+    for id in 40..50i64 {
+        db.append_rows("B", vec![vec![Value::Int(id), Value::Int(1000 + id)]])
+            .unwrap();
+        let table = client.query(sql).expect("query after restart");
+        assert!(table.num_rows() > 0);
+    }
+    client.goodbye();
+    let stats = server.shutdown().expect("graceful shutdown");
+    let sealed = stats
+        .checkpoint_epoch
+        .expect("graceful shutdown checkpoints");
+    assert_eq!(sealed, db.epoch());
+    drop(db);
+
+    let db = open_db(&scratch.0);
+    let report = db.recovery_report().unwrap();
+    assert_eq!(report.manifest_epoch, sealed);
+    assert_eq!(report.replayed_commits, 0);
+    assert_eq!(report.truncated_bytes, 0);
+    assert_eq!(acked_ids(&db).len(), 50);
+}

@@ -189,14 +189,49 @@ impl Ticket {
     }
 }
 
+/// One waiter's reply path: a channel feeding a [`Ticket`], or a
+/// callback invoked on the worker thread that finished the execution.
+/// Callbacks are what the network front end (`tcudb-net`) registers — a
+/// reactor cannot block on a channel, so the completion is pushed to it
+/// instead.  A callback must be cheap and non-blocking (enqueue + wake);
+/// it runs on a serve worker, and stalling it stalls the whole pool.
+enum Replier {
+    /// Feed a [`Ticket`] waiting on the other end of the channel.
+    Channel(mpsc::Sender<TcuResult<QueryOutput>>),
+    /// Invoke on completion (result fan-out clones per waiter).
+    Callback(Box<dyn FnOnce(TcuResult<QueryOutput>) + Send>),
+}
+
+impl Replier {
+    /// Deliver the result, consuming the replier.  A waiter that dropped
+    /// its ticket is simply skipped.
+    fn send(self, result: TcuResult<QueryOutput>) {
+        match self {
+            Replier::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            Replier::Callback(f) => f(result),
+        }
+    }
+}
+
+impl std::fmt::Debug for Replier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Replier::Channel(_) => f.write_str("Replier::Channel"),
+            Replier::Callback(_) => f.write_str("Replier::Callback"),
+        }
+    }
+}
+
 /// The clients waiting on one physical execution.  `closed` flips when
 /// the executing worker claims the list to fan the result out; attachers
-/// arriving later start a fresh job instead.  Each sender is tagged with
+/// arriving later start a fresh job instead.  Each replier is tagged with
 /// the submitting session's id so [`Session::cancel`] can detach exactly
 /// its own waiters.
 #[derive(Default)]
 struct ReplierSlot {
-    senders: Vec<(u64, mpsc::Sender<TcuResult<QueryOutput>>)>,
+    senders: Vec<(u64, Replier)>,
     closed: bool,
 }
 
@@ -354,10 +389,9 @@ impl Shared {
                 std::mem::take(&mut slot.senders)
             };
             self.finish_job(&job);
-            // Fan the one result out to every coalesced waiter.  A waiter
-            // that dropped its ticket is simply skipped.
-            for (_, tx) in senders {
-                let _ = tx.send(result.clone());
+            // Fan the one result out to every coalesced waiter.
+            for (_, replier) in senders {
+                replier.send(result.clone());
             }
         }
     }
@@ -537,9 +571,9 @@ impl Server {
                             slot.closed = true;
                             std::mem::take(&mut slot.senders)
                         };
-                        for (_, tx) in senders {
+                        for (_, replier) in senders {
                             self.shared.cancelled.fetch_add(1, Ordering::Relaxed);
-                            let _ = tx.send(Err(TcuError::Cancelled(
+                            replier.send(Err(TcuError::Cancelled(
                                 "server shut down before the query ran".into(),
                             )));
                         }
@@ -613,7 +647,9 @@ impl Session {
     /// coalesced with an identical in-queue statement.  The statement
     /// runs under [`ServeConfig::default_deadline`] when one is set.
     pub fn submit(&self, sql: &str) -> TcuResult<Ticket> {
-        self.submit_inner(sql, self.shared.default_deadline)
+        let (tx, rx) = mpsc::channel();
+        self.submit_inner(sql, self.shared.default_deadline, Replier::Channel(tx))?;
+        Ok(Ticket { rx })
     }
 
     /// Submit a statement with an explicit deadline, measured from now —
@@ -622,10 +658,41 @@ impl Session {
     /// executing past the deadline returns
     /// [`TcuError::DeadlineExceeded`].
     pub fn submit_with_deadline(&self, sql: &str, deadline: Duration) -> TcuResult<Ticket> {
-        self.submit_inner(sql, Some(deadline))
+        let (tx, rx) = mpsc::channel();
+        self.submit_inner(sql, Some(deadline), Replier::Channel(tx))?;
+        Ok(Ticket { rx })
     }
 
-    fn submit_inner(&self, sql: &str, deadline: Option<Duration>) -> TcuResult<Ticket> {
+    /// Submit a statement whose result is delivered to `callback` instead
+    /// of a [`Ticket`] — the reply path the network front end uses: a
+    /// reactor thread cannot block on a channel, so the completion is
+    /// pushed into it (enqueue + wake) from the worker that finished the
+    /// execution.
+    ///
+    /// Synchronous rejections (parse/analysis errors, overload shedding,
+    /// a shut-down server) surface as the returned `Err` and the callback
+    /// is **not** invoked; once this returns `Ok(())`, the callback is
+    /// guaranteed to fire exactly once — with the query result, a typed
+    /// [`TcuError::Cancelled`] / [`TcuError::DeadlineExceeded`], or the
+    /// shutdown cancellation.  The callback runs on a serve worker and
+    /// must not block.  `deadline` overrides
+    /// [`ServeConfig::default_deadline`] when `Some`.
+    pub fn submit_callback(
+        &self,
+        sql: &str,
+        deadline: Option<Duration>,
+        callback: impl FnOnce(TcuResult<QueryOutput>) + Send + 'static,
+    ) -> TcuResult<()> {
+        let deadline = deadline.or(self.shared.default_deadline);
+        self.submit_inner(sql, deadline, Replier::Callback(Box::new(callback)))
+    }
+
+    fn submit_inner(
+        &self,
+        sql: &str,
+        deadline: Option<Duration>,
+        replier: Replier,
+    ) -> TcuResult<()> {
         let shared = &self.shared;
         let snapshot = match &self.pinned {
             Some(s) => Arc::clone(s),
@@ -641,7 +708,6 @@ impl Session {
             ctx = ctx.deadline(Deadline::after(d));
         }
 
-        let (tx, rx) = mpsc::channel();
         {
             let mut state = locked(&shared.state);
             if state.shutdown {
@@ -670,13 +736,13 @@ impl Session {
                 if let Some(slot) = slot {
                     let mut guard = locked(&slot);
                     if !guard.closed {
-                        guard.senders.push((self.id, tx));
+                        guard.senders.push((self.id, replier));
                         drop(guard);
                         shared.submitted.fetch_add(1, Ordering::Relaxed);
                         shared.coalesced.fetch_add(1, Ordering::Relaxed);
                         drop(state);
                         shared.work_ready.notify_all();
-                        return Ok(Ticket { rx });
+                        return Ok(());
                     }
                     // The execution finished between lookup and attach:
                     // fall through and enqueue a fresh job.
@@ -707,7 +773,7 @@ impl Session {
                 entry,
                 est_bytes,
                 repliers: Arc::new(Mutex::new(ReplierSlot {
-                    senders: vec![(self.id, tx)],
+                    senders: vec![(self.id, replier)],
                     closed: false,
                 })),
                 ctx,
@@ -716,7 +782,7 @@ impl Session {
             });
         }
         shared.work_ready.notify_all();
-        Ok(Ticket { rx })
+        Ok(())
     }
 
     /// Cancel this session's outstanding submissions.
@@ -730,7 +796,7 @@ impl Session {
     /// normally.  Returns the number of waiters detached.
     pub fn cancel(&self) -> usize {
         let shared = &self.shared;
-        let mut detached: Vec<mpsc::Sender<TcuResult<QueryOutput>>> = Vec::new();
+        let mut detached: Vec<Replier> = Vec::new();
         {
             let mut state = locked(&shared.state);
             // Queued jobs: detach our waiters; drop jobs nobody waits on.
@@ -768,8 +834,8 @@ impl Session {
             .cancelled
             .fetch_add(detached.len() as u64, Ordering::Relaxed);
         let n = detached.len();
-        for tx in detached {
-            let _ = tx.send(Err(TcuError::Cancelled("cancelled by session".into())));
+        for replier in detached {
+            replier.send(Err(TcuError::Cancelled("cancelled by session".into())));
         }
         n
     }
@@ -780,21 +846,12 @@ impl Session {
     }
 }
 
-/// Remove and return the senders belonging to `session_id`.
-fn extract_session(
-    senders: &mut Vec<(u64, mpsc::Sender<TcuResult<QueryOutput>>)>,
-    session_id: u64,
-) -> Vec<mpsc::Sender<TcuResult<QueryOutput>>> {
-    let mut mine = Vec::new();
-    senders.retain_mut(|(sid, tx)| {
-        if *sid == session_id {
-            mine.push(tx.clone());
-            false
-        } else {
-            true
-        }
-    });
-    mine
+/// Remove and return the repliers belonging to `session_id`.
+fn extract_session(senders: &mut Vec<(u64, Replier)>, session_id: u64) -> Vec<Replier> {
+    let all = std::mem::take(senders);
+    let (mine, keep): (Vec<_>, Vec<_>) = all.into_iter().partition(|(sid, _)| *sid == session_id);
+    *senders = keep;
+    mine.into_iter().map(|(_, replier)| replier).collect()
 }
 
 #[cfg(test)]
@@ -925,6 +982,33 @@ mod tests {
         let mut unpinned = pinned.clone();
         unpinned.unpin();
         assert_eq!(unpinned.execute(JOIN).unwrap().table, fresh.table);
+    }
+
+    #[test]
+    fn callback_submissions_fire_exactly_once() {
+        let db = engine();
+        let expected = db.execute(JOIN).unwrap().table;
+        let server = Server::start(Arc::clone(&db), ServeConfig::with_workers(2));
+        let session = server.session();
+        let (tx, rx) = mpsc::channel();
+        session
+            .submit_callback(JOIN, None, move |result| {
+                tx.send(result).unwrap();
+            })
+            .unwrap();
+        let out = rx.recv().unwrap().unwrap();
+        assert_eq!(out.table, expected);
+        // Synchronous rejection: the callback never fires, the error is
+        // returned directly.
+        let (tx, rx) = mpsc::channel::<TcuResult<QueryOutput>>();
+        assert!(session
+            .submit_callback("SELEKT nope", None, move |r| {
+                tx.send(r).unwrap();
+            })
+            .is_err());
+        assert!(rx.recv().is_err(), "callback must not fire on sync errors");
+        let stats = server.shutdown();
+        assert_eq!(stats.executed, 1);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   executor, plan/statement cache),
 //! * [`serve`] — concurrent query serving: sessions, a worker-pool
 //!   scheduler with admission control and statement coalescing,
+//! * [`net`] — the TCUP wire protocol and the epoll-based TCP server
+//!   (`tcudb-server` binary) plus a blocking client,
 //! * [`tensor`] — dense/sparse/blocked tensor kernels with emulated
 //!   tensor-core precisions,
 //! * [`device`] — the simulated GPU device and cost model,
@@ -50,6 +52,7 @@ pub use tcudb_datagen as datagen;
 pub use tcudb_device as device;
 pub use tcudb_magiq as magiq;
 pub use tcudb_monet as monet;
+pub use tcudb_net as net;
 pub use tcudb_serve as serve;
 pub use tcudb_sql as sql;
 pub use tcudb_storage as storage;
@@ -62,6 +65,7 @@ pub mod prelude {
     pub use tcudb_core::{EngineConfig, PlanKind, QueryOutput, TcuDb};
     pub use tcudb_device::{DeviceProfile, ExecutionTimeline, Phase};
     pub use tcudb_monet::MonetEngine;
+    pub use tcudb_net::{Client, NetConfig, NetServer};
     pub use tcudb_serve::{ServeConfig, Server, Session};
     pub use tcudb_sql::parse;
     pub use tcudb_storage::{
